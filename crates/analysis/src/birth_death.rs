@@ -1,0 +1,63 @@
+//! Generic birth–death chain stationary distributions.
+
+/// Stationary distribution of a birth–death chain with `births.len() + 1`
+/// states, where `births[i]` is the rate from state `i` to `i+1` and
+/// `deaths[i]` the rate from `i+1` to `i`.
+///
+/// `p_{i+1} = p_i · births[i] / deaths[i]`, normalized.
+pub fn stationary_distribution(births: &[f64], deaths: &[f64]) -> Vec<f64> {
+    assert_eq!(births.len(), deaths.len());
+    assert!(deaths.iter().all(|&d| d > 0.0), "death rates must be positive");
+    let n = births.len();
+    let mut p = Vec::with_capacity(n + 1);
+    p.push(1.0f64);
+    for i in 0..n {
+        let next = p[i] * births[i] / deaths[i];
+        p.push(next);
+    }
+    let total: f64 = p.iter().sum();
+    for v in &mut p {
+        *v /= total;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_state_chain() {
+        // 0 <-> 1 with birth 2, death 1: p1 = 2 p0 -> p = [1/3, 2/3].
+        let p = stationary_distribution(&[2.0], &[1.0]);
+        assert!((p[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_chain_is_uniform() {
+        let p = stationary_distribution(&[1.0; 9], &[1.0; 9]);
+        for v in &p {
+            assert!((v - 0.1).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        /// Distributions are normalized and satisfy detailed balance.
+        #[test]
+        fn detailed_balance(
+            rates in proptest::collection::vec((0.01f64..5.0, 0.01f64..5.0), 1..30)
+        ) {
+            let births: Vec<f64> = rates.iter().map(|(b, _)| *b).collect();
+            let deaths: Vec<f64> = rates.iter().map(|(_, d)| *d).collect();
+            let p = stationary_distribution(&births, &deaths);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            for i in 0..births.len() {
+                let flow = p[i] * births[i] - p[i + 1] * deaths[i];
+                prop_assert!(flow.abs() < 1e-9 * (1.0 + p[i]), "imbalance at {i}");
+            }
+        }
+    }
+}

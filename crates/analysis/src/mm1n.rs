@@ -1,0 +1,84 @@
+//! The M/M/1/N loss formula (paper eq. 1).
+
+/// Loss probability of an M/M/1/N queue with offered load `rho = λ/μ`
+/// and `n` slots: `P_full = (1-ρ)/(1-ρ^{N+1}) · ρ^N`, which by PASTA is
+/// also the packet-loss probability.
+///
+/// The ρ = 1 case is the continuous limit `1/(N+1)`.
+pub fn loss_probability(rho: f64, n: usize) -> f64 {
+    assert!(rho >= 0.0, "offered load cannot be negative");
+    if rho == 0.0 {
+        return if n == 0 { 1.0 } else { 0.0 };
+    }
+    if (rho - 1.0).abs() < 1e-12 {
+        return 1.0 / (n as f64 + 1.0);
+    }
+    let num = (1.0 - rho) * rho.powi(n as i32);
+    let den = 1.0 - rho.powi(n as i32 + 1);
+    num / den
+}
+
+/// Smallest `N` such that the loss probability drops below `target`.
+/// Returns `None` when ρ ≥ 1 and the target is unreachable.
+pub fn slots_for_target(rho: f64, target: f64) -> Option<usize> {
+    assert!(target > 0.0 && target < 1.0);
+    if rho >= 1.0 {
+        // Loss tends to (ρ-1)/ρ... for ρ>1 it converges to 1-1/ρ > 0.
+        let limit = if rho > 1.0 { 1.0 - 1.0 / rho } else { 0.0 };
+        if target <= limit {
+            return None;
+        }
+    }
+    (0..100_000).find(|&n| loss_probability(rho, n) < target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_slots_always_lose() {
+        assert_eq!(loss_probability(0.5, 0), 1.0);
+        assert_eq!(loss_probability(1.0, 0), 1.0);
+    }
+
+    #[test]
+    fn paper_figure_11_anchors() {
+        // Fig. 11: ρ = 0.1 needs < 10 slots for ~1e-8; ρ = 0.5 a little
+        // over 20; ρ = 0.9 about 150.
+        assert!(loss_probability(0.1, 10) < 1e-8);
+        assert!(loss_probability(0.5, 25) < 1e-7);
+        assert!(loss_probability(0.9, 150) < 1e-7);
+        assert!(loss_probability(0.9, 50) > 1e-4);
+    }
+
+    #[test]
+    fn rho_one_limit() {
+        assert!((loss_probability(1.0, 99) - 0.01).abs() < 1e-12);
+        // Continuity near 1.
+        let near = loss_probability(1.0 - 1e-9, 99);
+        assert!((near - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slots_for_target_finds_knee() {
+        let n = slots_for_target(0.5, 1e-6).unwrap();
+        assert!(loss_probability(0.5, n) < 1e-6);
+        assert!(n == 0 || loss_probability(0.5, n - 1) >= 1e-6);
+        // Overload: 50% loss unreachable when rho = 2 (limit is 0.5).
+        assert_eq!(slots_for_target(2.0, 0.4), None);
+        assert!(slots_for_target(2.0, 0.6).is_some());
+    }
+
+    proptest! {
+        /// Loss decreases monotonically with N and increases with ρ.
+        #[test]
+        fn monotone(rho in 0.05f64..0.95, n in 1usize..200) {
+            let p = loss_probability(rho, n);
+            prop_assert!(p > 0.0 && p < 1.0);
+            prop_assert!(loss_probability(rho, n + 1) <= p);
+            prop_assert!(loss_probability(rho + 0.04, n) >= p);
+        }
+    }
+}

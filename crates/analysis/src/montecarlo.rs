@@ -1,0 +1,176 @@
+//! Discrete-event Monte-Carlo validation of the queueing formulas.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimResult {
+    /// Arrivals offered.
+    pub offered: u64,
+    /// Arrivals lost (queue full).
+    pub lost: u64,
+}
+
+impl SimResult {
+    /// Observed loss ratio.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.offered as f64
+        }
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-300);
+    -u.ln() / rate
+}
+
+/// Simulate an M/M/1/N queue: Poisson arrivals at `lambda`, exponential
+/// service at `mu`, `n` slots (including the one in service). Returns
+/// observed loss over `arrivals` offered packets.
+pub fn simulate_mm1n(lambda: f64, mu: f64, n: usize, arrivals: u64, seed: u64) -> SimResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queue = 0usize;
+    let mut offered = 0u64;
+    let mut lost = 0u64;
+    let mut next_arrival = exp_sample(&mut rng, lambda);
+    let mut next_departure = f64::INFINITY;
+
+    while offered < arrivals {
+        if next_arrival <= next_departure {
+            let t = next_arrival;
+            offered += 1;
+            if queue >= n {
+                lost += 1;
+            } else {
+                queue += 1;
+                if queue == 1 {
+                    next_departure = t + exp_sample(&mut rng, mu);
+                }
+            }
+            next_arrival = t + exp_sample(&mut rng, lambda);
+        } else {
+            let t = next_departure;
+            queue -= 1;
+            next_departure = if queue > 0 {
+                t + exp_sample(&mut rng, mu)
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+    SimResult { offered, lost }
+}
+
+/// Simulate the two-region priority queue of §7: total arrivals at
+/// `lambda1` (medium+high) admitted below `n`, high-priority arrivals at
+/// `lambda2` admitted below `2n`, service `mu`. Returns (high-priority
+/// loss, medium-priority loss) observed.
+pub fn simulate_priority(
+    lambda1: f64,
+    lambda2: f64,
+    mu: f64,
+    n: usize,
+    arrivals: u64,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(lambda2 <= lambda1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queue = 0usize;
+    let mut offered_hi = 0u64;
+    let mut lost_hi = 0u64;
+    let mut offered_med = 0u64;
+    let mut lost_med = 0u64;
+    let mut next_arrival = exp_sample(&mut rng, lambda1);
+    let mut next_departure = f64::INFINITY;
+
+    while offered_hi + offered_med < arrivals {
+        if next_arrival <= next_departure {
+            let t = next_arrival;
+            // Thin the aggregate process: this arrival is high-priority
+            // with probability λ₂/λ₁.
+            let is_high = rng.random::<f64>() < lambda2 / lambda1;
+            if is_high {
+                offered_hi += 1;
+                if queue >= 2 * n {
+                    lost_hi += 1;
+                } else {
+                    queue += 1;
+                    if queue == 1 {
+                        next_departure = t + exp_sample(&mut rng, mu);
+                    }
+                }
+            } else {
+                offered_med += 1;
+                if queue >= n {
+                    lost_med += 1;
+                } else {
+                    queue += 1;
+                    if queue == 1 {
+                        next_departure = t + exp_sample(&mut rng, mu);
+                    }
+                }
+            }
+            next_arrival = t + exp_sample(&mut rng, lambda1);
+        } else {
+            let t = next_departure;
+            queue -= 1;
+            next_departure = if queue > 0 {
+                t + exp_sample(&mut rng, mu)
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+    (
+        lost_hi as f64 / offered_hi.max(1) as f64,
+        lost_med as f64 / offered_med.max(1) as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1n::loss_probability;
+    use crate::priority_chain::{high_priority_loss, medium_priority_loss};
+
+    #[test]
+    fn mm1n_simulation_matches_formula() {
+        for &(rho, n) in &[(0.5f64, 3usize), (0.8, 5), (0.9, 8), (1.2, 4)] {
+            let sim = simulate_mm1n(rho, 1.0, n, 400_000, 42);
+            let formula = loss_probability(rho, n);
+            let err = (sim.loss_ratio() - formula).abs();
+            assert!(
+                err < 0.01 + formula * 0.15,
+                "rho={rho} N={n}: sim {} vs formula {formula}",
+                sim.loss_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn priority_simulation_matches_chain() {
+        // ρ₁ = 0.9 (aggregate), ρ₂ = 0.3 (high), N = 4: losses are large
+        // enough to measure with modest samples.
+        let (hi_sim, med_sim) = simulate_priority(0.9, 0.3, 1.0, 4, 600_000, 7);
+        // Chain birth rates: below N the aggregate 0.9 arrives; above N
+        // only 0.3. High-priority loss = p_{2N}; medium = P(occ ≥ N).
+        let hi = high_priority_loss(0.9, 0.3, 4);
+        let med = medium_priority_loss(0.9, 0.3, 4);
+        assert!((hi_sim - hi).abs() < 0.01 + hi * 0.2, "hi {hi_sim} vs {hi}");
+        assert!(
+            (med_sim - med).abs() < 0.01 + med * 0.2,
+            "med {med_sim} vs {med}"
+        );
+        assert!(hi_sim < med_sim);
+    }
+
+    #[test]
+    fn empty_queue_never_loses() {
+        let sim = simulate_mm1n(0.1, 1.0, 50, 50_000, 1);
+        assert_eq!(sim.lost, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The three-priority Markov chain of §7 (Fig. 12).
+//!
+//! Memory above the base threshold is split into two regions of `N`
+//! packet slots. While occupancy is below `N`, both medium- (rate λ₁)
+//! and high-priority (rate λ₂) packets are admitted; between `N` and
+//! `2N` only high-priority packets are; at `2N` everything is dropped.
+//! Service is exponential at rate μ. The chain over occupancy
+//! `0..2N` is birth–death with birth rate `λ₁+λ₂` in the first region
+//! and `λ₂` in the second.
+//!
+//! With `ρ₁ = (λ₁+λ₂)/μ` and `ρ₂ = λ₂/μ` (the paper's eq. 2):
+//!
+//! * high-priority packets are lost only in state `2N`:
+//!   `P_high = ρ₁^N · ρ₂^N · p₀`;
+//! * medium-priority packets are lost whenever occupancy ≥ `N` (PASTA):
+//!   `P_med = Σ_{i=N}^{2N} p_i` (the paper's eq. 3 quotes the M/M/1/N
+//!   form for the first region, a tight upper-region-ignoring
+//!   approximation; both are provided here).
+
+use crate::birth_death::stationary_distribution;
+
+/// Stationary distribution of the two-region chain.
+pub fn chain_distribution(rho1: f64, rho2: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0);
+    let mut births = vec![rho1; n];
+    births.extend(std::iter::repeat(rho2).take(n));
+    let deaths = vec![1.0; 2 * n];
+    stationary_distribution(&births, &deaths)
+}
+
+/// High-priority loss probability: `p_{2N}` (eq. 2).
+pub fn high_priority_loss(rho1: f64, rho2: f64, n: usize) -> f64 {
+    let p = chain_distribution(rho1, rho2, n);
+    p[2 * n]
+}
+
+/// Medium-priority loss probability, exact: occupancy ≥ N.
+pub fn medium_priority_loss(rho1: f64, rho2: f64, n: usize) -> f64 {
+    let p = chain_distribution(rho1, rho2, n);
+    p[n..].iter().sum()
+}
+
+/// Medium-priority loss in the paper's eq. 3 form (M/M/1/N over the
+/// first region only).
+pub fn medium_priority_loss_paper(rho1: f64, n: usize) -> f64 {
+    crate::mm1n::loss_probability(rho1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure_12_anchor() {
+        // Fig. 12: ρ₁ = ρ₂ = 0.3; a few tens of slots push both loss
+        // probabilities to practically zero.
+        let n = 20;
+        assert!(high_priority_loss(0.3, 0.3, n) < 1e-10);
+        assert!(medium_priority_loss(0.3, 0.3, n) < 1e-8);
+        // And high-priority is always the better-protected class.
+        for n in [2usize, 5, 10, 30] {
+            assert!(
+                high_priority_loss(0.3, 0.3, n) < medium_priority_loss(0.3, 0.3, n),
+                "at N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_distribution() {
+        // p_{2N} should equal ρ₁^N ρ₂^N p₀ by construction.
+        let (rho1, rho2, n) = (0.6, 0.25, 7);
+        let p = chain_distribution(rho1, rho2, n);
+        let expected = p[0] * rho1.powi(n as i32) * rho2.powi(n as i32);
+        assert!((p[2 * n] - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn paper_eq3_approximates_exact_medium_loss() {
+        // The eq. 3 form ignores the upper region; for small ρ₂ the two
+        // agree closely.
+        let exact = medium_priority_loss(0.5, 0.05, 15);
+        let paper = medium_priority_loss_paper(0.5, 15);
+        assert!((exact - paper).abs() / paper < 0.2, "{exact} vs {paper}");
+    }
+
+    proptest! {
+        /// Loss probabilities are valid and ordered for any loads.
+        #[test]
+        fn sane_and_ordered(
+            rho1 in 0.05f64..0.95,
+            rho2f in 0.05f64..1.0,
+            n in 1usize..40,
+        ) {
+            // ρ₂ ≤ ρ₁ by construction (high priority is a subset of all).
+            let rho2 = rho2f * rho1;
+            let hi = high_priority_loss(rho1, rho2, n);
+            let med = medium_priority_loss(rho1, rho2, n);
+            prop_assert!(hi >= 0.0 && hi <= 1.0);
+            prop_assert!(med >= 0.0 && med <= 1.0);
+            prop_assert!(hi <= med + 1e-12);
+            // More memory helps both classes.
+            prop_assert!(high_priority_loss(rho1, rho2, n + 1) <= hi + 1e-12);
+            prop_assert!(medium_priority_loss(rho1, rho2, n + 1) <= med + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Applications running on the baseline stacks — the same workloads the
+//! Scap stack runs, so comparisons vary only the capture architecture.
+
+use scap_patterns::{AhoCorasick, MatcherState};
+use scap_sim::Work;
+use scap_wire::Direction;
+use std::collections::HashMap;
+
+/// The application interface of a baseline stack.
+pub trait BaselineApp {
+    /// Reassembled (or raw, for non-reassembling stacks) data for a
+    /// stream direction. Returns extra user work beyond what the stack
+    /// itself charges.
+    fn on_data(&mut self, stream_uid: u64, dir: Direction, data: &[u8]) -> Work;
+
+    /// A stream ended (close or timeout), with wire totals.
+    fn on_stream_end(&mut self, stream_uid: u64, total_bytes: u64, total_pkts: u64) -> Work;
+
+    /// Pattern matches found so far.
+    fn matches(&self) -> u64 {
+        0
+    }
+}
+
+/// Flow export (the YAF workload): only the termination totals matter.
+#[derive(Default)]
+pub struct FlowExportApp {
+    /// Flows exported.
+    pub exported: u64,
+    /// Total bytes across exported flows.
+    pub exported_bytes: u64,
+}
+
+impl BaselineApp for FlowExportApp {
+    fn on_data(&mut self, _uid: u64, _dir: Direction, _data: &[u8]) -> Work {
+        Work::default()
+    }
+
+    fn on_stream_end(&mut self, _uid: u64, total_bytes: u64, _total_pkts: u64) -> Work {
+        self.exported += 1;
+        self.exported_bytes += total_bytes;
+        Work::default()
+    }
+}
+
+/// Stream delivery with no processing (§6.3): touch every byte.
+#[derive(Default)]
+pub struct TouchApp {
+    /// Bytes observed.
+    pub bytes: u64,
+}
+
+impl BaselineApp for TouchApp {
+    fn on_data(&mut self, _uid: u64, _dir: Direction, data: &[u8]) -> Work {
+        self.bytes += data.len() as u64;
+        Work {
+            u_bytes_touched: data.len() as u64,
+            ..Default::default()
+        }
+    }
+
+    fn on_stream_end(&mut self, _uid: u64, _b: u64, _p: u64) -> Work {
+        Work::default()
+    }
+}
+
+/// Aho–Corasick pattern matching with streaming per-direction state —
+/// identical automaton and algorithm as the Scap-side application.
+pub struct PatternScanApp {
+    ac: AhoCorasick,
+    states: HashMap<(u64, u8), MatcherState>,
+    found: u64,
+}
+
+impl PatternScanApp {
+    /// Build from a compiled automaton.
+    pub fn new(ac: AhoCorasick) -> Self {
+        PatternScanApp {
+            ac,
+            states: HashMap::new(),
+            found: 0,
+        }
+    }
+}
+
+impl BaselineApp for PatternScanApp {
+    fn on_data(&mut self, uid: u64, dir: Direction, data: &[u8]) -> Work {
+        let st = self.states.entry((uid, dir.index() as u8)).or_default();
+        self.found += self.ac.count(st, data);
+        Work {
+            u_bytes_scanned: data.len() as u64,
+            ..Default::default()
+        }
+    }
+
+    fn on_stream_end(&mut self, uid: u64, _b: u64, _p: u64) -> Work {
+        self.states.remove(&(uid, 0));
+        self.states.remove(&(uid, 1));
+        Work::default()
+    }
+
+    fn matches(&self) -> u64 {
+        self.found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_app_streams_across_chunks() {
+        let ac = AhoCorasick::new(&[b"needle".to_vec()], false);
+        let mut app = PatternScanApp::new(ac);
+        app.on_data(1, Direction::Forward, b"xxnee");
+        app.on_data(1, Direction::Forward, b"dlexx");
+        assert_eq!(app.matches(), 1);
+        // Different stream: fresh state.
+        app.on_data(2, Direction::Forward, b"dlexx");
+        assert_eq!(app.matches(), 1);
+        app.on_stream_end(1, 0, 0);
+        // State cleared after end.
+        app.on_data(1, Direction::Forward, b"dlexx");
+        assert_eq!(app.matches(), 1);
+    }
+
+    #[test]
+    fn flow_export_counts_streams() {
+        let mut app = FlowExportApp::default();
+        app.on_stream_end(1, 100, 2);
+        app.on_stream_end(2, 200, 3);
+        assert_eq!(app.exported, 2);
+        assert_eq!(app.exported_bytes, 300);
+    }
+
+    #[test]
+    fn touch_app_charges_touch_work() {
+        let mut app = TouchApp::default();
+        let w = app.on_data(1, Direction::Reverse, &[0u8; 500]);
+        assert_eq!(w.u_bytes_touched, 500);
+        assert_eq!(app.bytes, 500);
+    }
+}

@@ -1,0 +1,839 @@
+//! One function per figure/table of the paper's evaluation.
+//!
+//! Each function regenerates the corresponding series from the
+//! reproduction's stacks and returns [`FigureResult`]s (one per subplot).
+//! The `experiments` binary writes them to `results/` and prints them.
+
+use crate::common::*;
+use scap::apps::PatternMatchApp;
+use scap::{ScapKernel, ScapSimStack};
+use scap_baseline::apps::{FlowExportApp, PatternScanApp, TouchApp};
+use scap_baseline::UserStack;
+use scap_filter::Filter;
+use scap_sim::CacheSim;
+use scap_trace::concurrent::ConcurrentStreams;
+use scap_trace::replay::RateReplay;
+
+/// §6.1 — the trace-description table.
+pub fn trace_stats(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let wl = campus_workload(cfg);
+    let s = &wl.stats;
+    let rows = vec![
+        vec!["packets".into(), s.packets.to_string()],
+        vec!["flows".into(), s.flows.to_string()],
+        vec!["tcp flows".into(), s.tcp_flows.to_string()],
+        vec!["total bytes".into(), s.total_bytes.to_string()],
+        vec!["tcp traffic %".into(), f1(s.tcp_byte_percent())],
+        vec!["mean packet size B".into(), f1(s.mean_packet_size())],
+        vec!["duration s".into(), f2(s.duration_secs())],
+        vec!["natural rate Mbit/s".into(), f1(wl.natural_bps / 1e6)],
+    ];
+    vec![FigureResult {
+        name: "trace_stats".into(),
+        headers: vec!["property".into(), "value".into()],
+        rows,
+        notes: vec![
+            "paper trace: 58,714,906 pkts, 1,493,032 flows, >46 GB, 95.4% TCP".into(),
+            format!("reproduction scale: {}", cfg.scale.name),
+        ],
+    }]
+}
+
+/// Fig. 3 — flow-statistics export: drop %, CPU %, softirq % vs. rate for
+/// YAF / Libnids / Scap without FDIR / Scap with FDIR.
+pub fn fig3(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let wl = campus_workload(cfg);
+    let eng = engine();
+    let mut drop_rows = Vec::new();
+    let mut cpu_rows = Vec::new();
+    let mut sirq_rows = Vec::new();
+    let mut notes = Vec::new();
+
+    for &gbps in &cfg.scale.rates_gbps {
+        let mut drops = vec![format!("{gbps:.2}")];
+        let mut cpus = vec![format!("{gbps:.2}")];
+        let mut sirqs = vec![format!("{gbps:.2}")];
+
+        // YAF and Libnids.
+        for base in [yaf_cfg(cfg), libnids_cfg(cfg)] {
+            let (rep, _s) = run_baseline(&eng, base, FlowExportApp::default(), wl.at_rate(gbps));
+            drops.push(f1(rep.stats.drop_percent()));
+            cpus.push(f1(rep.user_cpu_percent()));
+            sirqs.push(f1(rep.softirq_percent()));
+        }
+        // Scap, cutoff 0, without and with FDIR.
+        for use_fdir in [false, true] {
+            let mut sc = scap_config(cfg);
+            sc.cutoff.default = Some(0);
+            sc.use_fdir = use_fdir;
+            let (rep, stack) = run_scap(&eng, sc, flow_stats_app(), wl.at_rate(gbps));
+            drops.push(f1(rep.stats.drop_percent()));
+            cpus.push(f1(rep.user_cpu_percent()));
+            sirqs.push(f1(rep.softirq_percent()));
+            if use_fdir && (gbps - 6.0).abs() < 0.01 {
+                let s = stack.kernel().stats();
+                let to_mem = s.stack.wire_packets - s.stack.nic_filtered_packets;
+                notes.push(format!(
+                    "§6.2 headline: Scap+FDIR brings {:.1}% of packets into memory at 6 Gbit/s (paper: ~3%)",
+                    100.0 * to_mem as f64 / s.stack.wire_packets as f64
+                ));
+            }
+        }
+        drop_rows.push(drops);
+        cpu_rows.push(cpus);
+        sirq_rows.push(sirqs);
+    }
+
+    let headers: Vec<String> = ["rate_gbps", "yaf", "libnids", "scap", "scap_fdir"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    vec![
+        FigureResult {
+            name: "fig3a_drops".into(),
+            headers: headers.clone(),
+            rows: drop_rows,
+            notes: notes.clone(),
+        },
+        FigureResult {
+            name: "fig3b_cpu".into(),
+            headers: headers.clone(),
+            rows: cpu_rows,
+            notes: vec![],
+        },
+        FigureResult {
+            name: "fig3c_softirq".into(),
+            headers,
+            rows: sirq_rows,
+            notes: vec![],
+        },
+    ]
+}
+
+/// Fig. 4 — stream delivery with no processing: Libnids / Snort / Scap.
+pub fn fig4(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let wl = campus_workload(cfg);
+    let eng = engine();
+    let mut drop_rows = Vec::new();
+    let mut cpu_rows = Vec::new();
+    let mut sirq_rows = Vec::new();
+
+    for &gbps in &cfg.scale.rates_gbps {
+        let mut drops = vec![format!("{gbps:.2}")];
+        let mut cpus = vec![format!("{gbps:.2}")];
+        let mut sirqs = vec![format!("{gbps:.2}")];
+        for base in [libnids_cfg(cfg), stream5_cfg(cfg)] {
+            let (rep, _s) = run_baseline(&eng, base, TouchApp::default(), wl.at_rate(gbps));
+            drops.push(f1(rep.stats.drop_percent()));
+            cpus.push(f1(rep.user_cpu_percent()));
+            sirqs.push(f1(rep.softirq_percent()));
+        }
+        let (rep, _s) = run_scap(&eng, scap_config(cfg), touch_app(), wl.at_rate(gbps));
+        drops.push(f1(rep.stats.drop_percent()));
+        cpus.push(f1(rep.user_cpu_percent()));
+        sirqs.push(f1(rep.softirq_percent()));
+        drop_rows.push(drops);
+        cpu_rows.push(cpus);
+        sirq_rows.push(sirqs);
+    }
+
+    let headers: Vec<String> = ["rate_gbps", "libnids", "snort", "scap"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    vec![
+        FigureResult {
+            name: "fig4a_drops".into(),
+            headers: headers.clone(),
+            rows: drop_rows,
+            notes: vec![
+                "paper: scap loss-free to 5.5 Gbit/s; libnids drops from 2.5, snort from 2.75"
+                    .into(),
+            ],
+        },
+        FigureResult {
+            name: "fig4b_cpu".into(),
+            headers: headers.clone(),
+            rows: cpu_rows,
+            notes: vec![],
+        },
+        FigureResult {
+            name: "fig4c_softirq".into(),
+            headers,
+            rows: sirq_rows,
+            notes: vec![],
+        },
+    ]
+}
+
+/// Fig. 5 — concurrent streams at a fixed 1 Gbit/s.
+pub fn fig5(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let eng = engine();
+    let mut lost_rows = Vec::new();
+    let mut cpu_rows = Vec::new();
+    let mut sirq_rows = Vec::new();
+
+    for &n in &cfg.scale.conc_levels {
+        let gen = ConcurrentStreams {
+            streams: n,
+            data_packets_per_stream: cfg.scale.conc_pkts_per_stream,
+            payload_per_packet: 1460,
+            wire_gap_ns: 12_000,
+        };
+        let make = || {
+            let total_bytes: u64 = gen.iter().take(2048).map(|p| p.len() as u64).sum();
+            let sampled = 2048.min(gen.total_packets()) as f64;
+            let mean = total_bytes as f64 / sampled;
+            let natural = mean * 8.0 / (gen.wire_gap_ns as f64 / 1e9);
+            RateReplay::new(gen.iter(), natural, 1e9)
+        };
+
+        let mut lost = vec![n.to_string()];
+        let mut cpus = vec![n.to_string()];
+        let mut sirqs = vec![n.to_string()];
+
+        for base in [libnids_cfg(cfg), stream5_cfg(cfg)] {
+            let mut bc = base;
+            bc.max_flows = cfg.scale.baseline_max_flows;
+            let mut stack = UserStack::new(bc, TouchApp::default());
+            let rep = eng.run(make(), &mut stack);
+            let lost_pct = 100.0 * (n.saturating_sub(rep.stats.streams_reported)) as f64 / n as f64;
+            lost.push(f1(lost_pct));
+            cpus.push(f1(rep.user_cpu_percent()));
+            sirqs.push(f1(rep.softirq_percent()));
+        }
+        let (rep, _s) = run_scap(
+            &eng,
+            scap_config(cfg),
+            touch_app(),
+            make().collect(),
+        );
+        let lost_pct = 100.0 * (n.saturating_sub(rep.stats.streams_reported)) as f64 / n as f64;
+        lost.push(f1(lost_pct));
+        cpus.push(f1(rep.user_cpu_percent()));
+        sirqs.push(f1(rep.softirq_percent()));
+
+        lost_rows.push(lost);
+        cpu_rows.push(cpus);
+        sirq_rows.push(sirqs);
+    }
+
+    let headers: Vec<String> = ["streams", "libnids", "snort", "scap"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    vec![
+        FigureResult {
+            name: "fig5a_lost_streams".into(),
+            headers: headers.clone(),
+            rows: lost_rows,
+            notes: vec![format!(
+                "baseline flow tables limited to {} (paper: ~1M); scap grows dynamically",
+                cfg.scale.baseline_max_flows
+            )],
+        },
+        FigureResult {
+            name: "fig5b_cpu".into(),
+            headers: headers.clone(),
+            rows: cpu_rows,
+            notes: vec![],
+        },
+        FigureResult {
+            name: "fig5c_softirq".into(),
+            headers,
+            rows: sirq_rows,
+            notes: vec![],
+        },
+    ]
+}
+
+/// Fig. 6 — pattern matching: drop %, matched %, lost streams % vs. rate.
+pub fn fig6(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let wl = pattern_workload(cfg);
+    let truth_matches = oracle_matches(cfg, &wl).max(1);
+    let total_flows = wl.stats.flows.max(1);
+    let eng = engine();
+    let ac = wl.patterns.clone().expect("patterns");
+
+    let mut drop_rows = Vec::new();
+    let mut match_rows = Vec::new();
+    let mut lost_rows = Vec::new();
+
+    for &gbps in &cfg.scale.rates_gbps {
+        let mut drops = vec![format!("{gbps:.2}")];
+        let mut matches = vec![format!("{gbps:.2}")];
+        let mut losts = vec![format!("{gbps:.2}")];
+
+        for base in [libnids_cfg(cfg), stream5_cfg(cfg)] {
+            let (rep, _s) =
+                run_baseline(&eng, base, PatternScanApp::new(ac.clone()), wl.at_rate(gbps));
+            drops.push(f1(rep.stats.drop_percent()));
+            matches.push(f1(100.0 * rep.stats.matches as f64 / truth_matches as f64));
+            losts.push(f1(
+                100.0 * (total_flows.saturating_sub(rep.stats.streams_reported)) as f64
+                    / total_flows as f64,
+            ));
+        }
+        // Scap, and Scap with per-packet delivery (§6.5.3).
+        for per_packet in [false, true] {
+            let mut sc = scap_config(cfg);
+            sc.need_pkts = per_packet;
+            let mut app = PatternMatchApp::new(ac.clone());
+            app.per_packet = per_packet;
+            let (rep, _s) = run_scap(&eng, sc, app, wl.at_rate(gbps));
+            drops.push(f1(rep.stats.drop_percent()));
+            matches.push(f1(100.0 * rep.stats.matches as f64 / truth_matches as f64));
+            losts.push(f1(
+                100.0 * (total_flows.saturating_sub(rep.stats.streams_reported)) as f64
+                    / total_flows as f64,
+            ));
+        }
+        drop_rows.push(drops);
+        match_rows.push(matches);
+        lost_rows.push(losts);
+    }
+
+    let headers: Vec<String> = ["rate_gbps", "libnids", "snort", "scap", "scap_pkts"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    vec![
+        FigureResult {
+            name: "fig6a_drops".into(),
+            headers: headers.clone(),
+            rows: drop_rows,
+            notes: vec![format!("ground-truth matches (oracle run): {truth_matches}")],
+        },
+        FigureResult {
+            name: "fig6b_matched".into(),
+            headers: headers.clone(),
+            rows: match_rows,
+            notes: vec![
+                "paper at 6 Gbit/s: snort/libnids <10% of matches, scap ~50%".into(),
+            ],
+        },
+        FigureResult {
+            name: "fig6c_lost_streams".into(),
+            headers,
+            rows: lost_rows,
+            notes: vec![
+                "paper: baseline stream loss tracks packet loss; scap loses 14% streams at 81% packet loss".into(),
+            ],
+        },
+    ]
+}
+
+/// Fig. 7 — L2 cache misses per packet vs. rate (locality).
+pub fn fig7(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let wl = pattern_workload(cfg);
+    let eng = engine();
+    let ac = wl.patterns.clone().expect("patterns");
+    let mut rows = Vec::new();
+
+    for &gbps in &cfg.scale.rates_gbps {
+        let mut row = vec![format!("{gbps:.2}")];
+        for base in [libnids_cfg(cfg), stream5_cfg(cfg)] {
+            let mut stack = UserStack::new(base, PatternScanApp::new(ac.clone()))
+                .with_cache(CacheSim::paper_l2());
+            let rep = eng.run(wl.at_rate(gbps), &mut stack);
+            row.push(f2(stack.cache_misses() as f64 / rep.stats.wire_packets as f64));
+        }
+        let mut stack = ScapSimStack::new(
+            ScapKernel::new(scap_config(cfg)),
+            PatternMatchApp::new(ac.clone()),
+        )
+        .with_cache(CacheSim::paper_l2());
+        let rep = eng.run(wl.at_rate(gbps), &mut stack);
+        row.push(f2(stack.cache_misses() as f64 / rep.stats.wire_packets as f64));
+        rows.push(row);
+    }
+
+    vec![FigureResult {
+        name: "fig7_cache_misses".into(),
+        headers: ["rate_gbps", "libnids", "snort", "scap"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+        notes: vec![
+            "paper at 0.25 Gbit/s: snort ~25, libnids ~21, scap ~10.2 misses/packet".into(),
+        ],
+    }]
+}
+
+/// Fig. 8 — cutoff sweep at a fixed 4 Gbit/s.
+pub fn fig8(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let wl = pattern_workload(cfg);
+    let truth_matches = oracle_matches(cfg, &wl).max(1);
+    let eng = engine();
+    let ac = wl.patterns.clone().expect("patterns");
+    let gbps = 4.0;
+
+    let mut drop_rows = Vec::new();
+    let mut cpu_rows = Vec::new();
+    let mut sirq_rows = Vec::new();
+    let mut notes = Vec::new();
+
+    for &cutoff in &cfg.scale.cutoffs {
+        let label = if cutoff >= 1 << 20 {
+            format!("{}M", cutoff >> 20)
+        } else if cutoff >= 1 << 10 {
+            format!("{}K", cutoff >> 10)
+        } else {
+            cutoff.to_string()
+        };
+        let mut drops = vec![label.clone()];
+        let mut cpus = vec![label.clone()];
+        let mut sirqs = vec![label.clone()];
+
+        for base in [libnids_cfg(cfg), stream5_cfg(cfg)] {
+            let mut bc = base;
+            bc.cutoff = Some(cutoff);
+            let (rep, _s) =
+                run_baseline(&eng, bc, PatternScanApp::new(ac.clone()), wl.at_rate(gbps));
+            drops.push(f1(rep.stats.drop_percent()));
+            cpus.push(f1(rep.user_cpu_percent()));
+            sirqs.push(f1(rep.softirq_percent()));
+        }
+        for use_fdir in [false, true] {
+            let mut sc = scap_config(cfg);
+            sc.cutoff.default = Some(cutoff);
+            sc.use_fdir = use_fdir;
+            let (rep, stack) = run_scap(
+                &eng,
+                sc,
+                PatternMatchApp::new(ac.clone()),
+                wl.at_rate(gbps),
+            );
+            drops.push(f1(rep.stats.drop_percent()));
+            cpus.push(f1(rep.user_cpu_percent()));
+            sirqs.push(f1(rep.softirq_percent()));
+            if !use_fdir && cutoff == 10 << 10 {
+                let s = rep.stats;
+                let _ = &stack;
+                let discarded = 100.0 * s.discarded_bytes as f64 / s.wire_bytes as f64;
+                let matched = 100.0 * s.matches as f64 / truth_matches as f64;
+                notes.push(format!(
+                    "§6.6 headline at 10KB cutoff: {discarded:.1}% of traffic discarded, \
+                     {matched:.1}% of matches kept, drop {:.1}% (paper: 97.6% discarded, 83.6% matches, CPU 97%→21.9%)",
+                    rep.stats.drop_percent()
+                ));
+            }
+        }
+        drop_rows.push(drops);
+        cpu_rows.push(cpus);
+        sirq_rows.push(sirqs);
+    }
+
+    let headers: Vec<String> = ["cutoff", "libnids", "snort", "scap", "scap_fdir"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    vec![
+        FigureResult {
+            name: "fig8a_drops".into(),
+            headers: headers.clone(),
+            rows: drop_rows,
+            notes,
+        },
+        FigureResult {
+            name: "fig8b_cpu".into(),
+            headers: headers.clone(),
+            rows: cpu_rows,
+            notes: vec![
+                "paper: baselines stay ~100% CPU at every cutoff; scap ~21.9% at 10KB".into(),
+            ],
+        },
+        FigureResult {
+            name: "fig8c_softirq".into(),
+            headers,
+            rows: sirq_rows,
+            notes: vec![],
+        },
+    ]
+}
+
+/// Fig. 9 — PPL: high- vs. low-priority drop % vs. rate.
+pub fn fig9(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let wl = pattern_workload(cfg);
+    let eng = engine();
+    let ac = wl.patterns.clone().expect("patterns");
+    let mut rows = Vec::new();
+
+    for &gbps in &cfg.scale.rates_gbps {
+        let mut sc = scap_config(cfg);
+        sc.priorities
+            .classes
+            .push((Filter::new("port 80").expect("valid"), 1));
+        sc.ppl.num_priorities = 2;
+        sc.ppl.base_threshold = 0.5;
+        // Pure priority-based PPL, as in the paper's Fig. 9 (no
+        // overload cutoff in play).
+        sc.ppl.overload_cutoff = None;
+        let (_rep, stack) = run_scap(
+            &eng,
+            sc,
+            PatternMatchApp::new(ac.clone()),
+            wl.at_rate(gbps),
+        );
+        let s = stack.kernel().stats();
+        let pct = |dropped: u64, wire: u64| {
+            if wire == 0 {
+                0.0
+            } else {
+                100.0 * dropped as f64 / wire as f64
+            }
+        };
+        rows.push(vec![
+            format!("{gbps:.2}"),
+            f1(pct(s.dropped_by_priority[0], s.wire_by_priority[0])),
+            f1(pct(s.dropped_by_priority[1], s.wire_by_priority[1])),
+        ]);
+    }
+
+    vec![FigureResult {
+        name: "fig9_ppl_priorities".into(),
+        headers: ["rate_gbps", "low_priority_drop%", "high_priority_drop%"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+        notes: vec![
+            "high priority = port-80 streams (≈8.4% of packets)".into(),
+            "paper: zero high-priority loss to 5.5 Gbit/s while low-priority loses up to 85.7%"
+                .into(),
+        ],
+    }]
+}
+
+/// Fig. 10 — worker-thread scaling: drop % at fixed rates, and the
+/// maximum loss-free rate per worker count.
+pub fn fig10(cfg: &ExpConfig) -> Vec<FigureResult> {
+    let wl = pattern_workload(cfg);
+    let eng = engine();
+    let ac = wl.patterns.clone().expect("patterns");
+    let fixed_rates = [2.0, 4.0, 6.0];
+    let mut drop_rows = Vec::new();
+    let mut rate_rows = Vec::new();
+
+    let run_at = |workers: usize, gbps: f64| -> f64 {
+        let mut sc = scap_config(cfg);
+        sc.worker_threads = workers;
+        // §4.2: RSS complemented by dynamic FDIR load balancing.
+        sc.use_fdir_balancing = true;
+        // This experiment measures CPU scaling, not buffer dynamics, so
+        // it runs with the paper's memory regime (1 GB there): the arena
+        // must absorb single-flow bursts rather than shed them.
+        sc.memory_bytes = 64 << 20;
+        let (rep, _s) = run_scap(&eng, sc, PatternMatchApp::new(ac.clone()), wl.at_rate(gbps));
+        rep.stats.drop_percent()
+    };
+
+    for workers in 1..=8usize {
+        let mut row = vec![workers.to_string()];
+        for &g in &fixed_rates {
+            row.push(f1(run_at(workers, g)));
+        }
+        drop_rows.push(row);
+
+        // Binary search the loss-free knee (drop < 1%, the paper's
+        // visual resolution).
+        let (mut lo, mut hi) = (0.25f64, 10.0f64);
+        if run_at(workers, hi) < 1.0 {
+            lo = hi;
+        } else {
+            for _ in 0..6 {
+                let mid = (lo + hi) / 2.0;
+                if run_at(workers, mid) < 1.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+        rate_rows.push(vec![workers.to_string(), f2(lo)]);
+    }
+
+    vec![
+        FigureResult {
+            name: "fig10a_drops_by_workers".into(),
+            headers: ["workers", "2gbps", "4gbps", "6gbps"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            rows: drop_rows,
+            notes: vec!["paper: 7 workers handle 4 Gbit/s loss-free".into()],
+        },
+        FigureResult {
+            name: "fig10b_max_lossfree_rate".into(),
+            headers: ["workers", "max_lossfree_gbps"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            rows: rate_rows,
+            notes: vec!["paper: ~1 Gbit/s at 1 worker scaling to 5.5 Gbit/s at 8".into()],
+        },
+    ]
+}
+
+/// Fig. 11 — M/M/1/N loss probability for high-priority packets.
+pub fn fig11(_cfg: &ExpConfig) -> Vec<FigureResult> {
+    let mut rows = Vec::new();
+    for n in (0..=200usize).step_by(10) {
+        rows.push(vec![
+            n.to_string(),
+            sci(scap_analysis::mm1n_loss(0.1, n)),
+            sci(scap_analysis::mm1n_loss(0.5, n)),
+            sci(scap_analysis::mm1n_loss(0.9, n)),
+        ]);
+    }
+    // Monte-Carlo cross-check at a few points.
+    let mut notes = vec![
+        "paper: ρ=0.1 needs <10 slots, ρ=0.5 ~20, ρ=0.9 ~150 for ~zero loss".into(),
+    ];
+    for (rho, n) in [(0.5f64, 10usize), (0.9, 40)] {
+        let sim = scap_analysis::simulate_mm1n(rho, 1.0, n, 300_000, 7);
+        notes.push(format!(
+            "monte-carlo ρ={rho} N={n}: simulated {:.2e} vs closed form {:.2e}",
+            sim.loss_ratio(),
+            scap_analysis::mm1n_loss(rho, n)
+        ));
+    }
+    vec![FigureResult {
+        name: "fig11_mm1n".into(),
+        headers: ["N", "rho_0.1", "rho_0.5", "rho_0.9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+        notes,
+    }]
+}
+
+/// Fig. 12 — the three-priority chain: high/medium loss vs. N at
+/// ρ₁ = ρ₂ = 0.3.
+pub fn fig12(_cfg: &ExpConfig) -> Vec<FigureResult> {
+    let mut rows = Vec::new();
+    for n in 1..=40usize {
+        rows.push(vec![
+            n.to_string(),
+            sci(scap_analysis::high_priority_loss(0.3, 0.3, n)),
+            sci(scap_analysis::medium_priority_loss(0.3, 0.3, n)),
+        ]);
+    }
+    let (hi_sim, med_sim) = scap_analysis::montecarlo::simulate_priority(
+        0.6, 0.3, 1.0, 5, 400_000, 11,
+    );
+    vec![FigureResult {
+        name: "fig12_priority_chain".into(),
+        headers: ["N", "high_priority", "medium_priority"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+        notes: vec![
+            "paper: a few tens of slots make both loss probabilities practically zero".into(),
+            format!(
+                "monte-carlo check (ρ₁=0.6, ρ₂=0.3, N=5): high {hi_sim:.3e} vs {:.3e}, med {med_sim:.3e} vs {:.3e}",
+                scap_analysis::high_priority_loss(0.6, 0.3, 5),
+                scap_analysis::medium_priority_loss(0.6, 0.3, 5),
+            ),
+        ],
+    }]
+}
+
+/// Dispatch by experiment id.
+pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<Vec<FigureResult>> {
+    Some(match id {
+        "trace-stats" => trace_stats(cfg),
+        "fig3" => fig3(cfg),
+        "fig4" => fig4(cfg),
+        "fig5" => fig5(cfg),
+        "fig6" => fig6(cfg),
+        "fig7" => fig7(cfg),
+        "fig8" => fig8(cfg),
+        "fig9" => fig9(cfg),
+        "fig10" => fig10(cfg),
+        "ablations" => ablations(cfg),
+        "fig11" => fig11(cfg),
+        "fig12" => fig12(cfg),
+        _ => return None,
+    })
+}
+
+/// Every experiment id, in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "trace-stats",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablations",
+    "fig11",
+    "fig12",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The analysis figures are cheap; run them end-to-end.
+    #[test]
+    fn analysis_figures_produce_tables() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let f11 = fig11(&cfg);
+        assert_eq!(f11.len(), 1);
+        assert!(f11[0].rows.len() > 10);
+        let f12 = fig12(&cfg);
+        assert_eq!(f12[0].rows.len(), 40);
+    }
+
+    #[test]
+    fn trace_stats_table_reports_profile() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let t = trace_stats(&cfg);
+        let table = t[0].to_table();
+        assert!(table.contains("tcp traffic"));
+    }
+
+    #[test]
+    fn dispatch_knows_all_ids() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        assert!(run_experiment("nope", &cfg).is_none());
+        assert!(run_experiment("fig11", &cfg).is_some());
+        for id in ALL_EXPERIMENTS {
+            // Only dispatchability, not execution (heavy ones run in the
+            // binary / integration tests).
+            assert!(ALL_EXPERIMENTS.contains(id));
+        }
+    }
+}
+
+/// Design-choice ablations (not in the paper's figures, but probing the
+/// design decisions the paper argues for).
+pub fn ablations(cfg: &ExpConfig) -> Vec<FigureResult> {
+    vec![
+        ablation_chunk_size(cfg),
+        ablation_reassembly_modes(cfg),
+        ablation_overload_cutoff(cfg),
+    ]
+}
+
+/// Chunk-size sweep: the event-overhead vs. delivery-latency tradeoff
+/// behind the paper's 16 KB default.
+fn ablation_chunk_size(cfg: &ExpConfig) -> FigureResult {
+    let wl = pattern_workload(cfg);
+    let eng = engine();
+    let ac = wl.patterns.clone().expect("patterns");
+    let mut rows = Vec::new();
+    for chunk_kb in [1usize, 4, 16, 64, 256] {
+        let mut sc = scap_config(cfg);
+        sc.chunk_size = chunk_kb << 10;
+        let (rep, stack) = run_scap(&eng, sc, PatternMatchApp::new(ac.clone()), wl.at_rate(2.0));
+        let st = stack.kernel().stats();
+        rows.push(vec![
+            format!("{chunk_kb}K"),
+            f1(rep.stats.drop_percent()),
+            f2(st.chunks as f64 / rep.stats.wire_packets as f64),
+            f1(rep.user_cpu_percent()),
+            f1(rep.softirq_percent()),
+        ]);
+    }
+    FigureResult {
+        name: "ablation_chunk_size".into(),
+        headers: ["chunk", "drop%", "chunks_per_pkt", "user_cpu%", "softirq%"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+        notes: vec!["at 2 Gbit/s, single worker (paper default: 16K)".into()],
+    }
+}
+
+/// Strict vs. fast reassembly under induced packet loss: fast keeps
+/// delivering (flagging gaps); strict buffers and stalls behind holes.
+fn ablation_reassembly_modes(cfg: &ExpConfig) -> FigureResult {
+    use scap::ReassemblyMode;
+    let wl = pattern_workload(cfg);
+    let ac = wl.patterns.clone().expect("patterns");
+    let mut rows = Vec::new();
+    for loss_pct in [0u32, 1, 5, 10] {
+        let mut row = vec![format!("{loss_pct}%")];
+        for mode in [ReassemblyMode::Fast, ReassemblyMode::Strict] {
+            // Deterministic pre-drop: every k-th data-bearing packet.
+            let mut n = 0u64;
+            let lossy: Vec<_> = wl
+                .trace
+                .iter()
+                .filter(|_p| {
+                    if loss_pct == 0 {
+                        return true;
+                    }
+                    n += 1;
+                    (n * u64::from(loss_pct)) % 100 >= u64::from(loss_pct)
+                })
+                .cloned()
+                .collect();
+            let mut sc = scap_config(cfg);
+            sc.reassembly_mode = mode;
+            let (rep, stack) =
+                run_scap(&oracle_engine(), sc, PatternMatchApp::new(ac.clone()), lossy);
+            let _ = &stack;
+            row.push(f1(
+                100.0 * rep.stats.matches as f64 / oracle_matches(cfg, &wl).max(1) as f64
+            ));
+        }
+        rows.push(row);
+    }
+    FigureResult {
+        name: "ablation_reassembly_modes".into(),
+        headers: ["wire_loss", "fast_matched%", "strict_matched%"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+        notes: vec![
+            "both modes recover equally by termination-time flush on this workload; strict differs in buffering latency and memory under sustained holes".into(),
+        ],
+    }
+}
+
+/// The overload cutoff (PPL tail shedding) on vs. off at an overload
+/// rate: what keeps matches alive under pressure.
+fn ablation_overload_cutoff(cfg: &ExpConfig) -> FigureResult {
+    let wl = pattern_workload(cfg);
+    let truth = oracle_matches(cfg, &wl).max(1);
+    let eng = engine();
+    let ac = wl.patterns.clone().expect("patterns");
+    let mut rows = Vec::new();
+    for (label, cutoff) in [
+        ("off", None),
+        ("16K", Some(16u64 << 10)),
+        ("64K", Some(64 << 10)),
+        ("256K", Some(256 << 10)),
+    ] {
+        let mut sc = scap_config(cfg);
+        sc.ppl.overload_cutoff = cutoff;
+        let (rep, _s) = run_scap(&eng, sc, PatternMatchApp::new(ac.clone()), wl.at_rate(5.0));
+        rows.push(vec![
+            label.to_string(),
+            f1(rep.stats.drop_percent()),
+            f1(100.0 * rep.stats.matches as f64 / truth as f64),
+        ]);
+    }
+    FigureResult {
+        name: "ablation_overload_cutoff".into(),
+        headers: ["overload_cutoff", "drop%", "matched%"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+        notes: vec![
+            "at 5 Gbit/s, single worker: shedding stream tails early keeps the match-bearing stream heads alive".into(),
+        ],
+    }
+}

@@ -1,0 +1,209 @@
+//! Configuration: everything `scap_create` and the `scap_set_*` family
+//! control in the paper's Table 1.
+
+use scap_filter::Filter;
+use scap_memory::PplConfig;
+use scap_reassembly::{OverlapPolicy, ReassemblyMode};
+use scap_wire::{Direction, FlowKey};
+
+/// Stream cutoffs: default, per-direction, and per-class (§2.1).
+///
+/// Precedence when a stream is created: the first matching *class*
+/// cutoff wins; otherwise the per-direction cutoff if set; otherwise the
+/// default. Applications can still override per stream afterwards
+/// (`scap_set_stream_cutoff`).
+#[derive(Debug, Default)]
+pub struct CutoffPolicy {
+    /// Default cutoff for all streams (None = unlimited).
+    pub default: Option<u64>,
+    /// Direction-specific overrides (`scap_add_cutoff_direction`).
+    pub per_direction: [Option<u64>; 2],
+    /// Class overrides (`scap_add_cutoff_class`), first match wins.
+    pub classes: Vec<(Filter, u64)>,
+}
+
+impl CutoffPolicy {
+    /// Effective per-direction cutoffs for a new stream.
+    pub fn effective(&self, key: &FlowKey) -> [Option<u64>; 2] {
+        for (filter, value) in &self.classes {
+            if filter.matches_key(key) || filter.matches_key(&key.reversed()) {
+                return [Some(*value), Some(*value)];
+            }
+        }
+        [
+            self.per_direction[Direction::Forward.index()].or(self.default),
+            self.per_direction[Direction::Reverse.index()].or(self.default),
+        ]
+    }
+
+    /// True when no cutoff can ever apply (fast-path check).
+    pub fn is_unlimited(&self) -> bool {
+        self.default.is_none()
+            && self.per_direction.iter().all(Option::is_none)
+            && self.classes.is_empty()
+    }
+}
+
+/// Priority assignment at stream creation: first matching filter wins.
+#[derive(Debug, Default)]
+pub struct PriorityPolicy {
+    /// (filter, priority) pairs; unmatched streams get priority 0.
+    pub classes: Vec<(Filter, u8)>,
+}
+
+impl PriorityPolicy {
+    /// Priority for a new stream.
+    pub fn for_key(&self, key: &FlowKey) -> u8 {
+        for (filter, prio) in &self.classes {
+            if filter.matches_key(key) || filter.matches_key(&key.reversed()) {
+                return *prio;
+            }
+        }
+        0
+    }
+
+    /// Number of distinct priority levels in use (for PPL watermarks).
+    pub fn levels(&self) -> u8 {
+        self.classes
+            .iter()
+            .map(|(_, p)| p + 1)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+/// Full capture configuration (the `scap_create` arguments plus every
+/// `scap_set_*` knob).
+#[derive(Debug)]
+pub struct ScapConfig {
+    /// Stream-memory budget in bytes (`memory_size`).
+    pub memory_bytes: usize,
+    /// TCP reassembly mode (`SCAP_TCP_STRICT` / `SCAP_TCP_FAST`).
+    pub reassembly_mode: ReassemblyMode,
+    /// Default target-based overlap policy.
+    pub overlap_policy: OverlapPolicy,
+    /// Deliver per-packet records alongside chunks (`need_pkts`).
+    pub need_pkts: bool,
+    /// Socket-wide BPF filter (`scap_set_filter`).
+    pub filter: Option<Filter>,
+    /// Cutoff configuration.
+    pub cutoff: CutoffPolicy,
+    /// Priority classes for PPL.
+    pub priorities: PriorityPolicy,
+    /// Worker threads (`scap_set_worker_threads`).
+    pub worker_threads: usize,
+    /// Kernel cores / NIC queues (the sensor machine has 8).
+    pub cores: usize,
+    /// Chunk size (default 16 KB, as in the evaluation).
+    pub chunk_size: usize,
+    /// Chunk overlap bytes.
+    pub overlap: usize,
+    /// Flush timeout for partial chunks (ns).
+    pub flush_timeout_ns: u64,
+    /// Inactivity timeout for stream expiration (ns; paper uses 10 s).
+    pub inactivity_timeout_ns: u64,
+    /// PPL parameters (`base_threshold`, `overload_cutoff`).
+    pub ppl: PplConfig,
+    /// Use NIC flow-director filters for subzero-copy discarding.
+    pub use_fdir: bool,
+    /// Dynamic FDIR load balancing (§2.4): when RSS assigns a new stream
+    /// to a core already holding more than `balance_threshold ×` the
+    /// average stream count, steer the stream to the least-loaded core
+    /// with a flow-director filter instead.
+    pub use_fdir_balancing: bool,
+    /// Imbalance trigger as a multiple of the per-core average.
+    pub balance_threshold: f64,
+    /// RX descriptor ring size per queue.
+    pub rx_ring_slots: usize,
+    /// Maximum queued events per core (beyond this, data chunks are
+    /// dropped; memory pressure usually intervenes first).
+    pub event_queue_cap: usize,
+}
+
+impl Default for ScapConfig {
+    fn default() -> Self {
+        ScapConfig {
+            memory_bytes: 256 << 20,
+            reassembly_mode: ReassemblyMode::Fast,
+            overlap_policy: OverlapPolicy::default(),
+            need_pkts: false,
+            filter: None,
+            cutoff: CutoffPolicy::default(),
+            priorities: PriorityPolicy::default(),
+            worker_threads: 1,
+            cores: 8,
+            chunk_size: 16 << 10,
+            overlap: 0,
+            flush_timeout_ns: 100_000_000,
+            inactivity_timeout_ns: 10_000_000_000,
+            ppl: PplConfig {
+                base_threshold: 0.5,
+                num_priorities: 1,
+                overload_cutoff: None,
+            },
+            use_fdir: false,
+            use_fdir_balancing: false,
+            balance_threshold: 1.5,
+            rx_ring_slots: 4096,
+            event_queue_cap: 1 << 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_wire::Transport;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new_v4([10, 0, 0, 1], [10, 0, 0, 2], 40000, port, Transport::Tcp)
+    }
+
+    #[test]
+    fn cutoff_precedence_class_over_direction_over_default() {
+        let mut c = CutoffPolicy {
+            default: Some(1000),
+            ..Default::default()
+        };
+        assert_eq!(c.effective(&key(80)), [Some(1000), Some(1000)]);
+        c.per_direction[Direction::Reverse.index()] = Some(5000);
+        assert_eq!(c.effective(&key(80)), [Some(1000), Some(5000)]);
+        c.classes
+            .push((Filter::new("port 80").unwrap(), 77));
+        assert_eq!(c.effective(&key(80)), [Some(77), Some(77)]);
+        assert_eq!(c.effective(&key(443)), [Some(1000), Some(5000)]);
+    }
+
+    #[test]
+    fn class_cutoff_matches_either_direction_of_stream() {
+        let c = CutoffPolicy {
+            classes: vec![(Filter::new("src port 80").unwrap(), 9)],
+            ..Default::default()
+        };
+        // The canonical key may have port 80 on either side.
+        assert_eq!(c.effective(&key(80)), [Some(9), Some(9)]);
+        assert_eq!(c.effective(&key(80).reversed()), [Some(9), Some(9)]);
+    }
+
+    #[test]
+    fn unlimited_detection() {
+        assert!(CutoffPolicy::default().is_unlimited());
+        assert!(!CutoffPolicy {
+            default: Some(0),
+            ..Default::default()
+        }
+        .is_unlimited());
+    }
+
+    #[test]
+    fn priority_assignment() {
+        let p = PriorityPolicy {
+            classes: vec![(Filter::new("port 80").unwrap(), 1)],
+        };
+        assert_eq!(p.for_key(&key(80)), 1);
+        assert_eq!(p.for_key(&key(443)), 0);
+        assert_eq!(p.levels(), 2);
+        assert_eq!(PriorityPolicy::default().levels(), 1);
+    }
+}

@@ -1,0 +1,1738 @@
+//! The Scap kernel module, emulated: per-core flow tracking, in-kernel
+//! TCP/UDP stream reassembly into arena chunks, event creation, cutoffs,
+//! PPL, inactivity expiration, and dynamic NIC filter management (§4–§5
+//! of the paper).
+//!
+//! The type is driver-agnostic: the simulation driver pulls packets
+//! through it under cycle budgets and collects the returned [`Work`]
+//! receipts; the live threaded driver calls the same methods and ignores
+//! the receipts. All algorithmic behaviour (what gets tracked, copied,
+//! discarded, dropped, reported) lives here, once.
+
+use crate::config::ScapConfig;
+use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
+use scap_flow::{FlowTable, FlowTableConfig, StreamErrors, StreamId, StreamRecord, StreamStatus};
+use scap_memory::{Arena, ChunkAssembler, ChunkBuf, PplVerdict};
+use scap_nic::{FdirFilter, Nic, NicVerdict};
+use scap_reassembly::{CloseKind, ReasmConfig, ReasmFlags, TcpConn};
+use scap_sim::{CacheSim, StackStats, Work};
+use scap_trace::Packet;
+use scap_wire::{parse_frame, Direction, FlowKey, ParsedPacket, TcpFlags, TcpMeta, Transport};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Approximate header bytes the kernel touches per packet.
+const HDR_TOUCH_BYTES: u64 = 64;
+/// Streams expired per timer pass (bounds softirq latency).
+const EXPIRE_BATCH: usize = 256;
+/// Initial FDIR filter timeout; doubles on each reinstall (§5.5).
+const FDIR_INITIAL_TIMEOUT_NS: u64 = 2_000_000_000;
+
+/// Per-stream kernel-side state (parallel to the flow record).
+struct StreamKState {
+    uid: StreamUid,
+    conn: Option<TcpConn>,
+    asm: [Option<ChunkAssembler>; 2],
+    pkt_records: [Vec<PacketRecord>; 2],
+    flush_armed: [bool; 2],
+    fdir_installed: bool,
+    fdir_timeout_ns: u64,
+    /// Chunks held back by `scap_keep_stream_chunk` for merging.
+    kept: [Option<ChunkBuf>; 2],
+}
+
+impl StreamKState {
+    fn new(uid: StreamUid) -> Self {
+        StreamKState {
+            uid,
+            conn: None,
+            asm: [None, None],
+            pkt_records: [Vec::new(), Vec::new()],
+            flush_armed: [false, false],
+            fdir_installed: false,
+            fdir_timeout_ns: FDIR_INITIAL_TIMEOUT_NS,
+            kept: [None, None],
+        }
+    }
+}
+
+/// Per-stream control operations (the `scap_set_stream_*` family and
+/// `scap_discard_stream` / `scap_keep_stream_chunk` of Table 1),
+/// addressed by the capture-wide stream uid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Stop collecting data for this stream (`scap_discard_stream`).
+    Discard(StreamUid),
+    /// Change the stream's cutoff; `None` direction applies to both.
+    SetCutoff(StreamUid, Option<Direction>, Option<u64>),
+    /// Change the stream's priority (`scap_set_stream_priority`).
+    SetPriority(StreamUid, u8),
+    /// Merge the stream's last chunk into the next one
+    /// (`scap_keep_stream_chunk`); takes effect when the delivered chunk
+    /// is returned via [`ScapKernel::release_data`].
+    KeepChunk(StreamUid, Direction),
+    /// Change the stream's chunk size and overlap
+    /// (`scap_set_stream_parameter`); applies from the next chunk.
+    SetChunkGeometry(StreamUid, u32, u32),
+}
+
+/// One core's kernel instance.
+struct CoreState {
+    flows: FlowTable,
+    kstates: HashMap<StreamId, StreamKState>,
+    events: VecDeque<Event>,
+    /// (deadline, stream, dir, chunk offset when armed) flush timers.
+    flush_timers: VecDeque<(u64, StreamId, Direction, u64)>,
+}
+
+/// Aggregate capture statistics (`scap_get_stats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScapStats {
+    /// Engine-comparable statistics.
+    pub stack: StackStats,
+    /// Chunks delivered.
+    pub chunks: u64,
+    /// Streams expired by inactivity.
+    pub expired_streams: u64,
+    /// FDIR install/remove operations performed.
+    pub fdir_ops: u64,
+    /// Events dropped because a queue overflowed.
+    pub events_dropped: u64,
+    /// Streams steered to a colder core by dynamic load balancing (§2.4).
+    pub rebalanced_streams: u64,
+    /// Wire packets per priority level (indices above the configured
+    /// level count collapse into the top slot).
+    pub wire_by_priority: [u64; 4],
+    /// Overload-dropped packets per priority level (the Fig. 9 metric).
+    pub dropped_by_priority: [u64; 4],
+}
+
+/// The emulated kernel module.
+pub struct ScapKernel {
+    cfg: ScapConfig,
+    nic: Nic<Packet>,
+    cores: Vec<CoreState>,
+    arena: Arena,
+    /// FDIR filter deadlines: (deadline, uid) → (core, id, key).
+    fdir_expiries: BTreeMap<(u64, StreamUid), (usize, StreamId, FlowKey)>,
+    /// Capture-wide uid → (core, id) for control operations.
+    uid_index: HashMap<StreamUid, (usize, StreamId)>,
+    /// Keep-chunk requests awaiting the chunk's return.
+    pending_keep: std::collections::HashSet<(StreamUid, u8)>,
+    uid_counter: u64,
+    stats: ScapStats,
+    /// Optional cache model (Fig. 7 locality experiment).
+    cache: Option<CacheSim>,
+    /// Synthetic DMA-buffer cursor for frame-header touches.
+    dma_cursor: u64,
+}
+
+impl ScapKernel {
+    /// Build the kernel side from a configuration.
+    pub fn new(cfg: ScapConfig) -> Self {
+        let ncores = cfg.cores.max(1);
+        let cores = (0..ncores)
+            .map(|i| CoreState {
+                flows: FlowTable::new(FlowTableConfig::default(), 0x5CA9_0000 + i as u64),
+                kstates: HashMap::new(),
+                events: VecDeque::new(),
+                flush_timers: VecDeque::new(),
+            })
+            .collect();
+        ScapKernel {
+            nic: Nic::new(ncores, cfg.rx_ring_slots),
+            arena: Arena::new(cfg.memory_bytes),
+            cores,
+            fdir_expiries: BTreeMap::new(),
+            uid_index: HashMap::new(),
+            pending_keep: std::collections::HashSet::new(),
+            uid_counter: 0,
+            stats: ScapStats::default(),
+            cache: None,
+            dma_cursor: 0,
+            cfg,
+        }
+    }
+
+    /// Attach a cache model. The kernel then traces its memory touches —
+    /// DMA'd frame headers, flow records, per-stream chunk writes — and
+    /// [`ScapKernel::user_touch_chunk`] traces the worker's reads.
+    pub fn set_cache(&mut self, cache: CacheSim) {
+        self.cache = Some(cache);
+    }
+
+    /// Total cache misses recorded (0 when no cache model is attached).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.misses)
+    }
+
+    /// Synthetic per-stream chunk-region address (128 MB stride per
+    /// stream, one half per direction — the "stream-specific memory
+    /// regions" of the paper, laid out for the cache model).
+    fn chunk_region_addr(uid: StreamUid, dir: Direction, offset: u64) -> u64 {
+        0x100_0000_0000
+            + uid * 0x800_0000
+            + (dir.index() as u64) * 0x400_0000
+            + (offset % 0x400_0000)
+    }
+
+    /// Record the worker reading a delivered chunk; returns misses.
+    pub fn user_touch_chunk(&mut self, chunk: &ChunkBuf) -> u64 {
+        match self.cache.as_mut() {
+            Some(c) if chunk.sim_addr != 0 => c.access(chunk.sim_addr, chunk.len),
+            _ => 0,
+        }
+    }
+
+    /// Apply a per-stream control operation (`scap_set_stream_*`).
+    /// Operations on already-terminated streams are silently ignored,
+    /// matching the racy-but-safe semantics of the real socket calls.
+    pub fn control(&mut self, op: ControlOp) {
+        match op {
+            ControlOp::Discard(uid) => {
+                if let Some(&(core, id)) = self.uid_index.get(&uid) {
+                    if let Some(rec) = self.cores[core].flows.get_mut(id) {
+                        rec.discarded = true;
+                    }
+                }
+            }
+            ControlOp::SetCutoff(uid, dir, value) => {
+                if let Some(&(core, id)) = self.uid_index.get(&uid) {
+                    if let Some(rec) = self.cores[core].flows.get_mut(id) {
+                        match dir {
+                            Some(d) => rec.cutoff[d.index()] = value,
+                            None => rec.cutoff = [value, value],
+                        }
+                    }
+                }
+            }
+            ControlOp::SetPriority(uid, prio) => {
+                if let Some(&(core, id)) = self.uid_index.get(&uid) {
+                    if let Some(rec) = self.cores[core].flows.get_mut(id) {
+                        rec.priority = prio;
+                    }
+                }
+            }
+            ControlOp::KeepChunk(uid, dir) => {
+                self.pending_keep.insert((uid, dir.index() as u8));
+            }
+            ControlOp::SetChunkGeometry(uid, chunk_size, overlap) => {
+                let chunk_size = chunk_size.max(1);
+                let overlap = overlap.min(chunk_size - 1);
+                if let Some(&(core, id)) = self.uid_index.get(&uid) {
+                    if let Some(rec) = self.cores[core].flows.get_mut(id) {
+                        rec.chunk_size = chunk_size;
+                        rec.overlap = overlap;
+                    }
+                    if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
+                        for asm in ks.asm.iter_mut().flatten() {
+                            asm.set_geometry(chunk_size as usize, overlap as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ScapConfig {
+        &self.cfg
+    }
+
+    /// Number of cores / RX queues.
+    pub fn ncores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Aggregate statistics (NIC counters merged in).
+    pub fn stats(&self) -> ScapStats {
+        let mut s = self.stats;
+        let n = self.nic.stats();
+        s.stack.nic_filtered_packets = n.fdir_dropped_frames;
+        s.stack.dropped_packets += n.ring_dropped_frames;
+        s
+    }
+
+    /// Raw NIC counters (diagnostics).
+    pub fn nic_stats(&self) -> scap_nic::NicStats {
+        self.nic.stats()
+    }
+
+    /// Current arena fill fraction (diagnostics).
+    pub fn memory_used_fraction(&self) -> f64 {
+        self.arena.used_fraction()
+    }
+
+    /// Peak arena fill fraction over the capture (diagnostics).
+    pub fn memory_peak_fraction(&self) -> f64 {
+        if self.cfg.memory_bytes == 0 {
+            1.0
+        } else {
+            self.arena.peak_used as f64 / self.cfg.memory_bytes as f64
+        }
+    }
+
+    /// Arena allocation failures (diagnostics).
+    pub fn arena_failures(&self) -> u64 {
+        self.arena.failures
+    }
+
+    /// Live FDIR filter count (diagnostics).
+    pub fn fdir_filters(&self) -> usize {
+        self.nic.fdir().len()
+    }
+
+    /// Pending events on a core's queue.
+    pub fn event_backlog(&self, core: usize) -> usize {
+        self.cores[core].events.len()
+    }
+
+    /// Streams currently tracked on a core.
+    pub fn tracked_streams(&self, core: usize) -> usize {
+        self.cores[core].flows.len()
+    }
+
+    /// Iterate live records on a core (tests and diagnostics).
+    pub fn streams_on_core(&self, core: usize) -> impl Iterator<Item = &StreamRecord> {
+        self.cores[core].flows.iter()
+    }
+
+    /// NIC admission (hardware path, not CPU-budgeted): RSS/FDIR decide
+    /// the fate and queue. Returns the verdict for telemetry.
+    pub fn nic_receive(&mut self, pkt: &Packet) -> NicVerdict {
+        self.stats.stack.wire_packets += 1;
+        self.stats.stack.wire_bytes += pkt.len() as u64;
+        let parsed = match parse_frame(&pkt.frame) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.stack.discarded_packets += 1;
+                return NicVerdict::DroppedByFilter;
+            }
+        };
+        // Dynamic load balancing (§2.4): a brand-new stream whose RSS
+        // target core is overloaded gets steered — both directions — to
+        // the least-loaded core before it is ever tracked.
+        if self.cfg.use_fdir_balancing {
+            if let (Some(key), Some(meta)) = (parsed.key, parsed.tcp) {
+                if meta.flags.is_syn_only() {
+                    self.maybe_rebalance(&key);
+                }
+            }
+        }
+        let verdict = self.nic.receive(&parsed, pkt.clone());
+        if verdict == NicVerdict::DroppedByFilter {
+            // Subzero copy: never reaches main memory.
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+        }
+        verdict
+    }
+
+    /// Steer a new stream away from an overloaded core (§2.4).
+    fn maybe_rebalance(&mut self, key: &FlowKey) {
+        let target = self.nic.rss_queue(key);
+        let counts: Vec<usize> = (0..self.cores.len())
+            .map(|c| self.cores[c].flows.len())
+            .collect();
+        let total: usize = counts.iter().sum();
+        if total < self.cores.len() * 8 {
+            return; // too few streams for imbalance to mean anything
+        }
+        let avg = total as f64 / self.cores.len() as f64;
+        if (counts[target] as f64) <= avg * self.cfg.balance_threshold {
+            return;
+        }
+        let coldest = counts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        if coldest == target || self.nic.fdir().free() < 2 {
+            return;
+        }
+        // Steer both directions so the whole connection lands on one
+        // core (the same property the symmetric RSS seed provides).
+        let _ = self.nic.fdir_mut().add(scap_nic::FdirFilter::steer(*key, coldest));
+        let _ = self
+            .nic
+            .fdir_mut()
+            .add(scap_nic::FdirFilter::steer(key.reversed(), coldest));
+        self.stats.fdir_ops += 2;
+        self.stats.rebalanced_streams += 1;
+    }
+
+    /// Process one packet from a core's RX ring. Returns the work done,
+    /// or `None` when the ring was empty.
+    pub fn kernel_poll(&mut self, core: usize, now: u64) -> Option<Work> {
+        let pkt = self.nic.queue_mut(core).pop()?;
+        let mut work = Work {
+            k_packets: 1,
+            k_bytes_touched: HDR_TOUCH_BYTES.min(pkt.len() as u64),
+            ..Default::default()
+        };
+        self.process_packet(core, &pkt, now, &mut work);
+        Some(work)
+    }
+
+    fn next_uid(&mut self) -> StreamUid {
+        self.uid_counter += 1;
+        self.uid_counter
+    }
+
+    fn snapshot_rec(rec: &StreamRecord, uid: StreamUid) -> StreamSnapshot {
+        StreamSnapshot {
+            uid,
+            key: rec.key,
+            first_dir: rec.first_dir,
+            status: rec.status,
+            errors: rec.errors,
+            priority: rec.priority,
+            cutoff_exceeded: rec.cutoff_exceeded,
+            dirs: rec.dirs,
+            first_ts_ns: rec.first_ts_ns,
+            last_ts_ns: rec.last_ts_ns,
+            chunks: rec.chunks,
+            processing_time_ns: rec.processing_time_ns,
+        }
+    }
+
+    fn snapshot(&self, core: usize, id: StreamId) -> StreamSnapshot {
+        let rec = self.cores[core].flows.get(id).expect("live record");
+        let uid = self.cores[core]
+            .kstates
+            .get(&id)
+            .map(|k| k.uid)
+            .unwrap_or(0);
+        Self::snapshot_rec(rec, uid)
+    }
+
+    fn enqueue_event(&mut self, core: usize, ev: Event, work: &mut Work) {
+        if self.cores[core].events.len() >= self.cfg.event_queue_cap {
+            self.stats.events_dropped += 1;
+            if let EventKind::Data { chunk, .. } = ev.kind {
+                self.stats.stack.dropped_bytes += chunk.len as u64;
+                self.arena.release(chunk);
+            }
+            return;
+        }
+        work.k_events += 1;
+        if matches!(ev.kind, EventKind::Data { .. }) {
+            self.stats.chunks += 1;
+        }
+        self.cores[core].events.push_back(ev);
+    }
+
+    fn process_packet(&mut self, core: usize, pkt: &Packet, now: u64, work: &mut Work) {
+        let Ok(parsed) = parse_frame(&pkt.frame) else {
+            self.stats.stack.discarded_packets += 1;
+            return;
+        };
+
+        // Socket-wide BPF filter: discard early, in the kernel.
+        if let Some(f) = &self.cfg.filter {
+            if !f.matches_frame(&pkt.frame) {
+                self.stats.stack.discarded_packets += 1;
+                self.stats.stack.discarded_bytes += pkt.len() as u64;
+                return;
+            }
+        }
+
+        let Some(key) = parsed.key else {
+            self.stats.stack.discarded_packets += 1;
+            return;
+        };
+
+        // Flow lookup / creation.
+        let probes_before = self.cores[core].flows.probes;
+        let lookup = self.cores[core]
+            .flows
+            .lookup_or_insert(&key, now)
+            .expect("scap tables are unbounded");
+        work.k_hash_probes += (self.cores[core].flows.probes - probes_before).max(1);
+        let id = lookup.id;
+        let dir = lookup.direction;
+
+        if let Some(c) = self.cache.as_mut() {
+            // Freshly DMA'd frame: the header lines are cold.
+            self.dma_cursor = (self.dma_cursor + 2048) % (512 << 20);
+            work.k_cache_misses += c.access(0x6000_0000 + self.dma_cursor, 64);
+            // The flow record.
+            let rec_addr =
+                0xA0_0000_0000 + ((core as u64) << 28) + (id.slot() as u64) * 256;
+            work.k_cache_misses += c.access(rec_addr, 128);
+        }
+
+        // TIME_WAIT tombstone: a stream that already terminated keeps its
+        // table slot until the inactivity timeout so stray teardown ACKs
+        // and late retransmissions do not spawn ghost streams. Tombstones
+        // are exactly the records without kernel-side state.
+        if !lookup.created && !self.cores[core].kstates.contains_key(&id) {
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.cores[core].flows.touch(id, now);
+            return;
+        }
+
+        if lookup.created {
+            let uid = self.next_uid();
+            let cutoffs = self.cfg.cutoff.effective(&key);
+            let priority = self.cfg.priorities.for_key(&key);
+            {
+                let rec = self.cores[core].flows.get_mut(id).expect("just created");
+                rec.cutoff = cutoffs;
+                rec.priority = priority;
+                rec.chunk_size = self.cfg.chunk_size as u32;
+                rec.overlap = self.cfg.overlap as u32;
+            }
+            self.cores[core].kstates.insert(id, StreamKState::new(uid));
+            self.uid_index.insert(uid, (core, id));
+            self.stats.stack.streams_created += 1;
+            let snap = self.snapshot(core, id);
+            self.enqueue_event(
+                core,
+                Event {
+                    stream: snap,
+                    kind: EventKind::Created,
+                    core,
+                },
+                work,
+            );
+        }
+
+        // Wire accounting.
+        {
+            let rec = self.cores[core].flows.get_mut(id).expect("live record");
+            rec.dirs[dir.index()].total_pkts += 1;
+            rec.dirs[dir.index()].total_bytes += pkt.len() as u64;
+        }
+        self.cores[core].flows.touch(id, now);
+
+        match key.transport() {
+            Transport::Tcp => self.process_tcp(core, id, dir, pkt, &parsed, now, work),
+            Transport::Udp => self.process_udp(core, id, dir, pkt, &parsed, now, work),
+            Transport::Other(_) => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_tcp(
+        &mut self,
+        core: usize,
+        id: StreamId,
+        dir: Direction,
+        pkt: &Packet,
+        parsed: &ParsedPacket<'_>,
+        now: u64,
+        work: &mut Work,
+    ) {
+        let Some(meta) = parsed.tcp else { return };
+        let payload = parsed.payload();
+
+        let (priority, cutoff, discarded_flag, cutoff_exceeded) = {
+            let rec = self.cores[core].flows.get(id).expect("live");
+            (
+                rec.priority,
+                rec.cutoff[dir.index()],
+                rec.discarded,
+                rec.cutoff_exceeded,
+            )
+        };
+
+        let is_control = meta
+            .flags
+            .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST);
+
+        let asm_offset = {
+            let ks = self.cores[core].kstates.get(&id).expect("kstate");
+            ks.asm[dir.index()]
+                .as_ref()
+                .map(|a| a.stream_offset())
+                .unwrap_or(0)
+        };
+
+        // Zero cutoff (flow-stats-only applications, §3.3.1) and
+        // exceeded cutoffs: discard data before any reassembly work.
+        let beyond_cutoff = cutoff.is_some_and(|c| asm_offset >= c);
+        if (beyond_cutoff || discarded_flag) && !is_control && !payload.is_empty() {
+            {
+                let rec = self.cores[core].flows.get_mut(id).expect("live");
+                rec.dirs[dir.index()].discarded_pkts += 1;
+                rec.dirs[dir.index()].discarded_bytes += pkt.len() as u64;
+                rec.cutoff_exceeded = rec.cutoff_exceeded || beyond_cutoff;
+            }
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            // (Re-)install NIC drop filters: first time normally, again
+            // with a doubled timeout when an expired filter let a data
+            // packet back through (§5.5).
+            if self.cfg.use_fdir {
+                let reinstall = cutoff_exceeded;
+                self.install_fdir(core, id, now, reinstall, work);
+            }
+            return;
+        }
+
+        self.stats.wire_by_priority[priority.min(3) as usize] += 1;
+
+        // Prioritized packet loss: decided before memory is spent.
+        if !payload.is_empty()
+            && self
+                .cfg
+                .ppl
+                .verdict(self.arena.used_fraction(), priority, asm_offset)
+                != PplVerdict::Accept
+        {
+            let rec = self.cores[core].flows.get_mut(id).expect("live");
+            rec.dirs[dir.index()].dropped_pkts += 1;
+            rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
+            self.stats.stack.dropped_packets += 1;
+            self.stats.stack.dropped_bytes += pkt.len() as u64;
+            self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
+            return;
+        }
+
+        // Borrow dance: lift the connection and assembler out of the
+        // kstate so the delivery sink can borrow the arena freely.
+        let mut ks = self.cores[core].kstates.remove(&id).expect("kstate");
+        if ks.conn.is_none() {
+            let rc = ReasmConfig::for_mode(self.cfg.reassembly_mode)
+                .with_policy(self.cfg.overlap_policy);
+            ks.conn = Some(TcpConn::new(rc));
+        }
+        let mut conn = ks.conn.take().expect("just ensured");
+        let (stream_chunk, stream_overlap) = {
+            let rec = self.cores[core].flows.get(id).expect("live");
+            (rec.chunk_size.max(1) as usize, rec.overlap as usize)
+        };
+        let mut asm = ks.asm[dir.index()]
+            .take()
+            .unwrap_or_else(|| ChunkAssembler::new(stream_chunk, stream_overlap.min(stream_chunk - 1)));
+
+        let copied_before = asm.bytes_copied;
+        let mut completed: Vec<ChunkBuf> = Vec::new();
+        let mut oom = false;
+        let mut first_delivery: Option<u64> = None;
+        let cutoff_cap = cutoff.unwrap_or(u64::MAX);
+        let outcome = {
+            let arena = &mut self.arena;
+            let asm_ref = &mut asm;
+            let mut sink = |off: u64, data: &[u8]| {
+                first_delivery.get_or_insert(off);
+                if off >= cutoff_cap {
+                    return;
+                }
+                let allowed = ((cutoff_cap - off) as usize).min(data.len());
+                if asm_ref.append(arena, &data[..allowed], &mut completed).is_err() {
+                    oom = true;
+                }
+            };
+            conn.on_segment(dir, &meta, payload, &mut sink)
+        };
+
+        let copied = asm.bytes_copied - copied_before;
+        work.k_bytes_copied += copied;
+        if copied > 0 {
+            if let Some(c) = self.cache.as_mut() {
+                let base = Self::chunk_region_addr(
+                    ks.uid,
+                    dir,
+                    asm.stream_offset().saturating_sub(copied),
+                );
+                work.k_cache_misses += c.access(base, copied as usize);
+            }
+        }
+
+        if self.cfg.need_pkts && !payload.is_empty() {
+            ks.pkt_records[dir.index()].push(PacketRecord {
+                ts_ns: pkt.ts_ns,
+                wire_len: pkt.len() as u32,
+                payload_len: payload.len() as u32,
+                chunk_off: first_delivery
+                    .map(|o| o.min(u64::from(u32::MAX)) as u32)
+                    .unwrap_or(u32::MAX),
+            });
+        }
+
+        // Accounting and error mapping.
+        {
+            let rec = self.cores[core].flows.get_mut(id).expect("live");
+            let d = &mut rec.dirs[dir.index()];
+            if outcome.data.delivered > 0 || outcome.data.buffered > 0 {
+                d.captured_pkts += 1;
+                d.captured_bytes += (outcome.data.delivered + outcome.data.buffered)
+                    .min(payload.len() as u64);
+            } else if outcome.data.duplicate > 0 {
+                d.discarded_pkts += 1;
+                d.discarded_bytes += outcome.data.duplicate;
+                self.stats.stack.discarded_packets += 1;
+                self.stats.stack.discarded_bytes += outcome.data.duplicate;
+            }
+            if oom {
+                d.dropped_pkts += 1;
+                d.dropped_bytes += pkt.len() as u64;
+                self.stats.stack.dropped_packets += 1;
+                self.stats.stack.dropped_bytes += pkt.len() as u64;
+                self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
+            }
+            let f = conn.flags();
+            for (rf, sf) in [
+                (ReasmFlags::INCOMPLETE_HANDSHAKE, StreamErrors::INCOMPLETE_HANDSHAKE),
+                (ReasmFlags::SEQUENCE_GAP, StreamErrors::SEQUENCE_GAP),
+                (ReasmFlags::INCONSISTENT_OVERLAP, StreamErrors::INCONSISTENT_OVERLAP),
+                (ReasmFlags::INVALID_SEQUENCE, StreamErrors::INVALID_SEQUENCE),
+            ] {
+                if f.contains(rf) {
+                    rec.errors.set(sf);
+                }
+            }
+            self.stats.stack.delivered_bytes += copied;
+        }
+
+        // Newly exceeded cutoff: flush the final partial chunk now and
+        // install NIC filters so the tail never reaches memory.
+        let now_beyond = cutoff.is_some_and(|c| asm.stream_offset() >= c);
+        let mut install_filters = false;
+        if now_beyond && !cutoff_exceeded {
+            self.cores[core].flows.get_mut(id).unwrap().cutoff_exceeded = true;
+            if let Some(tail) = asm.flush() {
+                if tail.len > 0 {
+                    completed.push(tail);
+                } else {
+                    self.arena.release(tail);
+                }
+            }
+            install_filters = self.cfg.use_fdir;
+        }
+
+        // Flush-timer arming for the partial chunk.
+        if asm.has_pending() && !ks.flush_armed[dir.index()] {
+            ks.flush_armed[dir.index()] = true;
+            self.cores[core].flush_timers.push_back((
+                now + self.cfg.flush_timeout_ns,
+                id,
+                dir,
+                asm.stream_offset(),
+            ));
+        }
+
+        let closed = outcome.closed_now;
+        let packets = std::mem::take(&mut ks.pkt_records[dir.index()]);
+        ks.conn = Some(conn);
+        ks.asm[dir.index()] = Some(asm);
+        if !completed.is_empty() {
+            ks.flush_armed[dir.index()] = false;
+        }
+        self.cores[core].kstates.insert(id, ks);
+
+        self.emit_data_events(core, id, dir, completed, packets, work);
+
+        if install_filters {
+            self.install_fdir(core, id, now, false, work);
+        }
+
+        if let Some(kind) = closed {
+            let status = match kind {
+                CloseKind::Fin => StreamStatus::ClosedFin,
+                CloseKind::Rst => StreamStatus::ClosedRst,
+            };
+            self.estimate_fdir_sizes(core, id, &meta, dir);
+            self.terminate_stream(core, id, status, now, true, work);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_udp(
+        &mut self,
+        core: usize,
+        id: StreamId,
+        dir: Direction,
+        pkt: &Packet,
+        parsed: &ParsedPacket<'_>,
+        now: u64,
+        work: &mut Work,
+    ) {
+        let payload = parsed.payload();
+        if payload.is_empty() {
+            return;
+        }
+        let (priority, cutoff, discarded_flag) = {
+            let rec = self.cores[core].flows.get(id).expect("live");
+            (rec.priority, rec.cutoff[dir.index()], rec.discarded)
+        };
+        let (stream_chunk, stream_overlap) = {
+            let rec = self.cores[core].flows.get(id).expect("live");
+            (rec.chunk_size.max(1) as usize, rec.overlap as usize)
+        };
+        let mut ks = self.cores[core].kstates.remove(&id).expect("kstate");
+        let mut asm = ks.asm[dir.index()]
+            .take()
+            .unwrap_or_else(|| ChunkAssembler::new(stream_chunk, stream_overlap.min(stream_chunk - 1)));
+        let offset = asm.stream_offset();
+
+        let beyond = cutoff.is_some_and(|c| offset >= c) || discarded_flag;
+        if beyond {
+            {
+                let rec = self.cores[core].flows.get_mut(id).expect("live");
+                rec.dirs[dir.index()].discarded_pkts += 1;
+                rec.dirs[dir.index()].discarded_bytes += pkt.len() as u64;
+                rec.cutoff_exceeded = true;
+            }
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            ks.asm[dir.index()] = Some(asm);
+            self.cores[core].kstates.insert(id, ks);
+            return;
+        }
+        if self
+            .cfg
+            .ppl
+            .verdict(self.arena.used_fraction(), priority, offset)
+            != PplVerdict::Accept
+        {
+            {
+                let rec = self.cores[core].flows.get_mut(id).expect("live");
+                rec.dirs[dir.index()].dropped_pkts += 1;
+                rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
+            }
+            self.stats.stack.dropped_packets += 1;
+            self.stats.stack.dropped_bytes += pkt.len() as u64;
+            ks.asm[dir.index()] = Some(asm);
+            self.cores[core].kstates.insert(id, ks);
+            return;
+        }
+
+        let cap = cutoff.unwrap_or(u64::MAX);
+        let allowed = ((cap - offset) as usize).min(payload.len());
+        let mut completed = Vec::new();
+        let oom = asm
+            .append(&mut self.arena, &payload[..allowed], &mut completed)
+            .is_err();
+        work.k_bytes_copied += allowed as u64;
+        if allowed > 0 {
+            if let Some(c) = self.cache.as_mut() {
+                let base = Self::chunk_region_addr(ks.uid, dir, offset);
+                work.k_cache_misses += c.access(base, allowed);
+            }
+        }
+
+        if self.cfg.need_pkts {
+            ks.pkt_records[dir.index()].push(PacketRecord {
+                ts_ns: pkt.ts_ns,
+                wire_len: pkt.len() as u32,
+                payload_len: payload.len() as u32,
+                chunk_off: offset.min(u64::from(u32::MAX)) as u32,
+            });
+        }
+        {
+            let rec = self.cores[core].flows.get_mut(id).expect("live");
+            let d = &mut rec.dirs[dir.index()];
+            d.captured_pkts += 1;
+            d.captured_bytes += allowed as u64;
+            if oom {
+                d.dropped_pkts += 1;
+                d.dropped_bytes += pkt.len() as u64;
+                self.stats.stack.dropped_packets += 1;
+                self.stats.stack.dropped_bytes += pkt.len() as u64;
+            }
+        }
+        self.stats.stack.delivered_bytes += allowed as u64;
+
+        if asm.has_pending() && !ks.flush_armed[dir.index()] {
+            ks.flush_armed[dir.index()] = true;
+            self.cores[core].flush_timers.push_back((
+                now + self.cfg.flush_timeout_ns,
+                id,
+                dir,
+                asm.stream_offset(),
+            ));
+        }
+        let packets = std::mem::take(&mut ks.pkt_records[dir.index()]);
+        ks.asm[dir.index()] = Some(asm);
+        if !completed.is_empty() {
+            ks.flush_armed[dir.index()] = false;
+        }
+        self.cores[core].kstates.insert(id, ks);
+        self.emit_data_events(core, id, dir, completed, packets, work);
+    }
+
+    /// Emit data events for completed chunks of a live stream.
+    fn emit_data_events(
+        &mut self,
+        core: usize,
+        id: StreamId,
+        dir: Direction,
+        completed: Vec<ChunkBuf>,
+        packets: Vec<PacketRecord>,
+        work: &mut Work,
+    ) {
+        if completed.is_empty() {
+            // Nothing emitted: retain packet records for the next chunk.
+            if !packets.is_empty() {
+                if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
+                    let mut packets = packets;
+                    packets.append(&mut ks.pkt_records[dir.index()]);
+                    ks.pkt_records[dir.index()] = packets;
+                }
+            }
+            return;
+        }
+        let uid = self.cores[core].kstates.get(&id).map(|k| k.uid).unwrap_or(0);
+        let mut packets = Some(packets);
+        for chunk in completed {
+            // `scap_keep_stream_chunk`: a held-back previous chunk is
+            // merged in front of this one (§3.2).
+            let mut chunk = match self
+                .cores[core]
+                .kstates
+                .get_mut(&id)
+                .and_then(|ks| ks.kept[dir.index()].take())
+            {
+                Some(kept) => self.merge_chunks(kept, chunk, work),
+                None => chunk,
+            };
+            if self.cache.is_some() {
+                chunk.sim_addr = Self::chunk_region_addr(uid, dir, chunk.start_offset);
+            }
+            if let Some(rec) = self.cores[core].flows.get_mut(id) {
+                rec.chunks += 1;
+            }
+            let snap = self.snapshot(core, id);
+            let ev = Event {
+                stream: snap,
+                kind: EventKind::Data {
+                    dir,
+                    chunk,
+                    packets: packets.take().unwrap_or_default(),
+                },
+                core,
+            };
+            self.enqueue_event(core, ev, work);
+        }
+    }
+
+    /// Concatenate a kept chunk with its successor into one larger chunk.
+    fn merge_chunks(&mut self, kept: ChunkBuf, next: ChunkBuf, work: &mut Work) -> ChunkBuf {
+        let total = kept.len + next.len;
+        match self.arena.alloc(total.max(1), kept.start_offset) {
+            Ok(mut merged) => {
+                merged.data[..kept.len].copy_from_slice(kept.bytes());
+                merged.data[kept.len..total].copy_from_slice(next.bytes());
+                merged.len = total;
+                merged.had_error = kept.had_error || next.had_error;
+                work.k_bytes_copied += total as u64;
+                self.arena.release(kept);
+                self.arena.release(next);
+                merged
+            }
+            Err(_) => {
+                // No memory to merge: deliver the newer chunk unmerged.
+                self.arena.release(kept);
+                next
+            }
+        }
+    }
+
+    /// Return a consumed data chunk, honouring any pending keep-chunk
+    /// request for the stream (live-mode workers and the sim stack both
+    /// route chunk returns through here).
+    pub fn release_data(&mut self, uid: StreamUid, dir: Direction, chunk: ChunkBuf) {
+        if self.pending_keep.remove(&(uid, dir.index() as u8)) {
+            if let Some(&(core, id)) = self.uid_index.get(&uid) {
+                if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
+                    if let Some(old) = ks.kept[dir.index()].replace(chunk) {
+                        self.arena.release(old);
+                    }
+                    return;
+                }
+            }
+            // Stream already gone; fall through to plain release.
+        }
+        self.arena.release(chunk);
+    }
+
+    /// Install the paper's two FDIR drop filters for both directions of a
+    /// stream past its cutoff; `reinstall` doubles the timeout.
+    fn install_fdir(
+        &mut self,
+        core: usize,
+        id: StreamId,
+        now: u64,
+        reinstall: bool,
+        work: &mut Work,
+    ) {
+        let Some(rec) = self.cores[core].flows.get(id) else { return };
+        if rec.key.transport() != Transport::Tcp {
+            return;
+        }
+        let key = rec.key;
+        let uid;
+        let timeout;
+        {
+            let Some(ks) = self.cores[core].kstates.get_mut(&id) else { return };
+            if ks.fdir_installed {
+                return;
+            }
+            if reinstall {
+                ks.fdir_timeout_ns = ks.fdir_timeout_ns.saturating_mul(2);
+            }
+            uid = ks.uid;
+            timeout = ks.fdir_timeout_ns;
+        }
+
+        // Make room (4 filters: two flag patterns × two directions) by
+        // evicting the filters with the nearest deadline — short timeout
+        // means not a long-lived stream (§5.5).
+        while self.nic.fdir().free() < 4 {
+            let Some((&(deadline, euid), &(ecore, eid, ekey))) =
+                self.fdir_expiries.iter().next()
+            else {
+                return;
+            };
+            let _ = deadline;
+            self.remove_fdir_filters(ekey, work);
+            if let Some(ks) = self.cores[ecore].kstates.get_mut(&eid) {
+                ks.fdir_installed = false;
+            }
+            self.fdir_expiries.remove(&(deadline, euid));
+        }
+
+        for dkey in [key, key.reversed()] {
+            for flags in [TcpFlags::ACK, TcpFlags::ACK | TcpFlags::PSH] {
+                let _ = self.nic.fdir_mut().add(FdirFilter::drop_tcp_flags(dkey, flags));
+                work.k_fdir_ops += 1;
+                self.stats.fdir_ops += 1;
+            }
+        }
+        if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
+            ks.fdir_installed = true;
+        }
+        self.fdir_expiries.insert((now + timeout, uid), (core, id, key));
+    }
+
+    /// Remove a stream's NIC filters by key (both directions).
+    fn remove_fdir_filters(&mut self, key: FlowKey, work: &mut Work) {
+        let removed = self.nic.fdir_mut().remove_all_for(&key)
+            + self.nic.fdir_mut().remove_all_for(&key.reversed());
+        if removed > 0 {
+            work.k_fdir_ops += 1;
+            self.stats.fdir_ops += 1;
+        }
+    }
+
+    /// On FIN/RST of an FDIR-filtered stream, estimate per-direction
+    /// totals from sequence numbers (per-filter NIC counters don't exist,
+    /// §5.5).
+    fn estimate_fdir_sizes(&mut self, core: usize, id: StreamId, meta: &TcpMeta, dir: Direction) {
+        let Some(ks) = self.cores[core].kstates.get(&id) else { return };
+        if !ks.fdir_installed {
+            return;
+        }
+        let Some(conn) = ks.conn.as_ref() else { return };
+        let fwd_est = conn.dir(dir).rel_offset_of(meta.seq);
+        let rev_est = conn.dir(dir.flip()).rel_offset_of(meta.ack);
+        if let Some(rec) = self.cores[core].flows.get_mut(id) {
+            if let Some(e) = fwd_est {
+                let d = &mut rec.dirs[dir.index()];
+                d.total_bytes = d.total_bytes.max(e);
+            }
+            if let Some(e) = rev_est {
+                let d = &mut rec.dirs[dir.flip().index()];
+                d.total_bytes = d.total_bytes.max(e);
+            }
+        }
+    }
+
+    /// Terminate an in-table stream: remove it, flush everything, emit
+    /// final events. With `timewait`, a tombstone record stays in the
+    /// table so late packets of the 5-tuple are absorbed silently.
+    fn terminate_stream(
+        &mut self,
+        core: usize,
+        id: StreamId,
+        status: StreamStatus,
+        now: u64,
+        timewait: bool,
+        work: &mut Work,
+    ) {
+        let Some(mut rec) = self.cores[core].flows.remove(id) else { return };
+        let ks = self.cores[core].kstates.remove(&id);
+        if ks.is_none() {
+            // Already-reported tombstone: drop silently.
+            return;
+        }
+        rec.status = status;
+        let key = rec.key;
+        let last_ts = rec.last_ts_ns;
+        self.cores[core]
+            .flush_timers
+            .retain(|(_, tid, _, _)| *tid != id);
+        self.finish_removed_stream(core, rec, ks, now, work);
+        if timewait {
+            let lookup = self.cores[core]
+                .flows
+                .lookup_or_insert(&key, last_ts)
+                .expect("unbounded");
+            if let Some(t) = self.cores[core].flows.get_mut(lookup.id) {
+                t.status = status;
+            }
+        }
+    }
+
+    /// Flush and report a stream whose record is already out of the table.
+    fn finish_removed_stream(
+        &mut self,
+        core: usize,
+        mut rec: StreamRecord,
+        ks: Option<StreamKState>,
+        _now: u64,
+        work: &mut Work,
+    ) {
+        let uid = ks.as_ref().map(|k| k.uid).unwrap_or(0);
+        self.uid_index.remove(&uid);
+        self.pending_keep.remove(&(uid, 0));
+        self.pending_keep.remove(&(uid, 1));
+        if let Some(mut ks) = ks {
+            for d in [0usize, 1] {
+                if let Some(kept) = ks.kept[d].take() {
+                    self.arena.release(kept);
+                }
+            }
+            for d in [Direction::Forward, Direction::Reverse] {
+                let mut completed: Vec<ChunkBuf> = Vec::new();
+                let mut asm = ks.asm[d.index()].take();
+                if let Some(conn) = ks.conn.as_mut() {
+                    // Drain buffered out-of-order data.
+                    let arena = &mut self.arena;
+                    let chunk_size = self.cfg.chunk_size;
+                    let overlap = self.cfg.overlap;
+                    let mut copied = 0u64;
+                    let a = asm.get_or_insert_with(|| ChunkAssembler::new(chunk_size, overlap));
+                    conn.dir_mut(d).flush(&mut |_, data: &[u8]| {
+                        copied += data.len() as u64;
+                        let _ = a.append(arena, data, &mut completed);
+                    });
+                    work.k_bytes_copied += copied;
+                    self.stats.stack.delivered_bytes += copied;
+                }
+                if let Some(mut a) = asm {
+                    if let Some(tail) = a.flush() {
+                        if tail.len > 0 {
+                            completed.push(tail);
+                        } else {
+                            self.arena.release(tail);
+                        }
+                    }
+                }
+                let packets = std::mem::take(&mut ks.pkt_records[d.index()]);
+                let mut packets = Some(packets);
+                for mut chunk in completed {
+                    if self.cache.is_some() {
+                        chunk.sim_addr = Self::chunk_region_addr(uid, d, chunk.start_offset);
+                    }
+                    rec.chunks += 1;
+                    let snap = Self::snapshot_rec(&rec, uid);
+                    self.enqueue_event(
+                        core,
+                        Event {
+                            stream: snap,
+                            kind: EventKind::Data {
+                                dir: d,
+                                chunk,
+                                packets: packets.take().unwrap_or_default(),
+                            },
+                            core,
+                        },
+                        work,
+                    );
+                }
+            }
+            if ks.fdir_installed || self.cfg.use_fdir_balancing {
+                let key = rec.key;
+                self.remove_fdir_filters(key, work);
+                self.fdir_expiries.retain(|_, (_, _, k)| *k != key);
+            }
+        }
+        let snap = Self::snapshot_rec(&rec, uid);
+        self.enqueue_event(
+            core,
+            Event {
+                stream: snap,
+                kind: EventKind::Terminated,
+                core,
+            },
+            work,
+        );
+        self.stats.stack.streams_reported += 1;
+    }
+
+    /// Periodic kernel timers for one core: flush timeouts, inactivity
+    /// expiration, and (on core 0) FDIR filter timeouts.
+    pub fn kernel_timers(&mut self, core: usize, now: u64) -> Work {
+        let mut work = Work::default();
+
+        // Flush timeouts.
+        loop {
+            let due = match self.cores[core].flush_timers.front() {
+                Some((deadline, ..)) if *deadline <= now => {
+                    self.cores[core].flush_timers.pop_front()
+                }
+                _ => None,
+            };
+            let Some((_, id, dir, armed_offset)) = due else { break };
+            work.k_timer_ops += 1;
+            let Some(ks) = self.cores[core].kstates.get_mut(&id) else { continue };
+            ks.flush_armed[dir.index()] = false;
+            let Some(asm) = ks.asm[dir.index()].as_mut() else { continue };
+            if !asm.has_pending() || asm.stream_offset() < armed_offset {
+                continue;
+            }
+            if let Some(tail) = asm.flush() {
+                if tail.len > 0 {
+                    let packets = std::mem::take(&mut ks.pkt_records[dir.index()]);
+                    self.emit_data_events(core, id, dir, vec![tail], packets, &mut work);
+                } else {
+                    self.arena.release(tail);
+                }
+            }
+        }
+
+        // Inactivity expiration.
+        let expired = self.cores[core].flows.expire_inactive(
+            now,
+            self.cfg.inactivity_timeout_ns,
+            EXPIRE_BATCH,
+        );
+        for rec in expired {
+            work.k_timer_ops += 1;
+            let id = rec.id;
+            let ks = self.cores[core].kstates.remove(&id);
+            let Some(ks) = ks else {
+                // TIME_WAIT tombstone aging out: already reported.
+                continue;
+            };
+            self.stats.expired_streams += 1;
+            self.cores[core]
+                .flush_timers
+                .retain(|(_, tid, _, _)| *tid != id);
+            self.finish_removed_stream(core, rec, Some(ks), now, &mut work);
+        }
+
+        // FDIR filter timeouts (single hardware table; core 0 owns it).
+        if core == 0 {
+            loop {
+                let Some((&(deadline, uid), &(ecore, eid, ekey))) =
+                    self.fdir_expiries.iter().next()
+                else {
+                    break;
+                };
+                if deadline > now {
+                    break;
+                }
+                self.fdir_expiries.remove(&(deadline, uid));
+                self.remove_fdir_filters(ekey, &mut work);
+                if let Some(ks) = self.cores[ecore].kstates.get_mut(&eid) {
+                    ks.fdir_installed = false;
+                }
+                work.k_timer_ops += 1;
+            }
+        }
+        work
+    }
+
+    /// Pop the next event from a core's queue (user side).
+    pub fn next_event(&mut self, core: usize) -> Option<Event> {
+        self.cores[core].events.pop_front()
+    }
+
+    /// Return a consumed data chunk's memory to the arena.
+    pub fn release_chunk(&mut self, chunk: ChunkBuf) {
+        self.arena.release(chunk);
+    }
+
+    /// End of capture: drain ring backlogs and terminate every remaining
+    /// stream so final events and statistics are complete.
+    pub fn finish(&mut self, now: u64) {
+        for core in 0..self.cores.len() {
+            while self.kernel_poll(core, now).is_some() {}
+            let ids: Vec<StreamId> = self.cores[core].flows.iter().map(|r| r.id).collect();
+            let mut work = Work::default();
+            for id in ids {
+                self.terminate_stream(
+                    core,
+                    id,
+                    StreamStatus::ClosedTimeout,
+                    now,
+                    false,
+                    &mut work,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_trace::gen::{CampusMix, CampusMixConfig};
+    use scap_wire::PacketBuilder;
+
+    fn kernel(cfg: ScapConfig) -> ScapKernel {
+        ScapKernel::new(cfg)
+    }
+
+    fn drive(k: &mut ScapKernel, pkts: &[Packet]) {
+        for (i, p) in pkts.iter().enumerate() {
+            k.nic_receive(p);
+            for c in 0..k.ncores() {
+                while k.kernel_poll(c, p.ts_ns).is_some() {}
+            }
+            if i % 64 == 0 {
+                for c in 0..k.ncores() {
+                    k.kernel_timers(c, p.ts_ns);
+                }
+            }
+        }
+    }
+
+    fn collect_events(k: &mut ScapKernel) -> Vec<Event> {
+        let mut out = Vec::new();
+        for c in 0..k.ncores() {
+            while let Some(ev) = k.next_event(c) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+
+    /// A simple two-direction TCP session as raw packets.
+    fn http_session(payload_c: &[u8], payload_s: &[u8]) -> Vec<Packet> {
+        let c = [10, 0, 0, 1];
+        let s = [93, 184, 216, 34];
+        let (cp, sp) = (43210, 80);
+        let (ic, is) = (1000u32, 5000u32);
+        let mut t = 0u64;
+        let mut nt = || {
+            t += 1_000_000;
+            t
+        };
+        let mut pkts = vec![
+            Packet::new(nt(), PacketBuilder::tcp_v4(c, s, cp, sp, ic, 0, TcpFlags::SYN, b"")),
+            Packet::new(
+                nt(),
+                PacketBuilder::tcp_v4(s, c, sp, cp, is, ic + 1, TcpFlags::SYN | TcpFlags::ACK, b""),
+            ),
+            Packet::new(
+                nt(),
+                PacketBuilder::tcp_v4(c, s, cp, sp, ic + 1, is + 1, TcpFlags::ACK, b""),
+            ),
+        ];
+        let mut seq = ic + 1;
+        for chunk in payload_c.chunks(1000) {
+            pkts.push(Packet::new(
+                nt(),
+                PacketBuilder::tcp_v4(c, s, cp, sp, seq, is + 1, TcpFlags::ACK | TcpFlags::PSH, chunk),
+            ));
+            seq += chunk.len() as u32;
+        }
+        let mut sseq = is + 1;
+        for chunk in payload_s.chunks(1000) {
+            pkts.push(Packet::new(
+                nt(),
+                PacketBuilder::tcp_v4(s, c, sp, cp, sseq, seq, TcpFlags::ACK, chunk),
+            ));
+            sseq += chunk.len() as u32;
+        }
+        pkts.push(Packet::new(
+            nt(),
+            PacketBuilder::tcp_v4(s, c, sp, cp, sseq, seq, TcpFlags::FIN | TcpFlags::ACK, b""),
+        ));
+        pkts.push(Packet::new(
+            nt(),
+            PacketBuilder::tcp_v4(c, s, cp, sp, seq, sseq + 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+        ));
+        pkts
+    }
+
+    #[test]
+    fn session_produces_create_data_terminate() {
+        let mut k = kernel(ScapConfig {
+            chunk_size: 4096,
+            ..Default::default()
+        });
+        let req = vec![b'Q'; 2000];
+        let resp = vec![b'R'; 6000];
+        drive(&mut k, &http_session(&req, &resp));
+        let events = collect_events(&mut k);
+
+        let created = events.iter().filter(|e| matches!(e.kind, EventKind::Created)).count();
+        let terminated = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Terminated))
+            .count();
+        assert_eq!(created, 1);
+        assert_eq!(terminated, 1);
+
+        let mut fwd = Vec::new();
+        let mut rev = Vec::new();
+        for e in &events {
+            if let EventKind::Data { dir, chunk, .. } = &e.kind {
+                match dir {
+                    Direction::Forward => fwd.extend_from_slice(chunk.bytes()),
+                    Direction::Reverse => rev.extend_from_slice(chunk.bytes()),
+                }
+            }
+        }
+        let (a, b) = if fwd.len() == 2000 { (fwd, rev) } else { (rev, fwd) };
+        assert_eq!(a, req);
+        assert_eq!(b, resp);
+
+        let st = k.stats();
+        assert_eq!(st.stack.streams_created, 1);
+        assert_eq!(st.stack.streams_reported, 1);
+        assert_eq!(st.stack.dropped_packets, 0);
+    }
+
+    #[test]
+    fn cutoff_discards_tail_and_reports_flag() {
+        let mut k = kernel(ScapConfig {
+            cutoff: crate::config::CutoffPolicy {
+                default: Some(1000),
+                ..Default::default()
+            },
+            chunk_size: 4096,
+            ..Default::default()
+        });
+        let resp = vec![b'R'; 20_000];
+        drive(&mut k, &http_session(b"Q", &resp));
+        let events = collect_events(&mut k);
+        let mut data_bytes = 0usize;
+        let mut cutoff_seen = false;
+        for e in &events {
+            if let EventKind::Data { chunk, .. } = &e.kind {
+                data_bytes += chunk.len;
+            }
+            if e.stream.cutoff_exceeded {
+                cutoff_seen = true;
+            }
+        }
+        assert!(data_bytes <= 2100, "data {data_bytes}");
+        assert!(cutoff_seen);
+        let st = k.stats();
+        assert!(st.stack.discarded_packets > 10);
+        let term = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Terminated))
+            .unwrap();
+        assert!(term.stream.total_bytes() > 20_000);
+    }
+
+    #[test]
+    fn zero_cutoff_keeps_statistics_without_data() {
+        let mut k = kernel(ScapConfig {
+            cutoff: crate::config::CutoffPolicy {
+                default: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        drive(&mut k, &http_session(&vec![b'Q'; 3000], &vec![b'R'; 9000]));
+        let events = collect_events(&mut k);
+        let data: usize = events.iter().map(|e| e.data_len()).sum();
+        assert_eq!(data, 0);
+        let term = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Terminated))
+            .unwrap();
+        assert!(term.stream.total_bytes() > 12_000);
+        assert!(term.stream.total_pkts() >= 15);
+    }
+
+    #[test]
+    fn fdir_cutoff_drops_at_nic_but_still_terminates() {
+        let mut k = kernel(ScapConfig {
+            cutoff: crate::config::CutoffPolicy {
+                default: Some(1000),
+                ..Default::default()
+            },
+            use_fdir: true,
+            chunk_size: 4096,
+            ..Default::default()
+        });
+        let resp = vec![b'R'; 40_000];
+        drive(&mut k, &http_session(b"Q", &resp));
+        let st = k.stats();
+        assert!(
+            st.stack.nic_filtered_packets > 10,
+            "nic filtered {}",
+            st.stack.nic_filtered_packets
+        );
+        assert!(st.fdir_ops >= 4);
+        let events = collect_events(&mut k);
+        let term = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Terminated))
+            .count();
+        assert_eq!(term, 1);
+        assert_eq!(k.fdir_filters(), 0, "filters must be removed at close");
+    }
+
+    #[test]
+    fn fdir_termination_estimates_flow_size_from_fin() {
+        let mut k = kernel(ScapConfig {
+            cutoff: crate::config::CutoffPolicy {
+                default: Some(1000),
+                ..Default::default()
+            },
+            use_fdir: true,
+            chunk_size: 4096,
+            ..Default::default()
+        });
+        let resp = vec![b'R'; 40_000];
+        drive(&mut k, &http_session(b"Q", &resp));
+        let events = collect_events(&mut k);
+        let term = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Terminated))
+            .unwrap();
+        // Even though most data packets were dropped at the NIC, the
+        // FIN-sequence estimate recovers the true response size.
+        assert!(
+            term.stream.total_bytes() >= 40_000,
+            "estimated bytes {} too small",
+            term.stream.total_bytes()
+        );
+    }
+
+    #[test]
+    fn inactivity_timeout_expires_streams() {
+        let mut k = kernel(ScapConfig {
+            inactivity_timeout_ns: 1_000_000_000,
+            ..Default::default()
+        });
+        let p1 = Packet::new(
+            0,
+            PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 100, 53, b"q1"),
+        );
+        let p2 = Packet::new(
+            1_000_000,
+            PacketBuilder::udp_v4([2, 2, 2, 2], [1, 1, 1, 1], 53, 100, b"r1"),
+        );
+        drive(&mut k, &[p1, p2]);
+        for c in 0..k.ncores() {
+            k.kernel_timers(c, 5_000_000_000);
+        }
+        let events = collect_events(&mut k);
+        let term: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Terminated))
+            .collect();
+        assert_eq!(term.len(), 1);
+        assert_eq!(term[0].stream.status, StreamStatus::ClosedTimeout);
+        assert_eq!(k.stats().expired_streams, 1);
+        let data: usize = events.iter().map(|e| e.data_len()).sum();
+        assert_eq!(data, 4);
+    }
+
+    #[test]
+    fn flush_timeout_delivers_partial_chunks() {
+        let mut k = kernel(ScapConfig {
+            flush_timeout_ns: 50_000_000,
+            chunk_size: 1 << 20, // chunk will never fill on its own
+            ..Default::default()
+        });
+        // Handshake + one data packet, no close.
+        let pkts = &http_session(&vec![b'Q'; 500], b"")[..5];
+        drive(&mut k, pkts);
+        // Before the flush timeout: no data event.
+        let before: usize = {
+            let evs = collect_events(&mut k);
+            evs.iter().map(|e| e.data_len()).sum()
+        };
+        assert_eq!(before, 0);
+        // After the timeout fires the partial chunk is delivered.
+        for c in 0..k.ncores() {
+            k.kernel_timers(c, 1_000_000_000);
+        }
+        let after: usize = collect_events(&mut k).iter().map(|e| e.data_len()).sum();
+        assert_eq!(after, 500);
+    }
+
+    #[test]
+    fn ppl_sheds_low_priority_first_under_memory_pressure() {
+        use scap_filter::Filter;
+        let mut cfg = ScapConfig {
+            memory_bytes: 64 << 10,
+            chunk_size: 4 << 10,
+            ppl: scap_memory::PplConfig {
+                base_threshold: 0.25,
+                num_priorities: 2,
+                overload_cutoff: None,
+            },
+            ..Default::default()
+        };
+        cfg.priorities.classes.push((Filter::new("port 80").unwrap(), 1));
+        let mut k = kernel(cfg);
+
+        let mut pkts = Vec::new();
+        for f in 0..20u8 {
+            let port = if f % 2 == 0 { 80 } else { 9000 + u16::from(f) };
+            let c = [10, 0, 1, f];
+            let s = [20, 0, 0, 1];
+            let isn = 100u32;
+            let mut v = Vec::new();
+            v.push(PacketBuilder::tcp_v4(c, s, 5000, port, isn, 0, TcpFlags::SYN, b""));
+            v.push(PacketBuilder::tcp_v4(s, c, port, 5000, 7, isn + 1, TcpFlags::SYN | TcpFlags::ACK, b""));
+            let mut seq = isn + 1;
+            for _ in 0..8 {
+                let payload = vec![0x41u8; 1400];
+                v.push(PacketBuilder::tcp_v4(c, s, 5000, port, seq, 8, TcpFlags::ACK, &payload));
+                seq += 1400;
+            }
+            for (i, frame) in v.into_iter().enumerate() {
+                pkts.push(Packet::new((i as u64) * 1000, frame));
+            }
+        }
+        pkts.sort_by_key(|p| p.ts_ns);
+        // Events are never consumed, so the arena fills and PPL must act.
+        drive(&mut k, &pkts);
+
+        let st = k.stats();
+        assert!(st.stack.dropped_packets > 0, "no PPL drops under pressure");
+
+        let mut hi_drops = 0u64;
+        let mut lo_drops = 0u64;
+        for c in 0..k.ncores() {
+            for rec in k.streams_on_core(c) {
+                let drops = rec.dirs[0].dropped_pkts + rec.dirs[1].dropped_pkts;
+                if rec.priority == 1 {
+                    hi_drops += drops;
+                } else {
+                    lo_drops += drops;
+                }
+            }
+        }
+        assert!(
+            hi_drops <= lo_drops,
+            "high-priority drops {hi_drops} exceed low-priority {lo_drops}"
+        );
+    }
+
+    #[test]
+    fn campus_trace_roundtrip_accounting() {
+        let mut k = kernel(ScapConfig {
+            memory_bytes: 64 << 20,
+            ..Default::default()
+        });
+        let pkts = CampusMix::new(CampusMixConfig::sized(11, 4 << 20)).collect_all();
+        drive(&mut k, &pkts);
+        k.finish(u64::MAX / 2);
+        let events = collect_events(&mut k);
+        let st = k.stats();
+        assert_eq!(st.stack.wire_packets, pkts.len() as u64);
+        assert_eq!(st.stack.dropped_packets, 0, "no overload expected");
+        assert!(st.stack.streams_created > 10);
+        assert_eq!(st.stack.streams_created, st.stack.streams_reported);
+        let created = events.iter().filter(|e| matches!(e.kind, EventKind::Created)).count();
+        let terminated = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Terminated))
+            .count();
+        assert_eq!(created as u64, st.stack.streams_created);
+        assert_eq!(terminated as u64, st.stack.streams_reported);
+    }
+
+    #[test]
+    fn need_pkts_produces_packet_records() {
+        let mut k = kernel(ScapConfig {
+            need_pkts: true,
+            chunk_size: 2048,
+            ..Default::default()
+        });
+        drive(&mut k, &http_session(&vec![b'Q'; 3000], &vec![b'R'; 3000]));
+        let events = collect_events(&mut k);
+        let mut recs = 0;
+        for e in &events {
+            if let EventKind::Data { packets, .. } = &e.kind {
+                recs += packets.len();
+            }
+        }
+        assert!(recs >= 6, "packet records missing: {recs}");
+    }
+
+    #[test]
+    fn fdir_load_balancing_spreads_a_skewed_workload() {
+        use scap_nic::RssHasher;
+        use scap_wire::{FlowKey, Transport};
+        // Craft client ports so every flow RSS-hashes to queue 0: a
+        // worst-case skew no static hash can fix.
+        let rss = RssHasher::symmetric(4);
+        let server = [192, 0, 2, 1];
+        let client = [10, 0, 0, 1];
+        let mut skewed_ports = Vec::new();
+        let mut port = 1024u16;
+        while skewed_ports.len() < 64 {
+            let key = FlowKey::new_v4(client, server, port, 80, Transport::Tcp);
+            if rss.queue_for(&key) == 0 {
+                skewed_ports.push(port);
+            }
+            port += 1;
+        }
+
+        let run = |balance: bool| -> (Vec<usize>, u64) {
+            let mut k = kernel(ScapConfig {
+                cores: 4,
+                use_fdir_balancing: balance,
+                balance_threshold: 1.2,
+                ..Default::default()
+            });
+            let mut pkts = Vec::new();
+            for (i, &p) in skewed_ports.iter().enumerate() {
+                let t0 = i as u64 * 1_000_000;
+                pkts.push(Packet::new(
+                    t0,
+                    PacketBuilder::tcp_v4(client, server, p, 80, 1, 0, TcpFlags::SYN, b""),
+                ));
+                pkts.push(Packet::new(
+                    t0 + 1000,
+                    PacketBuilder::tcp_v4(
+                        server, client, 80, p, 9, 2, TcpFlags::SYN | TcpFlags::ACK, b"",
+                    ),
+                ));
+                pkts.push(Packet::new(
+                    t0 + 2000,
+                    PacketBuilder::tcp_v4(client, server, p, 80, 2, 10, TcpFlags::ACK, &[0x41; 100]),
+                ));
+            }
+            drive(&mut k, &pkts);
+            let counts = (0..k.ncores()).map(|c| k.tracked_streams(c)).collect();
+            (counts, k.stats().rebalanced_streams)
+        };
+
+        let (skew_counts, rebalanced_off) = run(false);
+        assert_eq!(rebalanced_off, 0);
+        assert_eq!(skew_counts[0], 64, "skew setup failed: {skew_counts:?}");
+
+        let (bal_counts, rebalanced_on) = run(true);
+        assert!(rebalanced_on > 10, "only {rebalanced_on} streams rebalanced");
+        let max = *bal_counts.iter().max().unwrap();
+        assert!(
+            max < 64,
+            "balancing had no effect: {bal_counts:?}"
+        );
+        // Streams ended up on more than one core.
+        assert!(bal_counts.iter().filter(|&&c| c > 0).count() >= 2);
+    }
+
+    #[test]
+    fn bpf_filter_discards_early() {
+        use scap_filter::Filter;
+        let mut k = kernel(ScapConfig {
+            filter: Some(Filter::new("port 9999").unwrap()),
+            ..Default::default()
+        });
+        drive(&mut k, &http_session(&vec![b'Q'; 500], &vec![b'R'; 500]));
+        let st = k.stats();
+        assert_eq!(st.stack.streams_created, 0);
+        assert!(st.stack.discarded_packets > 0);
+    }
+}

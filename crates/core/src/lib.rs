@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! # scap — stream-oriented network traffic capture and analysis
+//!
+//! A from-scratch Rust reproduction of **Scap** (Papadogiannakis,
+//! Polychronakis, Markatos — *Scap: Stream-Oriented Network Traffic
+//! Capture and Analysis for High-Speed Networks*, IMC 2013).
+//!
+//! Scap elevates the transport-layer **stream** to the first-class object
+//! of a capture framework: flow tracking and TCP reassembly run inside
+//! the (emulated) kernel module, applications receive reassembled chunks
+//! in stream-specific memory, uninteresting traffic is discarded as early
+//! as possible — in the kernel or on the (emulated) NIC via flow-director
+//! filters ("subzero copy") — and overload is absorbed by Prioritized
+//! Packet Loss instead of random drops.
+//!
+//! ## Quickstart (§3.3.1 — flow statistics export)
+//!
+//! ```
+//! use scap::{Scap, StreamCtx};
+//!
+//! // scap_create + scap_set_cutoff(0) + scap_dispatch_termination
+//! let mut scap = Scap::builder()
+//!     .cutoff(0)                      // headers only: all data discarded
+//!     .build();
+//! scap.dispatch_termination(|ctx: &StreamCtx<'_>| {
+//!     println!(
+//!         "{} -> {} bytes={} pkts={}",
+//!         ctx.stream.key,
+//!         ctx.stream.status_str(),
+//!         ctx.stream.total_bytes(),
+//!         ctx.stream.total_pkts()
+//!     );
+//! });
+//!
+//! // Capture from a (synthetic) trace instead of a live interface.
+//! let trace = scap_trace::gen::CampusMix::new(
+//!     scap_trace::gen::CampusMixConfig::sized(42, 1 << 20),
+//! );
+//! let stats = scap.start_capture(trace);
+//! assert!(stats.stack.streams_created > 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`config`] — every knob of the paper's Table 1.
+//! * [`kernel`] — the emulated kernel module (flow tracking, in-kernel
+//!   reassembly, chunk memory, events, FDIR management, PPL).
+//! * [`stack`] — the simulation driver ([`stack::ScapSimStack`]) that
+//!   runs the same kernel under the discrete-time performance engine,
+//!   plus the built-in application models used by the experiments.
+//! * [`live`] — the threaded driver: per-core worker threads consuming
+//!   event queues, as `scap_start_capture` does.
+//! * [`sharing`] — multiple applications on one capture (§5.6): the
+//!   kernel reassembles once under a generalized configuration and each
+//!   application sees its own filtered, cutoff-limited view.
+//! * [`event`] — events and the consistent per-event stream snapshot.
+
+pub mod config;
+pub mod event;
+pub mod kernel;
+pub mod live;
+pub mod sharing;
+pub mod stack;
+
+pub use config::{CutoffPolicy, PriorityPolicy, ScapConfig};
+pub use event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
+pub use kernel::{ControlOp, ScapKernel, ScapStats};
+pub use live::{Scap, ScapBuilder, StreamCtx};
+pub use sharing::{union_config, AppSlot, SharedApp, SharedApps};
+pub use stack::{apps, ScapSimStack, SimApp};
+
+// Re-export the vocabulary types applications see.
+pub use scap_flow::{DirStats, StreamErrors, StreamStatus};
+pub use scap_reassembly::{OverlapPolicy, ReassemblyMode};
+pub use scap_wire::{Direction, FlowKey, Transport};

@@ -1,0 +1,569 @@
+//! The live threaded driver and the user-facing API of Table 1.
+//!
+//! [`Scap`] mirrors the paper's C API in builder form:
+//!
+//! | paper                         | here                                   |
+//! |-------------------------------|----------------------------------------|
+//! | `scap_create`                 | [`Scap::builder`] → [`ScapBuilder::build`] |
+//! | `scap_set_filter`             | [`ScapBuilder::filter`]                |
+//! | `scap_set_cutoff`             | [`ScapBuilder::cutoff`]                |
+//! | `scap_add_cutoff_direction`   | [`ScapBuilder::cutoff_direction`]      |
+//! | `scap_add_cutoff_class`       | [`ScapBuilder::cutoff_class`]          |
+//! | `scap_set_worker_threads`     | [`ScapBuilder::worker_threads`]        |
+//! | `scap_set_parameter`          | dedicated builder methods              |
+//! | `scap_dispatch_creation`      | [`Scap::dispatch_creation`]            |
+//! | `scap_dispatch_data`          | [`Scap::dispatch_data`]                |
+//! | `scap_dispatch_termination`   | [`Scap::dispatch_termination`]         |
+//! | `scap_start_capture`          | [`Scap::start_capture`]                |
+//! | `scap_discard_stream`         | [`StreamCtx::discard_stream`]          |
+//! | `scap_set_stream_cutoff`      | [`StreamCtx::set_stream_cutoff`]       |
+//! | `scap_set_stream_priority`    | [`StreamCtx::set_stream_priority`]     |
+//! | `scap_set_stream_parameter`   | [`StreamCtx::set_stream_cutoff`] et al.|
+//! | `scap_keep_stream_chunk`      | [`StreamCtx::keep_chunk`]              |
+//! | `scap_next_stream_packet`     | [`StreamCtx::packets`]                 |
+//! | `scap_get_stats`              | returned by [`Scap::start_capture`], [`Scap::stats`] |
+//! | `scap_close`                  | `drop`                                 |
+//!
+//! The driver spawns one worker thread per configured worker (pinned
+//! one-to-one to the kernel event queues they cover), runs the kernel
+//! data path on the calling thread, and routes control operations and
+//! chunk returns back to the kernel — the PF_SCAP socket and shared
+//! memory of §5, as channels.
+
+use crate::config::ScapConfig;
+use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot};
+use crate::kernel::{ControlOp, ScapKernel, ScapStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use scap_filter::{Filter, FilterError};
+use scap_reassembly::{OverlapPolicy, ReassemblyMode};
+use scap_trace::Packet;
+use scap_wire::Direction;
+use std::sync::Arc;
+
+/// Callback type: runs on worker threads.
+pub type Handler = Arc<dyn Fn(&StreamCtx<'_>) + Send + Sync>;
+
+/// The view handed to callbacks: a consistent stream snapshot, the
+/// delivered data (for data events), and the control surface.
+pub struct StreamCtx<'a> {
+    /// Consistent descriptor snapshot (`sd`).
+    pub stream: &'a StreamSnapshot,
+    /// Data direction, for data events.
+    pub dir: Option<Direction>,
+    /// Reassembled chunk bytes (`sd->data`), for data events.
+    pub data: Option<&'a [u8]>,
+    /// Stream offset of `data[0]` within its direction.
+    pub data_offset: u64,
+    /// Per-packet records (when `need_packets` was configured).
+    pub packet_records: &'a [PacketRecord],
+    ctl: &'a Sender<ControlOp>,
+}
+
+impl StreamCtx<'_> {
+    /// `scap_discard_stream`: stop collecting data for this stream.
+    pub fn discard_stream(&self) {
+        let _ = self.ctl.send(ControlOp::Discard(self.stream.uid));
+    }
+
+    /// `scap_set_stream_cutoff`.
+    pub fn set_stream_cutoff(&self, cutoff: u64) {
+        let _ = self
+            .ctl
+            .send(ControlOp::SetCutoff(self.stream.uid, None, Some(cutoff)));
+    }
+
+    /// Per-direction stream cutoff.
+    pub fn set_stream_cutoff_direction(&self, dir: Direction, cutoff: u64) {
+        let _ = self
+            .ctl
+            .send(ControlOp::SetCutoff(self.stream.uid, Some(dir), Some(cutoff)));
+    }
+
+    /// `scap_set_stream_priority`.
+    pub fn set_stream_priority(&self, priority: u8) {
+        let _ = self
+            .ctl
+            .send(ControlOp::SetPriority(self.stream.uid, priority));
+    }
+
+    /// `scap_set_stream_parameter` for chunk geometry: change this
+    /// stream's chunk size and overlap from the next chunk on.
+    pub fn set_chunk_geometry(&self, chunk_size: u32, overlap: u32) {
+        let _ = self.ctl.send(ControlOp::SetChunkGeometry(
+            self.stream.uid,
+            chunk_size,
+            overlap,
+        ));
+    }
+
+    /// `scap_keep_stream_chunk`: merge this chunk into the next one.
+    ///
+    /// Best-effort in the threaded driver: the request races the kernel's
+    /// own chunk production, so a chunk that completes before the request
+    /// arrives is delivered unmerged (the same asynchrony the real
+    /// socket-based call has).
+    pub fn keep_chunk(&self) {
+        if let Some(d) = self.dir {
+            let _ = self.ctl.send(ControlOp::KeepChunk(self.stream.uid, d));
+        }
+    }
+
+    /// `scap_next_stream_packet`: iterate the chunk's packets in capture
+    /// order, yielding each record and its payload slice within the chunk.
+    pub fn packets(&self) -> impl Iterator<Item = (PacketRecord, Option<&[u8]>)> {
+        let data = self.data;
+        let base = self.data_offset;
+        self.packet_records.iter().map(move |pr| {
+            let slice = match (data, pr.chunk_off) {
+                (Some(d), off) if off != u32::MAX => {
+                    let start = (off as u64).saturating_sub(base) as usize;
+                    let end = (start + pr.payload_len as usize).min(d.len());
+                    (start < end).then(|| &d[start..end])
+                }
+                _ => None,
+            };
+            (*pr, slice)
+        })
+    }
+}
+
+/// Builder for a capture socket (`scap_create` + configuration calls).
+pub struct ScapBuilder {
+    cfg: ScapConfig,
+    filter_err: Option<FilterError>,
+}
+
+impl ScapBuilder {
+    /// Stream-memory budget (`memory_size`).
+    pub fn memory(mut self, bytes: usize) -> Self {
+        self.cfg.memory_bytes = bytes;
+        self
+    }
+
+    /// TCP reassembly mode.
+    pub fn reassembly_mode(mut self, mode: ReassemblyMode) -> Self {
+        self.cfg.reassembly_mode = mode;
+        self
+    }
+
+    /// Target-based overlap policy.
+    pub fn overlap_policy(mut self, policy: OverlapPolicy) -> Self {
+        self.cfg.overlap_policy = policy;
+        self
+    }
+
+    /// Deliver per-packet records with each chunk (`need_pkts`).
+    pub fn need_packets(mut self, yes: bool) -> Self {
+        self.cfg.need_pkts = yes;
+        self
+    }
+
+    /// `scap_set_filter`: BPF filter expression.
+    pub fn filter(mut self, expr: &str) -> Self {
+        match Filter::new(expr) {
+            Ok(f) => self.cfg.filter = Some(f),
+            Err(e) => self.filter_err = Some(e),
+        }
+        self
+    }
+
+    /// `scap_set_cutoff`: default per-stream cutoff in bytes.
+    pub fn cutoff(mut self, bytes: u64) -> Self {
+        self.cfg.cutoff.default = Some(bytes);
+        self
+    }
+
+    /// `scap_add_cutoff_direction`.
+    pub fn cutoff_direction(mut self, dir: Direction, bytes: u64) -> Self {
+        self.cfg.cutoff.per_direction[dir.index()] = Some(bytes);
+        self
+    }
+
+    /// `scap_add_cutoff_class`: cutoff for streams matching a filter.
+    pub fn cutoff_class(mut self, expr: &str, bytes: u64) -> Self {
+        match Filter::new(expr) {
+            Ok(f) => self.cfg.cutoff.classes.push((f, bytes)),
+            Err(e) => self.filter_err = Some(e),
+        }
+        self
+    }
+
+    /// Assign a PPL priority to streams matching a filter.
+    pub fn priority_class(mut self, expr: &str, priority: u8) -> Self {
+        match Filter::new(expr) {
+            Ok(f) => {
+                self.cfg.priorities.classes.push((f, priority));
+                self.cfg.ppl.num_priorities =
+                    self.cfg.ppl.num_priorities.max(priority + 1);
+            }
+            Err(e) => self.filter_err = Some(e),
+        }
+        self
+    }
+
+    /// `scap_set_worker_threads`.
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.cfg.worker_threads = n.max(1);
+        self
+    }
+
+    /// Kernel cores / NIC queues.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cfg.cores = n.max(1);
+        self
+    }
+
+    /// Chunk size parameter.
+    pub fn chunk_size(mut self, bytes: usize) -> Self {
+        self.cfg.chunk_size = bytes.max(1);
+        self
+    }
+
+    /// Inter-chunk overlap parameter.
+    pub fn overlap(mut self, bytes: usize) -> Self {
+        self.cfg.overlap = bytes;
+        self
+    }
+
+    /// Flush timeout parameter.
+    pub fn flush_timeout_ns(mut self, ns: u64) -> Self {
+        self.cfg.flush_timeout_ns = ns;
+        self
+    }
+
+    /// Inactivity timeout parameter.
+    pub fn inactivity_timeout_ns(mut self, ns: u64) -> Self {
+        self.cfg.inactivity_timeout_ns = ns;
+        self
+    }
+
+    /// PPL base threshold (fraction of memory in use).
+    pub fn base_threshold(mut self, frac: f64) -> Self {
+        self.cfg.ppl.base_threshold = frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// PPL overload cutoff (stream offset beyond which bytes are shed
+    /// under pressure).
+    pub fn overload_cutoff(mut self, bytes: u64) -> Self {
+        self.cfg.ppl.overload_cutoff = Some(bytes);
+        self
+    }
+
+    /// Enable NIC flow-director filters (subzero copy).
+    pub fn use_fdir(mut self, yes: bool) -> Self {
+        self.cfg.use_fdir = yes;
+        self
+    }
+
+    /// Finalize; panics on an invalid filter expression (use
+    /// [`ScapBuilder::try_build`] to handle errors).
+    pub fn build(self) -> Scap {
+        self.try_build().expect("invalid filter expression")
+    }
+
+    /// Finalize, surfacing filter-compilation errors.
+    pub fn try_build(mut self) -> Result<Scap, FilterError> {
+        if let Some(e) = self.filter_err.take() {
+            return Err(e);
+        }
+        self.cfg.ppl.num_priorities = self
+            .cfg
+            .ppl
+            .num_priorities
+            .max(self.cfg.priorities.levels());
+        Ok(Scap {
+            cfg: Some(self.cfg),
+            on_create: None,
+            on_data: None,
+            on_termination: None,
+            last_stats: None,
+        })
+    }
+}
+
+/// A capture socket.
+pub struct Scap {
+    cfg: Option<ScapConfig>,
+    on_create: Option<Handler>,
+    on_data: Option<Handler>,
+    on_termination: Option<Handler>,
+    last_stats: Option<ScapStats>,
+}
+
+impl Scap {
+    /// Start configuring a capture (`scap_create`).
+    pub fn builder() -> ScapBuilder {
+        ScapBuilder {
+            cfg: ScapConfig::default(),
+            filter_err: None,
+        }
+    }
+
+    /// `scap_dispatch_creation`.
+    pub fn dispatch_creation<F: Fn(&StreamCtx<'_>) + Send + Sync + 'static>(&mut self, f: F) {
+        self.on_create = Some(Arc::new(f));
+    }
+
+    /// `scap_dispatch_data`.
+    pub fn dispatch_data<F: Fn(&StreamCtx<'_>) + Send + Sync + 'static>(&mut self, f: F) {
+        self.on_data = Some(Arc::new(f));
+    }
+
+    /// `scap_dispatch_termination`.
+    pub fn dispatch_termination<F: Fn(&StreamCtx<'_>) + Send + Sync + 'static>(&mut self, f: F) {
+        self.on_termination = Some(Arc::new(f));
+    }
+
+    /// `scap_get_stats` for the most recent capture.
+    pub fn stats(&self) -> Option<ScapStats> {
+        self.last_stats
+    }
+
+    /// `scap_start_capture`: run the capture over a packet source with
+    /// the configured worker threads; returns the final statistics.
+    ///
+    /// The packet source stands in for the monitored interface: a pcap
+    /// file reader, a synthetic generator, or any packet iterator.
+    pub fn start_capture(&mut self, packets: impl IntoIterator<Item = Packet>) -> ScapStats {
+        let cfg = self.cfg.take().expect("capture already consumed");
+        let nworkers = cfg.worker_threads.max(1);
+        let ncores = cfg.cores.max(1);
+        let mut kernel = ScapKernel::new(cfg);
+
+        // PF_SCAP-socket stand-ins.
+        let (ctl_tx, ctl_rx): (Sender<ControlOp>, Receiver<ControlOp>) = unbounded();
+        let (rel_tx, rel_rx) = unbounded::<Event>();
+        let mut ev_txs = Vec::new();
+        let mut ev_rxs = Vec::new();
+        for _ in 0..nworkers {
+            let (tx, rx) = unbounded::<Event>();
+            ev_txs.push(tx);
+            ev_rxs.push(rx);
+        }
+
+        let handlers = WorkerHandlers {
+            on_create: self.on_create.clone(),
+            on_data: self.on_data.clone(),
+            on_termination: self.on_termination.clone(),
+        };
+
+        let stats = crossbeam::thread::scope(|scope| {
+            // Workers: poll their event channel, run callbacks, return
+            // data chunks for release.
+            let mut joins = Vec::new();
+            for rx in ev_rxs.into_iter() {
+                let h = handlers.clone();
+                let ctl = ctl_tx.clone();
+                let rel = rel_tx.clone();
+                joins.push(scope.spawn(move |_| {
+                    while let Ok(ev) = rx.recv() {
+                        h.dispatch(&ev, &ctl);
+                        if matches!(ev.kind, EventKind::Data { .. }) {
+                            let _ = rel.send(ev);
+                        }
+                    }
+                }));
+            }
+            drop(rel_tx);
+            drop(ctl_tx);
+
+            // Kernel loop on this thread.
+            let mut now = 0u64;
+            let pump =
+                |kernel: &mut ScapKernel, ev_txs: &[Sender<Event>], now: u64| {
+                    for core in 0..ncores {
+                        while kernel.kernel_poll(core, now).is_some() {}
+                        kernel.kernel_timers(core, now);
+                        while let Some(ev) = kernel.next_event(core) {
+                            let _ = ev_txs[core % nworkers].send(ev);
+                        }
+                    }
+                    // Releases and control ops from workers.
+                    while let Ok(op) = ctl_rx.try_recv() {
+                        kernel.control(op);
+                    }
+                    while let Ok(ev) = rel_rx.try_recv() {
+                        if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                            kernel.release_data(ev.stream.uid, dir, chunk);
+                        }
+                    }
+                };
+
+            for pkt in packets {
+                now = pkt.ts_ns;
+                kernel.nic_receive(&pkt);
+                pump(&mut kernel, &ev_txs, now);
+            }
+            kernel.finish(now.saturating_add(1));
+            pump(&mut kernel, &ev_txs, now.saturating_add(1));
+
+            // Close event channels; workers drain and exit.
+            drop(ev_txs);
+            for j in joins {
+                let _ = j.join();
+            }
+            // Final releases.
+            while let Ok(op) = ctl_rx.try_recv() {
+                kernel.control(op);
+            }
+            while let Ok(ev) = rel_rx.try_recv() {
+                if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                    kernel.release_data(ev.stream.uid, dir, chunk);
+                }
+            }
+            kernel.stats()
+        })
+        .expect("worker thread panicked");
+
+        self.last_stats = Some(stats);
+        stats
+    }
+}
+
+#[derive(Clone)]
+struct WorkerHandlers {
+    on_create: Option<Handler>,
+    on_data: Option<Handler>,
+    on_termination: Option<Handler>,
+}
+
+impl WorkerHandlers {
+    fn dispatch(&self, ev: &Event, ctl: &Sender<ControlOp>) {
+        let (handler, dir, data, off, records): (
+            &Option<Handler>,
+            Option<Direction>,
+            Option<&[u8]>,
+            u64,
+            &[PacketRecord],
+        ) = match &ev.kind {
+            EventKind::Created => (&self.on_create, None, None, 0, &[]),
+            EventKind::Data { dir, chunk, packets } => (
+                &self.on_data,
+                Some(*dir),
+                Some(chunk.bytes()),
+                chunk.start_offset,
+                packets.as_slice(),
+            ),
+            EventKind::Terminated => (&self.on_termination, None, None, 0, &[]),
+        };
+        if let Some(h) = handler {
+            let ctx = StreamCtx {
+                stream: &ev.stream,
+                dir,
+                data,
+                data_offset: off,
+                packet_records: records,
+                ctl,
+            };
+            h(&ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_trace::gen::{CampusMix, CampusMixConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn trace() -> Vec<Packet> {
+        CampusMix::new(CampusMixConfig::sized(21, 2 << 20)).collect_all()
+    }
+
+    #[test]
+    fn live_capture_delivers_all_event_kinds() {
+        let created = Arc::new(AtomicU64::new(0));
+        let data_bytes = Arc::new(AtomicU64::new(0));
+        let terminated = Arc::new(AtomicU64::new(0));
+
+        let mut scap = Scap::builder().worker_threads(2).build();
+        {
+            let c = created.clone();
+            scap.dispatch_creation(move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            let d = data_bytes.clone();
+            scap.dispatch_data(move |ctx| {
+                d.fetch_add(ctx.data.map_or(0, |b| b.len() as u64), Ordering::Relaxed);
+            });
+            let t = terminated.clone();
+            scap.dispatch_termination(move |_| {
+                t.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let stats = scap.start_capture(trace());
+        assert_eq!(created.load(Ordering::Relaxed), stats.stack.streams_created);
+        assert_eq!(
+            terminated.load(Ordering::Relaxed),
+            stats.stack.streams_reported
+        );
+        assert!(data_bytes.load(Ordering::Relaxed) > 0);
+        assert_eq!(stats.stack.dropped_packets, 0);
+        assert!(scap.stats().is_some());
+    }
+
+    #[test]
+    fn zero_cutoff_suppresses_data_events() {
+        let data_events = Arc::new(AtomicU64::new(0));
+        let mut scap = Scap::builder().cutoff(0).build();
+        let d = data_events.clone();
+        scap.dispatch_data(move |_| {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        let stats = scap.start_capture(trace());
+        assert_eq!(data_events.load(Ordering::Relaxed), 0);
+        assert!(stats.stack.streams_reported > 0);
+    }
+
+    #[test]
+    fn discard_stream_from_callback_stops_data() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut scap = Scap::builder().chunk_size(1024).build();
+        let s = seen.clone();
+        scap.dispatch_data(move |ctx| {
+            s.fetch_add(ctx.data.map_or(0, |b| b.len() as u64), Ordering::Relaxed);
+            ctx.discard_stream();
+        });
+        let stats = scap.start_capture(trace());
+        // Discards must have kicked in: far less data delivered than
+        // exists on the wire.
+        let delivered = seen.load(Ordering::Relaxed);
+        assert!(delivered > 0);
+        assert!(stats.stack.discarded_packets > 0);
+    }
+
+    #[test]
+    fn filter_restricts_capture() {
+        let mut scap = Scap::builder().filter("udp and port 53").build();
+        let stats = scap.start_capture(trace());
+        assert!(stats.stack.streams_created > 0);
+        assert!(stats.stack.discarded_packets > stats.stack.streams_created);
+    }
+
+    #[test]
+    fn invalid_filter_is_an_error() {
+        assert!(Scap::builder().filter("tcp and and").try_build().is_err());
+    }
+
+    #[test]
+    fn packet_records_iterate_with_payloads() {
+        let pkt_count = Arc::new(AtomicU64::new(0));
+        let payload_bytes = Arc::new(AtomicU64::new(0));
+        let mut scap = Scap::builder().need_packets(true).build();
+        let pc = pkt_count.clone();
+        let pb = payload_bytes.clone();
+        scap.dispatch_data(move |ctx| {
+            for (rec, slice) in ctx.packets() {
+                pc.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = slice {
+                    pb.fetch_add(s.len() as u64, Ordering::Relaxed);
+                }
+                assert!(rec.wire_len > 0);
+            }
+        });
+        scap.start_capture(trace());
+        assert!(pkt_count.load(Ordering::Relaxed) > 0);
+        assert!(payload_bytes.load(Ordering::Relaxed) > 0);
+    }
+}

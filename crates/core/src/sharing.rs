@@ -1,0 +1,428 @@
+//! Multiple applications sharing one capture (§5.6 of the paper).
+//!
+//! When several monitoring applications run on the same sensor, Scap
+//! performs flow tracking and stream reassembly **once**, in the kernel,
+//! and gives every application a shared (read-only) view of each stream.
+//! Because applications have different requirements, the kernel runs a
+//! *generalized* configuration — the union of all BPF filters, the
+//! largest of all cutoffs, packet records if anyone needs them — and the
+//! user-level stub applies each application's own restrictions when
+//! dispatching events: which streams it sees, and up to which stream
+//! offset.
+//!
+//! [`SharedApps`] is that stub: it implements [`SimApp`], so a shared
+//! application group drops into [`crate::ScapSimStack`] unchanged, and
+//! [`union_config`] computes the generalized kernel configuration.
+
+use crate::config::ScapConfig;
+use crate::event::{Event, EventKind, StreamSnapshot};
+use crate::stack::SimApp;
+use scap_filter::{Filter, FilterError};
+use scap_sim::Work;
+use scap_wire::Direction;
+
+/// One application's view of a shared capture.
+pub trait SharedApp {
+    /// A stream matching this application's filter was created.
+    fn on_created(&mut self, _s: &StreamSnapshot) -> Work {
+        Work::default()
+    }
+
+    /// Stream data within this application's cutoff. `offset` is the
+    /// stream offset of `data[0]`.
+    fn on_data(&mut self, s: &StreamSnapshot, dir: Direction, data: &[u8], offset: u64) -> Work;
+
+    /// A stream matching this application's filter terminated.
+    fn on_terminated(&mut self, _s: &StreamSnapshot) -> Work {
+        Work::default()
+    }
+
+    /// Matches found so far (for matching applications).
+    fn matches(&self) -> u64 {
+        0
+    }
+}
+
+/// An application slot: its requirements plus the application itself.
+pub struct AppSlot {
+    /// Display name (diagnostics).
+    pub name: String,
+    /// Stream filter; `None` = all streams.
+    pub filter: Option<Filter>,
+    /// Per-stream cutoff; `None` = unlimited.
+    pub cutoff: Option<u64>,
+    /// The application.
+    pub app: Box<dyn SharedApp>,
+    /// Events delivered to this application.
+    pub events: u64,
+    /// Data bytes this application actually received.
+    pub bytes: u64,
+}
+
+impl AppSlot {
+    /// Build a slot.
+    pub fn new(name: &str, filter: Option<Filter>, cutoff: Option<u64>, app: Box<dyn SharedApp>) -> Self {
+        AppSlot {
+            name: name.to_string(),
+            filter,
+            cutoff,
+            app,
+            events: 0,
+            bytes: 0,
+        }
+    }
+
+    fn wants(&self, s: &StreamSnapshot) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => f.matches_key(&s.key) || f.matches_key(&s.key.reversed()),
+        }
+    }
+}
+
+/// The generalized kernel configuration for a set of applications:
+/// union of filters, maximum cutoff, packet records if any slot needs
+/// them (the "best effort approach to satisfy all requirements").
+pub fn union_config(
+    mut base: ScapConfig,
+    slots: &[AppSlot],
+    need_pkts: bool,
+) -> Result<ScapConfig, FilterError> {
+    // Filters: if any application wants everything, so does the kernel;
+    // otherwise the union of the individual filters.
+    let mut union: Option<Filter> = None;
+    let mut unrestricted = slots.is_empty();
+    for slot in slots {
+        match &slot.filter {
+            None => {
+                unrestricted = true;
+                break;
+            }
+            Some(f) => {
+                union = Some(match union {
+                    None => f.clone(),
+                    Some(u) => u.union(f)?,
+                });
+            }
+        }
+    }
+    base.filter = if unrestricted { None } else { union };
+
+    // Cutoff: the largest requirement wins; any unlimited app ⇒ unlimited.
+    let mut cutoff: Option<u64> = Some(0);
+    for slot in slots {
+        cutoff = match (cutoff, slot.cutoff) {
+            (None, _) | (_, None) => None,
+            (Some(a), Some(b)) => Some(a.max(b)),
+        };
+    }
+    base.cutoff.default = cutoff;
+    base.need_pkts = need_pkts;
+    Ok(base)
+}
+
+/// The user-level dispatcher for shared captures.
+pub struct SharedApps {
+    slots: Vec<AppSlot>,
+}
+
+impl SharedApps {
+    /// Build from application slots.
+    pub fn new(slots: Vec<AppSlot>) -> Self {
+        SharedApps { slots }
+    }
+
+    /// The slots (inspection after a run).
+    pub fn slots(&self) -> &[AppSlot] {
+        &self.slots
+    }
+}
+
+impl SimApp for SharedApps {
+    fn on_event(&mut self, ev: &Event) -> Work {
+        let mut total = Work::default();
+        for slot in &mut self.slots {
+            if !slot.wants(&ev.stream) {
+                continue;
+            }
+            let w = match &ev.kind {
+                EventKind::Created => {
+                    slot.events += 1;
+                    slot.app.on_created(&ev.stream)
+                }
+                EventKind::Terminated => {
+                    slot.events += 1;
+                    slot.app.on_terminated(&ev.stream)
+                }
+                EventKind::Data { dir, chunk, .. } => {
+                    // Per-application cutoff: deliver only the prefix of
+                    // the stream this application asked for. The data is
+                    // shared — no copy — the slice just ends earlier.
+                    let cap = slot.cutoff.unwrap_or(u64::MAX);
+                    if chunk.start_offset >= cap {
+                        continue;
+                    }
+                    let allowed =
+                        ((cap - chunk.start_offset) as usize).min(chunk.len);
+                    slot.events += 1;
+                    slot.bytes += allowed as u64;
+                    slot.app
+                        .on_data(&ev.stream, *dir, &chunk.bytes()[..allowed], chunk.start_offset)
+                }
+            };
+            total.add(&w);
+        }
+        total
+    }
+
+    fn matches(&self) -> u64 {
+        self.slots.iter().map(|s| s.app.matches()).sum()
+    }
+}
+
+/// Ready-made shared applications.
+pub mod shared_apps {
+    use super::SharedApp;
+    use crate::event::StreamSnapshot;
+    use scap_patterns::{AhoCorasick, MatcherState};
+    use scap_sim::Work;
+    use scap_wire::Direction;
+    use std::collections::HashMap;
+
+    /// Flow accounting: counts streams and wire bytes at termination.
+    #[derive(Default)]
+    pub struct SharedFlowStats {
+        /// Streams reported.
+        pub flows: u64,
+        /// Wire bytes across reported streams.
+        pub wire_bytes: u64,
+    }
+
+    impl SharedApp for SharedFlowStats {
+        fn on_data(&mut self, _s: &StreamSnapshot, _d: Direction, _data: &[u8], _o: u64) -> Work {
+            Work::default()
+        }
+
+        fn on_terminated(&mut self, s: &StreamSnapshot) -> Work {
+            self.flows += 1;
+            self.wire_bytes += s.total_bytes();
+            Work::default()
+        }
+    }
+
+    /// Pattern matching over the shared stream view.
+    pub struct SharedMatcher {
+        ac: AhoCorasick,
+        states: HashMap<(u64, u8), MatcherState>,
+        found: u64,
+        /// Data bytes scanned.
+        pub scanned: u64,
+    }
+
+    impl SharedMatcher {
+        /// Build from a compiled automaton.
+        pub fn new(ac: AhoCorasick) -> Self {
+            SharedMatcher {
+                ac,
+                states: HashMap::new(),
+                found: 0,
+                scanned: 0,
+            }
+        }
+    }
+
+    impl SharedApp for SharedMatcher {
+        fn on_data(&mut self, s: &StreamSnapshot, dir: Direction, data: &[u8], _o: u64) -> Work {
+            let st = self
+                .states
+                .entry((s.uid, dir.index() as u8))
+                .or_default();
+            self.found += self.ac.count(st, data);
+            self.scanned += data.len() as u64;
+            Work {
+                u_bytes_scanned: data.len() as u64,
+                ..Default::default()
+            }
+        }
+
+        fn on_terminated(&mut self, s: &StreamSnapshot) -> Work {
+            self.states.remove(&(s.uid, 0));
+            self.states.remove(&(s.uid, 1));
+            Work::default()
+        }
+
+        fn matches(&self) -> u64 {
+            self.found
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shared_apps::{SharedFlowStats, SharedMatcher};
+    use super::*;
+    use crate::kernel::ScapKernel;
+    use crate::stack::ScapSimStack;
+    use scap_patterns::AhoCorasick;
+    use scap_sim::{CostModel, Engine, EngineConfig};
+    use scap_trace::gen::{CampusMix, CampusMixConfig};
+    use std::sync::Arc;
+
+    fn oracle() -> Engine {
+        Engine::new(EngineConfig {
+            model: CostModel {
+                core_hz: 1e15,
+                ..CostModel::default()
+            },
+            ..EngineConfig::default()
+        })
+    }
+
+    fn base_config() -> ScapConfig {
+        ScapConfig {
+            inactivity_timeout_ns: 500_000_000,
+            ..ScapConfig::default()
+        }
+    }
+
+    #[test]
+    fn union_config_generalizes_requirements() {
+        let slots = vec![
+            AppSlot::new(
+                "stats",
+                Some(Filter::new("tcp").unwrap()),
+                Some(0),
+                Box::new(SharedFlowStats::default()),
+            ),
+            AppSlot::new(
+                "ids",
+                Some(Filter::new("port 80").unwrap()),
+                Some(10_000),
+                Box::new(SharedFlowStats::default()),
+            ),
+        ];
+        let cfg = union_config(base_config(), &slots, false).unwrap();
+        // Cutoff: the largest of (0, 10_000).
+        assert_eq!(cfg.cutoff.default, Some(10_000));
+        // Filter: the union matches both tcp and port-80 traffic.
+        let f = cfg.filter.expect("union filter");
+        let tcp_frame = scap_wire::PacketBuilder::tcp_v4(
+            [1, 1, 1, 1], [2, 2, 2, 2], 9, 9999, 1, 1, scap_wire::TcpFlags::ACK, b"",
+        );
+        let udp53 = scap_wire::PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 53, 53, b"");
+        let udp80 = scap_wire::PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 80, 9, b"");
+        assert!(f.matches_frame(&tcp_frame));
+        assert!(f.matches_frame(&udp80));
+        assert!(!f.matches_frame(&udp53));
+
+        // Any unlimited app generalizes to "no cutoff, no filter".
+        let slots2 = vec![
+            AppSlot::new("all", None, None, Box::new(SharedFlowStats::default())),
+            AppSlot::new(
+                "ids",
+                Some(Filter::new("port 80").unwrap()),
+                Some(10),
+                Box::new(SharedFlowStats::default()),
+            ),
+        ];
+        let cfg2 = union_config(base_config(), &slots2, false).unwrap();
+        assert!(cfg2.filter.is_none());
+        assert_eq!(cfg2.cutoff.default, None);
+    }
+
+    #[test]
+    fn two_apps_share_one_reassembly_pass() {
+        let pats = vec![b"XXSHAREDPATTERNXX".to_vec()];
+        let trace = CampusMix::new(CampusMixConfig {
+            patterns: Some(Arc::new(pats.clone())),
+            pattern_prob: 1.0,
+            ..CampusMixConfig::sized(41, 3 << 20)
+        })
+        .collect_all();
+        let total_flows = scap_trace::stats::TraceStats::from_packets(trace.iter()).flows;
+
+        let slots = vec![
+            AppSlot::new("stats", None, Some(0), Box::new(SharedFlowStats::default())),
+            AppSlot::new(
+                "matcher",
+                None,
+                None,
+                Box::new(SharedMatcher::new(AhoCorasick::new(&pats, false))),
+            ),
+        ];
+        let cfg = union_config(base_config(), &slots, false).unwrap();
+        let mut stack = ScapSimStack::new(ScapKernel::new(cfg), SharedApps::new(slots));
+        let report = oracle().run(trace, &mut stack);
+
+        assert_eq!(report.stats.dropped_packets, 0);
+        assert!(report.stats.matches > 0, "matcher found nothing");
+        // The kernel reassembled once; both apps were served from it.
+        let slots = stack.app().slots();
+        assert_eq!(slots[0].name, "stats");
+        assert!(slots[0].events >= total_flows); // termination events
+        assert!(slots[1].bytes > 0);
+        // The stats app asked for cutoff 0: it received no data bytes.
+        assert_eq!(slots[0].bytes, 0);
+    }
+
+    #[test]
+    fn per_app_filter_restricts_stream_visibility() {
+        let trace = CampusMix::new(CampusMixConfig::sized(43, 3 << 20)).collect_all();
+        let slots = vec![
+            AppSlot::new("all", None, Some(0), Box::new(SharedFlowStats::default())),
+            AppSlot::new(
+                "web",
+                Some(Filter::new("port 80").unwrap()),
+                Some(0),
+                Box::new(SharedFlowStats::default()),
+            ),
+        ];
+        let cfg = union_config(base_config(), &slots, false).unwrap();
+        let mut stack = ScapSimStack::new(ScapKernel::new(cfg), SharedApps::new(slots));
+        oracle().run(trace, &mut stack);
+        let slots = stack.app().slots();
+        let all_flows = slots[0].events;
+        let web_flows = slots[1].events;
+        assert!(web_flows > 0, "no port-80 streams seen");
+        assert!(
+            web_flows < all_flows / 2,
+            "web app saw {web_flows} of {all_flows} events — filter not applied?"
+        );
+    }
+
+    #[test]
+    fn per_app_cutoff_trims_delivery() {
+        let trace = CampusMix::new(CampusMixConfig::sized(47, 3 << 20)).collect_all();
+        let slots = vec![
+            AppSlot::new(
+                "headers",
+                None,
+                Some(512),
+                Box::new(SharedMatcher::new(AhoCorasick::new(
+                    &[b"x".to_vec()],
+                    false,
+                ))),
+            ),
+            AppSlot::new(
+                "full",
+                None,
+                None,
+                Box::new(SharedMatcher::new(AhoCorasick::new(
+                    &[b"x".to_vec()],
+                    false,
+                ))),
+            ),
+        ];
+        let cfg = union_config(base_config(), &slots, false).unwrap();
+        let mut stack = ScapSimStack::new(ScapKernel::new(cfg), SharedApps::new(slots));
+        oracle().run(trace, &mut stack);
+        let slots = stack.app().slots();
+        assert!(slots[0].bytes > 0);
+        assert!(
+            slots[0].bytes < slots[1].bytes / 2,
+            "cutoff app received {} vs full app {}",
+            slots[0].bytes,
+            slots[1].bytes
+        );
+    }
+}

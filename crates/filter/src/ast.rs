@@ -1,0 +1,123 @@
+//! Filter expression AST.
+
+/// Endpoint qualifier on an address/port primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Qual {
+    /// `src host`, `src port`, ...
+    Src,
+    /// `dst host`, `dst port`, ...
+    Dst,
+    /// Unqualified: matches either endpoint.
+    Either,
+}
+
+/// Protocol keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoKind {
+    /// Any IPv4 packet.
+    Ip,
+    /// Any IPv6 packet.
+    Ip6,
+    /// TCP over IPv4 or IPv6.
+    Tcp,
+    /// UDP over IPv4 or IPv6.
+    Udp,
+    /// ICMP over IPv4.
+    Icmp,
+}
+
+/// Atomic filter predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primitive {
+    /// Protocol test (`tcp`, `udp`, `ip`, ...).
+    Proto(ProtoKind),
+    /// IPv4 host address test.
+    Host(Qual, [u8; 4]),
+    /// IPv4 network test with prefix length.
+    Net(Qual, [u8; 4], u8),
+    /// Port equality test.
+    Port(Qual, u16),
+    /// Inclusive port range test.
+    PortRange(Qual, u16, u16),
+    /// Frame length ≥ N bytes (`greater N`, tcpdump semantics).
+    Greater(u32),
+    /// Frame length ≤ N bytes (`less N`, tcpdump semantics).
+    Less(u32),
+    /// Matches everything (the empty filter).
+    True,
+}
+
+/// A boolean combination of primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Atomic predicate.
+    Prim(Primitive),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Short-circuit conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for `a and b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `a or b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `not a`.
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(Box::new(a))
+    }
+
+    /// Number of primitives in the expression (complexity metric used by
+    /// the cost model when charging filter evaluation).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Prim(_) => 1,
+            Expr::Not(e) => e.size(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.size() + b.size(),
+        }
+    }
+}
+
+/// The prefix mask for an IPv4 prefix length.
+pub fn v4_mask(prefix: u8) -> u32 {
+    match prefix {
+        0 => 0,
+        p if p >= 32 => u32::MAX,
+        p => u32::MAX << (32 - p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_primitives() {
+        let e = Expr::and(
+            Expr::Prim(Primitive::Proto(ProtoKind::Tcp)),
+            Expr::or(
+                Expr::Prim(Primitive::Port(Qual::Either, 80)),
+                Expr::not(Expr::Prim(Primitive::Port(Qual::Either, 443))),
+            ),
+        );
+        assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(v4_mask(0), 0);
+        assert_eq!(v4_mask(8), 0xFF00_0000);
+        assert_eq!(v4_mask(24), 0xFFFF_FF00);
+        assert_eq!(v4_mask(32), 0xFFFF_FFFF);
+        assert_eq!(v4_mask(33), 0xFFFF_FFFF);
+    }
+}

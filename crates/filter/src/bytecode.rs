@@ -1,0 +1,343 @@
+//! Classic-BPF bytecode: instructions, verifier, and interpreter.
+//!
+//! The instruction set is the cBPF subset that libpcap-generated filters
+//! use, with one documented deviation: jump offsets are `u32` instead of
+//! `u8`, so large compiled filters don't need trampolines. Semantics match
+//! the kernel interpreter:
+//!
+//! * loads are packet-relative and bounds-checked; an out-of-bounds load
+//!   terminates the program with return value 0 (no match);
+//! * `ret k` returns `k` — nonzero means "accept" (snap length in real
+//!   BPF, boolean here);
+//! * the `ldx msh` instruction computes `4 * (pkt[k] & 0x0f)`, the IPv4
+//!   header-length idiom.
+//!
+//! A verifier checks the program before it can run: jumps must land in
+//! bounds and strictly forward (so termination is structural), and every
+//! path must end in a `ret`.
+
+/// A classic-BPF instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `A = u32(pkt[k..k+4])` (big-endian).
+    LdAbsW(u32),
+    /// `A = u16(pkt[k..k+2])`.
+    LdAbsH(u32),
+    /// `A = pkt[k]`.
+    LdAbsB(u32),
+    /// `A = u32(pkt[X+k..])`.
+    LdIndW(u32),
+    /// `A = u16(pkt[X+k..])`.
+    LdIndH(u32),
+    /// `A = pkt[X+k]`.
+    LdIndB(u32),
+    /// `A = k`.
+    LdImm(u32),
+    /// `A = frame length`.
+    LdLen,
+    /// `X = k`.
+    LdxImm(u32),
+    /// `X = 4 * (pkt[k] & 0x0f)` — IPv4 header length.
+    LdxMsh(u32),
+    /// `X = A`.
+    Tax,
+    /// `A = X`.
+    Txa,
+    /// `A &= k`.
+    AluAnd(u32),
+    /// `A |= k`.
+    AluOr(u32),
+    /// `A >>= k`.
+    AluRsh(u32),
+    /// `A <<= k`.
+    AluLsh(u32),
+    /// `A += k`.
+    AluAdd(u32),
+    /// Unconditional relative jump.
+    Ja(u32),
+    /// If `A == k` jump `jt` else `jf` (relative to next instruction).
+    Jeq(u32, u32, u32),
+    /// If `A > k` (unsigned) jump `jt` else `jf`.
+    Jgt(u32, u32, u32),
+    /// If `A >= k` (unsigned) jump `jt` else `jf`.
+    Jge(u32, u32, u32),
+    /// If `A & k != 0` jump `jt` else `jf`.
+    Jset(u32, u32, u32),
+    /// Return constant `k`.
+    RetK(u32),
+    /// Return `A`.
+    RetA,
+}
+
+/// A verified BPF program, ready to run over frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpfProgram {
+    instrs: Vec<Instr>,
+}
+
+/// Why verification rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program has no instructions.
+    Empty,
+    /// A jump target is past the end of the program.
+    JumpOutOfBounds {
+        /// Index of the offending instruction.
+        at: usize,
+    },
+    /// The final instruction can fall through past the end.
+    FallsOffEnd,
+    /// Program exceeds the maximum allowed length.
+    TooLong(usize),
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "empty program"),
+            VerifyError::JumpOutOfBounds { at } => {
+                write!(f, "jump out of bounds at instruction {at}")
+            }
+            VerifyError::FallsOffEnd => write!(f, "execution can fall off program end"),
+            VerifyError::TooLong(n) => write!(f, "program too long ({n} instructions)"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Maximum program length (same spirit as the kernel's BPF_MAXINSNS).
+pub const MAX_INSNS: usize = 4096;
+
+impl BpfProgram {
+    /// Verify and wrap an instruction sequence.
+    pub fn new(instrs: Vec<Instr>) -> Result<Self, VerifyError> {
+        if instrs.is_empty() {
+            return Err(VerifyError::Empty);
+        }
+        if instrs.len() > MAX_INSNS {
+            return Err(VerifyError::TooLong(instrs.len()));
+        }
+        let n = instrs.len();
+        for (i, ins) in instrs.iter().enumerate() {
+            // A jump of `d` from instruction i lands at i + 1 + d; every
+            // landing point must be a real instruction.
+            let lands = |d: u32| i + 1 + (d as usize) < n;
+            match *ins {
+                Instr::Ja(d) => {
+                    if !lands(d) {
+                        return Err(VerifyError::JumpOutOfBounds { at: i });
+                    }
+                }
+                Instr::Jeq(_, jt, jf)
+                | Instr::Jgt(_, jt, jf)
+                | Instr::Jge(_, jt, jf)
+                | Instr::Jset(_, jt, jf) => {
+                    if !lands(jt) || !lands(jf) {
+                        return Err(VerifyError::JumpOutOfBounds { at: i });
+                    }
+                }
+                Instr::RetK(_) | Instr::RetA => {}
+                _ => {
+                    // Straight-line instruction: must have a successor.
+                    if i + 1 >= n {
+                        return Err(VerifyError::FallsOffEnd);
+                    }
+                }
+            }
+        }
+        Ok(BpfProgram { instrs })
+    }
+
+    /// The instruction sequence.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions (cost-model input).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program is empty (never: verification forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Execute over a frame. Returns the program's return value
+    /// (0 = no match). Execution is bounded by the forward-jump
+    /// verification, so this always terminates.
+    pub fn run(&self, pkt: &[u8]) -> u32 {
+        let mut a: u32 = 0;
+        let mut x: u32 = 0;
+        let mut pc: usize = 0;
+        // The verifier guarantees pc stays in bounds and only moves
+        // forward across jumps; the loop is bounded by program length.
+        loop {
+            let ins = self.instrs[pc];
+            pc += 1;
+            match ins {
+                Instr::LdAbsW(k) => match load_w(pkt, k as usize) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Instr::LdAbsH(k) => match load_h(pkt, k as usize) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Instr::LdAbsB(k) => match pkt.get(k as usize) {
+                    Some(v) => a = u32::from(*v),
+                    None => return 0,
+                },
+                Instr::LdIndW(k) => match load_w(pkt, x as usize + k as usize) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Instr::LdIndH(k) => match load_h(pkt, x as usize + k as usize) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Instr::LdIndB(k) => match pkt.get(x as usize + k as usize) {
+                    Some(v) => a = u32::from(*v),
+                    None => return 0,
+                },
+                Instr::LdImm(k) => a = k,
+                Instr::LdLen => a = pkt.len() as u32,
+                Instr::LdxImm(k) => x = k,
+                Instr::LdxMsh(k) => match pkt.get(k as usize) {
+                    Some(v) => x = 4 * u32::from(*v & 0x0F),
+                    None => return 0,
+                },
+                Instr::Tax => x = a,
+                Instr::Txa => a = x,
+                Instr::AluAnd(k) => a &= k,
+                Instr::AluOr(k) => a |= k,
+                Instr::AluRsh(k) => a = a.wrapping_shr(k),
+                Instr::AluLsh(k) => a = a.wrapping_shl(k),
+                Instr::AluAdd(k) => a = a.wrapping_add(k),
+                Instr::Ja(d) => pc += d as usize,
+                Instr::Jeq(k, jt, jf) => pc += if a == k { jt } else { jf } as usize,
+                Instr::Jgt(k, jt, jf) => pc += if a > k { jt } else { jf } as usize,
+                Instr::Jge(k, jt, jf) => pc += if a >= k { jt } else { jf } as usize,
+                Instr::Jset(k, jt, jf) => pc += if a & k != 0 { jt } else { jf } as usize,
+                Instr::RetK(k) => return k,
+                Instr::RetA => return a,
+            }
+        }
+    }
+}
+
+fn load_w(pkt: &[u8], off: usize) -> Option<u32> {
+    let end = off.checked_add(4)?;
+    let b = pkt.get(off..end)?;
+    Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn load_h(pkt: &[u8], off: usize) -> Option<u32> {
+    let end = off.checked_add(2)?;
+    let b = pkt.get(off..end)?;
+    Some(u32::from(u16::from_be_bytes([b[0], b[1]])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ret_k_returns_constant() {
+        let p = BpfProgram::new(vec![Instr::RetK(7)]).unwrap();
+        assert_eq!(p.run(&[]), 7);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(BpfProgram::new(vec![]).unwrap_err(), VerifyError::Empty);
+    }
+
+    #[test]
+    fn falls_off_end_rejected() {
+        assert_eq!(
+            BpfProgram::new(vec![Instr::LdImm(1)]).unwrap_err(),
+            VerifyError::FallsOffEnd
+        );
+    }
+
+    #[test]
+    fn jump_out_of_bounds_rejected() {
+        let err = BpfProgram::new(vec![Instr::Jeq(0, 5, 0), Instr::RetK(0)]).unwrap_err();
+        assert_eq!(err, VerifyError::JumpOutOfBounds { at: 0 });
+    }
+
+    #[test]
+    fn out_of_bounds_load_returns_zero() {
+        let p = BpfProgram::new(vec![Instr::LdAbsW(100), Instr::RetK(1)]).unwrap();
+        assert_eq!(p.run(&[0u8; 10]), 0);
+    }
+
+    #[test]
+    fn ethertype_check_runs() {
+        // ldh [12]; jeq 0x0800 ? ret 1 : ret 0
+        let p = BpfProgram::new(vec![
+            Instr::LdAbsH(12),
+            Instr::Jeq(0x0800, 0, 1),
+            Instr::RetK(1),
+            Instr::RetK(0),
+        ])
+        .unwrap();
+        let mut frame = vec![0u8; 14];
+        frame[12] = 0x08;
+        assert_eq!(p.run(&frame), 1);
+        frame[12] = 0x86;
+        frame[13] = 0xDD;
+        assert_eq!(p.run(&frame), 0);
+    }
+
+    #[test]
+    fn ldx_msh_computes_header_len() {
+        // ldx msh[14]; txa; ret a  -> returns 4*(pkt[14]&0xf)
+        let p = BpfProgram::new(vec![Instr::LdxMsh(14), Instr::Txa, Instr::RetA]).unwrap();
+        let mut frame = vec![0u8; 20];
+        frame[14] = 0x45;
+        assert_eq!(p.run(&frame), 20);
+        frame[14] = 0x47;
+        assert_eq!(p.run(&frame), 28);
+    }
+
+    #[test]
+    fn jset_tests_bits() {
+        let p = BpfProgram::new(vec![
+            Instr::LdAbsB(0),
+            Instr::Jset(0x10, 0, 1),
+            Instr::RetK(1),
+            Instr::RetK(0),
+        ])
+        .unwrap();
+        assert_eq!(p.run(&[0x10]), 1);
+        assert_eq!(p.run(&[0x01]), 0);
+    }
+
+    #[test]
+    fn alu_ops() {
+        let p = BpfProgram::new(vec![
+            Instr::LdImm(0xF0),
+            Instr::AluAnd(0x3C),
+            Instr::AluOr(0x01),
+            Instr::AluLsh(1),
+            Instr::AluRsh(1),
+            Instr::AluAdd(2),
+            Instr::RetA,
+        ])
+        .unwrap();
+        assert_eq!(p.run(&[]), ((0xF0 & 0x3C) | 0x01) + 2);
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        let mut v = vec![Instr::LdImm(0); MAX_INSNS];
+        v.push(Instr::RetK(0));
+        assert!(matches!(
+            BpfProgram::new(v).unwrap_err(),
+            VerifyError::TooLong(_)
+        ));
+    }
+}

@@ -1,0 +1,423 @@
+//! AST → classic-BPF compiler.
+//!
+//! Generates short-circuit control-flow code the way tcpdump's optimizer
+//! lays it out: every subexpression is compiled against a *true label* and
+//! a *false label*; jumps are emitted symbolically and resolved to relative
+//! offsets in a final pass. All jumps are forward, so the verifier's
+//! termination argument holds by construction.
+
+use crate::ast::{v4_mask, Expr, Primitive, ProtoKind, Qual};
+use crate::bytecode::{BpfProgram, Instr};
+use crate::FilterError;
+
+// Frame-layout offsets (Ethernet II, no VLAN).
+const OFF_ETHERTYPE: u32 = 12;
+const OFF_IP4: u32 = 14;
+const OFF_IP4_FRAG: u32 = OFF_IP4 + 6;
+const OFF_IP4_PROTO: u32 = OFF_IP4 + 9;
+const OFF_IP4_SRC: u32 = OFF_IP4 + 12;
+const OFF_IP4_DST: u32 = OFF_IP4 + 16;
+const OFF_IP6_NEXT: u32 = OFF_IP4 + 6;
+const OFF_IP6_SPORT: u32 = OFF_IP4 + 40;
+const OFF_IP6_DPORT: u32 = OFF_IP4 + 42;
+
+const ETH_IP4: u32 = 0x0800;
+const ETH_IP6: u32 = 0x86DD;
+
+type Label = usize;
+
+#[derive(Debug, Clone, Copy)]
+enum JmpKind {
+    Eq,
+    Gt,
+    Ge,
+    Set,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LInstr {
+    Ins(Instr),
+    Jmp(JmpKind, u32, Label, Label),
+    Ja(Label),
+}
+
+#[derive(Default)]
+struct Gen {
+    code: Vec<LInstr>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Gen {
+    fn fresh(&mut self) -> Label {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, l: Label) {
+        debug_assert!(self.labels[l].is_none(), "label bound twice");
+        self.labels[l] = Some(self.code.len());
+    }
+
+    fn ins(&mut self, i: Instr) {
+        self.code.push(LInstr::Ins(i));
+    }
+
+    fn jmp(&mut self, kind: JmpKind, k: u32, jt: Label, jf: Label) {
+        self.code.push(LInstr::Jmp(kind, k, jt, jf));
+    }
+
+    fn ja(&mut self, l: Label) {
+        self.code.push(LInstr::Ja(l));
+    }
+
+    fn resolve(self) -> Result<Vec<Instr>, FilterError> {
+        let lookup = |l: Label, at: usize| -> Result<u32, FilterError> {
+            let target = self.labels[l].ok_or_else(|| {
+                FilterError::Verify(format!("unbound label {l} at instruction {at}"))
+            })?;
+            if target <= at {
+                return Err(FilterError::Verify(format!(
+                    "backward jump to {target} from {at}"
+                )));
+            }
+            Ok((target - at - 1) as u32)
+        };
+        let mut out = Vec::with_capacity(self.code.len());
+        for (i, li) in self.code.iter().enumerate() {
+            out.push(match *li {
+                LInstr::Ins(ins) => ins,
+                LInstr::Ja(l) => Instr::Ja(lookup(l, i)?),
+                LInstr::Jmp(kind, k, jt, jf) => {
+                    let (t, f) = (lookup(jt, i)?, lookup(jf, i)?);
+                    match kind {
+                        JmpKind::Eq => Instr::Jeq(k, t, f),
+                        JmpKind::Gt => Instr::Jgt(k, t, f),
+                        JmpKind::Ge => Instr::Jge(k, t, f),
+                        JmpKind::Set => Instr::Jset(k, t, f),
+                    }
+                }
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Compile an expression to a verified BPF program that returns 1 on match
+/// and 0 otherwise.
+pub fn compile(expr: &Expr) -> Result<BpfProgram, FilterError> {
+    let mut g = Gen::default();
+    let tt = g.fresh();
+    let ff = g.fresh();
+    gen_expr(&mut g, expr, tt, ff);
+    g.bind(tt);
+    g.ins(Instr::RetK(1));
+    g.bind(ff);
+    g.ins(Instr::RetK(0));
+    let code = g.resolve()?;
+    BpfProgram::new(code).map_err(|e| FilterError::Verify(e.to_string()))
+}
+
+fn gen_expr(g: &mut Gen, e: &Expr, tt: Label, ff: Label) {
+    match e {
+        Expr::Prim(p) => gen_prim(g, p, tt, ff),
+        Expr::Not(inner) => gen_expr(g, inner, ff, tt),
+        Expr::And(a, b) => {
+            let mid = g.fresh();
+            gen_expr(g, a, mid, ff);
+            g.bind(mid);
+            gen_expr(g, b, tt, ff);
+        }
+        Expr::Or(a, b) => {
+            let mid = g.fresh();
+            gen_expr(g, a, tt, mid);
+            g.bind(mid);
+            gen_expr(g, b, tt, ff);
+        }
+    }
+}
+
+fn gen_prim(g: &mut Gen, p: &Primitive, tt: Label, ff: Label) {
+    match *p {
+        Primitive::True => g.ja(tt),
+        Primitive::Greater(n) => {
+            g.ins(Instr::LdLen);
+            g.jmp(JmpKind::Ge, n, tt, ff);
+        }
+        Primitive::Less(n) => {
+            // len <= n  ⇔  !(len > n)
+            g.ins(Instr::LdLen);
+            g.jmp(JmpKind::Gt, n, ff, tt);
+        }
+        Primitive::Proto(ProtoKind::Ip) => {
+            g.ins(Instr::LdAbsH(OFF_ETHERTYPE));
+            g.jmp(JmpKind::Eq, ETH_IP4, tt, ff);
+        }
+        Primitive::Proto(ProtoKind::Ip6) => {
+            g.ins(Instr::LdAbsH(OFF_ETHERTYPE));
+            g.jmp(JmpKind::Eq, ETH_IP6, tt, ff);
+        }
+        Primitive::Proto(ProtoKind::Icmp) => {
+            g.ins(Instr::LdAbsH(OFF_ETHERTYPE));
+            let v4 = g.fresh();
+            g.jmp(JmpKind::Eq, ETH_IP4, v4, ff);
+            g.bind(v4);
+            g.ins(Instr::LdAbsB(OFF_IP4_PROTO));
+            g.jmp(JmpKind::Eq, 1, tt, ff);
+        }
+        Primitive::Proto(ProtoKind::Tcp) => gen_l4_proto(g, 6, tt, ff),
+        Primitive::Proto(ProtoKind::Udp) => gen_l4_proto(g, 17, tt, ff),
+        Primitive::Host(q, addr) => gen_addr(g, q, u32::from_be_bytes(addr), u32::MAX, tt, ff),
+        Primitive::Net(q, addr, prefix) => {
+            let mask = v4_mask(prefix);
+            gen_addr(g, q, u32::from_be_bytes(addr) & mask, mask, tt, ff)
+        }
+        Primitive::Port(q, port) => gen_port(g, q, u32::from(port), u32::from(port), tt, ff),
+        Primitive::PortRange(q, lo, hi) => {
+            gen_port(g, q, u32::from(lo), u32::from(hi), tt, ff)
+        }
+    }
+}
+
+/// Protocol test matching both IPv4 and IPv6 carriers.
+fn gen_l4_proto(g: &mut Gen, proto: u32, tt: Label, ff: Label) {
+    let try6 = g.fresh();
+    let v4 = g.fresh();
+    g.ins(Instr::LdAbsH(OFF_ETHERTYPE));
+    g.jmp(JmpKind::Eq, ETH_IP4, v4, try6);
+    g.bind(v4);
+    g.ins(Instr::LdAbsB(OFF_IP4_PROTO));
+    g.jmp(JmpKind::Eq, proto, tt, ff);
+    g.bind(try6);
+    let v6 = g.fresh();
+    g.ins(Instr::LdAbsH(OFF_ETHERTYPE));
+    g.jmp(JmpKind::Eq, ETH_IP6, v6, ff);
+    g.bind(v6);
+    g.ins(Instr::LdAbsB(OFF_IP6_NEXT));
+    g.jmp(JmpKind::Eq, proto, tt, ff);
+}
+
+/// IPv4 address test (hosts are nets with a /32 mask).
+fn gen_addr(g: &mut Gen, q: Qual, value: u32, mask: u32, tt: Label, ff: Label) {
+    let v4 = g.fresh();
+    g.ins(Instr::LdAbsH(OFF_ETHERTYPE));
+    g.jmp(JmpKind::Eq, ETH_IP4, v4, ff);
+    g.bind(v4);
+    let one = |g: &mut Gen, off: u32, t: Label, f: Label| {
+        g.ins(Instr::LdAbsW(off));
+        if mask != u32::MAX {
+            g.ins(Instr::AluAnd(mask));
+        }
+        g.jmp(JmpKind::Eq, value, t, f);
+    };
+    match q {
+        Qual::Src => one(g, OFF_IP4_SRC, tt, ff),
+        Qual::Dst => one(g, OFF_IP4_DST, tt, ff),
+        Qual::Either => {
+            let try_dst = g.fresh();
+            one(g, OFF_IP4_SRC, tt, try_dst);
+            g.bind(try_dst);
+            one(g, OFF_IP4_DST, tt, ff);
+        }
+    }
+}
+
+/// Transport port test with fragment suppression, for IPv4 and IPv6.
+fn gen_port(g: &mut Gen, q: Qual, lo: u32, hi: u32, tt: Label, ff: Label) {
+    // Range check on the value already in A.
+    let range = |g: &mut Gen, t: Label, f: Label| {
+        if lo == hi {
+            g.jmp(JmpKind::Eq, lo, t, f);
+        } else {
+            let upper = g.fresh();
+            g.jmp(JmpKind::Ge, lo, upper, f);
+            g.bind(upper);
+            // A <= hi  ⇔  !(A > hi)
+            g.jmp(JmpKind::Gt, hi, f, t);
+        }
+    };
+
+    let try6 = g.fresh();
+    let v4 = g.fresh();
+    g.ins(Instr::LdAbsH(OFF_ETHERTYPE));
+    g.jmp(JmpKind::Eq, ETH_IP4, v4, try6);
+
+    // IPv4 path: proto must carry ports, packet must not be a later
+    // fragment (ports live only in the first fragment), header length is
+    // variable (ldx msh idiom).
+    g.bind(v4);
+    let proto_ok = g.fresh();
+    let proto_ok2 = g.fresh();
+    g.ins(Instr::LdAbsB(OFF_IP4_PROTO));
+    g.jmp(JmpKind::Eq, 6, proto_ok, proto_ok2);
+    g.bind(proto_ok2);
+    g.jmp(JmpKind::Eq, 17, proto_ok, ff);
+    g.bind(proto_ok);
+    let not_frag = g.fresh();
+    g.ins(Instr::LdAbsH(OFF_IP4_FRAG));
+    g.jmp(JmpKind::Set, 0x1FFF, ff, not_frag);
+    g.bind(not_frag);
+    g.ins(Instr::LdxMsh(OFF_IP4));
+    match q {
+        Qual::Src => {
+            g.ins(Instr::LdIndH(OFF_IP4));
+            range(g, tt, ff);
+        }
+        Qual::Dst => {
+            g.ins(Instr::LdIndH(OFF_IP4 + 2));
+            range(g, tt, ff);
+        }
+        Qual::Either => {
+            let try_dst = g.fresh();
+            g.ins(Instr::LdIndH(OFF_IP4));
+            range(g, tt, try_dst);
+            g.bind(try_dst);
+            g.ins(Instr::LdIndH(OFF_IP4 + 2));
+            range(g, tt, ff);
+        }
+    }
+
+    // IPv6 path: fixed 40-byte header, no extension-header walking (the
+    // workloads in this workspace emit plain TCP/UDP-in-IPv6).
+    g.bind(try6);
+    let v6 = g.fresh();
+    g.ins(Instr::LdAbsH(OFF_ETHERTYPE));
+    g.jmp(JmpKind::Eq, ETH_IP6, v6, ff);
+    g.bind(v6);
+    let p_ok = g.fresh();
+    let p_ok2 = g.fresh();
+    g.ins(Instr::LdAbsB(OFF_IP6_NEXT));
+    g.jmp(JmpKind::Eq, 6, p_ok, p_ok2);
+    g.bind(p_ok2);
+    g.jmp(JmpKind::Eq, 17, p_ok, ff);
+    g.bind(p_ok);
+    match q {
+        Qual::Src => {
+            g.ins(Instr::LdAbsH(OFF_IP6_SPORT));
+            range(g, tt, ff);
+        }
+        Qual::Dst => {
+            g.ins(Instr::LdAbsH(OFF_IP6_DPORT));
+            range(g, tt, ff);
+        }
+        Qual::Either => {
+            let try_dst = g.fresh();
+            g.ins(Instr::LdAbsH(OFF_IP6_SPORT));
+            range(g, tt, try_dst);
+            g.bind(try_dst);
+            g.ins(Instr::LdAbsH(OFF_IP6_DPORT));
+            range(g, tt, ff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use scap_wire::{PacketBuilder, TcpFlags};
+
+    fn run(filter: &str, frame: &[u8]) -> bool {
+        let prog = compile(&parse(filter).unwrap()).unwrap();
+        prog.run(frame) != 0
+    }
+
+    fn tcp_frame(src: [u8; 4], dst: [u8; 4], sp: u16, dp: u16) -> Vec<u8> {
+        PacketBuilder::tcp_v4(src, dst, sp, dp, 1, 1, TcpFlags::ACK, b"data")
+    }
+
+    #[test]
+    fn proto_tests() {
+        let t = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1000, 80);
+        let u = PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 53, 53, b"x");
+        assert!(run("tcp", &t));
+        assert!(!run("udp", &t));
+        assert!(run("udp", &u));
+        assert!(run("ip", &t));
+        assert!(!run("ip6", &t));
+    }
+
+    #[test]
+    fn tcp_over_ipv6_matches() {
+        let f = PacketBuilder::tcp_v6([1u8; 16], [2u8; 16], 1000, 80, 1, 1, TcpFlags::ACK, b"x");
+        assert!(run("tcp", &f));
+        assert!(run("ip6", &f));
+        assert!(run("port 80", &f));
+        assert!(run("src port 1000", &f));
+        assert!(!run("port 81", &f));
+        assert!(!run("ip", &f));
+    }
+
+    #[test]
+    fn host_and_net() {
+        let f = tcp_frame([10, 1, 2, 3], [192, 168, 0, 1], 5, 6);
+        assert!(run("host 10.1.2.3", &f));
+        assert!(run("host 192.168.0.1", &f));
+        assert!(!run("host 10.1.2.4", &f));
+        assert!(run("src host 10.1.2.3", &f));
+        assert!(!run("dst host 10.1.2.3", &f));
+        assert!(run("net 10.0.0.0/8", &f));
+        assert!(run("dst net 192.168.0.0/16", &f));
+        assert!(!run("src net 192.168.0.0/16", &f));
+        assert!(run("net 0.0.0.0/0", &f));
+    }
+
+    #[test]
+    fn ports_and_ranges() {
+        let f = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 40000, 443);
+        assert!(run("port 443", &f));
+        assert!(run("src port 40000", &f));
+        assert!(!run("dst port 40000", &f));
+        assert!(run("portrange 400-500", &f));
+        assert!(run("portrange 40000-40000", &f));
+        assert!(!run("portrange 444-500", &f));
+        assert!(run("dst portrange 443-443", &f));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let f = tcp_frame([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80);
+        assert!(run("tcp and port 80", &f));
+        assert!(run("tcp or udp", &f));
+        assert!(!run("tcp and port 81", &f));
+        assert!(run("not udp", &f));
+        assert!(run("tcp and (port 80 or port 443)", &f));
+        assert!(run("not (udp or icmp)", &f));
+    }
+
+    #[test]
+    fn length_primitives() {
+        let f = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1, 2); // 54 + 4 bytes
+        assert!(run("greater 58", &f));
+        assert!(!run("greater 59", &f));
+        assert!(run("less 58", &f));
+        assert!(!run("less 57", &f));
+    }
+
+    #[test]
+    fn port_filter_ignores_fragments() {
+        let mut f = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1000, 80);
+        // Make it a later fragment: set fragment offset bits.
+        f[14 + 6] = 0x00;
+        f[14 + 7] = 0x10;
+        assert!(!run("port 80", &f));
+        // The pure protocol test still matches.
+        assert!(run("tcp", &f));
+    }
+
+    #[test]
+    fn non_ip_never_matches_l3_primitives() {
+        let mut arp = vec![0u8; 60];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert!(!run("tcp", &arp));
+        assert!(!run("host 1.2.3.4", &arp));
+        assert!(!run("port 80", &arp));
+        assert!(run("not tcp", &arp));
+    }
+
+    #[test]
+    fn truncated_frames_do_not_match() {
+        let f = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1000, 80);
+        assert!(!run("port 80", &f[..20]));
+    }
+}

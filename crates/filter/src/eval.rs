@@ -1,0 +1,234 @@
+//! Direct AST evaluation.
+//!
+//! Two evaluators:
+//!
+//! * [`matches_parsed`] evaluates against a decoded packet — semantically
+//!   identical to the compiled BPF program, and used as the differential-
+//!   testing oracle for the compiler;
+//! * [`matches_key`] evaluates against a bare [`FlowKey`], for contexts
+//!   where only the flow identity exists (per-class stream cutoffs applied
+//!   when a stream is created). Length primitives cannot be decided from a
+//!   key and evaluate to `false`.
+
+use crate::ast::{v4_mask, Expr, Primitive, ProtoKind, Qual};
+use scap_wire::{ip_proto, EtherType, FlowKey, IpAddrBytes, ParsedPacket, Transport};
+
+/// Evaluate an expression against a decoded packet.
+pub fn matches_parsed(e: &Expr, p: &ParsedPacket<'_>) -> bool {
+    match e {
+        Expr::Prim(prim) => prim_matches_parsed(prim, p),
+        Expr::Not(inner) => !matches_parsed(inner, p),
+        Expr::And(a, b) => matches_parsed(a, p) && matches_parsed(b, p),
+        Expr::Or(a, b) => matches_parsed(a, p) || matches_parsed(b, p),
+    }
+}
+
+/// Evaluate an expression against a flow key.
+pub fn matches_key(e: &Expr, key: &FlowKey) -> bool {
+    match e {
+        Expr::Prim(prim) => prim_matches_key(prim, key),
+        Expr::Not(inner) => !matches_key(inner, key),
+        Expr::And(a, b) => matches_key(a, key) && matches_key(b, key),
+        Expr::Or(a, b) => matches_key(a, key) || matches_key(b, key),
+    }
+}
+
+fn v4_of(addr: IpAddrBytes) -> Option<u32> {
+    match addr {
+        IpAddrBytes::V4(a) => Some(u32::from_be_bytes(a)),
+        IpAddrBytes::V6(_) => None,
+    }
+}
+
+fn prim_matches_parsed(prim: &Primitive, p: &ParsedPacket<'_>) -> bool {
+    match *prim {
+        Primitive::True => true,
+        Primitive::Greater(n) => p.frame.len() as u32 >= n,
+        Primitive::Less(n) => p.frame.len() as u32 <= n,
+        Primitive::Proto(ProtoKind::Ip) => p.ethertype == EtherType::Ipv4,
+        Primitive::Proto(ProtoKind::Ip6) => p.ethertype == EtherType::Ipv6,
+        Primitive::Proto(ProtoKind::Tcp) => p.ip_proto == Some(ip_proto::TCP),
+        Primitive::Proto(ProtoKind::Udp) => p.ip_proto == Some(ip_proto::UDP),
+        Primitive::Proto(ProtoKind::Icmp) => {
+            p.ethertype == EtherType::Ipv4 && p.ip_proto == Some(ip_proto::ICMP)
+        }
+        Primitive::Host(..) | Primitive::Net(..) | Primitive::Port(..) | Primitive::PortRange(..) => {
+            match &p.key {
+                Some(key) => prim_matches_key(prim, key),
+                // Address primitives on packets without a flow key (non-IP,
+                // or IP without ports): hosts/nets could still match the IP
+                // header, but the workloads only filter keyed traffic; the
+                // compiled program agrees because it requires IPv4 + proto.
+                None => false,
+            }
+        }
+    }
+}
+
+fn prim_matches_key(prim: &Primitive, key: &FlowKey) -> bool {
+    match *prim {
+        Primitive::True => true,
+        // Frame lengths are unknowable from a key.
+        Primitive::Greater(_) | Primitive::Less(_) => false,
+        Primitive::Proto(ProtoKind::Ip) => matches!(key.src(), IpAddrBytes::V4(_)),
+        Primitive::Proto(ProtoKind::Ip6) => matches!(key.src(), IpAddrBytes::V6(_)),
+        Primitive::Proto(ProtoKind::Tcp) => key.transport() == Transport::Tcp,
+        Primitive::Proto(ProtoKind::Udp) => key.transport() == Transport::Udp,
+        Primitive::Proto(ProtoKind::Icmp) => {
+            key.transport() == Transport::Other(ip_proto::ICMP)
+                && matches!(key.src(), IpAddrBytes::V4(_))
+        }
+        Primitive::Host(q, addr) => {
+            let want = u32::from_be_bytes(addr);
+            test_qual(q, v4_of(key.src()), v4_of(key.dst()), |a| a == want)
+        }
+        Primitive::Net(q, addr, prefix) => {
+            let mask = v4_mask(prefix);
+            let want = u32::from_be_bytes(addr) & mask;
+            test_qual(q, v4_of(key.src()), v4_of(key.dst()), |a| a & mask == want)
+        }
+        Primitive::Port(q, port) => {
+            if !has_ports(key) {
+                return false;
+            }
+            test_qual(
+                q,
+                Some(u32::from(key.src_port())),
+                Some(u32::from(key.dst_port())),
+                |p| p == u32::from(port),
+            )
+        }
+        Primitive::PortRange(q, lo, hi) => {
+            if !has_ports(key) {
+                return false;
+            }
+            test_qual(
+                q,
+                Some(u32::from(key.src_port())),
+                Some(u32::from(key.dst_port())),
+                |p| p >= u32::from(lo) && p <= u32::from(hi),
+            )
+        }
+    }
+}
+
+fn has_ports(key: &FlowKey) -> bool {
+    matches!(key.transport(), Transport::Tcp | Transport::Udp)
+}
+
+fn test_qual<T: Copy>(
+    q: Qual,
+    src: Option<T>,
+    dst: Option<T>,
+    pred: impl Fn(T) -> bool,
+) -> bool {
+    let t = |v: Option<T>| v.map(&pred).unwrap_or(false);
+    match q {
+        Qual::Src => t(src),
+        Qual::Dst => t(dst),
+        Qual::Either => t(src) || t(dst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parse;
+    use proptest::prelude::*;
+    use scap_wire::{parse_frame, PacketBuilder, TcpFlags};
+
+    /// All the filters the differential test exercises.
+    const FILTERS: &[&str] = &[
+        "",
+        "tcp",
+        "udp",
+        "ip",
+        "ip6",
+        "icmp",
+        "port 80",
+        "src port 80",
+        "dst port 80",
+        "portrange 100-1000",
+        "host 10.0.0.1",
+        "src host 10.0.0.1",
+        "dst net 10.0.0.0/8",
+        "net 192.168.0.0/16",
+        "tcp and port 80",
+        "tcp or udp",
+        "not tcp",
+        "tcp and (src port 80 or dst port 80)",
+        "udp and not dst net 10.0.0.0/24",
+        "greater 100",
+        "less 100",
+    ];
+
+    proptest! {
+        /// The compiled BPF program and the AST evaluator agree on every
+        /// generated packet, for every filter in the corpus.
+        #[test]
+        fn compiler_agrees_with_evaluator(
+            src: [u8; 4], dst: [u8; 4], sp: u16, dp: u16,
+            use_udp: bool, payload_len in 0usize..64
+        ) {
+            let payload = vec![0xABu8; payload_len];
+            let frame = if use_udp {
+                PacketBuilder::udp_v4(src, dst, sp, dp, &payload)
+            } else {
+                PacketBuilder::tcp_v4(src, dst, sp, dp, 1, 1, TcpFlags::ACK, &payload)
+            };
+            let parsed = parse_frame(&frame).unwrap();
+            for f in FILTERS {
+                let ast = parse(f).unwrap();
+                let prog = compile(&ast).unwrap();
+                let compiled = prog.run(&frame) != 0;
+                let direct = matches_parsed(&ast, &parsed);
+                prop_assert_eq!(compiled, direct, "filter {:?} disagrees", f);
+            }
+        }
+
+        /// Key-based matching agrees with packet-based matching for
+        /// key-decidable filters (no length primitives).
+        #[test]
+        fn key_matching_agrees_on_keyed_filters(
+            src: [u8;4], dst: [u8;4], sp: u16, dp: u16, use_udp: bool
+        ) {
+            let frame = if use_udp {
+                PacketBuilder::udp_v4(src, dst, sp, dp, b"x")
+            } else {
+                PacketBuilder::tcp_v4(src, dst, sp, dp, 1, 1, TcpFlags::ACK, b"x")
+            };
+            let parsed = parse_frame(&frame).unwrap();
+            let key = parsed.key.unwrap();
+            for f in FILTERS.iter().filter(|f| !f.contains("greater") && !f.contains("less")) {
+                let ast = parse(f).unwrap();
+                prop_assert_eq!(
+                    matches_parsed(&ast, &parsed),
+                    matches_key(&ast, &key),
+                    "filter {:?} disagrees between packet and key", f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_matching_is_directional() {
+        let frame = PacketBuilder::tcp_v4([10, 0, 0, 1], [20, 0, 0, 2], 999, 80, 1, 1, TcpFlags::ACK, b"");
+        let key = parse_frame(&frame).unwrap().key.unwrap();
+        let rev = key.reversed();
+        let ast = parse("src host 10.0.0.1").unwrap();
+        assert!(matches_key(&ast, &key));
+        assert!(!matches_key(&ast, &rev));
+        let ast2 = parse("host 10.0.0.1").unwrap();
+        assert!(matches_key(&ast2, &key));
+        assert!(matches_key(&ast2, &rev));
+    }
+
+    #[test]
+    fn length_prims_are_false_on_keys() {
+        let frame = PacketBuilder::tcp_v4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 1, 1, TcpFlags::ACK, b"");
+        let key = parse_frame(&frame).unwrap().key.unwrap();
+        assert!(!matches_key(&parse("greater 0").unwrap(), &key));
+        assert!(!matches_key(&parse("less 100000").unwrap(), &key));
+    }
+}

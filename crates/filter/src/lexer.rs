@@ -1,0 +1,240 @@
+//! Tokenizer for the filter expression language.
+
+use crate::FilterError;
+
+/// A lexical token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source expression.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A bare word: keyword or identifier.
+    Word(String),
+    /// An unsigned integer literal.
+    Number(u64),
+    /// A dotted-quad IPv4 literal.
+    Ipv4([u8; 4]),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `/` (prefix-length separator)
+    Slash,
+    /// `-` (port-range separator)
+    Dash,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+/// Tokenize a filter expression.
+pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                out.push(Token { kind: TokenKind::LParen, pos: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token { kind: TokenKind::RParen, pos: i });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token { kind: TokenKind::Slash, pos: i });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token { kind: TokenKind::Dash, pos: i });
+                i += 1;
+            }
+            b'!' => {
+                out.push(Token { kind: TokenKind::Bang, pos: i });
+                i += 1;
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token { kind: TokenKind::AndAnd, pos: i });
+                    i += 2;
+                } else {
+                    return Err(FilterError::Lex {
+                        pos: i,
+                        what: "single '&' (did you mean '&&' or 'and'?)".into(),
+                    });
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token { kind: TokenKind::OrOr, pos: i });
+                    i += 2;
+                } else {
+                    return Err(FilterError::Lex {
+                        pos: i,
+                        what: "single '|' (did you mean '||' or 'or'?)".into(),
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if text.contains('.') {
+                    out.push(Token {
+                        kind: TokenKind::Ipv4(parse_ipv4(text, start)?),
+                        pos: start,
+                    });
+                } else {
+                    let n = text.parse::<u64>().map_err(|_| FilterError::Lex {
+                        pos: start,
+                        what: format!("bad number '{text}'"),
+                    })?;
+                    out.push(Token { kind: TokenKind::Number(n), pos: start });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Word(src[start..i].to_ascii_lowercase()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(FilterError::Lex {
+                    pos: i,
+                    what: format!("unexpected character '{}'", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_ipv4(text: &str, pos: usize) -> Result<[u8; 4], FilterError> {
+    let mut parts = [0u8; 4];
+    let mut n = 0;
+    for piece in text.split('.') {
+        if n >= 4 {
+            return Err(FilterError::Lex {
+                pos,
+                what: format!("bad IPv4 address '{text}'"),
+            });
+        }
+        parts[n] = piece.parse::<u8>().map_err(|_| FilterError::Lex {
+            pos,
+            what: format!("bad IPv4 octet in '{text}'"),
+        })?;
+        n += 1;
+    }
+    if n != 4 {
+        return Err(FilterError::Lex {
+            pos,
+            what: format!("bad IPv4 address '{text}'"),
+        });
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_numbers() {
+        assert_eq!(
+            kinds("tcp port 80"),
+            vec![
+                TokenKind::Word("tcp".into()),
+                TokenKind::Word("port".into()),
+                TokenKind::Number(80),
+            ]
+        );
+    }
+
+    #[test]
+    fn ipv4_literals() {
+        assert_eq!(
+            kinds("host 10.0.0.255"),
+            vec![
+                TokenKind::Word("host".into()),
+                TokenKind::Ipv4([10, 0, 0, 255]),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_parens() {
+        assert_eq!(
+            kinds("(a && b) || !c"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Word("a".into()),
+                TokenKind::AndAnd,
+                TokenKind::Word("b".into()),
+                TokenKind::RParen,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Word("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn net_with_prefix() {
+        assert_eq!(
+            kinds("net 10.0.0.0/8"),
+            vec![
+                TokenKind::Word("net".into()),
+                TokenKind::Ipv4([10, 0, 0, 0]),
+                TokenKind::Slash,
+                TokenKind::Number(8),
+            ]
+        );
+    }
+
+    #[test]
+    fn case_is_folded() {
+        assert_eq!(kinds("TCP"), vec![TokenKind::Word("tcp".into())]);
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        assert!(lex("tcp @ udp").is_err());
+        assert!(lex("host 300.1.1.1").is_err());
+        assert!(lex("host 1.2.3").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("host 1.2.3.4.5").is_err());
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let toks = lex("tcp port 80").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 4);
+        assert_eq!(toks[2].pos, 9);
+    }
+}

@@ -1,0 +1,351 @@
+//! Recursive-descent parser for filter expressions.
+//!
+//! Grammar (tcpdump-flavoured):
+//!
+//! ```text
+//! expr   := term (("or" | "||") term)*
+//! term   := factor (("and" | "&&") factor)*
+//! factor := ("not" | "!") factor | "(" expr ")" | prim
+//! prim   := proto [portprim]            ; "tcp port 80" sugar
+//!         | portprim | hostprim | netprim | lenprim
+//! proto  := "ip" | "ip6" | "tcp" | "udp" | "icmp"
+//! portprim := qual? ("port" NUM | "portrange" NUM "-" NUM)
+//! hostprim := qual? "host" IPV4
+//! netprim  := qual? "net" IPV4 "/" NUM
+//! lenprim  := "greater" NUM | "less" NUM
+//! qual   := "src" | "dst"
+//! ```
+
+use crate::ast::{Expr, Primitive, ProtoKind, Qual};
+use crate::lexer::{Token, TokenKind};
+use crate::FilterError;
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Parse a token stream into an expression. Empty input means "match all".
+pub fn parse_tokens(toks: &[Token]) -> Result<Expr, FilterError> {
+    if toks.is_empty() {
+        return Ok(Expr::Prim(Primitive::True));
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> FilterError {
+        FilterError::Parse {
+            pos: self.pos,
+            what: what.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_word(&self) -> Option<&str> {
+        match self.peek() {
+            Some(TokenKind::Word(w)) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) -> Option<&TokenKind> {
+        let t = self.toks.get(self.pos).map(|t| &t.kind);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek_word() == Some(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<u64, FilterError> {
+        match self.bump() {
+            Some(TokenKind::Number(n)) => Ok(*n),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(what))
+            }
+        }
+    }
+
+    fn expect_port(&mut self, what: &str) -> Result<u16, FilterError> {
+        let n = self.expect_number(what)?;
+        u16::try_from(n).map_err(|_| self.err("port number out of range"))
+    }
+
+    fn expr(&mut self) -> Result<Expr, FilterError> {
+        let mut lhs = self.term()?;
+        loop {
+            let is_or = match self.peek() {
+                Some(TokenKind::OrOr) => true,
+                Some(TokenKind::Word(w)) if w == "or" => true,
+                _ => false,
+            };
+            if !is_or {
+                return Ok(lhs);
+            }
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::or(lhs, rhs);
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, FilterError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let is_and = match self.peek() {
+                Some(TokenKind::AndAnd) => true,
+                Some(TokenKind::Word(w)) if w == "and" => true,
+                _ => false,
+            };
+            if !is_and {
+                return Ok(lhs);
+            }
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::and(lhs, rhs);
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, FilterError> {
+        match self.peek() {
+            Some(TokenKind::Bang) => {
+                self.pos += 1;
+                Ok(Expr::not(self.factor()?))
+            }
+            Some(TokenKind::Word(w)) if w == "not" => {
+                self.pos += 1;
+                Ok(Expr::not(self.factor()?))
+            }
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                match self.bump() {
+                    Some(TokenKind::RParen) => Ok(e),
+                    _ => Err(self.err("expected ')'")),
+                }
+            }
+            _ => self.primitive(),
+        }
+    }
+
+    fn qual(&mut self) -> Qual {
+        if self.eat_word("src") {
+            Qual::Src
+        } else if self.eat_word("dst") {
+            Qual::Dst
+        } else {
+            Qual::Either
+        }
+    }
+
+    fn primitive(&mut self) -> Result<Expr, FilterError> {
+        // Protocol keyword, optionally fused with a port primitive
+        // ("tcp port 80" means "tcp and port 80").
+        let proto = match self.peek_word() {
+            Some("ip") => Some(ProtoKind::Ip),
+            Some("ip6") => Some(ProtoKind::Ip6),
+            Some("tcp") => Some(ProtoKind::Tcp),
+            Some("udp") => Some(ProtoKind::Udp),
+            Some("icmp") => Some(ProtoKind::Icmp),
+            _ => None,
+        };
+        if let Some(k) = proto {
+            self.pos += 1;
+            let fused = matches!(
+                self.peek_word(),
+                Some("port") | Some("portrange") | Some("src") | Some("dst")
+            );
+            let base = Expr::Prim(Primitive::Proto(k));
+            if fused {
+                let rest = self.primitive()?;
+                return Ok(Expr::and(base, rest));
+            }
+            return Ok(base);
+        }
+
+        let q = self.qual();
+        match self.peek_word() {
+            Some("host") => {
+                self.pos += 1;
+                match self.bump() {
+                    Some(TokenKind::Ipv4(a)) => Ok(Expr::Prim(Primitive::Host(q, *a))),
+                    _ => Err(self.err("expected IPv4 address after 'host'")),
+                }
+            }
+            Some("net") => {
+                self.pos += 1;
+                let addr = match self.bump() {
+                    Some(TokenKind::Ipv4(a)) => *a,
+                    _ => return Err(self.err("expected IPv4 address after 'net'")),
+                };
+                if !matches!(self.bump(), Some(TokenKind::Slash)) {
+                    return Err(self.err("expected '/' after network address"));
+                }
+                let prefix = self.expect_number("expected prefix length")?;
+                if prefix > 32 {
+                    return Err(self.err("prefix length out of range"));
+                }
+                Ok(Expr::Prim(Primitive::Net(q, addr, prefix as u8)))
+            }
+            Some("port") => {
+                self.pos += 1;
+                let n = self.expect_port("expected port number")?;
+                Ok(Expr::Prim(Primitive::Port(q, n)))
+            }
+            Some("portrange") => {
+                self.pos += 1;
+                let lo = self.expect_port("expected port number")?;
+                if !matches!(self.bump(), Some(TokenKind::Dash)) {
+                    return Err(self.err("expected '-' in port range"));
+                }
+                let hi = self.expect_port("expected port number")?;
+                if lo > hi {
+                    return Err(self.err("port range lower bound exceeds upper bound"));
+                }
+                Ok(Expr::Prim(Primitive::PortRange(q, lo, hi)))
+            }
+            Some("greater") if q == Qual::Either => {
+                self.pos += 1;
+                let n = self.expect_number("expected length")?;
+                Ok(Expr::Prim(Primitive::Greater(n as u32)))
+            }
+            Some("less") if q == Qual::Either => {
+                self.pos += 1;
+                let n = self.expect_number("expected length")?;
+                Ok(Expr::Prim(Primitive::Less(n as u32)))
+            }
+            _ => Err(self.err("expected a filter primitive")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(s: &str) -> Result<Expr, FilterError> {
+        parse_tokens(&lex(s).unwrap())
+    }
+
+    #[test]
+    fn empty_is_true() {
+        assert_eq!(parse("").unwrap(), Expr::Prim(Primitive::True));
+    }
+
+    #[test]
+    fn simple_proto() {
+        assert_eq!(
+            parse("tcp").unwrap(),
+            Expr::Prim(Primitive::Proto(ProtoKind::Tcp))
+        );
+    }
+
+    #[test]
+    fn fused_proto_port() {
+        assert_eq!(
+            parse("tcp port 80").unwrap(),
+            Expr::and(
+                Expr::Prim(Primitive::Proto(ProtoKind::Tcp)),
+                Expr::Prim(Primitive::Port(Qual::Either, 80)),
+            )
+        );
+        assert_eq!(
+            parse("udp dst port 53").unwrap(),
+            Expr::and(
+                Expr::Prim(Primitive::Proto(ProtoKind::Udp)),
+                Expr::Prim(Primitive::Port(Qual::Dst, 53)),
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let e = parse("tcp or udp and port 53").unwrap();
+        assert_eq!(
+            e,
+            Expr::or(
+                Expr::Prim(Primitive::Proto(ProtoKind::Tcp)),
+                Expr::and(
+                    Expr::Prim(Primitive::Proto(ProtoKind::Udp)),
+                    Expr::Prim(Primitive::Port(Qual::Either, 53)),
+                ),
+            )
+        );
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = parse("(tcp or udp) and port 53").unwrap();
+        assert_eq!(
+            e,
+            Expr::and(
+                Expr::or(
+                    Expr::Prim(Primitive::Proto(ProtoKind::Tcp)),
+                    Expr::Prim(Primitive::Proto(ProtoKind::Udp)),
+                ),
+                Expr::Prim(Primitive::Port(Qual::Either, 53)),
+            )
+        );
+    }
+
+    #[test]
+    fn not_and_bang() {
+        assert_eq!(parse("not tcp").unwrap(), parse("!tcp").unwrap());
+        assert_eq!(parse("a and b").err(), parse("a && b").err());
+    }
+
+    #[test]
+    fn net_and_host() {
+        assert_eq!(
+            parse("src net 10.0.0.0/8").unwrap(),
+            Expr::Prim(Primitive::Net(Qual::Src, [10, 0, 0, 0], 8))
+        );
+        assert_eq!(
+            parse("dst host 1.2.3.4").unwrap(),
+            Expr::Prim(Primitive::Host(Qual::Dst, [1, 2, 3, 4]))
+        );
+    }
+
+    #[test]
+    fn portrange() {
+        assert_eq!(
+            parse("portrange 1000-2000").unwrap(),
+            Expr::Prim(Primitive::PortRange(Qual::Either, 1000, 2000))
+        );
+        assert!(parse("portrange 2000-1000").is_err());
+    }
+
+    #[test]
+    fn length_primitives() {
+        assert_eq!(parse("greater 100").unwrap(), Expr::Prim(Primitive::Greater(100)));
+        assert_eq!(parse("less 64").unwrap(), Expr::Prim(Primitive::Less(64)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("tcp and").is_err());
+        assert!(parse("(tcp").is_err());
+        assert!(parse("port 99999").is_err());
+        assert!(parse("net 10.0.0.0/33").is_err());
+        assert!(parse("tcp udp").is_err()); // trailing tokens
+        assert!(parse("host").is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! The kernel-side flow table: randomized hashing, growable record pools,
+//! and the access-list LRU used for inactivity expiration and
+//! memory-pressure eviction.
+
+use crate::record::{StreamId, StreamRecord};
+use scap_wire::{Direction, FlowKey};
+
+/// Flow-table configuration.
+#[derive(Debug, Clone)]
+pub struct FlowTableConfig {
+    /// Records pre-allocated at start (the paper pre-allocates pools and
+    /// grows dynamically).
+    pub initial_capacity: usize,
+    /// Hard record limit. `None` = grow without bound (Scap behaviour);
+    /// `Some(n)` = static limit (Libnids/Snort behaviour in Fig. 5).
+    pub max_flows: Option<usize>,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        FlowTableConfig {
+            initial_capacity: 4096,
+            max_flows: None,
+        }
+    }
+}
+
+/// Result of [`FlowTable::lookup_or_insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Handle of the record.
+    pub id: StreamId,
+    /// True when this call created the record.
+    pub created: bool,
+    /// Direction of the queried key relative to the canonical key.
+    pub direction: Direction,
+}
+
+/// Why an insert failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableFull {
+    /// The configured `max_flows` limit was reached (static-table
+    /// baselines); the stream is lost.
+    MaxFlows,
+}
+
+struct Slot {
+    generation: u32,
+    record: Option<StreamRecord>,
+}
+
+/// The flow table.
+pub struct FlowTable {
+    /// Open-chaining buckets of (cached hash, slot index).
+    buckets: Vec<Vec<(u64, u32)>>,
+    bucket_mask: u64,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    len: usize,
+    seed: u64,
+    cfg: FlowTableConfig,
+    /// Head (most recent) of the access list.
+    lru_head: Option<u32>,
+    /// Tail (least recent) of the access list.
+    lru_tail: Option<u32>,
+    /// Cumulative hash probes (cost-model input).
+    pub probes: u64,
+}
+
+impl FlowTable {
+    /// Create a table; `seed` randomizes the hash function (§5.2).
+    pub fn new(cfg: FlowTableConfig, seed: u64) -> Self {
+        let nbuckets = (cfg.initial_capacity.max(16)).next_power_of_two();
+        FlowTable {
+            buckets: vec![Vec::new(); nbuckets],
+            bucket_mask: nbuckets as u64 - 1,
+            slots: Vec::with_capacity(cfg.initial_capacity),
+            free: Vec::new(),
+            len: 0,
+            seed,
+            cfg,
+            lru_head: None,
+            lru_tail: None,
+            probes: 0,
+        }
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no streams are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn hash(&self, key: &FlowKey) -> u64 {
+        key.sym_hash(self.seed)
+    }
+
+    /// Find an existing stream.
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<(StreamId, Direction)> {
+        let (canon, dir) = key.canonical();
+        let h = self.hash(&canon);
+        let bucket = &self.buckets[(h & self.bucket_mask) as usize];
+        for &(eh, slot) in bucket {
+            self.probes += 1;
+            if eh == h {
+                if let Some(rec) = &self.slots[slot as usize].record {
+                    if rec.key == canon {
+                        return Some((rec.id, dir));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Find or create the stream for `key`. `now` stamps creation time.
+    pub fn lookup_or_insert(&mut self, key: &FlowKey, now: u64) -> Result<Lookup, TableFull> {
+        if let Some((id, direction)) = self.lookup(key) {
+            return Ok(Lookup {
+                id,
+                created: false,
+                direction,
+            });
+        }
+        if let Some(max) = self.cfg.max_flows {
+            if self.len >= max {
+                return Err(TableFull::MaxFlows);
+            }
+        }
+        let (canon, dir) = key.canonical();
+        let h = self.hash(&canon);
+
+        // Allocate a slot from the free list or grow the pool.
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    record: None,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation + 1;
+        self.slots[slot as usize].generation = generation;
+        let id = StreamId { slot, generation };
+        self.slots[slot as usize].record = Some(StreamRecord::new(id, canon, dir, now));
+        self.buckets[(h & self.bucket_mask) as usize].push((h, slot));
+        self.len += 1;
+        self.lru_push_front(slot);
+
+        if self.len > self.buckets.len() * 4 {
+            self.grow();
+        }
+        Ok(Lookup {
+            id,
+            created: true,
+            direction: dir,
+        })
+    }
+
+    fn grow(&mut self) {
+        let new_n = self.buckets.len() * 2;
+        let mut nb = vec![Vec::new(); new_n];
+        let mask = new_n as u64 - 1;
+        for bucket in self.buckets.drain(..) {
+            for (h, slot) in bucket {
+                nb[(h & mask) as usize].push((h, slot));
+            }
+        }
+        self.buckets = nb;
+        self.bucket_mask = mask;
+    }
+
+    /// Get a record by handle (None if the handle is stale).
+    pub fn get(&self, id: StreamId) -> Option<&StreamRecord> {
+        let s = self.slots.get(id.slot as usize)?;
+        if s.generation != id.generation {
+            return None;
+        }
+        s.record.as_ref()
+    }
+
+    /// Mutable access by handle.
+    pub fn get_mut(&mut self, id: StreamId) -> Option<&mut StreamRecord> {
+        let s = self.slots.get_mut(id.slot as usize)?;
+        if s.generation != id.generation {
+            return None;
+        }
+        s.record.as_mut()
+    }
+
+    /// Record activity: stamp `last_ts_ns` and move to the front of the
+    /// access list (constant time).
+    pub fn touch(&mut self, id: StreamId, now: u64) {
+        if self.get(id).is_none() {
+            return;
+        }
+        let slot = id.slot;
+        self.lru_unlink(slot);
+        self.lru_push_front(slot);
+        if let Some(rec) = self.get_mut(id) {
+            rec.last_ts_ns = rec.last_ts_ns.max(now);
+        }
+    }
+
+    /// Remove a stream from the table (after its termination event).
+    pub fn remove(&mut self, id: StreamId) -> Option<StreamRecord> {
+        let rec = self.get(id)?;
+        let key = rec.key;
+        let h = self.hash(&key);
+        let slot = id.slot;
+        let bucket = &mut self.buckets[(h & self.bucket_mask) as usize];
+        bucket.retain(|&(_, s)| s != slot);
+        self.lru_unlink(slot);
+        self.len -= 1;
+        self.free.push(slot);
+        self.slots[slot as usize].record.take()
+    }
+
+    /// Expire streams whose `last_ts_ns` is older than `now - timeout_ns`,
+    /// walking from the stale end of the access list. Expired records are
+    /// removed and returned (for termination events). At most
+    /// `max_per_call` are expired per call, bounding softirq work.
+    pub fn expire_inactive(
+        &mut self,
+        now: u64,
+        timeout_ns: u64,
+        max_per_call: usize,
+    ) -> Vec<StreamRecord> {
+        let deadline = now.saturating_sub(timeout_ns);
+        let mut out = Vec::new();
+        while out.len() < max_per_call {
+            let Some(tail) = self.lru_tail else { break };
+            let rec = self.slots[tail as usize]
+                .record
+                .as_ref()
+                .expect("lru tail points at live record");
+            if rec.last_ts_ns >= deadline {
+                break;
+            }
+            let id = rec.id;
+            let mut rec = self.remove(id).expect("tail record removable");
+            rec.status = crate::record::StreamStatus::ClosedTimeout;
+            out.push(rec);
+        }
+        out
+    }
+
+    /// Evict the least-recently-active stream (memory pressure policy:
+    /// "always store newer streams by removing the older ones", §6.4).
+    pub fn evict_oldest(&mut self) -> Option<StreamRecord> {
+        let tail = self.lru_tail?;
+        let id = self.slots[tail as usize].record.as_ref()?.id;
+        self.remove(id)
+    }
+
+    /// Iterate over all live records (diagnostics, final flush).
+    pub fn iter(&self) -> impl Iterator<Item = &StreamRecord> {
+        self.slots.iter().filter_map(|s| s.record.as_ref())
+    }
+
+    /// Drain every live record (end-of-capture flush), most recent first.
+    pub fn drain_all(&mut self) -> Vec<StreamRecord> {
+        let ids: Vec<StreamId> = self.iter().map(|r| r.id).collect();
+        ids.into_iter().filter_map(|id| self.remove(id)).collect()
+    }
+
+    // ---- intrusive access list ----
+
+    fn lru_push_front(&mut self, slot: u32) {
+        let old_head = self.lru_head;
+        {
+            let rec = self.slots[slot as usize].record.as_mut().unwrap();
+            rec.lru_prev = None;
+            rec.lru_next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.slots[h as usize].record.as_mut().unwrap().lru_prev = Some(slot);
+        }
+        self.lru_head = Some(slot);
+        if self.lru_tail.is_none() {
+            self.lru_tail = Some(slot);
+        }
+    }
+
+    fn lru_unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let rec = self.slots[slot as usize].record.as_ref().unwrap();
+            (rec.lru_prev, rec.lru_next)
+        };
+        match prev {
+            Some(p) => self.slots[p as usize].record.as_mut().unwrap().lru_next = next,
+            None => self.lru_head = next,
+        }
+        match next {
+            Some(n) => self.slots[n as usize].record.as_mut().unwrap().lru_prev = prev,
+            None => self.lru_tail = prev,
+        }
+        let rec = self.slots[slot as usize].record.as_mut().unwrap();
+        rec.lru_prev = None;
+        rec.lru_next = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use scap_wire::Transport;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::new_v4(
+            [10, (i >> 16) as u8, (i >> 8) as u8, i as u8],
+            [192, 168, 0, 1],
+            1024 + (i % 60000) as u16,
+            80,
+            Transport::Tcp,
+        )
+    }
+
+    fn table() -> FlowTable {
+        FlowTable::new(FlowTableConfig::default(), 0xD00D)
+    }
+
+    #[test]
+    fn insert_lookup_both_directions() {
+        let mut t = table();
+        let k = key(1);
+        let l = t.lookup_or_insert(&k, 10).unwrap();
+        assert!(l.created);
+        let (id, dir) = t.lookup(&k.reversed()).unwrap();
+        assert_eq!(id, l.id);
+        assert_ne!(dir, l.direction);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn growth_beyond_initial_capacity() {
+        let mut t = FlowTable::new(
+            FlowTableConfig {
+                initial_capacity: 16,
+                max_flows: None,
+            },
+            7,
+        );
+        for i in 0..10_000 {
+            t.lookup_or_insert(&key(i), u64::from(i)).unwrap();
+        }
+        assert_eq!(t.len(), 10_000);
+        // Every flow still findable.
+        for i in (0..10_000).step_by(997) {
+            assert!(t.lookup(&key(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn static_limit_rejects_like_libnids() {
+        let mut t = FlowTable::new(
+            FlowTableConfig {
+                initial_capacity: 4,
+                max_flows: Some(3),
+            },
+            7,
+        );
+        for i in 0..3 {
+            t.lookup_or_insert(&key(i), 0).unwrap();
+        }
+        assert_eq!(t.lookup_or_insert(&key(99), 0), Err(TableFull::MaxFlows));
+        // Existing flows still resolvable.
+        assert!(t.lookup_or_insert(&key(1), 0).unwrap().created == false);
+    }
+
+    #[test]
+    fn stale_handles_do_not_resolve() {
+        let mut t = table();
+        let l = t.lookup_or_insert(&key(1), 0).unwrap();
+        t.remove(l.id).unwrap();
+        assert!(t.get(l.id).is_none());
+        // Slot reuse bumps the generation.
+        let l2 = t.lookup_or_insert(&key(2), 0).unwrap();
+        assert_eq!(l2.id.slot, l.id.slot);
+        assert_ne!(l2.id.generation, l.id.generation);
+        assert!(t.get(l.id).is_none());
+        assert!(t.get(l2.id).is_some());
+    }
+
+    #[test]
+    fn expiration_removes_only_stale_tail() {
+        let mut t = table();
+        let a = t.lookup_or_insert(&key(1), 1_000).unwrap().id;
+        let b = t.lookup_or_insert(&key(2), 2_000).unwrap().id;
+        let c = t.lookup_or_insert(&key(3), 3_000).unwrap().id;
+        // Touch a at t=5000 so it is fresh again.
+        t.touch(a, 5_000);
+        let expired = t.expire_inactive(6_000, 2_500, 64);
+        let ids: Vec<StreamId> = expired.iter().map(|r| r.id).collect();
+        assert!(ids.contains(&b));
+        assert!(ids.contains(&c));
+        assert!(!ids.contains(&a));
+        assert!(expired
+            .iter()
+            .all(|r| r.status == crate::record::StreamStatus::ClosedTimeout));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn expiration_respects_batch_limit() {
+        let mut t = table();
+        for i in 0..100 {
+            t.lookup_or_insert(&key(i), 0).unwrap();
+        }
+        let first = t.expire_inactive(1_000_000, 10, 30);
+        assert_eq!(first.len(), 30);
+        assert_eq!(t.len(), 70);
+    }
+
+    #[test]
+    fn evict_oldest_follows_access_order() {
+        let mut t = table();
+        let a = t.lookup_or_insert(&key(1), 100).unwrap().id;
+        let b = t.lookup_or_insert(&key(2), 200).unwrap().id;
+        // b is newer, but touching a makes a the most recent.
+        t.touch(a, 300);
+        let evicted = t.evict_oldest().unwrap();
+        assert_eq!(evicted.id, b);
+        let evicted2 = t.evict_oldest().unwrap();
+        assert_eq!(evicted2.id, a);
+        assert!(t.evict_oldest().is_none());
+    }
+
+    #[test]
+    fn drain_all_empties_table() {
+        let mut t = table();
+        for i in 0..50 {
+            t.lookup_or_insert(&key(i), 0).unwrap();
+        }
+        let drained = t.drain_all();
+        assert_eq!(drained.len(), 50);
+        assert!(t.is_empty());
+        assert!(t.lookup(&key(10)).is_none());
+    }
+
+    proptest! {
+        /// Random interleavings of insert/remove/touch keep the table
+        /// internally consistent (LRU list matches live set).
+        #[test]
+        fn random_ops_keep_invariants(ops in proptest::collection::vec((0u8..3, 0u32..50), 1..200)) {
+            let mut t = table();
+            let mut live: std::collections::HashMap<u32, StreamId> = Default::default();
+            let mut now = 0u64;
+            for (op, i) in ops {
+                now += 1;
+                match op {
+                    0 => {
+                        let l = t.lookup_or_insert(&key(i), now).unwrap();
+                        live.insert(i, l.id);
+                    }
+                    1 => {
+                        if let Some(id) = live.remove(&i) {
+                            prop_assert!(t.remove(id).is_some());
+                        }
+                    }
+                    _ => {
+                        if let Some(id) = live.get(&i) {
+                            t.touch(*id, now);
+                        }
+                    }
+                }
+                prop_assert_eq!(t.len(), live.len());
+            }
+            // Walk the LRU from head: must visit exactly `len` records.
+            let visited = t.drain_all();
+            prop_assert_eq!(visited.len(), live.len());
+        }
+    }
+}

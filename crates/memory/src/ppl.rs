@@ -1,0 +1,195 @@
+//! Prioritized Packet Loss (§2.2 and §7 of the paper).
+//!
+//! Below `base_threshold` memory use, nothing is dropped. Above it, the
+//! remaining memory is divided into `n` equal regions by `n + 1`
+//! watermarks (`watermark₀ = base_threshold`, `watermarkₙ = memory
+//! size`). A packet of priority *i* (0-based, 0 = lowest):
+//!
+//! * is **dropped** when the used fraction exceeds `watermark_{i+1}`;
+//! * is subject to the **overload cutoff** (drop bytes beyond a stream
+//!   offset) when the used fraction is between `watermark_i` and
+//!   `watermark_{i+1}`;
+//! * is accepted otherwise.
+//!
+//! High-priority packets are therefore the last to go, and when memory
+//! pressure is moderate the tails of long streams are shed before
+//! anything else — favouring "recent and short streams" (§6.5.1).
+
+/// PPL configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PplConfig {
+    /// Used-memory fraction below which no packet is ever dropped.
+    pub base_threshold: f64,
+    /// Number of distinct priority levels in use (≥ 1).
+    pub num_priorities: u8,
+    /// Optional overload cutoff: under pressure, drop packet payload
+    /// situated beyond this stream offset.
+    pub overload_cutoff: Option<u64>,
+}
+
+impl Default for PplConfig {
+    fn default() -> Self {
+        PplConfig {
+            base_threshold: 0.5,
+            num_priorities: 1,
+            overload_cutoff: None,
+        }
+    }
+}
+
+/// What to do with an arriving packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PplVerdict {
+    /// Keep the packet.
+    Accept,
+    /// Drop it: memory above this priority's watermark.
+    DropWatermark,
+    /// Drop it: within the pressure band and beyond the overload cutoff.
+    DropOverloadCutoff,
+}
+
+impl PplConfig {
+    /// The `i`-th watermark (0 ⇒ base threshold, `num_priorities` ⇒ 1.0).
+    pub fn watermark(&self, i: u8) -> f64 {
+        let n = f64::from(self.num_priorities.max(1));
+        let span = 1.0 - self.base_threshold;
+        (self.base_threshold + span * f64::from(i) / n).min(1.0)
+    }
+
+    /// Decide a packet's fate.
+    ///
+    /// * `used_fraction` — current arena fill level;
+    /// * `priority` — the stream's priority, 0-based, clamped to the
+    ///   configured number of levels;
+    /// * `stream_offset` — offset of this packet's payload within its
+    ///   stream (for the overload cutoff).
+    pub fn verdict(&self, used_fraction: f64, priority: u8, stream_offset: u64) -> PplVerdict {
+        if used_fraction <= self.base_threshold {
+            return PplVerdict::Accept;
+        }
+        let p = priority.min(self.num_priorities.saturating_sub(1));
+        let upper = self.watermark(p + 1);
+        let lower = self.watermark(p);
+        if used_fraction > upper {
+            return PplVerdict::DropWatermark;
+        }
+        if used_fraction > lower {
+            if let Some(cutoff) = self.overload_cutoff {
+                if stream_offset >= cutoff {
+                    return PplVerdict::DropOverloadCutoff;
+                }
+            }
+        }
+        PplVerdict::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_drops_below_base_threshold() {
+        let cfg = PplConfig {
+            base_threshold: 0.5,
+            num_priorities: 4,
+            overload_cutoff: Some(0),
+        };
+        for p in 0..4 {
+            assert_eq!(cfg.verdict(0.49, p, u64::MAX / 2), PplVerdict::Accept);
+            assert_eq!(cfg.verdict(0.5, p, u64::MAX / 2), PplVerdict::Accept);
+        }
+    }
+
+    #[test]
+    fn watermarks_are_equally_spaced() {
+        let cfg = PplConfig {
+            base_threshold: 0.6,
+            num_priorities: 2,
+            overload_cutoff: None,
+        };
+        assert!((cfg.watermark(0) - 0.6).abs() < 1e-12);
+        assert!((cfg.watermark(1) - 0.8).abs() < 1e-12);
+        assert!((cfg.watermark(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_priority_dropped_first() {
+        let cfg = PplConfig {
+            base_threshold: 0.5,
+            num_priorities: 2,
+            overload_cutoff: None,
+        };
+        // watermark1 = 0.75, watermark2 = 1.0.
+        // At 80 % memory: priority 0 exceeds its watermark, priority 1 not.
+        assert_eq!(cfg.verdict(0.80, 0, 0), PplVerdict::DropWatermark);
+        assert_eq!(cfg.verdict(0.80, 1, 0), PplVerdict::Accept);
+        // At 100 %+: everything dropped... priority 1's watermark is 1.0,
+        // so only a fraction strictly above 1.0 drops it.
+        assert_eq!(cfg.verdict(1.01, 1, 0), PplVerdict::DropWatermark);
+    }
+
+    #[test]
+    fn overload_cutoff_sheds_stream_tails_in_pressure_band() {
+        let cfg = PplConfig {
+            base_threshold: 0.5,
+            num_priorities: 1,
+            overload_cutoff: Some(10_000),
+        };
+        // Band for priority 0 is (0.5, 1.0].
+        assert_eq!(cfg.verdict(0.7, 0, 5_000), PplVerdict::Accept);
+        assert_eq!(cfg.verdict(0.7, 0, 10_000), PplVerdict::DropOverloadCutoff);
+        assert_eq!(cfg.verdict(0.7, 0, 50_000), PplVerdict::DropOverloadCutoff);
+        // Below base threshold the cutoff does not apply.
+        assert_eq!(cfg.verdict(0.4, 0, 50_000), PplVerdict::Accept);
+    }
+
+    #[test]
+    fn priority_clamped_to_configured_levels() {
+        let cfg = PplConfig {
+            base_threshold: 0.5,
+            num_priorities: 2,
+            overload_cutoff: None,
+        };
+        // Priority 99 behaves like the top priority (1).
+        assert_eq!(cfg.verdict(0.9, 99, 0), cfg.verdict(0.9, 1, 0));
+    }
+
+    proptest! {
+        /// Monotonicity: raising priority never turns an Accept into a
+        /// Drop; raising memory pressure never turns a Drop into Accept.
+        #[test]
+        fn verdicts_are_monotonic(
+            base in 0.1f64..0.9,
+            n in 1u8..6,
+            used in 0.0f64..1.0,
+            prio in 0u8..6,
+            off in 0u64..1_000_000,
+        ) {
+            let cfg = PplConfig {
+                base_threshold: base,
+                num_priorities: n,
+                overload_cutoff: Some(100_000),
+            };
+            let v = cfg.verdict(used, prio, off);
+            // Higher priority: at least as permissive.
+            if prio < 5 {
+                let vh = cfg.verdict(used, prio + 1, off);
+                if v == PplVerdict::Accept {
+                    prop_assert_eq!(vh, PplVerdict::Accept);
+                }
+            }
+            // Lower memory: at least as permissive.
+            let vl = cfg.verdict((used - 0.05).max(0.0), prio, off);
+            if v == PplVerdict::Accept {
+                prop_assert!(vl == PplVerdict::Accept);
+            }
+            // Earlier offset: never worse than later offset.
+            let ve = cfg.verdict(used, prio, 0);
+            if v == PplVerdict::Accept {
+                prop_assert!(ve == PplVerdict::Accept);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+#![warn(missing_docs)]
+
+//! # scap-nic
+//!
+//! A simulated Intel-82599-class 10GbE NIC: the hardware features Scap
+//! depends on, emulated faithfully enough that the kernel-side logic is
+//! identical to what would drive the real card.
+//!
+//! * [`rss`] — Receive Side Scaling: the real Toeplitz hash over the
+//!   packet 5-tuple, a 128-entry indirection table, and the symmetric-seed
+//!   variant of Woo & Park so both directions of a TCP connection land on
+//!   the same RX queue (§4.2 of the paper).
+//! * [`fdir`] — Flow Director: up to 8 K perfect-match filters over the
+//!   5-tuple plus the *flexible 2-byte tuple* (the paper matches the TCP
+//!   data-offset/flags bytes so pure data/ACK packets are dropped in
+//!   hardware while RST/FIN still reach the host, §5.5). Only aggregate
+//!   match statistics are exposed — per-filter counters do not exist on
+//!   the real card, which is why Scap estimates flow sizes from FIN/RST
+//!   sequence numbers.
+//! * [`queue`] — RX descriptor rings with finite capacity; a full ring
+//!   drops packets exactly like exhausted descriptors on hardware.
+//!
+//! The [`Nic`] type composes the three: every incoming frame is checked
+//! against FDIR first (hardware precedence), then RSS-dispatched.
+
+pub mod fdir;
+pub mod queue;
+pub mod rss;
+
+pub use fdir::{FdirAction, FdirError, FdirFilter, FdirTable, FlexMatch};
+pub use queue::RxQueue;
+pub use rss::{RssHasher, SYMMETRIC_RSS_KEY};
+
+use scap_wire::ParsedPacket;
+
+/// What the NIC did with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicVerdict {
+    /// An FDIR filter dropped the frame; it never touches host memory.
+    DroppedByFilter,
+    /// An FDIR filter steered the frame to this queue.
+    SteeredToQueue(usize),
+    /// RSS dispatched the frame to this queue.
+    HashedToQueue(usize),
+    /// The target ring was full; the frame was dropped at the NIC.
+    DroppedRingFull(usize),
+}
+
+impl NicVerdict {
+    /// The queue the frame landed in, if it survived.
+    pub fn queue(&self) -> Option<usize> {
+        match self {
+            NicVerdict::SteeredToQueue(q) | NicVerdict::HashedToQueue(q) => Some(*q),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate NIC counters (mirrors what the real card exposes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Frames received from the wire.
+    pub rx_frames: u64,
+    /// Bytes received from the wire.
+    pub rx_bytes: u64,
+    /// Frames dropped by FDIR filters (aggregate across all filters).
+    pub fdir_dropped_frames: u64,
+    /// Bytes dropped by FDIR filters.
+    pub fdir_dropped_bytes: u64,
+    /// Frames steered by FDIR to an explicit queue.
+    pub fdir_steered_frames: u64,
+    /// Frames dropped because a descriptor ring was full.
+    pub ring_dropped_frames: u64,
+    /// Frames delivered into descriptor rings.
+    pub delivered_frames: u64,
+    /// Bytes delivered into descriptor rings.
+    pub delivered_bytes: u64,
+}
+
+/// The simulated NIC.
+///
+/// `T` is the host-side handle stored in the descriptor rings: the
+/// discrete-time simulation stores packet indices, the live driver stores
+/// the packets themselves.
+#[derive(Debug)]
+pub struct Nic<T> {
+    rss: RssHasher,
+    fdir: FdirTable,
+    queues: Vec<RxQueue<T>>,
+    stats: NicStats,
+}
+
+impl<T> Nic<T> {
+    /// Build a NIC with `nqueues` RX rings of `ring_capacity` descriptors,
+    /// using the symmetric RSS key.
+    pub fn new(nqueues: usize, ring_capacity: usize) -> Self {
+        assert!(nqueues > 0, "a NIC needs at least one RX queue");
+        Nic {
+            rss: RssHasher::symmetric(nqueues),
+            fdir: FdirTable::new(fdir::PERFECT_FILTER_CAPACITY),
+            queues: (0..nqueues).map(|_| RxQueue::new(ring_capacity)).collect(),
+            stats: NicStats::default(),
+        }
+    }
+
+    /// Number of RX queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Access a queue (the per-core driver side).
+    pub fn queue_mut(&mut self, q: usize) -> &mut RxQueue<T> {
+        &mut self.queues[q]
+    }
+
+    /// Access the FDIR table (the kernel module installs filters here).
+    pub fn fdir_mut(&mut self) -> &mut FdirTable {
+        &mut self.fdir
+    }
+
+    /// Access the FDIR table read-only.
+    pub fn fdir(&self) -> &FdirTable {
+        &self.fdir
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// The RSS queue a flow key maps to (used by the load balancer to know
+    /// where RSS would send a stream before overriding it with FDIR).
+    pub fn rss_queue(&self, key: &scap_wire::FlowKey) -> usize {
+        self.rss.queue_for(key)
+    }
+
+    /// Receive one frame: FDIR first, then RSS. `item` is the host-side
+    /// handle; it is only stored if the frame survives to a ring.
+    pub fn receive(&mut self, parsed: &ParsedPacket<'_>, item: T) -> NicVerdict {
+        self.stats.rx_frames += 1;
+        self.stats.rx_bytes += parsed.frame.len() as u64;
+
+        if let Some(action) = self.fdir.lookup(parsed) {
+            match action {
+                FdirAction::Drop => {
+                    self.stats.fdir_dropped_frames += 1;
+                    self.stats.fdir_dropped_bytes += parsed.frame.len() as u64;
+                    return NicVerdict::DroppedByFilter;
+                }
+                FdirAction::ToQueue(q) => {
+                    let q = q.min(self.queues.len() - 1);
+                    self.stats.fdir_steered_frames += 1;
+                    return if self.queues[q].push(item) {
+                        self.stats.delivered_frames += 1;
+                        self.stats.delivered_bytes += parsed.frame.len() as u64;
+                        NicVerdict::SteeredToQueue(q)
+                    } else {
+                        self.stats.ring_dropped_frames += 1;
+                        NicVerdict::DroppedRingFull(q)
+                    };
+                }
+            }
+        }
+
+        let q = match &parsed.key {
+            Some(key) => self.rss.queue_for(key),
+            // Non-IP traffic goes to queue 0, like the default queue on
+            // the real card.
+            None => 0,
+        };
+        if self.queues[q].push(item) {
+            self.stats.delivered_frames += 1;
+            self.stats.delivered_bytes += parsed.frame.len() as u64;
+            NicVerdict::HashedToQueue(q)
+        } else {
+            self.stats.ring_dropped_frames += 1;
+            NicVerdict::DroppedRingFull(q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_wire::{parse_frame, PacketBuilder, TcpFlags};
+
+    fn frame(sp: u16, dp: u16, flags: TcpFlags) -> Vec<u8> {
+        PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], sp, dp, 100, 200, flags, b"data")
+    }
+
+    #[test]
+    fn both_directions_hash_to_same_queue() {
+        let mut nic: Nic<u32> = Nic::new(8, 64);
+        let f1 = frame(1234, 80, TcpFlags::ACK);
+        let f2 = PacketBuilder::tcp_v4(
+            [10, 0, 0, 2], [10, 0, 0, 1], 80, 1234, 1, 1, TcpFlags::ACK, b"resp",
+        );
+        let p1 = parse_frame(&f1).unwrap();
+        let p2 = parse_frame(&f2).unwrap();
+        let v1 = nic.receive(&p1, 0);
+        let v2 = nic.receive(&p2, 1);
+        match (v1, v2) {
+            (NicVerdict::HashedToQueue(a), NicVerdict::HashedToQueue(b)) => assert_eq!(a, b),
+            other => panic!("unexpected verdicts {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fdir_drop_filter_blocks_data_but_not_fin() {
+        let mut nic: Nic<u32> = Nic::new(4, 64);
+        let data = frame(1234, 80, TcpFlags::ACK);
+        let parsed = parse_frame(&data).unwrap();
+        let key = parsed.key.unwrap();
+        // Install the paper's two filters: ACK-only and ACK|PSH drop.
+        nic.fdir_mut()
+            .add(FdirFilter::drop_tcp_flags(key, TcpFlags::ACK))
+            .unwrap();
+        nic.fdir_mut()
+            .add(FdirFilter::drop_tcp_flags(key, TcpFlags::ACK | TcpFlags::PSH))
+            .unwrap();
+
+        assert_eq!(nic.receive(&parsed, 0), NicVerdict::DroppedByFilter);
+        let push = frame(1234, 80, TcpFlags::ACK | TcpFlags::PSH);
+        let parsed_push = parse_frame(&push).unwrap();
+        assert_eq!(nic.receive(&parsed_push, 1), NicVerdict::DroppedByFilter);
+
+        // FIN/ACK does not match either filter: it reaches a ring.
+        let fin = frame(1234, 80, TcpFlags::FIN | TcpFlags::ACK);
+        let parsed_fin = parse_frame(&fin).unwrap();
+        assert!(matches!(nic.receive(&parsed_fin, 2), NicVerdict::HashedToQueue(_)));
+        // And the reverse direction is unaffected (filters are directed).
+        let rev = PacketBuilder::tcp_v4(
+            [10, 0, 0, 2], [10, 0, 0, 1], 80, 1234, 1, 1, TcpFlags::ACK, b"resp",
+        );
+        let parsed_rev = parse_frame(&rev).unwrap();
+        assert!(matches!(nic.receive(&parsed_rev, 3), NicVerdict::HashedToQueue(_)));
+
+        let s = nic.stats();
+        assert_eq!(s.fdir_dropped_frames, 2);
+        assert_eq!(s.rx_frames, 4);
+        assert_eq!(s.delivered_frames, 2);
+    }
+
+    #[test]
+    fn ring_overflow_drops() {
+        let mut nic: Nic<u32> = Nic::new(1, 2);
+        let f = frame(1, 2, TcpFlags::ACK);
+        let p = parse_frame(&f).unwrap();
+        assert!(matches!(nic.receive(&p, 0), NicVerdict::HashedToQueue(0)));
+        assert!(matches!(nic.receive(&p, 1), NicVerdict::HashedToQueue(0)));
+        assert_eq!(nic.receive(&p, 2), NicVerdict::DroppedRingFull(0));
+        assert_eq!(nic.stats().ring_dropped_frames, 1);
+        // Draining the ring makes room again.
+        assert_eq!(nic.queue_mut(0).pop(), Some(0));
+        assert!(matches!(nic.receive(&p, 3), NicVerdict::HashedToQueue(0)));
+    }
+
+    #[test]
+    fn steering_filter_redirects() {
+        let mut nic: Nic<u32> = Nic::new(4, 16);
+        let f = frame(5555, 443, TcpFlags::ACK);
+        let p = parse_frame(&f).unwrap();
+        let key = p.key.unwrap();
+        nic.fdir_mut().add(FdirFilter::steer(key, 3)).unwrap();
+        assert_eq!(nic.receive(&p, 9), NicVerdict::SteeredToQueue(3));
+        assert_eq!(nic.queue_mut(3).pop(), Some(9));
+    }
+}

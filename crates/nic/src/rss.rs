@@ -1,0 +1,220 @@
+//! Receive Side Scaling: the Toeplitz hash and indirection table.
+//!
+//! The hash is the Microsoft RSS Toeplitz construction: for every set bit
+//! of the input (concatenated source address, destination address, source
+//! port, destination port, in network order), XOR in the 32-bit window of
+//! the secret key starting at that bit position.
+//!
+//! Plain RSS keys hash the two directions of a connection to different
+//! queues. Woo & Park observed that a key built from a repeating 16-bit
+//! block makes the hash *symmetric* under (src,dst) swap — the paper uses
+//! this so each bidirectional TCP connection is handled by one core. The
+//! [`SYMMETRIC_RSS_KEY`] here is the `0x6D5A` repetition from their
+//! report.
+
+use scap_wire::{FlowKey, IpAddrBytes};
+
+/// The symmetric RSS key (repeating 0x6D5A), 40 bytes — enough windows for
+/// IPv6 inputs (36 input bytes need 36+4 key bytes; we keep 52 for slack).
+pub const SYMMETRIC_RSS_KEY: [u8; 52] = {
+    let mut k = [0u8; 52];
+    let mut i = 0;
+    while i < 52 {
+        k[i] = if i % 2 == 0 { 0x6D } else { 0x5A };
+        i += 1;
+    }
+    k
+};
+
+/// Toeplitz hasher with an indirection table, as on the 82599.
+#[derive(Debug, Clone)]
+pub struct RssHasher {
+    key: [u8; 52],
+    /// 128-entry indirection table mapping hash LSBs to queues.
+    indirection: [u8; 128],
+}
+
+impl RssHasher {
+    /// Symmetric-key hasher dispatching over `nqueues` queues with the
+    /// default round-robin indirection table.
+    pub fn symmetric(nqueues: usize) -> Self {
+        assert!(nqueues > 0 && nqueues <= 128);
+        let mut indirection = [0u8; 128];
+        for (i, e) in indirection.iter_mut().enumerate() {
+            *e = (i % nqueues) as u8;
+        }
+        RssHasher {
+            key: SYMMETRIC_RSS_KEY,
+            indirection,
+        }
+    }
+
+    /// Replace the indirection table (dynamic rebalancing).
+    pub fn set_indirection(&mut self, table: [u8; 128]) {
+        self.indirection = table;
+    }
+
+    /// Toeplitz hash of an arbitrary input against the key.
+    pub fn toeplitz(&self, input: &[u8]) -> u32 {
+        debug_assert!(input.len() + 4 <= self.key.len());
+        let mut result: u32 = 0;
+        // The running 32-bit key window, advanced one bit per input bit.
+        let mut window: u32 = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        let mut next_key_byte = 4;
+        for &byte in input {
+            for bit in (0..8).rev() {
+                if byte >> bit & 1 == 1 {
+                    result ^= window;
+                }
+                // Shift the window left one bit, pulling in the next key bit.
+                let next_bit = if next_key_byte < self.key.len() {
+                    (self.key[next_key_byte] >> bit) & 1
+                } else {
+                    0
+                };
+                window = (window << 1) | u32::from(next_bit);
+            }
+            next_key_byte += 1;
+        }
+        result
+    }
+
+    /// RSS hash of a flow key (5-tuple input in the standard field order).
+    pub fn hash_key(&self, key: &FlowKey) -> u32 {
+        let mut input = [0u8; 36];
+        let len = match (key.src(), key.dst()) {
+            (IpAddrBytes::V4(s), IpAddrBytes::V4(d)) => {
+                input[0..4].copy_from_slice(&s);
+                input[4..8].copy_from_slice(&d);
+                input[8..10].copy_from_slice(&key.src_port().to_be_bytes());
+                input[10..12].copy_from_slice(&key.dst_port().to_be_bytes());
+                12
+            }
+            (IpAddrBytes::V6(s), IpAddrBytes::V6(d)) => {
+                input[0..16].copy_from_slice(&s);
+                input[16..32].copy_from_slice(&d);
+                input[32..34].copy_from_slice(&key.src_port().to_be_bytes());
+                input[34..36].copy_from_slice(&key.dst_port().to_be_bytes());
+                36
+            }
+            // Mixed families never occur in one key.
+            _ => unreachable!("flow keys are family-homogeneous"),
+        };
+        self.toeplitz(&input[..len])
+    }
+
+    /// The RX queue for a flow, via the indirection table.
+    pub fn queue_for(&self, key: &FlowKey) -> usize {
+        let h = self.hash_key(key);
+        usize::from(self.indirection[(h & 0x7F) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use scap_wire::Transport;
+
+    /// Microsoft's RSS verification suite key.
+    const MS_KEY: [u8; 40] = [
+        0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3,
+        0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3,
+        0x80, 0x30, 0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    ];
+
+    fn ms_hasher() -> RssHasher {
+        let mut key = [0u8; 52];
+        key[..40].copy_from_slice(&MS_KEY);
+        RssHasher {
+            key,
+            indirection: [0u8; 128],
+        }
+    }
+
+    /// Known-answer tests from the Microsoft RSS verification suite
+    /// (IPv4 with TCP ports).
+    #[test]
+    fn toeplitz_known_answers() {
+        let h = ms_hasher();
+        // 66.9.149.187:2794 -> 161.142.100.80:1766  => 0x51ccc178
+        let mut input = Vec::new();
+        input.extend_from_slice(&[66, 9, 149, 187]);
+        input.extend_from_slice(&[161, 142, 100, 80]);
+        input.extend_from_slice(&2794u16.to_be_bytes());
+        input.extend_from_slice(&1766u16.to_be_bytes());
+        assert_eq!(h.toeplitz(&input), 0x51cc_c178);
+
+        // 199.92.111.2:14230 -> 65.69.140.83:4739 => 0xc626b0ea
+        let mut input = Vec::new();
+        input.extend_from_slice(&[199, 92, 111, 2]);
+        input.extend_from_slice(&[65, 69, 140, 83]);
+        input.extend_from_slice(&14230u16.to_be_bytes());
+        input.extend_from_slice(&4739u16.to_be_bytes());
+        assert_eq!(h.toeplitz(&input), 0xc626_b0ea);
+    }
+
+    /// IP-only known answers (no ports).
+    #[test]
+    fn toeplitz_known_answers_ip_only() {
+        let h = ms_hasher();
+        let input = [66, 9, 149, 187, 161, 142, 100, 80];
+        assert_eq!(h.toeplitz(&input), 0x323e_8fc2);
+        let input = [199, 92, 111, 2, 65, 69, 140, 83];
+        assert_eq!(h.toeplitz(&input), 0xd718_262a);
+    }
+
+    #[test]
+    fn symmetric_key_makes_directions_collide() {
+        let h = RssHasher::symmetric(8);
+        let k = FlowKey::new_v4([10, 1, 2, 3], [93, 184, 216, 34], 43210, 443, Transport::Tcp);
+        assert_eq!(h.hash_key(&k), h.hash_key(&k.reversed()));
+        assert_eq!(h.queue_for(&k), h.queue_for(&k.reversed()));
+    }
+
+    #[test]
+    fn queues_are_reasonably_balanced() {
+        let h = RssHasher::symmetric(8);
+        let mut counts = [0usize; 8];
+        for i in 0..4000u32 {
+            let k = FlowKey::new_v4(
+                [10, (i >> 8) as u8, i as u8, 7],
+                [93, 184, (i % 13) as u8, 34],
+                1024 + (i % 50000) as u16,
+                443,
+                Transport::Tcp,
+            );
+            counts[h.queue_for(&k)] += 1;
+        }
+        // No queue wildly over- or under-loaded (within 3x of fair share).
+        for (q, &c) in counts.iter().enumerate() {
+            assert!(c > 500 / 3 && c < 1500, "queue {q} got {c}");
+        }
+    }
+
+    #[test]
+    fn indirection_table_override() {
+        let mut h = RssHasher::symmetric(4);
+        h.set_indirection([2u8; 128]);
+        let k = FlowKey::new_v4([1, 2, 3, 4], [5, 6, 7, 8], 1, 2, Transport::Udp);
+        assert_eq!(h.queue_for(&k), 2);
+    }
+
+    proptest! {
+        /// Symmetry holds for arbitrary v4 flow keys.
+        #[test]
+        fn symmetric_for_all_keys(s: [u8;4], d: [u8;4], sp: u16, dp: u16) {
+            let h = RssHasher::symmetric(16);
+            let k = FlowKey::new_v4(s, d, sp, dp, Transport::Tcp);
+            prop_assert_eq!(h.hash_key(&k), h.hash_key(&k.reversed()));
+        }
+
+        /// Symmetry holds for v6 keys too.
+        #[test]
+        fn symmetric_for_v6_keys(s: [u8;16], d: [u8;16], sp: u16, dp: u16) {
+            let h = RssHasher::symmetric(16);
+            let k = FlowKey::new_v6(s, d, sp, dp, Transport::Udp);
+            prop_assert_eq!(h.hash_key(&k), h.hash_key(&k.reversed()));
+        }
+    }
+}

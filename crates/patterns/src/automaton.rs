@@ -1,0 +1,373 @@
+//! The Aho–Corasick automaton.
+//!
+//! Construction is the textbook three-step build:
+//!
+//! 1. insert every pattern into a trie;
+//! 2. compute failure links breadth-first;
+//! 3. flatten goto+failure into a dense DFA transition table
+//!    (`states × 256`), so scanning is branch-free.
+//!
+//! Output sets are shared via per-state output lists built from the
+//! pattern terminals plus the outputs reachable through failure links.
+
+/// A single match: which pattern ended where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the pattern in the set given to [`AhoCorasick::new`].
+    pub pattern: u32,
+    /// Byte offset *one past* the last byte of the match, relative to the
+    /// start of the scanned buffer (or stream position when streaming).
+    pub end: u64,
+}
+
+/// Opaque streaming state: the current DFA state plus the running stream
+/// offset. Persist it between chunks of the same stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherState {
+    state: u32,
+    offset: u64,
+}
+
+impl Default for MatcherState {
+    fn default() -> Self {
+        MatcherState { state: 0, offset: 0 }
+    }
+}
+
+impl MatcherState {
+    /// Fresh state at stream offset zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The absolute stream offset consumed so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+/// A compiled multi-pattern matcher.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// Dense transition table: `trans[state * 256 + byte]`.
+    trans: Vec<u32>,
+    /// Per-state output lists (pattern ids ending at this state).
+    outputs: Vec<Vec<u32>>,
+    /// Number of states.
+    state_count: usize,
+    /// Case folding applied to both patterns and input.
+    case_insensitive: bool,
+    /// Number of patterns compiled in.
+    pattern_count: usize,
+}
+
+#[inline]
+fn fold(b: u8, ci: bool) -> u8 {
+    if ci {
+        b.to_ascii_lowercase()
+    } else {
+        b
+    }
+}
+
+impl AhoCorasick {
+    /// Compile a pattern set. Empty patterns are ignored (they would match
+    /// everywhere). With `case_insensitive`, ASCII case is folded on both
+    /// sides, matching Snort's `nocase` modifier.
+    pub fn new(patterns: &[Vec<u8>], case_insensitive: bool) -> Self {
+        // Step 1: trie with per-node sparse children.
+        struct Node {
+            children: Vec<(u8, u32)>,
+            fail: u32,
+            out: Vec<u32>,
+        }
+        let mut nodes: Vec<Node> = vec![Node {
+            children: Vec::new(),
+            fail: 0,
+            out: Vec::new(),
+        }];
+
+        for (pid, pat) in patterns.iter().enumerate() {
+            if pat.is_empty() {
+                continue;
+            }
+            let mut cur = 0u32;
+            for &raw in pat {
+                let b = fold(raw, case_insensitive);
+                let found = nodes[cur as usize]
+                    .children
+                    .iter()
+                    .find(|(cb, _)| *cb == b)
+                    .map(|(_, n)| *n);
+                cur = match found {
+                    Some(n) => n,
+                    None => {
+                        let id = nodes.len() as u32;
+                        nodes.push(Node {
+                            children: Vec::new(),
+                            fail: 0,
+                            out: Vec::new(),
+                        });
+                        nodes[cur as usize].children.push((b, id));
+                        id
+                    }
+                };
+            }
+            nodes[cur as usize].out.push(pid as u32);
+        }
+
+        // Step 2: failure links, breadth-first.
+        let mut queue = std::collections::VecDeque::new();
+        let root_children: Vec<(u8, u32)> = nodes[0].children.clone();
+        for (_, child) in &root_children {
+            nodes[*child as usize].fail = 0;
+            queue.push_back(*child);
+        }
+        while let Some(u) = queue.pop_front() {
+            let children = nodes[u as usize].children.clone();
+            for (b, v) in children {
+                // Walk failure links of u until a node with a b-child.
+                let mut f = nodes[u as usize].fail;
+                let fail_of_v = loop {
+                    if let Some((_, n)) = nodes[f as usize].children.iter().find(|(cb, _)| *cb == b)
+                    {
+                        if *n != v {
+                            break *n;
+                        }
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f as usize].fail;
+                };
+                nodes[v as usize].fail = fail_of_v;
+                let inherited = nodes[fail_of_v as usize].out.clone();
+                nodes[v as usize].out.extend(inherited);
+                queue.push_back(v);
+            }
+        }
+
+        // Step 3: dense DFA. delta(s, b) = goto(s, b) if present, else
+        // delta(fail(s), b); computed in BFS order so parents are done first.
+        let n = nodes.len();
+        let mut trans = vec![0u32; n * 256];
+        // Root row.
+        for (b, child) in &nodes[0].children {
+            trans[*b as usize] = *child;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        for (_, child) in &root_children {
+            queue.push_back(*child);
+        }
+        let mut visited = vec![false; n];
+        visited[0] = true;
+        while let Some(u) = queue.pop_front() {
+            if visited[u as usize] {
+                continue;
+            }
+            visited[u as usize] = true;
+            let fail = nodes[u as usize].fail;
+            // Start from the failure state's row, then overlay gotos.
+            let (fail_row_start, u_row_start) = (fail as usize * 256, u as usize * 256);
+            for b in 0..256 {
+                trans[u_row_start + b] = trans[fail_row_start + b];
+            }
+            for &(b, child) in &nodes[u as usize].children {
+                trans[u_row_start + b as usize] = child;
+                queue.push_back(child);
+            }
+        }
+
+        AhoCorasick {
+            trans,
+            outputs: nodes.into_iter().map(|nd| nd.out).collect(),
+            state_count: n,
+            case_insensitive,
+            pattern_count: patterns.iter().filter(|p| !p.is_empty()).count(),
+        }
+    }
+
+    /// Number of DFA states (memory/cost metric).
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Number of (non-empty) patterns compiled in.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Approximate size of the transition table in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.trans.len() * core::mem::size_of::<u32>()
+    }
+
+    /// Scan `data`, advancing `state`, invoking `on_match` for every match.
+    ///
+    /// This is the streaming entry point: call repeatedly with consecutive
+    /// chunks of one stream, reusing the same `state`.
+    pub fn scan<F: FnMut(Match)>(&self, state: &mut MatcherState, data: &[u8], mut on_match: F) {
+        let mut s = state.state as usize;
+        let ci = self.case_insensitive;
+        for (i, &raw) in data.iter().enumerate() {
+            let b = fold(raw, ci);
+            s = self.trans[s * 256 + b as usize] as usize;
+            let outs = &self.outputs[s];
+            if !outs.is_empty() {
+                let end = state.offset + i as u64 + 1;
+                for &pid in outs {
+                    on_match(Match { pattern: pid, end });
+                }
+            }
+        }
+        state.state = s as u32;
+        state.offset += data.len() as u64;
+    }
+
+    /// Count matches in `data` without materializing them (the hot path
+    /// for the benchmark harness).
+    pub fn count(&self, state: &mut MatcherState, data: &[u8]) -> u64 {
+        let mut n = 0u64;
+        let mut s = state.state as usize;
+        let ci = self.case_insensitive;
+        for &raw in data {
+            let b = fold(raw, ci);
+            s = self.trans[s * 256 + b as usize] as usize;
+            n += self.outputs[s].len() as u64;
+        }
+        state.state = s as u32;
+        state.offset += data.len() as u64;
+        n
+    }
+
+    /// One-shot convenience: all matches in a standalone buffer.
+    pub fn find_all(&self, data: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut st = MatcherState::new();
+        self.scan(&mut st, data, |m| out.push(m));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pats(v: &[&str]) -> Vec<Vec<u8>> {
+        v.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn classic_ushers() {
+        let ac = AhoCorasick::new(&pats(&["he", "she", "his", "hers"]), false);
+        let m = ac.find_all(b"ushers");
+        let got: Vec<(u32, u64)> = m.iter().map(|m| (m.pattern, m.end)).collect();
+        assert!(got.contains(&(1, 4))); // she
+        assert!(got.contains(&(0, 4))); // he
+        assert!(got.contains(&(3, 6))); // hers
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_matches_all_reported() {
+        let ac = AhoCorasick::new(&pats(&["aa"]), false);
+        let m = ac.find_all(b"aaaa");
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn streaming_across_chunk_boundary() {
+        let ac = AhoCorasick::new(&pats(&["attack-string"]), false);
+        let data = b"xxattack-stringyy";
+        for split in 0..data.len() {
+            let mut st = MatcherState::new();
+            let mut found = Vec::new();
+            ac.scan(&mut st, &data[..split], |m| found.push(m));
+            ac.scan(&mut st, &data[split..], |m| found.push(m));
+            assert_eq!(found.len(), 1, "split at {split}");
+            assert_eq!(found[0].end, 15);
+        }
+    }
+
+    #[test]
+    fn case_insensitive_matches_both_cases() {
+        let ac = AhoCorasick::new(&pats(&["SELECT"]), true);
+        assert_eq!(ac.find_all(b"select * from").len(), 1);
+        assert_eq!(ac.find_all(b"SeLeCt").len(), 1);
+        let cs = AhoCorasick::new(&pats(&["SELECT"]), false);
+        assert_eq!(cs.find_all(b"select").len(), 0);
+    }
+
+    #[test]
+    fn empty_patterns_ignored() {
+        let ac = AhoCorasick::new(&pats(&["", "x"]), false);
+        assert_eq!(ac.pattern_count(), 1);
+        assert_eq!(ac.find_all(b"xx").len(), 2);
+    }
+
+    #[test]
+    fn count_agrees_with_scan() {
+        let ac = AhoCorasick::new(&pats(&["ab", "bc", "abc"]), false);
+        let data = b"zabcabcz";
+        let mut s1 = MatcherState::new();
+        let mut s2 = MatcherState::new();
+        let n = ac.count(&mut s1, data);
+        assert_eq!(n, ac.find_all(data).len() as u64);
+        let mut k = 0;
+        ac.scan(&mut s2, data, |_| k += 1);
+        assert_eq!(n, k);
+    }
+
+    #[test]
+    fn binary_patterns_work() {
+        let ac = AhoCorasick::new(&[vec![0x00, 0xFF, 0x00], vec![0x90, 0x90, 0x90]], false);
+        let data = [0x41, 0x00, 0xFF, 0x00, 0x90, 0x90, 0x90, 0x41];
+        assert_eq!(ac.find_all(&data).len(), 2);
+    }
+
+    #[test]
+    fn offsets_accumulate_across_chunks() {
+        let ac = AhoCorasick::new(&pats(&["z"]), false);
+        let mut st = MatcherState::new();
+        let mut ends = Vec::new();
+        ac.scan(&mut st, b"az", |m| ends.push(m.end));
+        ac.scan(&mut st, b"bz", |m| ends.push(m.end));
+        assert_eq!(ends, vec![2, 4]);
+        assert_eq!(st.offset(), 4);
+    }
+
+    /// Naive oracle for differential testing.
+    fn naive_count(patterns: &[Vec<u8>], data: &[u8]) -> u64 {
+        let mut n = 0;
+        for p in patterns.iter().filter(|p| !p.is_empty()) {
+            if p.len() > data.len() {
+                continue;
+            }
+            for w in data.windows(p.len()) {
+                if w == &p[..] {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    proptest! {
+        /// DFA agrees with the naive windowed scan on random inputs,
+        /// including when the input is split into chunks.
+        #[test]
+        fn agrees_with_naive(
+            patterns in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 1..5), 1..6),
+            data in proptest::collection::vec(0u8..4, 0..100),
+            split in 0usize..100,
+        ) {
+            let ac = AhoCorasick::new(&patterns, false);
+            let mut st = MatcherState::new();
+            let cut = split.min(data.len());
+            let n = ac.count(&mut st, &data[..cut]) + ac.count(&mut st, &data[cut..]);
+            prop_assert_eq!(n, naive_count(&patterns, &data));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Pattern corpora: Snort-rule `content:` extraction and a seeded
+//! generator that mirrors the paper's workload.
+//!
+//! The paper extracts 2,120 strings from the `content:` fields of the VRT
+//! "web attack" rules. That rule set is proprietary, so this module
+//! provides (a) a parser for the standard Snort rule syntax, usable with
+//! any rule file the user supplies, and (b) a deterministic generator that
+//! produces a corpus with the same *shape*: HTTP-attack-flavoured strings,
+//! 4–30 bytes, some with hex escapes, seeded so every run sees the same
+//! set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Extract every `content:"..."` pattern from Snort rule text.
+///
+/// Handles the `|41 42|` hex-escape notation inside content strings and
+/// skips negated contents (`content:!"..."`). Returns raw byte patterns.
+pub fn extract_contents(rules: &str) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for line in rules.lines() {
+        let line = line.trim();
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(idx) = rest.find("content:") {
+            rest = &rest[idx + "content:".len()..];
+            let body = rest.trim_start();
+            if body.starts_with('!') {
+                // negated content: not a pattern to search for
+                continue;
+            }
+            let Some(body) = body.strip_prefix('"') else {
+                continue;
+            };
+            let Some(endq) = body.find('"') else { continue };
+            if let Some(p) = decode_content(&body[..endq]) {
+                if !p.is_empty() {
+                    out.push(p);
+                }
+            }
+            rest = &body[endq..];
+        }
+    }
+    out
+}
+
+/// Decode a Snort content string: literal bytes with `|hex bytes|` spans.
+fn decode_content(s: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(s.len());
+    let mut in_hex = false;
+    let mut hex_acc = String::new();
+    for c in s.chars() {
+        if c == '|' {
+            if in_hex {
+                for pair in hex_acc.split_whitespace() {
+                    out.push(u8::from_str_radix(pair, 16).ok()?);
+                }
+                hex_acc.clear();
+            }
+            in_hex = !in_hex;
+        } else if in_hex {
+            hex_acc.push(c);
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    if in_hex {
+        return None; // unterminated hex span
+    }
+    Some(out)
+}
+
+/// A small corpus of genuine web-attack strings for examples and tests.
+pub fn builtin_web_patterns() -> Vec<Vec<u8>> {
+    [
+        "../..",
+        "/etc/passwd",
+        "cmd.exe",
+        "xp_cmdshell",
+        "UNION SELECT",
+        "<script>",
+        "javascript:",
+        "' OR '1'='1",
+        "/bin/sh",
+        "%00",
+        "..%2f..%2f",
+        "eval(",
+        "base64_decode",
+        "wget http",
+        "/admin/config",
+        "DROP TABLE",
+        "onerror=",
+        "document.cookie",
+        "passwd.txt",
+        "boot.ini",
+    ]
+    .iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect()
+}
+
+/// Generate `n` distinct attack-flavoured patterns, deterministically from
+/// `seed`. Pattern lengths and byte distribution mimic `content:` strings
+/// from web-attack rules: a recognizable stem plus a distinguishing
+/// suffix, 4–30 bytes overall.
+pub fn generate_web_attack_patterns(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    const STEMS: &[&str] = &[
+        "GET /", "POST /", "/cgi-bin/", "/scripts/", "../", "%2e%2e/", "SELECT ", "UNION ",
+        "INSERT ", "exec(", "eval(", "system(", "<script", "onload=", "onerror=", "cmd=",
+        "id=", "file=", "path=", "page=", "/etc/", "/bin/", "passwd", "shadow", "config",
+        "admin", "login", "shell", "upload", "include=",
+    ];
+    const TAILS: &[&str] = &[
+        ".php", ".asp", ".cgi", ".jsp", ".pl", ".exe", ".dll", ".ini", ".conf", ".bak",
+        "%00", "%20", "'--", "\";", ")/*", "../", "\\x90", "HTTP/1.", "\r\n", "&x=",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let stem = STEMS[rng.random_range(0..STEMS.len())];
+        let tail = TAILS[rng.random_range(0..TAILS.len())];
+        let mid_len = rng.random_range(0..12usize);
+        let mut pat = Vec::with_capacity(stem.len() + mid_len + tail.len());
+        pat.extend_from_slice(stem.as_bytes());
+        for _ in 0..mid_len {
+            // Alphanumeric filler, biased to lowercase like real URIs.
+            let c = match rng.random_range(0..10u8) {
+                0..=5 => rng.random_range(b'a'..=b'z'),
+                6..=7 => rng.random_range(b'0'..=b'9'),
+                8 => b'_',
+                _ => rng.random_range(b'A'..=b'Z'),
+            };
+            pat.push(c);
+        }
+        pat.extend_from_slice(tail.as_bytes());
+        pat.truncate(30);
+        if pat.len() >= 4 && seen.insert(pat.clone()) {
+            out.push(pat);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_plain_contents() {
+        let rules = r#"
+# a comment
+alert tcp any any -> any 80 (msg:"test"; content:"/etc/passwd"; sid:1;)
+alert tcp any any -> any 80 (msg:"two"; content:"a"; content:"bb"; sid:2;)
+"#;
+        let pats = extract_contents(rules);
+        assert_eq!(
+            pats,
+            vec![b"/etc/passwd".to_vec(), b"a".to_vec(), b"bb".to_vec()]
+        );
+    }
+
+    #[test]
+    fn extracts_hex_escapes() {
+        let rules = r#"alert tcp any any -> any any (content:"AB|43 44|EF"; sid:3;)"#;
+        let pats = extract_contents(rules);
+        assert_eq!(pats, vec![b"ABCDEF".to_vec()]);
+    }
+
+    #[test]
+    fn skips_negated_contents() {
+        let rules = r#"alert tcp any any -> any any (content:!"nope"; content:"yes"; sid:4;)"#;
+        assert_eq!(extract_contents(rules), vec![b"yes".to_vec()]);
+    }
+
+    #[test]
+    fn malformed_hex_dropped() {
+        let rules = r#"alert tcp any any -> any any (content:"AB|4"; sid:5;)"#;
+        assert!(extract_contents(rules).is_empty());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_distinct() {
+        let a = generate_web_attack_patterns(2120, 42);
+        let b = generate_web_attack_patterns(2120, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2120);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 2120);
+        assert!(a.iter().all(|p| p.len() >= 4 && p.len() <= 30));
+        let c = generate_web_attack_patterns(100, 43);
+        assert_ne!(a[..100], c[..]);
+    }
+
+    #[test]
+    fn generated_patterns_compile() {
+        let pats = generate_web_attack_patterns(500, 7);
+        let ac = crate::AhoCorasick::new(&pats, false);
+        assert_eq!(ac.pattern_count(), 500);
+        // A buffer containing one of the patterns matches.
+        let mut data = b"noise ".to_vec();
+        data.extend_from_slice(&pats[17]);
+        data.extend_from_slice(b" more noise");
+        assert!(!ac.find_all(&data).is_empty());
+    }
+
+    #[test]
+    fn builtin_patterns_nonempty() {
+        let p = builtin_web_patterns();
+        assert!(p.len() >= 20);
+    }
+}

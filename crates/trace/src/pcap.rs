@@ -1,0 +1,207 @@
+//! Libpcap file-format reader and writer.
+//!
+//! Implements the classic pcap container (not pcapng): the 24-byte global
+//! header followed by per-packet records. Both byte orders and both
+//! timestamp resolutions (microsecond magic `0xA1B2C3D4`, nanosecond
+//! magic `0xA1B23C4D`) are read; writing always produces native-order
+//! nanosecond files, which modern tcpdump/wireshark accept.
+
+use crate::{Packet, TraceError};
+use std::io::{BufReader, BufWriter, Read, Write};
+
+/// Microsecond-resolution pcap magic.
+pub const MAGIC_USEC: u32 = 0xA1B2_C3D4;
+/// Nanosecond-resolution pcap magic.
+pub const MAGIC_NSEC: u32 = 0xA1B2_3C4D;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Write `packets` as a pcap file.
+pub fn write_file<'a, W: Write>(
+    w: W,
+    packets: impl IntoIterator<Item = &'a Packet>,
+) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(w);
+    // Global header: magic, v2.4, thiszone 0, sigfigs 0, snaplen, linktype.
+    w.write_all(&MAGIC_NSEC.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?;
+    w.write_all(&4u16.to_le_bytes())?;
+    w.write_all(&0i32.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&65535u32.to_le_bytes())?;
+    w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+    for p in packets {
+        let sec = (p.ts_ns / 1_000_000_000) as u32;
+        let nsec = (p.ts_ns % 1_000_000_000) as u32;
+        let len = p.frame.len() as u32;
+        w.write_all(&sec.to_le_bytes())?;
+        w.write_all(&nsec.to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&p.frame)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Streaming pcap reader.
+pub struct PcapReader<R: Read> {
+    r: BufReader<R>,
+    swapped: bool,
+    nsec: bool,
+    snaplen: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Open a pcap stream, parsing the global header.
+    pub fn new(r: R) -> Result<Self, TraceError> {
+        let mut r = BufReader::new(r);
+        let mut hdr = [0u8; 24];
+        r.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        let (swapped, nsec) = match magic {
+            MAGIC_USEC => (false, false),
+            MAGIC_NSEC => (false, true),
+            m if m.swap_bytes() == MAGIC_USEC => (true, false),
+            m if m.swap_bytes() == MAGIC_NSEC => (true, true),
+            m => return Err(TraceError::BadMagic(m)),
+        };
+        let snaplen = read_u32(&hdr[16..20], swapped);
+        Ok(PcapReader {
+            r,
+            swapped,
+            nsec,
+            snaplen: snaplen.max(65535),
+        })
+    }
+
+    /// Read the next packet; `Ok(None)` at clean end-of-file.
+    pub fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+        let mut rec = [0u8; 16];
+        match self.r.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let sec = read_u32(&rec[0..4], self.swapped) as u64;
+        let frac = read_u32(&rec[4..8], self.swapped) as u64;
+        let incl = read_u32(&rec[8..12], self.swapped);
+        if incl > self.snaplen.max(262_144) {
+            return Err(TraceError::BadRecord(format!(
+                "record length {incl} exceeds snap length"
+            )));
+        }
+        let mut frame = vec![0u8; incl as usize];
+        self.r.read_exact(&mut frame)?;
+        let ts_ns = sec * 1_000_000_000 + if self.nsec { frac } else { frac * 1000 };
+        Ok(Some(Packet::new(ts_ns, frame)))
+    }
+
+    /// Read the whole file into memory.
+    pub fn read_all(mut self) -> Result<Vec<Packet>, TraceError> {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+fn read_u32(b: &[u8], swapped: bool) -> u32 {
+    let v = u32::from_le_bytes(b.try_into().unwrap());
+    if swapped {
+        v.swap_bytes()
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_wire::{PacketBuilder, TcpFlags};
+
+    fn sample_packets() -> Vec<Packet> {
+        vec![
+            Packet::new(
+                1_500_000_123,
+                PacketBuilder::tcp_v4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 3, 4, TcpFlags::SYN, b""),
+            ),
+            Packet::new(
+                2_000_000_456,
+                PacketBuilder::udp_v4([3, 3, 3, 3], [4, 4, 4, 4], 5, 6, b"payload"),
+            ),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_packets() {
+        let pkts = sample_packets();
+        let mut buf = Vec::new();
+        write_file(&mut buf, &pkts).unwrap();
+        let back = PcapReader::new(&buf[..]).unwrap().read_all().unwrap();
+        assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn reads_byteswapped_files() {
+        let pkts = sample_packets();
+        let mut buf = Vec::new();
+        write_file(&mut buf, &pkts).unwrap();
+        // Byte-swap the whole header to simulate a foreign-endian file.
+        for i in (0..24).step_by(4) {
+            buf[i..i + 4].reverse();
+        }
+        // Records too.
+        let mut off = 24;
+        for p in &pkts {
+            for i in (off..off + 16).step_by(4) {
+                buf[i..i + 4].reverse();
+            }
+            off += 16 + p.frame.len();
+        }
+        let back = PcapReader::new(&buf[..]).unwrap().read_all().unwrap();
+        assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn usec_resolution_scales_to_ns() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&0i32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&65535u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        // One 4-byte packet at t = 7s + 123us.
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&123u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&[9, 9, 9, 9]);
+        let pkts = PcapReader::new(&buf[..]).unwrap().read_all().unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].ts_ns, 7_000_123_000);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 24];
+        assert!(matches!(
+            PcapReader::new(&buf[..]),
+            Err(TraceError::BadMagic(0))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let pkts = sample_packets();
+        let mut buf = Vec::new();
+        write_file(&mut buf, &pkts).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(r.next_packet().unwrap().is_some());
+        assert!(r.next_packet().is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Trace statistics — the §6.1 trace-description table.
+
+use crate::Packet;
+use scap_wire::{ip_proto, parse_frame};
+use std::collections::HashSet;
+
+/// Aggregate statistics over a packet stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total packets.
+    pub packets: u64,
+    /// Total frame bytes.
+    pub total_bytes: u64,
+    /// TCP packets.
+    pub tcp_packets: u64,
+    /// TCP frame bytes.
+    pub tcp_bytes: u64,
+    /// UDP packets.
+    pub udp_packets: u64,
+    /// UDP frame bytes.
+    pub udp_bytes: u64,
+    /// Packets that are neither TCP nor UDP (ICMP, ARP, ...).
+    pub other_packets: u64,
+    /// Distinct bidirectional flows (canonical 5-tuples).
+    pub flows: u64,
+    /// Distinct TCP flows.
+    pub tcp_flows: u64,
+    /// First packet timestamp (ns).
+    pub first_ts_ns: u64,
+    /// Last packet timestamp (ns).
+    pub last_ts_ns: u64,
+    /// Frames that failed to parse.
+    pub parse_errors: u64,
+}
+
+impl TraceStats {
+    /// Compute statistics over an iterator of packets.
+    pub fn from_packets<'a>(packets: impl IntoIterator<Item = &'a Packet>) -> Self {
+        let mut s = TraceStats::default();
+        let mut flows = HashSet::new();
+        let mut tcp_flows = HashSet::new();
+        let mut first = None;
+        for p in packets {
+            s.packets += 1;
+            s.total_bytes += p.len() as u64;
+            first.get_or_insert(p.ts_ns);
+            s.last_ts_ns = s.last_ts_ns.max(p.ts_ns);
+            match parse_frame(&p.frame) {
+                Ok(parsed) => {
+                    match parsed.ip_proto {
+                        Some(ip_proto::TCP) => {
+                            s.tcp_packets += 1;
+                            s.tcp_bytes += p.len() as u64;
+                        }
+                        Some(ip_proto::UDP) => {
+                            s.udp_packets += 1;
+                            s.udp_bytes += p.len() as u64;
+                        }
+                        _ => s.other_packets += 1,
+                    }
+                    if let Some(key) = parsed.key {
+                        let (canon, _) = key.canonical();
+                        flows.insert(canon);
+                        if parsed.is_tcp() {
+                            tcp_flows.insert(canon);
+                        }
+                    }
+                }
+                Err(_) => s.parse_errors += 1,
+            }
+        }
+        s.first_ts_ns = first.unwrap_or(0);
+        s.flows = flows.len() as u64;
+        s.tcp_flows = tcp_flows.len() as u64;
+        s
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.last_ts_ns.saturating_sub(self.first_ts_ns)) as f64 / 1e9
+    }
+
+    /// Mean frame size in bytes.
+    pub fn mean_packet_size(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.packets as f64
+        }
+    }
+
+    /// TCP share of total bytes, in percent (paper reports 95.4 %).
+    pub fn tcp_byte_percent(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            100.0 * self.tcp_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Average bit rate of the trace as captured.
+    pub fn mean_rate_bps(&self) -> f64 {
+        let d = self.duration_secs();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.total_bytes as f64 * 8.0 / d
+        }
+    }
+
+    /// Render as the §6.1-style description table.
+    pub fn table(&self) -> String {
+        format!(
+            "packets            {:>14}\n\
+             flows              {:>14}\n\
+             total bytes        {:>14}\n\
+             TCP traffic        {:>13.1}%\n\
+             mean packet size   {:>13.1}B\n\
+             duration           {:>13.2}s\n\
+             mean capture rate  {:>10.1} Mbit/s",
+            self.packets,
+            self.flows,
+            self.total_bytes,
+            self.tcp_byte_percent(),
+            self.mean_packet_size(),
+            self.duration_secs(),
+            self.mean_rate_bps() / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_wire::{PacketBuilder, TcpFlags};
+
+    #[test]
+    fn counts_by_protocol() {
+        let pkts = vec![
+            Packet::new(
+                0,
+                PacketBuilder::tcp_v4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 0, 0, TcpFlags::SYN, b"abc"),
+            ),
+            Packet::new(
+                1_000_000_000,
+                PacketBuilder::tcp_v4([2, 2, 2, 2], [1, 1, 1, 1], 2, 1, 0, 0, TcpFlags::SYN | TcpFlags::ACK, b""),
+            ),
+            Packet::new(
+                2_000_000_000,
+                PacketBuilder::udp_v4([3, 3, 3, 3], [4, 4, 4, 4], 5, 6, b"xy"),
+            ),
+            Packet::new(
+                3_000_000_000,
+                PacketBuilder::icmp_echo_v4([5, 5, 5, 5], [6, 6, 6, 6], 1, 1, b"p"),
+            ),
+        ];
+        let s = TraceStats::from_packets(pkts.iter());
+        assert_eq!(s.packets, 4);
+        assert_eq!(s.tcp_packets, 2);
+        assert_eq!(s.udp_packets, 1);
+        assert_eq!(s.other_packets, 1);
+        // Both TCP directions collapse to one flow; UDP adds one more.
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.tcp_flows, 1);
+        assert_eq!(s.duration_secs(), 3.0);
+        assert!(s.mean_packet_size() > 0.0);
+        assert!(s.table().contains("packets"));
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::from_packets(std::iter::empty());
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.mean_packet_size(), 0.0);
+        assert_eq!(s.tcp_byte_percent(), 0.0);
+        assert_eq!(s.mean_rate_bps(), 0.0);
+    }
+}

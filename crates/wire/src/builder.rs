@@ -1,0 +1,281 @@
+//! Packet construction for the traffic generator and tests.
+//!
+//! Builders always produce well-formed frames with correct checksums, so
+//! anything the generator emits survives the strict parsers. Each builder
+//! returns an owned `Vec<u8>` containing a complete Ethernet frame.
+
+use crate::checksum;
+use crate::ethernet::{self, EtherType, MacAddr};
+use crate::tcp::{self, TcpFlags, TcpHeader};
+use crate::{icmp, ip_proto, ipv4, ipv6, udp};
+
+/// Default MAC addresses used by the synthetic workloads. The monitoring
+/// stacks never key on L2 addresses, so fixed values are fine.
+const SRC_MAC: MacAddr = MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, 0x01]);
+const DST_MAC: MacAddr = MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, 0x02]);
+
+/// Frame builders for every packet shape the workloads need.
+#[derive(Debug)]
+pub struct PacketBuilder;
+
+impl PacketBuilder {
+    /// Total header overhead of a TCP/IPv4 frame (Ethernet+IP+TCP).
+    pub const TCP_V4_OVERHEAD: usize =
+        ethernet::EthernetFrame::HEADER_LEN + ipv4::Ipv4Packet::MIN_HEADER_LEN + tcp::TcpPacket::MIN_HEADER_LEN;
+
+    /// Total header overhead of a UDP/IPv4 frame.
+    pub const UDP_V4_OVERHEAD: usize =
+        ethernet::EthernetFrame::HEADER_LEN + ipv4::Ipv4Packet::MIN_HEADER_LEN + udp::UdpPacket::HEADER_LEN;
+
+    /// Build a TCP/IPv4 frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_v4(
+        src: [u8; 4],
+        dst: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let eth_len = ethernet::EthernetFrame::HEADER_LEN;
+        let ip_len = ipv4::Ipv4Packet::MIN_HEADER_LEN;
+        let tcp_len = tcp::TcpPacket::MIN_HEADER_LEN;
+        let mut frame = vec![0u8; eth_len + ip_len + tcp_len + payload.len()];
+
+        ethernet::emit_header(&mut frame[..eth_len], DST_MAC, SRC_MAC, EtherType::Ipv4);
+        ipv4::emit_header(
+            &mut frame[eth_len..],
+            &ipv4::Ipv4Header {
+                src,
+                dst,
+                protocol: ip_proto::TCP,
+                payload_len: (tcp_len + payload.len()) as u16,
+                ttl: 64,
+                ident: (seq >> 8) as u16 ^ seq as u16,
+            },
+        );
+        let l4 = &mut frame[eth_len + ip_len..];
+        tcp::emit_header(
+            l4,
+            &TcpHeader {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window: 0xFFFF,
+            },
+        );
+        l4[tcp_len..].copy_from_slice(payload);
+        let mut sum = checksum::pseudo_header_v4(
+            src,
+            dst,
+            ip_proto::TCP,
+            (tcp_len + payload.len()) as u16,
+        );
+        sum.push(l4);
+        let c = sum.finish();
+        frame[eth_len + ip_len + 16..eth_len + ip_len + 18].copy_from_slice(&c.to_be_bytes());
+        frame
+    }
+
+    /// Build a UDP/IPv4 frame.
+    pub fn udp_v4(
+        src: [u8; 4],
+        dst: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let eth_len = ethernet::EthernetFrame::HEADER_LEN;
+        let ip_len = ipv4::Ipv4Packet::MIN_HEADER_LEN;
+        let udp_len = udp::UdpPacket::HEADER_LEN;
+        let mut frame = vec![0u8; eth_len + ip_len + udp_len + payload.len()];
+
+        ethernet::emit_header(&mut frame[..eth_len], DST_MAC, SRC_MAC, EtherType::Ipv4);
+        ipv4::emit_header(
+            &mut frame[eth_len..],
+            &ipv4::Ipv4Header {
+                src,
+                dst,
+                protocol: ip_proto::UDP,
+                payload_len: (udp_len + payload.len()) as u16,
+                ttl: 64,
+                ident: 0,
+            },
+        );
+        let l4 = &mut frame[eth_len + ip_len..];
+        udp::emit_header(l4, src_port, dst_port, payload.len() as u16);
+        l4[udp_len..].copy_from_slice(payload);
+        let mut sum = checksum::pseudo_header_v4(
+            src,
+            dst,
+            ip_proto::UDP,
+            (udp_len + payload.len()) as u16,
+        );
+        sum.push(l4);
+        let c = match sum.finish() {
+            0 => 0xFFFF, // RFC 768: transmitted zero means "no checksum"
+            c => c,
+        };
+        frame[eth_len + ip_len + 6..eth_len + ip_len + 8].copy_from_slice(&c.to_be_bytes());
+        frame
+    }
+
+    /// Build a TCP/IPv6 frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_v6(
+        src: [u8; 16],
+        dst: [u8; 16],
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let eth_len = ethernet::EthernetFrame::HEADER_LEN;
+        let ip_len = ipv6::Ipv6Packet::HEADER_LEN;
+        let tcp_len = tcp::TcpPacket::MIN_HEADER_LEN;
+        let mut frame = vec![0u8; eth_len + ip_len + tcp_len + payload.len()];
+
+        ethernet::emit_header(&mut frame[..eth_len], DST_MAC, SRC_MAC, EtherType::Ipv6);
+        ipv6::emit_header(
+            &mut frame[eth_len..],
+            &ipv6::Ipv6Header {
+                src,
+                dst,
+                next_header: ip_proto::TCP,
+                payload_len: (tcp_len + payload.len()) as u16,
+                hop_limit: 64,
+            },
+        );
+        let l4 = &mut frame[eth_len + ip_len..];
+        tcp::emit_header(
+            l4,
+            &TcpHeader {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window: 0xFFFF,
+            },
+        );
+        l4[tcp_len..].copy_from_slice(payload);
+        let mut sum = checksum::pseudo_header_v6(
+            src,
+            dst,
+            ip_proto::TCP,
+            (tcp_len + payload.len()) as u32,
+        );
+        sum.push(l4);
+        let c = sum.finish();
+        frame[eth_len + ip_len + 16..eth_len + ip_len + 18].copy_from_slice(&c.to_be_bytes());
+        frame
+    }
+
+    /// Build an ICMP echo frame (background noise in the campus mix).
+    pub fn icmp_echo_v4(src: [u8; 4], dst: [u8; 4], ident: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
+        let eth_len = ethernet::EthernetFrame::HEADER_LEN;
+        let ip_len = ipv4::Ipv4Packet::MIN_HEADER_LEN;
+        let icmp_len = icmp::IcmpPacket::HEADER_LEN;
+        let mut frame = vec![0u8; eth_len + ip_len + icmp_len + payload.len()];
+
+        ethernet::emit_header(&mut frame[..eth_len], DST_MAC, SRC_MAC, EtherType::Ipv4);
+        ipv4::emit_header(
+            &mut frame[eth_len..],
+            &ipv4::Ipv4Header {
+                src,
+                dst,
+                protocol: ip_proto::ICMP,
+                payload_len: (icmp_len + payload.len()) as u16,
+                ttl: 64,
+                ident: 0,
+            },
+        );
+        frame[eth_len + ip_len + icmp_len..].copy_from_slice(payload);
+        let (head, body) = frame[eth_len + ip_len..].split_at_mut(icmp_len);
+        icmp::emit_echo(head, icmp::IcmpPacket::ECHO_REQUEST, ident, seq, body);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_frame, Ipv4Packet, TcpPacket, UdpPacket};
+
+    #[test]
+    fn tcp_v4_checksums_are_valid() {
+        let frame = PacketBuilder::tcp_v4(
+            [1, 2, 3, 4],
+            [5, 6, 7, 8],
+            1000,
+            2000,
+            7,
+            9,
+            TcpFlags::SYN,
+            b"abc",
+        );
+        let eth = 14;
+        let ip = Ipv4Packet::new_checked(&frame[eth..]).unwrap();
+        ip.verify_checksum().unwrap();
+        // TCP checksum over pseudo-header folds to zero.
+        let mut sum = checksum::pseudo_header_v4(
+            ip.src_addr(),
+            ip.dst_addr(),
+            ip_proto::TCP,
+            ip.payload().len() as u16,
+        );
+        sum.push(ip.payload());
+        assert_eq!(sum.finish(), 0);
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(t.payload(), b"abc");
+    }
+
+    #[test]
+    fn udp_v4_checksums_are_valid() {
+        let frame = PacketBuilder::udp_v4([9, 9, 9, 9], [8, 8, 8, 8], 111, 222, b"payload");
+        let ip = Ipv4Packet::new_checked(&frame[14..]).unwrap();
+        ip.verify_checksum().unwrap();
+        let mut sum = checksum::pseudo_header_v4(
+            ip.src_addr(),
+            ip.dst_addr(),
+            ip_proto::UDP,
+            ip.payload().len() as u16,
+        );
+        sum.push(ip.payload());
+        assert_eq!(sum.finish(), 0);
+        let u = UdpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(u.payload(), b"payload");
+    }
+
+    #[test]
+    fn tcp_v6_parses_back() {
+        let frame = PacketBuilder::tcp_v6(
+            [1u8; 16],
+            [2u8; 16],
+            10,
+            20,
+            100,
+            200,
+            TcpFlags::ACK,
+            b"v6data",
+        );
+        let p = parse_frame(&frame).unwrap();
+        assert!(p.is_tcp());
+        assert_eq!(p.payload(), b"v6data");
+        assert_eq!(p.tcp.unwrap().seq, 100);
+    }
+
+    #[test]
+    fn icmp_parses_back() {
+        let frame = PacketBuilder::icmp_echo_v4([1, 1, 1, 1], [2, 2, 2, 2], 5, 6, b"ping!");
+        let p = parse_frame(&frame).unwrap();
+        assert_eq!(p.ip_proto, Some(ip_proto::ICMP));
+        assert!(p.key.is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Internet checksum (RFC 1071) and pseudo-header helpers.
+
+/// Incremental ones-complement sum accumulator.
+///
+/// The accumulator can be fed data in arbitrary slices; `finish` folds the
+/// carries and complements the result. Odd-length slices are only legal for
+/// the *final* `push` (standard RFC 1071 behaviour).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Checksum { sum: 0 }
+    }
+
+    /// Add a byte slice to the sum. A trailing odd byte is padded with zero.
+    pub fn push(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Add a single big-endian u16.
+    pub fn push_u16(&mut self, v: u16) {
+        self.sum += u32::from(v);
+    }
+
+    /// Fold carries and return the ones-complement checksum.
+    pub fn finish(mut self) -> u16 {
+        while self.sum >> 16 != 0 {
+            self.sum = (self.sum & 0xFFFF) + (self.sum >> 16);
+        }
+        !(self.sum as u16)
+    }
+}
+
+/// Checksum of a single contiguous buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.push(data);
+    c.finish()
+}
+
+/// IPv4 pseudo-header sum for TCP/UDP checksums.
+pub fn pseudo_header_v4(src: [u8; 4], dst: [u8; 4], proto: u8, l4_len: u16) -> Checksum {
+    let mut c = Checksum::new();
+    c.push(&src);
+    c.push(&dst);
+    c.push_u16(u16::from(proto));
+    c.push_u16(l4_len);
+    c
+}
+
+/// IPv6 pseudo-header sum for TCP/UDP checksums.
+pub fn pseudo_header_v6(src: [u8; 16], dst: [u8; 16], proto: u8, l4_len: u32) -> Checksum {
+    let mut c = Checksum::new();
+    c.push(&src);
+    c.push(&dst);
+    c.push_u16((l4_len >> 16) as u16);
+    c.push_u16(l4_len as u16);
+    c.push_u16(u16::from(proto));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> 0xddf2, ~ = 0x220d
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xFF]), !0xFF00);
+    }
+
+    #[test]
+    fn zero_buffer_sums_to_ffff() {
+        assert_eq!(checksum(&[0u8; 20]), 0xFFFF);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0u8..=200).collect();
+        let oneshot = checksum(&data);
+        let mut inc = Checksum::new();
+        inc.push(&data[..100]);
+        inc.push(&data[100..200]);
+        inc.push(&data[200..]);
+        assert_eq!(inc.finish(), oneshot);
+    }
+
+    #[test]
+    fn verifying_a_buffer_with_its_checksum_yields_zero() {
+        let mut data = vec![1u8, 2, 3, 4, 5, 6, 0, 0];
+        let c = checksum(&data);
+        data[6..8].copy_from_slice(&c.to_be_bytes());
+        // A correct checksum makes the full sum fold to 0.
+        assert_eq!(checksum(&data), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Ethernet II frame view.
+
+use crate::{Result, WireError};
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group bit (least-significant bit of the first octet) is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values relevant to the monitoring stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// IPv6 (0x86DD).
+    Ipv6,
+    /// 802.1Q VLAN tag (0x8100).
+    Vlan,
+    /// Anything else, with the raw value preserved.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86DD => EtherType::Ipv6,
+            0x8100 => EtherType::Vlan,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86DD,
+            EtherType::Vlan => 0x8100,
+            EtherType::Other(o) => o,
+        }
+    }
+}
+
+/// A read-only view over an Ethernet II frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetFrame<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> EthernetFrame<'a> {
+    /// Length of the Ethernet II header (no VLAN tags, no FCS).
+    pub const HEADER_LEN: usize = 14;
+
+    /// Wrap `buf`, checking it is long enough to hold the header.
+    pub fn new_checked(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < Self::HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(EthernetFrame { buf })
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[0..6]);
+        MacAddr(m)
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[6..12]);
+        MacAddr(m)
+    }
+
+    /// EtherType of the payload.
+    pub fn ethertype(&self) -> EtherType {
+        u16::from_be_bytes([self.buf[12], self.buf[13]]).into()
+    }
+
+    /// The L3 payload bytes.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[Self::HEADER_LEN..]
+    }
+}
+
+/// Write an Ethernet II header into `buf` (must be at least 14 bytes).
+pub fn emit_header(buf: &mut [u8], dst: MacAddr, src: MacAddr, ethertype: EtherType) {
+    buf[0..6].copy_from_slice(&dst.0);
+    buf[6..12].copy_from_slice(&src.0);
+    let et: u16 = ethertype.into();
+    buf[12..14].copy_from_slice(&et.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut buf = [0u8; 14];
+        let src = MacAddr([1, 2, 3, 4, 5, 6]);
+        let dst = MacAddr([7, 8, 9, 10, 11, 12]);
+        emit_header(&mut buf, dst, src, EtherType::Ipv4);
+        let f = EthernetFrame::new_checked(&buf).unwrap();
+        assert_eq!(f.src_addr(), src);
+        assert_eq!(f.dst_addr(), dst);
+        assert_eq!(f.ethertype(), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn short_buffer_is_truncated() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        for et in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Ipv6,
+            EtherType::Vlan,
+            EtherType::Other(0x88CC),
+        ] {
+            let raw: u16 = et.into();
+            assert_eq!(EtherType::from(raw), et);
+        }
+    }
+
+    #[test]
+    fn mac_addr_display_and_flags() {
+        let m = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+        assert!(!m.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr([0x01, 0, 0, 0, 0, 0]).is_multicast());
+        assert!(!m.is_multicast());
+    }
+}

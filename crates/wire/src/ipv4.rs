@@ -1,0 +1,237 @@
+//! IPv4 packet view and header emission.
+
+use crate::checksum;
+use crate::{Result, WireError};
+
+/// A read-only view over an IPv4 packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Packet<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Ipv4Packet<'a> {
+    /// Minimum (option-less) IPv4 header length.
+    pub const MIN_HEADER_LEN: usize = 20;
+
+    /// Wrap `buf`, validating version, header length and total length.
+    pub fn new_checked(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < Self::MIN_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let p = Ipv4Packet { buf };
+        if p.version() != 4 {
+            return Err(WireError::BadVersion);
+        }
+        let hl = p.header_len();
+        if hl < Self::MIN_HEADER_LEN {
+            return Err(WireError::BadHeaderLen);
+        }
+        if hl > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        if (p.total_len() as usize) < hl {
+            return Err(WireError::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// IP version field (always 4 after `new_checked`).
+    pub fn version(&self) -> u8 {
+        self.buf[0] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buf[0] & 0x0F) * 4
+    }
+
+    /// Differentiated services / TOS byte.
+    pub fn dscp_ecn(&self) -> u8 {
+        self.buf[1]
+    }
+
+    /// Total length of header plus payload.
+    pub fn total_len(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buf[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buf[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn frag_offset(&self) -> u16 {
+        u16::from_be_bytes([self.buf[6] & 0x1F, self.buf[7]])
+    }
+
+    /// True when the packet is a fragment (offset ≠ 0 or MF set).
+    pub fn is_fragment(&self) -> bool {
+        self.more_frags() || self.frag_offset() != 0
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buf[8]
+    }
+
+    /// Upper-layer protocol number.
+    pub fn protocol(&self) -> u8 {
+        self.buf[9]
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        u16::from_be_bytes([self.buf[10], self.buf[11]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> [u8; 4] {
+        [self.buf[12], self.buf[13], self.buf[14], self.buf[15]]
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> [u8; 4] {
+        [self.buf[16], self.buf[17], self.buf[18], self.buf[19]]
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> Result<()> {
+        if checksum::checksum(&self.buf[..self.header_len()]) == 0 {
+            Ok(())
+        } else {
+            Err(WireError::BadChecksum)
+        }
+    }
+
+    /// The L4 payload, bounded by `total_len`.
+    pub fn payload(&self) -> &'a [u8] {
+        let end = (self.total_len() as usize).min(self.buf.len());
+        &self.buf[self.header_len()..end]
+    }
+}
+
+/// Field bundle for emitting an IPv4 header.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+    /// Upper-layer protocol number.
+    pub protocol: u8,
+    /// Payload (L4) length in bytes.
+    pub payload_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field.
+    pub ident: u16,
+}
+
+/// Emit a 20-byte option-less IPv4 header with a correct checksum.
+pub fn emit_header(buf: &mut [u8], h: &Ipv4Header) {
+    buf[0] = 0x45; // version 4, IHL 5
+    buf[1] = 0;
+    let total = 20 + h.payload_len;
+    buf[2..4].copy_from_slice(&total.to_be_bytes());
+    buf[4..6].copy_from_slice(&h.ident.to_be_bytes());
+    buf[6] = 0x40; // DF set, as modern stacks do
+    buf[7] = 0;
+    buf[8] = h.ttl;
+    buf[9] = h.protocol;
+    buf[10] = 0;
+    buf[11] = 0;
+    buf[12..16].copy_from_slice(&h.src);
+    buf[16..20].copy_from_slice(&h.dst);
+    let c = checksum::checksum(&buf[..20]);
+    buf[10..12].copy_from_slice(&c.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; 20];
+        emit_header(
+            &mut buf,
+            &Ipv4Header {
+                src: [10, 1, 2, 3],
+                dst: [10, 4, 5, 6],
+                protocol: 6,
+                payload_len: 100,
+                ttl: 64,
+                ident: 0x4242,
+            },
+        );
+        buf
+    }
+
+    #[test]
+    fn emit_and_parse_roundtrip() {
+        let buf = sample();
+        let p = Ipv4Packet::new_checked(&buf).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), 20);
+        assert_eq!(p.total_len(), 120);
+        assert_eq!(p.protocol(), 6);
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.ident(), 0x4242);
+        assert_eq!(p.src_addr(), [10, 1, 2, 3]);
+        assert_eq!(p.dst_addr(), [10, 4, 5, 6]);
+        assert!(p.dont_frag());
+        assert!(!p.is_fragment());
+        p.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = sample();
+        buf[15] ^= 0xFF;
+        let p = Ipv4Packet::new_checked(&buf).unwrap();
+        assert_eq!(p.verify_checksum(), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = sample();
+        buf[0] = 0x65; // version 6
+        assert_eq!(Ipv4Packet::new_checked(&buf), Err(WireError::BadVersion));
+    }
+
+    #[test]
+    fn bad_ihl_rejected() {
+        let mut buf = sample();
+        buf[0] = 0x44; // IHL 4 -> 16 bytes < minimum
+        assert_eq!(Ipv4Packet::new_checked(&buf), Err(WireError::BadHeaderLen));
+    }
+
+    #[test]
+    fn total_len_smaller_than_header_rejected() {
+        let mut buf = sample();
+        buf[2] = 0;
+        buf[3] = 10;
+        assert_eq!(Ipv4Packet::new_checked(&buf), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn fragment_flags_decoded() {
+        let mut buf = sample();
+        buf[6] = 0x20; // MF
+        buf[7] = 0x10; // offset 16 (in 8-byte units)
+        let p = Ipv4Packet::new_checked(&buf).unwrap();
+        assert!(p.more_frags());
+        assert!(p.is_fragment());
+        assert_eq!(p.frag_offset(), 16);
+    }
+}

@@ -1,0 +1,166 @@
+//! IPv6 packet view and header emission (fixed header only; extension
+//! headers are treated as opaque upper-layer protocols, which is how the
+//! monitoring stacks in this workspace handle them).
+
+use crate::{Result, WireError};
+
+/// A read-only view over an IPv6 packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Packet<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Ipv6Packet<'a> {
+    /// Fixed IPv6 header length.
+    pub const HEADER_LEN: usize = 40;
+
+    /// Wrap `buf`, validating version and length fields.
+    pub fn new_checked(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < Self::HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let p = Ipv6Packet { buf };
+        if p.version() != 6 {
+            return Err(WireError::BadVersion);
+        }
+        if Self::HEADER_LEN + p.payload_len() as usize > buf.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// IP version (always 6 after `new_checked`).
+    pub fn version(&self) -> u8 {
+        self.buf[0] >> 4
+    }
+
+    /// Traffic class.
+    pub fn traffic_class(&self) -> u8 {
+        (self.buf[0] << 4) | (self.buf[1] >> 4)
+    }
+
+    /// Flow label.
+    pub fn flow_label(&self) -> u32 {
+        (u32::from(self.buf[1] & 0x0F) << 16)
+            | (u32::from(self.buf[2]) << 8)
+            | u32::from(self.buf[3])
+    }
+
+    /// Payload length (everything after the fixed header).
+    pub fn payload_len(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Next-header protocol number.
+    pub fn next_header(&self) -> u8 {
+        self.buf[6]
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buf[7]
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> [u8; 16] {
+        let mut a = [0u8; 16];
+        a.copy_from_slice(&self.buf[8..24]);
+        a
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> [u8; 16] {
+        let mut a = [0u8; 16];
+        a.copy_from_slice(&self.buf[24..40]);
+        a
+    }
+
+    /// The upper-layer payload.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[Self::HEADER_LEN..Self::HEADER_LEN + self.payload_len() as usize]
+    }
+}
+
+/// Field bundle for emitting an IPv6 fixed header.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv6Header {
+    /// Source address.
+    pub src: [u8; 16],
+    /// Destination address.
+    pub dst: [u8; 16],
+    /// Next-header protocol number.
+    pub next_header: u8,
+    /// Payload length in bytes.
+    pub payload_len: u16,
+    /// Hop limit.
+    pub hop_limit: u8,
+}
+
+/// Emit a 40-byte IPv6 fixed header.
+pub fn emit_header(buf: &mut [u8], h: &Ipv6Header) {
+    buf[0] = 0x60;
+    buf[1] = 0;
+    buf[2] = 0;
+    buf[3] = 0;
+    buf[4..6].copy_from_slice(&h.payload_len.to_be_bytes());
+    buf[6] = h.next_header;
+    buf[7] = h.hop_limit;
+    buf[8..24].copy_from_slice(&h.src);
+    buf[24..40].copy_from_slice(&h.dst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_parse_roundtrip() {
+        let mut buf = vec![0u8; 48];
+        let src = [1u8; 16];
+        let dst = [2u8; 16];
+        emit_header(
+            &mut buf,
+            &Ipv6Header {
+                src,
+                dst,
+                next_header: 17,
+                payload_len: 8,
+                hop_limit: 64,
+            },
+        );
+        let p = Ipv6Packet::new_checked(&buf).unwrap();
+        assert_eq!(p.version(), 6);
+        assert_eq!(p.next_header(), 17);
+        assert_eq!(p.payload_len(), 8);
+        assert_eq!(p.hop_limit(), 64);
+        assert_eq!(p.src_addr(), src);
+        assert_eq!(p.dst_addr(), dst);
+        assert_eq!(p.payload().len(), 8);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let buf = [0x40u8; 40];
+        assert_eq!(Ipv6Packet::new_checked(&buf), Err(WireError::BadVersion));
+    }
+
+    #[test]
+    fn payload_len_beyond_buffer_rejected() {
+        let mut buf = vec![0u8; 40];
+        buf[0] = 0x60;
+        buf[5] = 100;
+        assert_eq!(Ipv6Packet::new_checked(&buf), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn traffic_class_and_flow_label() {
+        let mut buf = vec![0u8; 40];
+        buf[0] = 0x6A;
+        buf[1] = 0xB3;
+        buf[2] = 0x45;
+        buf[3] = 0x67;
+        let p = Ipv6Packet::new_checked(&buf).unwrap();
+        assert_eq!(p.traffic_class(), 0xAB);
+        assert_eq!(p.flow_label(), 0x34567);
+    }
+}

@@ -1,0 +1,123 @@
+//! TCP sequence-number arithmetic.
+//!
+//! Sequence numbers live on a mod-2³² circle; comparisons are only
+//! meaningful within a half-window. These helpers implement the standard
+//! RFC 793 signed-difference idiom, which every piece of reassembly code in
+//! the workspace must use instead of raw integer comparison.
+
+/// A TCP sequence number (alias for documentation clarity).
+pub type SeqNum = u32;
+
+/// Signed distance from `b` to `a` on the sequence circle (`a - b`).
+///
+/// Positive when `a` is logically after `b`, negative when before. Only
+/// meaningful when the true distance is less than 2³¹.
+#[inline]
+pub fn seq_diff(a: SeqNum, b: SeqNum) -> i32 {
+    a.wrapping_sub(b) as i32
+}
+
+/// `a` strictly before `b` on the circle.
+#[inline]
+pub fn seq_lt(a: SeqNum, b: SeqNum) -> bool {
+    seq_diff(a, b) < 0
+}
+
+/// `a` before or equal to `b`.
+#[inline]
+pub fn seq_le(a: SeqNum, b: SeqNum) -> bool {
+    seq_diff(a, b) <= 0
+}
+
+/// `a` strictly after `b`.
+#[inline]
+pub fn seq_gt(a: SeqNum, b: SeqNum) -> bool {
+    seq_diff(a, b) > 0
+}
+
+/// `a` after or equal to `b`.
+#[inline]
+pub fn seq_ge(a: SeqNum, b: SeqNum) -> bool {
+    seq_diff(a, b) >= 0
+}
+
+/// Advance a sequence number by `n` bytes, wrapping.
+#[inline]
+pub fn seq_add(a: SeqNum, n: u32) -> SeqNum {
+    a.wrapping_add(n)
+}
+
+/// The maximum (later) of two sequence numbers on the circle.
+#[inline]
+pub fn seq_max(a: SeqNum, b: SeqNum) -> SeqNum {
+    if seq_ge(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// The minimum (earlier) of two sequence numbers on the circle.
+#[inline]
+pub fn seq_min(a: SeqNum, b: SeqNum) -> SeqNum {
+    if seq_le(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(seq_lt(1, 2));
+        assert!(seq_gt(2, 1));
+        assert!(seq_le(2, 2));
+        assert!(seq_ge(2, 2));
+        assert_eq!(seq_diff(10, 4), 6);
+        assert_eq!(seq_diff(4, 10), -6);
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let near_max = u32::MAX - 10;
+        let wrapped = 5u32;
+        assert!(seq_lt(near_max, wrapped));
+        assert!(seq_gt(wrapped, near_max));
+        assert_eq!(seq_diff(wrapped, near_max), 16);
+        assert_eq!(seq_add(near_max, 16), 5);
+    }
+
+    #[test]
+    fn min_max_across_wrap() {
+        let a = u32::MAX - 1;
+        let b = 3u32;
+        assert_eq!(seq_max(a, b), b);
+        assert_eq!(seq_min(a, b), a);
+    }
+
+    proptest! {
+        /// Within a half-window, seq ordering agrees with adding offsets.
+        #[test]
+        fn ordering_consistent_with_offsets(base: u32, d in 1u32..0x7FFF_FFFF) {
+            let later = seq_add(base, d);
+            prop_assert!(seq_lt(base, later));
+            prop_assert!(seq_gt(later, base));
+            prop_assert_eq!(seq_diff(later, base), d as i32);
+        }
+
+        /// seq_max/seq_min are consistent and commutative-ish.
+        #[test]
+        fn min_max_agree(base: u32, d in 0u32..0x7FFF_FFFF) {
+            let later = seq_add(base, d);
+            prop_assert_eq!(seq_max(base, later), later);
+            prop_assert_eq!(seq_min(base, later), base);
+            prop_assert_eq!(seq_max(later, base), later);
+            prop_assert_eq!(seq_min(later, base), base);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! TCP segment view, flags, and option parsing.
+
+use crate::{Result, WireError};
+
+/// TCP header flags as a bit set.
+///
+/// Implemented by hand (no bitflags dependency) with the operations the
+/// capture stacks need: union, intersection test, and exact-match test
+/// (the FDIR filter emulation matches on *exact* flag bytes, per §5.5 of
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN: no more data from sender.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: acknowledgement field is significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG: urgent pointer is significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+    /// ECE: ECN echo.
+    pub const ECE: TcpFlags = TcpFlags(0x40);
+    /// CWR: congestion window reduced.
+    pub const CWR: TcpFlags = TcpFlags(0x80);
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+
+    /// True when every flag in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when any flag in `other` is set in `self`.
+    pub fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True when the flag byte equals `other` exactly (FDIR-style match).
+    pub fn is_exactly(self, other: TcpFlags) -> bool {
+        self.0 == other.0
+    }
+
+    /// True when this segment starts a connection (SYN without ACK).
+    pub fn is_syn_only(self) -> bool {
+        self.contains(TcpFlags::SYN) && !self.contains(TcpFlags::ACK)
+    }
+}
+
+impl core::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl core::ops::BitAnd for TcpFlags {
+    type Output = TcpFlags;
+    fn bitand(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 & rhs.0)
+    }
+}
+
+impl core::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        const NAMES: [(u8, &str); 8] = [
+            (0x02, "SYN"),
+            (0x10, "ACK"),
+            (0x01, "FIN"),
+            (0x04, "RST"),
+            (0x08, "PSH"),
+            (0x20, "URG"),
+            (0x40, "ECE"),
+            (0x80, "CWR"),
+        ];
+        let mut first = true;
+        for (bit, name) in NAMES {
+            if self.0 & bit != 0 {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TCP option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpOption {
+    /// End of option list.
+    EndOfList,
+    /// Padding.
+    Nop,
+    /// Maximum segment size.
+    Mss(u16),
+    /// Window scale shift.
+    WindowScale(u8),
+    /// SACK permitted.
+    SackPermitted,
+    /// Timestamps (TSval, TSecr).
+    Timestamps(u32, u32),
+    /// Any other option, as (kind, data length).
+    Unknown(u8, u8),
+}
+
+/// A read-only view over a TCP segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpPacket<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> TcpPacket<'a> {
+    /// Minimum (option-less) TCP header length.
+    pub const MIN_HEADER_LEN: usize = 20;
+
+    /// Wrap `buf`, validating data-offset against the buffer.
+    pub fn new_checked(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < Self::MIN_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let p = TcpPacket { buf };
+        let hl = p.header_len();
+        if hl < Self::MIN_HEADER_LEN {
+            return Err(WireError::BadHeaderLen);
+        }
+        if hl > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(p)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack_number(&self) -> u32 {
+        u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buf[12] >> 4) * 4
+    }
+
+    /// Flag byte.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buf[13])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.buf[14], self.buf[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.buf[16], self.buf[17]])
+    }
+
+    /// Urgent pointer.
+    pub fn urgent_ptr(&self) -> u16 {
+        u16::from_be_bytes([self.buf[18], self.buf[19]])
+    }
+
+    /// Raw option bytes.
+    pub fn options_raw(&self) -> &'a [u8] {
+        &self.buf[Self::MIN_HEADER_LEN..self.header_len()]
+    }
+
+    /// Iterate over parsed options. Malformed options end iteration.
+    pub fn options(&self) -> TcpOptionIter<'a> {
+        TcpOptionIter {
+            buf: self.options_raw(),
+        }
+    }
+
+    /// Segment payload.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.header_len()..]
+    }
+}
+
+/// Iterator over TCP options in a header.
+#[derive(Debug, Clone)]
+pub struct TcpOptionIter<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Iterator for TcpOptionIter<'a> {
+    type Item = TcpOption;
+
+    fn next(&mut self) -> Option<TcpOption> {
+        let (kind, rest) = self.buf.split_first()?;
+        match kind {
+            0 => {
+                self.buf = &[];
+                Some(TcpOption::EndOfList)
+            }
+            1 => {
+                self.buf = rest;
+                Some(TcpOption::Nop)
+            }
+            kind => {
+                let (len, data) = rest.split_first()?;
+                let body_len = (*len as usize).checked_sub(2)?;
+                if data.len() < body_len {
+                    self.buf = &[];
+                    return None;
+                }
+                let (body, tail) = data.split_at(body_len);
+                self.buf = tail;
+                Some(match (kind, body_len) {
+                    (2, 2) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                    (3, 1) => TcpOption::WindowScale(body[0]),
+                    (4, 0) => TcpOption::SackPermitted,
+                    (8, 8) => TcpOption::Timestamps(
+                        u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                        u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                    ),
+                    (k, l) => TcpOption::Unknown(*k, l as u8),
+                })
+            }
+        }
+    }
+}
+
+/// Field bundle for emitting a TCP header.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+/// Emit a 20-byte option-less TCP header (checksum left zero; the builder
+/// fills it in over the pseudo-header).
+pub fn emit_header(buf: &mut [u8], h: &TcpHeader) {
+    buf[0..2].copy_from_slice(&h.src_port.to_be_bytes());
+    buf[2..4].copy_from_slice(&h.dst_port.to_be_bytes());
+    buf[4..8].copy_from_slice(&h.seq.to_be_bytes());
+    buf[8..12].copy_from_slice(&h.ack.to_be_bytes());
+    buf[12] = 5 << 4;
+    buf[13] = h.flags.0;
+    buf[14..16].copy_from_slice(&h.window.to_be_bytes());
+    buf[16] = 0;
+    buf[17] = 0;
+    buf[18] = 0;
+    buf[19] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header_bytes() -> Vec<u8> {
+        let mut buf = vec![0u8; 20];
+        emit_header(
+            &mut buf,
+            &TcpHeader {
+                src_port: 443,
+                dst_port: 55000,
+                seq: 0xDEADBEEF,
+                ack: 0x01020304,
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window: 0xFFFF,
+            },
+        );
+        buf
+    }
+
+    #[test]
+    fn emit_and_parse_roundtrip() {
+        let buf = header_bytes();
+        let t = TcpPacket::new_checked(&buf).unwrap();
+        assert_eq!(t.src_port(), 443);
+        assert_eq!(t.dst_port(), 55000);
+        assert_eq!(t.seq_number(), 0xDEADBEEF);
+        assert_eq!(t.ack_number(), 0x01020304);
+        assert_eq!(t.header_len(), 20);
+        assert!(t.flags().contains(TcpFlags::ACK));
+        assert!(t.flags().contains(TcpFlags::PSH));
+        assert!(!t.flags().contains(TcpFlags::SYN));
+        assert_eq!(t.window(), 0xFFFF);
+        assert!(t.payload().is_empty());
+    }
+
+    #[test]
+    fn flag_set_operations() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.intersects(TcpFlags::ACK | TcpFlags::RST));
+        assert!(!f.intersects(TcpFlags::FIN));
+        assert!(f.is_exactly(TcpFlags(0x12)));
+        assert!(!f.is_syn_only());
+        assert!(TcpFlags::SYN.is_syn_only());
+        assert_eq!(f.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::EMPTY.to_string(), "-");
+    }
+
+    #[test]
+    fn options_parse() {
+        // MSS(1460), NOP, NOP, SACK-permitted, Timestamps, WS(7), EOL pad
+        let mut buf = header_bytes();
+        let opts: Vec<u8> = vec![
+            2, 4, 0x05, 0xB4, // MSS 1460
+            1, 1, // NOPs
+            4, 2, // SACK permitted
+            8, 10, 0, 0, 0, 1, 0, 0, 0, 2, // Timestamps 1, 2
+            3, 3, 7, // Window scale 7
+            0, // EOL
+        ];
+        let dataoff = (20 + opts.len() + 3) / 4; // round up to 4
+        let padded = dataoff * 4 - 20;
+        buf[12] = (dataoff as u8) << 4;
+        buf.extend_from_slice(&opts);
+        buf.resize(20 + padded, 0);
+        let t = TcpPacket::new_checked(&buf).unwrap();
+        let parsed: Vec<TcpOption> = t.options().collect();
+        assert!(parsed.contains(&TcpOption::Mss(1460)));
+        assert!(parsed.contains(&TcpOption::SackPermitted));
+        assert!(parsed.contains(&TcpOption::Timestamps(1, 2)));
+        assert!(parsed.contains(&TcpOption::WindowScale(7)));
+    }
+
+    #[test]
+    fn malformed_option_len_stops_iteration() {
+        let mut buf = header_bytes();
+        buf[12] = 6 << 4; // 24-byte header
+        buf.extend_from_slice(&[2, 40, 0, 0]); // MSS claims 40-byte length
+        let t = TcpPacket::new_checked(&buf).unwrap();
+        assert_eq!(t.options().count(), 0);
+    }
+
+    #[test]
+    fn data_offset_too_small_rejected() {
+        let mut buf = header_bytes();
+        buf[12] = 4 << 4;
+        assert_eq!(TcpPacket::new_checked(&buf), Err(WireError::BadHeaderLen));
+    }
+
+    #[test]
+    fn data_offset_beyond_buffer_rejected() {
+        let mut buf = header_bytes();
+        buf[12] = 15 << 4;
+        assert_eq!(TcpPacket::new_checked(&buf), Err(WireError::Truncated));
+    }
+}

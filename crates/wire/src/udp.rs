@@ -1,0 +1,98 @@
+//! UDP datagram view.
+
+use crate::{Result, WireError};
+
+/// A read-only view over a UDP datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpPacket<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> UdpPacket<'a> {
+    /// UDP header length.
+    pub const HEADER_LEN: usize = 8;
+
+    /// Wrap `buf`, validating the length field.
+    pub fn new_checked(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < Self::HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let p = UdpPacket { buf };
+        let l = p.length() as usize;
+        if l < Self::HEADER_LEN || l > buf.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Total length (header + payload).
+    pub fn length(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.buf[6], self.buf[7]])
+    }
+
+    /// Datagram payload, bounded by the length field.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[Self::HEADER_LEN..self.length() as usize]
+    }
+}
+
+/// Emit an 8-byte UDP header (checksum left zero for the builder to fill).
+pub fn emit_header(buf: &mut [u8], src_port: u16, dst_port: u16, payload_len: u16) {
+    buf[0..2].copy_from_slice(&src_port.to_be_bytes());
+    buf[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    let len = payload_len + UdpPacket::HEADER_LEN as u16;
+    buf[4..6].copy_from_slice(&len.to_be_bytes());
+    buf[6] = 0;
+    buf[7] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_parse_roundtrip() {
+        let mut buf = vec![0u8; 8 + 5];
+        emit_header(&mut buf, 5000, 53, 5);
+        buf[8..].copy_from_slice(b"hello");
+        let u = UdpPacket::new_checked(&buf).unwrap();
+        assert_eq!(u.src_port(), 5000);
+        assert_eq!(u.dst_port(), 53);
+        assert_eq!(u.length(), 13);
+        assert_eq!(u.payload(), b"hello");
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(UdpPacket::new_checked(&[0u8; 7]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn length_too_small_rejected() {
+        let mut buf = vec![0u8; 8];
+        buf[5] = 4;
+        assert_eq!(UdpPacket::new_checked(&buf), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn length_beyond_buffer_rejected() {
+        let mut buf = vec![0u8; 8];
+        buf[5] = 100;
+        assert_eq!(UdpPacket::new_checked(&buf), Err(WireError::BadLength));
+    }
+}

@@ -1,0 +1,114 @@
+//! The Fig. 5 property as an integration test: Scap's dynamically-grown
+//! flow table tracks every concurrent stream, while the baselines' static
+//! tables saturate and lose the excess.
+
+use scap::apps::StreamTouchApp;
+use scap::{ScapConfig, ScapKernel, ScapSimStack};
+use scap_baseline::apps::TouchApp;
+use scap_baseline::{UserStack, UserStackConfig};
+use scap_bench::common::engine;
+use scap_trace::concurrent::ConcurrentStreams;
+use scap_trace::Packet;
+
+fn workload(streams: u64) -> Vec<Packet> {
+    ConcurrentStreams {
+        streams,
+        data_packets_per_stream: 8,
+        payload_per_packet: 1000,
+        wire_gap_ns: 12_000,
+    }
+    .iter()
+    .collect()
+}
+
+#[test]
+fn scap_tracks_every_concurrent_stream() {
+    let n = 20_000u64;
+    let mut stack = ScapSimStack::new(
+        ScapKernel::new(ScapConfig {
+            memory_bytes: 512 << 20,
+            inactivity_timeout_ns: 10_000_000_000,
+            ..ScapConfig::default()
+        }),
+        StreamTouchApp::default(),
+    );
+    let report = engine().run(workload(n), &mut stack);
+    assert_eq!(report.stats.streams_created, n);
+    assert_eq!(report.stats.streams_reported, n);
+    assert_eq!(report.stats.streams_lost, 0);
+    // Payload delivered for every stream: 8 packets × 1000 B each.
+    assert_eq!(stack.app().bytes, n * 8 * 1000);
+}
+
+#[test]
+fn baseline_static_table_saturates() {
+    let n = 5_000u64;
+    let cap = 1_000usize;
+    let mut stack = UserStack::new(
+        UserStackConfig {
+            max_flows: cap,
+            ..UserStackConfig::libnids()
+        },
+        TouchApp::default(),
+    );
+    let report = engine().run(workload(n), &mut stack);
+    // Only the table-capacity prefix is tracked; the rest are lost.
+    assert!(report.stats.streams_created as usize <= cap);
+    assert!(
+        report.stats.streams_lost >= n - cap as u64,
+        "lost {} of {}",
+        report.stats.streams_lost,
+        n
+    );
+}
+
+#[test]
+fn interleaving_does_not_confuse_reassembly() {
+    // Round-robin interleaving at maximum stream concurrency: every
+    // stream's bytes must come out whole and in order.
+    let n = 500u64;
+    let mut stack = ScapSimStack::new(
+        ScapKernel::new(ScapConfig {
+            memory_bytes: 256 << 20,
+            chunk_size: 2048,
+            inactivity_timeout_ns: 10_000_000_000,
+            ..ScapConfig::default()
+        }),
+        StreamTouchApp::default(),
+    );
+    let report = engine().run(workload(n), &mut stack);
+    assert_eq!(report.stats.dropped_packets, 0);
+    assert_eq!(stack.app().bytes, n * 8 * 1000);
+    assert_eq!(report.stats.streams_reported, n);
+}
+
+#[test]
+fn scap_survives_an_order_of_magnitude_beyond_baseline_capacity() {
+    // The crossover the paper plots: at N far beyond the baseline table
+    // size, scap still reports everything.
+    let n = 30_000u64;
+    let cap = 2_000usize;
+
+    let mut nids = UserStack::new(
+        UserStackConfig {
+            max_flows: cap,
+            ..UserStackConfig::stream5()
+        },
+        TouchApp::default(),
+    );
+    let nids_rep = engine().run(workload(n), &mut nids);
+    let nids_lost_pct = 100.0 * nids_rep.stats.streams_lost as f64 / n as f64;
+
+    let mut sc = ScapSimStack::new(
+        ScapKernel::new(ScapConfig {
+            memory_bytes: 512 << 20,
+            inactivity_timeout_ns: 10_000_000_000,
+            ..ScapConfig::default()
+        }),
+        StreamTouchApp::default(),
+    );
+    let scap_rep = engine().run(workload(n), &mut sc);
+
+    assert!(nids_lost_pct > 90.0, "baseline lost {nids_lost_pct:.1}%");
+    assert_eq!(scap_rep.stats.streams_reported, n);
+}

@@ -1,0 +1,214 @@
+//! Robustness: the capture pipeline must never panic, whatever arrives
+//! from the wire — garbage frames, truncated headers, malformed options,
+//! adversarial sequence numbers — and IPv6 traffic must flow through the
+//! same paths as IPv4.
+
+use proptest::prelude::*;
+use scap::apps::StreamTouchApp;
+use scap::{Scap, ScapConfig, ScapKernel, ScapSimStack, StreamCtx};
+use scap_bench::common::oracle_engine;
+use scap_trace::Packet;
+use scap_wire::{parse_frame, PacketBuilder, TcpFlags};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    /// Wire parsing never panics on arbitrary bytes.
+    #[test]
+    fn parse_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_frame(&bytes);
+    }
+
+    /// Compiled filters never panic on arbitrary frames, and agree with
+    /// the AST evaluator when the frame parses.
+    #[test]
+    fn filters_never_panic_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        which in 0usize..6,
+    ) {
+        let exprs = ["tcp", "port 80", "host 10.0.0.1", "net 192.168.0.0/16",
+                     "udp and dst port 53", "not (tcp or udp)"];
+        let f = scap_filter::Filter::new(exprs[which]).unwrap();
+        let _ = f.matches_frame(&bytes);
+    }
+
+    /// The full kernel survives arbitrary frame bytes: nothing panics,
+    /// and every frame is accounted for.
+    #[test]
+    fn kernel_survives_garbage_frames(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 1..60),
+    ) {
+        let mut kernel = ScapKernel::new(ScapConfig::default());
+        let n = frames.len() as u64;
+        for (i, f) in frames.into_iter().enumerate() {
+            kernel.nic_receive(&Packet::new(i as u64 * 1000, f));
+            for c in 0..kernel.ncores() {
+                while kernel.kernel_poll(c, i as u64 * 1000).is_some() {}
+            }
+        }
+        kernel.finish(u64::MAX / 2);
+        let st = kernel.stats();
+        prop_assert_eq!(st.stack.wire_packets, n);
+    }
+
+    /// Truncating a valid TCP frame at any byte never panics anywhere in
+    /// the pipeline.
+    #[test]
+    fn truncated_frames_never_panic(cut in 0usize..100) {
+        let frame = PacketBuilder::tcp_v4(
+            [10, 0, 0, 1], [10, 0, 0, 2], 1000, 80, 1, 1,
+            TcpFlags::ACK | TcpFlags::PSH, &[0x41; 64],
+        );
+        let cut = cut.min(frame.len());
+        let mut kernel = ScapKernel::new(ScapConfig::default());
+        kernel.nic_receive(&Packet::new(0, frame[..cut].to_vec()));
+        for c in 0..kernel.ncores() {
+            while kernel.kernel_poll(c, 0).is_some() {}
+        }
+        kernel.finish(1);
+    }
+}
+
+/// Build an IPv6 TCP session (handshake, data both ways, FIN).
+fn v6_session(req: &[u8], resp: &[u8]) -> Vec<Packet> {
+    let c: [u8; 16] = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+    let s: [u8; 16] = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2];
+    let (cp, sp) = (50000u16, 443u16);
+    let (ic, is) = (7_000u32, 9_000u32);
+    let mut t = 0u64;
+    let mut nt = || {
+        t += 1_000_000;
+        t
+    };
+    let mut pkts = vec![
+        Packet::new(nt(), PacketBuilder::tcp_v6(c, s, cp, sp, ic, 0, TcpFlags::SYN, b"")),
+        Packet::new(
+            nt(),
+            PacketBuilder::tcp_v6(s, c, sp, cp, is, ic + 1, TcpFlags::SYN | TcpFlags::ACK, b""),
+        ),
+        Packet::new(
+            nt(),
+            PacketBuilder::tcp_v6(c, s, cp, sp, ic + 1, is + 1, TcpFlags::ACK, b""),
+        ),
+    ];
+    let mut seq = ic + 1;
+    for chunk in req.chunks(1000) {
+        pkts.push(Packet::new(
+            nt(),
+            PacketBuilder::tcp_v6(c, s, cp, sp, seq, is + 1, TcpFlags::ACK | TcpFlags::PSH, chunk),
+        ));
+        seq += chunk.len() as u32;
+    }
+    let mut sseq = is + 1;
+    for chunk in resp.chunks(1000) {
+        pkts.push(Packet::new(
+            nt(),
+            PacketBuilder::tcp_v6(s, c, sp, cp, sseq, seq, TcpFlags::ACK, chunk),
+        ));
+        sseq += chunk.len() as u32;
+    }
+    pkts.push(Packet::new(
+        nt(),
+        PacketBuilder::tcp_v6(s, c, sp, cp, sseq, seq, TcpFlags::FIN | TcpFlags::ACK, b""),
+    ));
+    pkts.push(Packet::new(
+        nt(),
+        PacketBuilder::tcp_v6(c, s, cp, sp, seq, sseq + 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+    ));
+    pkts
+}
+
+#[test]
+fn ipv6_sessions_reassemble_end_to_end() {
+    let req = vec![b'Q'; 2500];
+    let resp = vec![b'R'; 7000];
+    let delivered = Arc::new(AtomicU64::new(0));
+    let closed = Arc::new(AtomicU64::new(0));
+
+    let mut scap = Scap::builder().inactivity_timeout_ns(500_000_000).build();
+    {
+        let d = delivered.clone();
+        scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
+            d.fetch_add(ctx.data.map_or(0, |b| b.len() as u64), Ordering::Relaxed);
+        });
+        let c = closed.clone();
+        scap.dispatch_termination(move |ctx: &StreamCtx<'_>| {
+            c.fetch_add(1, Ordering::Relaxed);
+            // The key renders as an IPv6 flow.
+            assert!(ctx.stream.key.to_string().contains("2001:db8"));
+        });
+    }
+    let stats = scap.start_capture(v6_session(&req, &resp));
+    assert_eq!(delivered.load(Ordering::Relaxed), 9500);
+    assert_eq!(closed.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.stack.streams_created, 1);
+    assert_eq!(stats.stack.dropped_packets, 0);
+}
+
+#[test]
+fn ipv6_and_ipv4_coexist_in_one_capture() {
+    // Interleave a v6 session with a v4 session; both reassemble.
+    let mut pkts = v6_session(&[b'6'; 1500], &[b'6'; 1500]);
+    let v4 = {
+        let c = [10, 0, 0, 1];
+        let s = [10, 0, 0, 2];
+        let mut v = vec![
+            PacketBuilder::tcp_v4(c, s, 1, 80, 100, 0, TcpFlags::SYN, b""),
+            PacketBuilder::tcp_v4(s, c, 80, 1, 200, 101, TcpFlags::SYN | TcpFlags::ACK, b""),
+            PacketBuilder::tcp_v4(c, s, 1, 80, 101, 201, TcpFlags::ACK, &[b'4'; 500]),
+        ];
+        v.push(PacketBuilder::tcp_v4(c, s, 1, 80, 601, 201, TcpFlags::FIN | TcpFlags::ACK, b""));
+        v.push(PacketBuilder::tcp_v4(s, c, 80, 1, 201, 602, TcpFlags::FIN | TcpFlags::ACK, b""));
+        v
+    };
+    for (i, f) in v4.into_iter().enumerate() {
+        pkts.push(Packet::new(500_000 + i as u64 * 1_000_000, f));
+    }
+    pkts.sort_by_key(|p| p.ts_ns);
+
+    let mut stack = ScapSimStack::new(
+        ScapKernel::new(ScapConfig {
+            inactivity_timeout_ns: 500_000_000,
+            ..ScapConfig::default()
+        }),
+        StreamTouchApp::default(),
+    );
+    let report = oracle_engine().run(pkts, &mut stack);
+    assert_eq!(report.stats.streams_created, 2);
+    assert_eq!(report.stats.streams_reported, 2);
+    assert_eq!(stack.app().bytes, 3000 + 500);
+}
+
+#[test]
+fn adversarial_syn_flood_does_not_exhaust_tracking() {
+    // A SYN flood: 50k half-open connections. Scap tracks them all (no
+    // static limit) and expires them by inactivity without reporting
+    // spurious data.
+    let mut pkts = Vec::with_capacity(50_000);
+    for i in 0..50_000u32 {
+        let frame = PacketBuilder::tcp_v4(
+            [10, (i >> 16) as u8, (i >> 8) as u8, i as u8],
+            [192, 0, 2, 1],
+            1024 + (i % 60000) as u16,
+            80,
+            i,
+            0,
+            TcpFlags::SYN,
+            b"",
+        );
+        pkts.push(Packet::new(u64::from(i) * 10_000, frame));
+    }
+    let mut stack = ScapSimStack::new(
+        ScapKernel::new(ScapConfig {
+            inactivity_timeout_ns: 100_000_000,
+            ..ScapConfig::default()
+        }),
+        StreamTouchApp::default(),
+    );
+    let report = oracle_engine().run(pkts, &mut stack);
+    assert_eq!(report.stats.streams_created, 50_000);
+    assert_eq!(report.stats.streams_reported, 50_000);
+    assert_eq!(stack.app().bytes, 0);
+    assert_eq!(report.stats.dropped_packets, 0);
+}

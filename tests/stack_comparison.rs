@@ -1,0 +1,251 @@
+//! The paper's headline comparisons as executable assertions: on the
+//! same workload, under the same cost model, Scap must beat the
+//! user-level baselines the way §6 reports.
+
+use scap::apps::{PatternMatchApp, StreamTouchApp};
+use scap::{ScapConfig, ScapKernel, ScapSimStack};
+use scap_baseline::apps::{PatternScanApp, TouchApp};
+use scap_baseline::{UserStack, UserStackConfig};
+use scap_bench::common::engine;
+use scap_patterns::AhoCorasick;
+use scap_sim::EngineReport;
+use scap_trace::gen::{CampusMix, CampusMixConfig};
+use scap_trace::replay::{natural_rate_bps, RateReplay};
+use scap_trace::Packet;
+use std::sync::Arc;
+
+const RING: usize = 4 << 20;
+const ARENA: usize = 12 << 20;
+
+fn trace_with_patterns() -> (Vec<Packet>, f64, Vec<Vec<u8>>) {
+    let pats = scap_patterns::generate_web_attack_patterns(400, 99);
+    let trace = CampusMix::new(CampusMixConfig {
+        patterns: Some(Arc::new(pats.clone())),
+        pattern_prob: 0.4,
+        ..CampusMixConfig::sized(17, 48 << 20)
+    })
+    .collect_all();
+    let natural = natural_rate_bps(&trace);
+    (trace, natural, pats)
+}
+
+fn scap_run(trace: &[Packet], natural: f64, gbps: f64, ac: &AhoCorasick) -> EngineReport {
+    let replayed: Vec<Packet> =
+        RateReplay::new(trace.iter().cloned(), natural, gbps * 1e9).collect();
+    let mut stack = ScapSimStack::new(
+        ScapKernel::new(ScapConfig {
+            memory_bytes: ARENA,
+            inactivity_timeout_ns: 500_000_000,
+            flush_timeout_ns: 5_000_000,
+            // Scap's standing overload control: shed long-stream tails
+            // above half-full memory (same setting the experiments use).
+            ppl: scap_memory::PplConfig {
+                base_threshold: 0.5,
+                num_priorities: 1,
+                overload_cutoff: Some(64 << 10),
+            },
+            ..ScapConfig::default()
+        }),
+        PatternMatchApp::new(ac.clone()),
+    );
+    engine().run(replayed, &mut stack)
+}
+
+fn libnids_run(trace: &[Packet], natural: f64, gbps: f64, ac: &AhoCorasick) -> EngineReport {
+    let replayed: Vec<Packet> =
+        RateReplay::new(trace.iter().cloned(), natural, gbps * 1e9).collect();
+    let mut stack = UserStack::new(
+        UserStackConfig {
+            ring_bytes: RING,
+            inactivity_timeout_ns: 500_000_000,
+            ..UserStackConfig::libnids()
+        },
+        PatternScanApp::new(ac.clone()),
+    );
+    engine().run(replayed, &mut stack)
+}
+
+/// §6.3: Scap delivers streams at rates where the baselines already
+/// drop heavily (paper: 2× higher loss-free rate).
+#[test]
+fn stream_delivery_rate_advantage_is_at_least_2x() {
+    let trace = CampusMix::new(CampusMixConfig::sized(21, 48 << 20)).collect_all();
+    let natural = natural_rate_bps(&trace);
+
+    let at = |gbps: f64| -> (f64, f64) {
+        let replayed: Vec<Packet> =
+            RateReplay::new(trace.iter().cloned(), natural, gbps * 1e9).collect();
+        let mut nids = UserStack::new(
+            UserStackConfig {
+                ring_bytes: RING,
+                inactivity_timeout_ns: 500_000_000,
+                ..UserStackConfig::libnids()
+            },
+            TouchApp::default(),
+        );
+        let nids_drop = engine().run(replayed.clone(), &mut nids).stats.drop_percent();
+        let mut sc = ScapSimStack::new(
+            ScapKernel::new(ScapConfig {
+                memory_bytes: ARENA,
+                inactivity_timeout_ns: 500_000_000,
+                flush_timeout_ns: 5_000_000,
+                ..ScapConfig::default()
+            }),
+            StreamTouchApp::default(),
+        );
+        let scap_drop = engine().run(replayed, &mut sc).stats.drop_percent();
+        (nids_drop, scap_drop)
+    };
+
+    // At 2.5 Gbit/s libnids is already dropping...
+    let (nids_25, scap_25) = at(2.5);
+    assert!(nids_25 > 1.0, "libnids at 2.5G should drop (got {nids_25:.1}%)");
+    assert!(scap_25 < 0.1, "scap at 2.5G must be loss-free (got {scap_25:.1}%)");
+    // ...while Scap is still loss-free at twice that rate.
+    let (_, scap_5) = at(5.0);
+    assert!(scap_5 < 0.1, "scap at 5G must be loss-free (got {scap_5:.1}%)");
+}
+
+/// §6.5: at an overload rate, Scap processes substantially more traffic
+/// and finds substantially more matches than the baselines.
+#[test]
+fn pattern_matching_under_overload_favors_scap() {
+    let (trace, natural, pats) = trace_with_patterns();
+    let ac = AhoCorasick::new(&pats, false);
+
+    let scap = scap_run(&trace, natural, 6.0, &ac);
+    let nids = libnids_run(&trace, natural, 6.0, &ac);
+
+    assert!(
+        nids.stats.drop_percent() > 50.0,
+        "libnids at 6G should be overloaded (got {:.1}%)",
+        nids.stats.drop_percent()
+    );
+    assert!(
+        scap.stats.drop_percent() < nids.stats.drop_percent() * 0.7,
+        "scap should drop far less ({:.1}% vs {:.1}%)",
+        scap.stats.drop_percent(),
+        nids.stats.drop_percent()
+    );
+    assert!(
+        scap.stats.matches as f64 > nids.stats.matches as f64 * 1.2,
+        "scap should match more ({} vs {})",
+        scap.stats.matches,
+        nids.stats.matches
+    );
+}
+
+/// §6.5.1: under overload, Scap's stream loss stays far below its packet
+/// loss, while the baselines lose streams roughly proportionally.
+#[test]
+fn scap_loses_far_fewer_streams_than_packets() {
+    let (trace, natural, pats) = trace_with_patterns();
+    let ac = AhoCorasick::new(&pats, false);
+    let total_flows = scap_trace::stats::TraceStats::from_packets(trace.iter()).flows as f64;
+
+    let scap = scap_run(&trace, natural, 6.0, &ac);
+    let nids = libnids_run(&trace, natural, 6.0, &ac);
+
+    let scap_stream_loss = 100.0 * (total_flows - scap.stats.streams_reported as f64) / total_flows;
+    let nids_stream_loss = 100.0 * (total_flows - nids.stats.streams_reported as f64) / total_flows;
+
+    assert!(
+        scap_stream_loss < scap.stats.drop_percent() / 3.0,
+        "scap stream loss {scap_stream_loss:.1}% should be far below its packet loss {:.1}%",
+        scap.stats.drop_percent()
+    );
+    assert!(
+        nids_stream_loss > nids.stats.drop_percent() / 3.0,
+        "baseline stream loss {nids_stream_loss:.1}% should track its packet loss {:.1}%",
+        nids.stats.drop_percent()
+    );
+    assert!(scap_stream_loss < nids_stream_loss / 4.0);
+}
+
+/// §6.2: with a zero cutoff, Scap's flow export costs almost nothing at
+/// user level while Libnids burns a core.
+#[test]
+fn flow_export_cpu_gap() {
+    use scap::apps::FlowStatsApp;
+    use scap_baseline::apps::FlowExportApp;
+    let trace = CampusMix::new(CampusMixConfig::sized(23, 32 << 20)).collect_all();
+    let natural = natural_rate_bps(&trace);
+    let replayed: Vec<Packet> =
+        RateReplay::new(trace.iter().cloned(), natural, 2.0 * 1e9).collect();
+
+    let mut sc = ScapSimStack::new(
+        ScapKernel::new(ScapConfig {
+            memory_bytes: ARENA,
+            cutoff: scap::CutoffPolicy {
+                default: Some(0),
+                ..Default::default()
+            },
+            inactivity_timeout_ns: 500_000_000,
+            ..ScapConfig::default()
+        }),
+        FlowStatsApp::default(),
+    );
+    let scap_rep = engine().run(replayed.clone(), &mut sc);
+
+    let mut nids = UserStack::new(
+        UserStackConfig {
+            ring_bytes: RING,
+            inactivity_timeout_ns: 500_000_000,
+            ..UserStackConfig::libnids()
+        },
+        FlowExportApp::default(),
+    );
+    let nids_rep = engine().run(replayed, &mut nids);
+
+    assert!(
+        scap_rep.user_cpu_percent() < 10.0,
+        "scap flow export CPU {:.1}% (paper: <10%)",
+        scap_rep.user_cpu_percent()
+    );
+    assert!(
+        nids_rep.user_cpu_percent() > scap_rep.user_cpu_percent() * 5.0,
+        "libnids CPU {:.1}% vs scap {:.1}%",
+        nids_rep.user_cpu_percent(),
+        scap_rep.user_cpu_percent()
+    );
+}
+
+/// Fig. 7: with the cache model attached, Scap takes fewer misses per
+/// packet than the user-level stacks at the same (low) rate.
+#[test]
+fn locality_cache_misses_favor_scap() {
+    use scap_sim::CacheSim;
+    let (trace, natural, pats) = trace_with_patterns();
+    let ac = AhoCorasick::new(&pats, false);
+    let replayed: Vec<Packet> =
+        RateReplay::new(trace.iter().cloned(), natural, 0.5 * 1e9).collect();
+
+    let mut nids = UserStack::new(
+        UserStackConfig {
+            ring_bytes: RING,
+            inactivity_timeout_ns: 500_000_000,
+            ..UserStackConfig::libnids()
+        },
+        PatternScanApp::new(ac.clone()),
+    )
+    .with_cache(CacheSim::paper_l2());
+    let nids_rep = engine().run(replayed.clone(), &mut nids);
+    let nids_mpp = nids.cache_misses() as f64 / nids_rep.stats.wire_packets as f64;
+
+    let mut sc = ScapSimStack::new(
+        ScapKernel::new(ScapConfig {
+            memory_bytes: ARENA,
+            inactivity_timeout_ns: 500_000_000,
+            ..ScapConfig::default()
+        }),
+        PatternMatchApp::new(ac),
+    )
+    .with_cache(CacheSim::paper_l2());
+    let scap_rep = engine().run(replayed, &mut sc);
+    let scap_mpp = sc.cache_misses() as f64 / scap_rep.stats.wire_packets as f64;
+
+    assert!(
+        scap_mpp < nids_mpp,
+        "scap misses/packet {scap_mpp:.2} should undercut libnids {nids_mpp:.2}"
+    );
+}
