@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint, format. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "CI green."

@@ -7,7 +7,10 @@
 /// `p_{i+1} = p_i · births[i] / deaths[i]`, normalized.
 pub fn stationary_distribution(births: &[f64], deaths: &[f64]) -> Vec<f64> {
     assert_eq!(births.len(), deaths.len());
-    assert!(deaths.iter().all(|&d| d > 0.0), "death rates must be positive");
+    assert!(
+        deaths.iter().all(|&d| d > 0.0),
+        "death rates must be positive"
+    );
     let n = births.len();
     let mut p = Vec::with_capacity(n + 1);
     p.push(1.0f64);

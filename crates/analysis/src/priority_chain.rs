@@ -23,7 +23,7 @@ use crate::birth_death::stationary_distribution;
 pub fn chain_distribution(rho1: f64, rho2: f64, n: usize) -> Vec<f64> {
     assert!(n > 0);
     let mut births = vec![rho1; n];
-    births.extend(std::iter::repeat(rho2).take(n));
+    births.extend(std::iter::repeat_n(rho2, n));
     let deaths = vec![1.0; 2 * n];
     stationary_distribution(&births, &deaths)
 }
@@ -97,8 +97,8 @@ mod tests {
             let rho2 = rho2f * rho1;
             let hi = high_priority_loss(rho1, rho2, n);
             let med = medium_priority_loss(rho1, rho2, n);
-            prop_assert!(hi >= 0.0 && hi <= 1.0);
-            prop_assert!(med >= 0.0 && med <= 1.0);
+            prop_assert!((0.0..=1.0).contains(&hi));
+            prop_assert!((0.0..=1.0).contains(&med));
             prop_assert!(hi <= med + 1e-12);
             // More memory helps both classes.
             prop_assert!(high_priority_loss(rho1, rho2, n + 1) <= hi + 1e-12);

@@ -216,9 +216,8 @@ impl<A: BaselineApp> UserStack<A> {
 
         if lookup.created {
             let is_syn = parsed.tcp.map(|m| m.flags.is_syn_only()).unwrap_or(false);
-            let trackable = !self.cfg.require_handshake
-                || key.transport() != Transport::Tcp
-                || is_syn;
+            let trackable =
+                !self.cfg.require_handshake || key.transport() != Transport::Tcp || is_syn;
             self.uid_counter += 1;
             self.ustates.insert(
                 id,
@@ -258,8 +257,8 @@ impl<A: BaselineApp> UserStack<A> {
         if key.transport() == Transport::Tcp && self.cfg.reassemble {
             if let Some(meta) = parsed.tcp {
                 if ust.conn.is_none() {
-                    let rc = ReasmConfig::for_mode(ReassemblyMode::Fast)
-                        .with_policy(self.cfg.policy);
+                    let rc =
+                        ReasmConfig::for_mode(ReassemblyMode::Fast).with_policy(self.cfg.policy);
                     ust.conn = Some(TcpConn::new(rc));
                 }
                 let conn = ust.conn.as_mut().expect("just ensured");
@@ -267,8 +266,7 @@ impl<A: BaselineApp> UserStack<A> {
                 // reassembling baselines capture whole frames.
                 let payload = parsed.payload();
                 let cutoff = self.cfg.cutoff.unwrap_or(u64::MAX);
-                let already = ust.delivered[dir.index()]
-                    + ust.buf[dir.index()].len() as u64;
+                let already = ust.delivered[dir.index()] + ust.buf[dir.index()].len() as u64;
                 let mut appended = 0u64;
                 let buf = &mut ust.buf[dir.index()];
                 let outcome = conn.on_segment(dir, &meta, payload, &mut |off, data| {
@@ -295,8 +293,7 @@ impl<A: BaselineApp> UserStack<A> {
                     rec.dirs[dir.index()].captured_bytes += appended;
                 }
                 if self.cfg.cutoff.is_some() && appended < outcome.data.delivered {
-                    self.stats.discarded_bytes +=
-                        outcome.data.delivered - appended;
+                    self.stats.discarded_bytes += outcome.data.delivered - appended;
                 }
                 closed = outcome.closed_now;
 
@@ -314,8 +311,7 @@ impl<A: BaselineApp> UserStack<A> {
         } else if key.transport() == Transport::Udp && self.cfg.reassemble {
             let payload = parsed.payload();
             let cutoff = self.cfg.cutoff.unwrap_or(u64::MAX);
-            let already =
-                ust.delivered[dir.index()] + ust.buf[dir.index()].len() as u64;
+            let already = ust.delivered[dir.index()] + ust.buf[dir.index()].len() as u64;
             let room = cutoff.saturating_sub(already);
             let take = (room as usize).min(payload.len());
             ust.buf[dir.index()].extend_from_slice(&payload[..take]);
@@ -329,8 +325,7 @@ impl<A: BaselineApp> UserStack<A> {
         // Deliver chunk-sized pieces to the application.
         for d in [Direction::Forward, Direction::Reverse] {
             while ust.buf[d.index()].len() >= self.cfg.chunk_size {
-                let chunk: Vec<u8> =
-                    ust.buf[d.index()].drain(..self.cfg.chunk_size).collect();
+                let chunk: Vec<u8> = ust.buf[d.index()].drain(..self.cfg.chunk_size).collect();
                 self.buffered_bytes -= chunk.len().min(self.buffered_bytes);
                 if let Some(c) = self.cache.as_mut() {
                     work.u_cache_misses += c.access(
@@ -423,8 +418,7 @@ impl<A: BaselineApp> UserStack<A> {
                         }
                         let tail = std::mem::take(&mut ust.buf[d.index()]);
                         if !tail.is_empty() {
-                            self.buffered_bytes -=
-                                tail.len().min(self.buffered_bytes);
+                            self.buffered_bytes -= tail.len().min(self.buffered_bytes);
                             self.stats.delivered_bytes += tail.len() as u64;
                             let aw = self.app.on_data(ust.uid, d, &tail);
                             work.add(&aw);
@@ -453,14 +447,16 @@ impl<A: BaselineApp> CaptureStack for UserStack<A> {
         // concurrently with arrival on real hardware).
         let ncores = self.nic.queue_count();
         let softirq = |stats: &mut StackStats,
-                           ring: &mut PacketRing,
-                           cache: &mut Option<CacheSim>,
-                           nic: &mut Nic<Packet>,
-                           core: usize,
-                           budgets: &mut CoreBudgets,
-                           snaplen: usize| {
+                       ring: &mut PacketRing,
+                       cache: &mut Option<CacheSim>,
+                       nic: &mut Nic<Packet>,
+                       core: usize,
+                       budgets: &mut CoreBudgets,
+                       snaplen: usize| {
             while budgets.can_run(core) {
-                let Some(pkt) = nic.queue_mut(core).pop() else { break };
+                let Some(pkt) = nic.queue_mut(core).pop() else {
+                    break;
+                };
                 let mut w = Work {
                     k_packets: 1,
                     ..Default::default()
@@ -550,7 +546,7 @@ impl<A: BaselineApp> CaptureStack for UserStack<A> {
         let mut s = self.stats;
         s.dropped_packets += self.nic.stats().ring_dropped_frames;
         s.matches = self.app.matches();
-        return s;
+        s
     }
 }
 
@@ -697,6 +693,10 @@ mod tests {
             report.stats.drop_percent()
         );
         // The user core saturates — that is *why* the ring fills.
-        assert!(report.user_busy[0] > 0.9, "user busy {}", report.user_busy[0]);
+        assert!(
+            report.user_busy[0] > 0.9,
+            "user busy {}",
+            report.user_busy[0]
+        );
     }
 }

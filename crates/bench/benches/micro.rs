@@ -109,7 +109,16 @@ fn bench_flow_table(c: &mut Criterion) {
 fn bench_filter(c: &mut Criterion) {
     let f = Filter::new("tcp and (dst port 80 or dst port 443) and src net 10.0.0.0/8")
         .expect("valid filter");
-    let hit = PacketBuilder::tcp_v4([10, 1, 2, 3], [5, 6, 7, 8], 9999, 443, 1, 1, TcpFlags::ACK, b"x");
+    let hit = PacketBuilder::tcp_v4(
+        [10, 1, 2, 3],
+        [5, 6, 7, 8],
+        9999,
+        443,
+        1,
+        1,
+        TcpFlags::ACK,
+        b"x",
+    );
     let miss = PacketBuilder::udp_v4([11, 1, 2, 3], [5, 6, 7, 8], 53, 53, b"x");
     let mut g = c.benchmark_group("filter");
     g.throughput(Throughput::Elements(2));
@@ -125,10 +134,18 @@ fn bench_filter(c: &mut Criterion) {
 fn bench_rss(c: &mut Criterion) {
     use scap_nic::RssHasher;
     let h = RssHasher::symmetric(8);
-    let k = FlowKey::new_v4([10, 1, 2, 3], [93, 184, 216, 34], 40000, 443, Transport::Tcp);
+    let k = FlowKey::new_v4(
+        [10, 1, 2, 3],
+        [93, 184, 216, 34],
+        40000,
+        443,
+        Transport::Tcp,
+    );
     let mut g = c.benchmark_group("nic");
     g.throughput(Throughput::Elements(1));
-    g.bench_function("toeplitz_rss_v4", |b| b.iter(|| black_box(h.queue_for(black_box(&k)))));
+    g.bench_function("toeplitz_rss_v4", |b| {
+        b.iter(|| black_box(h.queue_for(black_box(&k))))
+    });
     g.finish();
 }
 
@@ -188,7 +205,14 @@ fn bench_scap_end_to_end(c: &mut Criterion) {
                         ScapKernel::new(ScapConfig::default()),
                         PatternMatchApp::new(ac.clone()),
                     ),
-                    CoreBudgets::new(scap_sim::CostModel { core_hz: 1e15, ..Default::default() }, 8, 1_000_000),
+                    CoreBudgets::new(
+                        scap_sim::CostModel {
+                            core_hz: 1e15,
+                            ..Default::default()
+                        },
+                        8,
+                        1_000_000,
+                    ),
                 )
             },
             |(mut stack, mut budgets)| {

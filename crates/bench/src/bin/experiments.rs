@@ -47,10 +47,7 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(seed);
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
                 i += 1;
             }
             "--help" | "-h" => {
@@ -95,7 +92,10 @@ fn main() {
                 }
                 println!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
             }
-            None => eprintln!("unknown experiment '{id}' (ids: {})", ALL_EXPERIMENTS.join(" ")),
+            None => eprintln!(
+                "unknown experiment '{id}' (ids: {})",
+                ALL_EXPERIMENTS.join(" ")
+            ),
         }
     }
 }

@@ -13,11 +13,11 @@
 //! scapcat --top 20 trace.pcap                # largest 20 streams
 //! ```
 
-use parking_lot::Mutex;
 use scap::{Scap, StreamCtx};
 use scap_trace::gen::{CampusMix, CampusMixConfig};
 use scap_trace::pcap::{write_file, PcapReader};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 struct FlowLine {
     key: String,
@@ -104,7 +104,7 @@ fn main() {
         let flows = flows.clone();
         scap.dispatch_termination(move |ctx: &StreamCtx<'_>| {
             let s = ctx.stream;
-            flows.lock().push(FlowLine {
+            flows.lock().unwrap().push(FlowLine {
                 key: s.key.to_string(),
                 status: s.status_str(),
                 bytes: s.total_bytes(),
@@ -118,13 +118,13 @@ fn main() {
     let stats = scap.start_capture(packets);
 
     let mut flows = Arc::try_unwrap(flows)
-        .map(|m| m.into_inner())
-        .unwrap_or_else(|arc| std::mem::take(&mut *arc.lock()));
-    flows.sort_by(|a, b| b.bytes.cmp(&a.bytes));
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|arc| std::mem::take(&mut *arc.lock().unwrap()));
+    flows.sort_by_key(|f| std::cmp::Reverse(f.bytes));
 
     println!(
-        "{:<48} {:>12} {:>8} {:>12} {:>10}  {:<16} {}",
-        "stream", "bytes", "pkts", "captured", "dur(ms)", "status", "flags"
+        "{:<48} {:>12} {:>8} {:>12} {:>10}  {:<16} flags",
+        "stream", "bytes", "pkts", "captured", "dur(ms)", "status"
     );
     for fl in flows.iter().take(top) {
         println!(

@@ -4,13 +4,13 @@
 use scap::apps::{FlowStatsApp, PatternMatchApp, StreamTouchApp};
 use scap::{ScapConfig, ScapKernel, ScapSimStack, SimApp};
 use scap_baseline::{BaselineApp, UserStack, UserStackConfig};
+use scap_memory;
 use scap_patterns::AhoCorasick;
 use scap_sim::{CostModel, Engine, EngineConfig, EngineReport};
 use scap_trace::gen::{CampusMix, CampusMixConfig};
 use scap_trace::replay::{natural_rate_bps, RateReplay};
 use scap_trace::stats::TraceStats;
 use scap_trace::Packet;
-use scap_memory;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;

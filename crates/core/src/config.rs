@@ -1,6 +1,8 @@
 //! Configuration: everything `scap_create` and the `scap_set_*` family
 //! control in the paper's Table 1.
 
+use crate::governor::GovernorConfig;
+use scap_faults::FaultPlan;
 use scap_filter::Filter;
 use scap_memory::PplConfig;
 use scap_reassembly::{OverlapPolicy, ReassemblyMode};
@@ -119,6 +121,12 @@ pub struct ScapConfig {
     /// Maximum queued events per core (beyond this, data chunks are
     /// dropped; memory pressure usually intervenes first).
     pub event_queue_cap: usize,
+    /// Overload-governor tuning (always active; the defaults only bite
+    /// under sustained pressure).
+    pub governor: GovernorConfig,
+    /// Deterministic fault-injection plan (tests and the `faults`
+    /// experiment; None in production use).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ScapConfig {
@@ -147,6 +155,8 @@ impl Default for ScapConfig {
             balance_threshold: 1.5,
             rx_ring_slots: 4096,
             event_queue_cap: 1 << 16,
+            governor: GovernorConfig::default(),
+            faults: None,
         }
     }
 }
@@ -169,8 +179,7 @@ mod tests {
         assert_eq!(c.effective(&key(80)), [Some(1000), Some(1000)]);
         c.per_direction[Direction::Reverse.index()] = Some(5000);
         assert_eq!(c.effective(&key(80)), [Some(1000), Some(5000)]);
-        c.classes
-            .push((Filter::new("port 80").unwrap(), 77));
+        c.classes.push((Filter::new("port 80").unwrap(), 77));
         assert_eq!(c.effective(&key(80)), [Some(77), Some(77)]);
         assert_eq!(c.effective(&key(443)), [Some(1000), Some(5000)]);
     }

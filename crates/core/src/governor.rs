@@ -1,0 +1,225 @@
+//! The overload governor: graceful degradation under sustained pressure.
+//!
+//! The paper's overload story (§2.2, §6.5) is built from independent
+//! mechanisms — PPL watermarks, per-stream cutoffs, FDIR offload. The
+//! governor composes them into an escalation ladder driven by a single
+//! *pressure* signal (the worst of arena occupancy, RX-ring fill and
+//! event-queue backlog):
+//!
+//! | level | effect                                                      |
+//! |-------|-------------------------------------------------------------|
+//! | 0     | configured behaviour                                        |
+//! | 1     | PPL watermark tightening (`ppl_boost` added per level)      |
+//! | 2     | + dynamic cutoff reduction (`cutoff_caps[0]`)               |
+//! | 3     | + tighter cutoff cap and low-priority stream eviction       |
+//!
+//! Escalation is immediate (one tick above the enter threshold); recovery
+//! is hysteretic — pressure must stay below `exit` for `calm_ticks`
+//! consecutive ticks before the governor steps *one* level down, so a
+//! brief lull does not bounce the system between policies.
+
+/// Tunables for the escalation ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct GovernorConfig {
+    /// Pressure thresholds that enter levels 1, 2, 3.
+    pub enter: [f64; 3],
+    /// Pressure below which a tick counts as calm.
+    pub exit: f64,
+    /// Consecutive calm ticks required to step down one level.
+    pub calm_ticks: u32,
+    /// Minimum spacing between governor evaluations.
+    pub tick_ns: u64,
+    /// Dynamic cutoff caps applied at levels 2 and 3 (bytes).
+    pub cutoff_caps: [u64; 2],
+    /// Added to the PPL memory-fraction input per active level.
+    pub ppl_boost: f64,
+    /// Streams evicted per tick at level 3.
+    pub evict_batch: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            enter: [0.70, 0.85, 0.95],
+            exit: 0.55,
+            calm_ticks: 3,
+            tick_ns: 10_000_000, // 10 ms
+            cutoff_caps: [256 * 1024, 64 * 1024],
+            ppl_boost: 0.08,
+            evict_batch: 8,
+        }
+    }
+}
+
+/// Counters the governor maintains about its own behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Level changes (up or down).
+    pub transitions: u64,
+    /// Highest level reached.
+    pub max_level: u8,
+    /// Evaluations performed.
+    pub ticks: u64,
+}
+
+/// The governor state machine.
+#[derive(Debug)]
+pub struct OverloadGovernor {
+    cfg: GovernorConfig,
+    level: u8,
+    calm: u32,
+    last_tick_ns: Option<u64>,
+    stats: GovernorStats,
+}
+
+impl OverloadGovernor {
+    /// A governor at level 0.
+    pub fn new(cfg: GovernorConfig) -> Self {
+        OverloadGovernor {
+            cfg,
+            level: 0,
+            calm: 0,
+            last_tick_ns: None,
+            stats: GovernorStats::default(),
+        }
+    }
+
+    /// Current degradation level (0 = configured behaviour).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> GovernorStats {
+        self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GovernorConfig {
+        &self.cfg
+    }
+
+    /// Extra memory-pressure fraction the PPL verdict should assume.
+    pub fn ppl_boost(&self) -> f64 {
+        f64::from(self.level) * self.cfg.ppl_boost
+    }
+
+    /// The cutoff cap in force, if any (levels 2+).
+    pub fn cutoff_cap(&self) -> Option<u64> {
+        match self.level {
+            0 | 1 => None,
+            2 => Some(self.cfg.cutoff_caps[0]),
+            _ => Some(self.cfg.cutoff_caps[1]),
+        }
+    }
+
+    /// Number of low-priority streams to evict this tick (level 3 only).
+    pub fn evict_quota(&self) -> usize {
+        if self.level >= 3 {
+            self.cfg.evict_batch
+        } else {
+            0
+        }
+    }
+
+    /// Evaluate the ladder against the current pressure. Rate-limited to
+    /// one evaluation per `tick_ns`; returns the level in force.
+    pub fn tick(&mut self, now_ns: u64, pressure: f64) -> u8 {
+        if let Some(last) = self.last_tick_ns {
+            if now_ns.saturating_sub(last) < self.cfg.tick_ns {
+                return self.level;
+            }
+        }
+        self.last_tick_ns = Some(now_ns);
+        self.stats.ticks += 1;
+
+        // Highest level whose enter threshold the pressure meets.
+        let mut target = 0u8;
+        for (i, thr) in self.cfg.enter.iter().enumerate() {
+            if pressure >= *thr {
+                target = i as u8 + 1;
+            }
+        }
+
+        if target > self.level {
+            self.level = target;
+            self.calm = 0;
+            self.stats.transitions += 1;
+            self.stats.max_level = self.stats.max_level.max(self.level);
+        } else if self.level > 0 && pressure < self.cfg.exit {
+            self.calm += 1;
+            if self.calm >= self.cfg.calm_ticks {
+                self.level -= 1;
+                self.calm = 0;
+                self.stats.transitions += 1;
+            }
+        } else {
+            // Pressure between exit and the current band: hold steady.
+            self.calm = 0;
+        }
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gov() -> OverloadGovernor {
+        OverloadGovernor::new(GovernorConfig {
+            tick_ns: 10,
+            calm_ticks: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn escalates_immediately_and_recovers_with_hysteresis() {
+        let mut g = gov();
+        assert_eq!(g.tick(0, 0.2), 0);
+        assert_eq!(g.tick(10, 0.90), 2); // jumps straight to the band
+        assert_eq!(g.cutoff_cap(), Some(256 * 1024));
+        assert_eq!(g.tick(20, 0.97), 3);
+        assert_eq!(g.cutoff_cap(), Some(64 * 1024));
+        assert!(g.evict_quota() > 0);
+        // One calm tick is not enough...
+        assert_eq!(g.tick(30, 0.10), 3);
+        // ...two are, and recovery is one level at a time.
+        assert_eq!(g.tick(40, 0.10), 2);
+        assert_eq!(g.tick(50, 0.10), 2);
+        assert_eq!(g.tick(60, 0.10), 1);
+        assert_eq!(g.tick(70, 0.10), 1);
+        assert_eq!(g.tick(80, 0.10), 0);
+        let s = g.stats();
+        assert_eq!(s.max_level, 3);
+        assert_eq!(s.transitions, 5);
+    }
+
+    #[test]
+    fn middle_band_holds_level_and_resets_calm() {
+        let mut g = gov();
+        g.tick(0, 0.75);
+        assert_eq!(g.level(), 1);
+        assert!(g.ppl_boost() > 0.0);
+        // One calm tick, then pressure returns to the middle band: the
+        // calm streak restarts.
+        g.tick(10, 0.10);
+        g.tick(20, 0.60);
+        g.tick(30, 0.10);
+        assert_eq!(g.level(), 1, "calm streak must restart");
+        g.tick(40, 0.10);
+        assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn evaluations_are_rate_limited() {
+        let mut g = OverloadGovernor::new(GovernorConfig {
+            tick_ns: 1_000,
+            ..Default::default()
+        });
+        assert_eq!(g.tick(0, 0.99), 3);
+        // Within the same tick window the level cannot change.
+        assert_eq!(g.tick(1, 0.0), 3);
+        assert_eq!(g.stats().ticks, 1);
+    }
+}

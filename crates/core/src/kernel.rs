@@ -11,9 +11,11 @@
 
 use crate::config::ScapConfig;
 use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
+use crate::governor::OverloadGovernor;
+use scap_faults::{ArenaInjector, FrameFaultStats, RingInjector};
 use scap_flow::{FlowTable, FlowTableConfig, StreamErrors, StreamId, StreamRecord, StreamStatus};
 use scap_memory::{Arena, ChunkAssembler, ChunkBuf, PplVerdict};
-use scap_nic::{FdirFilter, Nic, NicVerdict};
+use scap_nic::{FdirError, FdirFilter, Nic, NicVerdict};
 use scap_reassembly::{CloseKind, ReasmConfig, ReasmFlags, TcpConn};
 use scap_sim::{CacheSim, StackStats, Work};
 use scap_trace::Packet;
@@ -26,6 +28,12 @@ const HDR_TOUCH_BYTES: u64 = 64;
 const EXPIRE_BATCH: usize = 256;
 /// Initial FDIR filter timeout; doubles on each reinstall (§5.5).
 const FDIR_INITIAL_TIMEOUT_NS: u64 = 2_000_000_000;
+/// Delay before the first retry of a transiently failed FDIR install;
+/// doubles per attempt (exponential backoff).
+const FDIR_RETRY_BASE_NS: u64 = 50_000;
+/// Install attempts (beyond the first) before falling back to software
+/// cutoff enforcement for good.
+const FDIR_RETRY_MAX_ATTEMPTS: u32 = 5;
 
 /// Per-stream kernel-side state (parallel to the flow record).
 struct StreamKState {
@@ -36,6 +44,10 @@ struct StreamKState {
     flush_armed: [bool; 2],
     fdir_installed: bool,
     fdir_timeout_ns: u64,
+    /// A transiently failed install is parked on the retry queue.
+    fdir_retry_pending: bool,
+    /// Retries exhausted: the cutoff is enforced in software only.
+    fdir_software_fallback: bool,
     /// Chunks held back by `scap_keep_stream_chunk` for merging.
     kept: [Option<ChunkBuf>; 2],
 }
@@ -50,9 +62,21 @@ impl StreamKState {
             flush_armed: [false, false],
             fdir_installed: false,
             fdir_timeout_ns: FDIR_INITIAL_TIMEOUT_NS,
+            fdir_retry_pending: false,
+            fdir_software_fallback: false,
             kept: [None, None],
         }
     }
+}
+
+/// A transiently failed FDIR install awaiting its next attempt.
+#[derive(Debug, Clone, Copy)]
+struct FdirRetry {
+    core: usize,
+    id: StreamId,
+    uid: StreamUid,
+    attempts: u32,
+    next_try_ns: u64,
 }
 
 /// Per-stream control operations (the `scap_set_stream_*` family and
@@ -104,6 +128,56 @@ pub struct ScapStats {
     pub wire_by_priority: [u64; 4],
     /// Overload-dropped packets per priority level (the Fig. 9 metric).
     pub dropped_by_priority: [u64; 4],
+    /// Fault/recovery counters (injection, retries, governor, watchdog).
+    pub resilience: ResilienceStats,
+}
+
+/// Counters for every fault handled and every degradation the pipeline
+/// took to survive it. All zero in a fault-free, unloaded run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// FDIR installs rejected transiently by the hardware.
+    pub fdir_transient_failures: u64,
+    /// Install retry attempts made from the backoff queue.
+    pub fdir_retries: u64,
+    /// Retries that eventually installed the filters.
+    pub fdir_retry_successes: u64,
+    /// Streams whose retries were exhausted: their cutoff is enforced in
+    /// software (kernel discard path) instead of at the NIC.
+    pub fdir_fallback_software: u64,
+    /// Installs that succeeded but took an injected latency spike.
+    pub fdir_slow_installs: u64,
+    /// Distinct RX descriptor-ring stall windows endured.
+    pub ring_stall_windows: u64,
+    /// Distinct arena pressure spikes endured.
+    pub arena_spikes: u64,
+    /// Frames corrupted at the trace boundary.
+    pub frames_corrupted: u64,
+    /// Frames truncated at the trace boundary.
+    pub frames_truncated: u64,
+    /// Frames duplicated at the trace boundary.
+    pub frames_duplicated: u64,
+    /// Timestamp anomalies (skew/repeat) injected.
+    pub ts_anomalies: u64,
+    /// Frames reordered at the trace boundary.
+    pub frames_reordered: u64,
+    /// Governor level at the time the stats were read.
+    pub governor_level: u8,
+    /// Highest governor level reached.
+    pub governor_max_level: u8,
+    /// Governor level changes (up or down).
+    pub governor_transitions: u64,
+    /// Packets discarded only because the governor tightened a cutoff
+    /// below its configured value.
+    pub governor_cutoff_clamps: u64,
+    /// Low-priority streams whose pending data the governor evicted.
+    pub evicted_streams: u64,
+    /// Worker threads that died mid-capture (live driver watchdog).
+    pub worker_panics: u64,
+    /// Worker stalls detected by the heartbeat watchdog.
+    pub worker_stalls_detected: u64,
+    /// Replacement workers spawned by the watchdog.
+    pub worker_restarts: u64,
 }
 
 /// The emulated kernel module.
@@ -124,6 +198,16 @@ pub struct ScapKernel {
     cache: Option<CacheSim>,
     /// Synthetic DMA-buffer cursor for frame-header touches.
     dma_cursor: u64,
+    /// Overload governor (escalating degradation under pressure).
+    governor: OverloadGovernor,
+    /// Transiently failed FDIR installs awaiting retry (backoff queue).
+    fdir_retry: VecDeque<FdirRetry>,
+    /// RX ring stall injection (None without a fault plan).
+    ring_faults: Option<RingInjector>,
+    /// Arena pressure-spike injection (None without a fault plan).
+    arena_faults: Option<ArenaInjector>,
+    /// `finish()` drains rings unconditionally, stall windows included.
+    drain_mode: bool,
 }
 
 impl ScapKernel {
@@ -138,8 +222,16 @@ impl ScapKernel {
                 flush_timers: VecDeque::new(),
             })
             .collect();
+        let mut nic = Nic::new(ncores, cfg.rx_ring_slots);
+        let mut ring_faults = None;
+        let mut arena_faults = None;
+        if let Some(plan) = &cfg.faults {
+            nic.fdir_mut().set_fault_injector(plan.fdir_injector());
+            ring_faults = Some(plan.ring_injector());
+            arena_faults = Some(plan.arena_injector(cfg.memory_bytes as u64));
+        }
         ScapKernel {
-            nic: Nic::new(ncores, cfg.rx_ring_slots),
+            nic,
             arena: Arena::new(cfg.memory_bytes),
             cores,
             fdir_expiries: BTreeMap::new(),
@@ -149,6 +241,11 @@ impl ScapKernel {
             stats: ScapStats::default(),
             cache: None,
             dma_cursor: 0,
+            governor: OverloadGovernor::new(cfg.governor),
+            fdir_retry: VecDeque::new(),
+            ring_faults,
+            arena_faults,
+            drain_mode: false,
             cfg,
         }
     }
@@ -249,7 +346,47 @@ impl ScapKernel {
         let n = self.nic.stats();
         s.stack.nic_filtered_packets = n.fdir_dropped_frames;
         s.stack.dropped_packets += n.ring_dropped_frames;
+        s.resilience.fdir_transient_failures = self.nic.fdir().transient_failures;
+        s.resilience.fdir_slow_installs = self.nic.fdir().slow_installs;
+        if let Some(inj) = &self.ring_faults {
+            s.resilience.ring_stall_windows = inj.windows_seen();
+        }
+        if let Some(inj) = &self.arena_faults {
+            s.resilience.arena_spikes = inj.spikes_seen();
+        }
+        let g = self.governor.stats();
+        s.resilience.governor_level = self.governor.level();
+        s.resilience.governor_max_level = g.max_level;
+        s.resilience.governor_transitions = g.transitions;
         s
+    }
+
+    /// Merge frame-level fault counters observed by the driver at the
+    /// trace boundary (the kernel never sees those frames pre-mangling).
+    pub fn note_frame_faults(&mut self, f: FrameFaultStats) {
+        let r = &mut self.stats.resilience;
+        r.frames_corrupted = f.corrupted;
+        r.frames_truncated = f.truncated;
+        r.frames_duplicated = f.duplicated;
+        r.ts_anomalies = f.ts_anomalies;
+        r.frames_reordered = f.reordered;
+    }
+
+    /// Mutable access to the resilience counters (the live driver's
+    /// watchdog reports worker panics/stalls/restarts through this).
+    pub fn resilience_mut(&mut self) -> &mut ResilienceStats {
+        &mut self.stats.resilience
+    }
+
+    /// Set an error flag on a live stream (the live driver's watchdog
+    /// marks streams whose worker died mid-dispatch). No-op if the stream
+    /// already terminated.
+    pub fn flag_stream_error(&mut self, uid: StreamUid, err: StreamErrors) {
+        if let Some(&(core, id)) = self.uid_index.get(&uid) {
+            if let Some(rec) = self.cores[core].flows.get_mut(id) {
+                rec.errors.set(err);
+            }
+        }
     }
 
     /// Raw NIC counters (diagnostics).
@@ -341,18 +478,24 @@ impl ScapKernel {
         if (counts[target] as f64) <= avg * self.cfg.balance_threshold {
             return;
         }
-        let coldest = counts
+        // Invariant: `cores` is never empty (ncores is clamped to >= 1).
+        let Some(coldest) = counts
             .iter()
             .enumerate()
             .min_by_key(|(_, c)| **c)
             .map(|(i, _)| i)
-            .expect("at least one core");
+        else {
+            return;
+        };
         if coldest == target || self.nic.fdir().free() < 2 {
             return;
         }
         // Steer both directions so the whole connection lands on one
         // core (the same property the symmetric RSS seed provides).
-        let _ = self.nic.fdir_mut().add(scap_nic::FdirFilter::steer(*key, coldest));
+        let _ = self
+            .nic
+            .fdir_mut()
+            .add(scap_nic::FdirFilter::steer(*key, coldest));
         let _ = self
             .nic
             .fdir_mut()
@@ -364,6 +507,16 @@ impl ScapKernel {
     /// Process one packet from a core's RX ring. Returns the work done,
     /// or `None` when the ring was empty.
     pub fn kernel_poll(&mut self, core: usize, now: u64) -> Option<Work> {
+        // An injected descriptor-ring stall: the DMA engine is wedged, so
+        // polls see an empty ring. Frames keep arriving and overflow the
+        // ring at the NIC; `finish()` drains regardless.
+        if !self.drain_mode {
+            if let Some(inj) = self.ring_faults.as_mut() {
+                if inj.stalled(now) {
+                    return None;
+                }
+            }
+        }
         let pkt = self.nic.queue_mut(core).pop()?;
         let mut work = Work {
             k_packets: 1,
@@ -377,6 +530,12 @@ impl ScapKernel {
     fn next_uid(&mut self) -> StreamUid {
         self.uid_counter += 1;
         self.uid_counter
+    }
+
+    /// Memory-pressure input to the PPL verdict: arena occupancy plus the
+    /// governor's per-level watermark tightening.
+    fn ppl_pressure(&self) -> f64 {
+        (self.arena.used_fraction() + self.governor.ppl_boost()).min(1.0)
     }
 
     fn snapshot_rec(rec: &StreamRecord, uid: StreamUid) -> StreamSnapshot {
@@ -396,14 +555,14 @@ impl ScapKernel {
         }
     }
 
-    fn snapshot(&self, core: usize, id: StreamId) -> StreamSnapshot {
-        let rec = self.cores[core].flows.get(id).expect("live record");
+    fn snapshot(&self, core: usize, id: StreamId) -> Option<StreamSnapshot> {
+        let rec = self.cores[core].flows.get(id)?;
         let uid = self.cores[core]
             .kstates
             .get(&id)
             .map(|k| k.uid)
             .unwrap_or(0);
-        Self::snapshot_rec(rec, uid)
+        Some(Self::snapshot_rec(rec, uid))
     }
 
     fn enqueue_event(&mut self, core: usize, ev: Event, work: &mut Work) {
@@ -444,10 +603,17 @@ impl ScapKernel {
 
         // Flow lookup / creation.
         let probes_before = self.cores[core].flows.probes;
-        let lookup = self.cores[core]
-            .flows
-            .lookup_or_insert(&key, now)
-            .expect("scap tables are unbounded");
+        let lookup = match self.cores[core].flows.lookup_or_insert(&key, now) {
+            Ok(l) => l,
+            Err(_) => {
+                // Flow table at its configured cap (a flood can get here):
+                // the stream is lost but the capture survives.
+                self.stats.stack.dropped_packets += 1;
+                self.stats.stack.dropped_bytes += pkt.len() as u64;
+                self.stats.stack.streams_lost += 1;
+                return;
+            }
+        };
         work.k_hash_probes += (self.cores[core].flows.probes - probes_before).max(1);
         let id = lookup.id;
         let dir = lookup.direction;
@@ -457,8 +623,7 @@ impl ScapKernel {
             self.dma_cursor = (self.dma_cursor + 2048) % (512 << 20);
             work.k_cache_misses += c.access(0x6000_0000 + self.dma_cursor, 64);
             // The flow record.
-            let rec_addr =
-                0xA0_0000_0000 + ((core as u64) << 28) + (id.slot() as u64) * 256;
+            let rec_addr = 0xA0_0000_0000 + ((core as u64) << 28) + (id.slot() as u64) * 256;
             work.k_cache_misses += c.access(rec_addr, 128);
         }
 
@@ -477,8 +642,9 @@ impl ScapKernel {
             let uid = self.next_uid();
             let cutoffs = self.cfg.cutoff.effective(&key);
             let priority = self.cfg.priorities.for_key(&key);
-            {
-                let rec = self.cores[core].flows.get_mut(id).expect("just created");
+            // Invariant: `lookup.created` implies the slot is live.
+            debug_assert!(self.cores[core].flows.get(id).is_some());
+            if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.cutoff = cutoffs;
                 rec.priority = priority;
                 rec.chunk_size = self.cfg.chunk_size as u32;
@@ -487,21 +653,21 @@ impl ScapKernel {
             self.cores[core].kstates.insert(id, StreamKState::new(uid));
             self.uid_index.insert(uid, (core, id));
             self.stats.stack.streams_created += 1;
-            let snap = self.snapshot(core, id);
-            self.enqueue_event(
-                core,
-                Event {
-                    stream: snap,
-                    kind: EventKind::Created,
+            if let Some(snap) = self.snapshot(core, id) {
+                self.enqueue_event(
                     core,
-                },
-                work,
-            );
+                    Event {
+                        stream: snap,
+                        kind: EventKind::Created,
+                        core,
+                    },
+                    work,
+                );
+            }
         }
 
         // Wire accounting.
-        {
-            let rec = self.cores[core].flows.get_mut(id).expect("live record");
+        if let Some(rec) = self.cores[core].flows.get_mut(id) {
             rec.dirs[dir.index()].total_pkts += 1;
             rec.dirs[dir.index()].total_bytes += pkt.len() as u64;
         }
@@ -510,7 +676,10 @@ impl ScapKernel {
         match key.transport() {
             Transport::Tcp => self.process_tcp(core, id, dir, pkt, &parsed, now, work),
             Transport::Udp => self.process_udp(core, id, dir, pkt, &parsed, now, work),
-            Transport::Other(_) => {}
+            Transport::Other(_) => {
+                // Tracked for statistics only; processing is complete.
+                self.stats.stack.delivered_packets += 1;
+            }
         }
     }
 
@@ -525,43 +694,70 @@ impl ScapKernel {
         now: u64,
         work: &mut Work,
     ) {
-        let Some(meta) = parsed.tcp else { return };
+        let Some(meta) = parsed.tcp else {
+            // Transport said TCP but the header would not parse: nothing
+            // to reassemble.
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            return;
+        };
         let payload = parsed.payload();
 
-        let (priority, cutoff, discarded_flag, cutoff_exceeded) = {
-            let rec = self.cores[core].flows.get(id).expect("live");
-            (
-                rec.priority,
-                rec.cutoff[dir.index()],
-                rec.discarded,
-                rec.cutoff_exceeded,
-            )
+        // Invariant: process_packet only dispatches live, tracked streams.
+        debug_assert!(self.cores[core].flows.get(id).is_some());
+        let Some((priority, cutoff, discarded_flag, cutoff_exceeded)) =
+            self.cores[core].flows.get(id).map(|rec| {
+                (
+                    rec.priority,
+                    rec.cutoff[dir.index()],
+                    rec.discarded,
+                    rec.cutoff_exceeded,
+                )
+            })
+        else {
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            return;
+        };
+
+        // Governor levels 2+ tighten every cutoff to a dynamic cap.
+        let effective_cutoff = match (cutoff, self.governor.cutoff_cap()) {
+            (Some(c), Some(cap)) => Some(c.min(cap)),
+            (None, Some(cap)) => Some(cap),
+            (c, None) => c,
         };
 
         let is_control = meta
             .flags
             .intersects(TcpFlags::SYN | TcpFlags::FIN | TcpFlags::RST);
 
-        let asm_offset = {
-            let ks = self.cores[core].kstates.get(&id).expect("kstate");
+        debug_assert!(self.cores[core].kstates.contains_key(&id));
+        let Some(asm_offset) = self.cores[core].kstates.get(&id).map(|ks| {
             ks.asm[dir.index()]
                 .as_ref()
                 .map(|a| a.stream_offset())
                 .unwrap_or(0)
+        }) else {
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            return;
         };
 
         // Zero cutoff (flow-stats-only applications, §3.3.1) and
         // exceeded cutoffs: discard data before any reassembly work.
-        let beyond_cutoff = cutoff.is_some_and(|c| asm_offset >= c);
+        let beyond_cutoff = effective_cutoff.is_some_and(|c| asm_offset >= c);
+        let beyond_configured = cutoff.is_some_and(|c| asm_offset >= c);
         if (beyond_cutoff || discarded_flag) && !is_control && !payload.is_empty() {
-            {
-                let rec = self.cores[core].flows.get_mut(id).expect("live");
+            if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.dirs[dir.index()].discarded_pkts += 1;
                 rec.dirs[dir.index()].discarded_bytes += pkt.len() as u64;
                 rec.cutoff_exceeded = rec.cutoff_exceeded || beyond_cutoff;
             }
             self.stats.stack.discarded_packets += 1;
             self.stats.stack.discarded_bytes += pkt.len() as u64;
+            if beyond_cutoff && !beyond_configured && !discarded_flag {
+                self.stats.resilience.governor_cutoff_clamps += 1;
+            }
             // (Re-)install NIC drop filters: first time normally, again
             // with a doubled timeout when an expired filter let a data
             // packet back through (§5.5).
@@ -574,17 +770,19 @@ impl ScapKernel {
 
         self.stats.wire_by_priority[priority.min(3) as usize] += 1;
 
-        // Prioritized packet loss: decided before memory is spent.
+        // Prioritized packet loss: decided before memory is spent. The
+        // governor's watermark tightening rides on the pressure input.
         if !payload.is_empty()
             && self
                 .cfg
                 .ppl
-                .verdict(self.arena.used_fraction(), priority, asm_offset)
+                .verdict(self.ppl_pressure(), priority, asm_offset)
                 != PplVerdict::Accept
         {
-            let rec = self.cores[core].flows.get_mut(id).expect("live");
-            rec.dirs[dir.index()].dropped_pkts += 1;
-            rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
+            if let Some(rec) = self.cores[core].flows.get_mut(id) {
+                rec.dirs[dir.index()].dropped_pkts += 1;
+                rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
+            }
             self.stats.stack.dropped_packets += 1;
             self.stats.stack.dropped_bytes += pkt.len() as u64;
             self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
@@ -593,26 +791,30 @@ impl ScapKernel {
 
         // Borrow dance: lift the connection and assembler out of the
         // kstate so the delivery sink can borrow the arena freely.
-        let mut ks = self.cores[core].kstates.remove(&id).expect("kstate");
-        if ks.conn.is_none() {
-            let rc = ReasmConfig::for_mode(self.cfg.reassembly_mode)
-                .with_policy(self.cfg.overlap_policy);
-            ks.conn = Some(TcpConn::new(rc));
-        }
-        let mut conn = ks.conn.take().expect("just ensured");
-        let (stream_chunk, stream_overlap) = {
-            let rec = self.cores[core].flows.get(id).expect("live");
-            (rec.chunk_size.max(1) as usize, rec.overlap as usize)
+        let Some(mut ks) = self.cores[core].kstates.remove(&id) else {
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            return;
         };
-        let mut asm = ks.asm[dir.index()]
-            .take()
-            .unwrap_or_else(|| ChunkAssembler::new(stream_chunk, stream_overlap.min(stream_chunk - 1)));
+        let mut conn = ks.conn.take().unwrap_or_else(|| {
+            TcpConn::new(
+                ReasmConfig::for_mode(self.cfg.reassembly_mode)
+                    .with_policy(self.cfg.overlap_policy),
+            )
+        });
+        let (stream_chunk, stream_overlap) = match self.cores[core].flows.get(id) {
+            Some(rec) => (rec.chunk_size.max(1) as usize, rec.overlap as usize),
+            None => (self.cfg.chunk_size.max(1), self.cfg.overlap),
+        };
+        let mut asm = ks.asm[dir.index()].take().unwrap_or_else(|| {
+            ChunkAssembler::new(stream_chunk, stream_overlap.min(stream_chunk - 1))
+        });
 
         let copied_before = asm.bytes_copied;
         let mut completed: Vec<ChunkBuf> = Vec::new();
         let mut oom = false;
         let mut first_delivery: Option<u64> = None;
-        let cutoff_cap = cutoff.unwrap_or(u64::MAX);
+        let cutoff_cap = effective_cutoff.unwrap_or(u64::MAX);
         let outcome = {
             let arena = &mut self.arena;
             let asm_ref = &mut asm;
@@ -622,7 +824,10 @@ impl ScapKernel {
                     return;
                 }
                 let allowed = ((cutoff_cap - off) as usize).min(data.len());
-                if asm_ref.append(arena, &data[..allowed], &mut completed).is_err() {
+                if asm_ref
+                    .append(arena, &data[..allowed], &mut completed)
+                    .is_err()
+                {
                     oom = true;
                 }
             };
@@ -653,47 +858,64 @@ impl ScapKernel {
             });
         }
 
-        // Accounting and error mapping.
-        {
-            let rec = self.cores[core].flows.get_mut(id).expect("live");
+        // Accounting and error mapping. Every packet that reached this
+        // point takes exactly one stack-level exit — dropped (OOM),
+        // discarded (pure duplicate), or delivered — so the conservation
+        // identity `wire = delivered + dropped + discarded` holds.
+        let captured = outcome.data.delivered > 0 || outcome.data.buffered > 0;
+        let dup_only = !captured && outcome.data.duplicate > 0;
+        if let Some(rec) = self.cores[core].flows.get_mut(id) {
             let d = &mut rec.dirs[dir.index()];
-            if outcome.data.delivered > 0 || outcome.data.buffered > 0 {
+            if captured {
                 d.captured_pkts += 1;
-                d.captured_bytes += (outcome.data.delivered + outcome.data.buffered)
-                    .min(payload.len() as u64);
-            } else if outcome.data.duplicate > 0 {
-                d.discarded_pkts += 1;
-                d.discarded_bytes += outcome.data.duplicate;
-                self.stats.stack.discarded_packets += 1;
-                self.stats.stack.discarded_bytes += outcome.data.duplicate;
+                d.captured_bytes +=
+                    (outcome.data.delivered + outcome.data.buffered).min(payload.len() as u64);
             }
             if oom {
                 d.dropped_pkts += 1;
                 d.dropped_bytes += pkt.len() as u64;
-                self.stats.stack.dropped_packets += 1;
-                self.stats.stack.dropped_bytes += pkt.len() as u64;
-                self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
+            } else if dup_only {
+                d.discarded_pkts += 1;
+                d.discarded_bytes += outcome.data.duplicate;
             }
             let f = conn.flags();
             for (rf, sf) in [
-                (ReasmFlags::INCOMPLETE_HANDSHAKE, StreamErrors::INCOMPLETE_HANDSHAKE),
+                (
+                    ReasmFlags::INCOMPLETE_HANDSHAKE,
+                    StreamErrors::INCOMPLETE_HANDSHAKE,
+                ),
                 (ReasmFlags::SEQUENCE_GAP, StreamErrors::SEQUENCE_GAP),
-                (ReasmFlags::INCONSISTENT_OVERLAP, StreamErrors::INCONSISTENT_OVERLAP),
+                (
+                    ReasmFlags::INCONSISTENT_OVERLAP,
+                    StreamErrors::INCONSISTENT_OVERLAP,
+                ),
                 (ReasmFlags::INVALID_SEQUENCE, StreamErrors::INVALID_SEQUENCE),
             ] {
                 if f.contains(rf) {
                     rec.errors.set(sf);
                 }
             }
-            self.stats.stack.delivered_bytes += copied;
         }
+        if oom {
+            self.stats.stack.dropped_packets += 1;
+            self.stats.stack.dropped_bytes += pkt.len() as u64;
+            self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
+        } else if dup_only {
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += outcome.data.duplicate;
+        } else {
+            self.stats.stack.delivered_packets += 1;
+        }
+        self.stats.stack.delivered_bytes += copied;
 
         // Newly exceeded cutoff: flush the final partial chunk now and
         // install NIC filters so the tail never reaches memory.
-        let now_beyond = cutoff.is_some_and(|c| asm.stream_offset() >= c);
+        let now_beyond = effective_cutoff.is_some_and(|c| asm.stream_offset() >= c);
         let mut install_filters = false;
         if now_beyond && !cutoff_exceeded {
-            self.cores[core].flows.get_mut(id).unwrap().cutoff_exceeded = true;
+            if let Some(rec) = self.cores[core].flows.get_mut(id) {
+                rec.cutoff_exceeded = true;
+            }
             if let Some(tail) = asm.flush() {
                 if tail.len > 0 {
                     completed.push(tail);
@@ -753,44 +975,61 @@ impl ScapKernel {
     ) {
         let payload = parsed.payload();
         if payload.is_empty() {
+            // Nothing to capture; the packet is fully processed.
+            self.stats.stack.delivered_packets += 1;
             return;
         }
-        let (priority, cutoff, discarded_flag) = {
-            let rec = self.cores[core].flows.get(id).expect("live");
-            (rec.priority, rec.cutoff[dir.index()], rec.discarded)
+        // Invariant: process_packet only dispatches live, tracked streams.
+        debug_assert!(self.cores[core].flows.get(id).is_some());
+        let Some((priority, cutoff, discarded_flag, stream_chunk, stream_overlap)) =
+            self.cores[core].flows.get(id).map(|rec| {
+                (
+                    rec.priority,
+                    rec.cutoff[dir.index()],
+                    rec.discarded,
+                    rec.chunk_size.max(1) as usize,
+                    rec.overlap as usize,
+                )
+            })
+        else {
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            return;
         };
-        let (stream_chunk, stream_overlap) = {
-            let rec = self.cores[core].flows.get(id).expect("live");
-            (rec.chunk_size.max(1) as usize, rec.overlap as usize)
+        let effective_cutoff = match (cutoff, self.governor.cutoff_cap()) {
+            (Some(c), Some(cap)) => Some(c.min(cap)),
+            (None, Some(cap)) => Some(cap),
+            (c, None) => c,
         };
-        let mut ks = self.cores[core].kstates.remove(&id).expect("kstate");
-        let mut asm = ks.asm[dir.index()]
-            .take()
-            .unwrap_or_else(|| ChunkAssembler::new(stream_chunk, stream_overlap.min(stream_chunk - 1)));
+        let Some(mut ks) = self.cores[core].kstates.remove(&id) else {
+            self.stats.stack.discarded_packets += 1;
+            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            return;
+        };
+        let mut asm = ks.asm[dir.index()].take().unwrap_or_else(|| {
+            ChunkAssembler::new(stream_chunk, stream_overlap.min(stream_chunk - 1))
+        });
         let offset = asm.stream_offset();
 
-        let beyond = cutoff.is_some_and(|c| offset >= c) || discarded_flag;
+        let beyond_configured = cutoff.is_some_and(|c| offset >= c);
+        let beyond = effective_cutoff.is_some_and(|c| offset >= c) || discarded_flag;
         if beyond {
-            {
-                let rec = self.cores[core].flows.get_mut(id).expect("live");
+            if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.dirs[dir.index()].discarded_pkts += 1;
                 rec.dirs[dir.index()].discarded_bytes += pkt.len() as u64;
                 rec.cutoff_exceeded = true;
             }
             self.stats.stack.discarded_packets += 1;
             self.stats.stack.discarded_bytes += pkt.len() as u64;
+            if !beyond_configured && !discarded_flag {
+                self.stats.resilience.governor_cutoff_clamps += 1;
+            }
             ks.asm[dir.index()] = Some(asm);
             self.cores[core].kstates.insert(id, ks);
             return;
         }
-        if self
-            .cfg
-            .ppl
-            .verdict(self.arena.used_fraction(), priority, offset)
-            != PplVerdict::Accept
-        {
-            {
-                let rec = self.cores[core].flows.get_mut(id).expect("live");
+        if self.cfg.ppl.verdict(self.ppl_pressure(), priority, offset) != PplVerdict::Accept {
+            if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.dirs[dir.index()].dropped_pkts += 1;
                 rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
             }
@@ -801,7 +1040,7 @@ impl ScapKernel {
             return;
         }
 
-        let cap = cutoff.unwrap_or(u64::MAX);
+        let cap = effective_cutoff.unwrap_or(u64::MAX);
         let allowed = ((cap - offset) as usize).min(payload.len());
         let mut completed = Vec::new();
         let oom = asm
@@ -823,17 +1062,21 @@ impl ScapKernel {
                 chunk_off: offset.min(u64::from(u32::MAX)) as u32,
             });
         }
-        {
-            let rec = self.cores[core].flows.get_mut(id).expect("live");
+        // One stack-level exit per packet (conservation identity).
+        if let Some(rec) = self.cores[core].flows.get_mut(id) {
             let d = &mut rec.dirs[dir.index()];
             d.captured_pkts += 1;
             d.captured_bytes += allowed as u64;
             if oom {
                 d.dropped_pkts += 1;
                 d.dropped_bytes += pkt.len() as u64;
-                self.stats.stack.dropped_packets += 1;
-                self.stats.stack.dropped_bytes += pkt.len() as u64;
             }
+        }
+        if oom {
+            self.stats.stack.dropped_packets += 1;
+            self.stats.stack.dropped_bytes += pkt.len() as u64;
+        } else {
+            self.stats.stack.delivered_packets += 1;
         }
         self.stats.stack.delivered_bytes += allowed as u64;
 
@@ -876,13 +1119,16 @@ impl ScapKernel {
             }
             return;
         }
-        let uid = self.cores[core].kstates.get(&id).map(|k| k.uid).unwrap_or(0);
+        let uid = self.cores[core]
+            .kstates
+            .get(&id)
+            .map(|k| k.uid)
+            .unwrap_or(0);
         let mut packets = Some(packets);
         for chunk in completed {
             // `scap_keep_stream_chunk`: a held-back previous chunk is
             // merged in front of this one (§3.2).
-            let mut chunk = match self
-                .cores[core]
+            let mut chunk = match self.cores[core]
                 .kstates
                 .get_mut(&id)
                 .and_then(|ks| ks.kept[dir.index()].take())
@@ -896,7 +1142,11 @@ impl ScapKernel {
             if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.chunks += 1;
             }
-            let snap = self.snapshot(core, id);
+            let Some(snap) = self.snapshot(core, id) else {
+                // Record vanished mid-delivery: reclaim the chunk.
+                self.arena.release(chunk);
+                continue;
+            };
             let ev = Event {
                 stream: snap,
                 kind: EventKind::Data {
@@ -960,7 +1210,9 @@ impl ScapKernel {
         reinstall: bool,
         work: &mut Work,
     ) {
-        let Some(rec) = self.cores[core].flows.get(id) else { return };
+        let Some(rec) = self.cores[core].flows.get(id) else {
+            return;
+        };
         if rec.key.transport() != Transport::Tcp {
             return;
         }
@@ -968,8 +1220,10 @@ impl ScapKernel {
         let uid;
         let timeout;
         {
-            let Some(ks) = self.cores[core].kstates.get_mut(&id) else { return };
-            if ks.fdir_installed {
+            let Some(ks) = self.cores[core].kstates.get_mut(&id) else {
+                return;
+            };
+            if ks.fdir_installed || ks.fdir_retry_pending || ks.fdir_software_fallback {
                 return;
             }
             if reinstall {
@@ -983,8 +1237,7 @@ impl ScapKernel {
         // evicting the filters with the nearest deadline — short timeout
         // means not a long-lived stream (§5.5).
         while self.nic.fdir().free() < 4 {
-            let Some((&(deadline, euid), &(ecore, eid, ekey))) =
-                self.fdir_expiries.iter().next()
+            let Some((&(deadline, euid), &(ecore, eid, ekey))) = self.fdir_expiries.iter().next()
             else {
                 return;
             };
@@ -996,17 +1249,176 @@ impl ScapKernel {
             self.fdir_expiries.remove(&(deadline, euid));
         }
 
+        if self.try_install_fdir_filters(key, work) {
+            if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
+                ks.fdir_installed = true;
+            }
+            self.fdir_expiries
+                .insert((now + timeout, uid), (core, id, key));
+        } else {
+            self.enqueue_fdir_retry(core, id, uid, 0, now);
+        }
+    }
+
+    /// Program the paper's four drop filters for a stream. On a transient
+    /// hardware failure the filters already added are rolled back with
+    /// targeted removes (steering filters on the same tuple survive) and
+    /// `false` is returned so the caller can schedule a retry.
+    fn try_install_fdir_filters(&mut self, key: FlowKey, work: &mut Work) -> bool {
+        let mut added: Vec<FdirFilter> = Vec::new();
         for dkey in [key, key.reversed()] {
             for flags in [TcpFlags::ACK, TcpFlags::ACK | TcpFlags::PSH] {
-                let _ = self.nic.fdir_mut().add(FdirFilter::drop_tcp_flags(dkey, flags));
+                let filter = FdirFilter::drop_tcp_flags(dkey, flags);
                 work.k_fdir_ops += 1;
                 self.stats.fdir_ops += 1;
+                match self.nic.fdir_mut().add(filter) {
+                    Ok(()) => added.push(filter),
+                    Err(FdirError::Busy) => {
+                        for f in &added {
+                            let _ = self.nic.fdir_mut().remove(&f.key, f.flex);
+                            work.k_fdir_ops += 1;
+                            self.stats.fdir_ops += 1;
+                        }
+                        return false;
+                    }
+                    Err(_) => {}
+                }
             }
         }
+        true
+    }
+
+    /// Park a transiently failed install on the backoff queue.
+    fn enqueue_fdir_retry(
+        &mut self,
+        core: usize,
+        id: StreamId,
+        uid: StreamUid,
+        attempts: u32,
+        now: u64,
+    ) {
         if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
-            ks.fdir_installed = true;
+            ks.fdir_retry_pending = true;
         }
-        self.fdir_expiries.insert((now + timeout, uid), (core, id, key));
+        self.fdir_retry.push_back(FdirRetry {
+            core,
+            id,
+            uid,
+            attempts,
+            next_try_ns: now.saturating_add(FDIR_RETRY_BASE_NS << attempts.min(20)),
+        });
+    }
+
+    /// Retry transiently failed FDIR installs whose backoff has elapsed.
+    /// Deadlines are not monotonic across the queue (fresh failures and
+    /// old backoffs interleave), so the whole queue is examined each pass
+    /// and not-yet-due entries are requeued.
+    fn drain_fdir_retries(&mut self, now: u64, work: &mut Work) {
+        if self.fdir_retry.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.fdir_retry);
+        for r in pending {
+            // The stream may have terminated (and its uid been recycled
+            // into a different slot) while the retry was parked.
+            if self.uid_index.get(&r.uid) != Some(&(r.core, r.id)) {
+                continue;
+            }
+            if r.next_try_ns > now {
+                self.fdir_retry.push_back(r);
+                continue;
+            }
+            self.stats.resilience.fdir_retries += 1;
+            work.k_timer_ops += 1;
+            if self.try_install_fdir_filters_for_retry(r, now, work) {
+                self.stats.resilience.fdir_retry_successes += 1;
+            }
+        }
+    }
+
+    /// One retry attempt: install, or re-park with doubled backoff, or —
+    /// once the attempt budget is spent — fall back to software cutoff
+    /// enforcement for the stream's remaining lifetime.
+    fn try_install_fdir_filters_for_retry(
+        &mut self,
+        r: FdirRetry,
+        now: u64,
+        work: &mut Work,
+    ) -> bool {
+        let Some(rec) = self.cores[r.core].flows.get(r.id) else {
+            return false;
+        };
+        let key = rec.key;
+        let timeout = self.cores[r.core]
+            .kstates
+            .get(&r.id)
+            .map_or(FDIR_INITIAL_TIMEOUT_NS, |ks| ks.fdir_timeout_ns);
+        if self.nic.fdir().free() >= 4 && self.try_install_fdir_filters(key, work) {
+            if let Some(ks) = self.cores[r.core].kstates.get_mut(&r.id) {
+                ks.fdir_retry_pending = false;
+                ks.fdir_installed = true;
+            }
+            self.fdir_expiries
+                .insert((now + timeout, r.uid), (r.core, r.id, key));
+            return true;
+        }
+        if r.attempts + 1 >= FDIR_RETRY_MAX_ATTEMPTS {
+            // Give up on the hardware: the kernel discard path already
+            // enforces the cutoff; it just costs a DMA + header touch.
+            if let Some(ks) = self.cores[r.core].kstates.get_mut(&r.id) {
+                ks.fdir_retry_pending = false;
+                ks.fdir_software_fallback = true;
+            }
+            self.stats.resilience.fdir_fallback_software += 1;
+        } else {
+            self.enqueue_fdir_retry(r.core, r.id, r.uid, r.attempts + 1, now);
+        }
+        false
+    }
+
+    /// Governor level 3: reclaim the pending arena memory of the
+    /// lowest-priority streams and stop collecting their data. The streams
+    /// stay in the table with `discarded` set, so their statistics keep
+    /// accumulating (§3.3.1 semantics) while their memory is freed.
+    /// Candidates are ordered by uid so eviction is deterministic.
+    fn evict_low_priority(&mut self, quota: usize, work: &mut Work) {
+        let mut candidates: Vec<(StreamUid, usize, StreamId)> = Vec::new();
+        for (c, core) in self.cores.iter().enumerate() {
+            for rec in core.flows.iter() {
+                if rec.priority != 0 || rec.discarded {
+                    continue;
+                }
+                if let Some(ks) = core.kstates.get(&rec.id) {
+                    candidates.push((ks.uid, c, rec.id));
+                }
+            }
+        }
+        candidates.sort_unstable_by_key(|&(uid, ..)| uid);
+        for (_, c, id) in candidates.into_iter().take(quota) {
+            if let Some(rec) = self.cores[c].flows.get_mut(id) {
+                rec.discarded = true;
+            }
+            let mut freed: Vec<ChunkBuf> = Vec::new();
+            if let Some(ks) = self.cores[c].kstates.get_mut(&id) {
+                for d in [0usize, 1] {
+                    if let Some(kept) = ks.kept[d].take() {
+                        freed.push(kept);
+                    }
+                    if let Some(asm) = ks.asm[d].as_mut() {
+                        if let Some(tail) = asm.flush() {
+                            freed.push(tail);
+                        }
+                    }
+                    ks.flush_armed[d] = false;
+                }
+            }
+            for chunk in freed {
+                self.stats.stack.dropped_bytes += chunk.len as u64;
+                self.arena.release(chunk);
+            }
+            self.stats.resilience.evicted_streams += 1;
+            work.k_timer_ops += 1;
+        }
     }
 
     /// Remove a stream's NIC filters by key (both directions).
@@ -1023,7 +1435,9 @@ impl ScapKernel {
     /// totals from sequence numbers (per-filter NIC counters don't exist,
     /// §5.5).
     fn estimate_fdir_sizes(&mut self, core: usize, id: StreamId, meta: &TcpMeta, dir: Direction) {
-        let Some(ks) = self.cores[core].kstates.get(&id) else { return };
+        let Some(ks) = self.cores[core].kstates.get(&id) else {
+            return;
+        };
         if !ks.fdir_installed {
             return;
         }
@@ -1054,7 +1468,9 @@ impl ScapKernel {
         timewait: bool,
         work: &mut Work,
     ) {
-        let Some(mut rec) = self.cores[core].flows.remove(id) else { return };
+        let Some(mut rec) = self.cores[core].flows.remove(id) else {
+            return;
+        };
         let ks = self.cores[core].kstates.remove(&id);
         if ks.is_none() {
             // Already-reported tombstone: drop silently.
@@ -1068,12 +1484,12 @@ impl ScapKernel {
             .retain(|(_, tid, _, _)| *tid != id);
         self.finish_removed_stream(core, rec, ks, now, work);
         if timewait {
-            let lookup = self.cores[core]
-                .flows
-                .lookup_or_insert(&key, last_ts)
-                .expect("unbounded");
-            if let Some(t) = self.cores[core].flows.get_mut(lookup.id) {
-                t.status = status;
+            // A full table just means no tombstone: late packets of the
+            // 5-tuple will create a fresh (noise) stream instead.
+            if let Ok(lookup) = self.cores[core].flows.lookup_or_insert(&key, last_ts) {
+                if let Some(t) = self.cores[core].flows.get_mut(lookup.id) {
+                    t.status = status;
+                }
             }
         }
     }
@@ -1178,11 +1594,17 @@ impl ScapKernel {
                 }
                 _ => None,
             };
-            let Some((_, id, dir, armed_offset)) = due else { break };
+            let Some((_, id, dir, armed_offset)) = due else {
+                break;
+            };
             work.k_timer_ops += 1;
-            let Some(ks) = self.cores[core].kstates.get_mut(&id) else { continue };
+            let Some(ks) = self.cores[core].kstates.get_mut(&id) else {
+                continue;
+            };
             ks.flush_armed[dir.index()] = false;
-            let Some(asm) = ks.asm[dir.index()].as_mut() else { continue };
+            let Some(asm) = ks.asm[dir.index()].as_mut() else {
+                continue;
+            };
             if !asm.has_pending() || asm.stream_offset() < armed_offset {
                 continue;
             }
@@ -1217,8 +1639,36 @@ impl ScapKernel {
             self.finish_removed_stream(core, rec, Some(ks), now, &mut work);
         }
 
+        // Capture-wide resilience machinery runs on core 0, which owns
+        // the single hardware table and the (single) governor instance.
+        if core == 0 {
+            // Injected arena pressure spikes squeeze the budget.
+            if let Some(inj) = self.arena_faults.as_mut() {
+                let reserved = inj.reserved_at(now);
+                self.arena.set_reserved(reserved as usize);
+            }
+            // Governor: pressure is the worst of arena occupancy, RX-ring
+            // fill and event-queue backlog across all cores.
+            let mut pressure = self.arena.used_fraction();
+            for c in 0..self.cores.len() {
+                pressure = pressure.max(self.nic.queue(c).fill_level());
+                pressure = pressure.max(
+                    self.cores[c].events.len() as f64 / self.cfg.event_queue_cap.max(1) as f64,
+                );
+            }
+            self.governor.tick(now, pressure);
+            let quota = self.governor.evict_quota();
+            if quota > 0 {
+                self.evict_low_priority(quota, &mut work);
+            }
+            self.drain_fdir_retries(now, &mut work);
+        }
+
         // FDIR filter timeouts (single hardware table; core 0 owns it).
         if core == 0 {
+            // Not a while-let: the loop must end the borrow of
+            // `fdir_expiries` before mutating it and the kstates.
+            #[allow(clippy::while_let_loop)]
             loop {
                 let Some((&(deadline, uid), &(ecore, eid, ekey))) =
                     self.fdir_expiries.iter().next()
@@ -1252,19 +1702,13 @@ impl ScapKernel {
     /// End of capture: drain ring backlogs and terminate every remaining
     /// stream so final events and statistics are complete.
     pub fn finish(&mut self, now: u64) {
+        self.drain_mode = true;
         for core in 0..self.cores.len() {
             while self.kernel_poll(core, now).is_some() {}
             let ids: Vec<StreamId> = self.cores[core].flows.iter().map(|r| r.id).collect();
             let mut work = Work::default();
             for id in ids {
-                self.terminate_stream(
-                    core,
-                    id,
-                    StreamStatus::ClosedTimeout,
-                    now,
-                    false,
-                    &mut work,
-                );
+                self.terminate_stream(core, id, StreamStatus::ClosedTimeout, now, false, &mut work);
             }
         }
     }
@@ -1316,7 +1760,10 @@ mod tests {
             t
         };
         let mut pkts = vec![
-            Packet::new(nt(), PacketBuilder::tcp_v4(c, s, cp, sp, ic, 0, TcpFlags::SYN, b"")),
+            Packet::new(
+                nt(),
+                PacketBuilder::tcp_v4(c, s, cp, sp, ic, 0, TcpFlags::SYN, b""),
+            ),
             Packet::new(
                 nt(),
                 PacketBuilder::tcp_v4(s, c, sp, cp, is, ic + 1, TcpFlags::SYN | TcpFlags::ACK, b""),
@@ -1330,7 +1777,16 @@ mod tests {
         for chunk in payload_c.chunks(1000) {
             pkts.push(Packet::new(
                 nt(),
-                PacketBuilder::tcp_v4(c, s, cp, sp, seq, is + 1, TcpFlags::ACK | TcpFlags::PSH, chunk),
+                PacketBuilder::tcp_v4(
+                    c,
+                    s,
+                    cp,
+                    sp,
+                    seq,
+                    is + 1,
+                    TcpFlags::ACK | TcpFlags::PSH,
+                    chunk,
+                ),
             ));
             seq += chunk.len() as u32;
         }
@@ -1348,7 +1804,16 @@ mod tests {
         ));
         pkts.push(Packet::new(
             nt(),
-            PacketBuilder::tcp_v4(c, s, cp, sp, seq, sseq + 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+            PacketBuilder::tcp_v4(
+                c,
+                s,
+                cp,
+                sp,
+                seq,
+                sseq + 1,
+                TcpFlags::FIN | TcpFlags::ACK,
+                b"",
+            ),
         ));
         pkts
     }
@@ -1364,7 +1829,10 @@ mod tests {
         drive(&mut k, &http_session(&req, &resp));
         let events = collect_events(&mut k);
 
-        let created = events.iter().filter(|e| matches!(e.kind, EventKind::Created)).count();
+        let created = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Created))
+            .count();
         let terminated = events
             .iter()
             .filter(|e| matches!(e.kind, EventKind::Terminated))
@@ -1382,7 +1850,11 @@ mod tests {
                 }
             }
         }
-        let (a, b) = if fwd.len() == 2000 { (fwd, rev) } else { (rev, fwd) };
+        let (a, b) = if fwd.len() == 2000 {
+            (fwd, rev)
+        } else {
+            (rev, fwd)
+        };
         assert_eq!(a, req);
         assert_eq!(b, resp);
 
@@ -1570,7 +2042,9 @@ mod tests {
             },
             ..Default::default()
         };
-        cfg.priorities.classes.push((Filter::new("port 80").unwrap(), 1));
+        cfg.priorities
+            .classes
+            .push((Filter::new("port 80").unwrap(), 1));
         let mut k = kernel(cfg);
 
         let mut pkts = Vec::new();
@@ -1580,12 +2054,39 @@ mod tests {
             let s = [20, 0, 0, 1];
             let isn = 100u32;
             let mut v = Vec::new();
-            v.push(PacketBuilder::tcp_v4(c, s, 5000, port, isn, 0, TcpFlags::SYN, b""));
-            v.push(PacketBuilder::tcp_v4(s, c, port, 5000, 7, isn + 1, TcpFlags::SYN | TcpFlags::ACK, b""));
+            v.push(PacketBuilder::tcp_v4(
+                c,
+                s,
+                5000,
+                port,
+                isn,
+                0,
+                TcpFlags::SYN,
+                b"",
+            ));
+            v.push(PacketBuilder::tcp_v4(
+                s,
+                c,
+                port,
+                5000,
+                7,
+                isn + 1,
+                TcpFlags::SYN | TcpFlags::ACK,
+                b"",
+            ));
             let mut seq = isn + 1;
             for _ in 0..8 {
                 let payload = vec![0x41u8; 1400];
-                v.push(PacketBuilder::tcp_v4(c, s, 5000, port, seq, 8, TcpFlags::ACK, &payload));
+                v.push(PacketBuilder::tcp_v4(
+                    c,
+                    s,
+                    5000,
+                    port,
+                    seq,
+                    8,
+                    TcpFlags::ACK,
+                    &payload,
+                ));
                 seq += 1400;
             }
             for (i, frame) in v.into_iter().enumerate() {
@@ -1632,7 +2133,10 @@ mod tests {
         assert_eq!(st.stack.dropped_packets, 0, "no overload expected");
         assert!(st.stack.streams_created > 10);
         assert_eq!(st.stack.streams_created, st.stack.streams_reported);
-        let created = events.iter().filter(|e| matches!(e.kind, EventKind::Created)).count();
+        let created = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Created))
+            .count();
         let terminated = events
             .iter()
             .filter(|e| matches!(e.kind, EventKind::Terminated))
@@ -1695,12 +2199,28 @@ mod tests {
                 pkts.push(Packet::new(
                     t0 + 1000,
                     PacketBuilder::tcp_v4(
-                        server, client, 80, p, 9, 2, TcpFlags::SYN | TcpFlags::ACK, b"",
+                        server,
+                        client,
+                        80,
+                        p,
+                        9,
+                        2,
+                        TcpFlags::SYN | TcpFlags::ACK,
+                        b"",
                     ),
                 ));
                 pkts.push(Packet::new(
                     t0 + 2000,
-                    PacketBuilder::tcp_v4(client, server, p, 80, 2, 10, TcpFlags::ACK, &[0x41; 100]),
+                    PacketBuilder::tcp_v4(
+                        client,
+                        server,
+                        p,
+                        80,
+                        2,
+                        10,
+                        TcpFlags::ACK,
+                        &[0x41; 100],
+                    ),
                 ));
             }
             drive(&mut k, &pkts);
@@ -1713,12 +2233,12 @@ mod tests {
         assert_eq!(skew_counts[0], 64, "skew setup failed: {skew_counts:?}");
 
         let (bal_counts, rebalanced_on) = run(true);
-        assert!(rebalanced_on > 10, "only {rebalanced_on} streams rebalanced");
-        let max = *bal_counts.iter().max().unwrap();
         assert!(
-            max < 64,
-            "balancing had no effect: {bal_counts:?}"
+            rebalanced_on > 10,
+            "only {rebalanced_on} streams rebalanced"
         );
+        let max = *bal_counts.iter().max().unwrap();
+        assert!(max < 64, "balancing had no effect: {bal_counts:?}");
         // Streams ended up on more than one core.
         assert!(bal_counts.iter().filter(|&&c| c > 0).count() >= 2);
     }

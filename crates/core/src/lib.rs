@@ -22,7 +22,8 @@
 //! // scap_create + scap_set_cutoff(0) + scap_dispatch_termination
 //! let mut scap = Scap::builder()
 //!     .cutoff(0)                      // headers only: all data discarded
-//!     .build();
+//!     .try_build()
+//!     .expect("valid configuration");
 //! scap.dispatch_termination(|ctx: &StreamCtx<'_>| {
 //!     println!(
 //!         "{} -> {} bytes={} pkts={}",
@@ -58,6 +59,7 @@
 
 pub mod config;
 pub mod event;
+pub mod governor;
 pub mod kernel;
 pub mod live;
 pub mod sharing;
@@ -65,12 +67,14 @@ pub mod stack;
 
 pub use config::{CutoffPolicy, PriorityPolicy, ScapConfig};
 pub use event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
-pub use kernel::{ControlOp, ScapKernel, ScapStats};
-pub use live::{Scap, ScapBuilder, StreamCtx};
+pub use governor::{GovernorConfig, GovernorStats, OverloadGovernor};
+pub use kernel::{ControlOp, ResilienceStats, ScapKernel, ScapStats};
+pub use live::{mangle_packets, CaptureError, Scap, ScapBuilder, StreamCtx, WorkerStatus};
 pub use sharing::{union_config, AppSlot, SharedApp, SharedApps};
 pub use stack::{apps, ScapSimStack, SimApp};
 
 // Re-export the vocabulary types applications see.
+pub use scap_faults::FaultPlan;
 pub use scap_flow::{DirStats, StreamErrors, StreamStatus};
 pub use scap_reassembly::{OverlapPolicy, ReassemblyMode};
 pub use scap_wire::{Direction, FlowKey, Transport};

@@ -4,7 +4,7 @@
 //!
 //! | paper                         | here                                   |
 //! |-------------------------------|----------------------------------------|
-//! | `scap_create`                 | [`Scap::builder`] → [`ScapBuilder::build`] |
+//! | `scap_create`                 | [`Scap::builder`] → [`ScapBuilder::try_build`] |
 //! | `scap_set_filter`             | [`ScapBuilder::filter`]                |
 //! | `scap_set_cutoff`             | [`ScapBuilder::cutoff`]                |
 //! | `scap_add_cutoff_direction`   | [`ScapBuilder::cutoff_direction`]      |
@@ -29,19 +29,42 @@
 //! data path on the calling thread, and routes control operations and
 //! chunk returns back to the kernel — the PF_SCAP socket and shared
 //! memory of §5, as channels.
+//!
+//! ## Fault tolerance
+//!
+//! A capture must outlive its workers. Each worker publishes a heartbeat
+//! (events completed) and the uid of the stream it is currently
+//! dispatching; a watchdog on the kernel thread notices dead workers
+//! (their thread finished while the event channel was still open) and
+//! wedged workers (heartbeat stalled with work outstanding). Dead workers
+//! are respawned on the same shared event queue, wedged ones get a fresh
+//! sibling on that queue, and the affected stream is flagged with
+//! [`StreamErrors::WORKER_FAILURE`]. [`Scap::start_capture`] therefore
+//! never panics because a callback did; the damage report is available
+//! from [`Scap::last_capture_error`].
 
 use crate::config::ScapConfig;
 use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot};
 use crate::kernel::{ControlOp, ScapKernel, ScapStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use scap_faults::{FaultPlan, FrameFaultStats, WorkerFault, WorkerFaultKind};
 use scap_filter::{Filter, FilterError};
+use scap_flow::StreamErrors;
 use scap_reassembly::{OverlapPolicy, ReassemblyMode};
 use scap_trace::Packet;
 use scap_wire::Direction;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Callback type: runs on worker threads.
 pub type Handler = Arc<dyn Fn(&StreamCtx<'_>) + Send + Sync>;
+
+/// How long a worker's heartbeat may sit still (with work outstanding)
+/// before the watchdog declares it wedged.
+const STALL_GRACE: Duration = Duration::from_millis(30);
+/// Upper bound on waiting for workers to drain after the trace ends.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
 
 /// The view handed to callbacks: a consistent stream snapshot, the
 /// delivered data (for data events), and the control surface.
@@ -74,9 +97,11 @@ impl StreamCtx<'_> {
 
     /// Per-direction stream cutoff.
     pub fn set_stream_cutoff_direction(&self, dir: Direction, cutoff: u64) {
-        let _ = self
-            .ctl
-            .send(ControlOp::SetCutoff(self.stream.uid, Some(dir), Some(cutoff)));
+        let _ = self.ctl.send(ControlOp::SetCutoff(
+            self.stream.uid,
+            Some(dir),
+            Some(cutoff),
+        ));
     }
 
     /// `scap_set_stream_priority`.
@@ -193,8 +218,7 @@ impl ScapBuilder {
         match Filter::new(expr) {
             Ok(f) => {
                 self.cfg.priorities.classes.push((f, priority));
-                self.cfg.ppl.num_priorities =
-                    self.cfg.ppl.num_priorities.max(priority + 1);
+                self.cfg.ppl.num_priorities = self.cfg.ppl.num_priorities.max(priority + 1);
             }
             Err(e) => self.filter_err = Some(e),
         }
@@ -256,10 +280,23 @@ impl ScapBuilder {
         self
     }
 
-    /// Finalize; panics on an invalid filter expression (use
-    /// [`ScapBuilder::try_build`] to handle errors).
+    /// Attach a deterministic fault-injection plan (tests, chaos
+    /// experiments).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Finalize; panics on an invalid filter expression.
+    #[deprecated(
+        since = "0.2.0",
+        note = "panics on invalid filter expressions; use try_build() and handle the error"
+    )]
     pub fn build(self) -> Scap {
-        self.try_build().expect("invalid filter expression")
+        match self.try_build() {
+            Ok(s) => s,
+            Err(e) => panic!("invalid filter expression: {e}"),
+        }
     }
 
     /// Finalize, surfacing filter-compilation errors.
@@ -278,8 +315,95 @@ impl ScapBuilder {
             on_data: None,
             on_termination: None,
             last_stats: None,
+            last_error: None,
         })
     }
+}
+
+/// Per-worker outcome of a capture, reported in [`CaptureError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStatus {
+    /// Worker index (event queues are sharded `core % workers`).
+    pub worker: usize,
+    /// Times this worker's thread died (panicked) mid-capture.
+    pub panics: u64,
+    /// Times the watchdog declared this worker wedged.
+    pub stalls: u64,
+    /// Replacement/sibling threads the watchdog spawned for it.
+    pub restarts: u64,
+}
+
+impl WorkerStatus {
+    /// True when the worker ran to completion without incident.
+    pub fn is_clean(&self) -> bool {
+        self.panics == 0 && self.stalls == 0
+    }
+}
+
+/// Worker failures survived during a capture. The capture itself
+/// completed and its statistics are valid; this reports the damage
+/// (panicked/stalled workers, each recovered by the watchdog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureError {
+    /// Status of every worker slot, clean ones included.
+    pub workers: Vec<WorkerStatus>,
+}
+
+impl CaptureError {
+    /// Total worker panics across the capture.
+    pub fn panics(&self) -> u64 {
+        self.workers.iter().map(|w| w.panics).sum()
+    }
+
+    /// Total stalls detected across the capture.
+    pub fn stalls(&self) -> u64 {
+        self.workers.iter().map(|w| w.stalls).sum()
+    }
+}
+
+impl core::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "capture survived {} worker panic(s) and {} stall(s) across {} worker(s)",
+            self.panics(),
+            self.stalls(),
+            self.workers.len()
+        )
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+/// Materialize a packet stream with a fault plan's wire-level mangling
+/// applied — corruption, truncation, duplication, adjacent-swap
+/// reordering and timestamp anomalies — returning the mangled packets
+/// and the injector's counters. The live driver and the chaos experiment
+/// share this boundary.
+pub fn mangle_packets(
+    plan: &FaultPlan,
+    packets: impl IntoIterator<Item = Packet>,
+) -> (Vec<Packet>, FrameFaultStats) {
+    let mut inj = plan.frame_injector();
+    let mut out: Vec<Packet> = Vec::new();
+    let mut pending_swap: Option<usize> = None;
+    for pkt in packets {
+        let mut ts = pkt.ts_ns;
+        let mut frame = pkt.frame.to_vec();
+        let d = inj.apply(&mut ts, &mut frame);
+        let mangled = Packet::new(ts, frame);
+        let idx = out.len();
+        out.push(mangled.clone());
+        if let Some(prev) = pending_swap.take() {
+            out.swap(prev, idx);
+        } else if d.swap_with_next {
+            pending_swap = Some(idx);
+        }
+        if d.duplicate {
+            out.push(mangled);
+        }
+    }
+    (out, inj.stats())
 }
 
 /// A capture socket.
@@ -289,6 +413,163 @@ pub struct Scap {
     on_data: Option<Handler>,
     on_termination: Option<Handler>,
     last_stats: Option<ScapStats>,
+    last_error: Option<CaptureError>,
+}
+
+/// One worker slot's bookkeeping on the kernel thread.
+struct WorkerSlot {
+    /// Event sender; `None` once the capture is shutting down.
+    tx: Option<Sender<Event>>,
+    /// The queue, shared with the worker and any replacements.
+    rx: Arc<Mutex<Receiver<Event>>>,
+    /// Events completed by threads on this queue.
+    heartbeat: Arc<AtomicU64>,
+    /// Uid of the stream currently being dispatched (0 = idle).
+    current_uid: Arc<AtomicU64>,
+    /// Events sent into this queue.
+    sent: u64,
+    /// Events known lost to panics (held mid-dispatch by a dead thread).
+    lost: u64,
+    last_beat: u64,
+    last_beat_at: Instant,
+    stall_flagged: bool,
+    panics: u64,
+    stalls: u64,
+    restarts: u64,
+}
+
+/// Spawn a worker thread on a shared event queue. The lock is held only
+/// for the `recv`, never across a callback, so a panicking callback
+/// cannot poison the queue for its replacement.
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker<'scope>(
+    s: &'scope std::thread::Scope<'scope, '_>,
+    rx: Arc<Mutex<Receiver<Event>>>,
+    handlers: WorkerHandlers,
+    ctl: Sender<ControlOp>,
+    rel: Sender<Event>,
+    heartbeat: Arc<AtomicU64>,
+    current_uid: Arc<AtomicU64>,
+    faults: Vec<WorkerFault>,
+) -> std::thread::ScopedJoinHandle<'scope, ()> {
+    s.spawn(move || {
+        let mut events_seen = 0u64;
+        loop {
+            // The guard is a temporary: it is released as soon as recv()
+            // returns, never held across a callback.
+            let msg = rx.lock().unwrap_or_else(|p| p.into_inner()).recv();
+            let Ok(ev) = msg else {
+                break; // channel closed and drained
+            };
+            events_seen += 1;
+            current_uid.store(ev.stream.uid, Ordering::SeqCst);
+            for f in &faults {
+                if f.after_events == events_seen {
+                    match f.kind {
+                        WorkerFaultKind::Stall(ns) => {
+                            std::thread::sleep(Duration::from_nanos(ns));
+                        }
+                        WorkerFaultKind::Panic => {
+                            panic!("injected worker fault");
+                        }
+                    }
+                }
+            }
+            handlers.dispatch(&ev, &ctl);
+            if matches!(ev.kind, EventKind::Data { .. }) {
+                let _ = rel.send(ev);
+            }
+            heartbeat.fetch_add(1, Ordering::SeqCst);
+            current_uid.store(0, Ordering::SeqCst);
+        }
+    })
+}
+
+/// One watchdog pass: respawn dead workers, sibling wedged ones, flag the
+/// streams they were holding.
+#[allow(clippy::too_many_arguments)]
+fn watchdog<'scope>(
+    s: &'scope std::thread::Scope<'scope, '_>,
+    kernel: &mut ScapKernel,
+    slots: &mut [WorkerSlot],
+    handles: &mut [Option<std::thread::ScopedJoinHandle<'scope, ()>>],
+    extra: &mut Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
+    handlers: &WorkerHandlers,
+    ctl: &Sender<ControlOp>,
+    rel: &Sender<Event>,
+) {
+    for (i, slot) in slots.iter_mut().enumerate() {
+        // A finished thread while its channel is still open means the
+        // thread died: a clean exit only happens after channel close.
+        let died = slot.tx.is_some() && handles[i].as_ref().is_some_and(|h| h.is_finished());
+        if died {
+            if let Some(h) = handles[i].take() {
+                if h.join().is_err() {
+                    slot.panics += 1;
+                    slot.lost += 1; // the event it was dispatching is gone
+                    kernel.resilience_mut().worker_panics += 1;
+                    let uid = slot.current_uid.swap(0, Ordering::SeqCst);
+                    if uid != 0 {
+                        kernel.flag_stream_error(uid, StreamErrors::WORKER_FAILURE);
+                    }
+                }
+            }
+            // Respawn on the same shared queue; the replacement picks up
+            // exactly where the dead worker left off. Scheduled faults
+            // are not re-armed for replacements.
+            handles[i] = Some(spawn_worker(
+                s,
+                slot.rx.clone(),
+                handlers.clone(),
+                ctl.clone(),
+                rel.clone(),
+                slot.heartbeat.clone(),
+                slot.current_uid.clone(),
+                Vec::new(),
+            ));
+            slot.restarts += 1;
+            kernel.resilience_mut().worker_restarts += 1;
+            slot.last_beat = slot.heartbeat.load(Ordering::SeqCst);
+            slot.last_beat_at = Instant::now();
+            slot.stall_flagged = false;
+            continue;
+        }
+
+        let beat = slot.heartbeat.load(Ordering::SeqCst);
+        if beat != slot.last_beat {
+            slot.last_beat = beat;
+            slot.last_beat_at = Instant::now();
+            slot.stall_flagged = false;
+            continue;
+        }
+        // Heartbeat flat: wedged if there is (or was) work it should be
+        // making progress on.
+        let busy = slot.current_uid.load(Ordering::SeqCst) != 0
+            || slot.sent > beat.saturating_add(slot.lost);
+        if busy && !slot.stall_flagged && slot.last_beat_at.elapsed() >= STALL_GRACE {
+            slot.stall_flagged = true;
+            slot.stalls += 1;
+            kernel.resilience_mut().worker_stalls_detected += 1;
+            let uid = slot.current_uid.load(Ordering::SeqCst);
+            if uid != 0 {
+                kernel.flag_stream_error(uid, StreamErrors::WORKER_FAILURE);
+            }
+            // Threads cannot be killed; leave the wedged worker alone and
+            // put a fresh sibling on the same queue so the backlog moves.
+            extra.push(spawn_worker(
+                s,
+                slot.rx.clone(),
+                handlers.clone(),
+                ctl.clone(),
+                rel.clone(),
+                slot.heartbeat.clone(),
+                Arc::new(AtomicU64::new(0)),
+                Vec::new(),
+            ));
+            slot.restarts += 1;
+            kernel.resilience_mut().worker_restarts += 1;
+        }
+    }
 }
 
 impl Scap {
@@ -320,26 +601,46 @@ impl Scap {
         self.last_stats
     }
 
+    /// Worker failures survived during the most recent capture (`None`
+    /// when every worker ran clean).
+    pub fn last_capture_error(&self) -> Option<&CaptureError> {
+        self.last_error.as_ref()
+    }
+
     /// `scap_start_capture`: run the capture over a packet source with
     /// the configured worker threads; returns the final statistics.
     ///
     /// The packet source stands in for the monitored interface: a pcap
-    /// file reader, a synthetic generator, or any packet iterator.
+    /// file reader, a synthetic generator, or any packet iterator. A
+    /// second call on the same socket returns the previous statistics
+    /// (the capture is already consumed).
     pub fn start_capture(&mut self, packets: impl IntoIterator<Item = Packet>) -> ScapStats {
-        let cfg = self.cfg.take().expect("capture already consumed");
+        let Some(cfg) = self.cfg.take() else {
+            return self.last_stats.unwrap_or_default();
+        };
         let nworkers = cfg.worker_threads.max(1);
         let ncores = cfg.cores.max(1);
-        let mut kernel = ScapKernel::new(cfg);
+        let worker_faults: Vec<WorkerFault> = cfg
+            .faults
+            .as_ref()
+            .map(|p| p.workers.clone())
+            .unwrap_or_default();
 
-        // PF_SCAP-socket stand-ins.
-        let (ctl_tx, ctl_rx): (Sender<ControlOp>, Receiver<ControlOp>) = unbounded();
-        let (rel_tx, rel_rx) = unbounded::<Event>();
-        let mut ev_txs = Vec::new();
-        let mut ev_rxs = Vec::new();
-        for _ in 0..nworkers {
-            let (tx, rx) = unbounded::<Event>();
-            ev_txs.push(tx);
-            ev_rxs.push(rx);
+        // Wire-level fault mangling happens at the trace boundary, before
+        // the NIC ever sees a frame.
+        let mut frame_stats = None;
+        let packets: Vec<Packet> = match cfg.faults.as_ref() {
+            Some(plan) => {
+                let (v, s) = mangle_packets(plan, packets);
+                frame_stats = Some(s);
+                v
+            }
+            None => packets.into_iter().collect(),
+        };
+
+        let mut kernel = ScapKernel::new(cfg);
+        if let Some(s) = frame_stats {
+            kernel.note_frame_faults(s);
         }
 
         let handlers = WorkerHandlers {
@@ -348,62 +649,158 @@ impl Scap {
             on_termination: self.on_termination.clone(),
         };
 
-        let stats = crossbeam::thread::scope(|scope| {
-            // Workers: poll their event channel, run callbacks, return
-            // data chunks for release.
-            let mut joins = Vec::new();
-            for rx in ev_rxs.into_iter() {
-                let h = handlers.clone();
-                let ctl = ctl_tx.clone();
-                let rel = rel_tx.clone();
-                joins.push(scope.spawn(move |_| {
-                    while let Ok(ev) = rx.recv() {
-                        h.dispatch(&ev, &ctl);
-                        if matches!(ev.kind, EventKind::Data { .. }) {
-                            let _ = rel.send(ev);
-                        }
-                    }
-                }));
-            }
-            drop(rel_tx);
-            drop(ctl_tx);
+        // PF_SCAP-socket stand-ins.
+        let (ctl_tx, ctl_rx) = channel::<ControlOp>();
+        let (rel_tx, rel_rx) = channel::<Event>();
 
-            // Kernel loop on this thread.
+        let (stats, statuses) = std::thread::scope(|s| {
+            let mut slots: Vec<WorkerSlot> = Vec::with_capacity(nworkers);
+            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, ()>>> =
+                Vec::with_capacity(nworkers);
+            let mut extra: Vec<std::thread::ScopedJoinHandle<'_, ()>> = Vec::new();
+            for w in 0..nworkers {
+                let (tx, rx) = channel::<Event>();
+                let rx = Arc::new(Mutex::new(rx));
+                let heartbeat = Arc::new(AtomicU64::new(0));
+                let current_uid = Arc::new(AtomicU64::new(0));
+                let faults: Vec<WorkerFault> = worker_faults
+                    .iter()
+                    .copied()
+                    .filter(|f| f.worker == w)
+                    .collect();
+                handles.push(Some(spawn_worker(
+                    s,
+                    rx.clone(),
+                    handlers.clone(),
+                    ctl_tx.clone(),
+                    rel_tx.clone(),
+                    heartbeat.clone(),
+                    current_uid.clone(),
+                    faults,
+                )));
+                slots.push(WorkerSlot {
+                    tx: Some(tx),
+                    rx,
+                    heartbeat,
+                    current_uid,
+                    sent: 0,
+                    lost: 0,
+                    last_beat: 0,
+                    last_beat_at: Instant::now(),
+                    stall_flagged: false,
+                    panics: 0,
+                    stalls: 0,
+                    restarts: 0,
+                });
+            }
+
             let mut now = 0u64;
-            let pump =
-                |kernel: &mut ScapKernel, ev_txs: &[Sender<Event>], now: u64| {
-                    for core in 0..ncores {
-                        while kernel.kernel_poll(core, now).is_some() {}
-                        kernel.kernel_timers(core, now);
-                        while let Some(ev) = kernel.next_event(core) {
-                            let _ = ev_txs[core % nworkers].send(ev);
-                        }
-                    }
-                    // Releases and control ops from workers.
-                    while let Ok(op) = ctl_rx.try_recv() {
-                        kernel.control(op);
-                    }
-                    while let Ok(ev) = rel_rx.try_recv() {
-                        if let EventKind::Data { dir, chunk, .. } = ev.kind {
-                            kernel.release_data(ev.stream.uid, dir, chunk);
-                        }
-                    }
-                };
-
-            for pkt in packets {
+            let mut since_watchdog = 0u32;
+            for pkt in &packets {
                 now = pkt.ts_ns;
-                kernel.nic_receive(&pkt);
-                pump(&mut kernel, &ev_txs, now);
+                kernel.nic_receive(pkt);
+                for core in 0..ncores {
+                    while kernel.kernel_poll(core, now).is_some() {}
+                    kernel.kernel_timers(core, now);
+                    while let Some(ev) = kernel.next_event(core) {
+                        let slot = &mut slots[core % nworkers];
+                        slot.sent += 1;
+                        if let Some(tx) = slot.tx.as_ref() {
+                            let _ = tx.send(ev);
+                        }
+                    }
+                }
+                while let Ok(op) = ctl_rx.try_recv() {
+                    kernel.control(op);
+                }
+                while let Ok(ev) = rel_rx.try_recv() {
+                    if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                        kernel.release_data(ev.stream.uid, dir, chunk);
+                    }
+                }
+                since_watchdog += 1;
+                if since_watchdog >= 256 {
+                    since_watchdog = 0;
+                    watchdog(
+                        s,
+                        &mut kernel,
+                        &mut slots,
+                        &mut handles,
+                        &mut extra,
+                        &handlers,
+                        &ctl_tx,
+                        &rel_tx,
+                    );
+                }
             }
-            kernel.finish(now.saturating_add(1));
-            pump(&mut kernel, &ev_txs, now.saturating_add(1));
 
-            // Close event channels; workers drain and exit.
-            drop(ev_txs);
-            for j in joins {
-                let _ = j.join();
+            kernel.finish(now.saturating_add(1));
+            for core in 0..ncores {
+                while let Some(ev) = kernel.next_event(core) {
+                    let slot = &mut slots[core % nworkers];
+                    slot.sent += 1;
+                    if let Some(tx) = slot.tx.as_ref() {
+                        let _ = tx.send(ev);
+                    }
+                }
             }
-            // Final releases.
+
+            // Wait for the workers to drain their queues, still watching
+            // for deaths and stalls (a wedged worker would otherwise hold
+            // the shutdown hostage).
+            let deadline = Instant::now() + DRAIN_DEADLINE;
+            loop {
+                let done: u64 = slots
+                    .iter()
+                    .map(|sl| sl.heartbeat.load(Ordering::SeqCst) + sl.lost)
+                    .sum();
+                let sent: u64 = slots.iter().map(|sl| sl.sent).sum();
+                if done >= sent || Instant::now() > deadline {
+                    break;
+                }
+                watchdog(
+                    s,
+                    &mut kernel,
+                    &mut slots,
+                    &mut handles,
+                    &mut extra,
+                    &handlers,
+                    &ctl_tx,
+                    &rel_tx,
+                );
+                while let Ok(op) = ctl_rx.try_recv() {
+                    kernel.control(op);
+                }
+                while let Ok(ev) = rel_rx.try_recv() {
+                    if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                        kernel.release_data(ev.stream.uid, dir, chunk);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+
+            // Close event channels; workers drain the remainder and exit.
+            for slot in slots.iter_mut() {
+                slot.tx = None;
+            }
+            for (i, h) in handles.iter_mut().enumerate() {
+                if let Some(h) = h.take() {
+                    if h.join().is_err() {
+                        // Died after the last watchdog pass.
+                        slots[i].panics += 1;
+                        kernel.resilience_mut().worker_panics += 1;
+                        let uid = slots[i].current_uid.swap(0, Ordering::SeqCst);
+                        if uid != 0 {
+                            kernel.flag_stream_error(uid, StreamErrors::WORKER_FAILURE);
+                        }
+                    }
+                }
+            }
+            for h in extra {
+                let _ = h.join();
+            }
+
+            // Final releases and control ops.
             while let Ok(op) = ctl_rx.try_recv() {
                 kernel.control(op);
             }
@@ -412,10 +809,25 @@ impl Scap {
                     kernel.release_data(ev.stream.uid, dir, chunk);
                 }
             }
-            kernel.stats()
-        })
-        .expect("worker thread panicked");
 
+            let statuses: Vec<WorkerStatus> = slots
+                .iter()
+                .enumerate()
+                .map(|(i, sl)| WorkerStatus {
+                    worker: i,
+                    panics: sl.panics,
+                    stalls: sl.stalls,
+                    restarts: sl.restarts,
+                })
+                .collect();
+            (kernel.stats(), statuses)
+        });
+
+        self.last_error = if statuses.iter().all(WorkerStatus::is_clean) {
+            None
+        } else {
+            Some(CaptureError { workers: statuses })
+        };
         self.last_stats = Some(stats);
         stats
     }
@@ -430,32 +842,30 @@ struct WorkerHandlers {
 
 impl WorkerHandlers {
     fn dispatch(&self, ev: &Event, ctl: &Sender<ControlOp>) {
-        let (handler, dir, data, off, records): (
-            &Option<Handler>,
-            Option<Direction>,
-            Option<&[u8]>,
-            u64,
-            &[PacketRecord],
-        ) = match &ev.kind {
-            EventKind::Created => (&self.on_create, None, None, 0, &[]),
-            EventKind::Data { dir, chunk, packets } => (
-                &self.on_data,
-                Some(*dir),
-                Some(chunk.bytes()),
-                chunk.start_offset,
-                packets.as_slice(),
-            ),
-            EventKind::Terminated => (&self.on_termination, None, None, 0, &[]),
+        let mut ctx = StreamCtx {
+            stream: &ev.stream,
+            dir: None,
+            data: None,
+            data_offset: 0,
+            packet_records: &[],
+            ctl,
+        };
+        let handler = match &ev.kind {
+            EventKind::Created => &self.on_create,
+            EventKind::Data {
+                dir,
+                chunk,
+                packets,
+            } => {
+                ctx.dir = Some(*dir);
+                ctx.data = Some(chunk.bytes());
+                ctx.data_offset = chunk.start_offset;
+                ctx.packet_records = packets.as_slice();
+                &self.on_data
+            }
+            EventKind::Terminated => &self.on_termination,
         };
         if let Some(h) = handler {
-            let ctx = StreamCtx {
-                stream: &ev.stream,
-                dir,
-                data,
-                data_offset: off,
-                packet_records: records,
-                ctl,
-            };
             h(&ctx);
         }
     }
@@ -477,7 +887,7 @@ mod tests {
         let data_bytes = Arc::new(AtomicU64::new(0));
         let terminated = Arc::new(AtomicU64::new(0));
 
-        let mut scap = Scap::builder().worker_threads(2).build();
+        let mut scap = Scap::builder().worker_threads(2).try_build().unwrap();
         {
             let c = created.clone();
             scap.dispatch_creation(move |_| {
@@ -501,12 +911,13 @@ mod tests {
         assert!(data_bytes.load(Ordering::Relaxed) > 0);
         assert_eq!(stats.stack.dropped_packets, 0);
         assert!(scap.stats().is_some());
+        assert!(scap.last_capture_error().is_none());
     }
 
     #[test]
     fn zero_cutoff_suppresses_data_events() {
         let data_events = Arc::new(AtomicU64::new(0));
-        let mut scap = Scap::builder().cutoff(0).build();
+        let mut scap = Scap::builder().cutoff(0).try_build().unwrap();
         let d = data_events.clone();
         scap.dispatch_data(move |_| {
             d.fetch_add(1, Ordering::Relaxed);
@@ -519,7 +930,7 @@ mod tests {
     #[test]
     fn discard_stream_from_callback_stops_data() {
         let seen = Arc::new(AtomicU64::new(0));
-        let mut scap = Scap::builder().chunk_size(1024).build();
+        let mut scap = Scap::builder().chunk_size(1024).try_build().unwrap();
         let s = seen.clone();
         scap.dispatch_data(move |ctx| {
             s.fetch_add(ctx.data.map_or(0, |b| b.len() as u64), Ordering::Relaxed);
@@ -535,7 +946,10 @@ mod tests {
 
     #[test]
     fn filter_restricts_capture() {
-        let mut scap = Scap::builder().filter("udp and port 53").build();
+        let mut scap = Scap::builder()
+            .filter("udp and port 53")
+            .try_build()
+            .unwrap();
         let stats = scap.start_capture(trace());
         assert!(stats.stack.streams_created > 0);
         assert!(stats.stack.discarded_packets > stats.stack.streams_created);
@@ -550,7 +964,7 @@ mod tests {
     fn packet_records_iterate_with_payloads() {
         let pkt_count = Arc::new(AtomicU64::new(0));
         let payload_bytes = Arc::new(AtomicU64::new(0));
-        let mut scap = Scap::builder().need_packets(true).build();
+        let mut scap = Scap::builder().need_packets(true).try_build().unwrap();
         let pc = pkt_count.clone();
         let pb = payload_bytes.clone();
         scap.dispatch_data(move |ctx| {
@@ -565,5 +979,31 @@ mod tests {
         scap.start_capture(trace());
         assert!(pkt_count.load(Ordering::Relaxed) > 0);
         assert!(payload_bytes.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn second_capture_on_consumed_socket_returns_previous_stats() {
+        let mut scap = Scap::builder().try_build().unwrap();
+        let first = scap.start_capture(trace());
+        let second = scap.start_capture(trace());
+        assert_eq!(first.stack.wire_packets, second.stack.wire_packets);
+    }
+
+    #[test]
+    fn panicking_callback_does_not_kill_the_capture() {
+        let mut scap = Scap::builder().worker_threads(2).try_build().unwrap();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        scap.dispatch_data(move |_| {
+            if f.fetch_add(1, Ordering::Relaxed) == 3 {
+                panic!("application bug");
+            }
+        });
+        let stats = scap.start_capture(trace());
+        assert!(stats.stack.streams_created > 0);
+        let err = scap.last_capture_error().expect("panic must be reported");
+        assert!(err.panics() >= 1, "{err}");
+        assert!(stats.resilience.worker_panics >= 1);
+        assert!(stats.resilience.worker_restarts >= 1);
     }
 }

@@ -61,7 +61,12 @@ pub struct AppSlot {
 
 impl AppSlot {
     /// Build a slot.
-    pub fn new(name: &str, filter: Option<Filter>, cutoff: Option<u64>, app: Box<dyn SharedApp>) -> Self {
+    pub fn new(
+        name: &str,
+        filter: Option<Filter>,
+        cutoff: Option<u64>,
+        app: Box<dyn SharedApp>,
+    ) -> Self {
         AppSlot {
             name: name.to_string(),
             filter,
@@ -162,12 +167,15 @@ impl SimApp for SharedApps {
                     if chunk.start_offset >= cap {
                         continue;
                     }
-                    let allowed =
-                        ((cap - chunk.start_offset) as usize).min(chunk.len);
+                    let allowed = ((cap - chunk.start_offset) as usize).min(chunk.len);
                     slot.events += 1;
                     slot.bytes += allowed as u64;
-                    slot.app
-                        .on_data(&ev.stream, *dir, &chunk.bytes()[..allowed], chunk.start_offset)
+                    slot.app.on_data(
+                        &ev.stream,
+                        *dir,
+                        &chunk.bytes()[..allowed],
+                        chunk.start_offset,
+                    )
                 }
             };
             total.add(&w);
@@ -233,10 +241,7 @@ pub mod shared_apps {
 
     impl SharedApp for SharedMatcher {
         fn on_data(&mut self, s: &StreamSnapshot, dir: Direction, data: &[u8], _o: u64) -> Work {
-            let st = self
-                .states
-                .entry((s.uid, dir.index() as u8))
-                .or_default();
+            let st = self.states.entry((s.uid, dir.index() as u8)).or_default();
             self.found += self.ac.count(st, data);
             self.scanned += data.len() as u64;
             Work {
@@ -307,7 +312,14 @@ mod tests {
         // Filter: the union matches both tcp and port-80 traffic.
         let f = cfg.filter.expect("union filter");
         let tcp_frame = scap_wire::PacketBuilder::tcp_v4(
-            [1, 1, 1, 1], [2, 2, 2, 2], 9, 9999, 1, 1, scap_wire::TcpFlags::ACK, b"",
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            9,
+            9999,
+            1,
+            1,
+            scap_wire::TcpFlags::ACK,
+            b"",
         );
         let udp53 = scap_wire::PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 53, 53, b"");
         let udp80 = scap_wire::PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 80, 9, b"");

@@ -11,9 +11,9 @@
 use crate::event::{Event, EventKind};
 use crate::kernel::ScapKernel;
 use scap_sim::{CacheSim, CaptureStack, CoreBudgets, StackStats, Work};
+use scap_trace::Packet;
 #[allow(unused_imports)]
 use CacheSim as _CacheSimUsed;
-use scap_trace::Packet;
 
 /// A user-level application under simulation.
 ///
@@ -267,7 +267,11 @@ pub mod apps {
     impl SimApp for PatternMatchApp {
         fn on_event(&mut self, ev: &Event) -> Work {
             match &ev.kind {
-                EventKind::Data { dir, chunk, packets } => {
+                EventKind::Data {
+                    dir,
+                    chunk,
+                    packets,
+                } => {
                     let key = (ev.stream.uid, dir.index() as u8);
                     let st = self.states.entry(key).or_default();
                     if self.per_packet {
@@ -280,9 +284,8 @@ pub mod apps {
                             if pr.chunk_off == u32::MAX {
                                 continue;
                             }
-                            let start = (pr.chunk_off as u64)
-                                .saturating_sub(chunk.start_offset)
-                                as usize;
+                            let start =
+                                (pr.chunk_off as u64).saturating_sub(chunk.start_offset) as usize;
                             let end = (start + pr.payload_len as usize).min(chunk.len);
                             if start >= end {
                                 continue;
@@ -348,7 +351,11 @@ mod tests {
         assert_eq!(report.stats.dropped_packets, 0);
         assert_eq!(stack.app().exported, expected);
         // Flow-stats export with zero cutoff keeps user CPU tiny (§6.2).
-        assert!(report.user_cpu_percent() < 10.0, "cpu {}", report.user_cpu_percent());
+        assert!(
+            report.user_cpu_percent() < 10.0,
+            "cpu {}",
+            report.user_cpu_percent()
+        );
     }
 
     #[test]
@@ -424,12 +431,9 @@ mod tests {
         let trace = CampusMix::new(CampusMixConfig::sized(13, 24 << 20)).collect_all();
         let natural = scap_trace::replay::natural_rate_bps(&trace);
         let run = |workers: usize| {
-            let fast: Vec<Packet> = scap_trace::replay::RateReplay::new(
-                trace.clone().into_iter(),
-                natural,
-                3e9,
-            )
-            .collect();
+            let fast: Vec<Packet> =
+                scap_trace::replay::RateReplay::new(trace.clone().into_iter(), natural, 3e9)
+                    .collect();
             let kernel = ScapKernel::new(ScapConfig {
                 worker_threads: workers,
                 memory_bytes: 6 << 20,

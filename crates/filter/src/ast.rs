@@ -72,6 +72,7 @@ impl Expr {
     }
 
     /// Convenience constructor for `not a`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Expr) -> Expr {
         Expr::Not(Box::new(a))
     }

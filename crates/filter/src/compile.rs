@@ -172,9 +172,7 @@ fn gen_prim(g: &mut Gen, p: &Primitive, tt: Label, ff: Label) {
             gen_addr(g, q, u32::from_be_bytes(addr) & mask, mask, tt, ff)
         }
         Primitive::Port(q, port) => gen_port(g, q, u32::from(port), u32::from(port), tt, ff),
-        Primitive::PortRange(q, lo, hi) => {
-            gen_port(g, q, u32::from(lo), u32::from(hi), tt, ff)
-        }
+        Primitive::PortRange(q, lo, hi) => gen_port(g, q, u32::from(lo), u32::from(hi), tt, ff),
     }
 }
 

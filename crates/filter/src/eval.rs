@@ -52,7 +52,10 @@ fn prim_matches_parsed(prim: &Primitive, p: &ParsedPacket<'_>) -> bool {
         Primitive::Proto(ProtoKind::Icmp) => {
             p.ethertype == EtherType::Ipv4 && p.ip_proto == Some(ip_proto::ICMP)
         }
-        Primitive::Host(..) | Primitive::Net(..) | Primitive::Port(..) | Primitive::PortRange(..) => {
+        Primitive::Host(..)
+        | Primitive::Net(..)
+        | Primitive::Port(..)
+        | Primitive::PortRange(..) => {
             match &p.key {
                 Some(key) => prim_matches_key(prim, key),
                 // Address primitives on packets without a flow key (non-IP,
@@ -116,12 +119,7 @@ fn has_ports(key: &FlowKey) -> bool {
     matches!(key.transport(), Transport::Tcp | Transport::Udp)
 }
 
-fn test_qual<T: Copy>(
-    q: Qual,
-    src: Option<T>,
-    dst: Option<T>,
-    pred: impl Fn(T) -> bool,
-) -> bool {
+fn test_qual<T: Copy>(q: Qual, src: Option<T>, dst: Option<T>, pred: impl Fn(T) -> bool) -> bool {
     let t = |v: Option<T>| v.map(&pred).unwrap_or(false);
     match q {
         Qual::Src => t(src),
@@ -213,7 +211,16 @@ mod tests {
 
     #[test]
     fn key_matching_is_directional() {
-        let frame = PacketBuilder::tcp_v4([10, 0, 0, 1], [20, 0, 0, 2], 999, 80, 1, 1, TcpFlags::ACK, b"");
+        let frame = PacketBuilder::tcp_v4(
+            [10, 0, 0, 1],
+            [20, 0, 0, 2],
+            999,
+            80,
+            1,
+            1,
+            TcpFlags::ACK,
+            b"",
+        );
         let key = parse_frame(&frame).unwrap().key.unwrap();
         let rev = key.reversed();
         let ast = parse("src host 10.0.0.1").unwrap();
@@ -226,7 +233,8 @@ mod tests {
 
     #[test]
     fn length_prims_are_false_on_keys() {
-        let frame = PacketBuilder::tcp_v4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 1, 1, TcpFlags::ACK, b"");
+        let frame =
+            PacketBuilder::tcp_v4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 1, 1, TcpFlags::ACK, b"");
         let key = parse_frame(&frame).unwrap().key.unwrap();
         assert!(!matches_key(&parse("greater 0").unwrap(), &key));
         assert!(!matches_key(&parse("less 100000").unwrap(), &key));

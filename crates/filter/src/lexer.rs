@@ -46,28 +46,46 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
         match c {
             b' ' | b'\t' | b'\n' | b'\r' => i += 1,
             b'(' => {
-                out.push(Token { kind: TokenKind::LParen, pos: i });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Token { kind: TokenKind::RParen, pos: i });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b'/' => {
-                out.push(Token { kind: TokenKind::Slash, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             b'-' => {
-                out.push(Token { kind: TokenKind::Dash, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Dash,
+                    pos: i,
+                });
                 i += 1;
             }
             b'!' => {
-                out.push(Token { kind: TokenKind::Bang, pos: i });
+                out.push(Token {
+                    kind: TokenKind::Bang,
+                    pos: i,
+                });
                 i += 1;
             }
             b'&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    out.push(Token { kind: TokenKind::AndAnd, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::AndAnd,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(FilterError::Lex {
@@ -78,7 +96,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
             }
             b'|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    out.push(Token { kind: TokenKind::OrOr, pos: i });
+                    out.push(Token {
+                        kind: TokenKind::OrOr,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(FilterError::Lex {
@@ -103,14 +124,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FilterError> {
                         pos: start,
                         what: format!("bad number '{text}'"),
                     })?;
-                    out.push(Token { kind: TokenKind::Number(n), pos: start });
+                    out.push(Token {
+                        kind: TokenKind::Number(n),
+                        pos: start,
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token {

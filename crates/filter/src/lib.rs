@@ -153,7 +153,13 @@ mod tests {
     fn empty_filter_matches_everything() {
         let f = Filter::match_all();
         assert!(f.matches_frame(&http_frame()));
-        assert!(f.matches_frame(&PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"")));
+        assert!(f.matches_frame(&PacketBuilder::udp_v4(
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            1,
+            2,
+            b""
+        )));
     }
 
     #[test]

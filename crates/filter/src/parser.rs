@@ -335,7 +335,10 @@ mod tests {
 
     #[test]
     fn length_primitives() {
-        assert_eq!(parse("greater 100").unwrap(), Expr::Prim(Primitive::Greater(100)));
+        assert_eq!(
+            parse("greater 100").unwrap(),
+            Expr::Prim(Primitive::Greater(100))
+        );
         assert_eq!(parse("less 64").unwrap(), Expr::Prim(Primitive::Less(64)));
     }
 

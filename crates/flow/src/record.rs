@@ -51,6 +51,9 @@ impl StreamErrors {
     pub const INCONSISTENT_OVERLAP: StreamErrors = StreamErrors(0x04);
     /// A segment had an out-of-window / invalid sequence number.
     pub const INVALID_SEQUENCE: StreamErrors = StreamErrors(0x08);
+    /// A worker thread processing this stream died or stalled; events may
+    /// have been lost while the watchdog recovered.
+    pub const WORKER_FAILURE: StreamErrors = StreamErrors(0x10);
 
     /// Set the given flag(s).
     pub fn set(&mut self, e: StreamErrors) {
@@ -194,7 +197,10 @@ mod tests {
     fn rec() -> StreamRecord {
         let key = FlowKey::new_v4([1, 2, 3, 4], [5, 6, 7, 8], 10, 20, Transport::Tcp);
         StreamRecord::new(
-            StreamId { slot: 0, generation: 1 },
+            StreamId {
+                slot: 0,
+                generation: 1,
+            },
             key,
             Direction::Forward,
             42,

@@ -372,7 +372,7 @@ mod tests {
         }
         assert_eq!(t.lookup_or_insert(&key(99), 0), Err(TableFull::MaxFlows));
         // Existing flows still resolvable.
-        assert!(t.lookup_or_insert(&key(1), 0).unwrap().created == false);
+        assert!(!t.lookup_or_insert(&key(1), 0).unwrap().created);
     }
 
     #[test]

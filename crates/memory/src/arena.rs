@@ -63,6 +63,10 @@ pub struct Arena {
     pub failures: u64,
     /// High-water mark of `used`.
     pub peak_used: usize,
+    /// Bytes withheld from the budget (fault injection / external
+    /// pressure). Reserved bytes count as used for admission and for
+    /// `used_fraction`, so PPL sees the pressure spike.
+    reserved: usize,
 }
 
 impl Arena {
@@ -76,6 +80,7 @@ impl Arena {
             releases: 0,
             failures: 0,
             peak_used: 0,
+            reserved: 0,
         }
     }
 
@@ -89,12 +94,25 @@ impl Arena {
         self.used
     }
 
-    /// Fraction of the budget in use (input to PPL).
+    /// Bytes currently withheld from the budget (0 unless fault
+    /// injection or an external reservation is active).
+    pub fn reserved(&self) -> usize {
+        self.reserved
+    }
+
+    /// Withhold `bytes` from the budget. Already-allocated blocks are
+    /// unaffected; new allocations and `used_fraction` see the squeeze.
+    pub fn set_reserved(&mut self, bytes: usize) {
+        self.reserved = bytes.min(self.budget);
+    }
+
+    /// Fraction of the budget in use (input to PPL). Reserved bytes
+    /// count as used.
     pub fn used_fraction(&self) -> f64 {
         if self.budget == 0 {
             1.0
         } else {
-            self.used as f64 / self.budget as f64
+            ((self.used + self.reserved) as f64 / self.budget as f64).min(1.0)
         }
     }
 
@@ -102,7 +120,7 @@ impl Arena {
     /// at stream offset `start_offset`.
     pub fn alloc(&mut self, size: usize, start_offset: u64) -> Result<ChunkBuf, OutOfMemory> {
         assert!(size > 0);
-        if self.used + size > self.budget {
+        if self.used + self.reserved + size > self.budget {
             self.failures += 1;
             return Err(OutOfMemory);
         }
@@ -177,6 +195,23 @@ mod tests {
         c.len = 3;
         assert_eq!(c.bytes(), b"abc");
         assert_eq!(c.room(), 97);
+    }
+
+    #[test]
+    fn reserved_bytes_squeeze_the_budget() {
+        let mut a = Arena::new(10_000);
+        a.set_reserved(7_000);
+        assert!((a.used_fraction() - 0.7).abs() < 1e-9);
+        assert!(a.alloc(4096, 0).is_err());
+        let c = a.alloc(2048, 0).unwrap();
+        assert!((a.used_fraction() - 0.9048).abs() < 1e-3);
+        a.set_reserved(0);
+        a.release(c);
+        assert_eq!(a.used_fraction(), 0.0);
+        // Reservation is clamped to the budget.
+        a.set_reserved(usize::MAX);
+        assert_eq!(a.reserved(), 10_000);
+        assert_eq!(a.used_fraction(), 1.0);
     }
 
     #[test]

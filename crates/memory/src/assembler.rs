@@ -104,8 +104,7 @@ impl ChunkAssembler {
                         });
                     match next.as_mut() {
                         Ok(next_buf) => {
-                            next_buf.data[..self.overlap]
-                                .copy_from_slice(&full.data[tail_start..]);
+                            next_buf.data[..self.overlap].copy_from_slice(&full.data[tail_start..]);
                             next_buf.len = self.overlap;
                             self.bytes_copied += self.overlap as u64;
                             self.cur = Some(next.unwrap());

@@ -89,6 +89,10 @@ pub enum FdirError {
     Duplicate,
     /// No such filter installed.
     NotFound,
+    /// The programming interface transiently failed (the real card can
+    /// report FDIRCMD completion errors under churn); the install may be
+    /// retried later.
+    Busy,
 }
 
 impl core::fmt::Display for FdirError {
@@ -97,6 +101,7 @@ impl core::fmt::Display for FdirError {
             FdirError::TableFull => write!(f, "flow director table full"),
             FdirError::Duplicate => write!(f, "filter already installed"),
             FdirError::NotFound => write!(f, "filter not installed"),
+            FdirError::Busy => write!(f, "filter programming transiently failed"),
         }
     }
 }
@@ -112,6 +117,14 @@ pub struct FdirTable {
     installed: usize,
     /// Counts of add/remove operations (cost-model input: ~10 µs each).
     pub ops: u64,
+    /// Optional fault injector applied to every `add`.
+    faults: Option<scap_faults::FdirInjector>,
+    /// Installs rejected with [`FdirError::Busy`] (injected).
+    pub transient_failures: u64,
+    /// Installs that completed but took an injected latency spike.
+    pub slow_installs: u64,
+    /// Total injected install latency in nanoseconds.
+    pub install_latency_ns: u64,
 }
 
 impl FdirTable {
@@ -122,7 +135,17 @@ impl FdirTable {
             by_key: HashMap::new(),
             installed: 0,
             ops: 0,
+            faults: None,
+            transient_failures: 0,
+            slow_installs: 0,
+            install_latency_ns: 0,
         }
+    }
+
+    /// Attach a fault injector; subsequent `add` calls may transiently
+    /// fail with [`FdirError::Busy`] or record latency spikes.
+    pub fn set_fault_injector(&mut self, inj: scap_faults::FdirInjector) {
+        self.faults = Some(inj);
     }
 
     /// Number of installed filters.
@@ -142,6 +165,19 @@ impl FdirTable {
 
     /// Install a filter.
     pub fn add(&mut self, filter: FdirFilter) -> Result<(), FdirError> {
+        if let Some(inj) = self.faults.as_mut() {
+            match inj.on_install() {
+                scap_faults::FdirInstallFault::TransientFail => {
+                    self.transient_failures += 1;
+                    return Err(FdirError::Busy);
+                }
+                scap_faults::FdirInstallFault::Latency(ns) => {
+                    self.slow_installs += 1;
+                    self.install_latency_ns += ns;
+                }
+                scap_faults::FdirInstallFault::None => {}
+            }
+        }
         if self.installed >= self.capacity {
             return Err(FdirError::TableFull);
         }
@@ -283,18 +319,26 @@ mod tests {
     fn capacity_enforced() {
         let mut t = FdirTable::new(2);
         t.add(FdirFilter::steer(key(), 0)).unwrap();
-        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK)).unwrap();
+        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK))
+            .unwrap();
         let extra = FlowKey::new_v4([9, 9, 9, 9], [8, 8, 8, 8], 1, 2, Transport::Tcp);
-        assert_eq!(t.add(FdirFilter::steer(extra, 0)), Err(FdirError::TableFull));
+        assert_eq!(
+            t.add(FdirFilter::steer(extra, 0)),
+            Err(FdirError::TableFull)
+        );
         assert_eq!(t.free(), 0);
     }
 
     #[test]
     fn remove_all_for_clears_both_paper_filters() {
         let mut t = FdirTable::new(16);
-        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK)).unwrap();
-        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK | TcpFlags::PSH))
+        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK))
             .unwrap();
+        t.add(FdirFilter::drop_tcp_flags(
+            key(),
+            TcpFlags::ACK | TcpFlags::PSH,
+        ))
+        .unwrap();
         assert_eq!(t.remove_all_for(&key()), 2);
         assert!(t.is_empty());
         assert_eq!(t.remove_all_for(&key()), 0);
@@ -303,13 +347,28 @@ mod tests {
     #[test]
     fn flex_match_distinguishes_flag_bytes() {
         let mut t = FdirTable::new(16);
-        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK)).unwrap();
+        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK))
+            .unwrap();
 
         let ack = PacketBuilder::tcp_v4(
-            [10, 0, 0, 1], [10, 0, 0, 2], 1000, 80, 5, 6, TcpFlags::ACK, b"data",
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1000,
+            80,
+            5,
+            6,
+            TcpFlags::ACK,
+            b"data",
         );
         let fin = PacketBuilder::tcp_v4(
-            [10, 0, 0, 1], [10, 0, 0, 2], 1000, 80, 5, 6, TcpFlags::FIN | TcpFlags::ACK, b"",
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1000,
+            80,
+            5,
+            6,
+            TcpFlags::FIN | TcpFlags::ACK,
+            b"",
         );
         assert_eq!(
             t.lookup(&parse_frame(&ack).unwrap()),
@@ -321,11 +380,42 @@ mod tests {
     #[test]
     fn lookup_is_direction_sensitive() {
         let mut t = FdirTable::new(16);
-        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK)).unwrap();
+        t.add(FdirFilter::drop_tcp_flags(key(), TcpFlags::ACK))
+            .unwrap();
         let reverse = PacketBuilder::tcp_v4(
-            [10, 0, 0, 2], [10, 0, 0, 1], 80, 1000, 5, 6, TcpFlags::ACK, b"resp",
+            [10, 0, 0, 2],
+            [10, 0, 0, 1],
+            80,
+            1000,
+            5,
+            6,
+            TcpFlags::ACK,
+            b"resp",
         );
         assert_eq!(t.lookup(&parse_frame(&reverse).unwrap()), None);
+    }
+
+    #[test]
+    fn injected_transient_failures_are_bounded() {
+        let plan = scap_faults::FaultPlan {
+            fdir: scap_faults::FdirFaultConfig {
+                transient_fail_prob: 1.0,    // always fail...
+                max_consecutive_failures: 3, // ...but never more than 3 in a row
+                ..Default::default()
+            },
+            ..scap_faults::FaultPlan::new(42)
+        };
+        let mut t = FdirTable::new(16);
+        t.set_fault_injector(plan.fdir_injector());
+        let f = FdirFilter::steer(key(), 1);
+        for _ in 0..3 {
+            assert_eq!(t.add(f), Err(FdirError::Busy));
+        }
+        // The injector caps consecutive failures, so a bounded retry loop
+        // always eventually succeeds.
+        t.add(f).unwrap();
+        assert_eq!(t.transient_failures, 3);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -113,6 +113,11 @@ impl<T> Nic<T> {
         &mut self.queues[q]
     }
 
+    /// Access a queue read-only (fill-level monitoring).
+    pub fn queue(&self, q: usize) -> &RxQueue<T> {
+        &self.queues[q]
+    }
+
     /// Access the FDIR table (the kernel module installs filters here).
     pub fn fdir_mut(&mut self) -> &mut FdirTable {
         &mut self.fdir
@@ -185,7 +190,16 @@ mod tests {
     use scap_wire::{parse_frame, PacketBuilder, TcpFlags};
 
     fn frame(sp: u16, dp: u16, flags: TcpFlags) -> Vec<u8> {
-        PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], sp, dp, 100, 200, flags, b"data")
+        PacketBuilder::tcp_v4(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            sp,
+            dp,
+            100,
+            200,
+            flags,
+            b"data",
+        )
     }
 
     #[test]
@@ -193,7 +207,14 @@ mod tests {
         let mut nic: Nic<u32> = Nic::new(8, 64);
         let f1 = frame(1234, 80, TcpFlags::ACK);
         let f2 = PacketBuilder::tcp_v4(
-            [10, 0, 0, 2], [10, 0, 0, 1], 80, 1234, 1, 1, TcpFlags::ACK, b"resp",
+            [10, 0, 0, 2],
+            [10, 0, 0, 1],
+            80,
+            1234,
+            1,
+            1,
+            TcpFlags::ACK,
+            b"resp",
         );
         let p1 = parse_frame(&f1).unwrap();
         let p2 = parse_frame(&f2).unwrap();
@@ -216,7 +237,10 @@ mod tests {
             .add(FdirFilter::drop_tcp_flags(key, TcpFlags::ACK))
             .unwrap();
         nic.fdir_mut()
-            .add(FdirFilter::drop_tcp_flags(key, TcpFlags::ACK | TcpFlags::PSH))
+            .add(FdirFilter::drop_tcp_flags(
+                key,
+                TcpFlags::ACK | TcpFlags::PSH,
+            ))
             .unwrap();
 
         assert_eq!(nic.receive(&parsed, 0), NicVerdict::DroppedByFilter);
@@ -227,13 +251,26 @@ mod tests {
         // FIN/ACK does not match either filter: it reaches a ring.
         let fin = frame(1234, 80, TcpFlags::FIN | TcpFlags::ACK);
         let parsed_fin = parse_frame(&fin).unwrap();
-        assert!(matches!(nic.receive(&parsed_fin, 2), NicVerdict::HashedToQueue(_)));
+        assert!(matches!(
+            nic.receive(&parsed_fin, 2),
+            NicVerdict::HashedToQueue(_)
+        ));
         // And the reverse direction is unaffected (filters are directed).
         let rev = PacketBuilder::tcp_v4(
-            [10, 0, 0, 2], [10, 0, 0, 1], 80, 1234, 1, 1, TcpFlags::ACK, b"resp",
+            [10, 0, 0, 2],
+            [10, 0, 0, 1],
+            80,
+            1234,
+            1,
+            1,
+            TcpFlags::ACK,
+            b"resp",
         );
         let parsed_rev = parse_frame(&rev).unwrap();
-        assert!(matches!(nic.receive(&parsed_rev, 3), NicVerdict::HashedToQueue(_)));
+        assert!(matches!(
+            nic.receive(&parsed_rev, 3),
+            NicVerdict::HashedToQueue(_)
+        ));
 
         let s = nic.stats();
         assert_eq!(s.fdir_dropped_frames, 2);

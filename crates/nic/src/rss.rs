@@ -59,9 +59,10 @@ impl RssHasher {
         debug_assert!(input.len() + 4 <= self.key.len());
         let mut result: u32 = 0;
         // The running 32-bit key window, advanced one bit per input bit.
-        let mut window: u32 = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
-        let mut next_key_byte = 4;
-        for &byte in input {
+        let mut window: u32 =
+            u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        for (i, &byte) in input.iter().enumerate() {
+            let next_key_byte = 4 + i;
             for bit in (0..8).rev() {
                 if byte >> bit & 1 == 1 {
                     result ^= window;
@@ -74,7 +75,6 @@ impl RssHasher {
                 };
                 window = (window << 1) | u32::from(next_bit);
             }
-            next_key_byte += 1;
         }
         result
     }
@@ -118,9 +118,9 @@ mod tests {
 
     /// Microsoft's RSS verification suite key.
     const MS_KEY: [u8; 40] = [
-        0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3,
-        0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3,
-        0x80, 0x30, 0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+        0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+        0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+        0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
     ];
 
     fn ms_hasher() -> RssHasher {
@@ -167,7 +167,13 @@ mod tests {
     #[test]
     fn symmetric_key_makes_directions_collide() {
         let h = RssHasher::symmetric(8);
-        let k = FlowKey::new_v4([10, 1, 2, 3], [93, 184, 216, 34], 43210, 443, Transport::Tcp);
+        let k = FlowKey::new_v4(
+            [10, 1, 2, 3],
+            [93, 184, 216, 34],
+            43210,
+            443,
+            Transport::Tcp,
+        );
         assert_eq!(h.hash_key(&k), h.hash_key(&k.reversed()));
         assert_eq!(h.queue_for(&k), h.queue_for(&k.reversed()));
     }

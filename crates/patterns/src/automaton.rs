@@ -22,16 +22,10 @@ pub struct Match {
 
 /// Opaque streaming state: the current DFA state plus the running stream
 /// offset. Persist it between chunks of the same stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MatcherState {
     state: u32,
     offset: u64,
-}
-
-impl Default for MatcherState {
-    fn default() -> Self {
-        MatcherState { state: 0, offset: 0 }
-    }
 }
 
 impl MatcherState {

@@ -108,14 +108,40 @@ pub fn builtin_web_patterns() -> Vec<Vec<u8>> {
 /// suffix, 4–30 bytes overall.
 pub fn generate_web_attack_patterns(n: usize, seed: u64) -> Vec<Vec<u8>> {
     const STEMS: &[&str] = &[
-        "GET /", "POST /", "/cgi-bin/", "/scripts/", "../", "%2e%2e/", "SELECT ", "UNION ",
-        "INSERT ", "exec(", "eval(", "system(", "<script", "onload=", "onerror=", "cmd=",
-        "id=", "file=", "path=", "page=", "/etc/", "/bin/", "passwd", "shadow", "config",
-        "admin", "login", "shell", "upload", "include=",
+        "GET /",
+        "POST /",
+        "/cgi-bin/",
+        "/scripts/",
+        "../",
+        "%2e%2e/",
+        "SELECT ",
+        "UNION ",
+        "INSERT ",
+        "exec(",
+        "eval(",
+        "system(",
+        "<script",
+        "onload=",
+        "onerror=",
+        "cmd=",
+        "id=",
+        "file=",
+        "path=",
+        "page=",
+        "/etc/",
+        "/bin/",
+        "passwd",
+        "shadow",
+        "config",
+        "admin",
+        "login",
+        "shell",
+        "upload",
+        "include=",
     ];
     const TAILS: &[&str] = &[
-        ".php", ".asp", ".cgi", ".jsp", ".pl", ".exe", ".dll", ".ini", ".conf", ".bak",
-        "%00", "%20", "'--", "\";", ")/*", "../", "\\x90", "HTTP/1.", "\r\n", "&x=",
+        ".php", ".asp", ".cgi", ".jsp", ".pl", ".exe", ".dll", ".ini", ".conf", ".bak", "%00",
+        "%20", "'--", "\";", ")/*", "../", "\\x90", "HTTP/1.", "\r\n", "&x=",
     ];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::new();

@@ -191,10 +191,7 @@ impl TcpConn {
 
     /// Flush both directions (inactivity expiry or forced teardown).
     /// Returns bytes flushed per direction.
-    pub fn flush(
-        &mut self,
-        mut sink: impl FnMut(Direction, u64, &[u8]),
-    ) -> [u64; 2] {
+    pub fn flush(&mut self, mut sink: impl FnMut(Direction, u64, &[u8])) -> [u64; 2] {
         let mut out = [0u64; 2];
         for d in [Direction::Forward, Direction::Reverse] {
             out[d.index()] = self.dirs[d.index()].flush(&mut |o, b| sink(d, o, b));
@@ -223,7 +220,12 @@ mod tests {
     /// Drive a complete handshake; client is Forward.
     fn handshake(c: &mut TcpConn, isn_c: u32, isn_s: u32) {
         let mut sink = |_: u64, _: &[u8]| {};
-        let o1 = c.on_segment(Direction::Forward, &meta(isn_c, 0, TcpFlags::SYN), b"", &mut sink);
+        let o1 = c.on_segment(
+            Direction::Forward,
+            &meta(isn_c, 0, TcpFlags::SYN),
+            b"",
+            &mut sink,
+        );
         assert!(o1.syn_seen);
         let o2 = c.on_segment(
             Direction::Reverse,
@@ -232,7 +234,12 @@ mod tests {
             &mut sink,
         );
         assert!(o2.established_now);
-        c.on_segment(Direction::Forward, &meta(isn_c + 1, isn_s + 1, TcpFlags::ACK), b"", &mut sink);
+        c.on_segment(
+            Direction::Forward,
+            &meta(isn_c + 1, isn_s + 1, TcpFlags::ACK),
+            b"",
+            &mut sink,
+        );
     }
 
     #[test]
@@ -267,10 +274,20 @@ mod tests {
         let mut c = conn();
         handshake(&mut c, 0, 0);
         let mut sink = |_: u64, _: &[u8]| {};
-        let o1 = c.on_segment(Direction::Forward, &meta(1, 1, TcpFlags::FIN | TcpFlags::ACK), b"", &mut sink);
+        let o1 = c.on_segment(
+            Direction::Forward,
+            &meta(1, 1, TcpFlags::FIN | TcpFlags::ACK),
+            b"",
+            &mut sink,
+        );
         assert!(o1.closed_now.is_none());
         assert!(c.closed().is_none());
-        let o2 = c.on_segment(Direction::Reverse, &meta(1, 2, TcpFlags::FIN | TcpFlags::ACK), b"", &mut sink);
+        let o2 = c.on_segment(
+            Direction::Reverse,
+            &meta(1, 2, TcpFlags::FIN | TcpFlags::ACK),
+            b"",
+            &mut sink,
+        );
         assert_eq!(o2.closed_now, Some(CloseKind::Fin));
         assert_eq!(c.closed(), Some(CloseKind::Fin));
     }
@@ -280,10 +297,20 @@ mod tests {
         let mut c = conn();
         handshake(&mut c, 0, 0);
         let mut sink = |_: u64, _: &[u8]| {};
-        let o = c.on_segment(Direction::Reverse, &meta(1, 1, TcpFlags::RST), b"", &mut sink);
+        let o = c.on_segment(
+            Direction::Reverse,
+            &meta(1, 1, TcpFlags::RST),
+            b"",
+            &mut sink,
+        );
         assert_eq!(o.closed_now, Some(CloseKind::Rst));
         // A second RST does not re-close.
-        let o2 = c.on_segment(Direction::Reverse, &meta(1, 1, TcpFlags::RST), b"", &mut sink);
+        let o2 = c.on_segment(
+            Direction::Reverse,
+            &meta(1, 1, TcpFlags::RST),
+            b"",
+            &mut sink,
+        );
         assert!(o2.closed_now.is_none());
     }
 
@@ -292,8 +319,18 @@ mod tests {
         let mut c = conn();
         handshake(&mut c, 0, 0);
         let mut sink = |_: u64, _: &[u8]| panic!("no delivery after close");
-        c.on_segment(Direction::Forward, &meta(1, 1, TcpFlags::RST), b"", &mut |_, _| {});
-        let o = c.on_segment(Direction::Forward, &meta(1, 1, TcpFlags::ACK), b"late", &mut sink);
+        c.on_segment(
+            Direction::Forward,
+            &meta(1, 1, TcpFlags::RST),
+            b"",
+            &mut |_, _| {},
+        );
+        let o = c.on_segment(
+            Direction::Forward,
+            &meta(1, 1, TcpFlags::ACK),
+            b"late",
+            &mut sink,
+        );
         assert_eq!(o.data.duplicate, 4);
     }
 
@@ -301,7 +338,12 @@ mod tests {
     fn data_on_syn_is_flagged_and_ignored() {
         let mut c = conn();
         let mut sink = |_: u64, _: &[u8]| panic!("SYN payload must be ignored");
-        c.on_segment(Direction::Forward, &meta(77, 0, TcpFlags::SYN), b"early", &mut sink);
+        c.on_segment(
+            Direction::Forward,
+            &meta(77, 0, TcpFlags::SYN),
+            b"early",
+            &mut sink,
+        );
         assert!(c.flags().contains(ReasmFlags::DATA_ON_SYN));
     }
 
@@ -324,9 +366,19 @@ mod tests {
     fn syn_retransmission_does_not_reanchor() {
         let mut c = conn();
         let mut sink = |_: u64, _: &[u8]| {};
-        c.on_segment(Direction::Forward, &meta(100, 0, TcpFlags::SYN), b"", &mut sink);
+        c.on_segment(
+            Direction::Forward,
+            &meta(100, 0, TcpFlags::SYN),
+            b"",
+            &mut sink,
+        );
         // Retransmitted SYN with a *different* seq must not move the base.
-        c.on_segment(Direction::Forward, &meta(100, 0, TcpFlags::SYN), b"", &mut sink);
+        c.on_segment(
+            Direction::Forward,
+            &meta(100, 0, TcpFlags::SYN),
+            b"",
+            &mut sink,
+        );
         let mut got = Vec::new();
         c.on_segment(
             Direction::Reverse,
@@ -364,7 +416,12 @@ mod tests {
         handshake(&mut c, 0, 0);
         let mut sink = |_: u64, _: &[u8]| {};
         // Leave a hole so data stays buffered.
-        c.on_segment(Direction::Forward, &meta(5, 1, TcpFlags::ACK), b"later", &mut sink);
+        c.on_segment(
+            Direction::Forward,
+            &meta(5, 1, TcpFlags::ACK),
+            b"later",
+            &mut sink,
+        );
         let mut flushed = Vec::new();
         let n = c.flush(|d, _, b| flushed.push((d, b.to_vec())));
         assert_eq!(n[Direction::Forward.index()], 5);

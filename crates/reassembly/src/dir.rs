@@ -143,9 +143,7 @@ impl DirReassembler {
     /// of flows whose data packets were dropped at the NIC from the
     /// sequence numbers of their FIN/RST packets (§5.5).
     pub fn rel_offset_of(&self, seq: u32) -> Option<u64> {
-        if self.base_seq.is_none() {
-            return None;
-        }
+        self.base_seq?;
         Some(self.rel_of(seq))
     }
 
@@ -467,7 +465,7 @@ mod tests {
                 (st >> 33) as usize % m
             };
             while off < source.len() {
-                let len = 1 + next(40).min(source.len() - off - 1).max(0);
+                let len = 1 + next(40).min(source.len() - off - 1);
                 let len = len.min(source.len() - off);
                 segs.push((off as u32, source[off..off+len].to_vec()));
                 // Occasional duplicate.

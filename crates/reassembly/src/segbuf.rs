@@ -71,11 +71,7 @@ impl SegmentBuffer {
                 .next_back()
                 .filter(|(k, v)| *k + v.len() as u64 > offset)
                 .map(|(k, _)| *k);
-            let mut keys: Vec<u64> = self
-                .segs
-                .range(offset..end)
-                .map(|(k, _)| *k)
-                .collect();
+            let mut keys: Vec<u64> = self.segs.range(offset..end).map(|(k, _)| *k).collect();
             if let Some(k) = start_key {
                 keys.insert(0, k);
             }
@@ -113,13 +109,15 @@ impl SegmentBuffer {
             // overlapped part survives iff old wins.
             let mut piece_start = *old_off;
             let mut piece: Vec<u8> = Vec::new();
-            let flush_piece =
-                |segs: &mut BTreeMap<u64, Vec<u8>>, bytes: &mut usize, start: u64, p: &mut Vec<u8>| {
-                    if !p.is_empty() {
-                        *bytes += p.len();
-                        segs.insert(start, std::mem::take(p));
-                    }
-                };
+            let flush_piece = |segs: &mut BTreeMap<u64, Vec<u8>>,
+                               bytes: &mut usize,
+                               start: u64,
+                               p: &mut Vec<u8>| {
+                if !p.is_empty() {
+                    *bytes += p.len();
+                    segs.insert(start, std::mem::take(p));
+                }
+            };
             for o in *old_off..old_end {
                 let keep_old = if o < offset || o >= end {
                     true

@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = CacheSim::new(4096, 2, 64); // 64 lines total
-        // Stream over 1 MB twice: second pass misses again (capacity).
+                                                // Stream over 1 MB twice: second pass misses again (capacity).
         let mut first = 0;
         for i in 0..16384u64 {
             first += c.access(i * 64, 64);

@@ -33,6 +33,11 @@ pub struct StackStats {
     pub nic_filtered_packets: u64,
     /// Payload bytes delivered to the application.
     pub delivered_bytes: u64,
+    /// Packets that completed stream processing (neither dropped nor
+    /// discarded). Stacks that maintain it satisfy the conservation
+    /// identity `wire = delivered + dropped + discarded`; stacks that
+    /// don't leave it 0.
+    pub delivered_packets: u64,
     /// Streams observed (created).
     pub streams_created: u64,
     /// Streams lost: never tracked (table full / SYN dropped) or evicted.
@@ -137,7 +142,12 @@ impl EngineReport {
 
     /// Mean user utilization across the cores actually used.
     pub fn user_cpu_percent_mean_active(&self) -> f64 {
-        let active: Vec<f64> = self.user_busy.iter().cloned().filter(|u| *u > 0.001).collect();
+        let active: Vec<f64> = self
+            .user_busy
+            .iter()
+            .cloned()
+            .filter(|u| *u > 0.001)
+            .collect();
         if active.is_empty() {
             0.0
         } else {
@@ -174,12 +184,12 @@ impl Engine {
         let mut now = 0u64;
 
         let flush_tick = |batch: &mut Vec<Packet>,
-                              now: u64,
-                              budgets: &mut CoreBudgets,
-                              kernel_cycles: &mut Vec<f64>,
-                              user_cycles: &mut Vec<f64>,
-                              ticks: &mut u64,
-                              stack: &mut dyn CaptureStack| {
+                          now: u64,
+                          budgets: &mut CoreBudgets,
+                          kernel_cycles: &mut Vec<f64>,
+                          user_cycles: &mut Vec<f64>,
+                          ticks: &mut u64,
+                          stack: &mut dyn CaptureStack| {
             stack.tick(now, batch, budgets);
             batch.clear();
             for (core, (k, u)) in budgets.next_tick().into_iter().enumerate() {
@@ -195,15 +205,25 @@ impl Engine {
                 // Close the current tick and any empty ticks in between.
                 now = end;
                 flush_tick(
-                    &mut batch, now, &mut budgets, &mut kernel_cycles, &mut user_cycles,
-                    &mut ticks, stack,
+                    &mut batch,
+                    now,
+                    &mut budgets,
+                    &mut kernel_cycles,
+                    &mut user_cycles,
+                    &mut ticks,
+                    stack,
                 );
                 let mut e = end + tick_ns;
                 while p.ts_ns >= e {
                     now = e;
                     flush_tick(
-                        &mut batch, now, &mut budgets, &mut kernel_cycles, &mut user_cycles,
-                        &mut ticks, stack,
+                        &mut batch,
+                        now,
+                        &mut budgets,
+                        &mut kernel_cycles,
+                        &mut user_cycles,
+                        &mut ticks,
+                        stack,
                     );
                     e += tick_ns;
                 }
@@ -214,8 +234,13 @@ impl Engine {
         if !batch.is_empty() || tick_end.is_some() {
             now = tick_end.unwrap_or(tick_ns);
             flush_tick(
-                &mut batch, now, &mut budgets, &mut kernel_cycles, &mut user_cycles,
-                &mut ticks, stack,
+                &mut batch,
+                now,
+                &mut budgets,
+                &mut kernel_cycles,
+                &mut user_cycles,
+                &mut ticks,
+                stack,
             );
         }
 
@@ -319,7 +344,11 @@ mod tests {
                 backlog: 0,
             },
         );
-        assert!(fast.stats.dropped_packets > 500, "drops {}", fast.stats.dropped_packets);
+        assert!(
+            fast.stats.dropped_packets > 500,
+            "drops {}",
+            fast.stats.dropped_packets
+        );
         assert!(fast.kernel_busy[0] > 0.9);
     }
 

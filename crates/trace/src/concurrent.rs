@@ -48,7 +48,12 @@ impl ConcurrentStreams {
     /// Deterministic endpoints for stream `i`: distinct client address and
     /// port per stream, a common server.
     fn endpoints(&self, i: u64) -> ([u8; 4], [u8; 4], u16, u16) {
-        let client = [10, ((i >> 16) & 0xFF) as u8, ((i >> 8) & 0xFF) as u8, (i & 0xFF) as u8];
+        let client = [
+            10,
+            ((i >> 16) & 0xFF) as u8,
+            ((i >> 8) & 0xFF) as u8,
+            (i & 0xFF) as u8,
+        ];
         let server = [172, 16, ((i >> 24) & 0x0F) as u8, 1];
         let cport = 1024 + (i % 60000) as u16;
         let sport = 8000 + ((i / 60000) % 1000) as u16;
@@ -65,20 +70,37 @@ impl ConcurrentStreams {
             PacketBuilder::tcp_v4(client, server, cport, sport, isn_c, 0, TcpFlags::SYN, b"")
         } else if j == 1 {
             PacketBuilder::tcp_v4(
-                server, client, sport, cport, isn_s, isn_c.wrapping_add(1),
-                TcpFlags::SYN | TcpFlags::ACK, b"",
+                server,
+                client,
+                sport,
+                cport,
+                isn_s,
+                isn_c.wrapping_add(1),
+                TcpFlags::SYN | TcpFlags::ACK,
+                b"",
             )
         } else if j == 2 {
             PacketBuilder::tcp_v4(
-                client, server, cport, sport,
-                isn_c.wrapping_add(1), isn_s.wrapping_add(1), TcpFlags::ACK, b"",
+                client,
+                server,
+                cport,
+                sport,
+                isn_c.wrapping_add(1),
+                isn_s.wrapping_add(1),
+                TcpFlags::ACK,
+                b"",
             )
         } else if j < 3 + dp {
             let k = (j - 3) as u64;
             let payload = vec![b'A' + (k % 26) as u8; self.payload_per_packet];
             PacketBuilder::tcp_v4(
-                client, server, cport, sport,
-                isn_c.wrapping_add(1).wrapping_add((k * self.payload_per_packet as u64) as u32),
+                client,
+                server,
+                cport,
+                sport,
+                isn_c
+                    .wrapping_add(1)
+                    .wrapping_add((k * self.payload_per_packet as u64) as u32),
                 isn_s.wrapping_add(1),
                 TcpFlags::ACK,
                 &payload,
@@ -86,7 +108,10 @@ impl ConcurrentStreams {
         } else if j == 3 + dp {
             let sent = u64::from(dp) * self.payload_per_packet as u64;
             PacketBuilder::tcp_v4(
-                client, server, cport, sport,
+                client,
+                server,
+                cport,
+                sport,
                 isn_c.wrapping_add(1).wrapping_add(sent as u32),
                 isn_s.wrapping_add(1),
                 TcpFlags::FIN | TcpFlags::ACK,
@@ -95,7 +120,10 @@ impl ConcurrentStreams {
         } else {
             let sent = u64::from(dp) * self.payload_per_packet as u64;
             PacketBuilder::tcp_v4(
-                server, client, sport, cport,
+                server,
+                client,
+                sport,
+                cport,
                 isn_s.wrapping_add(1),
                 isn_c.wrapping_add(2).wrapping_add(sent as u32),
                 TcpFlags::FIN | TcpFlags::ACK,

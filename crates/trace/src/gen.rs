@@ -183,9 +183,12 @@ impl CampusMix {
             build_icmp_session(&mut self.rng, flow_seed, t0)
         };
         debug_assert!(!packets.is_empty());
-        let mut iter = packets.drain(..).collect::<Vec<_>>().into_iter();
+        let mut iter = std::mem::take(&mut packets).into_iter();
         let next = iter.next().expect("sessions always have packets");
-        Session { packets: iter, next }
+        Session {
+            packets: iter,
+            next,
+        }
     }
 }
 
@@ -210,7 +213,12 @@ impl Iterator for CampusMix {
             self.next_arrival_ns = t0 + gap.max(1);
             let sess = self.spawn_session(t0);
             let sess_bytes: u64 = sess.next.len() as u64
-                + sess.packets.as_slice().iter().map(|p| p.len() as u64).sum::<u64>();
+                + sess
+                    .packets
+                    .as_slice()
+                    .iter()
+                    .map(|p| p.len() as u64)
+                    .sum::<u64>();
             self.bytes_budget -= sess_bytes as i64;
             let slot = match self.free_slots.pop() {
                 Some(s) => {
@@ -350,13 +358,23 @@ fn build_tcp_session(
     let resp_bytes = payload_size.saturating_sub(req_bytes).max(64);
 
     // Plan pattern embedding near the start of request/response.
-    let mut req_plan = DirPlan { total: req_bytes, embeds: Vec::new() };
-    let mut resp_plan = DirPlan { total: resp_bytes, embeds: Vec::new() };
+    let mut req_plan = DirPlan {
+        total: req_bytes,
+        embeds: Vec::new(),
+    };
+    let mut resp_plan = DirPlan {
+        total: resp_bytes,
+        embeds: Vec::new(),
+    };
     if let Some(pats) = &cfg.patterns {
         if !pats.is_empty() && rng.random::<f64>() < cfg.pattern_prob {
             let pat = Arc::new(pats[rng.random_range(0..pats.len())].clone());
             let into_resp = rng.random::<f64>() < 0.5;
-            let plan = if into_resp { &mut resp_plan } else { &mut req_plan };
+            let plan = if into_resp {
+                &mut resp_plan
+            } else {
+                &mut req_plan
+            };
             if plan.total > pat.len() as u64 {
                 // Within the first ~2 KB, like real web-attack signatures.
                 let max_off = (plan.total - pat.len() as u64).min(2048);
@@ -380,27 +398,48 @@ fn build_tcp_session(
 
     // Handshake.
     let mut t = t0;
-    pkts.push(Packet::new(t, tcp(client, server, cport, sport, isn_c, 0, TcpFlags::SYN, b"")));
-    t += rtt_ns / 2;
     pkts.push(Packet::new(
         t,
-        tcp(server, client, sport, cport, isn_s, isn_c.wrapping_add(1), TcpFlags::SYN | TcpFlags::ACK, b""),
+        tcp(client, server, cport, sport, isn_c, 0, TcpFlags::SYN, b""),
     ));
     t += rtt_ns / 2;
     pkts.push(Packet::new(
         t,
-        tcp(client, server, cport, sport, isn_c.wrapping_add(1), isn_s.wrapping_add(1), TcpFlags::ACK, b""),
+        tcp(
+            server,
+            client,
+            sport,
+            cport,
+            isn_s,
+            isn_c.wrapping_add(1),
+            TcpFlags::SYN | TcpFlags::ACK,
+            b"",
+        ),
+    ));
+    t += rtt_ns / 2;
+    pkts.push(Packet::new(
+        t,
+        tcp(
+            client,
+            server,
+            cport,
+            sport,
+            isn_c.wrapping_add(1),
+            isn_s.wrapping_add(1),
+            TcpFlags::ACK,
+            b"",
+        ),
     ));
 
     // One direction's data: emit MSS segments with periodic ACKs from the
     // receiver; returns the time after the last packet.
     let send_dir = |pkts: &mut Vec<Packet>,
-                        rng: &mut StdRng,
-                        start_t: u64,
-                        plan: &DirPlan,
-                        dir: u8,
-                        from: ([u8; 4], u16, u32),
-                        to: ([u8; 4], u16, u32)|
+                    rng: &mut StdRng,
+                    start_t: u64,
+                    plan: &DirPlan,
+                    dir: u8,
+                    from: ([u8; 4], u16, u32),
+                    to: ([u8; 4], u16, u32)|
      -> (u64, u32) {
         let (src, sp, isn) = from;
         let (dst, dp, peer_isn) = to;
@@ -415,13 +454,34 @@ fn build_tcp_session(
             if off + len as u64 >= plan.total {
                 flags = flags | TcpFlags::PSH;
             }
-            pkts.push(Packet::new(t, tcp(src, dst, sp, dp, seq, peer_isn.wrapping_add(1), flags, &payload)));
+            pkts.push(Packet::new(
+                t,
+                tcp(
+                    src,
+                    dst,
+                    sp,
+                    dp,
+                    seq,
+                    peer_isn.wrapping_add(1),
+                    flags,
+                    &payload,
+                ),
+            ));
 
             // Wire imperfections.
             if rng.random::<f64>() < cfg.retrans_prob {
                 pkts.push(Packet::new(
                     t + rtt_ns,
-                    tcp(src, dst, sp, dp, seq, peer_isn.wrapping_add(1), flags, &payload),
+                    tcp(
+                        src,
+                        dst,
+                        sp,
+                        dp,
+                        seq,
+                        peer_isn.wrapping_add(1),
+                        flags,
+                        &payload,
+                    ),
                 ));
             }
             if rng.random::<f64>() < cfg.overlap_prob && len > 16 {
@@ -496,22 +556,58 @@ fn build_tcp_session(
     if rng.random::<f64>() < cfg.rst_prob {
         pkts.push(Packet::new(
             t,
-            tcp(server, client, sport, cport, resp_end_seq, req_end_seq, TcpFlags::RST, b""),
+            tcp(
+                server,
+                client,
+                sport,
+                cport,
+                resp_end_seq,
+                req_end_seq,
+                TcpFlags::RST,
+                b"",
+            ),
         ));
     } else {
         pkts.push(Packet::new(
             t,
-            tcp(server, client, sport, cport, resp_end_seq, req_end_seq, TcpFlags::FIN | TcpFlags::ACK, b""),
+            tcp(
+                server,
+                client,
+                sport,
+                cport,
+                resp_end_seq,
+                req_end_seq,
+                TcpFlags::FIN | TcpFlags::ACK,
+                b"",
+            ),
         ));
         t += rtt_ns / 2;
         pkts.push(Packet::new(
             t,
-            tcp(client, server, cport, sport, req_end_seq, resp_end_seq.wrapping_add(1), TcpFlags::FIN | TcpFlags::ACK, b""),
+            tcp(
+                client,
+                server,
+                cport,
+                sport,
+                req_end_seq,
+                resp_end_seq.wrapping_add(1),
+                TcpFlags::FIN | TcpFlags::ACK,
+                b"",
+            ),
         ));
         t += rtt_ns / 2;
         pkts.push(Packet::new(
             t,
-            tcp(server, client, sport, cport, resp_end_seq.wrapping_add(1), req_end_seq.wrapping_add(1), TcpFlags::ACK, b""),
+            tcp(
+                server,
+                client,
+                sport,
+                cport,
+                resp_end_seq.wrapping_add(1),
+                req_end_seq.wrapping_add(1),
+                TcpFlags::ACK,
+                b"",
+            ),
         ));
     }
 
@@ -546,7 +642,10 @@ fn build_dns_session(rng: &mut StdRng, flow_seed: u64, t0: u64) -> Vec<Packet> {
     let rtt = rng.random_range(1_000_000..8_000_000u64);
     vec![
         Packet::new(t0, PacketBuilder::udp_v4(client, server, cport, 53, &q)),
-        Packet::new(t0 + rtt, PacketBuilder::udp_v4(server, client, 53, cport, &r)),
+        Packet::new(
+            t0 + rtt,
+            PacketBuilder::udp_v4(server, client, 53, cport, &r),
+        ),
     ]
 }
 
@@ -579,11 +678,23 @@ fn build_icmp_session(rng: &mut StdRng, flow_seed: u64, t0: u64) -> Vec<Packet> 
         let payload = vec![0x61u8; 56];
         out.push(Packet::new(
             t,
-            PacketBuilder::icmp_echo_v4(client, server, (flow_seed >> 8) as u16, i as u16, &payload),
+            PacketBuilder::icmp_echo_v4(
+                client,
+                server,
+                (flow_seed >> 8) as u16,
+                i as u16,
+                &payload,
+            ),
         ));
         out.push(Packet::new(
             t + rng.random_range(1_000_000..20_000_000u64),
-            PacketBuilder::icmp_echo_v4(server, client, (flow_seed >> 8) as u16, i as u16, &payload),
+            PacketBuilder::icmp_echo_v4(
+                server,
+                client,
+                (flow_seed >> 8) as u16,
+                i as u16,
+                &payload,
+            ),
         ));
     }
     out
@@ -614,7 +725,11 @@ mod tests {
         let pkts = CampusMix::new(CampusMixConfig::sized(42, 24 << 20)).collect_all();
         let stats = TraceStats::from_packets(pkts.iter());
         // Total size close to the target.
-        assert!(stats.total_bytes > 20 << 20, "bytes = {}", stats.total_bytes);
+        assert!(
+            stats.total_bytes > 20 << 20,
+            "bytes = {}",
+            stats.total_bytes
+        );
         // TCP dominates bytes (paper: 95.4 %).
         let tcp_share = stats.tcp_bytes as f64 / stats.total_bytes as f64;
         assert!(tcp_share > 0.90, "tcp byte share = {tcp_share:.3}");
@@ -695,7 +810,10 @@ mod tests {
     fn session_with_overlap_consistent_bytes() {
         // Overlapping segments must carry identical bytes for the same
         // stream offsets (fill_payload determinism).
-        let plan = DirPlan { total: 5000, embeds: vec![] };
+        let plan = DirPlan {
+            total: 5000,
+            embeds: vec![],
+        };
         let s1 = plan.segment(99, 0, 1000, 100);
         let s2 = plan.segment(99, 0, 1050, 100);
         assert_eq!(&s1[50..], &s2[..50]);

@@ -24,7 +24,49 @@ pub use gen::{CampusMix, CampusMixConfig};
 pub use replay::RateReplay;
 pub use stats::TraceStats;
 
-use bytes::Bytes;
+use std::sync::Arc;
+
+/// A cheaply-clonable, immutable byte buffer (reference-counted).
+///
+/// Stands in for `bytes::Bytes` with the subset of behaviour the
+/// workspace relies on: shared ownership, `Deref` to `[u8]`, and
+/// equality by contents. Frames are immutable once captured, so the
+/// slicing machinery of the real crate is unnecessary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Length in bytes.
+    #[allow(clippy::len_without_is_empty)] // is_empty comes via Deref.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v.into())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.into())
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
 
 /// One captured packet: a timestamp and an owned frame.
 ///

@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let buf = vec![0u8; 24];
+        let buf = [0u8; 24];
         assert!(matches!(
             PcapReader::new(&buf[..]),
             Err(TraceError::BadMagic(0))

@@ -147,8 +147,7 @@ mod tests {
     #[test]
     fn ordering_preserved() {
         let t = trace(50, 123_456, 64);
-        let replayed: Vec<Packet> =
-            RateReplay::new(t.into_iter(), 1e9, 3.3e9).collect();
+        let replayed: Vec<Packet> = RateReplay::new(t.into_iter(), 1e9, 3.3e9).collect();
         assert!(replayed.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
     }
 }

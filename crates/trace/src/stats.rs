@@ -136,14 +136,32 @@ mod tests {
 
     #[test]
     fn counts_by_protocol() {
-        let pkts = vec![
+        let pkts = [
             Packet::new(
                 0,
-                PacketBuilder::tcp_v4([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 0, 0, TcpFlags::SYN, b"abc"),
+                PacketBuilder::tcp_v4(
+                    [1, 1, 1, 1],
+                    [2, 2, 2, 2],
+                    1,
+                    2,
+                    0,
+                    0,
+                    TcpFlags::SYN,
+                    b"abc",
+                ),
             ),
             Packet::new(
                 1_000_000_000,
-                PacketBuilder::tcp_v4([2, 2, 2, 2], [1, 1, 1, 1], 2, 1, 0, 0, TcpFlags::SYN | TcpFlags::ACK, b""),
+                PacketBuilder::tcp_v4(
+                    [2, 2, 2, 2],
+                    [1, 1, 1, 1],
+                    2,
+                    1,
+                    0,
+                    0,
+                    TcpFlags::SYN | TcpFlags::ACK,
+                    b"",
+                ),
             ),
             Packet::new(
                 2_000_000_000,

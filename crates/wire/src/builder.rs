@@ -20,12 +20,14 @@ pub struct PacketBuilder;
 
 impl PacketBuilder {
     /// Total header overhead of a TCP/IPv4 frame (Ethernet+IP+TCP).
-    pub const TCP_V4_OVERHEAD: usize =
-        ethernet::EthernetFrame::HEADER_LEN + ipv4::Ipv4Packet::MIN_HEADER_LEN + tcp::TcpPacket::MIN_HEADER_LEN;
+    pub const TCP_V4_OVERHEAD: usize = ethernet::EthernetFrame::HEADER_LEN
+        + ipv4::Ipv4Packet::MIN_HEADER_LEN
+        + tcp::TcpPacket::MIN_HEADER_LEN;
 
     /// Total header overhead of a UDP/IPv4 frame.
-    pub const UDP_V4_OVERHEAD: usize =
-        ethernet::EthernetFrame::HEADER_LEN + ipv4::Ipv4Packet::MIN_HEADER_LEN + udp::UdpPacket::HEADER_LEN;
+    pub const UDP_V4_OVERHEAD: usize = ethernet::EthernetFrame::HEADER_LEN
+        + ipv4::Ipv4Packet::MIN_HEADER_LEN
+        + udp::UdpPacket::HEADER_LEN;
 
     /// Build a TCP/IPv4 frame.
     #[allow(clippy::too_many_arguments)]
@@ -69,12 +71,8 @@ impl PacketBuilder {
             },
         );
         l4[tcp_len..].copy_from_slice(payload);
-        let mut sum = checksum::pseudo_header_v4(
-            src,
-            dst,
-            ip_proto::TCP,
-            (tcp_len + payload.len()) as u16,
-        );
+        let mut sum =
+            checksum::pseudo_header_v4(src, dst, ip_proto::TCP, (tcp_len + payload.len()) as u16);
         sum.push(l4);
         let c = sum.finish();
         frame[eth_len + ip_len + 16..eth_len + ip_len + 18].copy_from_slice(&c.to_be_bytes());
@@ -109,12 +107,8 @@ impl PacketBuilder {
         let l4 = &mut frame[eth_len + ip_len..];
         udp::emit_header(l4, src_port, dst_port, payload.len() as u16);
         l4[udp_len..].copy_from_slice(payload);
-        let mut sum = checksum::pseudo_header_v4(
-            src,
-            dst,
-            ip_proto::UDP,
-            (udp_len + payload.len()) as u16,
-        );
+        let mut sum =
+            checksum::pseudo_header_v4(src, dst, ip_proto::UDP, (udp_len + payload.len()) as u16);
         sum.push(l4);
         let c = match sum.finish() {
             0 => 0xFFFF, // RFC 768: transmitted zero means "no checksum"
@@ -165,12 +159,8 @@ impl PacketBuilder {
             },
         );
         l4[tcp_len..].copy_from_slice(payload);
-        let mut sum = checksum::pseudo_header_v6(
-            src,
-            dst,
-            ip_proto::TCP,
-            (tcp_len + payload.len()) as u32,
-        );
+        let mut sum =
+            checksum::pseudo_header_v6(src, dst, ip_proto::TCP, (tcp_len + payload.len()) as u32);
         sum.push(l4);
         let c = sum.finish();
         frame[eth_len + ip_len + 16..eth_len + ip_len + 18].copy_from_slice(&c.to_be_bytes());
@@ -178,7 +168,13 @@ impl PacketBuilder {
     }
 
     /// Build an ICMP echo frame (background noise in the campus mix).
-    pub fn icmp_echo_v4(src: [u8; 4], dst: [u8; 4], ident: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
+    pub fn icmp_echo_v4(
+        src: [u8; 4],
+        dst: [u8; 4],
+        ident: u16,
+        seq: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
         let eth_len = ethernet::EthernetFrame::HEADER_LEN;
         let ip_len = ipv4::Ipv4Packet::MIN_HEADER_LEN;
         let icmp_len = icmp::IcmpPacket::HEADER_LEN;

@@ -95,6 +95,9 @@ mod tests {
 
     #[test]
     fn short_buffer_rejected() {
-        assert_eq!(IcmpPacket::new_checked(&[0u8; 7]), Err(WireError::Truncated));
+        assert_eq!(
+            IcmpPacket::new_checked(&[0u8; 7]),
+            Err(WireError::Truncated)
+        );
     }
 }

@@ -303,8 +303,7 @@ mod tests {
 
     #[test]
     fn parse_udp_frame_roundtrip() {
-        let frame =
-            PacketBuilder::udp_v4([192, 168, 1, 1], [8, 8, 8, 8], 5353, 53, b"dns-query");
+        let frame = PacketBuilder::udp_v4([192, 168, 1, 1], [8, 8, 8, 8], 5353, 53, b"dns-query");
         let p = parse_frame(&frame).unwrap();
         assert!(p.is_udp());
         assert_eq!(p.payload(), b"dns-query");
@@ -314,8 +313,7 @@ mod tests {
     fn parse_frame_honours_ip_total_len_padding() {
         // Ethernet frames are padded to 60 bytes; payload extraction must
         // follow the IP total-length field, not the frame length.
-        let mut frame =
-            PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 10, 20, b"x");
+        let mut frame = PacketBuilder::udp_v4([1, 1, 1, 1], [2, 2, 2, 2], 10, 20, b"x");
         while frame.len() < 60 {
             frame.push(0xAA);
         }

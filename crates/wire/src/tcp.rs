@@ -341,7 +341,7 @@ mod tests {
             3, 3, 7, // Window scale 7
             0, // EOL
         ];
-        let dataoff = (20 + opts.len() + 3) / 4; // round up to 4
+        let dataoff = (20 + opts.len()).div_ceil(4); // round up to 4
         let padded = dataoff * 4 - 20;
         buf[12] = (dataoff as u8) << 4;
         buf.extend_from_slice(&opts);

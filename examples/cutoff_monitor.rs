@@ -29,7 +29,8 @@ fn main() {
         .cutoff(CUTOFF)
         .use_fdir(true) // drop cutoff tails at the (emulated) NIC
         .worker_threads(2)
-        .build();
+        .try_build()
+        .expect("valid configuration");
 
     {
         let captured = captured.clone();
@@ -59,7 +60,9 @@ fn main() {
     );
     println!(
         "discarded early:      {:>12} bytes ({} packets, {} of them at the NIC)",
-        stats.stack.discarded_bytes, stats.stack.discarded_packets, stats.stack.nic_filtered_packets
+        stats.stack.discarded_bytes,
+        stats.stack.discarded_packets,
+        stats.stack.nic_filtered_packets
     );
     println!(
         "flow records intact:  {:>12} streams (largest observed flow: {} bytes)",

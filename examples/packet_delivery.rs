@@ -10,11 +10,11 @@
 //!
 //! Run with: `cargo run --release --example packet_delivery`
 
-use parking_lot::Mutex;
 use scap::{Scap, StreamCtx};
 use scap_trace::gen::{CampusMix, CampusMixConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 fn main() {
     let traffic = CampusMix::new(CampusMixConfig::sized(5, 8 << 20));
@@ -32,12 +32,13 @@ fn main() {
         .memory(64 << 20)
         .need_packets(true)
         .worker_threads(2)
-        .build();
+        .try_build()
+        .expect("valid configuration");
 
     {
         let telemetry = telemetry.clone();
         scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
-            let mut t = telemetry.lock();
+            let mut t = telemetry.lock().unwrap();
             let e = t.entry(ctx.stream.uid).or_default();
             // scap_next_stream_packet(): walk the chunk's packets in
             // capture order, payload slices included.
@@ -53,7 +54,7 @@ fn main() {
 
     let stats = scap.start_capture(traffic);
 
-    let t = telemetry.lock();
+    let t = telemetry.lock().unwrap();
     let total_pkts: u64 = t.values().map(|e| e.packets).sum();
     let tiny: u64 = t.values().map(|e| e.tiny_packets).sum();
     let bytes: u64 = t.values().map(|e| e.payload_bytes).sum();

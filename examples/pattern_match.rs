@@ -9,13 +9,13 @@
 //!
 //! Run with: `cargo run --release --example pattern_match`
 
-use parking_lot::Mutex;
 use scap::{Scap, StreamCtx};
 use scap_patterns::{builtin_web_patterns, AhoCorasick, MatcherState};
 use scap_trace::gen::{CampusMix, CampusMixConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 fn main() {
     // Attack signatures: a small built-in corpus (swap in
@@ -38,23 +38,25 @@ fn main() {
 
     let matches = Arc::new(AtomicU64::new(0));
     // Streaming matcher state per (stream, direction).
-    let states: Arc<Mutex<HashMap<(u64, u8), MatcherState>>> =
-        Arc::new(Mutex::new(HashMap::new()));
+    let states: Arc<Mutex<HashMap<(u64, u8), MatcherState>>> = Arc::new(Mutex::new(HashMap::new()));
 
     let mut scap = Scap::builder()
         .memory(64 << 20)
         .worker_threads(4)
         .chunk_size(16 << 10)
-        .build();
+        .try_build()
+        .expect("valid configuration");
 
     {
         let ac = ac.clone();
         let matches = matches.clone();
         let data_states = states.clone();
         scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
-            let (Some(data), Some(dir)) = (ctx.data, ctx.dir) else { return };
+            let (Some(data), Some(dir)) = (ctx.data, ctx.dir) else {
+                return;
+            };
             let key = (ctx.stream.uid, dir.index() as u8);
-            let mut st = data_states.lock().remove(&key).unwrap_or_default();
+            let mut st = data_states.lock().unwrap().remove(&key).unwrap_or_default();
             ac.scan(&mut st, data, |m| {
                 let n = matches.fetch_add(1, Ordering::Relaxed) + 1;
                 if n <= 10 {
@@ -64,11 +66,11 @@ fn main() {
                     );
                 }
             });
-            data_states.lock().insert(key, st);
+            data_states.lock().unwrap().insert(key, st);
         });
         let states = states.clone();
         scap.dispatch_termination(move |ctx: &StreamCtx<'_>| {
-            let mut s = states.lock();
+            let mut s = states.lock().unwrap();
             s.remove(&(ctx.stream.uid, 0));
             s.remove(&(ctx.stream.uid, 1));
         });

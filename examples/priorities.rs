@@ -23,7 +23,10 @@ fn main() {
     let trace = CampusMix::new(CampusMixConfig::sized(11, 24 << 20)).collect_all();
     let natural = natural_rate_bps(&trace);
 
-    println!("{:>10}  {:>18}  {:>18}", "rate", "low-prio drop %", "high-prio drop %");
+    println!(
+        "{:>10}  {:>18}  {:>18}",
+        "rate", "low-prio drop %", "high-prio drop %"
+    );
     for gbps in [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0] {
         let mut cfg = ScapConfig {
             memory_bytes: 12 << 20, // deliberately tight
@@ -43,14 +46,17 @@ fn main() {
 
         let replayed: Vec<_> =
             RateReplay::new(trace.iter().cloned(), natural, gbps * 1e9).collect();
-        let mut stack = ScapSimStack::new(
-            ScapKernel::new(cfg),
-            PatternMatchApp::new(ac.clone()),
-        );
+        let mut stack = ScapSimStack::new(ScapKernel::new(cfg), PatternMatchApp::new(ac.clone()));
         Engine::new(EngineConfig::default()).run(replayed, &mut stack);
 
         let s = stack.kernel().stats();
-        let pct = |d: u64, w: u64| if w == 0 { 0.0 } else { 100.0 * d as f64 / w as f64 };
+        let pct = |d: u64, w: u64| {
+            if w == 0 {
+                0.0
+            } else {
+                100.0 * d as f64 / w as f64
+            }
+        };
         println!(
             "{:>7.1} G  {:>17.1}%  {:>17.1}%",
             gbps,

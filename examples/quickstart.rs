@@ -25,7 +25,8 @@ fn main() {
         .memory(64 << 20)
         .cutoff(0) // discard all stream data; statistics only
         .worker_threads(2)
-        .build();
+        .try_build()
+        .expect("valid configuration");
 
     // scap_dispatch_termination(sc, stream_close);
     let n = exported.clone();

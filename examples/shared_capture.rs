@@ -58,7 +58,11 @@ fn main() {
     let cfg = union_config(base, &slots, false).expect("filters compile");
     println!(
         "kernel generalization: filter = {}, default cutoff = {:?}",
-        if cfg.filter.is_some() { "union of app filters" } else { "none (an app wants everything)" },
+        if cfg.filter.is_some() {
+            "union of app filters"
+        } else {
+            "none (an app wants everything)"
+        },
         cfg.cutoff.default,
     );
 
@@ -66,7 +70,10 @@ fn main() {
     // Unbounded-CPU engine: this example demonstrates sharing semantics,
     // not overload behaviour.
     let report = Engine::new(EngineConfig {
-        model: CostModel { core_hz: 1e15, ..CostModel::default() },
+        model: CostModel {
+            core_hz: 1e15,
+            ..CostModel::default()
+        },
         ..EngineConfig::default()
     })
     .run(traffic, &mut stack);

@@ -1,0 +1,188 @@
+//! Chaos: the full live capture pipeline under a seeded fault storm —
+//! mangled frames, flow-director install failures, RX ring stalls, arena
+//! squeezes, and worker threads that panic or wedge mid-dispatch.
+//!
+//! The invariants under test are the graceful-degradation claims: the
+//! process never panics, every wire packet still takes exactly one exit
+//! (delivered / dropped / discarded), hardware-offload failures degrade
+//! to software enforcement, dead workers are replaced, and the overload
+//! governor steps back down once the storm passes.
+
+use scap::{FaultPlan, Scap, ScapConfig, ScapKernel, StreamCtx};
+use scap_trace::gen::{CampusMix, CampusMixConfig};
+use scap_trace::Packet;
+use scap_wire::PacketBuilder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SEED: u64 = 11;
+
+/// Campus traffic followed by a calm tail: two seconds of keepalive-grade
+/// packets past the configured fault windows, so timers keep firing and
+/// the governor has quiet time to de-escalate before the capture ends.
+fn storm_trace() -> Vec<Packet> {
+    let mut pkts = CampusMix::new(CampusMixConfig::sized(SEED, 4 << 20)).collect_all();
+    let start = pkts.last().map_or(0, |p| p.ts_ns);
+    for i in 0..220u64 {
+        let ts = start + (i + 1) * 10_000_000;
+        pkts.push(Packet::new(
+            ts,
+            PacketBuilder::udp_v4([10, 1, 1, 1], [10, 1, 1, 2], 9999, 53, b"ping"),
+        ));
+    }
+    pkts
+}
+
+#[test]
+fn fault_storm_degrades_gracefully_and_recovers() {
+    let touched = Arc::new(AtomicU64::new(0));
+    let mut scap = Scap::builder()
+        .worker_threads(2)
+        .use_fdir(true)
+        .cutoff(8 << 10)
+        .memory(8 << 20)
+        .inactivity_timeout_ns(500_000_000)
+        .fault_plan(FaultPlan::storm(SEED))
+        .try_build()
+        .unwrap();
+    let t = touched.clone();
+    scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
+        t.fetch_add(ctx.data.map_or(0, |d| d.len() as u64), Ordering::Relaxed);
+    });
+    let stats = scap.start_capture(storm_trace());
+
+    // Packet conservation: every frame the NIC saw took exactly one exit.
+    let st = &stats.stack;
+    assert_eq!(
+        st.wire_packets,
+        st.delivered_packets + st.dropped_packets + st.discarded_packets,
+        "conservation violated: wire={} delivered={} dropped={} discarded={}",
+        st.wire_packets,
+        st.delivered_packets,
+        st.dropped_packets,
+        st.discarded_packets,
+    );
+    assert!(
+        touched.load(Ordering::Relaxed) > 0,
+        "capture still delivers data"
+    );
+
+    let r = &stats.resilience;
+    // Frame-level mangling registered.
+    assert!(r.frames_corrupted > 0, "{r:?}");
+    assert!(r.frames_truncated > 0, "{r:?}");
+    assert!(r.frames_duplicated > 0, "{r:?}");
+    assert!(r.frames_reordered > 0, "{r:?}");
+    // Hardware offload degraded but recovered: at least one retry
+    // eventually installed, and at least one stream fell back to the
+    // software cutoff after exhausting its retry budget.
+    assert!(r.fdir_transient_failures > 0, "{r:?}");
+    assert!(r.fdir_retries > 0, "{r:?}");
+    assert!(r.fdir_retry_successes >= 1, "{r:?}");
+    assert!(r.fdir_fallback_software >= 1, "{r:?}");
+    // Worker faults: one injected panic, one injected 80 ms wedge; the
+    // watchdog must have noticed both and spawned replacements.
+    assert!(r.worker_panics >= 1, "{r:?}");
+    assert!(r.worker_stalls_detected >= 1, "{r:?}");
+    assert!(r.worker_restarts >= 2, "{r:?}");
+    // The overload governor escalated under the arena squeeze and stepped
+    // back down to normal during the calm tail.
+    assert!(r.arena_spikes >= 1, "{r:?}");
+    assert!(r.governor_max_level >= 1, "{r:?}");
+    assert!(r.governor_transitions >= 2, "{r:?}");
+    assert_eq!(
+        r.governor_level, 0,
+        "governor must return to level 0: {r:?}"
+    );
+
+    // The damage report mirrors the counters.
+    let err = scap
+        .last_capture_error()
+        .expect("worker failures must be reported");
+    assert!(err.panics() >= 1, "{err}");
+    assert!(err.stalls() >= 1, "{err}");
+}
+
+#[test]
+fn ring_stalls_register_without_losing_accounting() {
+    // Synchronous kernel drive (no workers): ring stall windows and arena
+    // spikes fire deterministically on the trace clock.
+    let plan = FaultPlan::storm(SEED);
+    let (packets, frame_stats) = scap::live::mangle_packets(&plan, storm_trace());
+    let mut kernel = ScapKernel::new(ScapConfig {
+        use_fdir: true,
+        faults: Some(plan),
+        ..ScapConfig::default()
+    });
+    kernel.note_frame_faults(frame_stats);
+    let mut now = 0;
+    for pkt in &packets {
+        now = pkt.ts_ns;
+        kernel.nic_receive(pkt);
+        for core in 0..kernel.ncores() {
+            while kernel.kernel_poll(core, now).is_some() {}
+            kernel.kernel_timers(core, now);
+            while let Some(ev) = kernel.next_event(core) {
+                if let scap::EventKind::Data { dir, chunk, .. } = ev.kind {
+                    kernel.release_data(ev.stream.uid, dir, chunk);
+                }
+            }
+        }
+    }
+    kernel.finish(now.saturating_add(1));
+    for core in 0..kernel.ncores() {
+        while let Some(ev) = kernel.next_event(core) {
+            if let scap::EventKind::Data { dir, chunk, .. } = ev.kind {
+                kernel.release_data(ev.stream.uid, dir, chunk);
+            }
+        }
+    }
+    let stats = kernel.stats();
+    let st = &stats.stack;
+    assert_eq!(
+        st.wire_packets,
+        st.delivered_packets + st.dropped_packets + st.discarded_packets,
+    );
+    assert!(
+        stats.resilience.ring_stall_windows >= 1,
+        "{:?}",
+        stats.resilience
+    );
+    assert!(stats.resilience.arena_spikes >= 1, "{:?}", stats.resilience);
+}
+
+#[test]
+fn storm_capture_is_deterministic_per_seed() {
+    // Two synchronous runs with the same seed must agree exactly — the
+    // property the `--exp faults` table relies on.
+    let run = || {
+        let plan = FaultPlan::storm(77);
+        let (packets, frame_stats) = scap::live::mangle_packets(&plan, storm_trace());
+        let mut kernel = ScapKernel::new(ScapConfig {
+            use_fdir: true,
+            faults: Some(plan),
+            ..ScapConfig::default()
+        });
+        kernel.note_frame_faults(frame_stats);
+        let mut now = 0;
+        for pkt in &packets {
+            now = pkt.ts_ns;
+            kernel.nic_receive(pkt);
+            for core in 0..kernel.ncores() {
+                while kernel.kernel_poll(core, now).is_some() {}
+                kernel.kernel_timers(core, now);
+                while let Some(ev) = kernel.next_event(core) {
+                    if let scap::EventKind::Data { dir, chunk, .. } = ev.kind {
+                        kernel.release_data(ev.stream.uid, dir, chunk);
+                    }
+                }
+            }
+        }
+        kernel.finish(now.saturating_add(1));
+        kernel.stats()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.stack, b.stack);
+    assert_eq!(a.resilience, b.resilience);
+}

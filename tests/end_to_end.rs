@@ -66,23 +66,26 @@ fn live_and_sim_drivers_agree_on_matches() {
     // live threaded driver must find exactly the same.
     let ac = Arc::new(AhoCorasick::new(&pats, false));
     let found = Arc::new(AtomicU64::new(0));
-    let states: Arc<parking_lot::Mutex<std::collections::HashMap<(u64, u8), MatcherState>>> =
-        Arc::new(parking_lot::Mutex::new(Default::default()));
+    let states: Arc<std::sync::Mutex<std::collections::HashMap<(u64, u8), MatcherState>>> =
+        Arc::new(std::sync::Mutex::new(Default::default()));
 
     let mut scap = Scap::builder()
         .worker_threads(4)
         .inactivity_timeout_ns(500_000_000)
-        .build();
+        .try_build()
+        .unwrap();
     {
         let ac = ac.clone();
         let found = found.clone();
         let states = states.clone();
         scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
-            let (Some(data), Some(dir)) = (ctx.data, ctx.dir) else { return };
+            let (Some(data), Some(dir)) = (ctx.data, ctx.dir) else {
+                return;
+            };
             let key = (ctx.stream.uid, dir.index() as u8);
-            let mut st = states.lock().remove(&key).unwrap_or_default();
+            let mut st = states.lock().unwrap().remove(&key).unwrap_or_default();
             found.fetch_add(ac.count(&mut st, data), Ordering::Relaxed);
-            states.lock().insert(key, st);
+            states.lock().unwrap().insert(key, st);
         });
     }
     scap.start_capture(trace);
@@ -124,7 +127,8 @@ fn live_driver_reassembles_exact_payload_bytes() {
     let mut scap = Scap::builder()
         .worker_threads(2)
         .inactivity_timeout_ns(500_000_000)
-        .build();
+        .try_build()
+        .unwrap();
     {
         let delivered = delivered.clone();
         scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
@@ -178,10 +182,19 @@ fn keep_chunk_merges_into_next_delivery() {
             while kernel.kernel_poll(core, now).is_some() {}
         }
     };
-    feed(&mut kernel, PacketBuilder::tcp_v4(c, s, 7, 80, 100, 0, TcpFlags::SYN, b""));
-    feed(&mut kernel, PacketBuilder::tcp_v4(s, c, 80, 7, 500, 101, TcpFlags::SYN | TcpFlags::ACK, b""));
+    feed(
+        &mut kernel,
+        PacketBuilder::tcp_v4(c, s, 7, 80, 100, 0, TcpFlags::SYN, b""),
+    );
+    feed(
+        &mut kernel,
+        PacketBuilder::tcp_v4(s, c, 80, 7, 500, 101, TcpFlags::SYN | TcpFlags::ACK, b""),
+    );
     // First 1 KB chunk completes.
-    feed(&mut kernel, PacketBuilder::tcp_v4(c, s, 7, 80, 101, 501, TcpFlags::ACK, &[b'a'; 1024]));
+    feed(
+        &mut kernel,
+        PacketBuilder::tcp_v4(c, s, 7, 80, 101, 501, TcpFlags::ACK, &[b'a'; 1024]),
+    );
 
     let next_data = |kernel: &mut ScapKernel| -> Option<scap::Event> {
         for core in 0..kernel.ncores() {
@@ -199,7 +212,9 @@ fn keep_chunk_merges_into_next_delivery() {
 
     let ev1 = next_data(&mut kernel).expect("first chunk");
     let uid = ev1.stream.uid;
-    let EventKind::Data { chunk, dir, .. } = ev1.kind else { unreachable!() };
+    let EventKind::Data { chunk, dir, .. } = ev1.kind else {
+        unreachable!()
+    };
     assert_eq!(chunk.len, 1024);
     assert_eq!(chunk.start_offset, 0);
     assert_eq!(dir, ev1.stream.first_dir);
@@ -208,10 +223,18 @@ fn keep_chunk_merges_into_next_delivery() {
     kernel.release_data(uid, dir, chunk);
 
     // Second 1 KB of data: its completed chunk must come out merged.
-    feed(&mut kernel, PacketBuilder::tcp_v4(c, s, 7, 80, 1125, 501, TcpFlags::ACK, &[b'b'; 1024]));
+    feed(
+        &mut kernel,
+        PacketBuilder::tcp_v4(c, s, 7, 80, 1125, 501, TcpFlags::ACK, &[b'b'; 1024]),
+    );
     let ev2 = next_data(&mut kernel).expect("merged chunk");
-    let EventKind::Data { chunk, .. } = ev2.kind else { unreachable!() };
-    assert_eq!(chunk.start_offset, 0, "merged chunk restarts at the kept offset");
+    let EventKind::Data { chunk, .. } = ev2.kind else {
+        unreachable!()
+    };
+    assert_eq!(
+        chunk.start_offset, 0,
+        "merged chunk restarts at the kept offset"
+    );
     assert_eq!(chunk.len, 2048, "kept + next chunk");
     assert_eq!(&chunk.bytes()[..1024], &[b'a'; 1024][..]);
     assert_eq!(&chunk.bytes()[1024..], &[b'b'; 1024][..]);

@@ -28,10 +28,22 @@ fn session(segments: &[(u32, &[u8])]) -> Vec<Packet> {
         t
     };
     let mut pkts = vec![
-        Packet::new(nt(), PacketBuilder::tcp_v4(C, S, CP, SP, isn_c, 0, TcpFlags::SYN, b"")),
         Packet::new(
             nt(),
-            PacketBuilder::tcp_v4(S, C, SP, CP, isn_s, isn_c + 1, TcpFlags::SYN | TcpFlags::ACK, b""),
+            PacketBuilder::tcp_v4(C, S, CP, SP, isn_c, 0, TcpFlags::SYN, b""),
+        ),
+        Packet::new(
+            nt(),
+            PacketBuilder::tcp_v4(
+                S,
+                C,
+                SP,
+                CP,
+                isn_s,
+                isn_c + 1,
+                TcpFlags::SYN | TcpFlags::ACK,
+                b"",
+            ),
         ),
         Packet::new(
             nt(),
@@ -43,7 +55,10 @@ fn session(segments: &[(u32, &[u8])]) -> Vec<Packet> {
         pkts.push(Packet::new(
             nt(),
             PacketBuilder::tcp_v4(
-                C, S, CP, SP,
+                C,
+                S,
+                CP,
+                SP,
                 isn_c + 1 + off,
                 isn_s + 1,
                 TcpFlags::ACK | TcpFlags::PSH,
@@ -55,28 +70,47 @@ fn session(segments: &[(u32, &[u8])]) -> Vec<Packet> {
     let end_seq = isn_c + 1 + max_end;
     pkts.push(Packet::new(
         nt(),
-        PacketBuilder::tcp_v4(C, S, CP, SP, end_seq, isn_s + 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+        PacketBuilder::tcp_v4(
+            C,
+            S,
+            CP,
+            SP,
+            end_seq,
+            isn_s + 1,
+            TcpFlags::FIN | TcpFlags::ACK,
+            b"",
+        ),
     ));
     pkts.push(Packet::new(
         nt(),
-        PacketBuilder::tcp_v4(S, C, SP, CP, isn_s + 1, end_seq + 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+        PacketBuilder::tcp_v4(
+            S,
+            C,
+            SP,
+            CP,
+            isn_s + 1,
+            end_seq + 1,
+            TcpFlags::FIN | TcpFlags::ACK,
+            b"",
+        ),
     ));
     pkts
 }
 
 /// Capture a session with a policy; return (reassembled bytes, errors).
 fn capture(policy: OverlapPolicy, pkts: Vec<Packet>) -> (Vec<u8>, StreamErrors) {
-    let data = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let data = Arc::new(std::sync::Mutex::new(Vec::new()));
     let errs = Arc::new(AtomicU64::new(0));
     let mut scap = Scap::builder()
         .overlap_policy(policy)
         .inactivity_timeout_ns(500_000_000)
-        .build();
+        .try_build()
+        .unwrap();
     {
         let data = data.clone();
         scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
             if let Some(d) = ctx.data {
-                data.lock().extend_from_slice(d);
+                data.lock().unwrap().extend_from_slice(d);
             }
         });
         let errs = errs.clone();
@@ -85,7 +119,7 @@ fn capture(policy: OverlapPolicy, pkts: Vec<Packet>) -> (Vec<u8>, StreamErrors) 
         });
     }
     scap.start_capture(pkts);
-    let bytes = data.lock().clone();
+    let bytes = data.lock().unwrap().clone();
     (bytes, StreamErrors(errs.load(Ordering::Relaxed) as u8))
 }
 
@@ -104,7 +138,11 @@ fn committed_bytes_cannot_be_rewritten() {
             (16, b"EVIL-PAYLOAD-YYY"),
         ])
     };
-    for policy in [OverlapPolicy::First, OverlapPolicy::Solaris, OverlapPolicy::Linux] {
+    for policy in [
+        OverlapPolicy::First,
+        OverlapPolicy::Solaris,
+        OverlapPolicy::Linux,
+    ] {
         let (got, _errs) = capture(policy, make());
         assert_eq!(&got[16..32], b"benign-suffix-xx", "policy {policy:?}");
     }
@@ -138,7 +176,9 @@ fn buffered_overlap_content_depends_on_policy() {
 #[test]
 fn heavy_reordering_reassembles_exactly() {
     let payload: Vec<u8> = (0..26u8).cycle().take(26 * 40).map(|c| b'a' + c).collect();
-    let mut segs: Vec<(u32, &[u8])> = payload.chunks(40).enumerate()
+    let mut segs: Vec<(u32, &[u8])> = payload
+        .chunks(40)
+        .enumerate()
         .map(|(i, c)| ((i * 40) as u32, c))
         .collect();
     // Reverse order: worst-case buffering.
@@ -159,7 +199,10 @@ fn midstream_data_flagged_but_captured() {
         pkts.push(Packet::new(
             t,
             PacketBuilder::tcp_v4(
-                C, S, CP, SP,
+                C,
+                S,
+                CP,
+                SP,
                 5_000 + i * 100,
                 1,
                 TcpFlags::ACK,
@@ -169,7 +212,10 @@ fn midstream_data_flagged_but_captured() {
     }
     let data = Arc::new(AtomicU64::new(0));
     let flagged = Arc::new(AtomicU64::new(0));
-    let mut scap = Scap::builder().inactivity_timeout_ns(1_000_000).build();
+    let mut scap = Scap::builder()
+        .inactivity_timeout_ns(1_000_000)
+        .try_build()
+        .unwrap();
     {
         let data = data.clone();
         scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
@@ -177,7 +223,11 @@ fn midstream_data_flagged_but_captured() {
         });
         let flagged = flagged.clone();
         scap.dispatch_termination(move |ctx: &StreamCtx<'_>| {
-            if ctx.stream.errors.contains(StreamErrors::INCOMPLETE_HANDSHAKE) {
+            if ctx
+                .stream
+                .errors
+                .contains(StreamErrors::INCOMPLETE_HANDSHAKE)
+            {
                 flagged.fetch_add(1, Ordering::Relaxed);
             }
         });

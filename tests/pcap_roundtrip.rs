@@ -14,7 +14,10 @@ fn pcap_roundtrip_is_lossless() {
     let trace = CampusMix::new(CampusMixConfig::sized(13, 2 << 20)).collect_all();
     let mut buf = Vec::new();
     write_file(&mut buf, &trace).expect("write");
-    let back = PcapReader::new(&buf[..]).expect("open").read_all().expect("read");
+    let back = PcapReader::new(&buf[..])
+        .expect("open")
+        .read_all()
+        .expect("read");
     assert_eq!(trace.len(), back.len());
     assert_eq!(trace, back);
 
@@ -29,7 +32,10 @@ fn capture_results_identical_from_file_replay() {
     let trace = CampusMix::new(CampusMixConfig::sized(29, 2 << 20)).collect_all();
     let mut buf = Vec::new();
     write_file(&mut buf, &trace).expect("write");
-    let reloaded = PcapReader::new(&buf[..]).expect("open").read_all().expect("read");
+    let reloaded = PcapReader::new(&buf[..])
+        .expect("open")
+        .read_all()
+        .expect("read");
 
     let run = |pkts: Vec<scap_trace::Packet>| {
         let mut stack = ScapSimStack::new(

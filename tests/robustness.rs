@@ -68,6 +68,78 @@ proptest! {
         }
         kernel.finish(1);
     }
+
+    /// IPv6 frames with a mangled next-header byte and arbitrary bytes
+    /// where extension headers / payload would sit: parsed or rejected,
+    /// never a panic, and every frame accounted for.
+    #[test]
+    fn ipv6_extension_header_garbage_never_panics(
+        next_header in any::<u8>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let mut frame = PacketBuilder::tcp_v6(
+            [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1],
+            [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2],
+            4000, 443, 1, 1, TcpFlags::ACK, &[0x42; 32],
+        );
+        // Byte 6 of the IPv6 header (after the 14-byte Ethernet header)
+        // is Next Header; arbitrary values turn the TCP header into a
+        // bogus extension-header chain.
+        frame[14 + 6] = next_header;
+        frame.truncate(14 + 40);
+        frame.extend_from_slice(&garbage);
+        let mut kernel = ScapKernel::new(ScapConfig::default());
+        kernel.nic_receive(&Packet::new(0, frame));
+        for c in 0..kernel.ncores() {
+            while kernel.kernel_poll(c, 0).is_some() {}
+        }
+        kernel.finish(1);
+        let st = kernel.stats().stack;
+        prop_assert_eq!(st.wire_packets, 1);
+        prop_assert_eq!(
+            st.delivered_packets + st.dropped_packets + st.discarded_packets, 1
+        );
+    }
+
+    /// Mid-stream timestamp regressions (a clock stepping backwards, a
+    /// capture card reordering batches) never panic the timer machinery,
+    /// and conservation still holds.
+    #[test]
+    fn midstream_timestamp_regressions_never_panic(
+        jumps in proptest::collection::vec((0u64..2_000_000_000, any::<bool>()), 1..20),
+    ) {
+        let c = [10, 0, 0, 1];
+        let s = [10, 0, 0, 2];
+        let mut kernel = ScapKernel::new(ScapConfig::default());
+        let feed = |kernel: &mut ScapKernel, now: u64, frame: Vec<u8>| {
+            kernel.nic_receive(&Packet::new(now, frame));
+            for core in 0..kernel.ncores() {
+                while kernel.kernel_poll(core, now).is_some() {}
+                kernel.kernel_timers(core, now);
+            }
+        };
+        feed(&mut kernel, 1_000_000_000,
+             PacketBuilder::tcp_v4(c, s, 5, 80, 100, 0, TcpFlags::SYN, b""));
+        feed(&mut kernel, 1_001_000_000,
+             PacketBuilder::tcp_v4(s, c, 80, 5, 900, 101, TcpFlags::SYN | TcpFlags::ACK, b""));
+        let mut now = 1_002_000_000u64;
+        let mut seq = 101u32;
+        let mut n = 0u64;
+        for (delta, back) in jumps {
+            now = if back { now.saturating_sub(delta) } else { now.saturating_add(delta) };
+            feed(&mut kernel, now,
+                 PacketBuilder::tcp_v4(c, s, 5, 80, seq, 901, TcpFlags::ACK | TcpFlags::PSH, &[0x43; 100]));
+            seq = seq.wrapping_add(100);
+            n += 1;
+        }
+        kernel.finish(now.saturating_add(1));
+        let st = kernel.stats().stack;
+        prop_assert_eq!(st.wire_packets, n + 2);
+        prop_assert_eq!(
+            st.delivered_packets + st.dropped_packets + st.discarded_packets,
+            n + 2
+        );
+    }
 }
 
 /// Build an IPv6 TCP session (handshake, data both ways, FIN).
@@ -82,7 +154,10 @@ fn v6_session(req: &[u8], resp: &[u8]) -> Vec<Packet> {
         t
     };
     let mut pkts = vec![
-        Packet::new(nt(), PacketBuilder::tcp_v6(c, s, cp, sp, ic, 0, TcpFlags::SYN, b"")),
+        Packet::new(
+            nt(),
+            PacketBuilder::tcp_v6(c, s, cp, sp, ic, 0, TcpFlags::SYN, b""),
+        ),
         Packet::new(
             nt(),
             PacketBuilder::tcp_v6(s, c, sp, cp, is, ic + 1, TcpFlags::SYN | TcpFlags::ACK, b""),
@@ -96,7 +171,16 @@ fn v6_session(req: &[u8], resp: &[u8]) -> Vec<Packet> {
     for chunk in req.chunks(1000) {
         pkts.push(Packet::new(
             nt(),
-            PacketBuilder::tcp_v6(c, s, cp, sp, seq, is + 1, TcpFlags::ACK | TcpFlags::PSH, chunk),
+            PacketBuilder::tcp_v6(
+                c,
+                s,
+                cp,
+                sp,
+                seq,
+                is + 1,
+                TcpFlags::ACK | TcpFlags::PSH,
+                chunk,
+            ),
         ));
         seq += chunk.len() as u32;
     }
@@ -114,7 +198,16 @@ fn v6_session(req: &[u8], resp: &[u8]) -> Vec<Packet> {
     ));
     pkts.push(Packet::new(
         nt(),
-        PacketBuilder::tcp_v6(c, s, cp, sp, seq, sseq + 1, TcpFlags::FIN | TcpFlags::ACK, b""),
+        PacketBuilder::tcp_v6(
+            c,
+            s,
+            cp,
+            sp,
+            seq,
+            sseq + 1,
+            TcpFlags::FIN | TcpFlags::ACK,
+            b"",
+        ),
     ));
     pkts
 }
@@ -126,7 +219,10 @@ fn ipv6_sessions_reassemble_end_to_end() {
     let delivered = Arc::new(AtomicU64::new(0));
     let closed = Arc::new(AtomicU64::new(0));
 
-    let mut scap = Scap::builder().inactivity_timeout_ns(500_000_000).build();
+    let mut scap = Scap::builder()
+        .inactivity_timeout_ns(500_000_000)
+        .try_build()
+        .unwrap();
     {
         let d = delivered.clone();
         scap.dispatch_data(move |ctx: &StreamCtx<'_>| {
@@ -158,8 +254,26 @@ fn ipv6_and_ipv4_coexist_in_one_capture() {
             PacketBuilder::tcp_v4(s, c, 80, 1, 200, 101, TcpFlags::SYN | TcpFlags::ACK, b""),
             PacketBuilder::tcp_v4(c, s, 1, 80, 101, 201, TcpFlags::ACK, &[b'4'; 500]),
         ];
-        v.push(PacketBuilder::tcp_v4(c, s, 1, 80, 601, 201, TcpFlags::FIN | TcpFlags::ACK, b""));
-        v.push(PacketBuilder::tcp_v4(s, c, 80, 1, 201, 602, TcpFlags::FIN | TcpFlags::ACK, b""));
+        v.push(PacketBuilder::tcp_v4(
+            c,
+            s,
+            1,
+            80,
+            601,
+            201,
+            TcpFlags::FIN | TcpFlags::ACK,
+            b"",
+        ));
+        v.push(PacketBuilder::tcp_v4(
+            s,
+            c,
+            80,
+            1,
+            201,
+            602,
+            TcpFlags::FIN | TcpFlags::ACK,
+            b"",
+        ));
         v
     };
     for (i, f) in v4.into_iter().enumerate() {

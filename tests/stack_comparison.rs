@@ -83,7 +83,10 @@ fn stream_delivery_rate_advantage_is_at_least_2x() {
             },
             TouchApp::default(),
         );
-        let nids_drop = engine().run(replayed.clone(), &mut nids).stats.drop_percent();
+        let nids_drop = engine()
+            .run(replayed.clone(), &mut nids)
+            .stats
+            .drop_percent();
         let mut sc = ScapSimStack::new(
             ScapKernel::new(ScapConfig {
                 memory_bytes: ARENA,
@@ -99,11 +102,20 @@ fn stream_delivery_rate_advantage_is_at_least_2x() {
 
     // At 2.5 Gbit/s libnids is already dropping...
     let (nids_25, scap_25) = at(2.5);
-    assert!(nids_25 > 1.0, "libnids at 2.5G should drop (got {nids_25:.1}%)");
-    assert!(scap_25 < 0.1, "scap at 2.5G must be loss-free (got {scap_25:.1}%)");
+    assert!(
+        nids_25 > 1.0,
+        "libnids at 2.5G should drop (got {nids_25:.1}%)"
+    );
+    assert!(
+        scap_25 < 0.1,
+        "scap at 2.5G must be loss-free (got {scap_25:.1}%)"
+    );
     // ...while Scap is still loss-free at twice that rate.
     let (_, scap_5) = at(5.0);
-    assert!(scap_5 < 0.1, "scap at 5G must be loss-free (got {scap_5:.1}%)");
+    assert!(
+        scap_5 < 0.1,
+        "scap at 5G must be loss-free (got {scap_5:.1}%)"
+    );
 }
 
 /// §6.5: at an overload rate, Scap processes substantially more traffic

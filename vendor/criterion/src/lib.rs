@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface `benches/micro.rs` uses — groups, throughput
+//! annotations, `iter`/`iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple calibrated wall-clock
+//! loop instead of criterion's statistical machinery. Good enough to
+//! spot order-of-magnitude regressions without any external deps.
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(300);
+
+/// How batched inputs are grouped between setup calls. Only a hint in
+/// upstream criterion; ignored here (every iteration gets fresh input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Input of unknown size.
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside time-per-iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, repeating it until the measurement window fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + rate estimate.
+        let start = Instant::now();
+        let mut warm = 0u64;
+        while start.elapsed() < Duration::from_millis(30) {
+            bb(routine());
+            warm += 1;
+        }
+        let per = start.elapsed() / warm.max(1) as u32;
+        let target = (MEASURE_TIME.as_nanos() / per.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            bb(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = target;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        // Warm-up pass to estimate the per-iteration cost.
+        let input = setup();
+        let t = Instant::now();
+        bb(routine(input));
+        let per = t.elapsed();
+        let target = (MEASURE_TIME.as_nanos() / per.as_nanos().max(1)).clamp(1, 100_000) as u64;
+        for _ in 0..target {
+            let input = setup();
+            let t = Instant::now();
+            bb(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.total = measured;
+        self.iters = iters;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_ns = b.total.as_nanos() as f64 / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / per_ns * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / per_ns * 1e9 / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<40} {:>12.1} ns/iter ({} iters){}",
+            self.name, id, per_ns, b.iters, rate
+        );
+    }
+
+    /// End the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _c: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of proptest the workspace uses: the `proptest!`
+//! macro (both `name in strategy` and `name: Type` parameters), the
+//! `prop_assert*` / `prop_assume!` macros, `any::<T>()`, numeric range
+//! strategies, tuple strategies, and `collection::vec`.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * **Deterministic**: every test's input stream is seeded from its
+//!   fully-qualified name, so failures reproduce without a regression
+//!   file and CI runs are stable.
+//! * **No shrinking**: a failing case reports the assertion directly;
+//!   with fixed seeds the failing input is always regenerated.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, UniformSampled};
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T: UniformSampled> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T: UniformSampled> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! Type-driven generation (`any::<T>()` and `name: Type` parameters).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_prim!(u8, u16, u32, u64, usize, i32, i64, bool, f64);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = rng.random();
+            }
+            out
+        }
+    }
+
+    /// Strategy adapter produced by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case scheduling for the `proptest!` macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Cases executed per property (fixed; no env override so runs are
+    /// reproducible everywhere).
+    pub const CASES: u32 = 64;
+
+    /// Seed a generator from a test's fully-qualified name, so each
+    /// property gets a distinct but stable input stream.
+    pub fn rng_for(name: &str) -> StdRng {
+        // FNV-1a over the test path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use rand::rngs::StdRng as TestRng;
+pub use rand::SeedableRng as TestSeedableRng;
+
+// Re-export so `$crate::...` paths in the macros resolve from any crate.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Assert a condition inside a property (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current generated case when a precondition fails.
+///
+/// Expands to `continue` on the per-case loop, so it must appear at the
+/// top level of the property body (true for every use in this workspace).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Define deterministic property tests.
+///
+/// Supports the standard proptest surface used in this workspace:
+/// `fn name(x in strategy, y: Type, ...) { body }`, doc comments, and
+/// the `#[test]` attribute (which is forwarded to the generated fn).
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block $($rest:tt)*) => {
+        $crate::__proptest_impl!($(#[$meta])* fn $name $body [$($params)*] []);
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    // All parameters parsed: emit the test fn running CASES iterations.
+    ($(#[$meta:meta])* fn $name:ident $body:block [] [$(($p:ident, $s:expr))*]) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let mut __rng = $crate::test_runner::rng_for(
+                concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..$crate::test_runner::CASES {
+                let _ = __case;
+                $(let $p = ($s).generate(&mut __rng);)*
+                $body
+            }
+        }
+    };
+    // `name in strategy, rest...`
+    ($(#[$meta:meta])* fn $name:ident $body:block
+     [$p:ident in $s:expr, $($rest:tt)*] [$($acc:tt)*]) => {
+        $crate::__proptest_impl!($(#[$meta])* fn $name $body [$($rest)*] [$($acc)* ($p, $s)]);
+    };
+    // `name in strategy` (final, no trailing comma)
+    ($(#[$meta:meta])* fn $name:ident $body:block
+     [$p:ident in $s:expr] [$($acc:tt)*]) => {
+        $crate::__proptest_impl!($(#[$meta])* fn $name $body [] [$($acc)* ($p, $s)]);
+    };
+    // `name: Type, rest...`
+    ($(#[$meta:meta])* fn $name:ident $body:block
+     [$p:ident : $t:ty, $($rest:tt)*] [$($acc:tt)*]) => {
+        $crate::__proptest_impl!($(#[$meta])* fn $name $body [$($rest)*]
+            [$($acc)* ($p, $crate::arbitrary::any::<$t>())]);
+    };
+    // `name: Type` (final, no trailing comma)
+    ($(#[$meta:meta])* fn $name:ident $body:block
+     [$p:ident : $t:ty] [$($acc:tt)*]) => {
+        $crate::__proptest_impl!($(#[$meta])* fn $name $body []
+            [$($acc)* ($p, $crate::arbitrary::any::<$t>())]);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Mixed parameter styles all bind, with a trailing comma.
+        #[test]
+        fn mixed_params(
+            v in crate::collection::vec(any::<u8>(), 0..10),
+            pair in (0u8..3, 1usize..5),
+            seed: u64,
+            arr: [u8; 4],
+            flag: bool,
+        ) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(pair.0 < 3 && pair.1 >= 1 && pair.1 < 5);
+            let _ = (seed, arr, flag);
+        }
+
+        /// Single `in` parameter without trailing comma.
+        #[test]
+        fn single_in(x in 5u32..9) {
+            prop_assert!((5..9).contains(&x));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+
+        /// Typed parameters on one line, as the filter tests write them.
+        #[test]
+        fn inline_typed(a: [u8; 4], b: [u8; 16], p: u16, q in 0usize..4) {
+            let _ = (a, b, p);
+            prop_assume!(q != 3);
+            prop_assert!(q < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(crate::arbitrary::any::<u8>(), 1..20);
+        let mut r1 = crate::test_runner::rng_for("same::name");
+        let mut r2 = crate::test_runner::rng_for("same::name");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
