@@ -15,4 +15,17 @@ cargo clippy --all-targets -- -D warnings
 echo "== rustfmt =="
 cargo fmt --check
 
+echo "== benches compile =="
+cargo bench --no-run
+
+echo "== telemetry smoke run =="
+smoke_out=$(mktemp -d)
+cargo run --release -p scap-bench --bin experiments -- \
+    --exp telemetry --scale smoke --out "$smoke_out" >/dev/null
+for f in telemetry_counters.csv telemetry_series.csv telemetry_table.txt \
+         telemetry_stages.csv BENCH_summary.json; do
+    test -s "$smoke_out/$f" || { echo "missing $f"; exit 1; }
+done
+rm -rf "$smoke_out"
+
 echo "CI green."

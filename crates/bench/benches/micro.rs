@@ -184,6 +184,25 @@ fn bench_generator(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    use scap_telemetry::{AtomicRegistry, Metric, PlainRegistry, Stage};
+    let plain = PlainRegistry::new(8);
+    let atomic = AtomicRegistry::new(8);
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(1));
+    // The hot-path contract: a counter record is a single indexed add.
+    g.bench_function("counter_add_plain", |b| {
+        b.iter(|| plain.add(black_box(3), Metric::WirePackets, black_box(1)))
+    });
+    g.bench_function("counter_add_atomic", |b| {
+        b.iter(|| atomic.add(black_box(3), Metric::WirePackets, black_box(1)))
+    });
+    g.bench_function("stage_hist_record_plain", |b| {
+        b.iter(|| plain.record_stage(black_box(3), Stage::Kernel, black_box(1234)))
+    });
+    g.finish();
+}
+
 fn bench_scap_end_to_end(c: &mut Criterion) {
     use scap::apps::PatternMatchApp;
     use scap::{ScapConfig, ScapKernel, ScapSimStack};
@@ -236,6 +255,7 @@ criterion_group!(
     bench_rss,
     bench_chunk_assembly,
     bench_generator,
+    bench_telemetry,
     bench_scap_end_to_end,
 );
 criterion_main!(benches);

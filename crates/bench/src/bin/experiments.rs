@@ -80,6 +80,7 @@ fn main() {
         cfg.out_dir.display()
     );
 
+    let mut produced = Vec::new();
     for id in &exps {
         let t0 = Instant::now();
         match run_experiment(id, &cfg) {
@@ -90,6 +91,7 @@ fn main() {
                         eprintln!("warning: could not write {}: {e}", r.name);
                     }
                 }
+                produced.extend(results);
                 println!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
             }
             None => eprintln!(
@@ -97,5 +99,10 @@ fn main() {
                 ALL_EXPERIMENTS.join(" ")
             ),
         }
+    }
+
+    match scap_bench::write_bench_summary(&cfg, &produced) {
+        Ok(path) => println!("summary: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_summary.json: {e}"),
     }
 }

@@ -11,6 +11,8 @@
 //! scapcat trace.pcap --cutoff 4096           # keep 4 KB per stream
 //! scapcat --gen 8 out.pcap                   # write an 8 MB synthetic pcap
 //! scapcat --top 20 trace.pcap                # largest 20 streams
+//! scapcat --stats-interval 5000 trace.pcap   # telemetry table to stderr
+//!                                            # every 5000 packets
 //! ```
 
 use scap::{Scap, StreamCtx};
@@ -33,7 +35,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: scapcat [--gen MB out.pcap] [--cutoff BYTES] [--top N] <file.pcap> [filter]"
+            "usage: scapcat [--gen MB out.pcap] [--cutoff BYTES] [--top N] \
+             [--stats-interval PKTS] <file.pcap> [filter]"
         );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -57,6 +60,7 @@ fn main() {
 
     let mut cutoff: Option<u64> = None;
     let mut top: usize = usize::MAX;
+    let mut stats_interval: Option<u64> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -67,6 +71,14 @@ fn main() {
                     args.get(i)
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| die("--cutoff needs a byte count")),
+                );
+            }
+            "--stats-interval" => {
+                i += 1;
+                stats_interval = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--stats-interval needs a packet count")),
                 );
             }
             "--top" => {
@@ -97,9 +109,17 @@ fn main() {
     if let Some(c) = cutoff {
         builder = builder.cutoff(c);
     }
+    if let Some(n) = stats_interval {
+        builder = builder.stats_interval(n);
+    }
     let mut scap = builder
         .try_build()
         .unwrap_or_else(|e| die(&format!("bad filter expression: {e}")));
+    if stats_interval.is_some() {
+        scap.dispatch_stats(|snap| {
+            eprintln!("{}", scap::telemetry::export::to_table(snap));
+        });
+    }
     {
         let flows = flows.clone();
         scap.dispatch_termination(move |ctx: &StreamCtx<'_>| {
@@ -149,6 +169,14 @@ fn main() {
         stats.stack.delivered_bytes,
         stats.stack.discarded_packets,
     );
+    if stats_interval.is_some() {
+        if let Some(snap) = scap.telemetry_snapshot() {
+            eprintln!(
+                "\nfinal telemetry:\n{}",
+                scap::telemetry::export::to_table(snap)
+            );
+        }
+    }
 }
 
 fn die(msg: &str) -> ! {

@@ -19,5 +19,7 @@
 
 pub mod common;
 pub mod figures;
+pub mod summary;
 
 pub use common::{ExpConfig, FigureResult, Scale};
+pub use summary::write_bench_summary;

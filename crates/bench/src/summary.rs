@@ -1,0 +1,197 @@
+//! Machine-readable run summary: `BENCH_summary.json`.
+//!
+//! At the end of an `experiments` run, the harness distills the produced
+//! [`FigureResult`]s into one JSON document a CI job or notebook can
+//! consume without parsing text tables: the maximum loss-free rate per
+//! worker count (Fig. 10b), the processed-traffic ratio per stack at the
+//! highest replay rate (Fig. 6b), and the per-stage span quantiles from
+//! the telemetry experiment. Sections whose source experiment did not
+//! run in this invocation are omitted. The JSON is hand-rolled — the
+//! workspace carries no serialization dependency.
+
+use crate::common::{ExpConfig, FigureResult};
+use std::path::PathBuf;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emit a cell as a bare JSON number when it parses as one (the tables
+/// pre-format all numerics), otherwise as a quoted string.
+fn json_value(cell: &str) -> String {
+    match cell.parse::<f64>() {
+        Ok(v) if v.is_finite() => cell.to_string(),
+        _ => format!("\"{}\"", json_escape(cell)),
+    }
+}
+
+fn find<'a>(results: &'a [FigureResult], name: &str) -> Option<&'a FigureResult> {
+    results.iter().find(|r| r.name == name)
+}
+
+/// Fig. 10b rows (`workers`, `max_lossfree_gbps`) as a JSON array.
+fn lossfree_section(fig: &FigureResult) -> String {
+    let items: Vec<String> = fig
+        .rows
+        .iter()
+        .filter(|r| r.len() >= 2)
+        .map(|r| {
+            format!(
+                "{{\"workers\": {}, \"gbps\": {}}}",
+                json_value(&r[0]),
+                json_value(&r[1])
+            )
+        })
+        .collect();
+    format!("  \"max_lossfree_gbps\": [{}]", items.join(", "))
+}
+
+/// The last (highest-rate) Fig. 6b row keyed by stack-name headers.
+fn processed_section(fig: &FigureResult) -> Option<String> {
+    let row = fig.rows.last()?;
+    let mut fields = Vec::new();
+    for (h, cell) in fig.headers.iter().zip(row.iter()) {
+        fields.push(format!("\"{}\": {}", json_escape(h), json_value(cell)));
+    }
+    Some(format!(
+        "  \"processed_traffic_percent_at_max_rate\": {{{}}}",
+        fields.join(", ")
+    ))
+}
+
+/// Per-stage count/mean/p50/p99 from the telemetry experiment.
+fn stages_section(fig: &FigureResult) -> String {
+    let items: Vec<String> = fig
+        .rows
+        .iter()
+        .filter(|r| r.len() >= 5)
+        .map(|r| {
+            format!(
+                "{{\"stage\": {}, \"count\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}}}",
+                format_args!("\"{}\"", json_escape(&r[0])),
+                json_value(&r[1]),
+                json_value(&r[2]),
+                json_value(&r[3]),
+                json_value(&r[4])
+            )
+        })
+        .collect();
+    format!("  \"stage_spans\": [{}]", items.join(", "))
+}
+
+/// Render the summary document from every figure produced in this run.
+pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String {
+    let mut sections = vec![
+        "  \"schema\": \"scap-bench-summary/1\"".to_string(),
+        format!("  \"scale\": \"{}\"", json_escape(cfg.scale.name)),
+        format!("  \"seed\": {}", cfg.seed),
+        format!(
+            "  \"experiments\": [{}]",
+            results
+                .iter()
+                .map(|r| format!("\"{}\"", json_escape(&r.name)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    ];
+    if let Some(fig) = find(results, "fig10b_max_lossfree_rate") {
+        sections.push(lossfree_section(fig));
+    }
+    if let Some(sec) = find(results, "fig6b_matched").and_then(processed_section) {
+        sections.push(sec);
+    }
+    if let Some(fig) = find(results, "telemetry_stages") {
+        sections.push(stages_section(fig));
+    }
+    format!("{{\n{}\n}}\n", sections.join(",\n"))
+}
+
+/// Write `BENCH_summary.json` into the run's output directory, returning
+/// the path written.
+pub fn write_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(&cfg.out_dir)?;
+    let path = cfg.out_dir.join("BENCH_summary.json");
+    std::fs::write(&path, render_bench_summary(cfg, results))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Scale;
+
+    fn fig(name: &str, headers: &[&str], rows: Vec<Vec<String>>) -> FigureResult {
+        FigureResult {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows,
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn sections_appear_only_when_their_figures_ran() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let none = render_bench_summary(&cfg, &[]);
+        assert!(none.contains("\"schema\": \"scap-bench-summary/1\""));
+        assert!(!none.contains("max_lossfree_gbps"));
+        assert!(!none.contains("stage_spans"));
+
+        let results = vec![
+            fig(
+                "fig10b_max_lossfree_rate",
+                &["workers", "max_lossfree_gbps"],
+                vec![
+                    vec!["1".into(), "1.25".into()],
+                    vec!["8".into(), "5.50".into()],
+                ],
+            ),
+            fig(
+                "fig6b_matched",
+                &["rate_gbps", "libnids", "snort", "scap", "scap_pkts"],
+                vec![vec![
+                    "6.00".into(),
+                    "8.1".into(),
+                    "9.0".into(),
+                    "52.3".into(),
+                    "47.0".into(),
+                ]],
+            ),
+            fig(
+                "telemetry_stages",
+                &["stage", "count", "mean", "p50", "p99"],
+                vec![vec![
+                    "kernel".into(),
+                    "1000".into(),
+                    "812.5".into(),
+                    "700".into(),
+                    "3100".into(),
+                ]],
+            ),
+        ];
+        let full = render_bench_summary(&cfg, &results);
+        assert!(full.contains("\"max_lossfree_gbps\": [{\"workers\": 1, \"gbps\": 1.25}"));
+        assert!(full.contains("\"processed_traffic_percent_at_max_rate\": {\"rate_gbps\": 6.00"));
+        assert!(full.contains("\"stage\": \"kernel\", \"count\": 1000"));
+    }
+
+    #[test]
+    fn escaping_and_non_numeric_cells() {
+        assert_eq!(json_value("3.25"), "3.25");
+        assert_eq!(json_value("nan"), "\"nan\"");
+        assert_eq!(json_value("a\"b"), "\"a\\\"b\"");
+    }
+}

@@ -127,6 +127,11 @@ pub struct ScapConfig {
     /// Deterministic fault-injection plan (tests and the `faults`
     /// experiment; None in production use).
     pub faults: Option<FaultPlan>,
+    /// Gauge-sampling interval for the telemetry time-series (ns of
+    /// trace/virtual time between rows).
+    pub telemetry_sample_interval_ns: u64,
+    /// Maximum retained telemetry time-series rows (oldest evicted).
+    pub telemetry_series_cap: usize,
 }
 
 impl Default for ScapConfig {
@@ -157,6 +162,8 @@ impl Default for ScapConfig {
             event_queue_cap: 1 << 16,
             governor: GovernorConfig::default(),
             faults: None,
+            telemetry_sample_interval_ns: 5_000_000,
+            telemetry_series_cap: 4096,
         }
     }
 }

@@ -18,6 +18,7 @@ use scap_memory::{Arena, ChunkAssembler, ChunkBuf, PplVerdict};
 use scap_nic::{FdirError, FdirFilter, Nic, NicVerdict};
 use scap_reassembly::{CloseKind, ReasmConfig, ReasmFlags, TcpConn};
 use scap_sim::{CacheSim, StackStats, Work};
+use scap_telemetry::{Gauge, Metric, PlainRegistry, Sampler, Snapshot};
 use scap_trace::Packet;
 use scap_wire::{parse_frame, Direction, FlowKey, ParsedPacket, TcpFlags, TcpMeta, Transport};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -208,6 +209,16 @@ pub struct ScapKernel {
     arena_faults: Option<ArenaInjector>,
     /// `finish()` drains rings unconditionally, stall windows included.
     drain_mode: bool,
+    /// Per-core telemetry counters (shard = core; the NIC-admission path
+    /// records into shard 0 because no core is involved yet).
+    tele: PlainRegistry,
+    /// Bounded gauge time-series, sampled on core 0's timer pass and
+    /// keyed on the caller's clock (virtual/trace time), so a seeded
+    /// run produces a byte-identical series.
+    sampler: Sampler,
+    /// Last worker-heartbeat count reported by the driver (gauge input;
+    /// 0 under the sim driver until the stack reports deliveries).
+    worker_heartbeats: u64,
 }
 
 impl ScapKernel {
@@ -246,6 +257,9 @@ impl ScapKernel {
             ring_faults,
             arena_faults,
             drain_mode: false,
+            tele: PlainRegistry::new(ncores),
+            sampler: Sampler::new(cfg.telemetry_sample_interval_ns, cfg.telemetry_series_cap),
+            worker_heartbeats: 0,
             cfg,
         }
     }
@@ -361,6 +375,85 @@ impl ScapKernel {
         s
     }
 
+    /// Stack-level delivered accounting. `ScapStats` and the telemetry
+    /// registry move in lockstep through these three helpers, so the
+    /// conservation identity `wire = delivered + dropped + discarded`
+    /// can be cross-checked against either source.
+    #[inline]
+    fn acct_delivered(&mut self, core: usize, pkts: u64, bytes: u64) {
+        self.stats.stack.delivered_packets += pkts;
+        self.stats.stack.delivered_bytes += bytes;
+        self.tele.add(core, Metric::DeliveredPackets, pkts);
+        self.tele.add(core, Metric::DeliveredBytes, bytes);
+    }
+
+    /// Stack-level dropped accounting (overload losses).
+    #[inline]
+    fn acct_dropped(&mut self, core: usize, pkts: u64, bytes: u64) {
+        self.stats.stack.dropped_packets += pkts;
+        self.stats.stack.dropped_bytes += bytes;
+        self.tele.add(core, Metric::DroppedPackets, pkts);
+        self.tele.add(core, Metric::DroppedBytes, bytes);
+    }
+
+    /// Stack-level discarded accounting (deliberate early discards).
+    #[inline]
+    fn acct_discarded(&mut self, core: usize, pkts: u64, bytes: u64) {
+        self.stats.stack.discarded_packets += pkts;
+        self.stats.stack.discarded_bytes += bytes;
+        self.tele.add(core, Metric::DiscardedPackets, pkts);
+        self.tele.add(core, Metric::DiscardedBytes, bytes);
+    }
+
+    /// The kernel's own telemetry registry (one shard per core).
+    pub fn telemetry(&self) -> &PlainRegistry {
+        &self.tele
+    }
+
+    /// The gauge time-series sampled so far.
+    pub fn telemetry_series(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// Report the drivers' worker heartbeat count (events delivered to
+    /// application callbacks); surfaces as the `worker_heartbeats` gauge.
+    pub fn set_worker_heartbeats(&mut self, n: u64) {
+        self.worker_heartbeats = n;
+    }
+
+    /// Capture-wide telemetry: the kernel's per-core registry merged
+    /// with the NIC's per-queue registry and the arena's. Mirrors
+    /// [`ScapKernel::stats`]: ring-overflowed frames are already counted
+    /// as `dropped_packets` by the NIC layer, so the conservation
+    /// identity holds on the merged snapshot.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut s = self.tele.snapshot();
+        s.merge(&self.nic.telemetry().snapshot());
+        s.merge(&self.arena.telemetry().snapshot());
+        s
+    }
+
+    /// Current gauge values, in [`Gauge::ALL`] order.
+    fn sample_gauges(&self) -> [u64; Gauge::COUNT] {
+        let mut fill = 0.0f64;
+        let mut backlog = 0usize;
+        let mut streams = 0usize;
+        for c in 0..self.cores.len() {
+            fill = fill.max(self.nic.queue(c).fill_level());
+            backlog += self.cores[c].events.len();
+            streams += self.cores[c].flows.len();
+        }
+        let mut g = [0u64; Gauge::COUNT];
+        g[Gauge::RingFillPermille.idx()] = (fill * 1000.0) as u64;
+        g[Gauge::ArenaUsedPermille.idx()] = (self.arena.used_fraction() * 1000.0) as u64;
+        g[Gauge::EventBacklog.idx()] = backlog as u64;
+        g[Gauge::GovernorLevel.idx()] = u64::from(self.governor.level());
+        g[Gauge::FdirFilters.idx()] = self.nic.fdir().len() as u64;
+        g[Gauge::TrackedStreams.idx()] = streams as u64;
+        g[Gauge::WorkerHeartbeats.idx()] = self.worker_heartbeats;
+        g
+    }
+
     /// Merge frame-level fault counters observed by the driver at the
     /// trace boundary (the kernel never sees those frames pre-mangling).
     pub fn note_frame_faults(&mut self, f: FrameFaultStats) {
@@ -438,10 +531,12 @@ impl ScapKernel {
     pub fn nic_receive(&mut self, pkt: &Packet) -> NicVerdict {
         self.stats.stack.wire_packets += 1;
         self.stats.stack.wire_bytes += pkt.len() as u64;
+        self.tele.inc(0, Metric::WirePackets);
+        self.tele.add(0, Metric::WireBytes, pkt.len() as u64);
         let parsed = match parse_frame(&pkt.frame) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.stack.discarded_packets += 1;
+                self.acct_discarded(0, 1, 0);
                 return NicVerdict::DroppedByFilter;
             }
         };
@@ -458,8 +553,7 @@ impl ScapKernel {
         let verdict = self.nic.receive(&parsed, pkt.clone());
         if verdict == NicVerdict::DroppedByFilter {
             // Subzero copy: never reaches main memory.
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(0, 1, pkt.len() as u64);
         }
         verdict
     }
@@ -494,12 +588,10 @@ impl ScapKernel {
         // core (the same property the symmetric RSS seed provides).
         let _ = self
             .nic
-            .fdir_mut()
-            .add(scap_nic::FdirFilter::steer(*key, coldest));
+            .fdir_install(scap_nic::FdirFilter::steer(*key, coldest));
         let _ = self
             .nic
-            .fdir_mut()
-            .add(scap_nic::FdirFilter::steer(key.reversed(), coldest));
+            .fdir_install(scap_nic::FdirFilter::steer(key.reversed(), coldest));
         self.stats.fdir_ops += 2;
         self.stats.rebalanced_streams += 1;
     }
@@ -568,36 +660,38 @@ impl ScapKernel {
     fn enqueue_event(&mut self, core: usize, ev: Event, work: &mut Work) {
         if self.cores[core].events.len() >= self.cfg.event_queue_cap {
             self.stats.events_dropped += 1;
+            self.tele.inc(core, Metric::KernelEventsDropped);
             if let EventKind::Data { chunk, .. } = ev.kind {
-                self.stats.stack.dropped_bytes += chunk.len as u64;
+                self.acct_dropped(core, 0, chunk.len as u64);
                 self.arena.release(chunk);
             }
             return;
         }
         work.k_events += 1;
+        self.tele.inc(core, Metric::KernelEventsEnqueued);
         if matches!(ev.kind, EventKind::Data { .. }) {
             self.stats.chunks += 1;
+            self.tele.inc(core, Metric::KernelChunksPlaced);
         }
         self.cores[core].events.push_back(ev);
     }
 
     fn process_packet(&mut self, core: usize, pkt: &Packet, now: u64, work: &mut Work) {
         let Ok(parsed) = parse_frame(&pkt.frame) else {
-            self.stats.stack.discarded_packets += 1;
+            self.acct_discarded(core, 1, 0);
             return;
         };
 
         // Socket-wide BPF filter: discard early, in the kernel.
         if let Some(f) = &self.cfg.filter {
             if !f.matches_frame(&pkt.frame) {
-                self.stats.stack.discarded_packets += 1;
-                self.stats.stack.discarded_bytes += pkt.len() as u64;
+                self.acct_discarded(core, 1, pkt.len() as u64);
                 return;
             }
         }
 
         let Some(key) = parsed.key else {
-            self.stats.stack.discarded_packets += 1;
+            self.acct_discarded(core, 1, 0);
             return;
         };
 
@@ -608,13 +702,14 @@ impl ScapKernel {
             Err(_) => {
                 // Flow table at its configured cap (a flood can get here):
                 // the stream is lost but the capture survives.
-                self.stats.stack.dropped_packets += 1;
-                self.stats.stack.dropped_bytes += pkt.len() as u64;
+                self.acct_dropped(core, 1, pkt.len() as u64);
                 self.stats.stack.streams_lost += 1;
                 return;
             }
         };
-        work.k_hash_probes += (self.cores[core].flows.probes - probes_before).max(1);
+        let probes = (self.cores[core].flows.probes - probes_before).max(1);
+        work.k_hash_probes += probes;
+        self.tele.add(core, Metric::KernelHashProbes, probes);
         let id = lookup.id;
         let dir = lookup.direction;
 
@@ -632,8 +727,7 @@ impl ScapKernel {
         // and late retransmissions do not spawn ghost streams. Tombstones
         // are exactly the records without kernel-side state.
         if !lookup.created && !self.cores[core].kstates.contains_key(&id) {
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             self.cores[core].flows.touch(id, now);
             return;
         }
@@ -678,7 +772,7 @@ impl ScapKernel {
             Transport::Udp => self.process_udp(core, id, dir, pkt, &parsed, now, work),
             Transport::Other(_) => {
                 // Tracked for statistics only; processing is complete.
-                self.stats.stack.delivered_packets += 1;
+                self.acct_delivered(core, 1, 0);
             }
         }
     }
@@ -697,8 +791,7 @@ impl ScapKernel {
         let Some(meta) = parsed.tcp else {
             // Transport said TCP but the header would not parse: nothing
             // to reassemble.
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             return;
         };
         let payload = parsed.payload();
@@ -715,8 +808,7 @@ impl ScapKernel {
                 )
             })
         else {
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             return;
         };
 
@@ -738,8 +830,7 @@ impl ScapKernel {
                 .map(|a| a.stream_offset())
                 .unwrap_or(0)
         }) else {
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             return;
         };
 
@@ -753,8 +844,7 @@ impl ScapKernel {
                 rec.dirs[dir.index()].discarded_bytes += pkt.len() as u64;
                 rec.cutoff_exceeded = rec.cutoff_exceeded || beyond_cutoff;
             }
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             if beyond_cutoff && !beyond_configured && !discarded_flag {
                 self.stats.resilience.governor_cutoff_clamps += 1;
             }
@@ -773,18 +863,19 @@ impl ScapKernel {
         // Prioritized packet loss: decided before memory is spent. The
         // governor's watermark tightening rides on the pressure input.
         if !payload.is_empty()
-            && self
-                .cfg
-                .ppl
-                .verdict(self.ppl_pressure(), priority, asm_offset)
-                != PplVerdict::Accept
+            && self.cfg.ppl.verdict_recorded(
+                self.ppl_pressure(),
+                priority,
+                asm_offset,
+                &self.tele,
+                core,
+            ) != PplVerdict::Accept
         {
             if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.dirs[dir.index()].dropped_pkts += 1;
                 rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
             }
-            self.stats.stack.dropped_packets += 1;
-            self.stats.stack.dropped_bytes += pkt.len() as u64;
+            self.acct_dropped(core, 1, pkt.len() as u64);
             self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
             return;
         }
@@ -792,8 +883,7 @@ impl ScapKernel {
         // Borrow dance: lift the connection and assembler out of the
         // kstate so the delivery sink can borrow the arena freely.
         let Some(mut ks) = self.cores[core].kstates.remove(&id) else {
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             return;
         };
         let mut conn = ks.conn.take().unwrap_or_else(|| {
@@ -836,6 +926,7 @@ impl ScapKernel {
 
         let copied = asm.bytes_copied - copied_before;
         work.k_bytes_copied += copied;
+        self.tele.add(core, Metric::KernelBytesCopied, copied);
         if copied > 0 {
             if let Some(c) = self.cache.as_mut() {
                 let base = Self::chunk_region_addr(
@@ -897,16 +988,14 @@ impl ScapKernel {
             }
         }
         if oom {
-            self.stats.stack.dropped_packets += 1;
-            self.stats.stack.dropped_bytes += pkt.len() as u64;
+            self.acct_dropped(core, 1, pkt.len() as u64);
             self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
         } else if dup_only {
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += outcome.data.duplicate;
+            self.acct_discarded(core, 1, outcome.data.duplicate);
         } else {
-            self.stats.stack.delivered_packets += 1;
+            self.acct_delivered(core, 1, 0);
         }
-        self.stats.stack.delivered_bytes += copied;
+        self.acct_delivered(core, 0, copied);
 
         // Newly exceeded cutoff: flush the final partial chunk now and
         // install NIC filters so the tail never reaches memory.
@@ -976,7 +1065,7 @@ impl ScapKernel {
         let payload = parsed.payload();
         if payload.is_empty() {
             // Nothing to capture; the packet is fully processed.
-            self.stats.stack.delivered_packets += 1;
+            self.acct_delivered(core, 1, 0);
             return;
         }
         // Invariant: process_packet only dispatches live, tracked streams.
@@ -992,8 +1081,7 @@ impl ScapKernel {
                 )
             })
         else {
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             return;
         };
         let effective_cutoff = match (cutoff, self.governor.cutoff_cap()) {
@@ -1002,8 +1090,7 @@ impl ScapKernel {
             (c, None) => c,
         };
         let Some(mut ks) = self.cores[core].kstates.remove(&id) else {
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             return;
         };
         let mut asm = ks.asm[dir.index()].take().unwrap_or_else(|| {
@@ -1019,8 +1106,7 @@ impl ScapKernel {
                 rec.dirs[dir.index()].discarded_bytes += pkt.len() as u64;
                 rec.cutoff_exceeded = true;
             }
-            self.stats.stack.discarded_packets += 1;
-            self.stats.stack.discarded_bytes += pkt.len() as u64;
+            self.acct_discarded(core, 1, pkt.len() as u64);
             if !beyond_configured && !discarded_flag {
                 self.stats.resilience.governor_cutoff_clamps += 1;
             }
@@ -1028,13 +1114,17 @@ impl ScapKernel {
             self.cores[core].kstates.insert(id, ks);
             return;
         }
-        if self.cfg.ppl.verdict(self.ppl_pressure(), priority, offset) != PplVerdict::Accept {
+        if self
+            .cfg
+            .ppl
+            .verdict_recorded(self.ppl_pressure(), priority, offset, &self.tele, core)
+            != PplVerdict::Accept
+        {
             if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.dirs[dir.index()].dropped_pkts += 1;
                 rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
             }
-            self.stats.stack.dropped_packets += 1;
-            self.stats.stack.dropped_bytes += pkt.len() as u64;
+            self.acct_dropped(core, 1, pkt.len() as u64);
             ks.asm[dir.index()] = Some(asm);
             self.cores[core].kstates.insert(id, ks);
             return;
@@ -1047,6 +1137,8 @@ impl ScapKernel {
             .append(&mut self.arena, &payload[..allowed], &mut completed)
             .is_err();
         work.k_bytes_copied += allowed as u64;
+        self.tele
+            .add(core, Metric::KernelBytesCopied, allowed as u64);
         if allowed > 0 {
             if let Some(c) = self.cache.as_mut() {
                 let base = Self::chunk_region_addr(ks.uid, dir, offset);
@@ -1073,12 +1165,11 @@ impl ScapKernel {
             }
         }
         if oom {
-            self.stats.stack.dropped_packets += 1;
-            self.stats.stack.dropped_bytes += pkt.len() as u64;
+            self.acct_dropped(core, 1, pkt.len() as u64);
         } else {
-            self.stats.stack.delivered_packets += 1;
+            self.acct_delivered(core, 1, 0);
         }
-        self.stats.stack.delivered_bytes += allowed as u64;
+        self.acct_delivered(core, 0, allowed as u64);
 
         if asm.has_pending() && !ks.flush_armed[dir.index()] {
             ks.flush_armed[dir.index()] = true;
@@ -1133,7 +1224,7 @@ impl ScapKernel {
                 .get_mut(&id)
                 .and_then(|ks| ks.kept[dir.index()].take())
             {
-                Some(kept) => self.merge_chunks(kept, chunk, work),
+                Some(kept) => self.merge_chunks(core, kept, chunk, work),
                 None => chunk,
             };
             if self.cache.is_some() {
@@ -1161,7 +1252,13 @@ impl ScapKernel {
     }
 
     /// Concatenate a kept chunk with its successor into one larger chunk.
-    fn merge_chunks(&mut self, kept: ChunkBuf, next: ChunkBuf, work: &mut Work) -> ChunkBuf {
+    fn merge_chunks(
+        &mut self,
+        core: usize,
+        kept: ChunkBuf,
+        next: ChunkBuf,
+        work: &mut Work,
+    ) -> ChunkBuf {
         let total = kept.len + next.len;
         match self.arena.alloc(total.max(1), kept.start_offset) {
             Ok(mut merged) => {
@@ -1170,6 +1267,7 @@ impl ScapKernel {
                 merged.len = total;
                 merged.had_error = kept.had_error || next.had_error;
                 work.k_bytes_copied += total as u64;
+                self.tele.add(core, Metric::KernelBytesCopied, total as u64);
                 self.arena.release(kept);
                 self.arena.release(next);
                 merged
@@ -1271,11 +1369,11 @@ impl ScapKernel {
                 let filter = FdirFilter::drop_tcp_flags(dkey, flags);
                 work.k_fdir_ops += 1;
                 self.stats.fdir_ops += 1;
-                match self.nic.fdir_mut().add(filter) {
+                match self.nic.fdir_install(filter) {
                     Ok(()) => added.push(filter),
                     Err(FdirError::Busy) => {
                         for f in &added {
-                            let _ = self.nic.fdir_mut().remove(&f.key, f.flex);
+                            let _ = self.nic.fdir_uninstall(&f.key, f.flex);
                             work.k_fdir_ops += 1;
                             self.stats.fdir_ops += 1;
                         }
@@ -1413,7 +1511,7 @@ impl ScapKernel {
                 }
             }
             for chunk in freed {
-                self.stats.stack.dropped_bytes += chunk.len as u64;
+                self.acct_dropped(c, 0, chunk.len as u64);
                 self.arena.release(chunk);
             }
             self.stats.resilience.evicted_streams += 1;
@@ -1423,8 +1521,8 @@ impl ScapKernel {
 
     /// Remove a stream's NIC filters by key (both directions).
     fn remove_fdir_filters(&mut self, key: FlowKey, work: &mut Work) {
-        let removed = self.nic.fdir_mut().remove_all_for(&key)
-            + self.nic.fdir_mut().remove_all_for(&key.reversed());
+        let removed = self.nic.fdir_uninstall_all_for(&key)
+            + self.nic.fdir_uninstall_all_for(&key.reversed());
         if removed > 0 {
             work.k_fdir_ops += 1;
             self.stats.fdir_ops += 1;
@@ -1528,7 +1626,8 @@ impl ScapKernel {
                         let _ = a.append(arena, data, &mut completed);
                     });
                     work.k_bytes_copied += copied;
-                    self.stats.stack.delivered_bytes += copied;
+                    self.tele.add(core, Metric::KernelBytesCopied, copied);
+                    self.acct_delivered(core, 0, copied);
                 }
                 if let Some(mut a) = asm {
                     if let Some(tail) = a.flush() {
@@ -1656,12 +1755,25 @@ impl ScapKernel {
                     self.cores[c].events.len() as f64 / self.cfg.event_queue_cap.max(1) as f64,
                 );
             }
+            let level_before = self.governor.level();
             self.governor.tick(now, pressure);
+            if self.governor.level() != level_before {
+                self.tele.inc(0, Metric::GovernorTransitions);
+            }
             let quota = self.governor.evict_quota();
             if quota > 0 {
                 self.evict_low_priority(quota, &mut work);
             }
             self.drain_fdir_retries(now, &mut work);
+            // Gauge refresh + bounded time-series sampling, keyed on the
+            // caller's clock (deterministic per seed under simulation).
+            let gauges = self.sample_gauges();
+            for g in Gauge::ALL {
+                self.tele.gauge_set(0, g, gauges[g.idx()]);
+            }
+            if self.sampler.due(now) {
+                self.sampler.record(now, gauges);
+            }
         }
 
         // FDIR filter timeouts (single hardware table; core 0 owns it).

@@ -69,7 +69,9 @@ pub use config::{CutoffPolicy, PriorityPolicy, ScapConfig};
 pub use event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
 pub use governor::{GovernorConfig, GovernorStats, OverloadGovernor};
 pub use kernel::{ControlOp, ResilienceStats, ScapKernel, ScapStats};
-pub use live::{mangle_packets, CaptureError, Scap, ScapBuilder, StreamCtx, WorkerStatus};
+pub use live::{
+    mangle_packets, CaptureError, Scap, ScapBuilder, StatsHandler, StreamCtx, WorkerStatus,
+};
 pub use sharing::{union_config, AppSlot, SharedApp, SharedApps};
 pub use stack::{apps, ScapSimStack, SimApp};
 
@@ -77,4 +79,7 @@ pub use stack::{apps, ScapSimStack, SimApp};
 pub use scap_faults::FaultPlan;
 pub use scap_flow::{DirStats, StreamErrors, StreamStatus};
 pub use scap_reassembly::{OverlapPolicy, ReassemblyMode};
+/// The observability subsystem (metric registries, stage spans, gauge
+/// time-series, exporters), re-exported for applications and tools.
+pub use scap_telemetry as telemetry;
 pub use scap_wire::{Direction, FlowKey, Transport};

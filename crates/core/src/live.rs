@@ -50,6 +50,7 @@ use scap_faults::{FaultPlan, FrameFaultStats, WorkerFault, WorkerFaultKind};
 use scap_filter::{Filter, FilterError};
 use scap_flow::StreamErrors;
 use scap_reassembly::{OverlapPolicy, ReassemblyMode};
+use scap_telemetry::{AtomicRegistry, Metric, Sampler, Snapshot, SpanTimer, Stage};
 use scap_trace::Packet;
 use scap_wire::Direction;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -156,6 +157,7 @@ impl StreamCtx<'_> {
 pub struct ScapBuilder {
     cfg: ScapConfig,
     filter_err: Option<FilterError>,
+    stats_interval: Option<u64>,
 }
 
 impl ScapBuilder {
@@ -287,6 +289,21 @@ impl ScapBuilder {
         self
     }
 
+    /// Invoke the stats hook (see [`Scap::dispatch_stats`]) with a merged
+    /// telemetry snapshot every `packets` packets during capture. Zero
+    /// disables periodic emission (the default).
+    pub fn stats_interval(mut self, packets: u64) -> Self {
+        self.stats_interval = (packets > 0).then_some(packets);
+        self
+    }
+
+    /// Gauge-sampling interval for the telemetry time-series, in
+    /// nanoseconds of trace time between rows.
+    pub fn telemetry_sample_interval_ns(mut self, ns: u64) -> Self {
+        self.cfg.telemetry_sample_interval_ns = ns.max(1);
+        self
+    }
+
     /// Finalize; panics on an invalid filter expression.
     #[deprecated(
         since = "0.2.0",
@@ -314,8 +331,12 @@ impl ScapBuilder {
             on_create: None,
             on_data: None,
             on_termination: None,
+            on_stats: None,
+            stats_interval: self.stats_interval,
             last_stats: None,
             last_error: None,
+            last_telemetry: None,
+            last_series: None,
         })
     }
 }
@@ -412,9 +433,16 @@ pub struct Scap {
     on_create: Option<Handler>,
     on_data: Option<Handler>,
     on_termination: Option<Handler>,
+    on_stats: Option<StatsHandler>,
+    stats_interval: Option<u64>,
     last_stats: Option<ScapStats>,
     last_error: Option<CaptureError>,
+    last_telemetry: Option<Snapshot>,
+    last_series: Option<Sampler>,
 }
+
+/// Periodic-stats callback type: runs on the kernel thread.
+pub type StatsHandler = Arc<dyn Fn(&Snapshot) + Send + Sync>;
 
 /// One worker slot's bookkeeping on the kernel thread.
 struct WorkerSlot {
@@ -451,6 +479,8 @@ fn spawn_worker<'scope>(
     heartbeat: Arc<AtomicU64>,
     current_uid: Arc<AtomicU64>,
     faults: Vec<WorkerFault>,
+    tele: Arc<AtomicRegistry>,
+    shard: usize,
 ) -> std::thread::ScopedJoinHandle<'scope, ()> {
     s.spawn(move || {
         let mut events_seen = 0u64;
@@ -475,7 +505,10 @@ fn spawn_worker<'scope>(
                     }
                 }
             }
+            let span = SpanTimer::start();
             handlers.dispatch(&ev, &ctl);
+            span.finish(&tele, shard, Stage::Worker);
+            tele.inc(shard, Metric::WorkerEventsHandled);
             if matches!(ev.kind, EventKind::Data { .. }) {
                 let _ = rel.send(ev);
             }
@@ -497,6 +530,7 @@ fn watchdog<'scope>(
     handlers: &WorkerHandlers,
     ctl: &Sender<ControlOp>,
     rel: &Sender<Event>,
+    tele: &Arc<AtomicRegistry>,
 ) {
     for (i, slot) in slots.iter_mut().enumerate() {
         // A finished thread while its channel is still open means the
@@ -526,6 +560,8 @@ fn watchdog<'scope>(
                 slot.heartbeat.clone(),
                 slot.current_uid.clone(),
                 Vec::new(),
+                tele.clone(),
+                i,
             ));
             slot.restarts += 1;
             kernel.resilience_mut().worker_restarts += 1;
@@ -565,6 +601,8 @@ fn watchdog<'scope>(
                 slot.heartbeat.clone(),
                 Arc::new(AtomicU64::new(0)),
                 Vec::new(),
+                tele.clone(),
+                i,
             ));
             slot.restarts += 1;
             kernel.resilience_mut().worker_restarts += 1;
@@ -578,6 +616,7 @@ impl Scap {
         ScapBuilder {
             cfg: ScapConfig::default(),
             filter_err: None,
+            stats_interval: None,
         }
     }
 
@@ -594,6 +633,26 @@ impl Scap {
     /// `scap_dispatch_termination`.
     pub fn dispatch_termination<F: Fn(&StreamCtx<'_>) + Send + Sync + 'static>(&mut self, f: F) {
         self.on_termination = Some(Arc::new(f));
+    }
+
+    /// Install the periodic-stats hook: called on the kernel thread with
+    /// a merged telemetry snapshot every
+    /// [`ScapBuilder::stats_interval`] packets during capture.
+    pub fn dispatch_stats<F: Fn(&Snapshot) + Send + Sync + 'static>(&mut self, f: F) {
+        self.on_stats = Some(Arc::new(f));
+    }
+
+    /// Merged telemetry snapshot (kernel + NIC + arena + workers) from
+    /// the most recent capture; counters use wall-clock-nanosecond stage
+    /// histograms under this driver.
+    pub fn telemetry_snapshot(&self) -> Option<&Snapshot> {
+        self.last_telemetry.as_ref()
+    }
+
+    /// Gauge time-series sampled during the most recent capture, keyed
+    /// on trace timestamps.
+    pub fn telemetry_series(&self) -> Option<&Sampler> {
+        self.last_series.as_ref()
     }
 
     /// `scap_get_stats` for the most recent capture.
@@ -653,7 +712,14 @@ impl Scap {
         let (ctl_tx, ctl_rx) = channel::<ControlOp>();
         let (rel_tx, rel_rx) = channel::<Event>();
 
-        let (stats, statuses) = std::thread::scope(|s| {
+        // Worker-side telemetry is shared across threads, so it uses the
+        // atomic backend (one shard per worker slot); the kernel-side
+        // registries stay plain because only this thread drives them.
+        let worker_tele = Arc::new(AtomicRegistry::new(nworkers));
+        let on_stats = self.on_stats.clone();
+        let stats_every = self.stats_interval;
+
+        let (stats, statuses, telemetry, series) = std::thread::scope(|s| {
             let mut slots: Vec<WorkerSlot> = Vec::with_capacity(nworkers);
             let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, ()>>> =
                 Vec::with_capacity(nworkers);
@@ -677,6 +743,8 @@ impl Scap {
                     heartbeat.clone(),
                     current_uid.clone(),
                     faults,
+                    worker_tele.clone(),
+                    w,
                 )));
                 slots.push(WorkerSlot {
                     tx: Some(tx),
@@ -696,31 +764,61 @@ impl Scap {
 
             let mut now = 0u64;
             let mut since_watchdog = 0u32;
+            let mut npkts = 0u64;
             for pkt in &packets {
                 now = pkt.ts_ns;
+                let span = SpanTimer::start();
                 kernel.nic_receive(pkt);
+                span.finish(kernel.telemetry(), 0, Stage::Nic);
                 for core in 0..ncores {
+                    let span = SpanTimer::start();
                     while kernel.kernel_poll(core, now).is_some() {}
                     kernel.kernel_timers(core, now);
+                    span.finish(kernel.telemetry(), core, Stage::Kernel);
+                    let span = SpanTimer::start();
+                    let mut fanned_out = false;
                     while let Some(ev) = kernel.next_event(core) {
+                        fanned_out = true;
                         let slot = &mut slots[core % nworkers];
                         slot.sent += 1;
                         if let Some(tx) = slot.tx.as_ref() {
                             let _ = tx.send(ev);
                         }
                     }
+                    if fanned_out {
+                        span.finish(kernel.telemetry(), core, Stage::EventQueue);
+                    }
                 }
                 while let Ok(op) = ctl_rx.try_recv() {
                     kernel.control(op);
                 }
+                let span = SpanTimer::start();
+                let mut released = false;
                 while let Ok(ev) = rel_rx.try_recv() {
+                    released = true;
                     if let EventKind::Data { dir, chunk, .. } = ev.kind {
                         kernel.release_data(ev.stream.uid, dir, chunk);
+                    }
+                }
+                if released {
+                    span.finish(kernel.telemetry(), 0, Stage::Memory);
+                }
+                npkts += 1;
+                if let (Some(every), Some(hook)) = (stats_every, on_stats.as_ref()) {
+                    if npkts.is_multiple_of(every) {
+                        let mut snap = kernel.telemetry_snapshot();
+                        snap.merge(&worker_tele.snapshot());
+                        hook(&snap);
                     }
                 }
                 since_watchdog += 1;
                 if since_watchdog >= 256 {
                     since_watchdog = 0;
+                    let beats: u64 = slots
+                        .iter()
+                        .map(|sl| sl.heartbeat.load(Ordering::SeqCst))
+                        .sum();
+                    kernel.set_worker_heartbeats(beats);
                     watchdog(
                         s,
                         &mut kernel,
@@ -730,6 +828,7 @@ impl Scap {
                         &handlers,
                         &ctl_tx,
                         &rel_tx,
+                        &worker_tele,
                     );
                 }
             }
@@ -767,6 +866,7 @@ impl Scap {
                     &handlers,
                     &ctl_tx,
                     &rel_tx,
+                    &worker_tele,
                 );
                 while let Ok(op) = ctl_rx.try_recv() {
                     kernel.control(op);
@@ -820,7 +920,17 @@ impl Scap {
                     restarts: sl.restarts,
                 })
                 .collect();
-            (kernel.stats(), statuses)
+            let beats: u64 = slots
+                .iter()
+                .map(|sl| sl.heartbeat.load(Ordering::SeqCst))
+                .sum();
+            kernel.set_worker_heartbeats(beats);
+            // Hoist the telemetry out before the kernel (and its plain
+            // registries) drop with the scope.
+            let mut telemetry = kernel.telemetry_snapshot();
+            telemetry.merge(&worker_tele.snapshot());
+            let series = kernel.telemetry_series().clone();
+            (kernel.stats(), statuses, telemetry, series)
         });
 
         self.last_error = if statuses.iter().all(WorkerStatus::is_clean) {
@@ -829,6 +939,8 @@ impl Scap {
             Some(CaptureError { workers: statuses })
         };
         self.last_stats = Some(stats);
+        self.last_telemetry = Some(telemetry);
+        self.last_series = Some(series);
         stats
     }
 }
@@ -987,6 +1099,42 @@ mod tests {
         let first = scap.start_capture(trace());
         let second = scap.start_capture(trace());
         assert_eq!(first.stack.wire_packets, second.stack.wire_packets);
+    }
+
+    #[test]
+    fn telemetry_snapshot_conserves_packets_and_times_workers() {
+        let mut scap = Scap::builder().worker_threads(2).try_build().unwrap();
+        scap.dispatch_data(|_| {});
+        let stats = scap.start_capture(trace());
+        let snap = scap.telemetry_snapshot().expect("telemetry captured");
+        assert_eq!(snap.total(Metric::WirePackets), stats.stack.wire_packets);
+        assert_eq!(
+            snap.total(Metric::WirePackets),
+            snap.total(Metric::DeliveredPackets)
+                + snap.total(Metric::DroppedPackets)
+                + snap.total(Metric::DiscardedPackets)
+        );
+        // Worker spans are wall-clock and must cover every handled event.
+        assert_eq!(
+            snap.stage(Stage::Worker).count(),
+            snap.total(Metric::WorkerEventsHandled)
+        );
+        assert!(snap.total(Metric::WorkerEventsHandled) > 0);
+        assert!(snap.stage(Stage::Nic).count() >= stats.stack.wire_packets);
+        assert!(scap.telemetry_series().is_some());
+    }
+
+    #[test]
+    fn stats_interval_fires_the_stats_hook() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let mut scap = Scap::builder().stats_interval(500).try_build().unwrap();
+        let c = calls.clone();
+        scap.dispatch_stats(move |snap| {
+            assert!(snap.total(Metric::WirePackets) > 0);
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        scap.start_capture(trace());
+        assert!(calls.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use crate::event::{Event, EventKind};
 use crate::kernel::ScapKernel;
-use scap_sim::{CacheSim, CaptureStack, CoreBudgets, StackStats, Work};
+use scap_sim::{CacheSim, CaptureStack, CoreBudgets, CostModel, StackStats, Work};
+use scap_telemetry::{Metric, Stage};
 use scap_trace::Packet;
 #[allow(unused_imports)]
 use CacheSim as _CacheSimUsed;
@@ -73,6 +74,32 @@ impl<A: SimApp> ScapSimStack<A> {
         &self.app
     }
 
+    /// Split one kernel work receipt into per-stage virtual-cycle spans
+    /// and record them into the kernel's telemetry registry. The same
+    /// stage histograms hold wall-clock nanoseconds under the live
+    /// driver; here they hold deterministic virtual cycles, so a seeded
+    /// run always produces identical telemetry.
+    fn record_kernel_spans(kernel: &ScapKernel, model: &CostModel, core: usize, w: &Work) {
+        let tele = kernel.telemetry();
+        let nic = w.k_packets as f64 * model.cyc_k_packet;
+        let kern = w.k_hash_probes as f64 * model.cyc_k_hash_probe
+            + w.k_bytes_touched as f64 * model.cyc_k_byte_touch
+            + w.k_fdir_ops as f64 * model.cyc_k_fdir_op
+            + w.k_timer_ops as f64 * model.cyc_k_timer_op;
+        let mem = w.k_bytes_copied as f64 * model.cyc_k_byte_copy;
+        let evq = w.k_events as f64 * model.cyc_k_event;
+        for (stage, cyc) in [
+            (Stage::Nic, nic),
+            (Stage::Kernel, kern),
+            (Stage::Memory, mem),
+            (Stage::EventQueue, evq),
+        ] {
+            if cyc > 0.0 {
+                tele.record_stage(core, stage, cyc as u64);
+            }
+        }
+    }
+
     fn deliver(kernel: &mut ScapKernel, app: &mut A, ev: Event) -> Work {
         let mut w = Work {
             u_events: 1,
@@ -101,6 +128,7 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
         // filter installed in response to packet N must already drop
         // packet N+1, not take effect a tick later.
         let ncores = self.kernel.ncores();
+        let model = *budgets.model();
         for p in packets {
             let verdict = self.kernel.nic_receive(p);
             if let Some(q) = verdict.queue() {
@@ -108,6 +136,7 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
                     match self.kernel.kernel_poll(q, now_ns) {
                         Some(w) => {
                             budgets.charge_kernel(q, &w);
+                            Self::record_kernel_spans(&self.kernel, &model, q, &w);
                         }
                         None => break,
                     }
@@ -118,10 +147,12 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
         for core in 0..ncores {
             let tw = self.kernel.kernel_timers(core, now_ns);
             budgets.charge_kernel(core, &tw);
+            Self::record_kernel_spans(&self.kernel, &model, core, &tw);
             while budgets.can_run(core) {
                 match self.kernel.kernel_poll(core, now_ns) {
                     Some(w) => {
                         budgets.charge_kernel(core, &w);
+                        Self::record_kernel_spans(&self.kernel, &model, core, &w);
                     }
                     None => break,
                 }
@@ -162,8 +193,15 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
                 self.events_delivered += 1;
                 let w = Self::deliver(&mut self.kernel, &mut self.app, ev);
                 budgets.charge_user(worker, &w);
+                // Shard by worker, clamped into the per-core registry
+                // (workers normally number at most the cores).
+                let shard = worker % ncores;
+                let tele = self.kernel.telemetry();
+                tele.inc(shard, Metric::WorkerEventsHandled);
+                tele.record_stage(shard, Stage::Worker, model.user_cycles(&w) as u64);
             }
         }
+        self.kernel.set_worker_heartbeats(self.events_delivered);
     }
 
     fn finish(&mut self, now_ns: u64) {
@@ -171,11 +209,16 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
         // Post-run catch-up: remaining queued events are processed
         // unbudgeted so final accounting (streams, matches) is complete.
         for q in 0..self.kernel.ncores() {
+            let worker = q % self.nworkers;
             while let Some(ev) = self.kernel.next_event(q) {
                 self.events_delivered += 1;
                 Self::deliver(&mut self.kernel, &mut self.app, ev);
+                self.kernel
+                    .telemetry()
+                    .inc(worker, Metric::WorkerEventsHandled);
             }
         }
+        self.kernel.set_worker_heartbeats(self.events_delivered);
     }
 
     fn stats(&self) -> StackStats {

@@ -47,6 +47,8 @@ impl ChunkBuf {
     }
 }
 
+use scap_telemetry::{Metric, PlainRegistry};
+
 /// The block allocator.
 #[derive(Debug)]
 pub struct Arena {
@@ -67,6 +69,8 @@ pub struct Arena {
     /// pressure). Reserved bytes count as used for admission and for
     /// `used_fraction`, so PPL sees the pressure spike.
     reserved: usize,
+    /// Telemetry (single shard: the arena is one shared resource).
+    tele: PlainRegistry,
 }
 
 impl Arena {
@@ -81,7 +85,14 @@ impl Arena {
             failures: 0,
             peak_used: 0,
             reserved: 0,
+            tele: PlainRegistry::new(1),
         }
+    }
+
+    /// The arena's telemetry registry (merged into capture-wide
+    /// snapshots by the kernel).
+    pub fn telemetry(&self) -> &PlainRegistry {
+        &self.tele
     }
 
     /// Total budget in bytes.
@@ -122,6 +133,7 @@ impl Arena {
         assert!(size > 0);
         if self.used + self.reserved + size > self.budget {
             self.failures += 1;
+            self.tele.inc(0, Metric::ArenaAllocFailures);
             return Err(OutOfMemory);
         }
         let data = match self.freelists.get_mut(&size).and_then(Vec::pop) {
@@ -131,6 +143,7 @@ impl Arena {
         self.used += size;
         self.peak_used = self.peak_used.max(self.used);
         self.allocs += 1;
+        self.tele.inc(0, Metric::ArenaAllocs);
         Ok(ChunkBuf {
             data,
             len: 0,
@@ -145,6 +158,7 @@ impl Arena {
         let size = chunk.data.len();
         self.used -= size;
         self.releases += 1;
+        self.tele.inc(0, Metric::ArenaReleases);
         self.freelists.entry(size).or_default().push(chunk.data);
     }
 }

@@ -82,6 +82,28 @@ impl PplConfig {
         }
         PplVerdict::Accept
     }
+
+    /// [`PplConfig::verdict`] plus telemetry: the outcome is counted
+    /// into `reg`'s shard (accept / watermark drop / cutoff drop), so
+    /// PPL transitions are visible in the time-resolved view.
+    pub fn verdict_recorded(
+        &self,
+        used_fraction: f64,
+        priority: u8,
+        stream_offset: u64,
+        reg: &scap_telemetry::PlainRegistry,
+        shard: usize,
+    ) -> PplVerdict {
+        use scap_telemetry::Metric;
+        let v = self.verdict(used_fraction, priority, stream_offset);
+        let m = match v {
+            PplVerdict::Accept => Metric::PplAccepts,
+            PplVerdict::DropWatermark => Metric::PplWatermarkDrops,
+            PplVerdict::DropOverloadCutoff => Metric::PplCutoffDrops,
+        };
+        reg.inc(shard, m);
+        v
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +165,30 @@ mod tests {
         assert_eq!(cfg.verdict(0.7, 0, 50_000), PplVerdict::DropOverloadCutoff);
         // Below base threshold the cutoff does not apply.
         assert_eq!(cfg.verdict(0.4, 0, 50_000), PplVerdict::Accept);
+    }
+
+    #[test]
+    fn recorded_verdicts_count_each_outcome() {
+        use scap_telemetry::{Metric, PlainRegistry};
+        let reg = PlainRegistry::new(2);
+        let cfg = PplConfig {
+            base_threshold: 0.5,
+            num_priorities: 1,
+            overload_cutoff: Some(10_000),
+        };
+        assert_eq!(cfg.verdict_recorded(0.2, 0, 0, &reg, 1), PplVerdict::Accept);
+        assert_eq!(
+            cfg.verdict_recorded(0.7, 0, 50_000, &reg, 1),
+            PplVerdict::DropOverloadCutoff
+        );
+        assert_eq!(
+            cfg.verdict_recorded(1.01, 0, 0, &reg, 0),
+            PplVerdict::DropWatermark
+        );
+        let s = reg.snapshot();
+        assert_eq!(s.counter(1, Metric::PplAccepts), 1);
+        assert_eq!(s.counter(1, Metric::PplCutoffDrops), 1);
+        assert_eq!(s.counter(0, Metric::PplWatermarkDrops), 1);
     }
 
     #[test]

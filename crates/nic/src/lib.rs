@@ -31,6 +31,7 @@ pub use fdir::{FdirAction, FdirError, FdirFilter, FdirTable, FlexMatch};
 pub use queue::RxQueue;
 pub use rss::{RssHasher, SYMMETRIC_RSS_KEY};
 
+use scap_telemetry::{Metric, PlainRegistry};
 use scap_wire::ParsedPacket;
 
 /// What the NIC did with a frame.
@@ -88,6 +89,8 @@ pub struct Nic<T> {
     fdir: FdirTable,
     queues: Vec<RxQueue<T>>,
     stats: NicStats,
+    /// Telemetry: per-queue shards; table-wide FDIR ops land in shard 0.
+    tele: PlainRegistry,
 }
 
 impl<T> Nic<T> {
@@ -100,7 +103,14 @@ impl<T> Nic<T> {
             fdir: FdirTable::new(fdir::PERFECT_FILTER_CAPACITY),
             queues: (0..nqueues).map(|_| RxQueue::new(ring_capacity)).collect(),
             stats: NicStats::default(),
+            tele: PlainRegistry::new(nqueues),
         }
+    }
+
+    /// The NIC's telemetry registry (one shard per RX queue). The kernel
+    /// merges this into the capture-wide snapshot.
+    pub fn telemetry(&self) -> &PlainRegistry {
+        &self.tele
     }
 
     /// Number of RX queues.
@@ -144,23 +154,34 @@ impl<T> Nic<T> {
     pub fn receive(&mut self, parsed: &ParsedPacket<'_>, item: T) -> NicVerdict {
         self.stats.rx_frames += 1;
         self.stats.rx_bytes += parsed.frame.len() as u64;
+        self.tele.inc(0, Metric::NicRxFrames);
+        self.tele
+            .add(0, Metric::NicRxBytes, parsed.frame.len() as u64);
 
         if let Some(action) = self.fdir.lookup(parsed) {
             match action {
                 FdirAction::Drop => {
                     self.stats.fdir_dropped_frames += 1;
                     self.stats.fdir_dropped_bytes += parsed.frame.len() as u64;
+                    self.tele.inc(0, Metric::NicFdirDropFrames);
                     return NicVerdict::DroppedByFilter;
                 }
                 FdirAction::ToQueue(q) => {
                     let q = q.min(self.queues.len() - 1);
                     self.stats.fdir_steered_frames += 1;
+                    self.tele.inc(q, Metric::NicFdirSteeredFrames);
                     return if self.queues[q].push(item) {
                         self.stats.delivered_frames += 1;
                         self.stats.delivered_bytes += parsed.frame.len() as u64;
+                        self.tele.inc(q, Metric::NicRingPushes);
                         NicVerdict::SteeredToQueue(q)
                     } else {
                         self.stats.ring_dropped_frames += 1;
+                        self.tele.inc(q, Metric::NicRingFullDrops);
+                        // Ring overflows count as stack-level drops when
+                        // ScapStats are snapshotted; mirror that here so
+                        // the merged telemetry conserves packets too.
+                        self.tele.inc(q, Metric::DroppedPackets);
                         NicVerdict::DroppedRingFull(q)
                     };
                 }
@@ -176,11 +197,46 @@ impl<T> Nic<T> {
         if self.queues[q].push(item) {
             self.stats.delivered_frames += 1;
             self.stats.delivered_bytes += parsed.frame.len() as u64;
+            self.tele.inc(q, Metric::NicRingPushes);
             NicVerdict::HashedToQueue(q)
         } else {
             self.stats.ring_dropped_frames += 1;
+            self.tele.inc(q, Metric::NicRingFullDrops);
+            self.tele.inc(q, Metric::DroppedPackets);
             NicVerdict::DroppedRingFull(q)
         }
+    }
+
+    /// Program one FDIR filter, recording the operation (and any
+    /// failure) in telemetry. Prefer this over `fdir_mut().add` so the
+    /// op counters stay complete.
+    pub fn fdir_install(&mut self, filter: FdirFilter) -> Result<(), FdirError> {
+        self.tele.inc(0, Metric::NicFdirOps);
+        let r = self.fdir.add(filter);
+        if r.is_err() {
+            self.tele.inc(0, Metric::NicFdirOpFailures);
+        }
+        r
+    }
+
+    /// Remove one FDIR filter, recording the operation.
+    pub fn fdir_uninstall(
+        &mut self,
+        key: &scap_wire::FlowKey,
+        flex: Option<FlexMatch>,
+    ) -> Result<(), FdirError> {
+        self.tele.inc(0, Metric::NicFdirOps);
+        let r = self.fdir.remove(key, flex);
+        if r.is_err() {
+            self.tele.inc(0, Metric::NicFdirOpFailures);
+        }
+        r
+    }
+
+    /// Remove every filter on a directed key, recording the operation.
+    pub fn fdir_uninstall_all_for(&mut self, key: &scap_wire::FlowKey) -> usize {
+        self.tele.inc(0, Metric::NicFdirOps);
+        self.fdir.remove_all_for(key)
     }
 }
 
@@ -290,6 +346,32 @@ mod tests {
         // Draining the ring makes room again.
         assert_eq!(nic.queue_mut(0).pop(), Some(0));
         assert!(matches!(nic.receive(&p, 3), NicVerdict::HashedToQueue(0)));
+    }
+
+    #[test]
+    fn telemetry_mirrors_nic_stats() {
+        use scap_telemetry::Metric;
+        let mut nic: Nic<u32> = Nic::new(2, 1);
+        let f = frame(1, 2, TcpFlags::ACK);
+        let p = parse_frame(&f).unwrap();
+        let key = p.key.unwrap();
+        for i in 0..3 {
+            nic.receive(&p, i); // same queue: 1 push, 2 ring-full drops
+        }
+        nic.fdir_install(FdirFilter::drop_tcp_flags(key, TcpFlags::ACK))
+            .unwrap();
+        nic.receive(&p, 9); // hardware drop
+        assert_eq!(nic.fdir_uninstall_all_for(&key), 1);
+
+        let s = nic.stats();
+        let t = nic.telemetry().snapshot();
+        assert_eq!(t.total(Metric::NicRxFrames), s.rx_frames);
+        assert_eq!(t.total(Metric::NicRxBytes), s.rx_bytes);
+        assert_eq!(t.total(Metric::NicRingPushes), s.delivered_frames);
+        assert_eq!(t.total(Metric::NicRingFullDrops), s.ring_dropped_frames);
+        assert_eq!(t.total(Metric::NicFdirDropFrames), s.fdir_dropped_frames);
+        assert_eq!(t.total(Metric::NicFdirOps), 2);
+        assert_eq!(t.total(Metric::NicFdirOpFailures), 0);
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Hand-rolled exporters: JSON-lines, CSV, aligned human table, and a
+//! JSON-lines parser for round-trip verification. No serde — the formats
+//! are fixed and tiny, and the repository's result writers are all
+//! hand-rolled for the same reason.
+//!
+//! Output ordering is fully deterministic: shards ascending, then the
+//! declaration order of [`Metric`]/[`Gauge`]/[`Stage`]. Zero-valued
+//! counters and gauges are omitted from JSON-lines (the parser restores
+//! them from the `meta` line) but kept in CSV so every run of the same
+//! configuration has the same row set.
+
+use crate::hist::{HistSnapshot, BUCKETS};
+use crate::registry::{ShardSnapshot, Snapshot};
+use crate::sampler::Sampler;
+use crate::{Gauge, Metric, Stage};
+
+/// Serialize a snapshot as JSON-lines: one `meta` line, then one line
+/// per non-zero counter, gauge and non-empty stage histogram.
+pub fn to_jsonl(s: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"shards\":{}}}\n",
+        s.shards.len()
+    ));
+    for (i, shard) in s.shards.iter().enumerate() {
+        for m in Metric::ALL {
+            let v = shard.counters[m.idx()];
+            if v != 0 {
+                out.push_str(&format!(
+                    "{{\"type\":\"counter\",\"shard\":{i},\"name\":\"{}\",\"value\":{v}}}\n",
+                    m.name()
+                ));
+            }
+        }
+        for g in Gauge::ALL {
+            let v = shard.gauges[g.idx()];
+            if v != 0 {
+                out.push_str(&format!(
+                    "{{\"type\":\"gauge\",\"shard\":{i},\"name\":\"{}\",\"value\":{v}}}\n",
+                    g.name()
+                ));
+            }
+        }
+        for st in Stage::ALL {
+            let h = &shard.stages[st.idx()];
+            if h.count() == 0 {
+                continue;
+            }
+            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+            out.push_str(&format!(
+                "{{\"type\":\"stage\",\"shard\":{i},\"name\":\"{}\",\"sum\":{},\"buckets\":[{}]}}\n",
+                st.name(),
+                h.sum,
+                buckets.join(",")
+            ));
+        }
+    }
+    out
+}
+
+/// Parse the output of [`to_jsonl`] back into a snapshot. Only the exact
+/// format this module emits is accepted; anything else is an error.
+pub fn from_jsonl(text: &str) -> Result<Snapshot, String> {
+    let mut snap: Option<Snapshot> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        let ty = json_str(line, "type").ok_or_else(|| err("missing type"))?;
+        if ty == "meta" {
+            let shards = json_u64(line, "shards").ok_or_else(|| err("missing shards"))? as usize;
+            snap = Some(Snapshot {
+                shards: (0..shards.max(1))
+                    .map(|_| ShardSnapshot::default())
+                    .collect(),
+            });
+            continue;
+        }
+        let snap = snap.as_mut().ok_or_else(|| err("record before meta"))?;
+        let shard = json_u64(line, "shard").ok_or_else(|| err("missing shard"))? as usize;
+        let name = json_str(line, "name").ok_or_else(|| err("missing name"))?;
+        let dst = snap
+            .shards
+            .get_mut(shard)
+            .ok_or_else(|| err("shard out of range"))?;
+        match ty.as_str() {
+            "counter" => {
+                let m = Metric::from_name(&name).ok_or_else(|| err("unknown counter"))?;
+                dst.counters[m.idx()] =
+                    json_u64(line, "value").ok_or_else(|| err("missing value"))?;
+            }
+            "gauge" => {
+                let g = Gauge::from_name(&name).ok_or_else(|| err("unknown gauge"))?;
+                dst.gauges[g.idx()] =
+                    json_u64(line, "value").ok_or_else(|| err("missing value"))?;
+            }
+            "stage" => {
+                let st = Stage::from_name(&name).ok_or_else(|| err("unknown stage"))?;
+                let sum = json_u64(line, "sum").ok_or_else(|| err("missing sum"))?;
+                let buckets = json_u64_array(line, "buckets").ok_or_else(|| err("bad buckets"))?;
+                if buckets.len() != BUCKETS {
+                    return Err(err("wrong bucket count"));
+                }
+                let h = &mut dst.stages[st.idx()];
+                h.sum = sum;
+                h.buckets.copy_from_slice(&buckets);
+            }
+            _ => return Err(err("unknown record type")),
+        }
+    }
+    snap.ok_or_else(|| "no meta line".to_string())
+}
+
+/// Serialize a snapshot as CSV: `kind,shard,name,field,value` rows, all
+/// counters and gauges (including zeros) plus count/sum/p50/p99 per
+/// stage histogram. Byte-identical across runs of a deterministic
+/// capture — the sim-mode determinism test compares exactly this.
+pub fn to_csv(s: &Snapshot) -> String {
+    let mut out = String::from("kind,shard,name,field,value\n");
+    for (i, shard) in s.shards.iter().enumerate() {
+        for m in Metric::ALL {
+            out.push_str(&format!(
+                "counter,{i},{},value,{}\n",
+                m.name(),
+                shard.counters[m.idx()]
+            ));
+        }
+        for g in Gauge::ALL {
+            out.push_str(&format!(
+                "gauge,{i},{},value,{}\n",
+                g.name(),
+                shard.gauges[g.idx()]
+            ));
+        }
+        for st in Stage::ALL {
+            let h = &shard.stages[st.idx()];
+            let hs = HistSnapshot {
+                buckets: h.buckets,
+                sum: h.sum,
+            };
+            out.push_str(&format!("stage,{i},{},count,{}\n", st.name(), hs.count()));
+            out.push_str(&format!("stage,{i},{},sum,{}\n", st.name(), hs.sum));
+            out.push_str(&format!(
+                "stage,{i},{},p50,{}\n",
+                st.name(),
+                hs.quantile(0.50)
+            ));
+            out.push_str(&format!(
+                "stage,{i},{},p99,{}\n",
+                st.name(),
+                hs.quantile(0.99)
+            ));
+        }
+    }
+    out
+}
+
+/// Render a snapshot as an aligned human-readable table: aggregate
+/// counters, worst-shard gauges, and per-stage latency summaries.
+pub fn to_table(s: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>16}\ncounters ({} shards)\n",
+        "telemetry",
+        "",
+        s.shards.len()
+    ));
+    for m in Metric::ALL {
+        let v = s.total(m);
+        if v != 0 {
+            out.push_str(&format!("  {:<24} {:>16}\n", m.name(), v));
+        }
+    }
+    out.push_str("gauges (max across shards)\n");
+    for g in Gauge::ALL {
+        out.push_str(&format!("  {:<24} {:>16}\n", g.name(), s.gauge_max(g)));
+    }
+    out.push_str(&format!(
+        "stages {:<19} {:>12} {:>12} {:>12} {:>12}\n",
+        "", "count", "mean", "p50", "p99"
+    ));
+    for st in Stage::ALL {
+        let h = s.stage(st);
+        out.push_str(&format!(
+            "  {:<24} {:>12} {:>12.0} {:>12} {:>12}\n",
+            st.name(),
+            h.count(),
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.99)
+        ));
+    }
+    out
+}
+
+/// Serialize a sampler's time series as CSV: one column per gauge, one
+/// row per sample.
+pub fn series_to_csv(sampler: &Sampler) -> String {
+    let mut out = String::from("t_ns");
+    for g in Gauge::ALL {
+        out.push(',');
+        out.push_str(g.name());
+    }
+    out.push('\n');
+    for p in sampler.points() {
+        out.push_str(&p.t_ns.to_string());
+        for v in p.gauges {
+            out.push(',');
+            out.push_str(&v.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract a `"key":"string"` field from a single JSON-lines record.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extract a `"key":number` field from a single JSON-lines record.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extract a `"key":[n,n,...]` array field.
+fn json_u64_array(line: &str, key: &str) -> Option<Vec<u64>> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find(']')?;
+    line[start..start + end]
+        .split(',')
+        .map(|t| t.trim().parse().ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::PlainRegistry;
+
+    fn populated() -> Snapshot {
+        let r = PlainRegistry::new(3);
+        r.add(0, Metric::WirePackets, 1000);
+        r.add(0, Metric::WireBytes, 840_000);
+        r.add(1, Metric::KernelHashProbes, 42);
+        r.add(2, Metric::WorkerEventsHandled, 7);
+        r.gauge_set(0, Gauge::GovernorLevel, 3);
+        r.gauge_set(2, Gauge::EventBacklog, 19);
+        for v in [0u64, 1, 5, 900, 1 << 40] {
+            r.record_stage(1, Stage::Kernel, v);
+            r.record_stage(2, Stage::Worker, v + 3);
+        }
+        r.snapshot()
+    }
+
+    /// Satellite: exporter round-trip — parsing the JSON-lines output
+    /// reconstructs the registry state exactly.
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        let snap = populated();
+        let text = to_jsonl(&snap);
+        let back = from_jsonl(&text).expect("parse-back failed");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn jsonl_round_trip_of_empty_registry() {
+        let snap = PlainRegistry::new(2).snapshot();
+        assert_eq!(from_jsonl(&to_jsonl(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_garbage() {
+        assert!(from_jsonl("").is_err());
+        assert!(from_jsonl("{\"type\":\"counter\",\"shard\":0}").is_err());
+        let bad_name =
+            "{\"type\":\"meta\",\"shards\":1}\n{\"type\":\"counter\",\"shard\":0,\"name\":\"nope\",\"value\":1}";
+        assert!(from_jsonl(bad_name).is_err());
+        let bad_shard =
+            "{\"type\":\"meta\",\"shards\":1}\n{\"type\":\"counter\",\"shard\":9,\"name\":\"wire_packets\",\"value\":1}";
+        assert!(from_jsonl(bad_shard).is_err());
+    }
+
+    #[test]
+    fn csv_and_table_are_deterministic_and_complete() {
+        let snap = populated();
+        let a = to_csv(&snap);
+        let b = to_csv(&snap);
+        assert_eq!(a, b);
+        // Every metric name appears even when zero (stable row set).
+        for m in Metric::ALL {
+            assert!(a.contains(m.name()), "CSV missing {}", m.name());
+        }
+        let t = to_table(&snap);
+        assert!(t.contains("wire_packets"));
+        assert!(t.contains("governor_level"));
+        assert!(t.contains("p99"));
+    }
+
+    #[test]
+    fn series_csv_shape() {
+        let mut s = Sampler::new(5, 16);
+        s.record(0, [1; crate::Gauge::COUNT]);
+        s.record(5, [2; crate::Gauge::COUNT]);
+        let csv = series_to_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("t_ns,ring_fill_permille,"));
+        assert!(lines[1].starts_with("0,1,1,"));
+        assert!(lines[2].starts_with("5,2,2,"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed 64-bucket log2 histograms.
+//!
+//! Bucket 0 holds exactly the value 0; bucket `b ≥ 1` holds the range
+//! `[2^(b-1), 2^b - 1]` (the top bucket is open-ended). Recording a value
+//! is therefore one `leading_zeros` and one indexed add — cheap enough
+//! for the per-packet path.
+
+use crate::MetricCell;
+
+/// Number of histogram buckets (covers the full `u64` range).
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive `(low, high)` range of values a bucket holds.
+pub fn bucket_range(b: usize) -> (u64, u64) {
+    assert!(b < BUCKETS, "bucket {b} out of range");
+    match b {
+        0 => (0, 0),
+        63 => (1u64 << 62, u64::MAX),
+        _ => (1u64 << (b - 1), (1u64 << b) - 1),
+    }
+}
+
+/// A log2 histogram over generic cells (plain or atomic).
+pub struct Hist64<C> {
+    buckets: [C; BUCKETS],
+    sum: C,
+}
+
+impl<C: MetricCell> Default for Hist64<C> {
+    fn default() -> Self {
+        Hist64 {
+            buckets: std::array::from_fn(|_| C::default()),
+            sum: C::default(),
+        }
+    }
+}
+
+impl<C: MetricCell> Hist64<C> {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].add(1);
+        self.sum.add(v);
+    }
+
+    /// Copy the current state out as plain data.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].get()),
+            sum: self.sum.get(),
+        }
+    }
+}
+
+/// Plain-data histogram state (what exporters and tests consume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded values (for means).
+    pub sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The lower bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`), i.e. a conservative percentile estimate at
+    /// power-of-two resolution. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_range(b).0;
+            }
+        }
+        bucket_range(BUCKETS - 1).0
+    }
+
+    /// Element-wise accumulate another histogram into this one.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_range(1), (1, 1));
+        assert_eq!(bucket_range(2), (2, 3));
+        assert_eq!(bucket_range(63).1, u64::MAX);
+    }
+
+    proptest! {
+        /// Satellite: value → bucket → range round-trip. Every value lands
+        /// in a bucket whose range contains it, and both range endpoints
+        /// map back to that same bucket.
+        #[test]
+        fn bucket_round_trip(v in any::<u64>()) {
+            let b = bucket_of(v);
+            let (lo, hi) = bucket_range(b);
+            prop_assert!(lo <= v && v <= hi, "value {v} outside bucket {b} range [{lo},{hi}]");
+            prop_assert_eq!(bucket_of(lo), b);
+            prop_assert_eq!(bucket_of(hi), b);
+        }
+
+        #[test]
+        fn buckets_partition_the_u64_line(b in 0usize..BUCKETS) {
+            // Adjacent buckets tile the line with no gap or overlap.
+            let (lo, hi) = bucket_range(b);
+            prop_assert!(lo <= hi);
+            if b + 1 < BUCKETS {
+                let (next_lo, _) = bucket_range(b + 1);
+                prop_assert_eq!(hi + 1, next_lo);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let h: Hist64<std::cell::Cell<u64>> = Hist64::default();
+        for v in [1u64, 1, 1, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum, 1003);
+        // p50 falls in bucket 1 (value 1); p99 in the bucket of 1000.
+        assert_eq!(s.quantile(0.5), 1);
+        assert_eq!(s.quantile(0.99), bucket_range(bucket_of(1000)).0);
+        assert!((s.mean() - 250.75).abs() < 1e-9);
+        assert_eq!(HistSnapshot::default().quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Periodic gauge sampling into bounded in-memory time-series rings.
+//!
+//! The sampler never reads a clock: the caller passes `now` — virtual
+//! time under simulation, trace time live — so a seeded run produces a
+//! byte-identical series.
+
+use crate::Gauge;
+use std::collections::VecDeque;
+
+/// One sampled row: a timestamp plus every gauge value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplePoint {
+    /// Caller-supplied timestamp (virtual or trace nanoseconds).
+    pub t_ns: u64,
+    /// Gauge values in [`Gauge::ALL`] order.
+    pub gauges: [u64; Gauge::COUNT],
+}
+
+/// A bounded time-series ring of gauge samples.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval_ns: u64,
+    cap: usize,
+    next_due_ns: Option<u64>,
+    points: VecDeque<SamplePoint>,
+    /// Points evicted because the ring was full (oldest-first).
+    pub evicted: u64,
+}
+
+impl Sampler {
+    /// A sampler taking one row every `interval_ns`, keeping at most
+    /// `cap` rows (oldest rows are evicted, and counted).
+    pub fn new(interval_ns: u64, cap: usize) -> Self {
+        Sampler {
+            interval_ns: interval_ns.max(1),
+            cap: cap.max(1),
+            next_due_ns: None,
+            points: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Whether a sample is due at `now` (always true for the first call).
+    #[inline]
+    pub fn due(&self, now_ns: u64) -> bool {
+        match self.next_due_ns {
+            None => true,
+            Some(due) => now_ns >= due,
+        }
+    }
+
+    /// Record one row and schedule the next due time.
+    pub fn record(&mut self, now_ns: u64, gauges: [u64; Gauge::COUNT]) {
+        self.next_due_ns = Some(now_ns.saturating_add(self.interval_ns));
+        if self.points.len() == self.cap {
+            self.points.pop_front();
+            self.evicted += 1;
+        }
+        self.points.push_back(SamplePoint {
+            t_ns: now_ns,
+            gauges,
+        });
+    }
+
+    /// The retained rows, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &SamplePoint> {
+        self.points.iter()
+    }
+
+    /// Number of retained rows.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sampling interval in force.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_and_bound() {
+        let mut s = Sampler::new(10, 3);
+        assert!(s.due(0));
+        s.record(0, [0; Gauge::COUNT]);
+        assert!(!s.due(9));
+        assert!(s.due(10));
+        for t in [10u64, 20, 30, 40] {
+            s.record(t, [t; Gauge::COUNT]);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted, 2);
+        let ts: Vec<u64> = s.points().map(|p| p.t_ns).collect();
+        assert_eq!(ts, vec![20, 30, 40]);
+        assert!(!s.is_empty());
+        assert_eq!(s.interval_ns(), 10);
+    }
+}

@@ -67,6 +67,24 @@ fn fault_storm_degrades_gracefully_and_recovers() {
         "capture still delivers data"
     );
 
+    // The telemetry subsystem must tell the same conservation story as
+    // ScapStats, counter for counter, even under the storm.
+    {
+        use scap::telemetry::Metric;
+        let snap = scap.telemetry_snapshot().expect("telemetry captured");
+        assert_eq!(snap.total(Metric::WirePackets), st.wire_packets);
+        assert_eq!(snap.total(Metric::DeliveredPackets), st.delivered_packets);
+        assert_eq!(snap.total(Metric::DroppedPackets), st.dropped_packets);
+        assert_eq!(snap.total(Metric::DiscardedPackets), st.discarded_packets);
+        assert_eq!(
+            snap.total(Metric::WirePackets),
+            snap.total(Metric::DeliveredPackets)
+                + snap.total(Metric::DroppedPackets)
+                + snap.total(Metric::DiscardedPackets),
+            "telemetry conservation violated"
+        );
+    }
+
     let r = &stats.resilience;
     // Frame-level mangling registered.
     assert!(r.frames_corrupted > 0, "{r:?}");
@@ -149,6 +167,17 @@ fn ring_stalls_register_without_losing_accounting() {
         stats.resilience
     );
     assert!(stats.resilience.arena_spikes >= 1, "{:?}", stats.resilience);
+
+    // Telemetry sees the same exits — including the ring-overflow drops
+    // that ScapStats folds in from the NIC at snapshot time.
+    {
+        use scap::telemetry::Metric;
+        let snap = kernel.telemetry_snapshot();
+        assert_eq!(snap.total(Metric::WirePackets), st.wire_packets);
+        assert_eq!(snap.total(Metric::DeliveredPackets), st.delivered_packets);
+        assert_eq!(snap.total(Metric::DroppedPackets), st.dropped_packets);
+        assert_eq!(snap.total(Metric::DiscardedPackets), st.discarded_packets);
+    }
 }
 
 #[test]
