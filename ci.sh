@@ -18,14 +18,31 @@ cargo fmt --check
 echo "== benches compile =="
 cargo bench --no-run
 
-echo "== telemetry smoke run =="
+echo "== telemetry + store smoke run =="
 smoke_out=$(mktemp -d)
 cargo run --release -p scap-bench --bin experiments -- \
-    --exp telemetry --scale smoke --out "$smoke_out" >/dev/null
+    --exp telemetry store --scale smoke --out "$smoke_out" >/dev/null
 for f in telemetry_counters.csv telemetry_series.csv telemetry_table.txt \
-         telemetry_stages.csv BENCH_summary.json; do
+         telemetry_stages.csv store_archive.csv store_priorities.csv \
+         BENCH_summary.json; do
     test -s "$smoke_out/$f" || { echo "missing $f"; exit 1; }
 done
+grep -q '"store"' "$smoke_out/BENCH_summary.json" \
+    || { echo "BENCH_summary.json lacks a store section"; exit 1; }
 rm -rf "$smoke_out"
+
+echo "== scapstore smoke =="
+store_out=$(mktemp -d)
+cargo run --release -p scap-bench --bin scapcat -- --gen 2 "$store_out/trace.pcap" >/dev/null
+cargo run --release -p scap-bench --bin scapstore -- \
+    write "$store_out/archive" "$store_out/trace.pcap" --cutoff 16384 >/dev/null
+q=$(cargo run --release -p scap-bench --bin scapstore -- \
+    query "$store_out/archive" "tcp and port 80" | tail -1)
+case "$q" in
+    "0 stream(s) matched"|"") echo "scapstore query returned nothing: $q"; exit 1 ;;
+esac
+cargo run --release -p scap-bench --bin scapstore -- verify "$store_out/archive" >/dev/null \
+    || { echo "scapstore verify failed on a fresh archive"; exit 1; }
+rm -rf "$store_out"
 
 echo "CI green."

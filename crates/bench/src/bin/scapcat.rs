@@ -13,6 +13,8 @@
 //! scapcat --top 20 trace.pcap                # largest 20 streams
 //! scapcat --stats-interval 5000 trace.pcap   # telemetry table to stderr
 //!                                            # every 5000 packets
+//! scapcat --write out.pcap trace.pcap "tcp"  # dump the post-filter /
+//!                                            # post-cutoff packets
 //! ```
 
 use scap::{Scap, StreamCtx};
@@ -36,7 +38,7 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scapcat [--gen MB out.pcap] [--cutoff BYTES] [--top N] \
-             [--stats-interval PKTS] <file.pcap> [filter]"
+             [--stats-interval PKTS] [--write out.pcap] <file.pcap> [filter]"
         );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -61,6 +63,7 @@ fn main() {
     let mut cutoff: Option<u64> = None;
     let mut top: usize = usize::MAX;
     let mut stats_interval: Option<u64> = None;
+    let mut write_out: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +91,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--top needs a number"));
             }
+            "--write" => {
+                i += 1;
+                write_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--write needs an output path")),
+                );
+            }
             other if other.starts_with("--") => die(&format!("unknown flag {other}")),
             _ => positional.push(&args[i]),
         }
@@ -103,6 +114,48 @@ fn main() {
         .unwrap_or_else(|e| die(&format!("not a pcap file: {e}")))
         .read_all()
         .unwrap_or_else(|e| die(&format!("read error: {e}")));
+
+    // --write out.pcap: dump the packets that survive the configured
+    // filter and per-stream cutoff — the same view the capture keeps.
+    if let Some(out) = &write_out {
+        let filt = scap_filter::Filter::new(filter)
+            .unwrap_or_else(|e| die(&format!("bad filter expression: {e}")));
+        let mut budgets: std::collections::HashMap<scap::FlowKey, u64> =
+            std::collections::HashMap::new();
+        let kept: Vec<scap_trace::Packet> = packets
+            .iter()
+            .filter(|p| {
+                if !filt.matches_frame(&p.frame) {
+                    return false;
+                }
+                let Some(c) = cutoff else { return true };
+                let Ok(parsed) = scap_wire::parse_frame(&p.frame) else {
+                    return true;
+                };
+                let Some(key) = parsed.key else { return true };
+                // Control packets (no payload) always pass; data packets
+                // stop once the flow's payload budget is spent.
+                let seen = budgets.entry(key.canonical().0).or_insert(0);
+                if parsed.payload_len == 0 {
+                    return true;
+                }
+                if *seen >= c {
+                    return false;
+                }
+                *seen += parsed.payload_len as u64;
+                true
+            })
+            .cloned()
+            .collect();
+        let f = std::fs::File::create(out)
+            .unwrap_or_else(|e| die(&format!("cannot create {out}: {e}")));
+        write_file(f, &kept).unwrap_or_else(|e| die(&format!("write failed: {e}")));
+        println!(
+            "wrote {} of {} packets (post-filter/post-cutoff) to {out}",
+            kept.len(),
+            packets.len()
+        );
+    }
 
     let flows: Arc<Mutex<Vec<FlowLine>>> = Arc::new(Mutex::new(Vec::new()));
     let mut builder = Scap::builder().filter(filter).worker_threads(2);

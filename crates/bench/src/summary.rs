@@ -92,6 +92,48 @@ fn stages_section(fig: &FigureResult) -> String {
     format!("  \"stage_spans\": [{}]", items.join(", "))
 }
 
+/// The archive counters plus per-priority retention from the store
+/// experiment, as one `"store"` object.
+fn store_section(archive: &FigureResult, priorities: Option<&FigureResult>) -> String {
+    let mut fields: Vec<String> = archive
+        .rows
+        .iter()
+        .filter(|r| r.len() >= 2)
+        .map(|r| {
+            let mut key = String::new();
+            for c in r[0].chars() {
+                if c.is_alphanumeric() {
+                    key.push(c.to_ascii_lowercase());
+                } else if !key.is_empty() && !key.ends_with('_') {
+                    key.push('_');
+                }
+            }
+            let key = key.trim_end_matches('_');
+            format!("\"{}\": {}", json_escape(key), json_value(&r[1]))
+        })
+        .collect();
+    if let Some(p) = priorities {
+        let items: Vec<String> = p
+            .rows
+            .iter()
+            .filter(|r| r.len() >= 5)
+            .map(|r| {
+                format!(
+                    "{{\"priority\": {}, \"archived\": {}, \"pruned\": {}, \
+                     \"discard_ratio\": {}, \"live_bytes\": {}}}",
+                    json_value(&r[0]),
+                    json_value(&r[1]),
+                    json_value(&r[2]),
+                    json_value(&r[3]),
+                    json_value(&r[4])
+                )
+            })
+            .collect();
+        fields.push(format!("\"by_priority\": [{}]", items.join(", ")));
+    }
+    format!("  \"store\": {{{}}}", fields.join(", "))
+}
+
 /// Render the summary document from every figure produced in this run.
 pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String {
     let mut sections = vec![
@@ -115,6 +157,9 @@ pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String
     }
     if let Some(fig) = find(results, "telemetry_stages") {
         sections.push(stages_section(fig));
+    }
+    if let Some(fig) = find(results, "store_archive") {
+        sections.push(store_section(fig, find(results, "store_priorities")));
     }
     format!("{{\n{}\n}}\n", sections.join(",\n"))
 }
@@ -186,6 +231,47 @@ mod tests {
         assert!(full.contains("\"max_lossfree_gbps\": [{\"workers\": 1, \"gbps\": 1.25}"));
         assert!(full.contains("\"processed_traffic_percent_at_max_rate\": {\"rate_gbps\": 6.00"));
         assert!(full.contains("\"stage\": \"kernel\", \"count\": 1000"));
+        assert!(!full.contains("\"store\""));
+    }
+
+    #[test]
+    fn store_section_keys_and_priorities() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let results = vec![
+            fig(
+                "store_archive",
+                &["counter", "value"],
+                vec![
+                    vec!["streams archived".into(), "12".into()],
+                    vec!["verify clean".into(), "true".into()],
+                ],
+            ),
+            fig(
+                "store_priorities",
+                &[
+                    "priority",
+                    "archived",
+                    "pruned",
+                    "discard_ratio",
+                    "live_bytes",
+                ],
+                vec![vec![
+                    "0".into(),
+                    "5".into(),
+                    "3".into(),
+                    "0.375".into(),
+                    "4096".into(),
+                ]],
+            ),
+        ];
+        let full = render_bench_summary(&cfg, &results);
+        assert!(full.contains("\"store\": {"));
+        assert!(full.contains("\"streams_archived\": 12"));
+        assert!(full.contains("\"verify_clean\": \"true\""));
+        assert!(full.contains(
+            "\"by_priority\": [{\"priority\": 0, \"archived\": 5, \"pruned\": 3, \
+             \"discard_ratio\": 0.375, \"live_bytes\": 4096}]"
+        ));
     }
 
     #[test]

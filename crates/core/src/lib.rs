@@ -70,7 +70,8 @@ pub use event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
 pub use governor::{GovernorConfig, GovernorStats, OverloadGovernor};
 pub use kernel::{ControlOp, ResilienceStats, ScapKernel, ScapStats};
 pub use live::{
-    mangle_packets, CaptureError, Scap, ScapBuilder, StatsHandler, StreamCtx, WorkerStatus,
+    mangle_packets, CaptureError, EventSink, Scap, ScapBuilder, StatsHandler, StreamCtx,
+    WorkerStatus,
 };
 pub use sharing::{union_config, AppSlot, SharedApp, SharedApps};
 pub use stack::{apps, ScapSimStack, SimApp};

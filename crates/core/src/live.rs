@@ -61,6 +61,23 @@ use std::time::{Duration, Instant};
 /// Callback type: runs on worker threads.
 pub type Handler = Arc<dyn Fn(&StreamCtx<'_>) + Send + Sync>;
 
+/// A passive observer attached to the dispatch path with
+/// [`Scap::attach_sink`]: it sees every stream creation, data delivery,
+/// and termination *before* the application's own handlers run, on the
+/// worker thread that dispatches the event. Sinks are infrastructure —
+/// archives (`scap-store`), mirrors, probes — so they get the raw
+/// snapshot + bytes rather than the interactive [`StreamCtx`] control
+/// surface, and all methods default to no-ops.
+pub trait EventSink: Send + Sync {
+    /// A new stream was admitted (`scap_dispatch_creation`).
+    fn on_created(&self, _stream: &StreamSnapshot) {}
+    /// A reassembled chunk was delivered: `data` starts at stream
+    /// `offset` within direction `dir`.
+    fn on_data(&self, _stream: &StreamSnapshot, _dir: Direction, _data: &[u8], _offset: u64) {}
+    /// The stream terminated; the snapshot carries the final counters.
+    fn on_terminated(&self, _stream: &StreamSnapshot) {}
+}
+
 /// How long a worker's heartbeat may sit still (with work outstanding)
 /// before the watchdog declares it wedged.
 const STALL_GRACE: Duration = Duration::from_millis(30);
@@ -332,6 +349,7 @@ impl ScapBuilder {
             on_data: None,
             on_termination: None,
             on_stats: None,
+            sinks: Vec::new(),
             stats_interval: self.stats_interval,
             last_stats: None,
             last_error: None,
@@ -434,6 +452,7 @@ pub struct Scap {
     on_data: Option<Handler>,
     on_termination: Option<Handler>,
     on_stats: Option<StatsHandler>,
+    sinks: Vec<Arc<dyn EventSink>>,
     stats_interval: Option<u64>,
     last_stats: Option<ScapStats>,
     last_error: Option<CaptureError>,
@@ -635,6 +654,13 @@ impl Scap {
         self.on_termination = Some(Arc::new(f));
     }
 
+    /// Attach a passive [`EventSink`] observing the full dispatch path
+    /// (creation, data, termination) alongside the application handlers.
+    /// Multiple sinks run in attachment order, before the handlers.
+    pub fn attach_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
     /// Install the periodic-stats hook: called on the kernel thread with
     /// a merged telemetry snapshot every
     /// [`ScapBuilder::stats_interval`] packets during capture.
@@ -706,6 +732,7 @@ impl Scap {
             on_create: self.on_create.clone(),
             on_data: self.on_data.clone(),
             on_termination: self.on_termination.clone(),
+            sinks: self.sinks.clone(),
         };
 
         // PF_SCAP-socket stand-ins.
@@ -950,6 +977,7 @@ struct WorkerHandlers {
     on_create: Option<Handler>,
     on_data: Option<Handler>,
     on_termination: Option<Handler>,
+    sinks: Vec<Arc<dyn EventSink>>,
 }
 
 impl WorkerHandlers {
@@ -963,7 +991,12 @@ impl WorkerHandlers {
             ctl,
         };
         let handler = match &ev.kind {
-            EventKind::Created => &self.on_create,
+            EventKind::Created => {
+                for s in &self.sinks {
+                    s.on_created(&ev.stream);
+                }
+                &self.on_create
+            }
             EventKind::Data {
                 dir,
                 chunk,
@@ -973,9 +1006,17 @@ impl WorkerHandlers {
                 ctx.data = Some(chunk.bytes());
                 ctx.data_offset = chunk.start_offset;
                 ctx.packet_records = packets.as_slice();
+                for s in &self.sinks {
+                    s.on_data(&ev.stream, *dir, chunk.bytes(), chunk.start_offset);
+                }
                 &self.on_data
             }
-            EventKind::Terminated => &self.on_termination,
+            EventKind::Terminated => {
+                for s in &self.sinks {
+                    s.on_terminated(&ev.stream);
+                }
+                &self.on_termination
+            }
         };
         if let Some(h) = handler {
             h(&ctx);
@@ -1135,6 +1176,42 @@ mod tests {
         });
         scap.start_capture(trace());
         assert!(calls.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn attached_sink_observes_every_event_kind() {
+        #[derive(Default)]
+        struct Counting {
+            created: AtomicU64,
+            data_bytes: AtomicU64,
+            terminated: AtomicU64,
+        }
+        impl EventSink for Counting {
+            fn on_created(&self, _s: &StreamSnapshot) {
+                self.created.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_data(&self, _s: &StreamSnapshot, _dir: Direction, data: &[u8], _off: u64) {
+                self.data_bytes
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+            }
+            fn on_terminated(&self, _s: &StreamSnapshot) {
+                self.terminated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let sink = Arc::new(Counting::default());
+        let mut scap = Scap::builder().worker_threads(2).try_build().unwrap();
+        scap.attach_sink(sink.clone());
+        let stats = scap.start_capture(trace());
+        assert_eq!(
+            sink.created.load(Ordering::Relaxed),
+            stats.stack.streams_created
+        );
+        assert_eq!(
+            sink.terminated.load(Ordering::Relaxed),
+            stats.stack.streams_reported
+        );
+        assert!(sink.data_bytes.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -122,6 +122,11 @@ pub fn union_config(
         };
     }
     base.cutoff.default = cutoff;
+    // The generalized cutoff must satisfy every application in both
+    // directions: stale per-direction or per-class cutoffs on the base
+    // config could deliver less than the largest requirement.
+    base.cutoff.per_direction = [None, None];
+    base.cutoff.classes.clear();
     base.need_pkts = need_pkts;
     Ok(base)
 }
@@ -340,6 +345,77 @@ mod tests {
         let cfg2 = union_config(base_config(), &slots2, false).unwrap();
         assert!(cfg2.filter.is_none());
         assert_eq!(cfg2.cutoff.default, None);
+    }
+
+    #[test]
+    fn union_config_empty_app_set_records_streams_only() {
+        let cfg = union_config(base_config(), &[], false).unwrap();
+        // No applications: every stream is visible (stream bookkeeping is
+        // nearly free) but no payload is collected and no packet records
+        // are produced.
+        assert!(cfg.filter.is_none());
+        assert_eq!(cfg.cutoff.default, Some(0));
+        assert!(!cfg.need_pkts);
+    }
+
+    #[test]
+    fn union_config_single_unfiltered_app_keeps_its_cutoff() {
+        let slots = vec![AppSlot::new(
+            "only",
+            None,
+            Some(4096),
+            Box::new(SharedFlowStats::default()),
+        )];
+        let cfg = union_config(base_config(), &slots, true).unwrap();
+        assert!(cfg.filter.is_none());
+        assert_eq!(cfg.cutoff.default, Some(4096));
+        // Packet records requested by the group pass through.
+        assert!(cfg.need_pkts);
+    }
+
+    #[test]
+    fn union_config_overrides_conflicting_base_cutoff_directions() {
+        // A base config carrying tighter per-direction and per-class
+        // cutoffs must not leak into the generalized configuration — the
+        // largest application requirement wins in *both* directions.
+        let mut base = base_config();
+        base.cutoff.per_direction = [Some(64), Some(4)];
+        base.cutoff
+            .classes
+            .push((Filter::new("port 80").unwrap(), 16));
+        let slots = vec![
+            AppSlot::new(
+                "small",
+                Some(Filter::new("tcp").unwrap()),
+                Some(0),
+                Box::new(SharedFlowStats::default()),
+            ),
+            AppSlot::new(
+                "large",
+                Some(Filter::new("port 80").unwrap()),
+                Some(10_000),
+                Box::new(SharedFlowStats::default()),
+            ),
+        ];
+        let cfg = union_config(base, &slots, false).unwrap();
+        assert_eq!(cfg.cutoff.default, Some(10_000));
+        assert_eq!(cfg.cutoff.per_direction, [None, None]);
+        assert!(cfg.cutoff.classes.is_empty());
+        // The effective cutoff must now be the generalized one both ways.
+        let key = scap_wire::parse_frame(&scap_wire::PacketBuilder::tcp_v4(
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            9,
+            80,
+            1,
+            1,
+            scap_wire::TcpFlags::ACK,
+            b"",
+        ))
+        .unwrap()
+        .key
+        .unwrap();
+        assert_eq!(cfg.cutoff.effective(&key), [Some(10_000), Some(10_000)]);
     }
 
     #[test]

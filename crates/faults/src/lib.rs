@@ -91,6 +91,19 @@ pub struct ArenaFaultConfig {
     pub period_ns: u64,
 }
 
+/// Archive (`scap-store`) segment-append faults: torn writes and
+/// mid-write kills, exercising the store's torn-tail recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoreFaultConfig {
+    /// Probability a segment append is torn: only a prefix of the frame
+    /// reaches disk before the writer dies.
+    pub torn_append_prob: f64,
+    /// Kill the writer mid-write after this many successful appends
+    /// (0 = never): the frame lands in the segment but its index record
+    /// is never written.
+    pub kill_after_appends: u64,
+}
+
 /// What a scheduled worker fault does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkerFaultKind {
@@ -124,6 +137,8 @@ pub struct FaultPlan {
     pub ring: RingFaultConfig,
     /// Arena pressure spikes.
     pub arena: ArenaFaultConfig,
+    /// Archive segment-append faults (`scap-store`).
+    pub store: StoreFaultConfig,
     /// Scheduled worker stalls/panics (live driver only).
     pub workers: Vec<WorkerFault>,
 }
@@ -134,6 +149,7 @@ const SALT_FRAMES: u64 = 0x66726d73; // "frms"
 const SALT_FDIR: u64 = 0x66646972; // "fdir"
 const SALT_RING: u64 = 0x72696e67; // "ring"
 const SALT_ARENA: u64 = 0x6172656e; // "aren"
+const SALT_STORE: u64 = 0x73746f72; // "stor"
 
 impl FaultPlan {
     /// A quiet plan (no faults) with the given seed.
@@ -177,6 +193,10 @@ impl FaultPlan {
                 spike_ns: 150_000_000,
                 period_ns: 500_000_000,
             },
+            // The storm leaves the archive layer quiet: store faults are
+            // opted into per test/experiment so the live chaos runs stay
+            // byte-stable across plans.
+            store: StoreFaultConfig::default(),
             workers: vec![
                 WorkerFault {
                     worker: 0,
@@ -223,6 +243,15 @@ impl FaultPlan {
             anchor: None,
             active: None,
             windows_seen: 0,
+        }
+    }
+
+    /// Injector for archive segment appends.
+    pub fn store_injector(&self) -> StoreInjector {
+        StoreInjector {
+            rng: StdRng::seed_from_u64(self.seed ^ SALT_STORE),
+            cfg: self.store,
+            appends: 0,
         }
     }
 
@@ -452,6 +481,45 @@ impl ArenaInjector {
     }
 }
 
+/// Outcome of consulting the store injector for one segment append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Append proceeds normally.
+    None,
+    /// Only a prefix of the frame reaches disk; the writer dies.
+    TornAppend,
+    /// The writer is killed after the frame lands but before the index
+    /// record is written.
+    Kill,
+}
+
+/// Decides the fate of each archive segment append.
+#[derive(Debug, Clone)]
+pub struct StoreInjector {
+    rng: StdRng,
+    cfg: StoreFaultConfig,
+    appends: u64,
+}
+
+impl StoreInjector {
+    /// Consult the schedule for the next append.
+    pub fn on_append(&mut self) -> StoreFault {
+        if self.cfg.kill_after_appends > 0 && self.appends >= self.cfg.kill_after_appends {
+            return StoreFault::Kill;
+        }
+        if self.cfg.torn_append_prob > 0.0 && self.rng.random_bool(self.cfg.torn_append_prob) {
+            return StoreFault::TornAppend;
+        }
+        self.appends += 1;
+        StoreFault::None
+    }
+
+    /// Appends that completed cleanly so far.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +602,39 @@ mod tests {
         }
         assert!(saw_zero && saw_reserve);
         assert_eq!(a.spikes_seen(), plan.arena.spike_count as u64);
+    }
+
+    #[test]
+    fn store_injector_kills_after_configured_appends() {
+        let mut plan = FaultPlan::new(5);
+        plan.store = StoreFaultConfig {
+            torn_append_prob: 0.0,
+            kill_after_appends: 3,
+        };
+        let mut inj = plan.store_injector();
+        assert_eq!(inj.on_append(), StoreFault::None);
+        assert_eq!(inj.on_append(), StoreFault::None);
+        assert_eq!(inj.on_append(), StoreFault::None);
+        assert_eq!(inj.on_append(), StoreFault::Kill);
+        assert_eq!(inj.appends(), 3);
+    }
+
+    #[test]
+    fn store_injector_is_deterministic() {
+        let mut plan = FaultPlan::new(6);
+        plan.store = StoreFaultConfig {
+            torn_append_prob: 0.2,
+            kill_after_appends: 0,
+        };
+        let mut a = plan.store_injector();
+        let mut b = plan.store_injector();
+        let mut saw_torn = false;
+        for _ in 0..200 {
+            let fa = a.on_append();
+            assert_eq!(fa, b.on_append());
+            saw_torn |= fa == StoreFault::TornAppend;
+        }
+        assert!(saw_torn, "0.2 torn probability never fired in 200 draws");
     }
 
     #[test]

@@ -1,0 +1,652 @@
+//! The on-disk format of the archive: checksummed segment frames and
+//! sidecar index records, plus the tolerant scanners both the writer's
+//! recovery path and the reader share.
+//!
+//! An archive directory holds:
+//!
+//! * `seg-NNNNNN.scapseg` — append-only payload segments. A 16-byte
+//!   header (magic, version, segment id) followed by frames: each frame
+//!   is a 24-byte header (magic, stream uid, direction, payload length,
+//!   CRC-32 of the payload) and the reassembled payload bytes of one
+//!   stream direction, written contiguously at seal time.
+//! * `index.scapidx` — the sidecar index. A 16-byte header followed by
+//!   records, each framed as (magic, body length, CRC-32 of body) + body.
+//!   Bodies are either a full per-stream record (kind 0) or a tombstone
+//!   (kind 1) marking a previously written stream as pruned.
+//!
+//! Everything is little-endian and append-only; durability comes from
+//! ordering (payload frames are flushed before their index record), so a
+//! torn tail in either file is detected by magic/length/CRC validation
+//! and simply cut off. A frame whose index record never made it is an
+//! *orphan*: readable garbage-collected space, never surfaced as data.
+
+use scap::{StreamSnapshot, StreamUid};
+use scap_flow::{DirStats, StreamErrors, StreamStatus};
+use scap_wire::{Direction, FlowKey, IpAddrBytes, Transport};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use crate::StoreError;
+
+/// Segment-file magic ("SSEG").
+pub const SEG_MAGIC: u32 = 0x5347_4553;
+/// Index-file magic ("SIDX").
+pub const IDX_MAGIC: u32 = 0x5844_4953;
+/// Per-frame magic ("FRAM").
+pub const FRAME_MAGIC: u32 = 0x4D41_5246;
+/// Per-index-record magic ("RECD").
+pub const REC_MAGIC: u32 = 0x4443_4552;
+/// Format version stamped into both headers.
+pub const FORMAT_VERSION: u32 = 1;
+/// Size of both file headers.
+pub const FILE_HEADER_LEN: usize = 16;
+/// Size of a frame header preceding each payload.
+pub const FRAME_HEADER_LEN: usize = 24;
+/// Size of an index-record framing header preceding each body.
+pub const REC_HEADER_LEN: usize = 12;
+/// Sidecar index file name.
+pub const INDEX_FILE: &str = "index.scapidx";
+
+/// CRC-32 (IEEE, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the checksum guarding frames and records.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// File name of segment `id`.
+pub fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:06}.scapseg")
+}
+
+/// Path of segment `id` inside `dir`.
+pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(segment_file_name(id))
+}
+
+/// Parse a segment id back out of a file name produced by
+/// [`segment_file_name`].
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".scapseg")?;
+    rest.parse().ok()
+}
+
+/// Where one direction of a stream's payload lives on disk. `len == 0`
+/// means the direction delivered no bytes and no frame was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Extent {
+    /// Segment id holding the frame.
+    pub segment: u64,
+    /// Byte offset of the frame header within the segment file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// One archived stream as the sidecar index describes it: everything a
+/// query needs without touching payload segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexRecord {
+    /// Capture-wide stream id.
+    pub uid: StreamUid,
+    /// Canonical flow key.
+    pub key: FlowKey,
+    /// Direction of the first packet relative to `key`.
+    pub first_dir: Direction,
+    /// Lifecycle status at seal time.
+    pub status: StreamStatus,
+    /// Reassembly error flags.
+    pub errors: StreamErrors,
+    /// PPL priority the stream carried.
+    pub priority: u8,
+    /// Whether the per-stream cutoff truncated it.
+    pub cutoff_exceeded: bool,
+    /// First-packet timestamp (ns).
+    pub first_ts_ns: u64,
+    /// Last-packet timestamp (ns).
+    pub last_ts_ns: u64,
+    /// Chunks delivered over the stream's lifetime.
+    pub chunks: u64,
+    /// Per-direction wire/captured/discarded/dropped counters.
+    pub dirs: [DirStats; 2],
+    /// Per-direction payload locations.
+    pub extents: [Extent; 2],
+}
+
+impl IndexRecord {
+    /// Archived payload bytes across both directions.
+    pub fn stored_bytes(&self) -> u64 {
+        self.extents[0].len + self.extents[1].len
+    }
+
+    /// Build a record from a termination snapshot and the extents the
+    /// writer just produced.
+    pub fn from_snapshot(s: &StreamSnapshot, extents: [Extent; 2]) -> Self {
+        IndexRecord {
+            uid: s.uid,
+            key: s.key,
+            first_dir: s.first_dir,
+            status: s.status,
+            errors: s.errors,
+            priority: s.priority,
+            cutoff_exceeded: s.cutoff_exceeded,
+            first_ts_ns: s.first_ts_ns,
+            last_ts_ns: s.last_ts_ns,
+            chunks: s.chunks,
+            dirs: s.dirs,
+            extents,
+        }
+    }
+}
+
+fn status_to_u8(s: StreamStatus) -> u8 {
+    match s {
+        StreamStatus::Active => 0,
+        StreamStatus::ClosedFin => 1,
+        StreamStatus::ClosedRst => 2,
+        StreamStatus::ClosedTimeout => 3,
+    }
+}
+
+fn status_from_u8(v: u8) -> Result<StreamStatus, StoreError> {
+    Ok(match v {
+        0 => StreamStatus::Active,
+        1 => StreamStatus::ClosedFin,
+        2 => StreamStatus::ClosedRst,
+        3 => StreamStatus::ClosedTimeout,
+        other => return Err(StoreError::Corrupt(format!("bad stream status {other}"))),
+    })
+}
+
+fn put_addr(out: &mut Vec<u8>, a: IpAddrBytes) {
+    match a {
+        IpAddrBytes::V4(b) => {
+            out.extend_from_slice(&b);
+            out.extend_from_slice(&[0u8; 12]);
+        }
+        IpAddrBytes::V6(b) => out.extend_from_slice(&b),
+    }
+}
+
+fn get_addr(b: &[u8], family: u8) -> Result<IpAddrBytes, StoreError> {
+    Ok(match family {
+        4 => IpAddrBytes::V4(b[..4].try_into().unwrap()),
+        6 => IpAddrBytes::V6(b[..16].try_into().unwrap()),
+        other => return Err(StoreError::Corrupt(format!("bad address family {other}"))),
+    })
+}
+
+/// Encode a stream index-record body (kind byte included).
+pub fn encode_stream_body(r: &IndexRecord) -> Vec<u8> {
+    let mut b = Vec::with_capacity(256);
+    b.push(0u8); // kind: stream
+    b.extend_from_slice(&r.uid.to_le_bytes());
+    b.push(match r.key.src() {
+        IpAddrBytes::V4(_) => 4,
+        IpAddrBytes::V6(_) => 6,
+    });
+    put_addr(&mut b, r.key.src());
+    put_addr(&mut b, r.key.dst());
+    b.extend_from_slice(&r.key.src_port().to_le_bytes());
+    b.extend_from_slice(&r.key.dst_port().to_le_bytes());
+    b.push(r.key.transport().proto_number());
+    b.push(r.first_dir.index() as u8);
+    b.push(status_to_u8(r.status));
+    b.push(r.errors.0);
+    b.push(r.priority);
+    b.push(u8::from(r.cutoff_exceeded));
+    b.extend_from_slice(&r.first_ts_ns.to_le_bytes());
+    b.extend_from_slice(&r.last_ts_ns.to_le_bytes());
+    b.extend_from_slice(&r.chunks.to_le_bytes());
+    for d in &r.dirs {
+        for v in [
+            d.total_pkts,
+            d.total_bytes,
+            d.captured_bytes,
+            d.captured_pkts,
+            d.discarded_pkts,
+            d.discarded_bytes,
+            d.dropped_pkts,
+            d.dropped_bytes,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    for e in &r.extents {
+        b.extend_from_slice(&e.segment.to_le_bytes());
+        b.extend_from_slice(&e.offset.to_le_bytes());
+        b.extend_from_slice(&e.len.to_le_bytes());
+    }
+    b
+}
+
+/// Encode a tombstone body for `uid` (kind byte included).
+pub fn encode_tombstone_body(uid: StreamUid) -> Vec<u8> {
+    let mut b = Vec::with_capacity(9);
+    b.push(1u8); // kind: tombstone
+    b.extend_from_slice(&uid.to_le_bytes());
+    b
+}
+
+/// A decoded index-record body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexEntry {
+    /// A sealed stream.
+    Stream(Box<IndexRecord>),
+    /// A retention tombstone: the stream with this uid was pruned.
+    Tombstone(StreamUid),
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.pos + n > self.b.len() {
+            return Err(StoreError::Corrupt("index record body too short".into()));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Decode an index-record body previously produced by
+/// [`encode_stream_body`] or [`encode_tombstone_body`].
+pub fn decode_body(body: &[u8]) -> Result<IndexEntry, StoreError> {
+    let mut c = Cursor { b: body, pos: 0 };
+    match c.u8()? {
+        1 => Ok(IndexEntry::Tombstone(c.u64()?)),
+        0 => {
+            let uid = c.u64()?;
+            let family = c.u8()?;
+            let src = get_addr(c.take(16)?, family)?;
+            let dst = get_addr(c.take(16)?, family)?;
+            let src_port = c.u16()?;
+            let dst_port = c.u16()?;
+            let transport = Transport::from(c.u8()?);
+            let key = match (src, dst) {
+                (IpAddrBytes::V4(s), IpAddrBytes::V4(d)) => {
+                    FlowKey::new_v4(s, d, src_port, dst_port, transport)
+                }
+                (IpAddrBytes::V6(s), IpAddrBytes::V6(d)) => {
+                    FlowKey::new_v6(s, d, src_port, dst_port, transport)
+                }
+                _ => unreachable!("families decoded together"),
+            };
+            let first_dir = if c.u8()? == 0 {
+                Direction::Forward
+            } else {
+                Direction::Reverse
+            };
+            let status = status_from_u8(c.u8()?)?;
+            let errors = StreamErrors(c.u8()?);
+            let priority = c.u8()?;
+            let cutoff_exceeded = c.u8()? != 0;
+            let first_ts_ns = c.u64()?;
+            let last_ts_ns = c.u64()?;
+            let chunks = c.u64()?;
+            let mut dirs = [DirStats::default(), DirStats::default()];
+            for d in &mut dirs {
+                d.total_pkts = c.u64()?;
+                d.total_bytes = c.u64()?;
+                d.captured_bytes = c.u64()?;
+                d.captured_pkts = c.u64()?;
+                d.discarded_pkts = c.u64()?;
+                d.discarded_bytes = c.u64()?;
+                d.dropped_pkts = c.u64()?;
+                d.dropped_bytes = c.u64()?;
+            }
+            let mut extents = [Extent::default(); 2];
+            for e in &mut extents {
+                e.segment = c.u64()?;
+                e.offset = c.u64()?;
+                e.len = c.u64()?;
+            }
+            Ok(IndexEntry::Stream(Box::new(IndexRecord {
+                uid,
+                key,
+                first_dir,
+                status,
+                errors,
+                priority,
+                cutoff_exceeded,
+                first_ts_ns,
+                last_ts_ns,
+                chunks,
+                dirs,
+                extents,
+            })))
+        }
+        other => Err(StoreError::Corrupt(format!("bad record kind {other}"))),
+    }
+}
+
+/// Frame an index-record body: magic + length + CRC + body.
+pub fn frame_record(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(REC_HEADER_LEN + body.len());
+    out.extend_from_slice(&REC_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Build the header of a segment or index file.
+pub fn file_header(magic: u32, id: u64) -> [u8; FILE_HEADER_LEN] {
+    let mut h = [0u8; FILE_HEADER_LEN];
+    h[0..4].copy_from_slice(&magic.to_le_bytes());
+    h[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&id.to_le_bytes());
+    h
+}
+
+/// Build the frame header preceding one direction's payload.
+pub fn frame_header(uid: StreamUid, dir: Direction, payload: &[u8]) -> [u8; FRAME_HEADER_LEN] {
+    let mut h = [0u8; FRAME_HEADER_LEN];
+    h[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    h[4..12].copy_from_slice(&uid.to_le_bytes());
+    h[12] = dir.index() as u8;
+    h[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    h[20..24].copy_from_slice(&crc32(payload).to_le_bytes());
+    h
+}
+
+/// One valid frame found by [`scan_segment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Stream the payload belongs to.
+    pub uid: StreamUid,
+    /// Direction index (0/1).
+    pub dir: u8,
+    /// Byte offset of the frame header within the file.
+    pub offset: u64,
+    /// Payload length.
+    pub len: u64,
+}
+
+/// Result of scanning one segment file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentScan {
+    /// Segment id from the header.
+    pub id: u64,
+    /// Every valid frame, in file order.
+    pub frames: Vec<FrameInfo>,
+    /// File offset where validity ends (end of the last valid frame).
+    pub valid_len: u64,
+    /// Bytes past `valid_len` — a torn tail (0 on a clean file).
+    pub torn_bytes: u64,
+}
+
+/// Scan a segment file, validating every frame (magic, bounds, payload
+/// CRC) and stopping at the first invalid byte: everything after is the
+/// torn tail a crashed writer left behind.
+pub fn scan_segment(path: &Path) -> Result<SegmentScan, StoreError> {
+    let data = std::fs::read(path)?;
+    if data.len() < FILE_HEADER_LEN {
+        return Ok(SegmentScan {
+            id: 0,
+            frames: Vec::new(),
+            valid_len: 0,
+            torn_bytes: data.len() as u64,
+        });
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if magic != SEG_MAGIC || version != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "{}: bad segment header",
+            path.display()
+        )));
+    }
+    let id = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let mut frames = Vec::new();
+    let mut pos = FILE_HEADER_LEN;
+    loop {
+        if pos + FRAME_HEADER_LEN > data.len() {
+            break;
+        }
+        let h = &data[pos..pos + FRAME_HEADER_LEN];
+        if u32::from_le_bytes(h[0..4].try_into().unwrap()) != FRAME_MAGIC {
+            break;
+        }
+        let uid = u64::from_le_bytes(h[4..12].try_into().unwrap());
+        let dir = h[12];
+        let len = u32::from_le_bytes(h[16..20].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(h[20..24].try_into().unwrap());
+        let start = pos + FRAME_HEADER_LEN;
+        if dir > 1 || start + len > data.len() || crc32(&data[start..start + len]) != crc {
+            break;
+        }
+        frames.push(FrameInfo {
+            uid,
+            dir,
+            offset: pos as u64,
+            len: len as u64,
+        });
+        pos = start + len;
+    }
+    Ok(SegmentScan {
+        id,
+        frames,
+        valid_len: pos as u64,
+        torn_bytes: (data.len() - pos) as u64,
+    })
+}
+
+/// Result of scanning the sidecar index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexScan {
+    /// Every valid entry, in file order (tombstones not yet applied).
+    pub entries: Vec<IndexEntry>,
+    /// File offset where validity ends.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` — a torn tail (0 on a clean file).
+    pub torn_bytes: u64,
+}
+
+/// Scan the sidecar index, validating each record frame and stopping at
+/// the first invalid byte.
+pub fn scan_index(path: &Path) -> Result<IndexScan, StoreError> {
+    let data = std::fs::read(path)?;
+    if data.len() < FILE_HEADER_LEN {
+        return Ok(IndexScan {
+            entries: Vec::new(),
+            valid_len: 0,
+            torn_bytes: data.len() as u64,
+        });
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if magic != IDX_MAGIC || version != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "{}: bad index header",
+            path.display()
+        )));
+    }
+    let mut entries = Vec::new();
+    let mut pos = FILE_HEADER_LEN;
+    loop {
+        if pos + REC_HEADER_LEN > data.len() {
+            break;
+        }
+        let h = &data[pos..pos + REC_HEADER_LEN];
+        if u32::from_le_bytes(h[0..4].try_into().unwrap()) != REC_MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes(h[4..8].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(h[8..12].try_into().unwrap());
+        let start = pos + REC_HEADER_LEN;
+        if start + len > data.len() || crc32(&data[start..start + len]) != crc {
+            break;
+        }
+        match decode_body(&data[start..start + len]) {
+            Ok(e) => entries.push(e),
+            Err(_) => break, // structurally broken body: treat as torn
+        }
+        pos = start + len;
+    }
+    Ok(IndexScan {
+        entries,
+        valid_len: pos as u64,
+        torn_bytes: (data.len() - pos) as u64,
+    })
+}
+
+/// Read one direction's payload back from its extent, re-validating the
+/// frame header and payload CRC.
+pub fn read_extent(
+    dir_path: &Path,
+    uid: StreamUid,
+    dir_idx: u8,
+    e: &Extent,
+) -> Result<Vec<u8>, StoreError> {
+    if e.len == 0 {
+        return Ok(Vec::new());
+    }
+    let path = segment_path(dir_path, e.segment);
+    let mut f = std::fs::File::open(&path)?;
+    f.seek(SeekFrom::Start(e.offset))?;
+    let mut h = [0u8; FRAME_HEADER_LEN];
+    f.read_exact(&mut h)?;
+    let uid_got = u64::from_le_bytes(h[4..12].try_into().unwrap());
+    let len = u32::from_le_bytes(h[16..20].try_into().unwrap()) as u64;
+    let crc = u32::from_le_bytes(h[20..24].try_into().unwrap());
+    if u32::from_le_bytes(h[0..4].try_into().unwrap()) != FRAME_MAGIC
+        || uid_got != uid
+        || h[12] != dir_idx
+        || len != e.len
+    {
+        return Err(StoreError::Corrupt(format!(
+            "{}: frame at {} does not match index record for stream {uid}",
+            path.display(),
+            e.offset
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    f.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(StoreError::Corrupt(format!(
+            "{}: payload CRC mismatch for stream {uid}",
+            path.display()
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn segment_file_names_round_trip() {
+        assert_eq!(segment_file_name(7), "seg-000007.scapseg");
+        assert_eq!(parse_segment_file_name("seg-000007.scapseg"), Some(7));
+        assert_eq!(parse_segment_file_name("index.scapidx"), None);
+    }
+
+    fn sample_record() -> IndexRecord {
+        let mut dirs = [DirStats::default(), DirStats::default()];
+        dirs[0].total_pkts = 3;
+        dirs[0].total_bytes = 400;
+        dirs[0].captured_bytes = 390;
+        dirs[1].discarded_bytes = 12;
+        IndexRecord {
+            uid: 42,
+            key: FlowKey::new_v4([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80, Transport::Tcp),
+            first_dir: Direction::Reverse,
+            status: StreamStatus::ClosedFin,
+            errors: StreamErrors(StreamErrors::SEQUENCE_GAP.0),
+            priority: 2,
+            cutoff_exceeded: true,
+            first_ts_ns: 5,
+            last_ts_ns: 99,
+            chunks: 4,
+            dirs,
+            extents: [
+                Extent {
+                    segment: 1,
+                    offset: 16,
+                    len: 390,
+                },
+                Extent::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn stream_body_round_trips() {
+        let r = sample_record();
+        match decode_body(&encode_stream_body(&r)).unwrap() {
+            IndexEntry::Stream(back) => assert_eq!(*back, r),
+            other => panic!("unexpected entry {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v6_key_round_trips() {
+        let mut r = sample_record();
+        r.key = FlowKey::new_v6([1; 16], [2; 16], 5, 6, Transport::Udp);
+        match decode_body(&encode_stream_body(&r)).unwrap() {
+            IndexEntry::Stream(back) => assert_eq!(back.key, r.key),
+            other => panic!("unexpected entry {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tombstone_round_trips() {
+        assert_eq!(
+            decode_body(&encode_tombstone_body(7)).unwrap(),
+            IndexEntry::Tombstone(7)
+        );
+    }
+
+    #[test]
+    fn corrupt_body_is_rejected() {
+        let mut b = encode_stream_body(&sample_record());
+        b.truncate(b.len() - 1);
+        assert!(decode_body(&b).is_err());
+        assert!(decode_body(&[9]).is_err());
+    }
+}

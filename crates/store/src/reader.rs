@@ -1,0 +1,304 @@
+//! The archive reader: query the sidecar index without touching payload
+//! segments, fetch payloads on demand, verify on-disk integrity, and
+//! export matched streams back to pcap.
+
+use crate::format::{
+    parse_segment_file_name, read_extent, scan_index, scan_segment, IndexEntry, IndexRecord,
+    INDEX_FILE,
+};
+use crate::StoreError;
+use scap::StreamUid;
+use scap_filter::{Filter, FilterError};
+use scap_trace::pcap::write_file_with_snaplen;
+use scap_trace::Packet;
+use scap_wire::{FlowKey, IpAddrBytes, PacketBuilder, TcpFlags, Transport};
+use std::collections::{BTreeMap, HashSet};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Payload bytes per synthesized packet on pcap export.
+const EXPORT_MTU: usize = 1400;
+
+/// Read-only access to an archive directory. Opening never modifies the
+/// files: a torn tail left by a crashed writer is simply ignored (and
+/// reported by [`StoreReader::verify`]); run writer-side recovery to
+/// actually truncate it.
+pub struct StoreReader {
+    dir: PathBuf,
+    records: BTreeMap<StreamUid, IndexRecord>,
+    index_torn_bytes: u64,
+}
+
+impl StoreReader {
+    /// Open the archive at `dir`, loading the sidecar index (tombstones
+    /// applied, torn tail skipped).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<StoreReader, StoreError> {
+        let dir = dir.into();
+        let idx_path = dir.join(INDEX_FILE);
+        let mut records = BTreeMap::new();
+        let mut index_torn_bytes = 0;
+        if idx_path.exists() {
+            let scan = scan_index(&idx_path)?;
+            index_torn_bytes = scan.torn_bytes;
+            for e in scan.entries {
+                match e {
+                    IndexEntry::Stream(r) => {
+                        records.insert(r.uid, *r);
+                    }
+                    IndexEntry::Tombstone(uid) => {
+                        records.remove(&uid);
+                    }
+                }
+            }
+        }
+        Ok(StoreReader {
+            dir,
+            records,
+            index_torn_bytes,
+        })
+    }
+
+    /// Number of live (non-tombstoned) streams in the index.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the archive holds no live streams.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate all live records in uid order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &IndexRecord> {
+        self.records.values()
+    }
+
+    /// Point lookup by stream uid.
+    pub fn get(&self, uid: StreamUid) -> Option<&IndexRecord> {
+        self.records.get(&uid)
+    }
+
+    /// 5-tuple point lookup: matches the key in either orientation, so
+    /// the caller does not need to know the canonical direction.
+    pub fn lookup(&self, key: &FlowKey) -> Vec<&IndexRecord> {
+        let rev = key.reversed();
+        self.records
+            .values()
+            .filter(|r| r.key == *key || r.key == rev)
+            .collect()
+    }
+
+    /// Streams whose lifetime `[first_ts_ns, last_ts_ns]` overlaps the
+    /// inclusive range `[since_ns, until_ns]`.
+    pub fn time_range(&self, since_ns: u64, until_ns: u64) -> Vec<&IndexRecord> {
+        self.records
+            .values()
+            .filter(|r| r.first_ts_ns <= until_ns && r.last_ts_ns >= since_ns)
+            .collect()
+    }
+
+    /// Evaluate a `scap-filter` BPF expression against the index — the
+    /// same key-level semantics the live engine applies to streams
+    /// (either orientation matches), without touching payload segments.
+    pub fn query(&self, expr: &str) -> Result<Vec<&IndexRecord>, FilterError> {
+        let f = Filter::new(expr)?;
+        Ok(self
+            .records
+            .values()
+            .filter(|r| f.matches_key(&r.key) || f.matches_key(&r.key.reversed()))
+            .collect())
+    }
+
+    /// Fetch a stream's reassembled payload, per direction, re-checking
+    /// frame headers and payload CRCs on the way.
+    pub fn read_stream(&self, uid: StreamUid) -> Result<[Vec<u8>; 2], StoreError> {
+        let r = self
+            .records
+            .get(&uid)
+            .ok_or_else(|| StoreError::Corrupt(format!("no stream {uid} in index")))?;
+        let mut out = [Vec::new(), Vec::new()];
+        for (di, e) in r.extents.iter().enumerate() {
+            if e.len > 0 {
+                out[di] = read_extent(&self.dir, uid, di as u8, e)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full integrity check: every segment frame validated, every index
+    /// record's extents resolved, torn tails and orphan frames counted.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let mut report = VerifyReport {
+            records: self.records.len() as u64,
+            index_torn_bytes: self.index_torn_bytes,
+            ..VerifyReport::default()
+        };
+        // Scan every segment, collecting valid frames.
+        let mut names: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(id) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+                names.push((id, entry.path()));
+            }
+        }
+        names.sort();
+        let mut frames: BTreeMap<(u64, u64), (StreamUid, u8, u64)> = BTreeMap::new();
+        for (id, path) in names {
+            report.segments += 1;
+            report.segment_bytes_total += std::fs::metadata(&path)?.len();
+            let scan = scan_segment(&path)?;
+            if scan.id != id {
+                report
+                    .errors
+                    .push(format!("{}: header id {} != name", path.display(), scan.id));
+            }
+            report.frames_valid += scan.frames.len() as u64;
+            report.segment_torn_bytes += scan.torn_bytes;
+            for fr in scan.frames {
+                frames.insert((id, fr.offset), (fr.uid, fr.dir, fr.len));
+            }
+        }
+        // Resolve every record extent against the valid frames.
+        let mut referenced: HashSet<(u64, u64)> = HashSet::new();
+        for r in self.records.values() {
+            for (di, e) in r.extents.iter().enumerate() {
+                if e.len == 0 {
+                    continue;
+                }
+                match frames.get(&(e.segment, e.offset)) {
+                    Some(&(uid, dir, len)) if uid == r.uid && dir == di as u8 && len == e.len => {
+                        referenced.insert((e.segment, e.offset));
+                    }
+                    _ => report.errors.push(format!(
+                        "stream {}: extent dir {di} (segment {}, offset {}) unresolved",
+                        r.uid, e.segment, e.offset
+                    )),
+                }
+            }
+        }
+        report.orphan_frames = frames.keys().filter(|k| !referenced.contains(k)).count() as u64;
+        Ok(report)
+    }
+
+    /// Export streams back to pcap, synthesizing packets from the
+    /// archived payload (EXPORT_MTU-byte data packets, timestamps
+    /// interpolated across each stream's recorded lifetime, truncated to
+    /// `snaplen` with the true length kept in `orig_len`). Streams whose
+    /// transport the packet builder cannot synthesize (non-TCP IPv6,
+    /// exotic protocols) are skipped. Returns the packet count written.
+    pub fn export_pcap<W: Write>(
+        &self,
+        uids: &[StreamUid],
+        w: W,
+        snaplen: u32,
+    ) -> Result<u64, StoreError> {
+        let mut packets: Vec<Packet> = Vec::new();
+        for &uid in uids {
+            let Some(r) = self.records.get(&uid) else {
+                continue;
+            };
+            let data = self.read_stream(uid)?;
+            let nchunks: u64 = data.iter().map(|d| d.chunks(EXPORT_MTU).len() as u64).sum();
+            let span = r.last_ts_ns.saturating_sub(r.first_ts_ns);
+            let step = span / nchunks.max(1);
+            let mut i = 0u64;
+            for (di, payload) in data.iter().enumerate() {
+                let key = if di == 0 { r.key } else { r.key.reversed() };
+                let mut seq = 0u64;
+                for chunk in payload.chunks(EXPORT_MTU) {
+                    let Some(frame) = build_frame(&key, seq as u32, chunk) else {
+                        break; // unsynthesizable transport: skip stream
+                    };
+                    packets.push(Packet::new(r.first_ts_ns + i * step, frame));
+                    seq += chunk.len() as u64;
+                    i += 1;
+                }
+            }
+        }
+        packets.sort_by_key(|p| p.ts_ns);
+        let n = packets.len() as u64;
+        write_file_with_snaplen(w, &packets, snaplen)?;
+        Ok(n)
+    }
+}
+
+/// Build one synthetic data packet for `key`; `None` when the builder
+/// has no encoding for the transport/family combination.
+fn build_frame(key: &FlowKey, seq: u32, payload: &[u8]) -> Option<Vec<u8>> {
+    let (sp, dp) = (key.src_port(), key.dst_port());
+    match (key.src(), key.dst(), key.transport()) {
+        (IpAddrBytes::V4(s), IpAddrBytes::V4(d), Transport::Tcp) => Some(PacketBuilder::tcp_v4(
+            s,
+            d,
+            sp,
+            dp,
+            seq,
+            0,
+            TcpFlags(TcpFlags::PSH.0 | TcpFlags::ACK.0),
+            payload,
+        )),
+        (IpAddrBytes::V4(s), IpAddrBytes::V4(d), Transport::Udp) => {
+            Some(PacketBuilder::udp_v4(s, d, sp, dp, payload))
+        }
+        (IpAddrBytes::V6(s), IpAddrBytes::V6(d), Transport::Tcp) => Some(PacketBuilder::tcp_v6(
+            s,
+            d,
+            sp,
+            dp,
+            seq,
+            0,
+            TcpFlags(TcpFlags::PSH.0 | TcpFlags::ACK.0),
+            payload,
+        )),
+        _ => None,
+    }
+}
+
+/// What [`StoreReader::verify`] found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Live index records.
+    pub records: u64,
+    /// Segment files present.
+    pub segments: u64,
+    /// Frames that validated (magic, bounds, CRC).
+    pub frames_valid: u64,
+    /// Valid frames no live record references (uncommitted seal tails
+    /// and compaction leftovers — benign, reclaimed by compaction).
+    pub orphan_frames: u64,
+    /// Bytes past the last valid frame across all segments.
+    pub segment_torn_bytes: u64,
+    /// Bytes past the last valid record in the index.
+    pub index_torn_bytes: u64,
+    /// Total segment-file bytes on disk.
+    pub segment_bytes_total: u64,
+    /// Real corruption: records whose extents don't resolve, id
+    /// mismatches.
+    pub errors: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when the archive is fully intact: no unresolved records and
+    /// no torn tails awaiting recovery. Orphan frames are allowed — they
+    /// are unreferenced space, not corruption.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && self.segment_torn_bytes == 0 && self.index_torn_bytes == 0
+    }
+}
+
+impl core::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "records={} segments={} frames={} orphans={} torn_seg_bytes={} torn_idx_bytes={} seg_bytes={} errors={}",
+            self.records,
+            self.segments,
+            self.frames_valid,
+            self.orphan_frames,
+            self.segment_torn_bytes,
+            self.index_torn_bytes,
+            self.segment_bytes_total,
+            self.errors.len()
+        )
+    }
+}

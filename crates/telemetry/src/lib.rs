@@ -181,6 +181,18 @@ static_ids! {
         GovernorTransitions => "governor_transitions",
         /// Events a worker thread pulled and dispatched.
         WorkerEventsHandled => "worker_events_handled",
+        /// Streams sealed into the on-disk archive (`scap-store`).
+        StoreStreamsArchived => "store_streams_archived",
+        /// Payload bytes appended to archive segment files.
+        StoreBytesWritten => "store_bytes_written",
+        /// Archive segment files opened (initial + rotations).
+        StoreSegmentsCreated => "store_segments_created",
+        /// Archived streams pruned by the disk-budget retention policy.
+        StoreStreamsPruned => "store_streams_pruned",
+        /// Bytes reclaimed by archive compaction.
+        StoreBytesReclaimed => "store_bytes_reclaimed",
+        /// Torn-tail bytes dropped during archive recovery.
+        StoreTornBytesRecovered => "store_torn_bytes_recovered",
     }
 }
 
@@ -219,6 +231,8 @@ static_ids! {
         EventQueue => "event_queue",
         /// Worker callback execution.
         Worker => "worker",
+        /// Archive seal: segment append + index commit (`scap-store`).
+        Store => "store",
     }
 }
 

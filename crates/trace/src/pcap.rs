@@ -16,10 +16,23 @@ pub const MAGIC_NSEC: u32 = 0xA1B2_3C4D;
 /// LINKTYPE_ETHERNET.
 pub const LINKTYPE_ETHERNET: u32 = 1;
 
-/// Write `packets` as a pcap file.
+/// Write `packets` as a pcap file with the default 65535-byte snaplen
+/// (no truncation in practice).
 pub fn write_file<'a, W: Write>(
     w: W,
     packets: impl IntoIterator<Item = &'a Packet>,
+) -> Result<(), TraceError> {
+    write_file_with_snaplen(w, packets, 65535)
+}
+
+/// Write `packets` as a pcap file, truncating each frame to `snaplen`
+/// bytes. Truncated records keep the true wire length in `orig_len`
+/// (with `incl_len = min(len, snaplen)`), exactly as `tcpdump -s` does —
+/// readers can still account for the missing bytes.
+pub fn write_file_with_snaplen<'a, W: Write>(
+    w: W,
+    packets: impl IntoIterator<Item = &'a Packet>,
+    snaplen: u32,
 ) -> Result<(), TraceError> {
     let mut w = BufWriter::new(w);
     // Global header: magic, v2.4, thiszone 0, sigfigs 0, snaplen, linktype.
@@ -28,17 +41,18 @@ pub fn write_file<'a, W: Write>(
     w.write_all(&4u16.to_le_bytes())?;
     w.write_all(&0i32.to_le_bytes())?;
     w.write_all(&0u32.to_le_bytes())?;
-    w.write_all(&65535u32.to_le_bytes())?;
+    w.write_all(&snaplen.to_le_bytes())?;
     w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
     for p in packets {
         let sec = (p.ts_ns / 1_000_000_000) as u32;
         let nsec = (p.ts_ns % 1_000_000_000) as u32;
-        let len = p.frame.len() as u32;
+        let orig = p.frame.len() as u32;
+        let incl = orig.min(snaplen);
         w.write_all(&sec.to_le_bytes())?;
         w.write_all(&nsec.to_le_bytes())?;
-        w.write_all(&len.to_le_bytes())?;
-        w.write_all(&len.to_le_bytes())?;
-        w.write_all(&p.frame)?;
+        w.write_all(&incl.to_le_bytes())?;
+        w.write_all(&orig.to_le_bytes())?;
+        w.write_all(&p.frame[..incl as usize])?;
     }
     w.flush()?;
     Ok(())
@@ -141,6 +155,48 @@ mod tests {
         write_file(&mut buf, &pkts).unwrap();
         let back = PcapReader::new(&buf[..]).unwrap().read_all().unwrap();
         assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn snaplen_truncation_keeps_orig_len() {
+        let mut pkts = sample_packets();
+        pkts.push(Packet::new(
+            3_000_000_789,
+            PacketBuilder::udp_v4([5, 5, 5, 5], [6, 6, 6, 6], 7, 8, &[0xAB; 200]),
+        ));
+        let snaplen = 60u32;
+        let mut buf = Vec::new();
+        write_file_with_snaplen(&mut buf, &pkts, snaplen).unwrap();
+        // Header advertises the snaplen.
+        assert_eq!(u32::from_le_bytes(buf[16..20].try_into().unwrap()), snaplen);
+        // Walk the records: incl_len = min(len, snaplen), orig_len = wire
+        // length, and exactly incl_len frame bytes follow.
+        let mut off = 24;
+        for p in &pkts {
+            let incl = u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap());
+            let orig = u32::from_le_bytes(buf[off + 12..off + 16].try_into().unwrap());
+            assert_eq!(orig, p.frame.len() as u32);
+            assert_eq!(incl, (p.frame.len() as u32).min(snaplen));
+            assert_eq!(
+                &buf[off + 16..off + 16 + incl as usize],
+                &p.frame[..incl as usize]
+            );
+            off += 16 + incl as usize;
+        }
+        assert_eq!(off, buf.len());
+        // Round-trip: the reader yields the truncated prefixes.
+        let back = PcapReader::new(&buf[..]).unwrap().read_all().unwrap();
+        assert_eq!(back.len(), pkts.len());
+        for (b, p) in back.iter().zip(&pkts) {
+            assert_eq!(b.ts_ns, p.ts_ns);
+            assert_eq!(
+                &b.frame[..],
+                &p.frame[..p.frame.len().min(snaplen as usize)]
+            );
+        }
+        // At least one sample frame must actually have been truncated for
+        // the test to mean anything.
+        assert!(pkts.iter().any(|p| p.frame.len() > snaplen as usize));
     }
 
     #[test]

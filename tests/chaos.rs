@@ -180,6 +180,132 @@ fn ring_stalls_register_without_losing_accounting() {
     }
 }
 
+/// Feed a synchronous capture of the campus mix into an archive writer,
+/// swallowing injected-fault errors exactly like the live sink does.
+fn drive_store(writer: &mut scap_store::StoreWriter) {
+    let trace = CampusMix::new(CampusMixConfig::sized(SEED, 2 << 20)).collect_all();
+    let mut kernel = ScapKernel::new(ScapConfig {
+        inactivity_timeout_ns: 500_000_000,
+        ..ScapConfig::default()
+    });
+    let mut now = 0;
+    let mut drain = |kernel: &mut ScapKernel| {
+        for core in 0..kernel.ncores() {
+            while let Some(ev) = kernel.next_event(core) {
+                let _ = writer.observe(&ev);
+                if let scap::EventKind::Data { dir, chunk, .. } = ev.kind {
+                    kernel.release_data(ev.stream.uid, dir, chunk);
+                }
+            }
+        }
+    };
+    for pkt in &trace {
+        now = pkt.ts_ns;
+        kernel.nic_receive(pkt);
+        for core in 0..kernel.ncores() {
+            while kernel.kernel_poll(core, now).is_some() {}
+            kernel.kernel_timers(core, now);
+        }
+        drain(&mut kernel);
+    }
+    kernel.finish(now.saturating_add(1));
+    drain(&mut kernel);
+}
+
+/// Archive chaos: a seeded fault storm against the store writer. A torn
+/// segment append kills the writer mid-frame; recovery on reopen must
+/// drop *only* the torn tail — every committed stream survives
+/// byte-identical — and `verify` must tell the truth before and after.
+/// A second phase kills the writer after a fully-flushed frame but
+/// before its index record: the frame becomes a benign orphan.
+#[test]
+fn store_fault_storm_loses_only_the_torn_tail() {
+    use scap_store::{StoreConfig, StoreReader, StoreWriter};
+    use std::collections::BTreeMap;
+
+    let base = std::env::temp_dir().join(format!("scap-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Phase 1 — torn append mid-storm.
+    let dir = base.join("torn");
+    let mut plan = FaultPlan::new(SEED);
+    plan.store.torn_append_prob = 0.05;
+    let mut writer = StoreWriter::open(StoreConfig::new(&dir).segment_bytes(64 << 10)).unwrap();
+    writer.attach_faults(&plan);
+    drive_store(&mut writer);
+    assert!(
+        writer.stats().write_errors >= 1,
+        "torn-append fault never fired: {:?}",
+        writer.stats()
+    );
+    drop(writer);
+
+    // Before recovery: the committed records are readable, and verify
+    // reports the torn tail instead of hiding it.
+    let reader = StoreReader::open(&dir).unwrap();
+    let report = reader.verify().unwrap();
+    assert!(report.segment_torn_bytes > 0, "{report}");
+    assert!(!report.is_clean(), "{report}");
+    assert!(!reader.is_empty(), "no stream committed before the fault");
+    let committed: BTreeMap<u64, [Vec<u8>; 2]> = reader
+        .iter()
+        .map(|r| (r.uid, reader.read_stream(r.uid).unwrap()))
+        .collect();
+    drop(reader);
+
+    // Writer-side reopen truncates the torn tail; nothing else.
+    let recovered = StoreWriter::open(StoreConfig::new(&dir)).unwrap();
+    assert!(
+        recovered.stats().torn_tail_bytes_recovered > 0,
+        "{:?}",
+        recovered.stats()
+    );
+    assert_eq!(recovered.live_streams(), committed.len());
+    drop(recovered);
+
+    let reader = StoreReader::open(&dir).unwrap();
+    let report = reader.verify().unwrap();
+    assert!(report.is_clean(), "dirty after recovery: {report}");
+    assert_eq!(
+        reader.len(),
+        committed.len(),
+        "recovery lost a committed stream"
+    );
+    for (uid, data) in &committed {
+        assert_eq!(
+            &reader.read_stream(*uid).unwrap(),
+            data,
+            "committed stream {uid} changed across recovery"
+        );
+    }
+
+    // Phase 2 — mid-write kill after a fully-flushed frame: the frame is
+    // on disk but unindexed, so it must surface as a benign orphan.
+    let dir = base.join("kill");
+    let mut plan = FaultPlan::new(SEED ^ 1);
+    plan.store.kill_after_appends = 5;
+    let mut writer = StoreWriter::open(StoreConfig::new(&dir)).unwrap();
+    writer.attach_faults(&plan);
+    drive_store(&mut writer);
+    assert!(writer.stats().write_errors >= 1);
+    drop(writer);
+
+    let reader = StoreReader::open(&dir).unwrap();
+    let report = reader.verify().unwrap();
+    assert!(report.orphan_frames >= 1, "{report}");
+    assert_eq!(report.segment_torn_bytes, 0, "{report}");
+    assert!(report.is_clean(), "orphans are benign: {report}");
+    for r in reader.iter() {
+        let data = reader.read_stream(r.uid).unwrap();
+        assert_eq!(
+            data[0].len() as u64 + data[1].len() as u64,
+            r.stored_bytes(),
+            "indexed stream {} unreadable after kill",
+            r.uid
+        );
+    }
+}
+
 #[test]
 fn storm_capture_is_deterministic_per_seed() {
     // Two synchronous runs with the same seed must agree exactly — the
