@@ -31,6 +31,38 @@ grep -q '"store"' "$smoke_out/BENCH_summary.json" \
     || { echo "BENCH_summary.json lacks a store section"; exit 1; }
 rm -rf "$smoke_out"
 
+echo "== warm-restart chaos seed matrix =="
+for seed in 11 23 47; do
+    SCAP_CHAOS_SEED=$seed cargo test -q -p scap-bench --test chaos \
+        kill_and_resume_storm_preserves_streams >/dev/null \
+        || { echo "kill/resume storm failed with seed $seed"; exit 1; }
+done
+
+echo "== warm-restart recovery table =="
+restart_out=$(mktemp -d)
+cargo run --release -p scap-bench --bin experiments -- \
+    --exp restart --scale smoke --out "$restart_out" >/dev/null
+grep -q '"restart"' "$restart_out/BENCH_summary.json" \
+    || { echo "BENCH_summary.json lacks a restart section"; exit 1; }
+test -s "$restart_out/restart_recovery.csv" \
+    || { echo "missing restart_recovery.csv"; exit 1; }
+rm -rf "$restart_out"
+
+echo "== scapcat --supervise smoke =="
+sup_out=$(mktemp -d)
+cargo run --release -p scap-bench --bin scapcat -- --gen 4 "$sup_out/trace.pcap" >/dev/null
+sup_log=$(cargo run --release -p scap-bench --bin scapcat -- \
+    "$sup_out/trace.pcap" --supervise --kill-at 2500 \
+    --checkpoint-every 500 --ckpt "$sup_out/scap.ckpt" 2>&1)
+echo "$sup_log" | grep -q "resuming" \
+    || { echo "supervisor never resumed: $sup_log"; exit 1; }
+echo "$sup_log" | grep -q "supervised capture complete after 1 restart" \
+    || { echo "supervisor did not complete after one restart: $sup_log"; exit 1; }
+cargo run --release -p scap-bench --bin scapstore -- \
+    verify "$sup_out/scap.ckpt" --repair >/dev/null \
+    || { echo "checkpoint left by the supervisor failed verify"; exit 1; }
+rm -rf "$sup_out"
+
 echo "== scapstore smoke =="
 store_out=$(mktemp -d)
 cargo run --release -p scap-bench --bin scapcat -- --gen 2 "$store_out/trace.pcap" >/dev/null

@@ -15,6 +15,11 @@
 //!                                            # every 5000 packets
 //! scapcat --write out.pcap trace.pcap "tcp"  # dump the post-filter /
 //!                                            # post-cutoff packets
+//! scapcat --supervise --checkpoint-every 500 --ckpt cap.ckpt \
+//!         [--kill-at 2000] trace.pcap        # supervised warm-restart:
+//!     run the capture under periodic checkpointing; if it dies (e.g. an
+//!     injected --kill-at crash), resume from the latest checkpoint and
+//!     continue with the remaining packets
 //! ```
 
 use scap::{Scap, StreamCtx};
@@ -38,7 +43,9 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scapcat [--gen MB out.pcap] [--cutoff BYTES] [--top N] \
-             [--stats-interval PKTS] [--write out.pcap] <file.pcap> [filter]"
+             [--stats-interval PKTS] [--write out.pcap] \
+             [--supervise [--checkpoint-every PKTS] [--ckpt FILE] [--kill-at PKT]] \
+             <file.pcap> [filter]"
         );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -64,10 +71,39 @@ fn main() {
     let mut top: usize = usize::MAX;
     let mut stats_interval: Option<u64> = None;
     let mut write_out: Option<String> = None;
+    let mut supervise = false;
+    let mut kill_at: Option<u64> = None;
+    let mut ckpt_every: u64 = 1000;
+    let mut ckpt_path: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--supervise" => supervise = true,
+            "--kill-at" => {
+                i += 1;
+                kill_at = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--kill-at needs a packet index")),
+                );
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                ckpt_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .unwrap_or_else(|| die("--checkpoint-every needs a packet count"));
+            }
+            "--ckpt" => {
+                i += 1;
+                ckpt_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--ckpt needs a file path")),
+                );
+            }
             "--cutoff" => {
                 i += 1;
                 cutoff = Some(
@@ -114,6 +150,12 @@ fn main() {
         .unwrap_or_else(|e| die(&format!("not a pcap file: {e}")))
         .read_all()
         .unwrap_or_else(|e| die(&format!("read error: {e}")));
+
+    if supervise {
+        let ckpt = ckpt_path.unwrap_or_else(|| format!("{path}.ckpt"));
+        run_supervised(packets, filter, cutoff, kill_at, ckpt_every, &ckpt);
+        return;
+    }
 
     // --write out.pcap: dump the packets that survive the configured
     // filter and per-stream cutoff — the same view the capture keeps.
@@ -228,6 +270,78 @@ fn main() {
                 "\nfinal telemetry:\n{}",
                 scap::telemetry::export::to_table(snap)
             );
+        }
+    }
+}
+
+/// Supervisor loop: run the capture under periodic checkpointing; when a
+/// run dies mid-capture (injected `--kill-at` crash), resume from the
+/// latest checkpoint and feed it the packets the dead run never admitted.
+/// The packets between the last checkpoint and the crash are the blackout
+/// window — resumed streams carry the RESUMED flag and a bounded gap.
+fn run_supervised(
+    packets: Vec<scap_trace::Packet>,
+    filter: &str,
+    cutoff: Option<u64>,
+    kill_at: Option<u64>,
+    ckpt_every: u64,
+    ckpt: &str,
+) {
+    let _ = std::fs::remove_file(ckpt);
+    let total = packets.len();
+    let mut offset = 0usize;
+    let mut kill = kill_at;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if attempts > 16 {
+            die("too many restarts; giving up");
+        }
+        let mut builder = Scap::builder()
+            .filter(filter)
+            .worker_threads(2)
+            .checkpoint_every(ckpt_every, ckpt);
+        if let Some(c) = cutoff {
+            builder = builder.cutoff(c);
+        }
+        if let Some(n) = kill.take() {
+            builder = builder.fault_plan(scap::FaultPlan {
+                kill_at_packet: Some(n),
+                ..Default::default()
+            });
+        }
+        if offset > 0 {
+            if !std::path::Path::new(ckpt).exists() {
+                die("capture died before the first checkpoint; nothing to resume");
+            }
+            builder = builder.resume_from(ckpt);
+        }
+        let mut scap = builder.try_build().unwrap_or_else(|e| die(&format!("{e}")));
+        let stats = scap.start_capture(packets[offset..].to_vec());
+        match scap.died_at() {
+            Some(n) => {
+                offset += n as usize;
+                eprintln!(
+                    "scapcat: capture died at packet {offset}/{total} — resuming from {ckpt}"
+                );
+            }
+            None => {
+                println!(
+                    "supervised capture complete after {} restart(s): {} stream(s) resumed, \
+                     recovery {} virtual cycles, {} checkpoint(s) written",
+                    stats.resilience.restarts,
+                    stats.resilience.resumed_streams,
+                    stats.resilience.recovery_virtual_cycles,
+                    stats.resilience.checkpoints_written,
+                );
+                println!(
+                    "{} packets | {} streams | {} payload bytes reassembled",
+                    stats.stack.wire_packets,
+                    stats.stack.streams_reported,
+                    stats.stack.delivered_bytes,
+                );
+                return;
+            }
         }
     }
 }

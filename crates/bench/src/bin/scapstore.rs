@@ -11,8 +11,9 @@
 //! scapstore cat <dir> <uid>          dump a stream's payload to stdout
 //! scapstore compact <dir> [--budget BYTES]
 //!     re-enforce the budget and rewrite segments without dead weight
-//! scapstore verify <dir> [--repair]  integrity check (exit 1 if dirty);
-//!     --repair runs writer-side torn-tail recovery first
+//! scapstore verify <dir|ckpt> [--repair]  integrity check (exit 1 if dirty);
+//!     --repair runs torn-tail recovery first. A plain-file argument is
+//!     treated as a warm-restart checkpoint instead of an archive
 //! ```
 
 use scap::Scap;
@@ -45,7 +46,7 @@ fn usage(code: i32) -> ! {
          \x20      scapstore query <dir> <expr> [--since NS] [--until NS] [--export out.pcap]\n\
          \x20      scapstore cat <dir> <uid>\n\
          \x20      scapstore compact <dir> [--budget BYTES]\n\
-         \x20      scapstore verify <dir> [--repair]"
+         \x20      scapstore verify <dir|ckpt> [--repair]"
     );
     std::process::exit(code);
 }
@@ -266,6 +267,11 @@ fn cmd_compact(args: &[String]) {
 fn cmd_verify(args: &[String]) {
     let (pos, flags) = parse(args, &["repair"]);
     let [dir] = &pos[..] else { usage(2) };
+    // A plain file is a capture checkpoint, not an archive directory:
+    // verify (and optionally repair) it through the shared codec.
+    if std::path::Path::new(dir).is_file() {
+        return verify_checkpoint(dir, flag(&flags, "repair").is_some());
+    }
     if flag(&flags, "repair").is_some() {
         // Writer-side open runs torn-tail recovery (truncating torn
         // segment/index tails and dropping records whose payload no
@@ -293,4 +299,34 @@ fn cmd_verify(args: &[String]) {
         std::process::exit(1);
     }
     println!("archive is clean");
+}
+
+/// Verify a warm-restart checkpoint file; with `repair`, truncate its
+/// torn tail first (idempotent: a second repair removes nothing).
+fn verify_checkpoint(path: &str, repair: bool) {
+    let p = std::path::Path::new(path);
+    if repair {
+        let r = scap::checkpoint::repair_file(p).unwrap_or_else(|e| die(&format!("repair: {e}")));
+        if r.torn_bytes_removed > 0 {
+            println!(
+                "recovered {} torn tail byte(s), {} valid bytes kept",
+                r.torn_bytes_removed, r.valid_len
+            );
+        } else {
+            println!("nothing to repair ({} valid bytes)", r.valid_len);
+        }
+    }
+    match scap::checkpoint::read_image(p) {
+        Ok(img) => println!(
+            "checkpoint seq {} is clean: {} stream(s), {} fdir filter(s), uid counter {}",
+            img.seq,
+            img.streams.len(),
+            img.fdir.len(),
+            img.globals.uid_counter,
+        ),
+        Err(e) => {
+            eprintln!("scapstore: checkpoint is NOT clean: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -134,6 +134,25 @@ fn store_section(archive: &FigureResult, priorities: Option<&FigureResult>) -> S
     format!("  \"store\": {{{}}}", fields.join(", "))
 }
 
+/// One object per checkpoint interval from the warm-restart experiment,
+/// keyed by the figure's own column headers.
+fn restart_section(fig: &FigureResult) -> String {
+    let items: Vec<String> = fig
+        .rows
+        .iter()
+        .map(|row| {
+            let fields: Vec<String> = fig
+                .headers
+                .iter()
+                .zip(row.iter())
+                .map(|(h, cell)| format!("\"{}\": {}", json_escape(h), json_value(cell)))
+                .collect();
+            format!("{{{}}}", fields.join(", "))
+        })
+        .collect();
+    format!("  \"restart\": [{}]", items.join(", "))
+}
+
 /// Render the summary document from every figure produced in this run.
 pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String {
     let mut sections = vec![
@@ -160,6 +179,9 @@ pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String
     }
     if let Some(fig) = find(results, "store_archive") {
         sections.push(store_section(fig, find(results, "store_priorities")));
+    }
+    if let Some(fig) = find(results, "restart_recovery") {
+        sections.push(restart_section(fig));
     }
     format!("{{\n{}\n}}\n", sections.join(",\n"))
 }

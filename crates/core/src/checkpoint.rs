@@ -1,0 +1,1478 @@
+//! Crash-consistent checkpoint/restore for the live capture pipeline.
+//!
+//! A checkpoint file captures everything a warm restart cannot rebuild
+//! from the wire: per-core stream records and their kernel-side
+//! reassembly state, the global uid counter, the overload-governor
+//! escalation level, the installed FDIR filter set, and the active
+//! [`ScapConfig`]. The on-disk format reuses the checksummed record
+//! framing the `scap-store` archive proved out — this module *is* that
+//! codec now: `scap-store` re-exports the constants and framing
+//! functions defined here, so there is exactly one CRC table, one record
+//! frame, and one torn-tail scanner in the tree.
+//!
+//! # File layout
+//!
+//! ```text
+//! [16-byte file header: CKPT_MAGIC, FORMAT_VERSION, sequence number]
+//! [record]*            each: REC_MAGIC, body len, CRC-32, body
+//! ```
+//!
+//! Record bodies start with a kind byte: config (`0x10`), globals
+//! (`0x11`), one per stream (`0x12`), the FDIR filter set (`0x13`), and
+//! a mandatory trailing end marker (`0x14`). A file whose last valid
+//! record is not the end marker was torn mid-write and is rejected by
+//! [`CheckpointImage::decode`]; [`repair_file`] truncates such a tail
+//! (idempotently — repairing an already-repaired file is a no-op).
+//! Checkpoints are written via [`write_atomic`] (temp file + rename), so
+//! a crash during checkpointing leaves the previous checkpoint intact.
+//!
+//! # Restore invariants
+//!
+//! * Stream UIDs are stable across the restart: the uid counter resumes
+//!   where it left off and restored streams keep their checkpointed
+//!   uids, so pre- and post-restart archive records join on uid.
+//! * Every direction re-anchors at its *committed* offset (delivered
+//!   in-order bytes plus the buffered partial chunk, which travels in
+//!   the checkpoint). No committed byte is ever re-delivered.
+//! * Restored live streams carry [`StreamErrors::RESUMED`]; bytes lost
+//!   in the restart blackout are skipped on the first post-resume
+//!   segment and accounted in `resume_gap_bytes` — bounded by the
+//!   traffic that arrived between the checkpoint and the crash.
+//!
+//! [`StreamErrors::RESUMED`]: scap_flow::StreamErrors::RESUMED
+
+use std::path::Path;
+
+use crate::config::{ConfigDelta, CutoffPolicy, PriorityPolicy, ScapConfig};
+use crate::event::StreamUid;
+use crate::governor::GovernorConfig;
+use scap_filter::Filter;
+use scap_flow::{DirStats, StreamStatus};
+use scap_memory::PplConfig;
+use scap_nic::{FdirAction, FdirFilter, FlexMatch};
+use scap_reassembly::{ConnCheckpoint, ConnPhase, DirState, OverlapPolicy, ReassemblyMode};
+use scap_wire::{Direction, FlowKey, IpAddrBytes, Transport};
+
+// ---------------------------------------------------------------------------
+// Shared record codec (also used by scap-store via re-export)
+// ---------------------------------------------------------------------------
+
+/// On-disk format version shared by checkpoints and the archive.
+pub const FORMAT_VERSION: u32 = 1;
+/// File header length: magic + version + file id.
+pub const FILE_HEADER_LEN: usize = 16;
+/// Record frame header length: magic + body length + CRC-32.
+pub const REC_HEADER_LEN: usize = 12;
+/// Per-record magic ("RECD").
+pub const REC_MAGIC: u32 = 0x4443_4552;
+/// Checkpoint-file magic ("SCKP").
+pub const CKPT_MAGIC: u32 = 0x504B_4353;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum (IEEE), the integrity check on every record frame.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Standard 16-byte file header: magic, format version, file id.
+pub fn file_header(magic: u32, id: u64) -> [u8; FILE_HEADER_LEN] {
+    let mut h = [0u8; FILE_HEADER_LEN];
+    h[0..4].copy_from_slice(&magic.to_le_bytes());
+    h[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&id.to_le_bytes());
+    h
+}
+
+/// Frame a record body: magic, length, CRC-32, body.
+pub fn frame_record(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(REC_HEADER_LEN + body.len());
+    out.extend_from_slice(&REC_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// One structurally valid record found by [`scan_records`].
+#[derive(Debug, Clone)]
+pub struct RawRecord {
+    /// Byte offset of the record's frame header within the file.
+    pub frame_start: usize,
+    /// Byte range of the record body within the file.
+    pub body: core::ops::Range<usize>,
+}
+
+/// The result of scanning a record-framed file.
+#[derive(Debug, Clone)]
+pub struct RecordScan {
+    /// Structurally valid records in file order.
+    pub records: Vec<RawRecord>,
+    /// File id from the header (sequence number for checkpoints).
+    pub file_id: u64,
+    /// Length of the valid prefix (header + intact records).
+    pub valid_len: usize,
+    /// Bytes past the valid prefix (a torn tail from a crashed write).
+    pub torn_bytes: usize,
+}
+
+/// Scan a record-framed file: validate the header, then walk frames
+/// checking magic, length, and CRC, stopping at the first invalid byte.
+/// Everything before that point is the crash-consistent valid prefix.
+pub fn scan_records(data: &[u8], file_magic: u32) -> Result<RecordScan, CheckpointError> {
+    if data.len() < FILE_HEADER_LEN {
+        return Err(CheckpointError::Corrupt(format!(
+            "file too short for header: {} bytes",
+            data.len()
+        )));
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    if magic != file_magic {
+        return Err(CheckpointError::Corrupt(format!(
+            "bad file magic {magic:#010x}"
+        )));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::Corrupt(format!(
+            "unsupported format version {version}"
+        )));
+    }
+    let file_id = u64::from_le_bytes(data[8..16].try_into().unwrap());
+
+    let mut records = Vec::new();
+    let mut pos = FILE_HEADER_LEN;
+    loop {
+        if pos + REC_HEADER_LEN > data.len() {
+            break;
+        }
+        let magic = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        if magic != REC_MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap());
+        let body_start = pos + REC_HEADER_LEN;
+        let Some(body_end) = body_start.checked_add(len) else {
+            break;
+        };
+        if body_end > data.len() || crc32(&data[body_start..body_end]) != crc {
+            break;
+        }
+        records.push(RawRecord {
+            frame_start: pos,
+            body: body_start..body_end,
+        });
+        pos = body_end;
+    }
+    Ok(RecordScan {
+        records,
+        file_id,
+        valid_len: pos,
+        torn_bytes: data.len() - pos,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Checkpoint read/write failures.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error reading or writing the checkpoint.
+    Io(std::io::Error),
+    /// The checkpoint bytes are structurally or semantically invalid.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Image types
+// ---------------------------------------------------------------------------
+
+/// Record kind bytes (first body byte of every checkpoint record).
+const REC_CONFIG: u8 = 0x10;
+const REC_GLOBALS: u8 = 0x11;
+const REC_STREAM: u8 = 0x12;
+const REC_FDIR: u8 = 0x13;
+const REC_END: u8 = 0x14;
+
+/// Kernel-global state that is not per-stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointGlobals {
+    /// Trace timestamp the checkpoint was taken at (ns).
+    pub ts_ns: u64,
+    /// Last assigned stream uid (uids stay stable across restarts).
+    pub uid_counter: u64,
+    /// Overload-governor escalation level at checkpoint time.
+    pub governor_level: u8,
+    /// Warm restarts this lineage has been through so far.
+    pub restarts: u64,
+}
+
+/// One direction's chunk-assembler state: the committed offset and the
+/// buffered partial-chunk bytes (which the committed offset includes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsmImage {
+    /// Next byte offset the assembler will write (committed frontier).
+    pub committed: u64,
+    /// Partial-chunk bytes buffered at checkpoint time.
+    pub pending: Vec<u8>,
+}
+
+/// Kernel-side per-stream state (absent for TIME_WAIT tombstones).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KStateImage {
+    /// NIC drop filters were installed for this stream.
+    pub fdir_installed: bool,
+    /// Current adaptive FDIR expiry timeout (ns).
+    pub fdir_timeout_ns: u64,
+    /// The stream fell back to software discard after FDIR failures.
+    pub fdir_software_fallback: bool,
+    /// TCP connection state (both directions' reassembly), if tracked.
+    pub conn: Option<ConnCheckpoint>,
+    /// Per-direction chunk-assembler state, indexed by `Direction`.
+    pub asm: [Option<AsmImage>; 2],
+}
+
+/// One checkpointed stream: the flow-table record plus (for live
+/// streams) the kernel state needed to resume reassembly exactly at the
+/// committed offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamImage {
+    /// Core (flow table) the stream lives on.
+    pub core: u32,
+    /// Stable stream uid.
+    pub uid: StreamUid,
+    /// Canonical flow key.
+    pub key: FlowKey,
+    /// Direction of the first observed packet.
+    pub first_dir: Direction,
+    /// First-packet timestamp (ns).
+    pub first_ts_ns: u64,
+    /// Most recent packet timestamp (ns).
+    pub last_ts_ns: u64,
+    /// Lifecycle status.
+    pub status: StreamStatus,
+    /// Raw error-flag bits.
+    pub errors: u8,
+    /// PPL priority.
+    pub priority: u8,
+    /// Per-direction cutoffs.
+    pub cutoff: [Option<u64>; 2],
+    /// A cutoff already tripped.
+    pub cutoff_exceeded: bool,
+    /// The application asked to discard the rest of the stream.
+    pub discarded: bool,
+    /// Per-direction byte/packet counters.
+    pub dirs: [DirStats; 2],
+    /// Per-stream chunk-size override (0 = socket default).
+    pub chunk_size: u32,
+    /// Per-stream chunk-overlap override.
+    pub overlap: u32,
+    /// Per-stream reassembly-policy override.
+    pub reassembly_policy: Option<u8>,
+    /// Cumulative user processing time charged to the stream (ns).
+    pub processing_time_ns: u64,
+    /// Chunks delivered so far.
+    pub chunks: u64,
+    /// Bytes already skipped over earlier restart blackouts.
+    pub resume_gap_bytes: u64,
+    /// Kernel state; `None` marks a TIME_WAIT tombstone (record only).
+    pub kstate: Option<KStateImage>,
+}
+
+/// A decoded checkpoint: everything [`crate::ScapKernel`] needs to
+/// rebuild itself mid-capture.
+#[derive(Debug)]
+pub struct CheckpointImage {
+    /// Checkpoint sequence number (file header id).
+    pub seq: u64,
+    /// The capture configuration in force (fault plan excluded).
+    pub config: ScapConfig,
+    /// Kernel-global state.
+    pub globals: CheckpointGlobals,
+    /// All tracked streams, in ascending uid order.
+    pub streams: Vec<StreamImage>,
+    /// Installed FDIR filters, in deterministic (encoded-bytes) order.
+    pub fdir: Vec<FdirFilter>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(b: &mut Vec<u8>, v: f64) {
+    b.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_opt_u64(b: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            b.push(1);
+            put_u64(b, x);
+        }
+        None => b.push(0),
+    }
+}
+
+fn put_bytes(b: &mut Vec<u8>, v: &[u8]) {
+    put_u32(b, v.len() as u32);
+    b.extend_from_slice(v);
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_bytes(b, s.as_bytes());
+}
+
+fn put_addr(b: &mut Vec<u8>, a: IpAddrBytes) {
+    match a {
+        IpAddrBytes::V4(x) => {
+            b.extend_from_slice(&x);
+            b.extend_from_slice(&[0u8; 12]);
+        }
+        IpAddrBytes::V6(x) => b.extend_from_slice(&x),
+    }
+}
+
+fn put_key(b: &mut Vec<u8>, key: &FlowKey) {
+    b.push(match key.src() {
+        IpAddrBytes::V4(_) => 4,
+        IpAddrBytes::V6(_) => 6,
+    });
+    put_addr(b, key.src());
+    put_addr(b, key.dst());
+    b.extend_from_slice(&key.src_port().to_le_bytes());
+    b.extend_from_slice(&key.dst_port().to_le_bytes());
+    b.push(key.transport().proto_number());
+}
+
+fn overlap_policy_to_u8(p: OverlapPolicy) -> u8 {
+    match p {
+        OverlapPolicy::First => 0,
+        OverlapPolicy::Last => 1,
+        OverlapPolicy::Bsd => 2,
+        OverlapPolicy::Windows => 3,
+        OverlapPolicy::Solaris => 4,
+        OverlapPolicy::Linux => 5,
+    }
+}
+
+fn status_to_u8(s: StreamStatus) -> u8 {
+    match s {
+        StreamStatus::Active => 0,
+        StreamStatus::ClosedFin => 1,
+        StreamStatus::ClosedRst => 2,
+        StreamStatus::ClosedTimeout => 3,
+    }
+}
+
+fn encode_config_body(cfg: &ScapConfig) -> Vec<u8> {
+    let mut b = Vec::with_capacity(256);
+    b.push(REC_CONFIG);
+    put_u64(&mut b, cfg.memory_bytes as u64);
+    b.push(match cfg.reassembly_mode {
+        ReassemblyMode::Strict => 0,
+        ReassemblyMode::Fast => 1,
+    });
+    b.push(overlap_policy_to_u8(cfg.overlap_policy));
+    b.push(u8::from(cfg.need_pkts));
+    match &cfg.filter {
+        Some(f) => {
+            b.push(1);
+            put_str(&mut b, f.source());
+        }
+        None => b.push(0),
+    }
+    put_opt_u64(&mut b, cfg.cutoff.default);
+    put_opt_u64(&mut b, cfg.cutoff.per_direction[0]);
+    put_opt_u64(&mut b, cfg.cutoff.per_direction[1]);
+    put_u32(&mut b, cfg.cutoff.classes.len() as u32);
+    for (f, v) in &cfg.cutoff.classes {
+        put_str(&mut b, f.source());
+        put_u64(&mut b, *v);
+    }
+    put_u32(&mut b, cfg.priorities.classes.len() as u32);
+    for (f, p) in &cfg.priorities.classes {
+        put_str(&mut b, f.source());
+        b.push(*p);
+    }
+    put_u64(&mut b, cfg.worker_threads as u64);
+    put_u64(&mut b, cfg.cores as u64);
+    put_u64(&mut b, cfg.chunk_size as u64);
+    put_u64(&mut b, cfg.overlap as u64);
+    put_u64(&mut b, cfg.flush_timeout_ns);
+    put_u64(&mut b, cfg.inactivity_timeout_ns);
+    put_f64(&mut b, cfg.ppl.base_threshold);
+    b.push(cfg.ppl.num_priorities);
+    put_opt_u64(&mut b, cfg.ppl.overload_cutoff);
+    b.push(u8::from(cfg.use_fdir));
+    b.push(u8::from(cfg.use_fdir_balancing));
+    put_f64(&mut b, cfg.balance_threshold);
+    put_u64(&mut b, cfg.rx_ring_slots as u64);
+    put_u64(&mut b, cfg.event_queue_cap as u64);
+    for e in cfg.governor.enter {
+        put_f64(&mut b, e);
+    }
+    put_f64(&mut b, cfg.governor.exit);
+    put_u32(&mut b, cfg.governor.calm_ticks);
+    put_u64(&mut b, cfg.governor.tick_ns);
+    put_u64(&mut b, cfg.governor.cutoff_caps[0]);
+    put_u64(&mut b, cfg.governor.cutoff_caps[1]);
+    put_f64(&mut b, cfg.governor.ppl_boost);
+    put_u64(&mut b, cfg.governor.evict_batch as u64);
+    put_u64(&mut b, cfg.telemetry_sample_interval_ns);
+    put_u64(&mut b, cfg.telemetry_series_cap as u64);
+    b
+}
+
+fn encode_globals_body(g: &CheckpointGlobals) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    b.push(REC_GLOBALS);
+    put_u64(&mut b, g.ts_ns);
+    put_u64(&mut b, g.uid_counter);
+    b.push(g.governor_level);
+    put_u64(&mut b, g.restarts);
+    b
+}
+
+fn encode_dir_state(b: &mut Vec<u8>, d: &DirState) {
+    match d.base_seq {
+        Some(s) => {
+            b.push(1);
+            put_u32(b, s);
+        }
+        None => b.push(0),
+    }
+    put_u64(b, d.expected);
+    b.push(d.flags);
+    put_u64(b, d.delivered_bytes);
+    put_u64(b, d.duplicate_bytes);
+    put_u64(b, d.gap_bytes);
+    put_u32(b, d.segments.len() as u32);
+    for (off, data) in &d.segments {
+        put_u64(b, *off);
+        put_bytes(b, data);
+    }
+}
+
+fn encode_stream_body(s: &StreamImage) -> Vec<u8> {
+    let mut b = Vec::with_capacity(256);
+    b.push(REC_STREAM);
+    put_u32(&mut b, s.core);
+    put_u64(&mut b, s.uid);
+    put_key(&mut b, &s.key);
+    b.push(s.first_dir.index() as u8);
+    put_u64(&mut b, s.first_ts_ns);
+    put_u64(&mut b, s.last_ts_ns);
+    b.push(status_to_u8(s.status));
+    b.push(s.errors);
+    b.push(s.priority);
+    put_opt_u64(&mut b, s.cutoff[0]);
+    put_opt_u64(&mut b, s.cutoff[1]);
+    b.push(u8::from(s.cutoff_exceeded));
+    b.push(u8::from(s.discarded));
+    for d in &s.dirs {
+        for v in [
+            d.total_pkts,
+            d.total_bytes,
+            d.captured_bytes,
+            d.captured_pkts,
+            d.discarded_pkts,
+            d.discarded_bytes,
+            d.dropped_pkts,
+            d.dropped_bytes,
+        ] {
+            put_u64(&mut b, v);
+        }
+    }
+    put_u32(&mut b, s.chunk_size);
+    put_u32(&mut b, s.overlap);
+    match s.reassembly_policy {
+        Some(p) => {
+            b.push(1);
+            b.push(p);
+        }
+        None => b.push(0),
+    }
+    put_u64(&mut b, s.processing_time_ns);
+    put_u64(&mut b, s.chunks);
+    put_u64(&mut b, s.resume_gap_bytes);
+    match &s.kstate {
+        None => b.push(0),
+        Some(ks) => {
+            b.push(1);
+            b.push(u8::from(ks.fdir_installed));
+            put_u64(&mut b, ks.fdir_timeout_ns);
+            b.push(u8::from(ks.fdir_software_fallback));
+            match &ks.conn {
+                None => b.push(0),
+                Some(c) => {
+                    b.push(1);
+                    b.push(match c.phase {
+                        ConnPhase::Opening => 0,
+                        ConnPhase::Established => 1,
+                        ConnPhase::ClosedFin => 2,
+                        ConnPhase::ClosedRst => 3,
+                    });
+                    match c.client_dir {
+                        Some(d) => {
+                            b.push(1);
+                            b.push(d.index() as u8);
+                        }
+                        None => b.push(0),
+                    }
+                    b.push(u8::from(c.fin_seen[0]));
+                    b.push(u8::from(c.fin_seen[1]));
+                    for d in &c.dirs {
+                        encode_dir_state(&mut b, d);
+                    }
+                }
+            }
+            for a in &ks.asm {
+                match a {
+                    None => b.push(0),
+                    Some(a) => {
+                        b.push(1);
+                        put_u64(&mut b, a.committed);
+                        put_bytes(&mut b, &a.pending);
+                    }
+                }
+            }
+        }
+    }
+    b
+}
+
+fn encode_filter(f: &FdirFilter) -> Vec<u8> {
+    let mut b = Vec::with_capacity(48);
+    put_key(&mut b, &f.key);
+    match f.flex {
+        Some(fx) => {
+            b.push(1);
+            b.extend_from_slice(&fx.offset.to_le_bytes());
+            b.extend_from_slice(&fx.value.to_le_bytes());
+        }
+        None => b.push(0),
+    }
+    match f.action {
+        FdirAction::Drop => b.push(0),
+        FdirAction::ToQueue(q) => {
+            b.push(1);
+            put_u64(&mut b, q as u64);
+        }
+    }
+    b
+}
+
+fn encode_fdir_body(filters: &[FdirFilter]) -> Vec<u8> {
+    // FDIR tables hash by key, so the caller's iteration order is not
+    // deterministic; sort by encoded bytes so identical filter sets
+    // always produce identical checkpoints.
+    let mut enc: Vec<Vec<u8>> = filters.iter().map(encode_filter).collect();
+    enc.sort_unstable();
+    let mut b = Vec::with_capacity(16 + enc.len() * 48);
+    b.push(REC_FDIR);
+    put_u32(&mut b, enc.len() as u32);
+    for e in enc {
+        b.extend_from_slice(&e);
+    }
+    b
+}
+
+/// Encode a full checkpoint file from its parts. `streams` are written
+/// in ascending-uid order regardless of input order, so the byte output
+/// is a pure function of the captured state.
+pub fn encode_image(
+    seq: u64,
+    cfg: &ScapConfig,
+    globals: &CheckpointGlobals,
+    streams: &[StreamImage],
+    fdir: &[FdirFilter],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(&file_header(CKPT_MAGIC, seq));
+    out.extend_from_slice(&frame_record(&encode_config_body(cfg)));
+    out.extend_from_slice(&frame_record(&encode_globals_body(globals)));
+    let mut order: Vec<usize> = (0..streams.len()).collect();
+    order.sort_by_key(|&i| streams[i].uid);
+    for i in order {
+        out.extend_from_slice(&frame_record(&encode_stream_body(&streams[i])));
+    }
+    out.extend_from_slice(&frame_record(&encode_fdir_body(fdir)));
+    out.extend_from_slice(&frame_record(&[REC_END]));
+    out
+}
+
+impl CheckpointImage {
+    /// Re-encode this image to checkpoint-file bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode_image(
+            self.seq,
+            &self.config,
+            &self.globals,
+            &self.streams,
+            &self.fdir,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounded byte cursor: every read is length-checked, so decoding
+/// arbitrary or truncated input can fail but never panic.
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Cursor { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.b.len() {
+            return Err(corrupt("record body too short"));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, CheckpointError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, CheckpointError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
+        let n = self.u32()? as usize;
+        // An implausible length is corruption, not an allocation request.
+        if n > self.b.len() {
+            return Err(corrupt("length field exceeds record size"));
+        }
+        self.take(n)
+    }
+
+    fn str(&mut self) -> Result<String, CheckpointError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| corrupt("invalid UTF-8 in string field"))
+    }
+
+    fn done(&self) -> Result<(), CheckpointError> {
+        if self.pos != self.b.len() {
+            return Err(corrupt("trailing bytes in record body"));
+        }
+        Ok(())
+    }
+}
+
+fn decode_filter_src(c: &mut Cursor<'_>) -> Result<Filter, CheckpointError> {
+    let src = c.str()?;
+    Filter::new(&src).map_err(|e| corrupt(format!("bad filter {src:?}: {e}")))
+}
+
+fn decode_key(c: &mut Cursor<'_>) -> Result<FlowKey, CheckpointError> {
+    let family = c.u8()?;
+    let src_raw = c.take(16)?;
+    let dst_raw = c.take(16)?;
+    let src_port = c.u16()?;
+    let dst_port = c.u16()?;
+    let transport = Transport::from(c.u8()?);
+    match family {
+        4 => Ok(FlowKey::new_v4(
+            src_raw[..4].try_into().unwrap(),
+            dst_raw[..4].try_into().unwrap(),
+            src_port,
+            dst_port,
+            transport,
+        )),
+        6 => Ok(FlowKey::new_v6(
+            src_raw.try_into().unwrap(),
+            dst_raw.try_into().unwrap(),
+            src_port,
+            dst_port,
+            transport,
+        )),
+        other => Err(corrupt(format!("bad address family {other}"))),
+    }
+}
+
+fn decode_direction(v: u8) -> Result<Direction, CheckpointError> {
+    match v {
+        0 => Ok(Direction::Forward),
+        1 => Ok(Direction::Reverse),
+        other => Err(corrupt(format!("bad direction {other}"))),
+    }
+}
+
+fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError> {
+    let memory_bytes = c.u64()? as usize;
+    let reassembly_mode = match c.u8()? {
+        0 => ReassemblyMode::Strict,
+        1 => ReassemblyMode::Fast,
+        other => return Err(corrupt(format!("bad reassembly mode {other}"))),
+    };
+    let overlap_policy = match c.u8()? {
+        0 => OverlapPolicy::First,
+        1 => OverlapPolicy::Last,
+        2 => OverlapPolicy::Bsd,
+        3 => OverlapPolicy::Windows,
+        4 => OverlapPolicy::Solaris,
+        5 => OverlapPolicy::Linux,
+        other => return Err(corrupt(format!("bad overlap policy {other}"))),
+    };
+    let need_pkts = c.bool()?;
+    let filter = if c.bool()? {
+        Some(decode_filter_src(c)?)
+    } else {
+        None
+    };
+    let default = c.opt_u64()?;
+    let per_direction = [c.opt_u64()?, c.opt_u64()?];
+    let nclasses = c.u32()?;
+    let mut classes = Vec::new();
+    for _ in 0..nclasses {
+        let f = decode_filter_src(c)?;
+        let v = c.u64()?;
+        classes.push((f, v));
+    }
+    let nprio = c.u32()?;
+    let mut prio_classes = Vec::new();
+    for _ in 0..nprio {
+        let f = decode_filter_src(c)?;
+        let p = c.u8()?;
+        prio_classes.push((f, p));
+    }
+    let worker_threads = c.u64()? as usize;
+    let cores = c.u64()? as usize;
+    let chunk_size = c.u64()? as usize;
+    let overlap = c.u64()? as usize;
+    let flush_timeout_ns = c.u64()?;
+    let inactivity_timeout_ns = c.u64()?;
+    let ppl = PplConfig {
+        base_threshold: c.f64()?,
+        num_priorities: c.u8()?,
+        overload_cutoff: c.opt_u64()?,
+    };
+    let use_fdir = c.bool()?;
+    let use_fdir_balancing = c.bool()?;
+    let balance_threshold = c.f64()?;
+    let rx_ring_slots = c.u64()? as usize;
+    let event_queue_cap = c.u64()? as usize;
+    let governor = GovernorConfig {
+        enter: [c.f64()?, c.f64()?, c.f64()?],
+        exit: c.f64()?,
+        calm_ticks: c.u32()?,
+        tick_ns: c.u64()?,
+        cutoff_caps: [c.u64()?, c.u64()?],
+        ppl_boost: c.f64()?,
+        evict_batch: c.u64()? as usize,
+    };
+    let telemetry_sample_interval_ns = c.u64()?;
+    let telemetry_series_cap = c.u64()? as usize;
+    if cores == 0 || chunk_size == 0 || overlap >= chunk_size {
+        return Err(corrupt("invalid capture geometry in config record"));
+    }
+    Ok(ScapConfig {
+        memory_bytes,
+        reassembly_mode,
+        overlap_policy,
+        need_pkts,
+        filter,
+        cutoff: CutoffPolicy {
+            default,
+            per_direction,
+            classes,
+        },
+        priorities: PriorityPolicy {
+            classes: prio_classes,
+        },
+        worker_threads,
+        cores,
+        chunk_size,
+        overlap,
+        flush_timeout_ns,
+        inactivity_timeout_ns,
+        ppl,
+        use_fdir,
+        use_fdir_balancing,
+        balance_threshold,
+        rx_ring_slots,
+        event_queue_cap,
+        governor,
+        faults: None,
+        telemetry_sample_interval_ns,
+        telemetry_series_cap,
+    })
+}
+
+fn decode_globals_body(c: &mut Cursor<'_>) -> Result<CheckpointGlobals, CheckpointError> {
+    Ok(CheckpointGlobals {
+        ts_ns: c.u64()?,
+        uid_counter: c.u64()?,
+        governor_level: c.u8()?,
+        restarts: c.u64()?,
+    })
+}
+
+fn decode_dir_state(c: &mut Cursor<'_>) -> Result<DirState, CheckpointError> {
+    let base_seq = if c.bool()? { Some(c.u32()?) } else { None };
+    let expected = c.u64()?;
+    let flags = c.u8()?;
+    let delivered_bytes = c.u64()?;
+    let duplicate_bytes = c.u64()?;
+    let gap_bytes = c.u64()?;
+    let nsegs = c.u32()?;
+    let mut segments = Vec::new();
+    for _ in 0..nsegs {
+        let off = c.u64()?;
+        let data = c.bytes()?.to_vec();
+        segments.push((off, data));
+    }
+    Ok(DirState {
+        base_seq,
+        expected,
+        flags,
+        delivered_bytes,
+        duplicate_bytes,
+        gap_bytes,
+        segments,
+    })
+}
+
+fn decode_stream_body(c: &mut Cursor<'_>) -> Result<StreamImage, CheckpointError> {
+    let core = c.u32()?;
+    let uid = c.u64()?;
+    let key = decode_key(c)?;
+    let first_dir = decode_direction(c.u8()?)?;
+    let first_ts_ns = c.u64()?;
+    let last_ts_ns = c.u64()?;
+    let status = match c.u8()? {
+        0 => StreamStatus::Active,
+        1 => StreamStatus::ClosedFin,
+        2 => StreamStatus::ClosedRst,
+        3 => StreamStatus::ClosedTimeout,
+        other => return Err(corrupt(format!("bad stream status {other}"))),
+    };
+    let errors = c.u8()?;
+    let priority = c.u8()?;
+    let cutoff = [c.opt_u64()?, c.opt_u64()?];
+    let cutoff_exceeded = c.bool()?;
+    let discarded = c.bool()?;
+    let mut dirs = [DirStats::default(); 2];
+    for d in &mut dirs {
+        d.total_pkts = c.u64()?;
+        d.total_bytes = c.u64()?;
+        d.captured_bytes = c.u64()?;
+        d.captured_pkts = c.u64()?;
+        d.discarded_pkts = c.u64()?;
+        d.discarded_bytes = c.u64()?;
+        d.dropped_pkts = c.u64()?;
+        d.dropped_bytes = c.u64()?;
+    }
+    let chunk_size = c.u32()?;
+    let overlap = c.u32()?;
+    let reassembly_policy = if c.bool()? { Some(c.u8()?) } else { None };
+    let processing_time_ns = c.u64()?;
+    let chunks = c.u64()?;
+    let resume_gap_bytes = c.u64()?;
+    let kstate = if c.bool()? {
+        let fdir_installed = c.bool()?;
+        let fdir_timeout_ns = c.u64()?;
+        let fdir_software_fallback = c.bool()?;
+        let conn = if c.bool()? {
+            let phase = match c.u8()? {
+                0 => ConnPhase::Opening,
+                1 => ConnPhase::Established,
+                2 => ConnPhase::ClosedFin,
+                3 => ConnPhase::ClosedRst,
+                other => return Err(corrupt(format!("bad connection phase {other}"))),
+            };
+            let client_dir = if c.bool()? {
+                Some(decode_direction(c.u8()?)?)
+            } else {
+                None
+            };
+            let fin_seen = [c.bool()?, c.bool()?];
+            let dirs = [decode_dir_state(c)?, decode_dir_state(c)?];
+            Some(ConnCheckpoint {
+                phase,
+                client_dir,
+                fin_seen,
+                dirs,
+            })
+        } else {
+            None
+        };
+        let mut asm: [Option<AsmImage>; 2] = [None, None];
+        for a in &mut asm {
+            if c.bool()? {
+                let committed = c.u64()?;
+                let pending = c.bytes()?.to_vec();
+                if (pending.len() as u64) > committed {
+                    return Err(corrupt("pending bytes exceed committed offset"));
+                }
+                *a = Some(AsmImage { committed, pending });
+            }
+        }
+        Some(KStateImage {
+            fdir_installed,
+            fdir_timeout_ns,
+            fdir_software_fallback,
+            conn,
+            asm,
+        })
+    } else {
+        None
+    };
+    Ok(StreamImage {
+        core,
+        uid,
+        key,
+        first_dir,
+        first_ts_ns,
+        last_ts_ns,
+        status,
+        errors,
+        priority,
+        cutoff,
+        cutoff_exceeded,
+        discarded,
+        dirs,
+        chunk_size,
+        overlap,
+        reassembly_policy,
+        processing_time_ns,
+        chunks,
+        resume_gap_bytes,
+        kstate,
+    })
+}
+
+fn decode_fdir_body(c: &mut Cursor<'_>) -> Result<Vec<FdirFilter>, CheckpointError> {
+    let n = c.u32()?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let key = decode_key(c)?;
+        let flex = if c.bool()? {
+            Some(FlexMatch {
+                offset: c.u16()?,
+                value: c.u16()?,
+            })
+        } else {
+            None
+        };
+        let action = match c.u8()? {
+            0 => FdirAction::Drop,
+            1 => FdirAction::ToQueue(c.u64()? as usize),
+            other => return Err(corrupt(format!("bad FDIR action {other}"))),
+        };
+        out.push(FdirFilter { key, flex, action });
+    }
+    Ok(out)
+}
+
+impl CheckpointImage {
+    /// Decode a checkpoint file. Requires the trailing end marker: a
+    /// file with a torn tail (crash mid-write) is rejected rather than
+    /// silently resumed from partial state — run [`repair_file`] first
+    /// if the valid prefix is wanted anyway.
+    pub fn decode(data: &[u8]) -> Result<Self, CheckpointError> {
+        let scan = scan_records(data, CKPT_MAGIC)?;
+        let mut config = None;
+        let mut globals = None;
+        let mut streams = Vec::new();
+        let mut fdir = Vec::new();
+        let mut ended = false;
+        for rec in &scan.records {
+            if ended {
+                return Err(corrupt("record after end marker"));
+            }
+            let body = &data[rec.body.clone()];
+            let mut c = Cursor::new(body);
+            match c.u8()? {
+                REC_CONFIG => {
+                    if config.is_some() {
+                        return Err(corrupt("duplicate config record"));
+                    }
+                    config = Some(decode_config_body(&mut c)?);
+                }
+                REC_GLOBALS => {
+                    if globals.is_some() {
+                        return Err(corrupt("duplicate globals record"));
+                    }
+                    globals = Some(decode_globals_body(&mut c)?);
+                }
+                REC_STREAM => streams.push(decode_stream_body(&mut c)?),
+                REC_FDIR => fdir.extend(decode_fdir_body(&mut c)?),
+                REC_END => ended = true,
+                other => return Err(corrupt(format!("unknown record kind {other:#04x}"))),
+            }
+            c.done()?;
+        }
+        if !ended {
+            return Err(corrupt("truncated checkpoint: no end marker"));
+        }
+        if scan.torn_bytes > 0 {
+            return Err(corrupt(format!(
+                "{} torn bytes after end marker",
+                scan.torn_bytes
+            )));
+        }
+        let config = config.ok_or_else(|| corrupt("missing config record"))?;
+        let globals = globals.ok_or_else(|| corrupt("missing globals record"))?;
+        let ncores = config.cores as u32;
+        for s in &streams {
+            if s.core >= ncores {
+                return Err(corrupt(format!(
+                    "stream {} on core {} but config has {} cores",
+                    s.uid, s.core, ncores
+                )));
+            }
+            if s.uid > globals.uid_counter {
+                return Err(corrupt(format!(
+                    "stream uid {} beyond uid counter {}",
+                    s.uid, globals.uid_counter
+                )));
+            }
+        }
+        Ok(CheckpointImage {
+            seq: scan.file_id,
+            config,
+            globals,
+            streams,
+            fdir,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File operations
+// ---------------------------------------------------------------------------
+
+/// Write checkpoint bytes crash-consistently: the bytes land in a
+/// sibling temp file first and are renamed over `path`, so a crash
+/// mid-checkpoint leaves the previous checkpoint untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read and decode a checkpoint file.
+pub fn read_image(path: &Path) -> Result<CheckpointImage, CheckpointError> {
+    let data = std::fs::read(path)?;
+    CheckpointImage::decode(&data)
+}
+
+/// The result of [`repair_file`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointRepair {
+    /// Length of the valid prefix the file was truncated to.
+    pub valid_len: usize,
+    /// Torn-tail bytes removed (0 when the file was already clean).
+    pub torn_bytes_removed: usize,
+}
+
+/// Truncate a checkpoint file's torn tail, keeping the longest valid
+/// record prefix. Idempotent: repairing a repaired file removes nothing.
+pub fn repair_file(path: &Path) -> Result<CheckpointRepair, CheckpointError> {
+    let data = std::fs::read(path)?;
+    let scan = scan_records(&data, CKPT_MAGIC)?;
+    if scan.torn_bytes > 0 {
+        let keep = data[..scan.valid_len].to_vec();
+        write_atomic(path, &keep)?;
+    }
+    Ok(CheckpointRepair {
+        valid_len: scan.valid_len,
+        torn_bytes_removed: scan.torn_bytes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Recovery cost model
+// ---------------------------------------------------------------------------
+
+/// Deterministic recovery-latency estimate, in virtual cycles, for
+/// restoring from `img`: a fixed base plus per-stream, per-buffered-byte
+/// and per-filter costs. A cost model (rather than wall time) keeps
+/// restart statistics identical across same-seed runs.
+pub fn recovery_cycles(img: &CheckpointImage) -> u64 {
+    const BASE: u64 = 10_000;
+    const PER_STREAM: u64 = 500;
+    const PER_LIVE_STREAM: u64 = 1_500;
+    const PER_FDIR_FILTER: u64 = 250;
+    let mut cycles = BASE + img.streams.len() as u64 * PER_STREAM;
+    cycles += img.fdir.len() as u64 * PER_FDIR_FILTER;
+    for s in &img.streams {
+        let Some(ks) = &s.kstate else { continue };
+        cycles += PER_LIVE_STREAM;
+        let mut bytes = 0u64;
+        if let Some(conn) = &ks.conn {
+            for d in &conn.dirs {
+                bytes += d.segments.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
+            }
+        }
+        for a in ks.asm.iter().flatten() {
+            bytes += a.pending.len() as u64;
+        }
+        // Copying restored bytes back into place: 4 bytes per cycle.
+        cycles += bytes / 4;
+    }
+    cycles
+}
+
+// ---------------------------------------------------------------------------
+// Hot-reconfiguration helpers
+// ---------------------------------------------------------------------------
+
+impl ConfigDelta {
+    /// Apply this delta to a configuration (shared by the kernel's
+    /// hot-reload path and the builder's pre-start path). Returns true
+    /// when the default cutoff was *widened*, which obliges the caller
+    /// to re-open live streams whose old narrower cutoff had tripped.
+    pub fn apply_to(self, cfg: &mut ScapConfig) -> bool {
+        let mut widened = false;
+        if let Some(new_default) = self.cutoff_default {
+            // `None` means unlimited, so it widens any finite cutoff.
+            widened = match (cfg.cutoff.default, new_default) {
+                (Some(old), Some(new)) => new > old,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if widened {
+                cfg.cutoff.generalize_to(new_default);
+            } else {
+                cfg.cutoff.default = new_default;
+            }
+        }
+        if let Some(classes) = self.cutoff_classes {
+            cfg.cutoff.classes = classes;
+        }
+        if let Some(p) = self.priorities {
+            cfg.priorities = p;
+        }
+        if let Some(f) = self.filter {
+            cfg.filter = f;
+        }
+        widened
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scap_flow::StreamErrors;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new_v4([10, 0, 0, 1], [10, 0, 0, 2], 40_000, port, Transport::Tcp)
+    }
+
+    fn sample_stream(uid: u64) -> StreamImage {
+        let mut dirs = [DirStats::default(); 2];
+        dirs[0].total_pkts = 9;
+        dirs[0].captured_bytes = 4_000;
+        dirs[1].dropped_bytes = 12;
+        StreamImage {
+            core: 1,
+            uid,
+            key: key(80),
+            first_dir: Direction::Reverse,
+            first_ts_ns: 5,
+            last_ts_ns: 99,
+            status: StreamStatus::Active,
+            errors: StreamErrors::SEQUENCE_GAP.0,
+            priority: 2,
+            cutoff: [Some(1_000_000), None],
+            cutoff_exceeded: false,
+            discarded: false,
+            dirs,
+            chunk_size: 0,
+            overlap: 0,
+            reassembly_policy: Some(2),
+            processing_time_ns: 77,
+            chunks: 3,
+            resume_gap_bytes: 0,
+            kstate: Some(KStateImage {
+                fdir_installed: true,
+                fdir_timeout_ns: 2_000_000_000,
+                fdir_software_fallback: false,
+                conn: Some(ConnCheckpoint {
+                    phase: ConnPhase::Established,
+                    client_dir: Some(Direction::Forward),
+                    fin_seen: [true, false],
+                    dirs: [
+                        DirState {
+                            base_seq: Some(1_000),
+                            expected: 4_000,
+                            flags: 0x02,
+                            delivered_bytes: 4_000,
+                            duplicate_bytes: 3,
+                            gap_bytes: 7,
+                            segments: vec![(4_100, vec![0xAA; 32])],
+                        },
+                        DirState::default(),
+                    ],
+                }),
+                asm: [
+                    Some(AsmImage {
+                        committed: 4_000,
+                        pending: vec![0x55; 100],
+                    }),
+                    None,
+                ],
+            }),
+        }
+    }
+
+    fn sample_image_bytes() -> Vec<u8> {
+        let mut cfg = ScapConfig {
+            filter: Some(Filter::new("tcp").unwrap()),
+            ..ScapConfig::default()
+        };
+        cfg.cutoff.default = Some(1 << 20);
+        cfg.cutoff.classes = vec![(Filter::new("port 80").unwrap(), 4096)];
+        cfg.priorities.classes = vec![(Filter::new("port 443").unwrap(), 1)];
+        let globals = CheckpointGlobals {
+            ts_ns: 1_234_567,
+            uid_counter: 3,
+            governor_level: 2,
+            restarts: 1,
+        };
+        let streams = vec![sample_stream(2), {
+            // A TIME_WAIT tombstone: record only, no kernel state.
+            let mut t = sample_stream(1);
+            t.status = StreamStatus::ClosedFin;
+            t.kstate = None;
+            t
+        }];
+        let fdir = vec![
+            FdirFilter::drop_tcp_flags(key(80), scap_wire::TcpFlags::ACK),
+            FdirFilter::steer(key(443), 3),
+        ];
+        encode_image(7, &cfg, &globals, &streams, &fdir)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn image_round_trips() {
+        let bytes = sample_image_bytes();
+        let img = CheckpointImage::decode(&bytes).unwrap();
+        assert_eq!(img.seq, 7);
+        assert_eq!(img.globals.uid_counter, 3);
+        assert_eq!(img.globals.governor_level, 2);
+        assert_eq!(img.streams.len(), 2);
+        // Streams come back in ascending uid order.
+        assert_eq!(img.streams[0].uid, 1);
+        assert!(img.streams[0].kstate.is_none());
+        assert_eq!(img.streams[1].uid, 2);
+        let ks = img.streams[1].kstate.as_ref().unwrap();
+        assert!(ks.fdir_installed);
+        let conn = ks.conn.as_ref().unwrap();
+        assert_eq!(conn.phase, ConnPhase::Established);
+        assert_eq!(conn.dirs[0].expected, 4_000);
+        assert_eq!(conn.dirs[0].segments.len(), 1);
+        assert_eq!(ks.asm[0].as_ref().unwrap().pending.len(), 100);
+        assert_eq!(img.fdir.len(), 2);
+        assert_eq!(img.config.cutoff.default, Some(1 << 20));
+        assert_eq!(img.config.cutoff.classes.len(), 1);
+        assert_eq!(img.config.filter.as_ref().unwrap().source(), "tcp");
+        // Re-encoding the decoded image is byte-identical.
+        assert_eq!(img.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_not_panicked() {
+        let bytes = sample_image_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                CheckpointImage::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_decode_silently() {
+        let bytes = sample_image_bytes();
+        // Flip one byte in each record body region; the CRC must catch
+        // it (header flips fail on magic/version instead).
+        let mut step = 37;
+        let mut i = FILE_HEADER_LEN + REC_HEADER_LEN;
+        while i < bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(CheckpointImage::decode(&bad).is_err(), "flip at {i}");
+            i += step;
+            step = step * 2 % 101 + 1;
+        }
+    }
+
+    #[test]
+    fn repair_truncates_torn_tail_idempotently() {
+        let dir = std::env::temp_dir().join(format!("scap-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.scapckpt");
+        let mut bytes = sample_image_bytes();
+        let clean_len = bytes.len();
+        bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_image(&path).is_err());
+
+        let r1 = repair_file(&path).unwrap();
+        assert_eq!(r1.torn_bytes_removed, 4);
+        assert_eq!(r1.valid_len, clean_len);
+        let r2 = repair_file(&path).unwrap();
+        assert_eq!(r2.torn_bytes_removed, 0, "second repair must be a no-op");
+        assert!(read_image(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn fdir_order_is_canonicalized() {
+        let cfg = ScapConfig::default();
+        let globals = CheckpointGlobals::default();
+        let a = FdirFilter::drop_tcp_flags(key(80), scap_wire::TcpFlags::ACK);
+        let b = FdirFilter::steer(key(443), 1);
+        let x = encode_image(0, &cfg, &globals, &[], &[a, b]);
+        let y = encode_image(0, &cfg, &globals, &[], &[b, a]);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn recovery_cycles_scale_with_state() {
+        let empty = CheckpointImage::decode(&encode_image(
+            0,
+            &ScapConfig::default(),
+            &CheckpointGlobals::default(),
+            &[],
+            &[],
+        ))
+        .unwrap();
+        let full = CheckpointImage::decode(&sample_image_bytes()).unwrap();
+        assert!(recovery_cycles(&full) > recovery_cycles(&empty));
+    }
+
+    #[test]
+    fn config_delta_widening_detection() {
+        let mut cfg = ScapConfig::default();
+        cfg.cutoff.default = Some(1_000);
+        cfg.cutoff.classes = vec![(Filter::new("port 80").unwrap(), 10)];
+        let widened = ConfigDelta {
+            cutoff_default: Some(Some(2_000)),
+            ..Default::default()
+        }
+        .apply_to(&mut cfg);
+        assert!(widened);
+        assert_eq!(cfg.cutoff.default, Some(2_000));
+        assert!(cfg.cutoff.classes.is_empty(), "stale classes cleared");
+
+        // Narrowing keeps overrides and reports false.
+        let mut cfg = ScapConfig::default();
+        cfg.cutoff.default = Some(1_000);
+        let widened = ConfigDelta {
+            cutoff_default: Some(Some(10)),
+            ..Default::default()
+        }
+        .apply_to(&mut cfg);
+        assert!(!widened);
+        assert_eq!(cfg.cutoff.default, Some(10));
+    }
+}

@@ -14,7 +14,7 @@ use scap_wire::{Direction, FlowKey};
 /// cutoff wins; otherwise the per-direction cutoff if set; otherwise the
 /// default. Applications can still override per stream afterwards
 /// (`scap_set_stream_cutoff`).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CutoffPolicy {
     /// Default cutoff for all streams (None = unlimited).
     pub default: Option<u64>,
@@ -44,10 +44,21 @@ impl CutoffPolicy {
             && self.per_direction.iter().all(Option::is_none)
             && self.classes.is_empty()
     }
+
+    /// Collapse the policy to a single default cutoff, clearing stale
+    /// per-direction and per-class overrides. This is the "widening"
+    /// rule shared by `union_config` (a new sharing subscriber must not
+    /// inherit a narrower class cutoff) and `apply_config` (a widened
+    /// cutoff must clear the overrides that would silently re-narrow it).
+    pub fn generalize_to(&mut self, default: Option<u64>) {
+        self.default = default;
+        self.per_direction = [None, None];
+        self.classes.clear();
+    }
 }
 
 /// Priority assignment at stream creation: first matching filter wins.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PriorityPolicy {
     /// (filter, priority) pairs; unmatched streams get priority 0.
     pub classes: Vec<(Filter, u8)>,
@@ -75,9 +86,28 @@ impl PriorityPolicy {
     }
 }
 
+/// A hot-reconfiguration delta applied to a *running* capture via
+/// `apply_config`: each `Some` field replaces the corresponding part of
+/// the live [`ScapConfig`] without tearing down the driver. `None`
+/// fields are left untouched.
+#[derive(Debug, Default)]
+pub struct ConfigDelta {
+    /// Replace the default cutoff. Widening (a larger value or `None` =
+    /// unlimited) also clears per-direction/class overrides — the same
+    /// generalization `union_config` performs — and re-opens streams
+    /// whose old, narrower cutoff had already tripped.
+    pub cutoff_default: Option<Option<u64>>,
+    /// Replace the cutoff class list (applies to new streams).
+    pub cutoff_classes: Option<Vec<(Filter, u64)>>,
+    /// Replace the priority classes; live streams are re-classified.
+    pub priorities: Option<PriorityPolicy>,
+    /// Replace the socket-wide BPF filter (`None` inside = match-all).
+    pub filter: Option<Option<Filter>>,
+}
+
 /// Full capture configuration (the `scap_create` arguments plus every
 /// `scap_set_*` knob).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ScapConfig {
     /// Stream-memory budget in bytes (`memory_size`).
     pub memory_bytes: usize,

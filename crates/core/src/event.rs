@@ -58,6 +58,9 @@ pub struct StreamSnapshot {
     pub chunks: u64,
     /// Cumulative processing time previously charged (`sd->processing_time`).
     pub processing_time_ns: u64,
+    /// Bytes skipped in the warm-restart blackout window (non-zero only
+    /// on streams carrying [`StreamErrors::RESUMED`]).
+    pub resume_gap_bytes: u64,
 }
 
 impl StreamSnapshot {
@@ -147,6 +150,7 @@ mod tests {
             last_ts_ns: 9,
             chunks: 0,
             processing_time_ns: 0,
+            resume_gap_bytes: 0,
         };
         assert_eq!(s.total_bytes(), 42);
         assert_eq!(s.total_pkts(), 3);

@@ -89,6 +89,15 @@ impl OverloadGovernor {
         self.level
     }
 
+    /// Force the escalation level (warm restart: a resumed capture keeps
+    /// the degradation posture it checkpointed with instead of starting
+    /// relaxed and thrashing back up under sustained pressure).
+    pub fn restore_level(&mut self, level: u8) {
+        self.level = level.min(3);
+        self.calm = 0;
+        self.stats.max_level = self.stats.max_level.max(self.level);
+    }
+
     /// Behaviour counters.
     pub fn stats(&self) -> GovernorStats {
         self.stats

@@ -9,16 +9,19 @@
 //! the receipts. All algorithmic behaviour (what gets tracked, copied,
 //! discarded, dropped, reported) lives here, once.
 
-use crate::config::ScapConfig;
+use crate::checkpoint::{
+    self, AsmImage, CheckpointError, CheckpointGlobals, CheckpointImage, KStateImage, StreamImage,
+};
+use crate::config::{ConfigDelta, ScapConfig};
 use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
 use crate::governor::OverloadGovernor;
-use scap_faults::{ArenaInjector, FrameFaultStats, RingInjector};
+use scap_faults::{ArenaInjector, FaultPlan, FrameFaultStats, RingInjector};
 use scap_flow::{FlowTable, FlowTableConfig, StreamErrors, StreamId, StreamRecord, StreamStatus};
 use scap_memory::{Arena, ChunkAssembler, ChunkBuf, PplVerdict};
 use scap_nic::{FdirError, FdirFilter, Nic, NicVerdict};
 use scap_reassembly::{CloseKind, ReasmConfig, ReasmFlags, TcpConn};
 use scap_sim::{CacheSim, StackStats, Work};
-use scap_telemetry::{Gauge, Metric, PlainRegistry, Sampler, Snapshot};
+use scap_telemetry::{Gauge, Metric, PlainRegistry, Sampler, Snapshot, Stage};
 use scap_trace::Packet;
 use scap_wire::{parse_frame, Direction, FlowKey, ParsedPacket, TcpFlags, TcpMeta, Transport};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -179,6 +182,19 @@ pub struct ResilienceStats {
     pub worker_stalls_detected: u64,
     /// Replacement workers spawned by the watchdog.
     pub worker_restarts: u64,
+    /// Warm restarts this capture lineage has been through (carried
+    /// forward through every checkpoint and incremented on restore).
+    pub restarts: u64,
+    /// Checkpoints written by this instance (periodic and final).
+    pub checkpoints_written: u64,
+    /// Live streams restored from the checkpoint at the last restart.
+    pub resumed_streams: u64,
+    /// Estimated recovery latency of the last restore, in virtual
+    /// cycles (deterministic cost model, not wall time).
+    pub recovery_virtual_cycles: u64,
+    /// Total bytes skipped across all streams in warm-restart blackout
+    /// windows (the sum of per-stream `resume_gap_bytes`).
+    pub resume_gap_bytes: u64,
 }
 
 /// The emulated kernel module.
@@ -219,6 +235,11 @@ pub struct ScapKernel {
     /// Last worker-heartbeat count reported by the driver (gauge input;
     /// 0 under the sim driver until the stack reports deliveries).
     worker_heartbeats: u64,
+    /// Set by [`ScapKernel::from_image`]: the first clock observed after
+    /// a warm restart re-stamps every restored flow's activity so the
+    /// blackout never counts as inactivity (the process was down, the
+    /// streams were not idle).
+    resume_epoch_pending: bool,
 }
 
 impl ScapKernel {
@@ -260,7 +281,25 @@ impl ScapKernel {
             tele: PlainRegistry::new(ncores),
             sampler: Sampler::new(cfg.telemetry_sample_interval_ns, cfg.telemetry_series_cap),
             worker_heartbeats: 0,
+            resume_epoch_pending: false,
             cfg,
+        }
+    }
+
+    /// First clock observation after a restore: excuse the blackout from
+    /// every restored flow's idle clock. Without this, a blackout longer
+    /// than the inactivity timeout would reap every resumed stream before
+    /// its first post-restart packet, splitting each into a second uid.
+    fn excuse_blackout(&mut self, now: u64) {
+        if !self.resume_epoch_pending {
+            return;
+        }
+        self.resume_epoch_pending = false;
+        for core in 0..self.cores.len() {
+            let ids: Vec<StreamId> = self.cores[core].flows.iter().map(|r| r.id).collect();
+            for id in ids {
+                self.cores[core].flows.touch(id, now);
+            }
         }
     }
 
@@ -314,6 +353,9 @@ impl ScapKernel {
                             None => rec.cutoff = [value, value],
                         }
                     }
+                    // A widened cutoff may re-open a stream whose old,
+                    // narrower cutoff had tripped.
+                    self.reopen_if_within_cutoff(core, id, uid);
                 }
             }
             ControlOp::SetPriority(uid, prio) => {
@@ -341,6 +383,50 @@ impl ScapKernel {
                     }
                 }
             }
+        }
+    }
+
+    /// After a cutoff change: if the stream had tripped its (narrower)
+    /// cutoff but every direction is now within the new one, re-open it —
+    /// clear the exceeded flag, pull the NIC drop filters, and reset the
+    /// stream's FDIR bookkeeping so data collection resumes. Shared by
+    /// [`ControlOp::SetCutoff`] and the hot-reload path, which both go
+    /// through [`ScapKernel::control`].
+    fn reopen_if_within_cutoff(&mut self, core: usize, id: StreamId, uid: StreamUid) {
+        let Some((cutoff, key, exceeded)) = self.cores[core]
+            .flows
+            .get(id)
+            .map(|r| (r.cutoff, r.key, r.cutoff_exceeded))
+        else {
+            return;
+        };
+        if !exceeded {
+            return;
+        }
+        let Some(ks) = self.cores[core].kstates.get(&id) else {
+            return; // tombstone: nothing to re-open
+        };
+        let still_beyond = (0..2).any(|d| {
+            let off = ks.asm[d].as_ref().map_or(0, |a| a.stream_offset());
+            cutoff[d].is_some_and(|c| off >= c)
+        });
+        if still_beyond {
+            return;
+        }
+        let had_filters = ks.fdir_installed;
+        if let Some(rec) = self.cores[core].flows.get_mut(id) {
+            rec.cutoff_exceeded = false;
+        }
+        if had_filters {
+            let mut work = Work::default();
+            self.remove_fdir_filters(key, &mut work);
+            self.fdir_expiries.retain(|&(_, euid), _| euid != uid);
+        }
+        if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
+            ks.fdir_installed = false;
+            ks.fdir_timeout_ns = FDIR_INITIAL_TIMEOUT_NS;
+            ks.fdir_retry_pending = false;
+            ks.fdir_software_fallback = false;
         }
     }
 
@@ -529,6 +615,7 @@ impl ScapKernel {
     /// NIC admission (hardware path, not CPU-budgeted): RSS/FDIR decide
     /// the fate and queue. Returns the verdict for telemetry.
     pub fn nic_receive(&mut self, pkt: &Packet) -> NicVerdict {
+        self.excuse_blackout(pkt.ts_ns);
         self.stats.stack.wire_packets += 1;
         self.stats.stack.wire_bytes += pkt.len() as u64;
         self.tele.inc(0, Metric::WirePackets);
@@ -644,6 +731,7 @@ impl ScapKernel {
             last_ts_ns: rec.last_ts_ns,
             chunks: rec.chunks,
             processing_time_ns: rec.processing_time_ns,
+            resume_gap_bytes: rec.resume_gap_bytes,
         }
     }
 
@@ -968,6 +1056,13 @@ impl ScapKernel {
             } else if dup_only {
                 d.discarded_pkts += 1;
                 d.discarded_bytes += outcome.data.duplicate;
+            }
+            // First segment after a warm restart: the hole it skipped is
+            // the blackout window, annotated on the record (bounded by
+            // the traffic between the checkpoint and the crash).
+            if outcome.data.resume_gap > 0 {
+                rec.resume_gap_bytes += outcome.data.resume_gap;
+                self.stats.resilience.resume_gap_bytes += outcome.data.resume_gap;
             }
             let f = conn.flags();
             for (rf, sf) in [
@@ -1683,6 +1778,7 @@ impl ScapKernel {
     /// Periodic kernel timers for one core: flush timeouts, inactivity
     /// expiration, and (on core 0) FDIR filter timeouts.
     pub fn kernel_timers(&mut self, core: usize, now: u64) -> Work {
+        self.excuse_blackout(now);
         let mut work = Work::default();
 
         // Flush timeouts.
@@ -1821,6 +1917,220 @@ impl ScapKernel {
             let mut work = Work::default();
             for id in ids {
                 self.terminate_stream(core, id, StreamStatus::ClosedTimeout, now, false, &mut work);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Warm restart: checkpoint / restore / hot-reload
+    // -----------------------------------------------------------------
+
+    /// Snapshot the full kernel state into checkpoint-file bytes. The
+    /// capture keeps running — this is the §4 two-instance trick applied
+    /// to one instance: the snapshot is taken between packets, so it is
+    /// always consistent. The caller persists the bytes with
+    /// [`checkpoint::write_atomic`].
+    pub fn checkpoint_bytes(&mut self, now_ns: u64, seq: u64) -> Vec<u8> {
+        let globals = CheckpointGlobals {
+            ts_ns: now_ns,
+            uid_counter: self.uid_counter,
+            governor_level: self.governor.level(),
+            restarts: self.stats.resilience.restarts,
+        };
+        let mut streams = Vec::new();
+        for (c, core) in self.cores.iter().enumerate() {
+            for rec in core.flows.iter() {
+                let ks = core.kstates.get(&rec.id);
+                let kstate = ks.map(|ks| KStateImage {
+                    fdir_installed: ks.fdir_installed,
+                    fdir_timeout_ns: ks.fdir_timeout_ns,
+                    fdir_software_fallback: ks.fdir_software_fallback,
+                    conn: ks.conn.as_ref().map(|conn| conn.export_state()),
+                    asm: [0usize, 1].map(|d| {
+                        ks.asm[d].as_ref().map(|a| AsmImage {
+                            committed: a.stream_offset(),
+                            pending: a.pending_bytes().to_vec(),
+                        })
+                    }),
+                });
+                streams.push(StreamImage {
+                    core: c as u32,
+                    uid: ks.map_or(0, |k| k.uid),
+                    key: rec.key,
+                    first_dir: rec.first_dir,
+                    first_ts_ns: rec.first_ts_ns,
+                    last_ts_ns: rec.last_ts_ns,
+                    status: rec.status,
+                    errors: rec.errors.0,
+                    priority: rec.priority,
+                    cutoff: rec.cutoff,
+                    cutoff_exceeded: rec.cutoff_exceeded,
+                    discarded: rec.discarded,
+                    dirs: rec.dirs,
+                    chunk_size: rec.chunk_size,
+                    overlap: rec.overlap,
+                    reassembly_policy: rec.reassembly_policy,
+                    processing_time_ns: rec.processing_time_ns,
+                    chunks: rec.chunks,
+                    resume_gap_bytes: rec.resume_gap_bytes,
+                    kstate,
+                });
+            }
+        }
+        let fdir = self.nic.fdir().filters();
+        self.stats.resilience.checkpoints_written += 1;
+        checkpoint::encode_image(seq, &self.cfg, &globals, &streams, &fdir)
+    }
+
+    /// Rebuild a kernel mid-capture from a decoded checkpoint (warm
+    /// restart). Stream uids stay stable, every direction re-anchors at
+    /// its committed offset, NIC drop filters are re-installed, and each
+    /// restored live stream is marked [`StreamErrors::RESUMED`]. `faults`
+    /// re-attaches a fault plan — plans are deliberately not part of the
+    /// checkpoint, so the restarted instance chooses its own.
+    pub fn from_image(
+        img: CheckpointImage,
+        faults: Option<FaultPlan>,
+    ) -> Result<ScapKernel, CheckpointError> {
+        let recovery = checkpoint::recovery_cycles(&img);
+        let mut cfg = img.config.clone();
+        cfg.faults = faults;
+        let mut k = ScapKernel::new(cfg);
+        k.uid_counter = img.globals.uid_counter;
+        k.governor.restore_level(img.globals.governor_level);
+        let reasm_cfg =
+            ReasmConfig::for_mode(k.cfg.reassembly_mode).with_policy(k.cfg.overlap_policy);
+        let mut resumed = 0u64;
+        for s in &img.streams {
+            let core = s.core as usize;
+            let id = k.cores[core]
+                .flows
+                .lookup_or_insert(&s.key, s.first_ts_ns)
+                .map_err(|_| {
+                    CheckpointError::Corrupt(format!(
+                        "flow table full restoring stream uid {}",
+                        s.uid
+                    ))
+                })?
+                .id;
+            if let Some(rec) = k.cores[core].flows.get_mut(id) {
+                rec.first_dir = s.first_dir;
+                rec.first_ts_ns = s.first_ts_ns;
+                rec.last_ts_ns = s.last_ts_ns;
+                rec.status = s.status;
+                rec.errors = StreamErrors(s.errors);
+                rec.priority = s.priority;
+                rec.cutoff = s.cutoff;
+                rec.cutoff_exceeded = s.cutoff_exceeded;
+                rec.discarded = s.discarded;
+                rec.dirs = s.dirs;
+                rec.chunk_size = s.chunk_size;
+                rec.overlap = s.overlap;
+                rec.reassembly_policy = s.reassembly_policy;
+                rec.processing_time_ns = s.processing_time_ns;
+                rec.chunks = s.chunks;
+                rec.resume_gap_bytes = s.resume_gap_bytes;
+            }
+            k.cores[core].flows.touch(id, s.last_ts_ns);
+            let Some(ksi) = &s.kstate else {
+                // TIME_WAIT tombstone: the record alone absorbs stray
+                // late packets, exactly as before the restart.
+                continue;
+            };
+            resumed += 1;
+            let mut ks = StreamKState::new(s.uid);
+            ks.fdir_installed = ksi.fdir_installed;
+            ks.fdir_timeout_ns = ksi.fdir_timeout_ns;
+            ks.fdir_software_fallback = ksi.fdir_software_fallback;
+            ks.conn = ksi.conn.as_ref().map(|ck| TcpConn::restore(reasm_cfg, ck));
+            let chunk_size = if s.chunk_size == 0 {
+                k.cfg.chunk_size.max(1)
+            } else {
+                s.chunk_size as usize
+            };
+            let overlap = (s.overlap as usize).min(chunk_size - 1);
+            for d in [0usize, 1] {
+                let Some(a) = &ksi.asm[d] else { continue };
+                if a.pending.len() > chunk_size {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "stream uid {}: pending chunk larger than chunk size",
+                        s.uid
+                    )));
+                }
+                let asm = ChunkAssembler::resume(
+                    &mut k.arena,
+                    chunk_size,
+                    overlap,
+                    a.committed,
+                    &a.pending,
+                )
+                .map_err(|_| {
+                    CheckpointError::Corrupt(format!(
+                        "arena exhausted restoring pending chunk of stream uid {}",
+                        s.uid
+                    ))
+                })?;
+                ks.asm[d] = Some(asm);
+            }
+            if ks.fdir_installed {
+                k.fdir_expiries.insert(
+                    (img.globals.ts_ns + ks.fdir_timeout_ns, s.uid),
+                    (core, id, s.key),
+                );
+            }
+            k.cores[core].kstates.insert(id, ks);
+            k.uid_index.insert(s.uid, (core, id));
+            if let Some(rec) = k.cores[core].flows.get_mut(id) {
+                rec.errors.set(StreamErrors::RESUMED);
+            }
+        }
+        for f in img.fdir {
+            if k.nic.fdir_install(f).is_ok() {
+                k.stats.fdir_ops += 1;
+            }
+        }
+        k.resume_epoch_pending = true;
+        k.stats.resilience.restarts = img.globals.restarts + 1;
+        k.stats.resilience.resumed_streams = resumed;
+        k.stats.resilience.recovery_virtual_cycles = recovery;
+        k.tele.record_stage(0, Stage::Restart, recovery);
+        Ok(k)
+    }
+
+    /// Hot-reload a configuration delta onto the running kernel without
+    /// stopping dispatch. Cutoff and priority changes propagate to every
+    /// live stream through the same [`ControlOp`] path applications use;
+    /// a *widened* cutoff re-opens streams whose old, narrower cutoff
+    /// had tripped (clearing their NIC drop filters), exactly like
+    /// `union_config` generalizes cutoffs for shared captures. Filter
+    /// changes take effect on the next packet.
+    pub fn apply_config(&mut self, delta: ConfigDelta) {
+        let cutoff_changed = delta.cutoff_default.is_some() || delta.cutoff_classes.is_some();
+        let priorities_changed = delta.priorities.is_some();
+        // `apply_to` owns the widening rule (generalize vs narrow); the
+        // per-stream re-open below is driven by each stream's own state.
+        let _widened = delta.apply_to(&mut self.cfg);
+        if !cutoff_changed && !priorities_changed {
+            return;
+        }
+        let mut uids: Vec<StreamUid> = self.uid_index.keys().copied().collect();
+        uids.sort_unstable();
+        for uid in uids {
+            let Some(&(core, id)) = self.uid_index.get(&uid) else {
+                continue;
+            };
+            let Some(key) = self.cores[core].flows.get(id).map(|r| r.key) else {
+                continue;
+            };
+            if cutoff_changed {
+                let cutoffs = self.cfg.cutoff.effective(&key);
+                for d in [Direction::Forward, Direction::Reverse] {
+                    self.control(ControlOp::SetCutoff(uid, Some(d), cutoffs[d.index()]));
+                }
+            }
+            if priorities_changed {
+                let prio = self.cfg.priorities.for_key(&key);
+                self.control(ControlOp::SetPriority(uid, prio));
             }
         }
     }

@@ -57,6 +57,7 @@
 //!   application sees its own filtered, cutoff-limited view.
 //! * [`event`] — events and the consistent per-event stream snapshot.
 
+pub mod checkpoint;
 pub mod config;
 pub mod event;
 pub mod governor;
@@ -65,13 +66,14 @@ pub mod live;
 pub mod sharing;
 pub mod stack;
 
-pub use config::{CutoffPolicy, PriorityPolicy, ScapConfig};
+pub use checkpoint::{CheckpointError, CheckpointImage};
+pub use config::{ConfigDelta, CutoffPolicy, PriorityPolicy, ScapConfig};
 pub use event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
 pub use governor::{GovernorConfig, GovernorStats, OverloadGovernor};
 pub use kernel::{ControlOp, ResilienceStats, ScapKernel, ScapStats};
 pub use live::{
-    mangle_packets, CaptureError, EventSink, Scap, ScapBuilder, StatsHandler, StreamCtx,
-    WorkerStatus,
+    mangle_packets, BuildError, CaptureError, EventSink, Scap, ScapBuilder, StatsHandler,
+    StreamCtx, WorkerStatus,
 };
 pub use sharing::{union_config, AppSlot, SharedApp, SharedApps};
 pub use stack::{apps, ScapSimStack, SimApp};

@@ -43,7 +43,8 @@
 //! never panics because a callback did; the damage report is available
 //! from [`Scap::last_capture_error`].
 
-use crate::config::ScapConfig;
+use crate::checkpoint::{self, CheckpointError};
+use crate::config::{ConfigDelta, ScapConfig};
 use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot};
 use crate::kernel::{ControlOp, ScapKernel, ScapStats};
 use scap_faults::{FaultPlan, FrameFaultStats, WorkerFault, WorkerFaultKind};
@@ -53,6 +54,7 @@ use scap_reassembly::{OverlapPolicy, ReassemblyMode};
 use scap_telemetry::{AtomicRegistry, Metric, Sampler, Snapshot, SpanTimer, Stage};
 use scap_trace::Packet;
 use scap_wire::Direction;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -175,6 +177,8 @@ pub struct ScapBuilder {
     cfg: ScapConfig,
     filter_err: Option<FilterError>,
     stats_interval: Option<u64>,
+    resume_path: Option<PathBuf>,
+    ckpt_every: Option<(u64, PathBuf)>,
 }
 
 impl ScapBuilder {
@@ -321,30 +325,52 @@ impl ScapBuilder {
         self
     }
 
-    /// Finalize; panics on an invalid filter expression.
-    #[deprecated(
-        since = "0.2.0",
-        note = "panics on invalid filter expressions; use try_build() and handle the error"
-    )]
-    pub fn build(self) -> Scap {
-        match self.try_build() {
-            Ok(s) => s,
-            Err(e) => panic!("invalid filter expression: {e}"),
-        }
+    /// Warm restart: restore the capture from a checkpoint file written
+    /// by [`Scap::checkpoint`] or a `checkpoint_every` interval. The
+    /// checkpointed configuration replaces every builder knob except the
+    /// fault plan and stats interval; stream uids, committed offsets and
+    /// installed FDIR filters carry over, and resumed streams are marked
+    /// with [`StreamErrors::RESUMED`].
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_path = Some(path.into());
+        self
     }
 
-    /// Finalize, surfacing filter-compilation errors.
-    pub fn try_build(mut self) -> Result<Scap, FilterError> {
+    /// Write a crash-consistent checkpoint to `path` every `packets`
+    /// packets during capture (atomically: tmp file + rename, so a crash
+    /// mid-write never corrupts the previous checkpoint). Zero disables.
+    pub fn checkpoint_every(mut self, packets: u64, path: impl Into<PathBuf>) -> Self {
+        self.ckpt_every = (packets > 0).then(|| (packets, path.into()));
+        self
+    }
+
+    /// Finalize, surfacing filter-compilation and checkpoint-restore
+    /// errors. (The panicking `build()` of 0.1 is gone; this is the only
+    /// way to construct a [`Scap`].)
+    pub fn try_build(mut self) -> Result<Scap, BuildError> {
         if let Some(e) = self.filter_err.take() {
-            return Err(e);
+            return Err(BuildError::Filter(e));
         }
         self.cfg.ppl.num_priorities = self
             .cfg
             .ppl
             .num_priorities
             .max(self.cfg.priorities.levels());
+        let (cfg, kernel) = match self.resume_path.take() {
+            Some(path) => {
+                let img = checkpoint::read_image(&path)?;
+                let k = ScapKernel::from_image(img, self.cfg.faults.clone())?;
+                (k.config().clone(), Some(k))
+            }
+            None => (self.cfg, None),
+        };
         Ok(Scap {
-            cfg: Some(self.cfg),
+            cfg: Some(cfg),
+            kernel,
+            ckpt_every: self.ckpt_every,
+            ckpt_seq: 0,
+            died_at: None,
+            last_ts_ns: 0,
             on_create: None,
             on_data: None,
             on_termination: None,
@@ -356,6 +382,45 @@ impl ScapBuilder {
             last_telemetry: None,
             last_series: None,
         })
+    }
+}
+
+/// Why a capture socket could not be constructed.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The BPF-subset filter expression failed to compile.
+    Filter(FilterError),
+    /// A `resume_from` checkpoint could not be read or restored.
+    Checkpoint(CheckpointError),
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildError::Filter(e) => write!(f, "invalid filter expression: {e}"),
+            BuildError::Checkpoint(e) => write!(f, "checkpoint restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Filter(e) => Some(e),
+            BuildError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<FilterError> for BuildError {
+    fn from(e: FilterError) -> Self {
+        BuildError::Filter(e)
+    }
+}
+
+impl From<CheckpointError> for BuildError {
+    fn from(e: CheckpointError) -> Self {
+        BuildError::Checkpoint(e)
     }
 }
 
@@ -448,6 +513,13 @@ pub fn mangle_packets(
 /// A capture socket.
 pub struct Scap {
     cfg: Option<ScapConfig>,
+    /// Kernel state: pre-built when resuming from a checkpoint, and
+    /// retained after a capture so it can be checkpointed or inspected.
+    kernel: Option<ScapKernel>,
+    ckpt_every: Option<(u64, PathBuf)>,
+    ckpt_seq: u64,
+    died_at: Option<u64>,
+    last_ts_ns: u64,
     on_create: Option<Handler>,
     on_data: Option<Handler>,
     on_termination: Option<Handler>,
@@ -636,6 +708,8 @@ impl Scap {
             cfg: ScapConfig::default(),
             filter_err: None,
             stats_interval: None,
+            resume_path: None,
+            ckpt_every: None,
         }
     }
 
@@ -723,10 +797,23 @@ impl Scap {
             None => packets.into_iter().collect(),
         };
 
-        let mut kernel = ScapKernel::new(cfg);
+        // Warm restart: reuse the kernel restored by `resume_from` (stream
+        // uids, committed offsets and FDIR filters carry over) instead of
+        // building a cold one.
+        let mut kernel = match self.kernel.take() {
+            Some(k) => k,
+            None => ScapKernel::new(cfg),
+        };
         if let Some(s) = frame_stats {
             kernel.note_frame_faults(s);
         }
+        let kill_at = kernel
+            .config()
+            .faults
+            .as_ref()
+            .and_then(|p| p.kill_at_packet);
+        let ckpt = self.ckpt_every.clone();
+        let mut ckpt_seq = self.ckpt_seq;
 
         let handlers = WorkerHandlers {
             on_create: self.on_create.clone(),
@@ -746,7 +833,7 @@ impl Scap {
         let on_stats = self.on_stats.clone();
         let stats_every = self.stats_interval;
 
-        let (stats, statuses, telemetry, series) = std::thread::scope(|s| {
+        let scope_out = std::thread::scope(|s| {
             let mut slots: Vec<WorkerSlot> = Vec::with_capacity(nworkers);
             let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, ()>>> =
                 Vec::with_capacity(nworkers);
@@ -792,6 +879,7 @@ impl Scap {
             let mut now = 0u64;
             let mut since_watchdog = 0u32;
             let mut npkts = 0u64;
+            let mut killed: Option<u64> = None;
             for pkt in &packets {
                 now = pkt.ts_ns;
                 let span = SpanTimer::start();
@@ -831,6 +919,23 @@ impl Scap {
                     span.finish(kernel.telemetry(), 0, Stage::Memory);
                 }
                 npkts += 1;
+                // Crash-consistent periodic checkpoints (§4 two-instance
+                // trick): snapshot between packets, atomically, without
+                // stopping dispatch.
+                if let Some((every, path)) = ckpt.as_ref() {
+                    if npkts.is_multiple_of(*every) {
+                        ckpt_seq += 1;
+                        let bytes = kernel.checkpoint_bytes(now, ckpt_seq);
+                        let _ = checkpoint::write_atomic(path, &bytes);
+                    }
+                }
+                // Injected crash: abandon the capture mid-flight without
+                // flushing or terminating anything, as a real process
+                // death would. Recovery goes through `resume_from`.
+                if kill_at == Some(npkts) {
+                    killed = Some(npkts);
+                    break;
+                }
                 if let (Some(every), Some(hook)) = (stats_every, on_stats.as_ref()) {
                     if npkts.is_multiple_of(every) {
                         let mut snap = kernel.telemetry_snapshot();
@@ -860,50 +965,53 @@ impl Scap {
                 }
             }
 
-            kernel.finish(now.saturating_add(1));
-            for core in 0..ncores {
-                while let Some(ev) = kernel.next_event(core) {
-                    let slot = &mut slots[core % nworkers];
-                    slot.sent += 1;
-                    if let Some(tx) = slot.tx.as_ref() {
-                        let _ = tx.send(ev);
+            if killed.is_none() {
+                kernel.finish(now.saturating_add(1));
+                for core in 0..ncores {
+                    while let Some(ev) = kernel.next_event(core) {
+                        let slot = &mut slots[core % nworkers];
+                        slot.sent += 1;
+                        if let Some(tx) = slot.tx.as_ref() {
+                            let _ = tx.send(ev);
+                        }
                     }
                 }
-            }
 
-            // Wait for the workers to drain their queues, still watching
-            // for deaths and stalls (a wedged worker would otherwise hold
-            // the shutdown hostage).
-            let deadline = Instant::now() + DRAIN_DEADLINE;
-            loop {
-                let done: u64 = slots
-                    .iter()
-                    .map(|sl| sl.heartbeat.load(Ordering::SeqCst) + sl.lost)
-                    .sum();
-                let sent: u64 = slots.iter().map(|sl| sl.sent).sum();
-                if done >= sent || Instant::now() > deadline {
-                    break;
-                }
-                watchdog(
-                    s,
-                    &mut kernel,
-                    &mut slots,
-                    &mut handles,
-                    &mut extra,
-                    &handlers,
-                    &ctl_tx,
-                    &rel_tx,
-                    &worker_tele,
-                );
-                while let Ok(op) = ctl_rx.try_recv() {
-                    kernel.control(op);
-                }
-                while let Ok(ev) = rel_rx.try_recv() {
-                    if let EventKind::Data { dir, chunk, .. } = ev.kind {
-                        kernel.release_data(ev.stream.uid, dir, chunk);
+                // Wait for the workers to drain their queues, still
+                // watching for deaths and stalls (a wedged worker would
+                // otherwise hold the shutdown hostage). A killed capture
+                // skips this: the process is "dead", we only join threads.
+                let deadline = Instant::now() + DRAIN_DEADLINE;
+                loop {
+                    let done: u64 = slots
+                        .iter()
+                        .map(|sl| sl.heartbeat.load(Ordering::SeqCst) + sl.lost)
+                        .sum();
+                    let sent: u64 = slots.iter().map(|sl| sl.sent).sum();
+                    if done >= sent || Instant::now() > deadline {
+                        break;
                     }
+                    watchdog(
+                        s,
+                        &mut kernel,
+                        &mut slots,
+                        &mut handles,
+                        &mut extra,
+                        &handlers,
+                        &ctl_tx,
+                        &rel_tx,
+                        &worker_tele,
+                    );
+                    while let Ok(op) = ctl_rx.try_recv() {
+                        kernel.control(op);
+                    }
+                    while let Ok(ev) = rel_rx.try_recv() {
+                        if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                            kernel.release_data(ev.stream.uid, dir, chunk);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
                 }
-                std::thread::sleep(Duration::from_millis(2));
             }
 
             // Close event channels; workers drain the remainder and exit.
@@ -952,14 +1060,21 @@ impl Scap {
                 .map(|sl| sl.heartbeat.load(Ordering::SeqCst))
                 .sum();
             kernel.set_worker_heartbeats(beats);
-            // Hoist the telemetry out before the kernel (and its plain
-            // registries) drop with the scope.
+            // Hoist the telemetry out before the worker registries drop
+            // with the scope; the kernel itself survives the capture so
+            // it can be checkpointed or hot-reconfigured afterwards.
             let mut telemetry = kernel.telemetry_snapshot();
             telemetry.merge(&worker_tele.snapshot());
             let series = kernel.telemetry_series().clone();
-            (kernel.stats(), statuses, telemetry, series)
+            (kernel, statuses, telemetry, series, now, killed)
         });
+        let (kernel, statuses, telemetry, series, end_ts, killed) = scope_out;
 
+        let stats = kernel.stats();
+        self.kernel = Some(kernel);
+        self.died_at = killed;
+        self.last_ts_ns = end_ts;
+        self.ckpt_seq = ckpt_seq;
         self.last_error = if statuses.iter().all(WorkerStatus::is_clean) {
             None
         } else {
@@ -969,6 +1084,47 @@ impl Scap {
         self.last_telemetry = Some(telemetry);
         self.last_series = Some(series);
         stats
+    }
+
+    /// Write a crash-consistent checkpoint of the capture state to
+    /// `path` (atomically: tmp file + rename). Works on a socket that
+    /// has finished (or been killed mid-) capture, and on a freshly
+    /// resumed socket before its next capture.
+    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let ts = self.last_ts_ns;
+        let Some(kernel) = self.kernel.as_mut() else {
+            return Err(CheckpointError::Corrupt(
+                "no capture state to checkpoint (run or resume a capture first)".into(),
+            ));
+        };
+        self.ckpt_seq += 1;
+        let bytes = kernel.checkpoint_bytes(ts, self.ckpt_seq);
+        checkpoint::write_atomic(path.as_ref(), &bytes)
+    }
+
+    /// Hot-reconfiguration: apply a configuration delta to the capture.
+    ///
+    /// Before the first capture it rewrites the pending configuration;
+    /// on a socket with live kernel state (resumed, or between captures)
+    /// it routes through the kernel's control path, so widened cutoffs
+    /// re-open streams exactly like per-stream `ControlOp::SetCutoff`
+    /// does — clearing `cutoff_exceeded` and uninstalling stale NIC drop
+    /// filters.
+    pub fn apply_config(&mut self, delta: ConfigDelta) {
+        if let Some(kernel) = self.kernel.as_mut() {
+            kernel.apply_config(delta);
+            if let Some(cfg) = self.cfg.as_mut() {
+                *cfg = kernel.config().clone();
+            }
+        } else if let Some(cfg) = self.cfg.as_mut() {
+            let _ = delta.apply_to(cfg);
+        }
+    }
+
+    /// The packet index at which an injected crash (`kill_at_packet`)
+    /// abandoned the most recent capture, if it did.
+    pub fn died_at(&self) -> Option<u64> {
+        self.died_at
     }
 }
 

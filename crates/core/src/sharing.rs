@@ -121,12 +121,10 @@ pub fn union_config(
             (Some(a), Some(b)) => Some(a.max(b)),
         };
     }
-    base.cutoff.default = cutoff;
     // The generalized cutoff must satisfy every application in both
     // directions: stale per-direction or per-class cutoffs on the base
     // config could deliver less than the largest requirement.
-    base.cutoff.per_direction = [None, None];
-    base.cutoff.classes.clear();
+    base.cutoff.generalize_to(cutoff);
     base.need_pkts = need_pkts;
     Ok(base)
 }

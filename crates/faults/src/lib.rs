@@ -141,6 +141,11 @@ pub struct FaultPlan {
     pub store: StoreFaultConfig,
     /// Scheduled worker stalls/panics (live driver only).
     pub workers: Vec<WorkerFault>,
+    /// Kill the whole capture process after this many packets have been
+    /// admitted at the NIC (live driver only; `None` = never). The
+    /// capture stops dead — no drain, no final events — exactly like a
+    /// crash, exercising checkpoint/restore.
+    pub kill_at_packet: Option<u64>,
 }
 
 /// Per-layer salts keep the fault streams independent: enabling or
@@ -209,6 +214,7 @@ impl FaultPlan {
                     kind: WorkerFaultKind::Stall(80_000_000),
                 },
             ],
+            kill_at_packet: None,
         }
     }
 

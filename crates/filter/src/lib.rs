@@ -73,9 +73,12 @@ pub fn parse(expr: &str) -> Result<Expr, FilterError> {
 }
 
 /// A compiled filter: the AST (for flow-key matching) plus the verified
-/// BPF program (for frame matching).
+/// BPF program (for frame matching). The source expression is retained
+/// so filters can be serialized into checkpoints and recompiled on
+/// restore.
 #[derive(Debug, Clone)]
 pub struct Filter {
+    source: String,
     expr: Expr,
     program: BpfProgram,
 }
@@ -85,12 +88,23 @@ impl Filter {
     pub fn new(expr: &str) -> Result<Self, FilterError> {
         let ast = parse(expr)?;
         let program = compile::compile(&ast)?;
-        Ok(Filter { expr: ast, program })
+        Ok(Filter {
+            source: expr.to_string(),
+            expr: ast,
+            program,
+        })
     }
 
     /// The match-everything filter.
     pub fn match_all() -> Self {
         Filter::new("").expect("empty filter always compiles")
+    }
+
+    /// The source expression this filter was compiled from (empty string
+    /// for the match-everything filter). `Filter::new(f.source())`
+    /// reproduces an equivalent filter.
+    pub fn source(&self) -> &str {
+        &self.source
     }
 
     /// Run the BPF program over a raw frame.
@@ -117,9 +131,20 @@ impl Filter {
     /// Used when multiple applications share one capture (§5.6 of the
     /// paper: "keeps streams that match at least one of the filters").
     pub fn union(&self, other: &Filter) -> Result<Filter, FilterError> {
+        // Either side empty means match-all: the union is match-all too,
+        // and keeping the source empty preserves that round-trip.
+        let source = if self.source.trim().is_empty() || other.source.trim().is_empty() {
+            String::new()
+        } else {
+            format!("({}) or ({})", self.source, other.source)
+        };
         let expr = Expr::or(self.expr.clone(), other.expr.clone());
         let program = compile::compile(&expr)?;
-        Ok(Filter { expr, program })
+        Ok(Filter {
+            source,
+            expr,
+            program,
+        })
     }
 }
 

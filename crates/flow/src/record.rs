@@ -54,6 +54,10 @@ impl StreamErrors {
     /// A worker thread processing this stream died or stalled; events may
     /// have been lost while the watchdog recovered.
     pub const WORKER_FAILURE: StreamErrors = StreamErrors(0x10);
+    /// The stream survived a warm restart: it was restored from a
+    /// checkpoint, and packets arriving during the restart blackout were
+    /// lost (see `resume_gap_bytes` on the record).
+    pub const RESUMED: StreamErrors = StreamErrors(0x20);
 
     /// Set the given flag(s).
     pub fn set(&mut self, e: StreamErrors) {
@@ -138,6 +142,10 @@ pub struct StreamRecord {
     pub processing_time_ns: u64,
     /// Number of chunks delivered so far.
     pub chunks: u64,
+    /// Payload bytes skipped over the warm-restart blackout window
+    /// (0 for streams that never crossed a restart). Bounded by the
+    /// checkpoint interval worth of traffic.
+    pub resume_gap_bytes: u64,
     // Intrusive access-list links (most-recently-used list).
     pub(crate) lru_prev: Option<u32>,
     pub(crate) lru_next: Option<u32>,
@@ -163,6 +171,7 @@ impl StreamRecord {
             reassembly_policy: None,
             processing_time_ns: 0,
             chunks: 0,
+            resume_gap_bytes: 0,
             lru_prev: None,
             lru_next: None,
         }

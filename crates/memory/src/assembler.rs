@@ -44,6 +44,45 @@ impl ChunkAssembler {
         self.written
     }
 
+    /// The bytes buffered in the partial chunk, if any (checkpointing:
+    /// they are part of the committed offset but not yet emitted).
+    pub fn pending_bytes(&self) -> &[u8] {
+        self.cur.as_ref().map_or(&[], |c| c.bytes())
+    }
+
+    /// Rebuild an assembler mid-stream after a warm restart: the next
+    /// byte to write is `committed`, and `pending` (possibly empty) is
+    /// the partial-chunk content that was buffered at checkpoint time.
+    /// `committed` includes the pending bytes, so the restored partial
+    /// chunk starts at `committed - pending.len()`.
+    pub fn resume(
+        arena: &mut Arena,
+        chunk_size: usize,
+        overlap: usize,
+        committed: u64,
+        pending: &[u8],
+    ) -> Result<Self, OutOfMemory> {
+        assert!(chunk_size > 0);
+        assert!(overlap < chunk_size, "overlap must be smaller than chunk");
+        assert!(pending.len() <= chunk_size);
+        assert!(committed >= pending.len() as u64);
+        let mut asm = ChunkAssembler {
+            chunk_size,
+            overlap,
+            cur: None,
+            written: committed,
+            bytes_copied: 0,
+            chunks_completed: 0,
+        };
+        if !pending.is_empty() {
+            let mut cur = arena.alloc(chunk_size, committed - pending.len() as u64)?;
+            cur.data[..pending.len()].copy_from_slice(pending);
+            cur.len = pending.len();
+            asm.cur = Some(cur);
+        }
+        Ok(asm)
+    }
+
     /// Change the chunk geometry; takes effect at the next block
     /// allocation (`scap_set_stream_parameter` semantics: "the next
     /// invocation of the callback").

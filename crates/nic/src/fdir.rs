@@ -163,6 +163,22 @@ impl FdirTable {
         self.capacity - self.installed
     }
 
+    /// Snapshot every installed filter (order unspecified; checkpoint
+    /// serialization sorts by encoding for determinism).
+    pub fn filters(&self) -> Vec<FdirFilter> {
+        let mut out = Vec::with_capacity(self.installed);
+        for (key, entries) in &self.by_key {
+            for (flex, action) in entries {
+                out.push(FdirFilter {
+                    key: *key,
+                    flex: *flex,
+                    action: *action,
+                });
+            }
+        }
+        out
+    }
+
     /// Install a filter.
     pub fn add(&mut self, filter: FdirFilter) -> Result<(), FdirError> {
         if let Some(inj) = self.faults.as_mut() {

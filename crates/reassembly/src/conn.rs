@@ -2,9 +2,38 @@
 //! per-direction reassemblers, observes the three-way handshake, and
 //! detects termination (FIN exchange, RST).
 
-use crate::dir::{DataOutcome, DirReassembler, ReasmConfig};
+use crate::dir::{DataOutcome, DirReassembler, DirState, ReasmConfig};
 use crate::{ReasmFlags, ReassemblyMode};
 use scap_wire::{Direction, TcpFlags, TcpMeta};
+
+/// Connection lifecycle phase as stored in a checkpoint (the public
+/// mirror of the private state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnPhase {
+    /// Nothing or only a SYN seen.
+    #[default]
+    Opening,
+    /// Handshake complete (or midstream pickup).
+    Established,
+    /// Closed by a FIN exchange.
+    ClosedFin,
+    /// Closed by a RST.
+    ClosedRst,
+}
+
+/// A serializable snapshot of a whole connection: lifecycle phase plus
+/// both directions' reassembly state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnCheckpoint {
+    /// Lifecycle phase.
+    pub phase: ConnPhase,
+    /// Which canonical direction initiated the connection, if known.
+    pub client_dir: Option<Direction>,
+    /// FIN observed per canonical direction.
+    pub fin_seen: [bool; 2],
+    /// Per-direction reassembly state, indexed by `Direction::index()`.
+    pub dirs: [DirState; 2],
+}
 
 /// Connection lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +87,46 @@ impl TcpConn {
             dirs: [DirReassembler::new(cfg), DirReassembler::new(cfg)],
             client_dir: None,
             fin_seen: [false, false],
+            mode: cfg.mode,
+        }
+    }
+
+    /// Snapshot the connection for a checkpoint.
+    pub fn export_state(&self) -> ConnCheckpoint {
+        ConnCheckpoint {
+            phase: match self.state {
+                ConnState::Opening => ConnPhase::Opening,
+                ConnState::Established => ConnPhase::Established,
+                ConnState::Closed(CloseKind::Fin) => ConnPhase::ClosedFin,
+                ConnState::Closed(CloseKind::Rst) => ConnPhase::ClosedRst,
+            },
+            client_dir: self.client_dir,
+            fin_seen: self.fin_seen,
+            dirs: [self.dirs[0].export_state(), self.dirs[1].export_state()],
+        }
+    }
+
+    /// Rebuild a connection from a checkpoint, re-anchoring both
+    /// directions at their committed offsets and arming the resume-gap
+    /// skip so the blackout hole does not stall delivery.
+    pub fn restore(cfg: ReasmConfig, ck: &ConnCheckpoint) -> Self {
+        let mut dirs = [
+            DirReassembler::restore(cfg, &ck.dirs[0]),
+            DirReassembler::restore(cfg, &ck.dirs[1]),
+        ];
+        for d in &mut dirs {
+            d.arm_resume_skip();
+        }
+        TcpConn {
+            state: match ck.phase {
+                ConnPhase::Opening => ConnState::Opening,
+                ConnPhase::Established => ConnState::Established,
+                ConnPhase::ClosedFin => ConnState::Closed(CloseKind::Fin),
+                ConnPhase::ClosedRst => ConnState::Closed(CloseKind::Rst),
+            },
+            dirs,
+            client_dir: ck.client_dir,
+            fin_seen: ck.fin_seen,
             mode: cfg.mode,
         }
     }

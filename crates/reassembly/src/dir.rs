@@ -56,6 +56,33 @@ pub struct DataOutcome {
     pub buffered: u64,
     /// A hole was skipped (fast mode) during this call.
     pub gap_skipped: bool,
+    /// Bytes the frontier jumped over in this call (0 when no skip).
+    pub gap: u64,
+    /// Of `gap`, the bytes attributed to a warm-restart blackout (the
+    /// one-shot resume skip armed by [`DirReassembler::arm_resume_skip`]).
+    pub resume_gap: u64,
+}
+
+/// A serializable snapshot of one direction's reassembly state, for the
+/// checkpoint subsystem: everything needed to re-anchor the direction at
+/// its committed offset after a warm restart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirState {
+    /// Sequence number of stream byte 0, if the direction is anchored.
+    pub base_seq: Option<u32>,
+    /// Relative offset of the next in-order byte (the committed offset).
+    pub expected: u64,
+    /// Accumulated error flags (raw bits).
+    pub flags: u8,
+    /// Total delivered payload bytes.
+    pub delivered_bytes: u64,
+    /// Total duplicate bytes discarded.
+    pub duplicate_bytes: u64,
+    /// Total bytes skipped over as unfilled holes.
+    pub gap_bytes: u64,
+    /// Buffered out-of-order extents as `(relative offset, bytes)`,
+    /// ascending and non-overlapping.
+    pub segments: Vec<(u64, Vec<u8>)>,
 }
 
 /// One direction of a TCP stream.
@@ -75,6 +102,9 @@ pub struct DirReassembler {
     pub duplicate_bytes: u64,
     /// Total bytes skipped over as unfilled holes.
     pub gap_bytes: u64,
+    /// Armed after a warm restart: the first segment past the frontier
+    /// marks the blackout gap and is skipped over instead of stalling.
+    resume_skip: bool,
 }
 
 impl DirReassembler {
@@ -89,7 +119,54 @@ impl DirReassembler {
             delivered_bytes: 0,
             duplicate_bytes: 0,
             gap_bytes: 0,
+            resume_skip: false,
         }
+    }
+
+    /// Snapshot this direction's state for a checkpoint. The export is
+    /// deterministic: buffered extents come out in ascending offset order.
+    pub fn export_state(&self) -> DirState {
+        DirState {
+            base_seq: self.base_seq,
+            expected: self.expected,
+            flags: self.flags.0,
+            delivered_bytes: self.delivered_bytes,
+            duplicate_bytes: self.duplicate_bytes,
+            gap_bytes: self.gap_bytes,
+            segments: self
+                .buffer
+                .iter()
+                .map(|(off, data)| (off, data.to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild a direction from a checkpointed [`DirState`], re-anchored
+    /// at its committed offset with buffered extents reinstated.
+    pub fn restore(cfg: ReasmConfig, st: &DirState) -> Self {
+        let mut buffer = SegmentBuffer::new();
+        for (off, data) in &st.segments {
+            let _ = buffer.insert(*off, data, cfg.policy);
+        }
+        DirReassembler {
+            cfg,
+            base_seq: st.base_seq,
+            expected: st.expected,
+            buffer,
+            flags: ReasmFlags(st.flags),
+            delivered_bytes: st.delivered_bytes,
+            duplicate_bytes: st.duplicate_bytes,
+            gap_bytes: st.gap_bytes,
+            resume_skip: false,
+        }
+    }
+
+    /// Arm the resume-gap skip: the next segment landing beyond the
+    /// frontier jumps over the blackout hole immediately (flagged as a
+    /// SEQUENCE_GAP and counted in `gap_bytes`) instead of waiting for
+    /// bytes that were lost while the capture process was down.
+    pub fn arm_resume_skip(&mut self) {
+        self.resume_skip = true;
     }
 
     /// Anchor the stream: `seq_of_first_byte` is ISN+1 after a SYN.
@@ -195,6 +272,23 @@ impl DirReassembler {
             (rel, payload)
         };
 
+        if self.resume_skip {
+            // First segment after a warm restart. If it lands beyond the
+            // committed frontier, the hole is the restart blackout: skip
+            // it now rather than stalling on bytes the previous instance
+            // took to its grave.
+            self.resume_skip = false;
+            if rel > self.expected {
+                let gap = rel - self.expected;
+                self.gap_bytes += gap;
+                out.gap += gap;
+                out.resume_gap += gap;
+                out.gap_skipped = true;
+                self.flags.set(ReasmFlags::SEQUENCE_GAP);
+                self.expected = rel;
+            }
+        }
+
         if rel == self.expected {
             // In-order: deliver directly, then drain whatever unblocked.
             sink(rel, payload);
@@ -246,6 +340,7 @@ impl DirReassembler {
         };
         debug_assert!(first > self.expected);
         self.gap_bytes += first - self.expected;
+        out.gap += first - self.expected;
         self.flags.set(ReasmFlags::SEQUENCE_GAP);
         let before = first;
         self.expected = self.buffer.drain_from(first, |o, d| sink(o, d));

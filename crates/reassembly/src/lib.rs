@@ -32,8 +32,8 @@ pub mod conn;
 pub mod dir;
 pub mod segbuf;
 
-pub use conn::{CloseKind, SegOutcome, TcpConn};
-pub use dir::{DirReassembler, ReasmConfig};
+pub use conn::{CloseKind, ConnCheckpoint, ConnPhase, SegOutcome, TcpConn};
+pub use dir::{DirReassembler, DirState, ReasmConfig};
 pub use segbuf::SegmentBuffer;
 
 /// Reassembly mode (the `reassembly_mode` of `scap_create`).

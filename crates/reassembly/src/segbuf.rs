@@ -54,6 +54,12 @@ impl SegmentBuffer {
         self.segs.keys().next().copied()
     }
 
+    /// Iterate buffered extents in ascending offset order (deterministic;
+    /// used by the checkpoint serializer).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.segs.iter().map(|(off, data)| (*off, data.as_slice()))
+    }
+
     /// Insert `data` at `offset`, resolving overlaps with `policy`.
     pub fn insert(&mut self, offset: u64, data: &[u8], policy: OverlapPolicy) -> InsertOutcome {
         let mut out = InsertOutcome::default();

@@ -28,54 +28,21 @@ use std::path::{Path, PathBuf};
 
 use crate::StoreError;
 
+// The archive shares its low-level codec — CRC-32, the 16-byte file
+// header, and the (magic, length, CRC) record framing — with the capture
+// checkpoint format in `scap::checkpoint`. One codec, two file families.
+pub use scap::checkpoint::{crc32, file_header, frame_record, FILE_HEADER_LEN, FORMAT_VERSION};
+
 /// Segment-file magic ("SSEG").
 pub const SEG_MAGIC: u32 = 0x5347_4553;
 /// Index-file magic ("SIDX").
 pub const IDX_MAGIC: u32 = 0x5844_4953;
 /// Per-frame magic ("FRAM").
 pub const FRAME_MAGIC: u32 = 0x4D41_5246;
-/// Per-index-record magic ("RECD").
-pub const REC_MAGIC: u32 = 0x4443_4552;
-/// Format version stamped into both headers.
-pub const FORMAT_VERSION: u32 = 1;
-/// Size of both file headers.
-pub const FILE_HEADER_LEN: usize = 16;
 /// Size of a frame header preceding each payload.
 pub const FRAME_HEADER_LEN: usize = 24;
-/// Size of an index-record framing header preceding each body.
-pub const REC_HEADER_LEN: usize = 12;
 /// Sidecar index file name.
 pub const INDEX_FILE: &str = "index.scapidx";
-
-/// CRC-32 (IEEE, reflected) lookup table, built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 (IEEE) of `data` — the checksum guarding frames and records.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
 
 /// File name of segment `id`.
 pub fn segment_file_name(id: u64) -> String {
@@ -356,25 +323,6 @@ pub fn decode_body(body: &[u8]) -> Result<IndexEntry, StoreError> {
     }
 }
 
-/// Frame an index-record body: magic + length + CRC + body.
-pub fn frame_record(body: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(REC_HEADER_LEN + body.len());
-    out.extend_from_slice(&REC_MAGIC.to_le_bytes());
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(body).to_le_bytes());
-    out.extend_from_slice(body);
-    out
-}
-
-/// Build the header of a segment or index file.
-pub fn file_header(magic: u32, id: u64) -> [u8; FILE_HEADER_LEN] {
-    let mut h = [0u8; FILE_HEADER_LEN];
-    h[0..4].copy_from_slice(&magic.to_le_bytes());
-    h[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
-    h[8..16].copy_from_slice(&id.to_le_bytes());
-    h
-}
-
 /// Build the frame header preceding one direction's payload.
 pub fn frame_header(uid: StreamUid, dir: Direction, payload: &[u8]) -> [u8; FRAME_HEADER_LEN] {
     let mut h = [0u8; FRAME_HEADER_LEN];
@@ -480,7 +428,10 @@ pub struct IndexScan {
 }
 
 /// Scan the sidecar index, validating each record frame and stopping at
-/// the first invalid byte.
+/// the first invalid byte. Structural validation (header, record framing,
+/// CRC) is the shared `scap::checkpoint` scanner; body decoding is the
+/// archive's own, and a structurally valid frame whose body fails to
+/// decode is treated as torn along with everything after it.
 pub fn scan_index(path: &Path) -> Result<IndexScan, StoreError> {
     let data = std::fs::read(path)?;
     if data.len() < FILE_HEADER_LEN {
@@ -490,40 +441,23 @@ pub fn scan_index(path: &Path) -> Result<IndexScan, StoreError> {
             torn_bytes: data.len() as u64,
         });
     }
-    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
-    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
-    if magic != IDX_MAGIC || version != FORMAT_VERSION {
-        return Err(StoreError::Corrupt(format!(
-            "{}: bad index header",
-            path.display()
-        )));
-    }
+    let scan = scap::checkpoint::scan_records(&data, IDX_MAGIC)
+        .map_err(|_| StoreError::Corrupt(format!("{}: bad index header", path.display())))?;
     let mut entries = Vec::new();
-    let mut pos = FILE_HEADER_LEN;
-    loop {
-        if pos + REC_HEADER_LEN > data.len() {
-            break;
-        }
-        let h = &data[pos..pos + REC_HEADER_LEN];
-        if u32::from_le_bytes(h[0..4].try_into().unwrap()) != REC_MAGIC {
-            break;
-        }
-        let len = u32::from_le_bytes(h[4..8].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(h[8..12].try_into().unwrap());
-        let start = pos + REC_HEADER_LEN;
-        if start + len > data.len() || crc32(&data[start..start + len]) != crc {
-            break;
-        }
-        match decode_body(&data[start..start + len]) {
+    let mut valid_len = scan.valid_len as u64;
+    for r in &scan.records {
+        match decode_body(&data[r.body.clone()]) {
             Ok(e) => entries.push(e),
-            Err(_) => break, // structurally broken body: treat as torn
+            Err(_) => {
+                valid_len = r.frame_start as u64;
+                break;
+            }
         }
-        pos = start + len;
     }
     Ok(IndexScan {
         entries,
-        valid_len: pos as u64,
-        torn_bytes: (data.len() - pos) as u64,
+        valid_len,
+        torn_bytes: data.len() as u64 - valid_len,
     })
 }
 

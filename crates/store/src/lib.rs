@@ -74,11 +74,27 @@ impl core::fmt::Display for StoreError {
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl From<scap::CheckpointError> for StoreError {
+    fn from(e: scap::CheckpointError) -> Self {
+        match e {
+            scap::CheckpointError::Io(io) => StoreError::Io(io),
+            other => StoreError::Corrupt(other.to_string()),
+        }
     }
 }
 

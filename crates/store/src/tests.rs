@@ -39,6 +39,7 @@ fn snap(uid: StreamUid, port: u16, priority: u8, first_ts: u64, bytes: u64) -> S
         last_ts_ns: first_ts + 1_000_000,
         chunks: 1,
         processing_time_ns: 0,
+        resume_gap_bytes: 0,
     }
 }
 

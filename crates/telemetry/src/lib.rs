@@ -233,6 +233,8 @@ static_ids! {
         Worker => "worker",
         /// Archive seal: segment append + index commit (`scap-store`).
         Store => "store",
+        /// Warm restart: checkpoint decode + kernel state restore.
+        Restart => "restart",
     }
 }
 

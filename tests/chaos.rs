@@ -306,6 +306,215 @@ fn store_fault_storm_loses_only_the_torn_tail() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Warm restart: kill/resume storm
+// ---------------------------------------------------------------------------
+
+/// Per-stream observations from one synchronous kernel drive.
+#[derive(Default)]
+struct RunObs {
+    /// uid → final snapshot from its Terminated event.
+    terminated: std::collections::HashMap<u64, scap::StreamSnapshot>,
+    /// (uid, direction) → lowest chunk start offset delivered.
+    first_chunk_offset: std::collections::HashMap<(u64, usize), u64>,
+}
+
+fn drain_into(kernel: &mut ScapKernel, obs: &mut RunObs) {
+    for core in 0..kernel.ncores() {
+        while let Some(ev) = kernel.next_event(core) {
+            if let scap::EventKind::Terminated = ev.kind {
+                obs.terminated.insert(ev.stream.uid, ev.stream.clone());
+            }
+            if let scap::EventKind::Data { dir, chunk, .. } = ev.kind {
+                let e = obs
+                    .first_chunk_offset
+                    .entry((ev.stream.uid, dir.index()))
+                    .or_insert(u64::MAX);
+                *e = (*e).min(chunk.start_offset);
+                kernel.release_data(ev.stream.uid, dir, chunk);
+            }
+        }
+    }
+}
+
+/// Feed `trace[from..to]` one packet at a time, draining every event and
+/// (when `every` is set) snapshotting the kernel after each multiple of
+/// `every` packets. Returns the latest checkpoint bytes with the index
+/// of the first packet *after* it.
+fn drive_range(
+    kernel: &mut ScapKernel,
+    trace: &[Packet],
+    from: usize,
+    to: usize,
+    every: Option<u64>,
+    obs: &mut RunObs,
+) -> Option<(Vec<u8>, usize)> {
+    let mut last_ckpt = None;
+    let mut seq = 0u64;
+    for (i, pkt) in trace[from..to].iter().enumerate() {
+        let now = pkt.ts_ns;
+        kernel.nic_receive(pkt);
+        for core in 0..kernel.ncores() {
+            while kernel.kernel_poll(core, now).is_some() {}
+            kernel.kernel_timers(core, now);
+        }
+        drain_into(kernel, obs);
+        if let Some(every) = every {
+            if (i as u64 + 1).is_multiple_of(every) {
+                seq += 1;
+                last_ckpt = Some((kernel.checkpoint_bytes(now, seq), from + i + 1));
+            }
+        }
+    }
+    last_ckpt
+}
+
+fn finish_run(kernel: &mut ScapKernel, now: u64, obs: &mut RunObs) {
+    kernel.finish(now);
+    drain_into(kernel, obs);
+}
+
+/// The warm-restart acceptance storm: kill the capture at a seeded
+/// packet index, resume from the latest periodic checkpoint, and check
+/// the recovery invariants against an uninterrupted run of the same
+/// trace — no stream vanishes, uids stay stable, resumed streams carry
+/// the RESUMED flag with a blackout-bounded gap, and no byte below a
+/// stream's committed offset is ever delivered again.
+#[test]
+fn kill_and_resume_storm_preserves_streams() {
+    use scap::checkpoint::CheckpointImage;
+    use scap_flow::StreamErrors;
+
+    let seed: u64 = std::env::var("SCAP_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(23);
+    let trace = CampusMix::new(CampusMixConfig::sized(seed, 2 << 20)).collect_all();
+    let n = trace.len();
+    // Kill somewhere in the middle of the trace, derived from the seed.
+    let mix = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let kill_idx = n * 2 / 5 + ((mix >> 33) as usize) % (n / 4);
+    const CKPT_EVERY: u64 = 200;
+    let cfg = || ScapConfig {
+        inactivity_timeout_ns: 2_000_000_000,
+        ..ScapConfig::default()
+    };
+
+    // Uninterrupted baseline.
+    let mut base = RunObs::default();
+    let mut kb = ScapKernel::new(cfg());
+    drive_range(&mut kb, &trace, 0, n, None, &mut base);
+    finish_run(&mut kb, trace[n - 1].ts_ns + 1, &mut base);
+    assert!(!base.terminated.is_empty());
+
+    // Run 1: identical prefix with periodic checkpoints, killed at
+    // `kill_idx` without `finish` — the crash model.
+    let mut obs1 = RunObs::default();
+    let mut k1 = ScapKernel::new(cfg());
+    let (ckpt_bytes, ckpt_at) =
+        drive_range(&mut k1, &trace, 0, kill_idx, Some(CKPT_EVERY), &mut obs1)
+            .expect("kill index must leave at least one checkpoint behind");
+    drop(k1);
+
+    let img = CheckpointImage::decode(&ckpt_bytes).unwrap();
+    assert_eq!(img.to_bytes(), ckpt_bytes, "encode→decode→encode differs");
+    let uid_floor = img.globals.uid_counter;
+    let blackout_wire: u64 = trace[ckpt_at..kill_idx]
+        .iter()
+        .map(|p| p.len() as u64)
+        .sum();
+    // Committed floor per resumed (uid, dir): the restored partial chunk
+    // starts at committed − pending, and nothing below that may reappear.
+    let mut committed = std::collections::HashMap::new();
+    let mut live = std::collections::HashMap::new();
+    for s in &img.streams {
+        let Some(ks) = &s.kstate else { continue };
+        live.insert(s.uid, s.key);
+        for d in 0..2 {
+            if let Some(a) = &ks.asm[d] {
+                committed.insert((s.uid, d), a.committed - a.pending.len() as u64);
+            }
+        }
+    }
+    assert!(!live.is_empty(), "checkpoint captured no live stream");
+
+    // Run 2: restore from the checkpoint and feed the post-crash suffix.
+    let mut obs2 = RunObs::default();
+    let mut k2 = ScapKernel::from_image(img, None).unwrap();
+    drive_range(&mut k2, &trace, kill_idx, n, None, &mut obs2);
+    finish_run(&mut k2, trace[n - 1].ts_ns + 1, &mut obs2);
+    let stats2 = k2.stats();
+    assert_eq!(stats2.resilience.restarts, 1);
+    assert_eq!(stats2.resilience.resumed_streams, live.len() as u64);
+    assert!(stats2.resilience.recovery_virtual_cycles > 0);
+    assert!(stats2.resilience.resume_gap_bytes <= blackout_wire);
+
+    // No stream vanishes and uids stay stable: every stream live at the
+    // checkpoint terminates in the resumed run under its original uid
+    // and key, flagged RESUMED with a blackout-bounded gap.
+    for (uid, key) in &live {
+        let snap = obs2
+            .terminated
+            .get(uid)
+            .unwrap_or_else(|| panic!("stream uid {uid} vanished across the restart"));
+        assert_eq!(
+            snap.key.canonical().0,
+            key.canonical().0,
+            "uid {uid} re-bound to a different flow after restart"
+        );
+        assert!(
+            snap.errors.contains(StreamErrors::RESUMED),
+            "resumed stream uid {uid} not flagged RESUMED"
+        );
+        assert!(
+            snap.resume_gap_bytes <= blackout_wire,
+            "uid {uid}: resume gap {} exceeds blackout window {blackout_wire}",
+            snap.resume_gap_bytes
+        );
+    }
+
+    // The delivered stream set differs from the baseline only by the
+    // RESUMED streams above and by genuinely new post-checkpoint streams.
+    for (uid, snap) in &obs2.terminated {
+        if live.contains_key(uid) {
+            continue;
+        }
+        assert!(
+            *uid >= uid_floor,
+            "stream uid {uid} reappeared after the restart without RESUMED"
+        );
+        assert!(!snap.errors.contains(StreamErrors::RESUMED));
+    }
+
+    // Streams that completed before the crash match the baseline exactly
+    // (run 1 is a deterministic prefix of the uninterrupted run).
+    for (uid, snap) in &obs1.terminated {
+        let b = base
+            .terminated
+            .get(uid)
+            .unwrap_or_else(|| panic!("pre-crash stream uid {uid} missing from baseline"));
+        assert_eq!(b.key.canonical().0, snap.key.canonical().0);
+        assert_eq!(
+            b.dirs, snap.dirs,
+            "uid {uid} counters diverge from baseline"
+        );
+    }
+
+    // No committed byte is ever re-delivered: every chunk the resumed
+    // run emits for a restored stream starts at or above the committed
+    // frontier recorded in the checkpoint.
+    for ((uid, d), floor) in &committed {
+        if let Some(min_off) = obs2.first_chunk_offset.get(&(*uid, *d)) {
+            assert!(
+                min_off >= floor,
+                "uid {uid} dir {d}: chunk at offset {min_off} re-delivers bytes below committed offset {floor}"
+            );
+        }
+    }
+}
+
 #[test]
 fn storm_capture_is_deterministic_per_seed() {
     // Two synchronous runs with the same seed must agree exactly — the

@@ -142,6 +142,80 @@ proptest! {
     }
 }
 
+/// One real checkpoint from a seeded partial capture (memoized — the
+/// proptest properties below re-use the same handful of seeds).
+fn sample_checkpoint(seed: u64) -> Vec<u8> {
+    use scap_trace::gen::{CampusMix, CampusMixConfig};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<u64, Vec<u8>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(b) = cache.lock().unwrap().get(&seed) {
+        return b.clone();
+    }
+    let trace = CampusMix::new(CampusMixConfig::sized(seed, 256 << 10)).collect_all();
+    let mut kernel = ScapKernel::new(ScapConfig::default());
+    let mut now = 0;
+    for pkt in &trace[..trace.len() / 2] {
+        now = pkt.ts_ns;
+        kernel.nic_receive(pkt);
+        for c in 0..kernel.ncores() {
+            while kernel.kernel_poll(c, now).is_some() {}
+            kernel.kernel_timers(c, now);
+            while let Some(ev) = kernel.next_event(c) {
+                if let scap::EventKind::Data { dir, chunk, .. } = ev.kind {
+                    kernel.release_data(ev.stream.uid, dir, chunk);
+                }
+            }
+        }
+    }
+    let bytes = kernel.checkpoint_bytes(now, 1);
+    cache.lock().unwrap().insert(seed, bytes.clone());
+    bytes
+}
+
+proptest! {
+    /// Checkpoint decode never panics on arbitrary bytes.
+    #[test]
+    fn checkpoint_decode_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let _ = scap::CheckpointImage::decode(&bytes);
+    }
+
+    /// Real checkpoints round-trip byte-identically (encode → decode →
+    /// encode), and truncating one at any byte never panics: decode
+    /// either rejects the torn file or yields an image that itself
+    /// re-encodes canonically.
+    #[test]
+    fn checkpoint_roundtrip_and_truncation(seed in 0u64..6, cut in 0usize..1 << 17) {
+        let bytes = sample_checkpoint(seed);
+        let img = scap::CheckpointImage::decode(&bytes).unwrap();
+        prop_assert_eq!(img.to_bytes(), bytes.clone());
+        let cut = cut.min(bytes.len());
+        if let Ok(t) = scap::CheckpointImage::decode(&bytes[..cut]) {
+            let re = t.to_bytes();
+            let again = scap::CheckpointImage::decode(&re).unwrap();
+            prop_assert_eq!(again.to_bytes(), re);
+        }
+    }
+
+    /// Flipping any single byte of a checkpoint never panics decode —
+    /// the CRC either rejects the record or the damage is semantically
+    /// absorbed; it must never crash a restarting supervisor.
+    #[test]
+    fn checkpoint_bitflip_never_panics(
+        seed in 0u64..3,
+        pos in 0usize..1 << 17,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = sample_checkpoint(seed);
+        let len = bytes.len();
+        bytes[pos % len] ^= flip;
+        let _ = scap::CheckpointImage::decode(&bytes);
+    }
+}
+
 /// Build an IPv6 TCP session (handshake, data both ways, FIN).
 fn v6_session(req: &[u8], resp: &[u8]) -> Vec<Packet> {
     let c: [u8; 16] = [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];

@@ -162,6 +162,88 @@ fn index_query_matches_live_filter_over_snapshots() {
     }
 }
 
+fn append_garbage(path: &Path, n: usize) {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+    f.write_all(&vec![0xA5u8; n]).unwrap();
+}
+
+/// Open-time recovery removes exactly the torn tail, once: a second
+/// repair pass over the repaired archive is a no-op.
+#[test]
+fn archive_torn_tail_repair_is_idempotent() {
+    let dir = tmp_dir("repair-idem");
+    drive(14, &dir);
+
+    // Tear both file families with garbage appended past the last valid
+    // record/frame (a crash mid-append).
+    const TORN: usize = 137;
+    append_garbage(&dir.join(scap_store::INDEX_FILE), TORN);
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().unwrap() != scap_store::INDEX_FILE)
+        .expect("archive has at least one segment file");
+    append_garbage(&seg, TORN);
+
+    // First reopen repairs exactly the torn bytes…
+    let w = StoreWriter::open(StoreConfig::new(&dir)).unwrap();
+    assert_eq!(w.stats().torn_tail_bytes_recovered, 2 * TORN as u64);
+    drop(w);
+    // …and a second repair pass finds nothing left to remove.
+    let w = StoreWriter::open(StoreConfig::new(&dir)).unwrap();
+    assert_eq!(w.stats().torn_tail_bytes_recovered, 0);
+    drop(w);
+    assert!(StoreReader::open(&dir)
+        .unwrap()
+        .verify()
+        .unwrap()
+        .is_clean());
+}
+
+/// Checkpoint files share the archive's frame format and its repair
+/// contract: truncating the torn tail is exact and idempotent.
+#[test]
+fn checkpoint_repair_is_idempotent() {
+    use scap::checkpoint;
+    let dir = tmp_dir("ckpt-repair");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scap.ckpt");
+
+    // A checkpoint taken mid-capture over a seeded campus mix.
+    let trace =
+        scap_trace::gen::CampusMix::new(scap_trace::gen::CampusMixConfig::sized(15, 128 << 10))
+            .collect_all();
+    let mut kernel = ScapKernel::new(ScapConfig::default());
+    let mut now = 0;
+    for pkt in &trace[..trace.len() / 2] {
+        now = pkt.ts_ns;
+        kernel.nic_receive(pkt);
+        for c in 0..kernel.ncores() {
+            while kernel.kernel_poll(c, now).is_some() {}
+            while let Some(ev) = kernel.next_event(c) {
+                if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                    kernel.release_data(ev.stream.uid, dir, chunk);
+                }
+            }
+        }
+    }
+    let bytes = kernel.checkpoint_bytes(now, 7);
+    checkpoint::write_atomic(&path, &bytes).unwrap();
+    append_garbage(&path, 91);
+
+    let r1 = checkpoint::repair_file(&path).unwrap();
+    assert_eq!(r1.torn_bytes_removed, 91);
+    assert_eq!(checkpoint::read_image(&path).unwrap().seq, 7);
+    let r2 = checkpoint::repair_file(&path).unwrap();
+    assert_eq!(r2.torn_bytes_removed, 0, "second repair must be a no-op");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        bytes,
+        "repair must restore the exact pre-crash bytes"
+    );
+}
+
 #[test]
 fn same_seed_produces_byte_identical_archive() {
     let da = tmp_dir("det-a");
