@@ -61,7 +61,40 @@ echo "$sup_log" | grep -q "supervised capture complete after 1 restart" \
 cargo run --release -p scap-bench --bin scapstore -- \
     verify "$sup_out/scap.ckpt" --repair >/dev/null \
     || { echo "checkpoint left by the supervisor failed verify"; exit 1; }
+
+echo "== flight black box after the kill =="
+test -s "$sup_out/scap.ckpt.flight" \
+    || { echo "crash left no flight black box next to the checkpoint"; exit 1; }
+bb_log=$(cargo run --release -p scap-bench --bin scapstore -- \
+    verify "$sup_out/scap.ckpt.flight") \
+    || { echo "flight black box failed to decode"; exit 1; }
+echo "$bb_log" | grep -q "flight black box is clean" \
+    || { echo "black box decode did not report clean: $bb_log"; exit 1; }
 rm -rf "$sup_out"
+
+echo "== flight reconciliation =="
+flight_out=$(mktemp -d)
+# The experiment asserts flight-vs-telemetry sums, the conservation
+# identity, determinism, and the restart cross-check; any mismatch
+# panics, so a zero exit *is* the reconciliation proof.
+cargo run --release -p scap-bench --bin experiments -- \
+    --exp flight --scale smoke --out "$flight_out" >/dev/null \
+    || { echo "flight reconciliation failed"; exit 1; }
+grep -q '"flight"' "$flight_out/BENCH_summary.json" \
+    || { echo "BENCH_summary.json lacks a flight section"; exit 1; }
+cargo run --release -p scap-bench --bin scapstore -- \
+    verify "$flight_out/flight_journal.bin" >/dev/null \
+    || { echo "flight journal failed to decode"; exit 1; }
+rm -rf "$flight_out"
+
+echo "== scaptop smoke =="
+top_log=$(cargo run --release -p scap-bench --bin scaptop -- \
+    --gen 2 --interval 2000 --topk 5 --cutoff 16384) \
+    || { echo "scaptop smoke run failed"; exit 1; }
+echo "$top_log" | grep -q "capture complete" \
+    || { echo "scaptop never completed: $top_log"; exit 1; }
+echo "$top_log" | grep -q "top drop reasons" \
+    || { echo "scaptop printed no drop attribution"; exit 1; }
 
 echo "== scapstore smoke =="
 store_out=$(mktemp -d)

@@ -12,7 +12,12 @@
 //! scapcat --gen 8 out.pcap                   # write an 8 MB synthetic pcap
 //! scapcat --top 20 trace.pcap                # largest 20 streams
 //! scapcat --stats-interval 5000 trace.pcap   # telemetry table to stderr
-//!                                            # every 5000 packets
+//!                                            # every 5000 packets, plus a
+//!                                            # final drop-attribution line
+//! scapcat --trace 17 trace.pcap              # full flight-recorder
+//!                                            # lifecycle of stream uid 17
+//! scapcat --trace "port 80" trace.pcap       # same, for every stream
+//!                                            # matching the 5-tuple filter
 //! scapcat --write out.pcap trace.pcap "tcp"  # dump the post-filter /
 //!                                            # post-cutoff packets
 //! scapcat --supervise --checkpoint-every 500 --ckpt cap.ckpt \
@@ -29,6 +34,8 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 struct FlowLine {
+    uid: u64,
+    flow_key: scap::FlowKey,
     key: String,
     status: &'static str,
     bytes: u64,
@@ -43,7 +50,7 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scapcat [--gen MB out.pcap] [--cutoff BYTES] [--top N] \
-             [--stats-interval PKTS] [--write out.pcap] \
+             [--stats-interval PKTS] [--write out.pcap] [--trace UID|FILTER] \
              [--supervise [--checkpoint-every PKTS] [--ckpt FILE] [--kill-at PKT]] \
              <file.pcap> [filter]"
         );
@@ -71,6 +78,7 @@ fn main() {
     let mut top: usize = usize::MAX;
     let mut stats_interval: Option<u64> = None;
     let mut write_out: Option<String> = None;
+    let mut trace_query: Option<String> = None;
     let mut supervise = false;
     let mut kill_at: Option<u64> = None;
     let mut ckpt_every: u64 = 1000;
@@ -133,6 +141,14 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| die("--write needs an output path")),
+                );
+            }
+            "--trace" => {
+                i += 1;
+                trace_query = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace needs a stream uid or 5-tuple filter")),
                 );
             }
             other if other.starts_with("--") => die(&format!("unknown flag {other}")),
@@ -220,6 +236,8 @@ fn main() {
         scap.dispatch_termination(move |ctx: &StreamCtx<'_>| {
             let s = ctx.stream;
             flows.lock().unwrap().push(FlowLine {
+                uid: s.uid,
+                flow_key: s.key,
                 key: s.key.to_string(),
                 status: s.status_str(),
                 bytes: s.total_bytes(),
@@ -270,6 +288,59 @@ fn main() {
                 "\nfinal telemetry:\n{}",
                 scap::telemetry::export::to_table(snap)
             );
+        }
+        // One-line drop attribution from the flight recorder: where and
+        // why the capture lost packets, worst offenders first.
+        if let Some(j) = scap
+            .flight_journal()
+            .and_then(|b| scap::flight::decode_journal(&b).ok())
+        {
+            eprintln!("{}", scap::flight::top_reasons_line(&j.events, 3));
+        }
+    }
+
+    // --trace UID|FILTER: stream-scoped flight-recorder query — the full
+    // recorded lifecycle (creation, losses with layer+reason, cutoff,
+    // termination) of the requested stream(s).
+    if let Some(q) = &trace_query {
+        let bytes = scap
+            .flight_journal()
+            .unwrap_or_else(|| die("no flight journal (capture did not run)"));
+        let journal = scap::flight::decode_journal(&bytes)
+            .unwrap_or_else(|e| die(&format!("flight journal: {e}")));
+        let uids: Vec<u64> = match q.parse::<u64>() {
+            Ok(uid) => vec![uid],
+            Err(_) => {
+                let filt = scap_filter::Filter::new(q)
+                    .unwrap_or_else(|e| die(&format!("bad --trace filter: {e}")));
+                let mut v: Vec<u64> = flows
+                    .iter()
+                    .filter(|fl| {
+                        filt.matches_key(&fl.flow_key) || filt.matches_key(&fl.flow_key.reversed())
+                    })
+                    .map(|fl| fl.uid)
+                    .collect();
+                v.sort_unstable();
+                v
+            }
+        };
+        if uids.is_empty() {
+            println!("\nno streams matched --trace {q}");
+        }
+        for uid in &uids {
+            let evs = journal.for_uid(*uid);
+            let key = flows
+                .iter()
+                .find(|fl| fl.uid == *uid)
+                .map(|fl| fl.key.as_str())
+                .unwrap_or("?");
+            println!(
+                "\n--- flight trace uid {uid} {key} ({} event(s)) ---",
+                evs.len()
+            );
+            for e in &evs {
+                println!("{}", e.format());
+            }
         }
     }
 }

@@ -267,9 +267,12 @@ fn cmd_compact(args: &[String]) {
 fn cmd_verify(args: &[String]) {
     let (pos, flags) = parse(args, &["repair"]);
     let [dir] = &pos[..] else { usage(2) };
-    // A plain file is a capture checkpoint, not an archive directory:
-    // verify (and optionally repair) it through the shared codec.
+    // A plain file is a capture checkpoint or a flight-recorder black
+    // box, not an archive directory; the file magic distinguishes them.
     if std::path::Path::new(dir).is_file() {
+        if is_flight_file(dir) {
+            return verify_flight(dir);
+        }
         return verify_checkpoint(dir, flag(&flags, "repair").is_some());
     }
     if flag(&flags, "repair").is_some() {
@@ -299,6 +302,41 @@ fn cmd_verify(args: &[String]) {
         std::process::exit(1);
     }
     println!("archive is clean");
+}
+
+/// True when the file starts with the flight-journal magic.
+fn is_flight_file(path: &str) -> bool {
+    std::fs::read(path).is_ok_and(|b| {
+        b.len() >= 4 && u32::from_le_bytes([b[0], b[1], b[2], b[3]]) == scap::flight::FLIGHT_MAGIC
+    })
+}
+
+/// Decode and summarize a flight-recorder black box (the journal tail the
+/// live driver dumps next to the checkpoint when the process dies),
+/// printing the last few events — the ones that explain the death.
+fn verify_flight(path: &str) {
+    let j = scap::flight::read_journal(std::path::Path::new(path))
+        .unwrap_or_else(|e| die(&format!("black box is NOT clean: {e}")));
+    println!(
+        "flight black box is clean: {} event(s) from {} core ring(s) (cap {}), \
+         {} recorded / {} overwritten lifetime",
+        j.events.len(),
+        j.ncores,
+        j.ring_cap,
+        j.total_recorded(),
+        j.total_dropped(),
+    );
+    if j.torn_bytes > 0 {
+        println!(
+            "torn tail: {} byte(s) past the last valid record",
+            j.torn_bytes
+        );
+    }
+    println!("{}", scap::flight::top_reasons_line(&j.events, 3));
+    let tail = j.events.len().saturating_sub(8);
+    for e in &j.events[tail..] {
+        println!("{}", e.format());
+    }
 }
 
 /// Verify a warm-restart checkpoint file; with `repair`, truncate its

@@ -1,0 +1,321 @@
+//! scaptop — a `top`-style live dashboard over a Scap capture.
+//!
+//! Drives the kernel synchronously over a pcap file (or a synthetic
+//! campus trace) and redraws a terminal dashboard every `--interval`
+//! packets: per-queue rates, overload-governor level, arena occupancy,
+//! the flight recorder's drop breakdown by layer and reason, and the
+//! top-K streams by delivered bytes.
+//!
+//! On a TTY each frame repaints in place (ANSI clear); when stdout is a
+//! pipe the frames print sequentially, which is what the CI smoke run
+//! consumes. All numbers are keyed on the trace's virtual clock, so the
+//! same trace and seed render byte-identical frames; `--delay-ms` adds
+//! wall-clock pacing between frames for watching live.
+//!
+//! ```text
+//! scaptop trace.pcap                    # dashboard over a pcap
+//! scaptop trace.pcap "tcp and port 80"  # with a BPF filter
+//! scaptop --gen 8                       # synthetic 8 MB campus trace
+//! scaptop --gen 8 --interval 2000 --topk 5 --cutoff 16384 --delay-ms 100
+//! ```
+
+use scap::telemetry::{Gauge, Metric, Snapshot};
+use scap::{EventKind, ScapConfig, ScapKernel};
+use scap_flight::{attribution, FlightKind};
+use scap_trace::gen::{CampusMix, CampusMixConfig};
+use scap_trace::pcap::PcapReader;
+use scap_trace::Packet;
+use std::collections::HashMap;
+use std::io::{IsTerminal, Write};
+
+fn die(msg: &str) -> ! {
+    eprintln!("scaptop: {msg}");
+    std::process::exit(2);
+}
+
+/// Per-queue counters remembered from the previous frame, for rates.
+#[derive(Clone, Copy, Default)]
+struct QueuePrev {
+    pkts: u64,
+    bytes: u64,
+}
+
+struct Dashboard {
+    interval: u64,
+    topk: usize,
+    delay_ms: u64,
+    ansi: bool,
+    prev_ts_ns: u64,
+    prev_queues: Vec<QueuePrev>,
+    /// uid -> (flow key, delivered bytes), fed by Data events.
+    streams: HashMap<u64, (String, u64)>,
+}
+
+impl Dashboard {
+    fn render(&mut self, kernel: &ScapKernel, fed: usize, total: usize, now_ns: u64) {
+        let snap: Snapshot = kernel.telemetry_snapshot();
+        let mut out = String::new();
+        if self.ansi {
+            out.push_str("\x1b[2J\x1b[H");
+        }
+        let dt = (now_ns.saturating_sub(self.prev_ts_ns)) as f64 / 1e9;
+        out.push_str(&format!(
+            "scaptop — {fed}/{total} packets | trace time {:.3} s | wire {} pkts / {} B | {} streams tracked\n\n",
+            now_ns as f64 / 1e9,
+            snap.total(Metric::WirePackets),
+            snap.total(Metric::WireBytes),
+            snap.gauge(0, Gauge::TrackedStreams),
+        ));
+
+        // Per-queue delivered rates over the last frame window (virtual
+        // time). Delivered counters are sharded per core/queue; wire
+        // counters live on shard 0 and show up in the header instead.
+        out.push_str(
+            "queue delivered      bytes    pkt/s (window)  Mbit/s (window)  streams  backlog\n",
+        );
+        let nq = kernel.ncores();
+        self.prev_queues.resize(nq, QueuePrev::default());
+        for q in 0..nq {
+            let pkts = snap.counter(q, Metric::DeliveredPackets);
+            let bytes = snap.counter(q, Metric::DeliveredBytes);
+            let prev = self.prev_queues[q];
+            let (dp, db) = (pkts - prev.pkts, bytes - prev.bytes);
+            let (rate_p, rate_b) = if dt > 0.0 {
+                (dp as f64 / dt, db as f64 * 8.0 / dt / 1e6)
+            } else {
+                (0.0, 0.0)
+            };
+            out.push_str(&format!(
+                "  q{q:<3} {pkts:>9} {bytes:>10} {rate_p:>15.0} {rate_b:>16.2} {streams:>8} {backlog:>8}\n",
+                streams = kernel.tracked_streams(q),
+                backlog = kernel.event_backlog(q),
+            ));
+            self.prev_queues[q] = QueuePrev { pkts, bytes };
+        }
+        self.prev_ts_ns = now_ns;
+
+        // Gauges: governor, arena, backlog, ring fill.
+        let arena = snap.gauge(0, Gauge::ArenaUsedPermille);
+        let ring = snap.gauge(0, Gauge::RingFillPermille);
+        out.push_str(&format!(
+            "\ngovernor level {}   arena {} [{}]   ring fill {}   event backlog {}   fdir filters {}\n",
+            snap.gauge(0, Gauge::GovernorLevel),
+            permille(arena),
+            bar(arena),
+            permille(ring),
+            snap.gauge(0, Gauge::EventBacklog),
+            snap.gauge(0, Gauge::FdirFilters),
+        ));
+
+        // Drop breakdown straight from the flight recorder.
+        let events = kernel.flight().events();
+        out.push_str("\nloss attribution (flight recorder)\n");
+        let rows = attribution(&events);
+        if rows.is_empty() {
+            out.push_str("  no losses recorded\n");
+        }
+        for r in rows.iter().take(6) {
+            out.push_str(&format!(
+                "  {:<8} {:<12} {:<16} {:>8} events {:>10} pkts {:>12} bytes\n",
+                r.kind.name(),
+                r.layer.name(),
+                r.reason.name(),
+                r.events,
+                r.pkts,
+                r.bytes,
+            ));
+        }
+        let overwritten: u64 = kernel.flight().total_dropped();
+        if overwritten > 0 {
+            out.push_str(&format!(
+                "  (+{overwritten} journal events overwritten by ring wrap)\n"
+            ));
+        }
+
+        // Top-K streams by delivered bytes.
+        out.push_str(&format!("\ntop {} streams by delivered bytes\n", self.topk));
+        let mut top: Vec<(&u64, &(String, u64))> = self.streams.iter().collect();
+        top.sort_by_key(|(uid, (_, b))| (std::cmp::Reverse(*b), **uid));
+        for (uid, (key, bytes)) in top.into_iter().take(self.topk) {
+            out.push_str(&format!("  uid {uid:<6} {key:<48} {bytes:>12}\n"));
+        }
+
+        let mut w = std::io::stdout().lock();
+        let _ = w.write_all(out.as_bytes());
+        if !self.ansi {
+            let _ = w.write_all(b"----\n");
+        }
+        let _ = w.flush();
+        if self.delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
+        }
+    }
+}
+
+fn permille(v: u64) -> String {
+    format!("{}.{}%", v / 10, v % 10)
+}
+
+fn bar(permille: u64) -> String {
+    let filled = (permille.min(1000) / 100) as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(10 - filled))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: scaptop [file.pcap] [filter] [--gen MB] [--interval PKTS] \
+             [--topk N] [--cutoff BYTES] [--delay-ms MS] [--seed N]"
+        );
+        std::process::exit(0);
+    }
+
+    let mut gen_mb: Option<u64> = None;
+    let mut interval: u64 = 1000;
+    let mut topk: usize = 10;
+    let mut cutoff: Option<u64> = None;
+    let mut delay_ms: u64 = 0;
+    let mut seed: u64 = 42;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    let numarg = |args: &[String], i: usize, name: &str| -> u64 {
+        args.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| die(&format!("{name} needs a number")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gen" => {
+                i += 1;
+                gen_mb = Some(numarg(&args, i, "--gen"));
+            }
+            "--interval" => {
+                i += 1;
+                interval = numarg(&args, i, "--interval").max(1);
+            }
+            "--topk" => {
+                i += 1;
+                topk = numarg(&args, i, "--topk") as usize;
+            }
+            "--cutoff" => {
+                i += 1;
+                cutoff = Some(numarg(&args, i, "--cutoff"));
+            }
+            "--delay-ms" => {
+                i += 1;
+                delay_ms = numarg(&args, i, "--delay-ms");
+            }
+            "--seed" => {
+                i += 1;
+                seed = numarg(&args, i, "--seed");
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+
+    let packets: Vec<Packet> = match (gen_mb, positional.first()) {
+        (Some(mb), _) => CampusMix::new(CampusMixConfig::sized(seed, mb << 20)).collect_all(),
+        (None, Some(path)) => {
+            let f = std::fs::File::open(path)
+                .unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
+            PcapReader::new(f)
+                .unwrap_or_else(|e| die(&format!("not a pcap file: {e}")))
+                .read_all()
+                .unwrap_or_else(|e| die(&format!("read error: {e}")))
+        }
+        (None, None) => die("no pcap file given (or use --gen MB)"),
+    };
+    let filter_expr = if gen_mb.is_some() {
+        positional.first().map(|s| s.as_str()).unwrap_or("")
+    } else {
+        positional.get(1).map(|s| s.as_str()).unwrap_or("")
+    };
+
+    let mut config = ScapConfig {
+        use_fdir: true,
+        ..ScapConfig::default()
+    };
+    if !filter_expr.is_empty() {
+        config.filter = Some(
+            scap_filter::Filter::new(filter_expr)
+                .unwrap_or_else(|e| die(&format!("bad filter expression: {e}"))),
+        );
+    }
+    if let Some(c) = cutoff {
+        config.cutoff.default = Some(c);
+    }
+    let mut kernel = ScapKernel::new(config);
+
+    let mut dash = Dashboard {
+        interval,
+        topk,
+        delay_ms,
+        ansi: std::io::stdout().is_terminal(),
+        prev_ts_ns: 0,
+        prev_queues: Vec::new(),
+        streams: HashMap::new(),
+    };
+
+    let total = packets.len();
+    let mut now = 0u64;
+    for (i, pkt) in packets.iter().enumerate() {
+        now = pkt.ts_ns;
+        kernel.nic_receive(pkt);
+        for core in 0..kernel.ncores() {
+            while kernel.kernel_poll(core, now).is_some() {}
+            kernel.kernel_timers(core, now);
+            while let Some(ev) = kernel.next_event(core) {
+                if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                    let e = dash
+                        .streams
+                        .entry(ev.stream.uid)
+                        .or_insert_with(|| (ev.stream.key.to_string(), 0));
+                    e.1 += chunk.len as u64;
+                    kernel.release_data(ev.stream.uid, dir, chunk);
+                }
+            }
+        }
+        if ((i + 1) as u64).is_multiple_of(dash.interval) {
+            dash.render(&kernel, i + 1, total, now);
+        }
+    }
+    kernel.finish(now.saturating_add(1));
+    for core in 0..kernel.ncores() {
+        while let Some(ev) = kernel.next_event(core) {
+            if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                let e = dash
+                    .streams
+                    .entry(ev.stream.uid)
+                    .or_insert_with(|| (ev.stream.key.to_string(), 0));
+                e.1 += chunk.len as u64;
+                kernel.release_data(ev.stream.uid, dir, chunk);
+            }
+        }
+    }
+    dash.render(&kernel, total, total, now.saturating_add(1));
+
+    let s = kernel.stats();
+    let events = kernel.flight().events();
+    println!(
+        "\ncapture complete: {} packets | {} streams | {} payload bytes | {}",
+        s.stack.wire_packets,
+        s.stack.streams_reported,
+        s.stack.delivered_bytes,
+        scap_flight::top_reasons_line(&events, 3),
+    );
+    // Sanity line the smoke gate greps: restarts vs journal must agree.
+    let restart_events = events
+        .iter()
+        .filter(|e| e.kind == FlightKind::Restarted)
+        .count() as u64;
+    if restart_events != s.resilience.restarts {
+        eprintln!(
+            "scaptop: restart counter {} disagrees with journal {}",
+            s.resilience.restarts, restart_events
+        );
+        std::process::exit(1);
+    }
+}

@@ -1183,6 +1183,249 @@ pub fn restart(cfg: &ExpConfig) -> Vec<FigureResult> {
     }]
 }
 
+/// The flight-recorder experiment: drive the kernel synchronously over
+/// the campus workload (FDIR on, 16 KB cutoff) with a journal ring sized
+/// past the workload, then reconcile the journal's drop/discard event
+/// sums *exactly* against the merged telemetry counters and the packet
+/// conservation identity `wire == delivered + dropped + discarded`. A
+/// second same-seed run must produce a byte-identical journal, and a
+/// kill/restore sub-drive cross-checks the resilience restart counter
+/// against the journal's restart events. Any mismatch panics, so the CI
+/// gate is a plain exit-status check. Artifacts: `flight_journal.bin`
+/// (the encoded journal) next to the tables.
+pub fn flight(cfg: &ExpConfig) -> Vec<FigureResult> {
+    use scap::checkpoint::CheckpointImage;
+    use scap::flight::{attribution, decode_journal, top_reasons_line};
+    use scap::telemetry::Metric;
+    use scap::{EventKind, FlightKind, ScapConfig};
+
+    let wl = campus_workload(cfg);
+    let trace = &wl.trace;
+
+    // Exact reconciliation requires a lossless journal: no wrap-around,
+    // so the per-core rings are sized past anything the workload can
+    // emit (a packet produces at most a handful of events).
+    let ring_cap = trace.len() * 4 + 1024;
+    let build = |ring_cap: usize| -> ScapKernel {
+        let mut config: ScapConfig = scap_config(cfg);
+        config.use_fdir = true;
+        config.cutoff.default = Some(16 << 10);
+        config.flight_ring_cap = ring_cap;
+        ScapKernel::new(config)
+    };
+    // Synchronous drive over trace[from..to]; `finish` runs termination.
+    fn drive(kernel: &mut ScapKernel, trace: &[scap_trace::Packet], from: usize, to: usize) {
+        for pkt in &trace[from..to] {
+            let now = pkt.ts_ns;
+            kernel.nic_receive(pkt);
+            for core in 0..kernel.ncores() {
+                while kernel.kernel_poll(core, now).is_some() {}
+                kernel.kernel_timers(core, now);
+                while let Some(ev) = kernel.next_event(core) {
+                    if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                        kernel.release_data(ev.stream.uid, dir, chunk);
+                    }
+                }
+            }
+        }
+    }
+    fn finish(kernel: &mut ScapKernel, trace: &[scap_trace::Packet]) {
+        let now = trace.last().map_or(1, |p| p.ts_ns.saturating_add(1));
+        kernel.finish(now);
+        for core in 0..kernel.ncores() {
+            while let Some(ev) = kernel.next_event(core) {
+                if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                    kernel.release_data(ev.stream.uid, dir, chunk);
+                }
+            }
+        }
+    }
+
+    let mut kernel = build(ring_cap);
+    drive(&mut kernel, trace, 0, trace.len());
+    finish(&mut kernel, trace);
+    let journal_bytes = kernel.flight().encode();
+
+    // Determinism gate: a second same-seed run, byte for byte.
+    let mut k2 = build(ring_cap);
+    drive(&mut k2, trace, 0, trace.len());
+    finish(&mut k2, trace);
+    assert_eq!(
+        journal_bytes,
+        k2.flight().encode(),
+        "flight journal must be byte-identical across same-seed runs"
+    );
+    drop(k2);
+
+    if std::fs::create_dir_all(&cfg.out_dir).is_ok() {
+        if let Err(e) = std::fs::write(cfg.out_dir.join("flight_journal.bin"), &journal_bytes) {
+            eprintln!("warning: could not write flight_journal.bin: {e}");
+        }
+    }
+
+    let journal = decode_journal(&journal_bytes).expect("journal round-trips through the codec");
+    assert_eq!(
+        journal.total_dropped(),
+        0,
+        "the reconciliation ring must not wrap (raise ring_cap)"
+    );
+
+    // Reconcile: every loss event was emitted inside the accounting
+    // funnels, so the journal sums must equal the merged telemetry
+    // counters *exactly* — not approximately.
+    let mut ev_drop = (0u64, 0u64);
+    let mut ev_disc = (0u64, 0u64);
+    for e in &journal.events {
+        match e.kind {
+            FlightKind::Drop => {
+                ev_drop.0 += e.a;
+                ev_drop.1 += e.b;
+            }
+            FlightKind::Discard => {
+                ev_disc.0 += e.a;
+                ev_disc.1 += e.b;
+            }
+            _ => {}
+        }
+    }
+    let snap = kernel.telemetry_snapshot();
+    let tele = (
+        snap.total(Metric::WirePackets),
+        snap.total(Metric::DeliveredPackets),
+        snap.total(Metric::DroppedPackets),
+        snap.total(Metric::DroppedBytes),
+        snap.total(Metric::DiscardedPackets),
+        snap.total(Metric::DiscardedBytes),
+    );
+    assert_eq!(
+        ev_drop.0, tele.2,
+        "flight Drop pkts != telemetry DroppedPackets"
+    );
+    assert_eq!(
+        ev_drop.1, tele.3,
+        "flight Drop bytes != telemetry DroppedBytes"
+    );
+    assert_eq!(
+        ev_disc.0, tele.4,
+        "flight Discard pkts != telemetry DiscardedPackets"
+    );
+    assert_eq!(
+        ev_disc.1, tele.5,
+        "flight Discard bytes != telemetry DiscardedBytes"
+    );
+    assert_eq!(
+        tele.0,
+        tele.1 + tele.2 + tele.4,
+        "conservation identity violated: wire != delivered + dropped + discarded"
+    );
+
+    // Restart cross-check: kill at 60%, checkpoint, restore, resume. The
+    // resilience restart counter and the journal's restart events must
+    // tell the same story.
+    let kill_idx = (trace.len() * 6 / 10).max(1);
+    let mut k1 = build(ring_cap);
+    drive(&mut k1, trace, 0, kill_idx);
+    let ckpt = k1.checkpoint_bytes(trace[kill_idx - 1].ts_ns, 1);
+    drop(k1);
+    let img = CheckpointImage::decode(&ckpt).expect("decode checkpoint");
+    let mut k3 = ScapKernel::from_image(img, None).expect("restore checkpoint");
+    drive(&mut k3, trace, kill_idx, trace.len());
+    finish(&mut k3, trace);
+    let restarts = k3.stats().resilience.restarts;
+    let restart_events = k3
+        .flight()
+        .events()
+        .iter()
+        .filter(|e| e.kind == FlightKind::Restarted)
+        .count() as u64;
+    assert_eq!(
+        restarts, restart_events,
+        "resilience restart counter disagrees with the journal's restart events"
+    );
+
+    let attr_rows: Vec<Vec<String>> = attribution(&journal.events)
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.name().to_string(),
+                r.layer.name().to_string(),
+                r.reason.name().to_string(),
+                r.events.to_string(),
+                r.pkts.to_string(),
+                r.bytes.to_string(),
+            ]
+        })
+        .collect();
+    let attribution_fig = FigureResult {
+        name: "flight_attribution".into(),
+        headers: vec![
+            "kind".into(),
+            "layer".into(),
+            "reason".into(),
+            "events".into(),
+            "pkts".into(),
+            "bytes".into(),
+        ],
+        rows: attr_rows,
+        notes: vec![
+            top_reasons_line(&journal.events, 3),
+            "every row was emitted inside the kernel's loss-accounting funnel, so the sums \
+             reconcile against telemetry by construction"
+                .into(),
+        ],
+    };
+
+    let reconcile = FigureResult {
+        name: "flight_reconciliation".into(),
+        headers: vec!["check".into(), "flight".into(), "telemetry".into()],
+        rows: vec![
+            vec![
+                "dropped packets".into(),
+                ev_drop.0.to_string(),
+                tele.2.to_string(),
+            ],
+            vec![
+                "dropped bytes".into(),
+                ev_drop.1.to_string(),
+                tele.3.to_string(),
+            ],
+            vec![
+                "discarded packets".into(),
+                ev_disc.0.to_string(),
+                tele.4.to_string(),
+            ],
+            vec![
+                "discarded bytes".into(),
+                ev_disc.1.to_string(),
+                tele.5.to_string(),
+            ],
+            vec![
+                "journal events / overwritten".into(),
+                journal.events.len().to_string(),
+                journal.total_dropped().to_string(),
+            ],
+            vec![
+                "restarts (counter vs journal)".into(),
+                restarts.to_string(),
+                restart_events.to_string(),
+            ],
+        ],
+        notes: vec![
+            format!(
+                "packet conservation: wire={} == delivered+dropped+discarded={}",
+                tele.0,
+                tele.1 + tele.2 + tele.4
+            ),
+            format!(
+                "journal: {} events, byte-identical across two same-seed runs (seed {})",
+                journal.events.len(),
+                cfg.seed
+            ),
+        ],
+    };
+    vec![attribution_fig, reconcile]
+}
+
 /// Dispatch by experiment id.
 pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<Vec<FigureResult>> {
     Some(match id {
@@ -1202,6 +1445,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<Vec<FigureResult>> {
         "telemetry" => telemetry(cfg),
         "store" => store(cfg),
         "restart" => restart(cfg),
+        "flight" => flight(cfg),
         _ => return None,
     })
 }
@@ -1224,6 +1468,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "telemetry",
     "store",
     "restart",
+    "flight",
 ];
 
 /// Design-choice ablations (not in the paper's figures, but probing the

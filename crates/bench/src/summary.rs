@@ -100,16 +100,11 @@ fn store_section(archive: &FigureResult, priorities: Option<&FigureResult>) -> S
         .iter()
         .filter(|r| r.len() >= 2)
         .map(|r| {
-            let mut key = String::new();
-            for c in r[0].chars() {
-                if c.is_alphanumeric() {
-                    key.push(c.to_ascii_lowercase());
-                } else if !key.is_empty() && !key.ends_with('_') {
-                    key.push('_');
-                }
-            }
-            let key = key.trim_end_matches('_');
-            format!("\"{}\": {}", json_escape(key), json_value(&r[1]))
+            format!(
+                "\"{}\": {}",
+                json_escape(&json_key(&r[0])),
+                json_value(&r[1])
+            )
         })
         .collect();
     if let Some(p) = priorities {
@@ -153,6 +148,59 @@ fn restart_section(fig: &FigureResult) -> String {
     format!("  \"restart\": [{}]", items.join(", "))
 }
 
+/// Normalize a human table label into a snake_case JSON key.
+fn json_key(label: &str) -> String {
+    let mut key = String::new();
+    for c in label.chars() {
+        if c.is_alphanumeric() {
+            key.push(c.to_ascii_lowercase());
+        } else if !key.is_empty() && !key.ends_with('_') {
+            key.push('_');
+        }
+    }
+    key.trim_end_matches('_').to_string()
+}
+
+/// The flight-recorder reconciliation (flight vs telemetry, per check)
+/// plus the drop-attribution rows, as one `"flight"` object. The
+/// restart row doubles as the `ResilienceStats`-vs-journal cross-check.
+fn flight_section(recon: &FigureResult, attribution: Option<&FigureResult>) -> String {
+    let mut fields: Vec<String> = recon
+        .rows
+        .iter()
+        .filter(|r| r.len() >= 3)
+        .map(|r| {
+            format!(
+                "\"{}\": {{\"flight\": {}, \"telemetry\": {}}}",
+                json_escape(&json_key(&r[0])),
+                json_value(&r[1]),
+                json_value(&r[2])
+            )
+        })
+        .collect();
+    if let Some(a) = attribution {
+        let items: Vec<String> = a
+            .rows
+            .iter()
+            .filter(|r| r.len() >= 6)
+            .map(|r| {
+                format!(
+                    "{{\"kind\": \"{}\", \"layer\": \"{}\", \"reason\": \"{}\", \
+                     \"events\": {}, \"pkts\": {}, \"bytes\": {}}}",
+                    json_escape(&r[0]),
+                    json_escape(&r[1]),
+                    json_escape(&r[2]),
+                    json_value(&r[3]),
+                    json_value(&r[4]),
+                    json_value(&r[5])
+                )
+            })
+            .collect();
+        fields.push(format!("\"attribution\": [{}]", items.join(", ")));
+    }
+    format!("  \"flight\": {{{}}}", fields.join(", "))
+}
+
 /// Render the summary document from every figure produced in this run.
 pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String {
     let mut sections = vec![
@@ -182,6 +230,9 @@ pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String
     }
     if let Some(fig) = find(results, "restart_recovery") {
         sections.push(restart_section(fig));
+    }
+    if let Some(fig) = find(results, "flight_reconciliation") {
+        sections.push(flight_section(fig, find(results, "flight_attribution")));
     }
     format!("{{\n{}\n}}\n", sections.join(",\n"))
 }
@@ -293,6 +344,44 @@ mod tests {
         assert!(full.contains(
             "\"by_priority\": [{\"priority\": 0, \"archived\": 5, \"pruned\": 3, \
              \"discard_ratio\": 0.375, \"live_bytes\": 4096}]"
+        ));
+    }
+
+    #[test]
+    fn flight_section_reconciliation_and_attribution() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let results = vec![
+            fig(
+                "flight_reconciliation",
+                &["check", "flight", "telemetry"],
+                vec![
+                    vec!["dropped packets".into(), "7".into(), "7".into()],
+                    vec![
+                        "restarts (counter vs journal)".into(),
+                        "1".into(),
+                        "1".into(),
+                    ],
+                ],
+            ),
+            fig(
+                "flight_attribution",
+                &["kind", "layer", "reason", "events", "pkts", "bytes"],
+                vec![vec![
+                    "drop".into(),
+                    "kernel".into(),
+                    "ring_full".into(),
+                    "7".into(),
+                    "7".into(),
+                    "448".into(),
+                ]],
+            ),
+        ];
+        let full = render_bench_summary(&cfg, &results);
+        assert!(full.contains("\"dropped_packets\": {\"flight\": 7, \"telemetry\": 7}"));
+        assert!(full.contains("\"restarts_counter_vs_journal\": {\"flight\": 1, \"telemetry\": 1}"));
+        assert!(full.contains(
+            "\"attribution\": [{\"kind\": \"drop\", \"layer\": \"kernel\", \
+             \"reason\": \"ring_full\", \"events\": 7, \"pkts\": 7, \"bytes\": 448}]"
         ));
     }
 

@@ -482,6 +482,7 @@ fn encode_config_body(cfg: &ScapConfig) -> Vec<u8> {
     put_u64(&mut b, cfg.governor.evict_batch as u64);
     put_u64(&mut b, cfg.telemetry_sample_interval_ns);
     put_u64(&mut b, cfg.telemetry_series_cap as u64);
+    put_u64(&mut b, cfg.flight_ring_cap as u64);
     b
 }
 
@@ -859,6 +860,7 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
     };
     let telemetry_sample_interval_ns = c.u64()?;
     let telemetry_series_cap = c.u64()? as usize;
+    let flight_ring_cap = c.u64()? as usize;
     if cores == 0 || chunk_size == 0 || overlap >= chunk_size {
         return Err(corrupt("invalid capture geometry in config record"));
     }
@@ -892,6 +894,7 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
         faults: None,
         telemetry_sample_interval_ns,
         telemetry_series_cap,
+        flight_ring_cap,
     })
 }
 

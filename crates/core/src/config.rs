@@ -162,6 +162,10 @@ pub struct ScapConfig {
     pub telemetry_sample_interval_ns: u64,
     /// Maximum retained telemetry time-series rows (oldest evicted).
     pub telemetry_series_cap: usize,
+    /// Per-core flight-recorder ring capacity (events). The recorder is
+    /// always on; a full ring overwrites its oldest events and counts
+    /// the overwrites.
+    pub flight_ring_cap: usize,
 }
 
 impl Default for ScapConfig {
@@ -194,6 +198,7 @@ impl Default for ScapConfig {
             faults: None,
             telemetry_sample_interval_ns: 5_000_000,
             telemetry_series_cap: 4096,
+            flight_ring_cap: scap_flight::DEFAULT_RING_CAP,
         }
     }
 }

@@ -16,6 +16,7 @@ use crate::config::{ConfigDelta, ScapConfig};
 use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
 use crate::governor::OverloadGovernor;
 use scap_faults::{ArenaInjector, FaultPlan, FrameFaultStats, RingInjector};
+use scap_flight::{DropReason, FlightEvent, FlightKind, FlightLayer, FlightRecorder};
 use scap_flow::{FlowTable, FlowTableConfig, StreamErrors, StreamId, StreamRecord, StreamStatus};
 use scap_memory::{Arena, ChunkAssembler, ChunkBuf, PplVerdict};
 use scap_nic::{FdirError, FdirFilter, Nic, NicVerdict};
@@ -232,6 +233,11 @@ pub struct ScapKernel {
     /// keyed on the caller's clock (virtual/trace time), so a seeded
     /// run produces a byte-identical series.
     sampler: Sampler,
+    /// Always-on flight recorder: per-core ring journals of typed events
+    /// with drop provenance. Every stack-level loss recorded by the
+    /// accounting funnel below also lands here, so event sums reconcile
+    /// with the telemetry counters by construction.
+    flight: FlightRecorder,
     /// Last worker-heartbeat count reported by the driver (gauge input;
     /// 0 under the sim driver until the stack reports deliveries).
     worker_heartbeats: u64,
@@ -257,10 +263,12 @@ impl ScapKernel {
         let mut nic = Nic::new(ncores, cfg.rx_ring_slots);
         let mut ring_faults = None;
         let mut arena_faults = None;
+        let mut flight_cap = cfg.flight_ring_cap;
         if let Some(plan) = &cfg.faults {
             nic.fdir_mut().set_fault_injector(plan.fdir_injector());
             ring_faults = Some(plan.ring_injector());
             arena_faults = Some(plan.arena_injector(cfg.memory_bytes as u64));
+            flight_cap = plan.flight.effective_cap(flight_cap);
         }
         ScapKernel {
             nic,
@@ -280,6 +288,7 @@ impl ScapKernel {
             drain_mode: false,
             tele: PlainRegistry::new(ncores),
             sampler: Sampler::new(cfg.telemetry_sample_interval_ns, cfg.telemetry_series_cap),
+            flight: FlightRecorder::new(ncores, flight_cap),
             worker_heartbeats: 0,
             resume_epoch_pending: false,
             cfg,
@@ -446,6 +455,7 @@ impl ScapKernel {
         let n = self.nic.stats();
         s.stack.nic_filtered_packets = n.fdir_dropped_frames;
         s.stack.dropped_packets += n.ring_dropped_frames;
+        s.stack.dropped_bytes += n.ring_dropped_bytes;
         s.resilience.fdir_transient_failures = self.nic.fdir().transient_failures;
         s.resilience.fdir_slow_installs = self.nic.fdir().slow_installs;
         if let Some(inj) = &self.ring_faults {
@@ -473,22 +483,72 @@ impl ScapKernel {
         self.tele.add(core, Metric::DeliveredBytes, bytes);
     }
 
-    /// Stack-level dropped accounting (overload losses).
+    /// Stack-level dropped accounting (overload losses). Every loss also
+    /// lands in the flight journal with `{layer, reason, uid}` provenance
+    /// — counters and events cannot diverge because they share this one
+    /// funnel.
     #[inline]
-    fn acct_dropped(&mut self, core: usize, pkts: u64, bytes: u64) {
+    #[allow(clippy::too_many_arguments)]
+    fn acct_dropped(
+        &mut self,
+        core: usize,
+        now: u64,
+        uid: StreamUid,
+        layer: FlightLayer,
+        reason: DropReason,
+        pkts: u64,
+        bytes: u64,
+    ) {
         self.stats.stack.dropped_packets += pkts;
         self.stats.stack.dropped_bytes += bytes;
         self.tele.add(core, Metric::DroppedPackets, pkts);
         self.tele.add(core, Metric::DroppedBytes, bytes);
+        self.flight.emit(
+            core,
+            FlightEvent::new(FlightKind::Drop, layer, now)
+                .with_reason(reason)
+                .with_uid(uid)
+                .with_vals(pkts, bytes),
+        );
     }
 
-    /// Stack-level discarded accounting (deliberate early discards).
+    /// Stack-level discarded accounting (deliberate early discards);
+    /// same funnel discipline as [`ScapKernel::acct_dropped`].
     #[inline]
-    fn acct_discarded(&mut self, core: usize, pkts: u64, bytes: u64) {
+    #[allow(clippy::too_many_arguments)]
+    fn acct_discarded(
+        &mut self,
+        core: usize,
+        now: u64,
+        uid: StreamUid,
+        layer: FlightLayer,
+        reason: DropReason,
+        pkts: u64,
+        bytes: u64,
+    ) {
         self.stats.stack.discarded_packets += pkts;
         self.stats.stack.discarded_bytes += bytes;
         self.tele.add(core, Metric::DiscardedPackets, pkts);
         self.tele.add(core, Metric::DiscardedBytes, bytes);
+        self.flight.emit(
+            core,
+            FlightEvent::new(FlightKind::Discard, layer, now)
+                .with_reason(reason)
+                .with_uid(uid)
+                .with_vals(pkts, bytes),
+        );
+    }
+
+    /// The always-on flight recorder (read side: journal export, drop
+    /// attribution, black-box dumps).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Mutable flight-recorder access for drivers: the live watchdog
+    /// records worker panic/stall/restart events through this.
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
     }
 
     /// The kernel's own telemetry registry (one shard per core).
@@ -623,7 +683,15 @@ impl ScapKernel {
         let parsed = match parse_frame(&pkt.frame) {
             Ok(p) => p,
             Err(_) => {
-                self.acct_discarded(0, 1, 0);
+                self.acct_discarded(
+                    0,
+                    pkt.ts_ns,
+                    0,
+                    FlightLayer::Nic,
+                    DropReason::ParseError,
+                    1,
+                    0,
+                );
                 return NicVerdict::DroppedByFilter;
             }
         };
@@ -638,9 +706,31 @@ impl ScapKernel {
             }
         }
         let verdict = self.nic.receive(&parsed, pkt.clone());
-        if verdict == NicVerdict::DroppedByFilter {
-            // Subzero copy: never reaches main memory.
-            self.acct_discarded(0, 1, pkt.len() as u64);
+        match verdict {
+            NicVerdict::DroppedByFilter => {
+                // Subzero copy: never reaches main memory.
+                self.acct_discarded(
+                    0,
+                    pkt.ts_ns,
+                    0,
+                    FlightLayer::Nic,
+                    DropReason::FdirFilter,
+                    1,
+                    pkt.len() as u64,
+                );
+            }
+            NicVerdict::DroppedRingFull(_) => {
+                // The NIC layer mirrors this loss into its own registry
+                // (merged in `telemetry_snapshot`), so only the flight
+                // event is recorded here — no kernel-side counter bump.
+                self.flight.emit(
+                    0,
+                    FlightEvent::new(FlightKind::Drop, FlightLayer::Nic, pkt.ts_ns)
+                        .with_reason(DropReason::RingFull)
+                        .with_vals(1, pkt.len() as u64),
+                );
+            }
+            _ => {}
         }
         verdict
     }
@@ -749,8 +839,17 @@ impl ScapKernel {
         if self.cores[core].events.len() >= self.cfg.event_queue_cap {
             self.stats.events_dropped += 1;
             self.tele.inc(core, Metric::KernelEventsDropped);
+            let (uid, ts) = (ev.stream.uid, ev.stream.last_ts_ns);
             if let EventKind::Data { chunk, .. } = ev.kind {
-                self.acct_dropped(core, 0, chunk.len as u64);
+                self.acct_dropped(
+                    core,
+                    ts,
+                    uid,
+                    FlightLayer::EventQueue,
+                    DropReason::EventQueueFull,
+                    0,
+                    chunk.len as u64,
+                );
                 self.arena.release(chunk);
             }
             return;
@@ -766,20 +865,44 @@ impl ScapKernel {
 
     fn process_packet(&mut self, core: usize, pkt: &Packet, now: u64, work: &mut Work) {
         let Ok(parsed) = parse_frame(&pkt.frame) else {
-            self.acct_discarded(core, 1, 0);
+            self.acct_discarded(
+                core,
+                now,
+                0,
+                FlightLayer::Kernel,
+                DropReason::ParseError,
+                1,
+                0,
+            );
             return;
         };
 
         // Socket-wide BPF filter: discard early, in the kernel.
         if let Some(f) = &self.cfg.filter {
             if !f.matches_frame(&pkt.frame) {
-                self.acct_discarded(core, 1, pkt.len() as u64);
+                self.acct_discarded(
+                    core,
+                    now,
+                    0,
+                    FlightLayer::Kernel,
+                    DropReason::BpfFilter,
+                    1,
+                    pkt.len() as u64,
+                );
                 return;
             }
         }
 
         let Some(key) = parsed.key else {
-            self.acct_discarded(core, 1, 0);
+            self.acct_discarded(
+                core,
+                now,
+                0,
+                FlightLayer::Kernel,
+                DropReason::NoFlowKey,
+                1,
+                0,
+            );
             return;
         };
 
@@ -790,7 +913,15 @@ impl ScapKernel {
             Err(_) => {
                 // Flow table at its configured cap (a flood can get here):
                 // the stream is lost but the capture survives.
-                self.acct_dropped(core, 1, pkt.len() as u64);
+                self.acct_dropped(
+                    core,
+                    now,
+                    0,
+                    FlightLayer::Kernel,
+                    DropReason::FlowTableFull,
+                    1,
+                    pkt.len() as u64,
+                );
                 self.stats.stack.streams_lost += 1;
                 return;
             }
@@ -815,7 +946,15 @@ impl ScapKernel {
         // and late retransmissions do not spawn ghost streams. Tombstones
         // are exactly the records without kernel-side state.
         if !lookup.created && !self.cores[core].kstates.contains_key(&id) {
-            self.acct_discarded(core, 1, pkt.len() as u64);
+            self.acct_discarded(
+                core,
+                now,
+                0,
+                FlightLayer::Kernel,
+                DropReason::TimeWait,
+                1,
+                pkt.len() as u64,
+            );
             self.cores[core].flows.touch(id, now);
             return;
         }
@@ -835,6 +974,10 @@ impl ScapKernel {
             self.cores[core].kstates.insert(id, StreamKState::new(uid));
             self.uid_index.insert(uid, (core, id));
             self.stats.stack.streams_created += 1;
+            self.flight.emit(
+                core,
+                FlightEvent::new(FlightKind::StreamCreated, FlightLayer::Kernel, now).with_uid(uid),
+            );
             if let Some(snap) = self.snapshot(core, id) {
                 self.enqueue_event(
                     core,
@@ -876,10 +1019,19 @@ impl ScapKernel {
         now: u64,
         work: &mut Work,
     ) {
+        let uid = self.cores[core].kstates.get(&id).map_or(0, |k| k.uid);
         let Some(meta) = parsed.tcp else {
             // Transport said TCP but the header would not parse: nothing
             // to reassemble.
-            self.acct_discarded(core, 1, pkt.len() as u64);
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                DropReason::NoTcpHeader,
+                1,
+                pkt.len() as u64,
+            );
             return;
         };
         let payload = parsed.payload();
@@ -896,7 +1048,15 @@ impl ScapKernel {
                 )
             })
         else {
-            self.acct_discarded(core, 1, pkt.len() as u64);
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                DropReason::Internal,
+                1,
+                pkt.len() as u64,
+            );
             return;
         };
 
@@ -918,7 +1078,15 @@ impl ScapKernel {
                 .map(|a| a.stream_offset())
                 .unwrap_or(0)
         }) else {
-            self.acct_discarded(core, 1, pkt.len() as u64);
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                DropReason::Internal,
+                1,
+                pkt.len() as u64,
+            );
             return;
         };
 
@@ -932,7 +1100,31 @@ impl ScapKernel {
                 rec.dirs[dir.index()].discarded_bytes += pkt.len() as u64;
                 rec.cutoff_exceeded = rec.cutoff_exceeded || beyond_cutoff;
             }
-            self.acct_discarded(core, 1, pkt.len() as u64);
+            let reason = if discarded_flag && !beyond_cutoff {
+                DropReason::AppDiscard
+            } else if beyond_cutoff && !beyond_configured && !discarded_flag {
+                DropReason::GovernorClamp
+            } else {
+                DropReason::Cutoff
+            };
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                reason,
+                1,
+                pkt.len() as u64,
+            );
+            if beyond_cutoff && !cutoff_exceeded {
+                self.flight.emit(
+                    core,
+                    FlightEvent::new(FlightKind::CutoffHit, FlightLayer::Kernel, now)
+                        .with_reason(reason)
+                        .with_uid(uid)
+                        .with_vals(asm_offset, 0),
+                );
+            }
             if beyond_cutoff && !beyond_configured && !discarded_flag {
                 self.stats.resilience.governor_cutoff_clamps += 1;
             }
@@ -963,7 +1155,15 @@ impl ScapKernel {
                 rec.dirs[dir.index()].dropped_pkts += 1;
                 rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
             }
-            self.acct_dropped(core, 1, pkt.len() as u64);
+            self.acct_dropped(
+                core,
+                now,
+                uid,
+                FlightLayer::Memory,
+                DropReason::Ppl,
+                1,
+                pkt.len() as u64,
+            );
             self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
             return;
         }
@@ -971,7 +1171,15 @@ impl ScapKernel {
         // Borrow dance: lift the connection and assembler out of the
         // kstate so the delivery sink can borrow the arena freely.
         let Some(mut ks) = self.cores[core].kstates.remove(&id) else {
-            self.acct_discarded(core, 1, pkt.len() as u64);
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                DropReason::Internal,
+                1,
+                pkt.len() as u64,
+            );
             return;
         };
         let mut conn = ks.conn.take().unwrap_or_else(|| {
@@ -1083,10 +1291,26 @@ impl ScapKernel {
             }
         }
         if oom {
-            self.acct_dropped(core, 1, pkt.len() as u64);
+            self.acct_dropped(
+                core,
+                now,
+                uid,
+                FlightLayer::Memory,
+                DropReason::ArenaOom,
+                1,
+                pkt.len() as u64,
+            );
             self.stats.dropped_by_priority[priority.min(3) as usize] += 1;
         } else if dup_only {
-            self.acct_discarded(core, 1, outcome.data.duplicate);
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                DropReason::Duplicate,
+                1,
+                outcome.data.duplicate,
+            );
         } else {
             self.acct_delivered(core, 1, 0);
         }
@@ -1100,6 +1324,18 @@ impl ScapKernel {
             if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.cutoff_exceeded = true;
             }
+            let reason = if beyond_configured || cutoff.is_some_and(|c| asm.stream_offset() >= c) {
+                DropReason::Cutoff
+            } else {
+                DropReason::GovernorClamp
+            };
+            self.flight.emit(
+                core,
+                FlightEvent::new(FlightKind::CutoffHit, FlightLayer::Kernel, now)
+                    .with_reason(reason)
+                    .with_uid(uid)
+                    .with_vals(asm.stream_offset(), 0),
+            );
             if let Some(tail) = asm.flush() {
                 if tail.len > 0 {
                     completed.push(tail);
@@ -1165,18 +1401,28 @@ impl ScapKernel {
         }
         // Invariant: process_packet only dispatches live, tracked streams.
         debug_assert!(self.cores[core].flows.get(id).is_some());
-        let Some((priority, cutoff, discarded_flag, stream_chunk, stream_overlap)) =
+        let uid = self.cores[core].kstates.get(&id).map_or(0, |k| k.uid);
+        let Some((priority, cutoff, discarded_flag, cutoff_exceeded, stream_chunk, stream_overlap)) =
             self.cores[core].flows.get(id).map(|rec| {
                 (
                     rec.priority,
                     rec.cutoff[dir.index()],
                     rec.discarded,
+                    rec.cutoff_exceeded,
                     rec.chunk_size.max(1) as usize,
                     rec.overlap as usize,
                 )
             })
         else {
-            self.acct_discarded(core, 1, pkt.len() as u64);
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                DropReason::Internal,
+                1,
+                pkt.len() as u64,
+            );
             return;
         };
         let effective_cutoff = match (cutoff, self.governor.cutoff_cap()) {
@@ -1185,7 +1431,15 @@ impl ScapKernel {
             (c, None) => c,
         };
         let Some(mut ks) = self.cores[core].kstates.remove(&id) else {
-            self.acct_discarded(core, 1, pkt.len() as u64);
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                DropReason::Internal,
+                1,
+                pkt.len() as u64,
+            );
             return;
         };
         let mut asm = ks.asm[dir.index()].take().unwrap_or_else(|| {
@@ -1194,15 +1448,40 @@ impl ScapKernel {
         let offset = asm.stream_offset();
 
         let beyond_configured = cutoff.is_some_and(|c| offset >= c);
-        let beyond = effective_cutoff.is_some_and(|c| offset >= c) || discarded_flag;
+        let beyond_effective = effective_cutoff.is_some_and(|c| offset >= c);
+        let beyond = beyond_effective || discarded_flag;
         if beyond {
             if let Some(rec) = self.cores[core].flows.get_mut(id) {
                 rec.dirs[dir.index()].discarded_pkts += 1;
                 rec.dirs[dir.index()].discarded_bytes += pkt.len() as u64;
                 rec.cutoff_exceeded = true;
             }
-            self.acct_discarded(core, 1, pkt.len() as u64);
-            if !beyond_configured && !discarded_flag {
+            let reason = if discarded_flag && !beyond_effective {
+                DropReason::AppDiscard
+            } else if beyond_effective && !beyond_configured && !discarded_flag {
+                DropReason::GovernorClamp
+            } else {
+                DropReason::Cutoff
+            };
+            self.acct_discarded(
+                core,
+                now,
+                uid,
+                FlightLayer::Kernel,
+                reason,
+                1,
+                pkt.len() as u64,
+            );
+            if beyond_effective && !cutoff_exceeded {
+                self.flight.emit(
+                    core,
+                    FlightEvent::new(FlightKind::CutoffHit, FlightLayer::Kernel, now)
+                        .with_reason(reason)
+                        .with_uid(uid)
+                        .with_vals(offset, 0),
+                );
+            }
+            if beyond_effective && !beyond_configured && !discarded_flag {
                 self.stats.resilience.governor_cutoff_clamps += 1;
             }
             ks.asm[dir.index()] = Some(asm);
@@ -1219,7 +1498,15 @@ impl ScapKernel {
                 rec.dirs[dir.index()].dropped_pkts += 1;
                 rec.dirs[dir.index()].dropped_bytes += pkt.len() as u64;
             }
-            self.acct_dropped(core, 1, pkt.len() as u64);
+            self.acct_dropped(
+                core,
+                now,
+                uid,
+                FlightLayer::Memory,
+                DropReason::Ppl,
+                1,
+                pkt.len() as u64,
+            );
             ks.asm[dir.index()] = Some(asm);
             self.cores[core].kstates.insert(id, ks);
             return;
@@ -1260,7 +1547,15 @@ impl ScapKernel {
             }
         }
         if oom {
-            self.acct_dropped(core, 1, pkt.len() as u64);
+            self.acct_dropped(
+                core,
+                now,
+                uid,
+                FlightLayer::Memory,
+                DropReason::ArenaOom,
+                1,
+                pkt.len() as u64,
+            );
         } else {
             self.acct_delivered(core, 1, 0);
         }
@@ -1440,6 +1735,10 @@ impl ScapKernel {
                 ks.fdir_installed = false;
             }
             self.fdir_expiries.remove(&(deadline, euid));
+            self.flight.emit(
+                ecore,
+                FlightEvent::new(FlightKind::FdirEvicted, FlightLayer::Fdir, now).with_uid(euid),
+            );
         }
 
         if self.try_install_fdir_filters(key, work) {
@@ -1448,6 +1747,12 @@ impl ScapKernel {
             }
             self.fdir_expiries
                 .insert((now + timeout, uid), (core, id, key));
+            self.flight.emit(
+                core,
+                FlightEvent::new(FlightKind::FdirInstalled, FlightLayer::Fdir, now)
+                    .with_uid(uid)
+                    .with_vals(timeout, 0),
+            );
         } else {
             self.enqueue_fdir_retry(core, id, uid, 0, now);
         }
@@ -1493,6 +1798,12 @@ impl ScapKernel {
         if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
             ks.fdir_retry_pending = true;
         }
+        self.flight.emit(
+            core,
+            FlightEvent::new(FlightKind::FdirRetryQueued, FlightLayer::Fdir, now)
+                .with_uid(uid)
+                .with_vals(u64::from(attempts), 0),
+        );
         self.fdir_retry.push_back(FdirRetry {
             core,
             id,
@@ -1553,6 +1864,12 @@ impl ScapKernel {
             }
             self.fdir_expiries
                 .insert((now + timeout, r.uid), (r.core, r.id, key));
+            self.flight.emit(
+                r.core,
+                FlightEvent::new(FlightKind::FdirRetryOk, FlightLayer::Fdir, now)
+                    .with_uid(r.uid)
+                    .with_vals(u64::from(r.attempts + 1), 0),
+            );
             return true;
         }
         if r.attempts + 1 >= FDIR_RETRY_MAX_ATTEMPTS {
@@ -1563,6 +1880,12 @@ impl ScapKernel {
                 ks.fdir_software_fallback = true;
             }
             self.stats.resilience.fdir_fallback_software += 1;
+            self.flight.emit(
+                r.core,
+                FlightEvent::new(FlightKind::FdirFallback, FlightLayer::Fdir, now)
+                    .with_uid(r.uid)
+                    .with_vals(u64::from(r.attempts + 1), 0),
+            );
         } else {
             self.enqueue_fdir_retry(r.core, r.id, r.uid, r.attempts + 1, now);
         }
@@ -1574,7 +1897,7 @@ impl ScapKernel {
     /// stay in the table with `discarded` set, so their statistics keep
     /// accumulating (§3.3.1 semantics) while their memory is freed.
     /// Candidates are ordered by uid so eviction is deterministic.
-    fn evict_low_priority(&mut self, quota: usize, work: &mut Work) {
+    fn evict_low_priority(&mut self, quota: usize, now: u64, work: &mut Work) {
         let mut candidates: Vec<(StreamUid, usize, StreamId)> = Vec::new();
         for (c, core) in self.cores.iter().enumerate() {
             for rec in core.flows.iter() {
@@ -1587,7 +1910,7 @@ impl ScapKernel {
             }
         }
         candidates.sort_unstable_by_key(|&(uid, ..)| uid);
-        for (_, c, id) in candidates.into_iter().take(quota) {
+        for (uid, c, id) in candidates.into_iter().take(quota) {
             if let Some(rec) = self.cores[c].flows.get_mut(id) {
                 rec.discarded = true;
             }
@@ -1606,9 +1929,23 @@ impl ScapKernel {
                 }
             }
             for chunk in freed {
-                self.acct_dropped(c, 0, chunk.len as u64);
+                self.acct_dropped(
+                    c,
+                    now,
+                    uid,
+                    FlightLayer::Memory,
+                    DropReason::PriorityEvict,
+                    0,
+                    chunk.len as u64,
+                );
                 self.arena.release(chunk);
             }
+            self.flight.emit(
+                c,
+                FlightEvent::new(FlightKind::StreamEvicted, FlightLayer::Governor, now)
+                    .with_reason(DropReason::PriorityEvict)
+                    .with_uid(uid),
+            );
             self.stats.resilience.evicted_streams += 1;
             work.k_timer_ops += 1;
         }
@@ -1763,6 +2100,19 @@ impl ScapKernel {
             }
         }
         let snap = Self::snapshot_rec(&rec, uid);
+        let (total_bytes, total_pkts) = snap.dirs.iter().fold((0u64, 0u64), |(b, p), d| {
+            (b + d.total_bytes, p + d.total_pkts)
+        });
+        self.flight.emit(
+            core,
+            FlightEvent::new(
+                FlightKind::StreamTerminated,
+                FlightLayer::Kernel,
+                rec.last_ts_ns,
+            )
+            .with_uid(uid)
+            .with_vals(total_bytes, total_pkts),
+        );
         self.enqueue_event(
             core,
             Event {
@@ -1827,6 +2177,11 @@ impl ScapKernel {
                 // TIME_WAIT tombstone aging out: already reported.
                 continue;
             };
+            self.flight.emit(
+                core,
+                FlightEvent::new(FlightKind::StreamExpired, FlightLayer::Kernel, now)
+                    .with_uid(ks.uid),
+            );
             self.stats.expired_streams += 1;
             self.cores[core]
                 .flush_timers
@@ -1855,10 +2210,15 @@ impl ScapKernel {
             self.governor.tick(now, pressure);
             if self.governor.level() != level_before {
                 self.tele.inc(0, Metric::GovernorTransitions);
+                self.flight.emit(
+                    0,
+                    FlightEvent::new(FlightKind::GovernorChange, FlightLayer::Governor, now)
+                        .with_vals(u64::from(level_before), u64::from(self.governor.level())),
+                );
             }
             let quota = self.governor.evict_quota();
             if quota > 0 {
-                self.evict_low_priority(quota, &mut work);
+                self.evict_low_priority(quota, now, &mut work);
             }
             self.drain_fdir_retries(now, &mut work);
             // Gauge refresh + bounded time-series sampling, keyed on the
@@ -1891,6 +2251,10 @@ impl ScapKernel {
                 if let Some(ks) = self.cores[ecore].kstates.get_mut(&eid) {
                     ks.fdir_installed = false;
                 }
+                self.flight.emit(
+                    ecore,
+                    FlightEvent::new(FlightKind::FdirExpired, FlightLayer::Fdir, now).with_uid(uid),
+                );
                 work.k_timer_ops += 1;
             }
         }
@@ -1979,7 +2343,17 @@ impl ScapKernel {
         }
         let fdir = self.nic.fdir().filters();
         self.stats.resilience.checkpoints_written += 1;
-        checkpoint::encode_image(seq, &self.cfg, &globals, &streams, &fdir)
+        let bytes = checkpoint::encode_image(seq, &self.cfg, &globals, &streams, &fdir);
+        self.flight.emit(
+            0,
+            FlightEvent::new(
+                FlightKind::CheckpointWritten,
+                FlightLayer::Checkpoint,
+                now_ns,
+            )
+            .with_vals(seq, bytes.len() as u64),
+        );
+        bytes
     }
 
     /// Rebuild a kernel mid-capture from a decoded checkpoint (warm
@@ -2083,6 +2457,15 @@ impl ScapKernel {
             if let Some(rec) = k.cores[core].flows.get_mut(id) {
                 rec.errors.set(StreamErrors::RESUMED);
             }
+            k.flight.emit(
+                core,
+                FlightEvent::new(
+                    FlightKind::StreamResumed,
+                    FlightLayer::Checkpoint,
+                    img.globals.ts_ns,
+                )
+                .with_uid(s.uid),
+            );
         }
         for f in img.fdir {
             if k.nic.fdir_install(f).is_ok() {
@@ -2094,6 +2477,15 @@ impl ScapKernel {
         k.stats.resilience.resumed_streams = resumed;
         k.stats.resilience.recovery_virtual_cycles = recovery;
         k.tele.record_stage(0, Stage::Restart, recovery);
+        k.flight.emit(
+            0,
+            FlightEvent::new(
+                FlightKind::Restarted,
+                FlightLayer::Checkpoint,
+                img.globals.ts_ns,
+            )
+            .with_vals(k.stats.resilience.restarts, resumed),
+        );
         Ok(k)
     }
 

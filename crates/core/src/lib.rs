@@ -80,6 +80,11 @@ pub use stack::{apps, ScapSimStack, SimApp};
 
 // Re-export the vocabulary types applications see.
 pub use scap_faults::FaultPlan;
+/// The always-on flight recorder (per-core ring journals of typed
+/// events with drop provenance), re-exported for applications and
+/// tools.
+pub use scap_flight as flight;
+pub use scap_flight::{DropReason, FlightEvent, FlightKind, FlightLayer, FlightRecorder};
 pub use scap_flow::{DirStats, StreamErrors, StreamStatus};
 pub use scap_reassembly::{OverlapPolicy, ReassemblyMode};
 /// The observability subsystem (metric registries, stage spans, gauge

@@ -49,6 +49,7 @@ use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot};
 use crate::kernel::{ControlOp, ScapKernel, ScapStats};
 use scap_faults::{FaultPlan, FrameFaultStats, WorkerFault, WorkerFaultKind};
 use scap_filter::{Filter, FilterError};
+use scap_flight::{FlightEvent, FlightKind, FlightLayer};
 use scap_flow::StreamErrors;
 use scap_reassembly::{OverlapPolicy, ReassemblyMode};
 use scap_telemetry::{AtomicRegistry, Metric, Sampler, Snapshot, SpanTimer, Stage};
@@ -85,6 +86,8 @@ pub trait EventSink: Send + Sync {
 const STALL_GRACE: Duration = Duration::from_millis(30);
 /// Upper bound on waiting for workers to drain after the trace ends.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+/// How many trailing flight-recorder events the crash black box keeps.
+const BLACK_BOX_TAIL: usize = 256;
 
 /// The view handed to callbacks: a consistent stream snapshot, the
 /// delivered data (for data events), and the control surface.
@@ -622,6 +625,7 @@ fn watchdog<'scope>(
     ctl: &Sender<ControlOp>,
     rel: &Sender<Event>,
     tele: &Arc<AtomicRegistry>,
+    now: u64,
 ) {
     for (i, slot) in slots.iter_mut().enumerate() {
         // A finished thread while its channel is still open means the
@@ -634,6 +638,12 @@ fn watchdog<'scope>(
                     slot.lost += 1; // the event it was dispatching is gone
                     kernel.resilience_mut().worker_panics += 1;
                     let uid = slot.current_uid.swap(0, Ordering::SeqCst);
+                    kernel.flight_mut().emit(
+                        0,
+                        FlightEvent::new(FlightKind::WorkerPanic, FlightLayer::Worker, now)
+                            .with_uid(uid)
+                            .with_vals(i as u64, 0),
+                    );
                     if uid != 0 {
                         kernel.flag_stream_error(uid, StreamErrors::WORKER_FAILURE);
                     }
@@ -656,6 +666,11 @@ fn watchdog<'scope>(
             ));
             slot.restarts += 1;
             kernel.resilience_mut().worker_restarts += 1;
+            kernel.flight_mut().emit(
+                0,
+                FlightEvent::new(FlightKind::WorkerRestart, FlightLayer::Worker, now)
+                    .with_vals(i as u64, 0),
+            );
             slot.last_beat = slot.heartbeat.load(Ordering::SeqCst);
             slot.last_beat_at = Instant::now();
             slot.stall_flagged = false;
@@ -678,6 +693,12 @@ fn watchdog<'scope>(
             slot.stalls += 1;
             kernel.resilience_mut().worker_stalls_detected += 1;
             let uid = slot.current_uid.load(Ordering::SeqCst);
+            kernel.flight_mut().emit(
+                0,
+                FlightEvent::new(FlightKind::WorkerStall, FlightLayer::Worker, now)
+                    .with_uid(uid)
+                    .with_vals(i as u64, 0),
+            );
             if uid != 0 {
                 kernel.flag_stream_error(uid, StreamErrors::WORKER_FAILURE);
             }
@@ -697,6 +718,11 @@ fn watchdog<'scope>(
             ));
             slot.restarts += 1;
             kernel.resilience_mut().worker_restarts += 1;
+            kernel.flight_mut().emit(
+                0,
+                FlightEvent::new(FlightKind::WorkerRestart, FlightLayer::Worker, now)
+                    .with_vals(i as u64, 0),
+            );
         }
     }
 }
@@ -934,6 +960,15 @@ impl Scap {
                 // death would. Recovery goes through `resume_from`.
                 if kill_at == Some(npkts) {
                     killed = Some(npkts);
+                    // Black-box dump: persist the flight journal's tail
+                    // next to the checkpoint before "dying", so the
+                    // post-mortem (`scapstore verify`) can explain what
+                    // the capture was doing when it was killed.
+                    if let Some((_, path)) = ckpt.as_ref() {
+                        let mut bb = path.clone().into_os_string();
+                        bb.push(".flight");
+                        let _ = std::fs::write(bb, kernel.flight().encode_tail(BLACK_BOX_TAIL));
+                    }
                     break;
                 }
                 if let (Some(every), Some(hook)) = (stats_every, on_stats.as_ref()) {
@@ -961,6 +996,7 @@ impl Scap {
                         &ctl_tx,
                         &rel_tx,
                         &worker_tele,
+                        now,
                     );
                 }
             }
@@ -1001,6 +1037,7 @@ impl Scap {
                         &ctl_tx,
                         &rel_tx,
                         &worker_tele,
+                        now,
                     );
                     while let Ok(op) = ctl_rx.try_recv() {
                         kernel.control(op);
@@ -1025,6 +1062,12 @@ impl Scap {
                         slots[i].panics += 1;
                         kernel.resilience_mut().worker_panics += 1;
                         let uid = slots[i].current_uid.swap(0, Ordering::SeqCst);
+                        kernel.flight_mut().emit(
+                            0,
+                            FlightEvent::new(FlightKind::WorkerPanic, FlightLayer::Worker, now)
+                                .with_uid(uid)
+                                .with_vals(i as u64, 0),
+                        );
                         if uid != 0 {
                             kernel.flag_stream_error(uid, StreamErrors::WORKER_FAILURE);
                         }
@@ -1080,6 +1123,16 @@ impl Scap {
         } else {
             Some(CaptureError { workers: statuses })
         };
+        // Worker failures also leave a black box next to the checkpoint:
+        // the capture survived, but the journal tail records each panic
+        // and stall with the stream it was holding.
+        if self.last_error.is_some() {
+            if let (Some((_, path)), Some(k)) = (self.ckpt_every.as_ref(), self.kernel.as_ref()) {
+                let mut bb = path.clone().into_os_string();
+                bb.push(".flight");
+                let _ = std::fs::write(bb, k.flight().encode_tail(BLACK_BOX_TAIL));
+            }
+        }
         self.last_stats = Some(stats);
         self.last_telemetry = Some(telemetry);
         self.last_series = Some(series);
@@ -1125,6 +1178,13 @@ impl Scap {
     /// abandoned the most recent capture, if it did.
     pub fn died_at(&self) -> Option<u64> {
         self.died_at
+    }
+
+    /// The encoded flight journal of the most recent capture (`None`
+    /// before any capture has run). Decode with
+    /// [`scap_flight::decode_journal`].
+    pub fn flight_journal(&self) -> Option<Vec<u8>> {
+        self.kernel.as_ref().map(|k| k.flight().encode())
     }
 }
 

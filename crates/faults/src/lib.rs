@@ -104,6 +104,27 @@ pub struct StoreFaultConfig {
     pub kill_after_appends: u64,
 }
 
+/// Flight-recorder ring faults: force wrap-around so overwrite
+/// accounting (`FlightDropped`) is exercised — tracing must never
+/// silently lose its own loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightFaultConfig {
+    /// Shrink every per-core flight ring to this many slots
+    /// (0 = leave the configured capacity alone).
+    pub shrink_ring_to: usize,
+}
+
+impl FlightFaultConfig {
+    /// The ring capacity to use given the configured one.
+    pub fn effective_cap(&self, configured: usize) -> usize {
+        if self.shrink_ring_to > 0 {
+            self.shrink_ring_to
+        } else {
+            configured
+        }
+    }
+}
+
 /// What a scheduled worker fault does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkerFaultKind {
@@ -139,6 +160,8 @@ pub struct FaultPlan {
     pub arena: ArenaFaultConfig,
     /// Archive segment-append faults (`scap-store`).
     pub store: StoreFaultConfig,
+    /// Flight-recorder ring faults (forced wrap-around).
+    pub flight: FlightFaultConfig,
     /// Scheduled worker stalls/panics (live driver only).
     pub workers: Vec<WorkerFault>,
     /// Kill the whole capture process after this many packets have been
@@ -202,6 +225,7 @@ impl FaultPlan {
             // opted into per test/experiment so the live chaos runs stay
             // byte-stable across plans.
             store: StoreFaultConfig::default(),
+            flight: FlightFaultConfig::default(),
             workers: vec![
                 WorkerFault {
                     worker: 0,

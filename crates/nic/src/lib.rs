@@ -72,6 +72,8 @@ pub struct NicStats {
     pub fdir_steered_frames: u64,
     /// Frames dropped because a descriptor ring was full.
     pub ring_dropped_frames: u64,
+    /// Bytes dropped because a descriptor ring was full.
+    pub ring_dropped_bytes: u64,
     /// Frames delivered into descriptor rings.
     pub delivered_frames: u64,
     /// Bytes delivered into descriptor rings.
@@ -177,11 +179,14 @@ impl<T> Nic<T> {
                         NicVerdict::SteeredToQueue(q)
                     } else {
                         self.stats.ring_dropped_frames += 1;
+                        self.stats.ring_dropped_bytes += parsed.frame.len() as u64;
                         self.tele.inc(q, Metric::NicRingFullDrops);
                         // Ring overflows count as stack-level drops when
                         // ScapStats are snapshotted; mirror that here so
                         // the merged telemetry conserves packets too.
                         self.tele.inc(q, Metric::DroppedPackets);
+                        self.tele
+                            .add(q, Metric::DroppedBytes, parsed.frame.len() as u64);
                         NicVerdict::DroppedRingFull(q)
                     };
                 }
@@ -201,8 +206,11 @@ impl<T> Nic<T> {
             NicVerdict::HashedToQueue(q)
         } else {
             self.stats.ring_dropped_frames += 1;
+            self.stats.ring_dropped_bytes += parsed.frame.len() as u64;
             self.tele.inc(q, Metric::NicRingFullDrops);
             self.tele.inc(q, Metric::DroppedPackets);
+            self.tele
+                .add(q, Metric::DroppedBytes, parsed.frame.len() as u64);
             NicVerdict::DroppedRingFull(q)
         }
     }

@@ -12,6 +12,7 @@ use crate::format::{
 use crate::StoreError;
 use scap::{Event, EventKind, EventSink, StreamSnapshot, StreamUid};
 use scap_faults::{FaultPlan, StoreFault, StoreInjector};
+use scap_flight::{FlightEvent, FlightKind, FlightLayer, FlightRecorder};
 use scap_telemetry::{Metric, PlainRegistry, Snapshot, SpanTimer, Stage};
 use scap_wire::Direction;
 use std::collections::{BTreeMap, HashMap};
@@ -125,6 +126,10 @@ pub struct StoreWriter {
     dead: bool,
     stats: StoreStats,
     tele: PlainRegistry,
+    /// Last stream timestamp seen at seal time; stamps segment-rotation
+    /// flight events, which have no snapshot of their own.
+    last_ts_ns: u64,
+    flight: FlightRecorder,
 }
 
 impl StoreWriter {
@@ -234,6 +239,8 @@ impl StoreWriter {
             dead: false,
             stats,
             tele,
+            last_ts_ns: 0,
+            flight: FlightRecorder::new(1, scap_flight::DEFAULT_RING_CAP),
         })
     }
 
@@ -262,6 +269,12 @@ impl StoreWriter {
     /// the `store` seal-span histogram).
     pub fn telemetry_snapshot(&self) -> Snapshot {
         self.tele.snapshot()
+    }
+
+    /// The writer's flight recorder: archive-layer events (segments
+    /// created, streams sealed) with stream provenance.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Observe a stream creation.
@@ -319,6 +332,7 @@ impl StoreWriter {
         if self.dead {
             return Err(StoreError::Dead);
         }
+        self.last_ts_ns = s.last_ts_ns;
         let span = SpanTimer::start();
         let data = self
             .pending
@@ -348,6 +362,16 @@ impl StoreWriter {
         p.archived += 1;
         p.live_bytes += stored;
         self.tele.inc(0, Metric::StoreStreamsArchived);
+        self.flight.emit(
+            0,
+            FlightEvent::new(
+                FlightKind::StoreStreamArchived,
+                FlightLayer::Store,
+                s.last_ts_ns,
+            )
+            .with_uid(s.uid)
+            .with_vals(stored, 0),
+        );
         self.records.insert(rec.uid, rec);
         self.enforce_budget()?;
         span.finish(&self.tele, 0, Stage::Store);
@@ -369,6 +393,15 @@ impl StoreWriter {
         self.seg_len = FILE_HEADER_LEN as u64;
         self.stats.segments_created += 1;
         self.tele.inc(0, Metric::StoreSegmentsCreated);
+        self.flight.emit(
+            0,
+            FlightEvent::new(
+                FlightKind::StoreSegmentCreated,
+                FlightLayer::Store,
+                self.last_ts_ns,
+            )
+            .with_vals(id, 0),
+        );
         Ok(())
     }
 
