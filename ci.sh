@@ -110,4 +110,58 @@ cargo run --release -p scap-bench --bin scapstore -- verify "$store_out/archive"
     || { echo "scapstore verify failed on a fresh archive"; exit 1; }
 rm -rf "$store_out"
 
+echo "== tenants isolation gate =="
+tenants_out=$(mktemp -d)
+# The experiment asserts the slow-consumer ladder, the per-tenant
+# conservation identity, exact flight-journal reconciliation, the
+# >=95% isolation bound, and per-seed determinism; a zero exit is the
+# proof.
+cargo run --release -p scap-bench --bin experiments -- \
+    --exp tenants --scale smoke --out "$tenants_out" >/dev/null \
+    || { echo "tenants isolation experiment failed"; exit 1; }
+grep -q '"tenants"' "$tenants_out/BENCH_summary.json" \
+    || { echo "BENCH_summary.json lacks a tenants section"; exit 1; }
+rm -rf "$tenants_out"
+
+echo "== scapd smoke (two clients, one stalled) =="
+scapd_dir=$(mktemp -d)
+# Budget/window sized so the stalled client exhausts its ack window
+# and queue cap well before the trace ends, whatever the scheduler
+# does: acked(<=4096) + window(32768) + queue cap(39321) is a fraction
+# of the tcp bytes the trace offers the bulk tenant.
+target/release/scapd --dir "$scapd_dir" --await-tenants 2 --gen 2 --seed 42 \
+    --budget 131072 --window 32768 2>"$scapd_dir/scapd.log" &
+scapd_pid=$!
+target/release/scapctl attach --dir "$scapd_dir" --name web \
+    --filter "tcp and port 80" --cutoff 8192 --priority 2 --mem 300 --disk 300 \
+    >/dev/null || { echo "web attach failed"; exit 1; }
+target/release/scapctl attach --dir "$scapd_dir" --name bulk \
+    --filter tcp --priority 0 --mem 300 --disk 300 \
+    >/dev/null || { echo "bulk attach failed"; exit 1; }
+web_out="$scapd_dir/web.consumer"
+target/release/scapctl consume --dir "$scapd_dir" --name web >"$web_out" &
+web_pid=$!
+target/release/scapctl consume --dir "$scapd_dir" --name bulk \
+    --stall-after 4096 >/dev/null 2>&1 &
+bulk_pid=$!
+sleep 2
+kill "$bulk_pid" 2>/dev/null || true   # the stalled client dies; scapd must not care
+wait "$scapd_pid" || { echo "scapd exited nonzero"; cat "$scapd_dir/scapd.log"; exit 1; }
+wait "$web_pid" || { echo "healthy consumer exited nonzero"; exit 1; }
+wait "$bulk_pid" 2>/dev/null || true
+grep -q "^ok" "$scapd_dir/scapd-done" \
+    || { echo "scapd did not finish clean: $(cat "$scapd_dir/scapd-done")"; exit 1; }
+web_bytes=$(sed -n 's/.*records, \([0-9]*\) payload bytes.*/\1/p' "$web_out")
+[ -n "$web_bytes" ] && [ "$web_bytes" -gt 0 ] \
+    || { echo "healthy tenant delivered no bytes: $(cat "$web_out")"; exit 1; }
+grep -q '"name": "bulk", "id": 2, "state": "disconnected"' "$scapd_dir/scapd-status.json" \
+    || { echo "stalled tenant was not disconnected"; exit 1; }
+grep -q '"name": "web", "id": 1, "state": "active"' "$scapd_dir/scapd-status.json" \
+    || { echo "healthy tenant did not stay active"; exit 1; }
+panel=$(target/release/scaptop --scapd "$scapd_dir") \
+    || { echo "scaptop --scapd failed"; exit 1; }
+echo "$panel" | grep -q "scapd panel complete" \
+    || { echo "scaptop --scapd rendered no panel: $panel"; exit 1; }
+rm -rf "$scapd_dir"
+
 echo "CI green."

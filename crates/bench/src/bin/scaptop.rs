@@ -17,7 +17,15 @@
 //! scaptop trace.pcap "tcp and port 80"  # with a BPF filter
 //! scaptop --gen 8                       # synthetic 8 MB campus trace
 //! scaptop --gen 8 --interval 2000 --topk 5 --cutoff 16384 --delay-ms 100
+//! scaptop --scapd /tmp/ctl              # per-tenant panel of a scapd instance
 //! ```
+//!
+//! With `--scapd DIR` scaptop does not capture anything itself: it
+//! polls the daemon's `scapd-status.tsv` in the control directory and
+//! renders a per-tenant panel — delivered rate, queue depth against
+//! the quota cap, quota headroom, and drop attribution (slow-consumer
+//! drops vs the tenant's own cutoff discards) — until the daemon
+//! writes its `scapd-done` marker.
 
 use scap::telemetry::{Gauge, Metric, Snapshot};
 use scap::{EventKind, ScapConfig, ScapKernel};
@@ -152,6 +160,154 @@ impl Dashboard {
     }
 }
 
+/// One parsed row of scapd's status table.
+#[derive(Clone, Default)]
+struct TenantRow {
+    name: String,
+    state: String,
+    matched: u64,
+    delivered: u64,
+    drained: u64,
+    dropped: u64,
+    discarded: u64,
+    queue: u64,
+    queue_cap: u64,
+    headroom: u64,
+    strikes: u64,
+    spool: u64,
+    acked: u64,
+}
+
+/// Parse `scapd-status.tsv`: a `# k=v ...` header line followed by a
+/// tab-separated tenant table.
+fn parse_scapd_status(text: &str) -> (HashMap<String, u64>, Vec<TenantRow>) {
+    let mut meta = HashMap::new();
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix('#') {
+            for kv in rest.split_whitespace() {
+                if let Some((k, v)) = kv.split_once('=') {
+                    if let Ok(n) = v.parse() {
+                        meta.insert(k.to_string(), n);
+                    }
+                }
+            }
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 14 || cols[0] == "tenant" {
+            continue;
+        }
+        let num = |i: usize| cols[i].trim().parse().unwrap_or(0);
+        rows.push(TenantRow {
+            name: cols[0].to_string(),
+            state: cols[2].to_string(),
+            matched: num(3),
+            delivered: num(4),
+            drained: num(5),
+            dropped: num(6),
+            discarded: num(7),
+            queue: num(8),
+            queue_cap: num(9),
+            headroom: num(10),
+            strikes: num(11),
+            spool: num(12),
+            acked: num(13),
+        });
+    }
+    (meta, rows)
+}
+
+/// The `--scapd DIR` mode: a per-tenant panel over a live (or just
+/// finished) scapd control directory.
+fn scapd_panel(dir: &str, delay_ms: u64) -> ! {
+    let status = std::path::Path::new(dir).join("scapd-status.tsv");
+    let done_marker = std::path::Path::new(dir).join("scapd-done");
+    let ansi = std::io::stdout().is_terminal();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let mut prev: HashMap<String, (u64, u64)> = HashMap::new(); // name -> (delivered, ts_ns)
+    loop {
+        let done = done_marker.exists();
+        let text = match std::fs::read_to_string(&status) {
+            Ok(t) => t,
+            Err(_) if !done => {
+                if std::time::Instant::now() > deadline {
+                    die("no scapd-status.tsv appeared (is scapd running?)");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+            Err(e) => die(&format!("cannot read {}: {e}", status.display())),
+        };
+        let (meta, rows) = parse_scapd_status(&text);
+        let ts = meta.get("ts_ns").copied().unwrap_or(0);
+        let mut out = String::new();
+        if ansi {
+            out.push_str("\x1b[2J\x1b[H");
+        }
+        out.push_str(&format!(
+            "scapd @ {dir} — {}/{} packets | trace time {:.3} s | {} tenants{}\n\n",
+            meta.get("fed").copied().unwrap_or(0),
+            meta.get("total").copied().unwrap_or(0),
+            ts as f64 / 1e9,
+            rows.len(),
+            if done { " | done" } else { "" },
+        ));
+        out.push_str(
+            "tenant       state         delivered   Mbit/s  queue      [cap]    headroom  \
+             drop attribution\n",
+        );
+        for r in &rows {
+            let (pd, pt) = prev.get(&r.name).copied().unwrap_or((r.delivered, ts));
+            let dt = ts.saturating_sub(pt) as f64 / 1e9;
+            let rate = if dt > 0.0 {
+                (r.delivered - pd) as f64 * 8.0 / dt / 1e6
+            } else {
+                0.0
+            };
+            let fill = (r.queue * 1000).checked_div(r.queue_cap).unwrap_or(0);
+            out.push_str(&format!(
+                "{:<12} {:<12} {:>10} {:>8.2} {:>8} [{}] {:>9} {:>6} slow-consumer B, \
+                 {} cutoff B, {} strikes\n",
+                r.name,
+                r.state,
+                r.delivered,
+                rate,
+                r.queue,
+                bar(fill),
+                r.headroom,
+                r.dropped,
+                r.discarded,
+                r.strikes,
+            ));
+            out.push_str(&format!(
+                "             spooled payload {} B / acked {} B / drained {} B / matched {} B\n",
+                r.spool, r.acked, r.drained, r.matched,
+            ));
+            prev.insert(r.name.clone(), (r.delivered, ts));
+        }
+        let mut w = std::io::stdout().lock();
+        let _ = w.write_all(out.as_bytes());
+        if !ansi {
+            let _ = w.write_all(b"----\n");
+        }
+        let _ = w.flush();
+        if done {
+            let verdict = std::fs::read_to_string(&done_marker).unwrap_or_default();
+            println!(
+                "\nscapd panel complete: {} tenants | daemon says: {}",
+                rows.len(),
+                verdict.trim(),
+            );
+            std::process::exit(i32::from(!verdict.starts_with("ok")));
+        }
+        if std::time::Instant::now() > deadline {
+            die("scapd never wrote its done marker");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms.max(50)));
+    }
+}
+
 fn permille(v: u64) -> String {
     format!("{}.{}%", v / 10, v % 10)
 }
@@ -166,12 +322,13 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scaptop [file.pcap] [filter] [--gen MB] [--interval PKTS] \
-             [--topk N] [--cutoff BYTES] [--delay-ms MS] [--seed N]"
+             [--topk N] [--cutoff BYTES] [--delay-ms MS] [--seed N] [--scapd DIR]"
         );
         std::process::exit(0);
     }
 
     let mut gen_mb: Option<u64> = None;
+    let mut scapd_dir: Option<String> = None;
     let mut interval: u64 = 1000;
     let mut topk: usize = 10;
     let mut cutoff: Option<u64> = None;
@@ -210,10 +367,22 @@ fn main() {
                 i += 1;
                 seed = numarg(&args, i, "--seed");
             }
+            "--scapd" => {
+                i += 1;
+                scapd_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--scapd needs a path"))
+                        .clone(),
+                );
+            }
             other if other.starts_with("--") => die(&format!("unknown flag {other}")),
             _ => positional.push(&args[i]),
         }
         i += 1;
+    }
+
+    if let Some(dir) = scapd_dir {
+        scapd_panel(&dir, delay_ms);
     }
 
     let packets: Vec<Packet> = match (gen_mb, positional.first()) {

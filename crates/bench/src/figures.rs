@@ -1426,6 +1426,287 @@ pub fn flight(cfg: &ExpConfig) -> Vec<FigureResult> {
     vec![attribution_fig, reconcile]
 }
 
+/// The multi-tenant isolation experiment (`--exp tenants`): three
+/// tenants with distinct filters, cutoffs, priorities, and quota shares
+/// attach to one shared capture. The seeded tenant fault plan nominates
+/// a hostile tenant whose consumer stalls; the slow-consumer ladder
+/// degrades, drops-with-provenance, and disconnects it. The tables show
+/// (a) isolation/fairness — each well-behaved tenant's shared-run
+/// delivered bytes against its solo run, with the ≥95% bound asserted —
+/// and (b) per-tenant conservation, reconciled exactly against the
+/// flight journal's tenant drop sums. Deterministic per seed: the
+/// journal is asserted byte-identical across two same-seed runs, and
+/// any bound or identity violation panics (the CI gate).
+pub fn tenants(cfg: &ExpConfig) -> Vec<FigureResult> {
+    use scap::flight::{decode_journal, DropReason, FlightKind, FlightLayer};
+    use scap::tenant::{TenantEngine, TenantSpec, TenantState};
+    use scap::{EventKind, FaultPlan};
+
+    const DELIVERY_BUDGET: u64 = 64 << 10;
+    const STRIKE_LIMIT: u32 = 8;
+    const ISOLATION_BOUND_PCT: u64 = 95;
+
+    let specs = || {
+        vec![
+            TenantSpec {
+                name: "web".into(),
+                filter: Some("tcp and port 80".into()),
+                cutoff: Some(8 << 10),
+                priority: 2,
+                mem_share: 300,
+                disk_share: 300,
+            },
+            TenantSpec {
+                name: "dns".into(),
+                filter: Some("udp".into()),
+                cutoff: Some(2 << 10),
+                priority: 1,
+                mem_share: 200,
+                disk_share: 200,
+            },
+            TenantSpec {
+                name: "bulk".into(),
+                filter: Some("tcp".into()),
+                cutoff: None,
+                priority: 0,
+                mem_share: 300,
+                disk_share: 300,
+            },
+        ]
+    };
+
+    // The seeded fault plan picks the stall point deterministically.
+    let plan = FaultPlan::tenant_storm(cfg.seed, 3);
+    let stall_after = plan
+        .tenants
+        .iter()
+        .find_map(|f| match f.kind {
+            scap_faults::TenantFaultKind::StallConsumer { after_events } => Some(after_events),
+            _ => None,
+        })
+        .expect("tenant storm always stalls someone");
+
+    let wl = campus_workload(cfg);
+    let trace = wl.at_rate(4.0);
+
+    // Run one capture with the given tenant set; `stalled` maps tenant
+    // name -> event count after which its consumer stops draining.
+    let run = |specs: Vec<TenantSpec>, stalled: &[(&str, u64)]| {
+        let mut engine = TenantEngine::new(DELIVERY_BUDGET, STRIKE_LIMIT);
+        let mut ids = Vec::new();
+        for s in specs {
+            ids.push((s.name.clone(), engine.attach(s, 0, None).expect("attach")));
+        }
+        let merged = engine
+            .merged_config(scap_config(cfg))
+            .expect("merged config");
+        let mut kernel = ScapKernel::new(merged);
+        kernel.set_tenant_table(engine.images());
+        let stalled: Vec<(u64, u64)> = stalled
+            .iter()
+            .map(|(n, after)| {
+                (
+                    ids.iter().find(|(name, _)| name == n).expect("tenant").1,
+                    *after,
+                )
+            })
+            .collect();
+        let all_ids: Vec<u64> = ids.iter().map(|(_, id)| *id).collect();
+        let mut drained_events: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        let drain_pass =
+            |engine: &mut TenantEngine,
+             drained_events: &mut std::collections::HashMap<u64, u64>| {
+                for &id in &all_ids {
+                    let seen = drained_events.entry(id).or_insert(0);
+                    let stall = stalled
+                        .iter()
+                        .find(|(sid, _)| *sid == id)
+                        .map(|(_, after)| *after);
+                    if stall.is_some_and(|after| *seen >= after) {
+                        continue; // stalled consumer never drains again
+                    }
+                    *seen += engine.drain(id, u64::MAX).len() as u64;
+                }
+            };
+        let mut now = 0;
+        for pkt in &trace {
+            now = pkt.ts_ns;
+            kernel.nic_receive(pkt);
+            for core in 0..kernel.ncores() {
+                while kernel.kernel_poll(core, now).is_some() {}
+                kernel.kernel_timers(core, now);
+                while let Some(ev) = kernel.next_event(core) {
+                    engine.on_event(&ev, kernel.flight_mut());
+                    if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                        kernel.release_data(ev.stream.uid, dir, chunk);
+                    }
+                }
+            }
+            drain_pass(&mut engine, &mut drained_events);
+        }
+        kernel.finish(now.saturating_add(1));
+        for core in 0..kernel.ncores() {
+            while let Some(ev) = kernel.next_event(core) {
+                engine.on_event(&ev, kernel.flight_mut());
+                if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                    kernel.release_data(ev.stream.uid, dir, chunk);
+                }
+            }
+        }
+        drain_pass(&mut engine, &mut drained_events);
+        (engine, kernel)
+    };
+
+    let hostile = [("bulk", stall_after)];
+    let (shared, kernel) = run(specs(), &hostile);
+
+    // Determinism gate: a second same-seed run must produce a
+    // byte-identical flight journal.
+    let (_, k2) = run(specs(), &hostile);
+    assert_eq!(
+        kernel.flight().encode(),
+        k2.flight().encode(),
+        "tenant run must be deterministic per seed"
+    );
+    drop(k2);
+
+    let journal = decode_journal(&kernel.flight().encode()).expect("journal decodes");
+    let journal_dropped = |id: u64| -> u64 {
+        journal
+            .events
+            .iter()
+            .filter(|e| {
+                e.kind == FlightKind::Drop
+                    && e.layer == FlightLayer::Tenant
+                    && e.uid == id
+                    && e.reason == DropReason::SlowConsumer
+            })
+            .map(|e| e.b)
+            .sum()
+    };
+
+    // The hostile tenant must have walked the full ladder.
+    let bulk = shared.tenant_by_name("bulk").expect("bulk attached");
+    assert_eq!(
+        bulk.state,
+        TenantState::Disconnected,
+        "hostile tenant must be disconnected, not tolerated"
+    );
+
+    let mut iso_rows = Vec::new();
+    let mut cons_rows = Vec::new();
+    for spec in specs() {
+        let name = spec.name.clone();
+        let t = shared.tenant_by_name(&name).expect("tenant");
+        let (state, id, stats) = (t.state, t.id, t.stats);
+        let is_hostile = hostile.iter().any(|(n, _)| *n == name);
+        let solo_delivered = {
+            let (solo, _) = run(vec![spec], &[]);
+            solo.tenant_by_name(&name)
+                .expect("solo tenant")
+                .stats
+                .delivered_bytes
+        };
+        // Conservation must hold for every tenant, hostile included,
+        // and the journal must attribute the drops exactly.
+        assert!(
+            stats.conserved(),
+            "tenant {name}: conservation identity violated: {stats:?}"
+        );
+        let jd = journal_dropped(id);
+        assert_eq!(
+            jd, stats.dropped_bytes,
+            "tenant {name}: journal drop sum != engine dropped bytes"
+        );
+        if !is_hostile {
+            assert_eq!(
+                stats.dropped_bytes, 0,
+                "well-behaved tenant {name} took drops"
+            );
+            assert!(
+                stats.delivered_bytes * 100 >= solo_delivered * ISOLATION_BOUND_PCT,
+                "isolation bound violated for {name}: shared={} < {}% of solo={}",
+                stats.delivered_bytes,
+                ISOLATION_BOUND_PCT,
+                solo_delivered
+            );
+        }
+        let state_str = match state {
+            TenantState::Active => "active",
+            TenantState::Degraded => "degraded",
+            TenantState::Disconnected => "disconnected",
+        };
+        let pct = (stats.delivered_bytes * 100)
+            .checked_div(solo_delivered)
+            .unwrap_or(100);
+        iso_rows.push(vec![
+            name.clone(),
+            state_str.into(),
+            solo_delivered.to_string(),
+            stats.delivered_bytes.to_string(),
+            pct.to_string(),
+            if is_hostile { "yes" } else { "no" }.into(),
+        ]);
+        cons_rows.push(vec![
+            name,
+            stats.matched_bytes.to_string(),
+            stats.delivered_bytes.to_string(),
+            stats.dropped_bytes.to_string(),
+            stats.discarded_bytes.to_string(),
+            jd.to_string(),
+            stats.strikes.to_string(),
+            stats.disconnects.to_string(),
+        ]);
+    }
+
+    let isolation = FigureResult {
+        name: "tenants_isolation".into(),
+        headers: vec![
+            "tenant".into(),
+            "state".into(),
+            "solo_delivered_B".into(),
+            "shared_delivered_B".into(),
+            "shared/solo %".into(),
+            "hostile".into(),
+        ],
+        rows: iso_rows,
+        notes: vec![
+            format!(
+                "isolation bound (asserted): well-behaved tenants deliver >= {ISOLATION_BOUND_PCT}% \
+                 of their solo-run bytes while the hostile tenant stalls (seed {})",
+                cfg.seed
+            ),
+            format!(
+                "hostile consumer stalls after {stall_after} events (seeded tenant fault plan); \
+                 the ladder degrades, drops with provenance, then disconnects at {STRIKE_LIMIT} strikes"
+            ),
+            "flight journal byte-identical across two same-seed runs".into(),
+        ],
+    };
+    let conservation = FigureResult {
+        name: "tenants_conservation".into(),
+        headers: vec![
+            "tenant".into(),
+            "matched_B".into(),
+            "delivered_B".into(),
+            "dropped_B".into(),
+            "discarded_B".into(),
+            "journal_dropped_B".into(),
+            "strikes".into(),
+            "disconnected".into(),
+        ],
+        rows: cons_rows,
+        notes: vec![
+            "per-tenant conservation (asserted): matched == delivered + dropped + discarded".into(),
+            "journal_dropped_B is the flight journal's Drop/tenant/slow_consumer byte sum per \
+             tenant id — it must equal dropped_B exactly"
+                .into(),
+        ],
+    };
+    vec![isolation, conservation]
+}
+
 /// Dispatch by experiment id.
 pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<Vec<FigureResult>> {
     Some(match id {
@@ -1446,6 +1727,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<Vec<FigureResult>> {
         "store" => store(cfg),
         "restart" => restart(cfg),
         "flight" => flight(cfg),
+        "tenants" => tenants(cfg),
         _ => return None,
     })
 }
@@ -1469,6 +1751,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "store",
     "restart",
     "flight",
+    "tenants",
 ];
 
 /// Design-choice ablations (not in the paper's figures, but probing the

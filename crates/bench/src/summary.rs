@@ -201,6 +201,38 @@ fn flight_section(recon: &FigureResult, attribution: Option<&FigureResult>) -> S
     format!("  \"flight\": {{{}}}", fields.join(", "))
 }
 
+/// The per-tenant isolation/fairness and conservation tables from the
+/// tenants experiment, joined by tenant name into one `"tenants"` array.
+fn tenants_section(isolation: &FigureResult, conservation: Option<&FigureResult>) -> String {
+    let items: Vec<String> = isolation
+        .rows
+        .iter()
+        .filter(|r| r.len() >= 6)
+        .map(|r| {
+            let mut fields = vec![
+                format!("\"tenant\": \"{}\"", json_escape(&r[0])),
+                format!("\"state\": \"{}\"", json_escape(&r[1])),
+                format!("\"solo_delivered_bytes\": {}", json_value(&r[2])),
+                format!("\"shared_delivered_bytes\": {}", json_value(&r[3])),
+                format!("\"shared_solo_percent\": {}", json_value(&r[4])),
+                format!("\"hostile\": {}", r[5] == "yes"),
+            ];
+            if let Some(c) = conservation {
+                if let Some(cr) = c.rows.iter().find(|cr| cr.len() >= 8 && cr[0] == r[0]) {
+                    fields.push(format!("\"matched_bytes\": {}", json_value(&cr[1])));
+                    fields.push(format!("\"dropped_bytes\": {}", json_value(&cr[3])));
+                    fields.push(format!("\"discarded_bytes\": {}", json_value(&cr[4])));
+                    fields.push(format!("\"journal_dropped_bytes\": {}", json_value(&cr[5])));
+                    fields.push(format!("\"strikes\": {}", json_value(&cr[6])));
+                    fields.push(format!("\"disconnected\": {}", cr[7] != "0"));
+                }
+            }
+            format!("{{{}}}", fields.join(", "))
+        })
+        .collect();
+    format!("  \"tenants\": [{}]", items.join(", "))
+}
+
 /// Render the summary document from every figure produced in this run.
 pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String {
     let mut sections = vec![
@@ -233,6 +265,9 @@ pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String
     }
     if let Some(fig) = find(results, "flight_reconciliation") {
         sections.push(flight_section(fig, find(results, "flight_attribution")));
+    }
+    if let Some(fig) = find(results, "tenants_isolation") {
+        sections.push(tenants_section(fig, find(results, "tenants_conservation")));
     }
     format!("{{\n{}\n}}\n", sections.join(",\n"))
 }
@@ -383,6 +418,87 @@ mod tests {
             "\"attribution\": [{\"kind\": \"drop\", \"layer\": \"kernel\", \
              \"reason\": \"ring_full\", \"events\": 7, \"pkts\": 7, \"bytes\": 448}]"
         ));
+    }
+
+    #[test]
+    fn tenants_section_joins_isolation_and_conservation() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let results = vec![
+            fig(
+                "tenants_isolation",
+                &[
+                    "tenant",
+                    "state",
+                    "solo_delivered_B",
+                    "shared_delivered_B",
+                    "shared/solo %",
+                    "hostile",
+                ],
+                vec![
+                    vec![
+                        "web".into(),
+                        "active".into(),
+                        "1000".into(),
+                        "1000".into(),
+                        "100".into(),
+                        "no".into(),
+                    ],
+                    vec![
+                        "bulk".into(),
+                        "disconnected".into(),
+                        "9000".into(),
+                        "30".into(),
+                        "0".into(),
+                        "yes".into(),
+                    ],
+                ],
+            ),
+            fig(
+                "tenants_conservation",
+                &[
+                    "tenant",
+                    "matched_B",
+                    "delivered_B",
+                    "dropped_B",
+                    "discarded_B",
+                    "journal_dropped_B",
+                    "strikes",
+                    "disconnected",
+                ],
+                vec![
+                    vec![
+                        "web".into(),
+                        "1500".into(),
+                        "1000".into(),
+                        "0".into(),
+                        "500".into(),
+                        "0".into(),
+                        "0".into(),
+                        "0".into(),
+                    ],
+                    vec![
+                        "bulk".into(),
+                        "130".into(),
+                        "30".into(),
+                        "100".into(),
+                        "0".into(),
+                        "100".into(),
+                        "8".into(),
+                        "1".into(),
+                    ],
+                ],
+            ),
+        ];
+        let full = render_bench_summary(&cfg, &results);
+        assert!(full.contains(
+            "\"tenants\": [{\"tenant\": \"web\", \"state\": \"active\", \
+             \"solo_delivered_bytes\": 1000, \"shared_delivered_bytes\": 1000, \
+             \"shared_solo_percent\": 100, \"hostile\": false, \"matched_bytes\": 1500"
+        ));
+        assert!(full.contains("\"hostile\": true"));
+        assert!(
+            full.contains("\"journal_dropped_bytes\": 100, \"strikes\": 8, \"disconnected\": true")
+        );
     }
 
     #[test]

@@ -247,6 +247,7 @@ const REC_GLOBALS: u8 = 0x11;
 const REC_STREAM: u8 = 0x12;
 const REC_FDIR: u8 = 0x13;
 const REC_END: u8 = 0x14;
+const REC_TENANTS: u8 = 0x15;
 
 /// Kernel-global state that is not per-stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -347,6 +348,40 @@ pub struct CheckpointImage {
     pub streams: Vec<StreamImage>,
     /// Installed FDIR filters, in deterministic (encoded-bytes) order.
     pub fdir: Vec<FdirFilter>,
+    /// The multi-tenant attachment table (`scapd`), in ascending
+    /// tenant-id order. Empty for single-tenant captures; the record is
+    /// only written when tenants are attached, so single-tenant
+    /// checkpoints stay byte-identical to pre-tenant ones.
+    pub tenants: Vec<TenantImage>,
+}
+
+/// One tenant's row in the checkpointed tenant table: the attachment
+/// spec plus the delivery accounting needed to resume the per-tenant
+/// conservation identity across a warm restart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantImage {
+    /// Stable tenant id (attach order, never reused within a lineage).
+    pub id: u64,
+    /// Tenant name (unique among live tenants).
+    pub name: String,
+    /// BPF filter source (`None` = all streams).
+    pub filter_src: Option<String>,
+    /// Requested per-stream cutoff (`None` = unlimited).
+    pub cutoff: Option<u64>,
+    /// PPL priority requested for this tenant's streams.
+    pub priority: u8,
+    /// Memory share in permille of the delivery budget.
+    pub mem_share: u32,
+    /// Disk share in permille of the archive budget.
+    pub disk_share: u32,
+    /// Slow-consumer ladder state (encodes `TenantState`).
+    pub state: u8,
+    /// Bytes delivered to this tenant so far.
+    pub delivered_bytes: u64,
+    /// Bytes dropped on this tenant's full queue so far.
+    pub dropped_bytes: u64,
+    /// Bytes withheld from this tenant by quota policy so far.
+    pub discarded_bytes: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -640,6 +675,73 @@ fn encode_fdir_body(filters: &[FdirFilter]) -> Vec<u8> {
     b
 }
 
+fn encode_tenants_body(tenants: &[TenantImage]) -> Vec<u8> {
+    // Ascending-id order regardless of input order: the byte output is
+    // a pure function of the tenant table.
+    let mut order: Vec<usize> = (0..tenants.len()).collect();
+    order.sort_by_key(|&i| tenants[i].id);
+    let mut b = Vec::with_capacity(32 + tenants.len() * 64);
+    b.push(REC_TENANTS);
+    put_u32(&mut b, tenants.len() as u32);
+    for i in order {
+        let t = &tenants[i];
+        put_u64(&mut b, t.id);
+        put_str(&mut b, &t.name);
+        match &t.filter_src {
+            Some(src) => {
+                b.push(1);
+                put_str(&mut b, src);
+            }
+            None => b.push(0),
+        }
+        put_opt_u64(&mut b, t.cutoff);
+        b.push(t.priority);
+        put_u32(&mut b, t.mem_share);
+        put_u32(&mut b, t.disk_share);
+        b.push(t.state);
+        put_u64(&mut b, t.delivered_bytes);
+        put_u64(&mut b, t.dropped_bytes);
+        put_u64(&mut b, t.discarded_bytes);
+    }
+    b
+}
+
+fn decode_tenants_body(c: &mut Cursor<'_>) -> Result<Vec<TenantImage>, CheckpointError> {
+    let n = c.u32()? as usize;
+    let mut tenants = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let id = c.u64()?;
+        let name = c.str()?;
+        let filter_src = if c.bool()? {
+            let src = c.str()?;
+            // Validate at decode time: a tenant filter that no longer
+            // compiles must fail the restore, not the next attach.
+            Filter::new(&src).map_err(|e| corrupt(format!("bad tenant filter {src:?}: {e}")))?;
+            Some(src)
+        } else {
+            None
+        };
+        let t = TenantImage {
+            id,
+            name,
+            filter_src,
+            cutoff: c.opt_u64()?,
+            priority: c.u8()?,
+            mem_share: c.u32()?,
+            disk_share: c.u32()?,
+            state: c.u8()?,
+            delivered_bytes: c.u64()?,
+            dropped_bytes: c.u64()?,
+            discarded_bytes: c.u64()?,
+        };
+        if tenants.iter().any(|p: &TenantImage| p.id >= t.id) {
+            return Err(corrupt("tenant table not in ascending-id order"));
+        }
+        tenants.push(t);
+    }
+    Ok(tenants)
+}
+
 /// Encode a full checkpoint file from its parts. `streams` are written
 /// in ascending-uid order regardless of input order, so the byte output
 /// is a pure function of the captured state.
@@ -649,6 +751,7 @@ pub fn encode_image(
     globals: &CheckpointGlobals,
     streams: &[StreamImage],
     fdir: &[FdirFilter],
+    tenants: &[TenantImage],
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(4096);
     out.extend_from_slice(&file_header(CKPT_MAGIC, seq));
@@ -660,6 +763,9 @@ pub fn encode_image(
         out.extend_from_slice(&frame_record(&encode_stream_body(&streams[i])));
     }
     out.extend_from_slice(&frame_record(&encode_fdir_body(fdir)));
+    if !tenants.is_empty() {
+        out.extend_from_slice(&frame_record(&encode_tenants_body(tenants)));
+    }
     out.extend_from_slice(&frame_record(&[REC_END]));
     out
 }
@@ -673,6 +779,7 @@ impl CheckpointImage {
             &self.globals,
             &self.streams,
             &self.fdir,
+            &self.tenants,
         )
     }
 }
@@ -1075,6 +1182,7 @@ impl CheckpointImage {
         let mut globals = None;
         let mut streams = Vec::new();
         let mut fdir = Vec::new();
+        let mut tenants = Vec::new();
         let mut ended = false;
         for rec in &scan.records {
             if ended {
@@ -1097,6 +1205,7 @@ impl CheckpointImage {
                 }
                 REC_STREAM => streams.push(decode_stream_body(&mut c)?),
                 REC_FDIR => fdir.extend(decode_fdir_body(&mut c)?),
+                REC_TENANTS => tenants = decode_tenants_body(&mut c)?,
                 REC_END => ended = true,
                 other => return Err(corrupt(format!("unknown record kind {other:#04x}"))),
             }
@@ -1134,6 +1243,7 @@ impl CheckpointImage {
             globals,
             streams,
             fdir,
+            tenants,
         })
     }
 }
@@ -1345,7 +1455,7 @@ mod tests {
             FdirFilter::drop_tcp_flags(key(80), scap_wire::TcpFlags::ACK),
             FdirFilter::steer(key(443), 3),
         ];
-        encode_image(7, &cfg, &globals, &streams, &fdir)
+        encode_image(7, &cfg, &globals, &streams, &fdir, &[])
     }
 
     #[test]
@@ -1434,8 +1544,8 @@ mod tests {
         let globals = CheckpointGlobals::default();
         let a = FdirFilter::drop_tcp_flags(key(80), scap_wire::TcpFlags::ACK);
         let b = FdirFilter::steer(key(443), 1);
-        let x = encode_image(0, &cfg, &globals, &[], &[a, b]);
-        let y = encode_image(0, &cfg, &globals, &[], &[b, a]);
+        let x = encode_image(0, &cfg, &globals, &[], &[a, b], &[]);
+        let y = encode_image(0, &cfg, &globals, &[], &[b, a], &[]);
         assert_eq!(x, y);
     }
 
@@ -1447,10 +1557,75 @@ mod tests {
             &CheckpointGlobals::default(),
             &[],
             &[],
+            &[],
         ))
         .unwrap();
         let full = CheckpointImage::decode(&sample_image_bytes()).unwrap();
         assert!(recovery_cycles(&full) > recovery_cycles(&empty));
+    }
+
+    #[test]
+    fn tenant_table_round_trips_in_canonical_order() {
+        let tenants = vec![
+            TenantImage {
+                id: 2,
+                name: "ids".into(),
+                filter_src: Some("tcp".into()),
+                cutoff: Some(4096),
+                priority: 2,
+                mem_share: 600,
+                disk_share: 500,
+                state: 1,
+                delivered_bytes: 10,
+                dropped_bytes: 2,
+                discarded_bytes: 1,
+            },
+            TenantImage {
+                id: 1,
+                name: "dns".into(),
+                ..Default::default()
+            },
+        ];
+        let bytes = encode_image(
+            3,
+            &ScapConfig::default(),
+            &CheckpointGlobals::default(),
+            &[],
+            &[],
+            &tenants,
+        );
+        let img = CheckpointImage::decode(&bytes).unwrap();
+        // Ascending-id canonical order regardless of input order.
+        assert_eq!(img.tenants.len(), 2);
+        assert_eq!(img.tenants[0].id, 1);
+        assert_eq!(img.tenants[0].name, "dns");
+        assert_eq!(img.tenants[1].name, "ids");
+        assert_eq!(img.tenants[1].filter_src.as_deref(), Some("tcp"));
+        assert_eq!(img.tenants[1].cutoff, Some(4096));
+        assert_eq!(img.tenants[1].delivered_bytes, 10);
+        assert_eq!(img.to_bytes(), bytes);
+
+        // A pre-tenant image decodes with an empty table (the record is
+        // only written when non-empty, so old checkpoints are unchanged).
+        let old = CheckpointImage::decode(&sample_image_bytes()).unwrap();
+        assert!(old.tenants.is_empty());
+
+        // A tenant whose stored filter no longer compiles is corruption,
+        // not a silent pass-through.
+        let bad = vec![TenantImage {
+            id: 1,
+            filter_src: Some("((".into()),
+            ..Default::default()
+        }];
+        let bytes = encode_image(
+            0,
+            &ScapConfig::default(),
+            &CheckpointGlobals::default(),
+            &[],
+            &[],
+            &bad,
+        );
+        assert!(CheckpointImage::decode(&bytes).is_err());
     }
 
     #[test]

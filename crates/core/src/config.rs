@@ -86,6 +86,49 @@ impl PriorityPolicy {
     }
 }
 
+/// Why a [`ConfigDelta`] was rejected by validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The delta narrows the default cutoff while wider per-direction
+    /// or per-class overrides stay installed: streams matching an
+    /// override would keep delivering beyond the new default, silently
+    /// contradicting the requested narrowing. Clear or replace the
+    /// overrides in the same delta (set `cutoff_classes`), or widen
+    /// instead.
+    CutoffConflict {
+        /// The rejected new default cutoff.
+        new_default: Option<u64>,
+        /// The widest installed override it conflicts with
+        /// (`None` = an unlimited override).
+        widest_override: Option<u64>,
+    },
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::CutoffConflict {
+                new_default,
+                widest_override,
+            } => {
+                let fmt_cut = |c: &Option<u64>| match c {
+                    Some(v) => v.to_string(),
+                    None => "unlimited".to_string(),
+                };
+                write!(
+                    f,
+                    "cutoff_default {} conflicts with installed per-direction/class \
+                     override {} — clear the overrides in the same delta or widen",
+                    fmt_cut(new_default),
+                    fmt_cut(widest_override)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// A hot-reconfiguration delta applied to a *running* capture via
 /// `apply_config`: each `Some` field replaces the corresponding part of
 /// the live [`ScapConfig`] without tearing down the driver. `None`
@@ -103,6 +146,58 @@ pub struct ConfigDelta {
     pub priorities: Option<PriorityPolicy>,
     /// Replace the socket-wide BPF filter (`None` inside = match-all).
     pub filter: Option<Option<Filter>>,
+}
+
+impl ConfigDelta {
+    /// Check this delta against the configuration it would be applied
+    /// to, without consuming it. The only rejected shape is a *narrowed*
+    /// default cutoff that leaves wider per-direction or per-class
+    /// overrides installed: `apply_to` would set the new default, the
+    /// overrides would keep winning for the streams they match, and the
+    /// narrowing would be silently ignored for exactly the traffic it
+    /// was probably aimed at. Widening is always fine — it generalizes
+    /// the whole policy — and a delta that replaces the class list
+    /// (`cutoff_classes`) vouches for its own classes.
+    pub fn validate(&self, cfg: &ScapConfig) -> Result<(), ConfigError> {
+        let Some(new_default) = self.cutoff_default else {
+            return Ok(());
+        };
+        // Mirror `apply_to`'s widening rule: widen ⇒ generalize_to
+        // clears every override, so no conflict can survive.
+        let widened = match (cfg.cutoff.default, new_default) {
+            (Some(old), Some(new)) => new > old,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if widened {
+            return Ok(());
+        }
+        let Some(new) = new_default else {
+            // None → None: no effective change, nothing to conflict.
+            return Ok(());
+        };
+        let mut widest: Option<u64> = None;
+        let mut consider = |v: u64| {
+            if v > new && widest.is_none_or(|w| v > w) {
+                widest = Some(v);
+            }
+        };
+        for d in cfg.cutoff.per_direction.iter().flatten() {
+            consider(*d);
+        }
+        if self.cutoff_classes.is_none() {
+            for (_, v) in &cfg.cutoff.classes {
+                consider(*v);
+            }
+        }
+        match widest {
+            Some(v) => Err(ConfigError::CutoffConflict {
+                new_default,
+                widest_override: Some(v),
+            }),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Full capture configuration (the `scap_create` arguments plus every
@@ -245,6 +340,82 @@ mod tests {
             ..Default::default()
         }
         .is_unlimited());
+    }
+
+    #[test]
+    fn validate_rejects_narrowing_below_installed_overrides() {
+        let mut cfg = ScapConfig {
+            cutoff: CutoffPolicy {
+                default: Some(10_000),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        cfg.cutoff.per_direction[Direction::Forward.index()] = Some(50_000);
+
+        // Narrowing the default below the per-direction override is the
+        // silently-contradicted shape: rejected, naming the override.
+        let narrow = ConfigDelta {
+            cutoff_default: Some(Some(1_000)),
+            ..Default::default()
+        };
+        assert_eq!(
+            narrow.validate(&cfg),
+            Err(ConfigError::CutoffConflict {
+                new_default: Some(1_000),
+                widest_override: Some(50_000),
+            })
+        );
+        assert!(narrow
+            .validate(&cfg)
+            .unwrap_err()
+            .to_string()
+            .contains("50000"));
+
+        // Widening generalizes away every override: always fine.
+        let widen = ConfigDelta {
+            cutoff_default: Some(Some(1 << 20)),
+            ..Default::default()
+        };
+        assert_eq!(widen.validate(&cfg), Ok(()));
+        let unlimited = ConfigDelta {
+            cutoff_default: Some(None),
+            ..Default::default()
+        };
+        assert_eq!(unlimited.validate(&cfg), Ok(()));
+    }
+
+    #[test]
+    fn validate_class_conflict_waived_when_delta_replaces_classes() {
+        let cfg = ScapConfig {
+            cutoff: CutoffPolicy {
+                default: Some(10_000),
+                classes: vec![(Filter::new("port 80").unwrap(), 90_000)],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let narrow = ConfigDelta {
+            cutoff_default: Some(Some(1_000)),
+            ..Default::default()
+        };
+        assert_eq!(
+            narrow.validate(&cfg),
+            Err(ConfigError::CutoffConflict {
+                new_default: Some(1_000),
+                widest_override: Some(90_000),
+            })
+        );
+        // A delta that replaces the class list vouches for its classes:
+        // the stale ones it conflicted with are gone after apply.
+        let replace = ConfigDelta {
+            cutoff_default: Some(Some(1_000)),
+            cutoff_classes: Some(vec![]),
+            ..Default::default()
+        };
+        assert_eq!(replace.validate(&cfg), Ok(()));
+        // A delta touching no cutoff at all is trivially valid.
+        assert_eq!(ConfigDelta::default().validate(&cfg), Ok(()));
     }
 
     #[test]

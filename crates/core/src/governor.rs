@@ -92,9 +92,16 @@ impl OverloadGovernor {
     /// Force the escalation level (warm restart: a resumed capture keeps
     /// the degradation posture it checkpointed with instead of starting
     /// relaxed and thrashing back up under sustained pressure).
-    pub fn restore_level(&mut self, level: u8) {
+    ///
+    /// `now_ns` re-anchors the hysteresis clock at the restore point:
+    /// the restored level is held for at least one full `tick_ns`
+    /// window, so the first post-restart evaluation — taken against
+    /// whatever transient pressure the refilling arena shows — cannot
+    /// immediately re-escalate (or relax) the ladder.
+    pub fn restore_level(&mut self, level: u8, now_ns: u64) {
         self.level = level.min(3);
         self.calm = 0;
+        self.last_tick_ns = Some(now_ns);
         self.stats.max_level = self.stats.max_level.max(self.level);
     }
 
@@ -218,6 +225,24 @@ mod tests {
         assert_eq!(g.level(), 1, "calm streak must restart");
         g.tick(40, 0.10);
         assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn restore_re_anchors_the_hysteresis_clock() {
+        let mut g = OverloadGovernor::new(GovernorConfig {
+            tick_ns: 1_000,
+            ..Default::default()
+        });
+        g.restore_level(1, 5_000);
+        assert_eq!(g.level(), 1);
+        // Inside the re-anchored window the level is frozen: a pressure
+        // spike right after restart cannot re-escalate...
+        assert_eq!(g.tick(5_100, 0.99), 1);
+        // ...and a lull cannot start the calm countdown early.
+        assert_eq!(g.tick(5_900, 0.0), 1);
+        assert_eq!(g.stats().ticks, 0, "no evaluation inside the window");
+        // Once a full tick window has elapsed, evaluation resumes.
+        assert_eq!(g.tick(6_000, 0.99), 3);
     }
 
     #[test]

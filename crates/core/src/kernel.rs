@@ -246,6 +246,10 @@ pub struct ScapKernel {
     /// blackout never counts as inactivity (the process was down, the
     /// streams were not idle).
     resume_epoch_pending: bool,
+    /// The multi-tenant attachment table (`scapd`), carried opaquely so
+    /// tenant attachments survive checkpoint/restore with the capture.
+    /// Empty for single-tenant captures.
+    tenant_table: Vec<checkpoint::TenantImage>,
 }
 
 impl ScapKernel {
@@ -291,6 +295,7 @@ impl ScapKernel {
             flight: FlightRecorder::new(ncores, flight_cap),
             worker_heartbeats: 0,
             resume_epoch_pending: false,
+            tenant_table: Vec::new(),
             cfg,
         }
     }
@@ -2289,6 +2294,20 @@ impl ScapKernel {
     // Warm restart: checkpoint / restore / hot-reload
     // -----------------------------------------------------------------
 
+    /// Install the multi-tenant attachment table carried in checkpoints.
+    /// The kernel treats it as opaque payload: `scapd` keeps it current
+    /// as tenants attach/detach so every checkpoint written through the
+    /// normal path is crash-consistent with the tenant registry.
+    pub fn set_tenant_table(&mut self, tenants: Vec<checkpoint::TenantImage>) {
+        self.tenant_table = tenants;
+    }
+
+    /// The tenant table restored from a checkpoint (empty when the
+    /// capture is single-tenant).
+    pub fn tenant_table(&self) -> &[checkpoint::TenantImage] {
+        &self.tenant_table
+    }
+
     /// Snapshot the full kernel state into checkpoint-file bytes. The
     /// capture keeps running — this is the §4 two-instance trick applied
     /// to one instance: the snapshot is taken between packets, so it is
@@ -2343,7 +2362,14 @@ impl ScapKernel {
         }
         let fdir = self.nic.fdir().filters();
         self.stats.resilience.checkpoints_written += 1;
-        let bytes = checkpoint::encode_image(seq, &self.cfg, &globals, &streams, &fdir);
+        let bytes = checkpoint::encode_image(
+            seq,
+            &self.cfg,
+            &globals,
+            &streams,
+            &fdir,
+            &self.tenant_table,
+        );
         self.flight.emit(
             0,
             FlightEvent::new(
@@ -2371,7 +2397,12 @@ impl ScapKernel {
         cfg.faults = faults;
         let mut k = ScapKernel::new(cfg);
         k.uid_counter = img.globals.uid_counter;
-        k.governor.restore_level(img.globals.governor_level);
+        // Re-anchor the governor's hysteresis clock at the checkpoint
+        // timestamp: the first post-restart tick sees transient pressure
+        // (refilling arena, replayed backlog) and must not re-escalate.
+        k.governor
+            .restore_level(img.globals.governor_level, img.globals.ts_ns);
+        k.tenant_table = img.tenants.clone();
         let reasm_cfg =
             ReasmConfig::for_mode(k.cfg.reassembly_mode).with_policy(k.cfg.overlap_policy);
         let mut resumed = 0u64;

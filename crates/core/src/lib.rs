@@ -65,9 +65,10 @@ pub mod kernel;
 pub mod live;
 pub mod sharing;
 pub mod stack;
+pub mod tenant;
 
-pub use checkpoint::{CheckpointError, CheckpointImage};
-pub use config::{ConfigDelta, CutoffPolicy, PriorityPolicy, ScapConfig};
+pub use checkpoint::{CheckpointError, CheckpointImage, TenantImage};
+pub use config::{ConfigDelta, ConfigError, CutoffPolicy, PriorityPolicy, ScapConfig};
 pub use event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
 pub use governor::{GovernorConfig, GovernorStats, OverloadGovernor};
 pub use kernel::{ControlOp, ResilienceStats, ScapKernel, ScapStats};
@@ -75,8 +76,13 @@ pub use live::{
     mangle_packets, BuildError, CaptureError, EventSink, Scap, ScapBuilder, StatsHandler,
     StreamCtx, WorkerStatus,
 };
-pub use sharing::{union_config, AppSlot, SharedApp, SharedApps};
+pub use sharing::{
+    union_config, union_priorities, union_requirements, AppSlot, Requirement, SharedApp, SharedApps,
+};
 pub use stack::{apps, ScapSimStack, SimApp};
+pub use tenant::{
+    AdmissionError, Delivery, Tenant, TenantEngine, TenantSpec, TenantState, TenantStats,
+};
 
 // Re-export the vocabulary types applications see.
 pub use scap_faults::FaultPlan;

@@ -44,7 +44,7 @@
 //! from [`Scap::last_capture_error`].
 
 use crate::checkpoint::{self, CheckpointError};
-use crate::config::{ConfigDelta, ScapConfig};
+use crate::config::{ConfigDelta, ConfigError, ScapConfig};
 use crate::event::{Event, EventKind, PacketRecord, StreamSnapshot};
 use crate::kernel::{ControlOp, ScapKernel, ScapStats};
 use scap_faults::{FaultPlan, FrameFaultStats, WorkerFault, WorkerFaultKind};
@@ -1155,15 +1155,45 @@ impl Scap {
         checkpoint::write_atomic(path.as_ref(), &bytes)
     }
 
-    /// Hot-reconfiguration: apply a configuration delta to the capture.
+    /// Hot-reconfiguration: validate and apply a configuration delta to
+    /// the capture.
     ///
-    /// Before the first capture it rewrites the pending configuration;
-    /// on a socket with live kernel state (resumed, or between captures)
-    /// it routes through the kernel's control path, so widened cutoffs
-    /// re-open streams exactly like per-stream `ControlOp::SetCutoff`
-    /// does — clearing `cutoff_exceeded` and uninstalling stale NIC drop
-    /// filters.
+    /// Validation ([`ConfigDelta::validate`]) rejects a delta that
+    /// narrows the default cutoff while wider per-direction or
+    /// per-class overrides stay installed — applying it would silently
+    /// leave the overridden streams delivering beyond the new default.
+    /// On `Err` the configuration is untouched.
+    ///
+    /// Before the first capture an accepted delta rewrites the pending
+    /// configuration; on a socket with live kernel state (resumed, or
+    /// between captures) it routes through the kernel's control path,
+    /// so widened cutoffs re-open streams exactly like per-stream
+    /// `ControlOp::SetCutoff` does — clearing `cutoff_exceeded` and
+    /// uninstalling stale NIC drop filters.
+    pub fn try_apply_config(&mut self, delta: ConfigDelta) -> Result<(), ConfigError> {
+        let installed = self
+            .kernel
+            .as_ref()
+            .map(|k| k.config())
+            .or(self.cfg.as_ref());
+        if let Some(cfg) = installed {
+            delta.validate(cfg)?;
+        }
+        self.apply_unchecked(delta);
+        Ok(())
+    }
+
+    /// Hot-reconfiguration without validation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "silently accepts deltas that conflict with installed \
+                per-direction/class cutoffs; use `try_apply_config`"
+    )]
     pub fn apply_config(&mut self, delta: ConfigDelta) {
+        self.apply_unchecked(delta);
+    }
+
+    fn apply_unchecked(&mut self, delta: ConfigDelta) {
         if let Some(kernel) = self.kernel.as_mut() {
             kernel.apply_config(delta);
             if let Some(cfg) = self.cfg.as_mut() {
@@ -1311,6 +1341,44 @@ mod tests {
         let delivered = seen.load(Ordering::Relaxed);
         assert!(delivered > 0);
         assert!(stats.stack.discarded_packets > 0);
+    }
+
+    #[test]
+    fn try_apply_config_rejects_conflicting_narrowing() {
+        let mut scap = Scap::builder()
+            .cutoff(1_000)
+            .cutoff_class("port 80", 50_000)
+            .try_build()
+            .unwrap();
+        // Narrowing the default below the installed class override is
+        // rejected and leaves the configuration untouched.
+        let err = scap
+            .try_apply_config(ConfigDelta {
+                cutoff_default: Some(Some(10)),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::CutoffConflict {
+                new_default: Some(10),
+                widest_override: Some(50_000),
+            }
+        );
+        // Widening generalizes the policy — the class override is
+        // cleared — after which the same narrowing is accepted.
+        scap.try_apply_config(ConfigDelta {
+            cutoff_default: Some(Some(100_000)),
+            ..Default::default()
+        })
+        .unwrap();
+        scap.try_apply_config(ConfigDelta {
+            cutoff_default: Some(Some(10)),
+            ..Default::default()
+        })
+        .unwrap();
+        let stats = scap.start_capture(trace());
+        assert!(stats.stack.streams_reported > 0);
     }
 
     #[test]

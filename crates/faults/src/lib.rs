@@ -145,6 +145,41 @@ pub struct WorkerFault {
     pub kind: WorkerFaultKind,
 }
 
+/// What a scheduled tenant fault does (multi-tenant `scapd` captures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantFaultKind {
+    /// The tenant's consumer stops draining its delivery queue after
+    /// this many delivered events (a stalled client).
+    StallConsumer {
+        /// Deliveries the tenant consumes normally before wedging.
+        after_events: u64,
+    },
+    /// The tenant attaches with a quota-busting configuration: an
+    /// unlimited cutoff and the largest representable share request.
+    QuotaBuster,
+    /// The tenant detaches abruptly mid-stream after this many
+    /// delivered events (no drain, no goodbye).
+    Disconnect {
+        /// Deliveries before the tenant vanishes.
+        after_events: u64,
+    },
+    /// The tenant detaches and immediately re-attaches this many times
+    /// in a row (attach/detach storm against admission control).
+    AttachStorm {
+        /// Detach/re-attach cycles to perform.
+        cycles: u32,
+    },
+}
+
+/// One scheduled fault against a tenant of a shared capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantFault {
+    /// Index of the tenant (attach order) the fault targets.
+    pub tenant: usize,
+    /// What happens.
+    pub kind: TenantFaultKind,
+}
+
 /// A complete seeded fault schedule for one capture run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -164,6 +199,8 @@ pub struct FaultPlan {
     pub flight: FlightFaultConfig,
     /// Scheduled worker stalls/panics (live driver only).
     pub workers: Vec<WorkerFault>,
+    /// Scheduled tenant misbehaviour (multi-tenant `scapd` captures).
+    pub tenants: Vec<TenantFault>,
     /// Kill the whole capture process after this many packets have been
     /// admitted at the NIC (live driver only; `None` = never). The
     /// capture stops dead — no drain, no final events — exactly like a
@@ -178,6 +215,7 @@ const SALT_FDIR: u64 = 0x66646972; // "fdir"
 const SALT_RING: u64 = 0x72696e67; // "ring"
 const SALT_ARENA: u64 = 0x6172656e; // "aren"
 const SALT_STORE: u64 = 0x73746f72; // "stor"
+const SALT_TENANT: u64 = 0x746e6e74; // "tnnt"
 
 impl FaultPlan {
     /// A quiet plan (no faults) with the given seed.
@@ -238,8 +276,63 @@ impl FaultPlan {
                     kind: WorkerFaultKind::Stall(80_000_000),
                 },
             ],
+            tenants: Vec::new(),
             kill_at_packet: None,
         }
+    }
+
+    /// The canonical hostile-tenant preset used by the isolation chaos
+    /// test and `--exp tenants`: one tenant (the *hostile* one, chosen
+    /// deterministically from the seed) stalls its consumer early,
+    /// attaches with a quota-busting configuration, and later
+    /// disconnects mid-stream, while a second scheduled fault hammers
+    /// admission control with an attach/detach storm. All offsets are
+    /// derived from `seed ^ SALT_TENANT`, so the schedule is a pure
+    /// function of the seed and independent of every other fault layer.
+    pub fn tenant_storm(seed: u64, ntenants: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ SALT_TENANT);
+        let n = ntenants.max(1);
+        let hostile = rng.random_range(0..n);
+        let stall_after = rng.random_range(8..64);
+        let disconnect_after = stall_after + rng.random_range(200..500);
+        let storm_cycles = rng.random_range(3..8);
+        FaultPlan {
+            seed,
+            tenants: vec![
+                TenantFault {
+                    tenant: hostile,
+                    kind: TenantFaultKind::QuotaBuster,
+                },
+                TenantFault {
+                    tenant: hostile,
+                    kind: TenantFaultKind::StallConsumer {
+                        after_events: stall_after,
+                    },
+                },
+                TenantFault {
+                    tenant: hostile,
+                    kind: TenantFaultKind::Disconnect {
+                        after_events: disconnect_after,
+                    },
+                },
+                TenantFault {
+                    tenant: (hostile + 1) % n,
+                    kind: TenantFaultKind::AttachStorm {
+                        cycles: storm_cycles,
+                    },
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    /// The scheduled faults for one tenant index, in schedule order.
+    pub fn tenant_faults(&self, tenant: usize) -> Vec<TenantFault> {
+        self.tenants
+            .iter()
+            .copied()
+            .filter(|f| f.tenant == tenant)
+            .collect()
     }
 
     /// Injector for the trace boundary.
@@ -569,6 +662,27 @@ mod tests {
             assert_eq!(fa, fb);
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn tenant_storm_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::tenant_storm(42, 4);
+        let b = FaultPlan::tenant_storm(42, 4);
+        assert_eq!(a, b, "same seed must produce an identical schedule");
+        let c = FaultPlan::tenant_storm(43, 4);
+        assert_ne!(a.tenants, c.tenants, "different seeds should differ");
+        // The hostile tenant gets the quota-buster, the stall, and the
+        // disconnect; some other tenant gets the attach storm.
+        let hostile = a.tenants[0].tenant;
+        assert_eq!(a.tenant_faults(hostile).len(), 3);
+        assert!(a
+            .tenants
+            .iter()
+            .any(|f| matches!(f.kind, TenantFaultKind::AttachStorm { .. }) && f.tenant != hostile));
+        // The tenant layer stays quiet in every other injector: the
+        // schedule lives in its own salted stream.
+        assert_eq!(a.frames, FrameFaultConfig::default());
+        assert_eq!(a.kill_at_packet, None);
     }
 
     #[test]

@@ -137,6 +137,18 @@ flight_ids! {
         /// A terminated stream was sealed into the archive
         /// (`a` = payload bytes archived).
         StoreStreamArchived => "store_stream_archived",
+        /// A tenant attached to a shared capture (`uid` = tenant id,
+        /// `a` = memory share in permille, `b` = disk share in permille).
+        TenantAttached => "tenant_attached",
+        /// A tenant detached cleanly (`uid` = tenant id, `a` = delivered
+        /// bytes at detach).
+        TenantDetached => "tenant_detached",
+        /// A slow tenant was degraded — its delivery cutoff tightened
+        /// (`uid` = tenant id, `a` = the degraded cutoff).
+        TenantDegraded => "tenant_degraded",
+        /// A persistently slow tenant was forcibly disconnected
+        /// (`uid` = tenant id, `a` = bytes dropped on its queue).
+        TenantDisconnected => "tenant_disconnected",
     }
 }
 
@@ -161,6 +173,8 @@ flight_ids! {
         Checkpoint => "checkpoint",
         /// The persistent stream archive (`scap-store`).
         Store => "store",
+        /// Per-tenant demux and delivery queues (`scapd`).
+        Tenant => "tenant",
     }
 }
 
@@ -204,6 +218,11 @@ flight_ids! {
         PriorityEvict => "priority_evict",
         /// Defensive internal path (state vanished mid-flight).
         Internal => "internal",
+        /// A tenant's bounded delivery queue was full (slow consumer).
+        SlowConsumer => "slow_consumer",
+        /// Delivery trimmed/suppressed by a tenant quota (degraded
+        /// cutoff or disconnected tenant).
+        TenantQuota => "tenant_quota",
     }
 }
 

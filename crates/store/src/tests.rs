@@ -178,6 +178,48 @@ fn retention_prunes_lowest_priority_first_and_compaction_reclaims() {
 }
 
 #[test]
+fn tenant_shares_split_the_budget_and_isolate_retention() {
+    let dir = tmp_dir("tenant-share");
+    let base = StoreConfig::new(&dir)
+        .segment_bytes(4096)
+        .disk_budget(2_000);
+
+    // Share math: permille of the pool, directory per tenant, clamp at
+    // 1000‰; an unlimited pool stays unlimited.
+    let a_cfg = base.tenant_share("alpha", 700);
+    let b_cfg = base.tenant_share("beta", 300);
+    assert_eq!(a_cfg.disk_budget, Some(1_400));
+    assert_eq!(b_cfg.disk_budget, Some(600));
+    assert_eq!(a_cfg.dir, dir.join("alpha"));
+    assert_eq!(a_cfg.segment_bytes, 4096);
+    assert_eq!(base.tenant_share("all", 2000).disk_budget, Some(2_000));
+    assert_eq!(
+        StoreConfig::new(&dir).tenant_share("x", 10).disk_budget,
+        None
+    );
+
+    // Isolation: beta overruns its 600-byte share and prunes its own
+    // oldest stream; alpha's archive is untouched.
+    let mut a = StoreWriter::open(a_cfg).unwrap();
+    let mut b = StoreWriter::open(b_cfg).unwrap();
+    archive_one(&mut a, &snap(1, 80, 0, 1_000, 600), &payload(1, 600), &[]);
+    archive_one(&mut b, &snap(2, 53, 0, 2_000, 400), &payload(2, 400), &[]);
+    archive_one(&mut b, &snap(3, 53, 0, 3_000, 400), &payload(3, 400), &[]);
+    let a_stats = a.finish().unwrap();
+    let b_stats = b.finish().unwrap();
+    assert_eq!(a_stats.streams_pruned, 0);
+    assert_eq!(b_stats.streams_pruned, 1);
+    drop((a, b));
+
+    let ra = StoreReader::open(dir.join("alpha")).unwrap();
+    let rb = StoreReader::open(dir.join("beta")).unwrap();
+    assert_eq!(ra.len(), 1);
+    assert_eq!(ra.read_stream(1).unwrap()[0], payload(1, 600));
+    assert_eq!(rb.len(), 1);
+    assert!(rb.get(2).is_none(), "beta's oldest stream was its victim");
+}
+
+#[test]
 fn torn_append_is_recovered_and_committed_streams_survive() {
     let dir = tmp_dir("torn");
     let mut w = StoreWriter::open(StoreConfig::new(&dir)).unwrap();

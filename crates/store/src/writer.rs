@@ -55,6 +55,23 @@ impl StoreConfig {
         self.disk_budget = Some(bytes);
         self
     }
+
+    /// Derive a tenant-scoped config: archive under `<dir>/<tenant>`
+    /// with `share` permille of this config's disk budget (an unlimited
+    /// budget stays unlimited — shares only divide a finite pool). This
+    /// is how a multi-tenant daemon turns one archive budget into
+    /// isolated per-tenant retention: each tenant's writer prunes only
+    /// its own streams, so one tenant filling its share never evicts
+    /// another tenant's data.
+    pub fn tenant_share(&self, tenant: &str, share: u32) -> Self {
+        StoreConfig {
+            dir: self.dir.join(tenant),
+            segment_bytes: self.segment_bytes,
+            disk_budget: self
+                .disk_budget
+                .map(|b| b * u64::from(share.min(1000)) / 1000),
+        }
+    }
 }
 
 /// Per-priority retention accounting.

@@ -193,6 +193,15 @@ static_ids! {
         StoreBytesReclaimed => "store_bytes_reclaimed",
         /// Torn-tail bytes dropped during archive recovery.
         StoreTornBytesRecovered => "store_torn_bytes_recovered",
+        /// Bytes handed to tenant delivery queues (`scapd` demux).
+        TenantDeliveredBytes => "tenant_delivered_bytes",
+        /// Bytes dropped on full tenant queues (slow consumers).
+        TenantDroppedBytes => "tenant_dropped_bytes",
+        /// Bytes withheld from tenants by quota policy (degraded cutoff
+        /// or disconnected tenant).
+        TenantDiscardedBytes => "tenant_discarded_bytes",
+        /// Tenants forcibly disconnected by the slow-consumer ladder.
+        TenantDisconnects => "tenant_disconnects",
     }
 }
 
