@@ -95,6 +95,45 @@ echo "$top_log" | grep -q "capture complete" \
     || { echo "scaptop never completed: $top_log"; exit 1; }
 echo "$top_log" | grep -q "top drop reasons" \
     || { echo "scaptop printed no drop attribution"; exit 1; }
+fp_top_log=$(cargo run --release -p scap-bench --bin scaptop -- \
+    --gen 2 --interval 2000 --topk 5 --fastpath) \
+    || { echo "scaptop --fastpath smoke run failed"; exit 1; }
+echo "$fp_top_log" | grep -q "fast path      burst fill" \
+    || { echo "scaptop --fastpath rendered no fast-path panel"; exit 1; }
+echo "$fp_top_log" | grep -q "flow table     load" \
+    || { echo "scaptop rendered no flow-table panel"; exit 1; }
+
+echo "== fastpath micro-bench smoke =="
+# `cargo bench --no-run` above proved the bench target compiles; this
+# runs the fastpath groups for real so a wall-clock regression or a
+# panic in the batched pipeline fails the gate.
+bench_log=$(cargo bench -p scap-bench --bench micro 2>&1) \
+    || { echo "micro-bench run failed: $bench_log"; exit 1; }
+echo "$bench_log" | grep -q "fastpath/hash_burst_64" \
+    || { echo "fastpath stage benches missing from micro-bench output"; exit 1; }
+echo "$bench_log" | grep -q "fastpath_dispatch/bypass_burst64_128k_flows" \
+    || { echo "fastpath dispatch benches missing from micro-bench output"; exit 1; }
+echo "$bench_log" | grep -q "flow_table/hit_probe_1m_entries" \
+    || { echo "million-entry flow-table probe bench missing"; exit 1; }
+
+echo "== fastpath throughput gate =="
+fp_out=$(mktemp -d)
+# The experiment asserts conservation, exact flight reconciliation
+# (with induced ring-overflow drops), identical delivery on both
+# dispatch paths, and bypass > classic pkts/s at 1M+ concurrent
+# flows; any violation panics, so a zero exit is the proof.
+cargo run --release -p scap-bench --bin experiments -- \
+    --exp fastpath --scale smoke --out "$fp_out" >/dev/null \
+    || { echo "fastpath throughput experiment failed"; exit 1; }
+grep -q '"fastpath"' "$fp_out/BENCH_summary.json" \
+    || { echo "BENCH_summary.json lacks a fastpath section"; exit 1; }
+grep -q '"pkts_per_sec"' "$fp_out/BENCH_summary.json" \
+    || { echo "fastpath section lacks a pkts_per_sec field"; exit 1; }
+grep -q '"burst_ablation"' "$fp_out/BENCH_summary.json" \
+    || { echo "fastpath section lacks the burst ablation"; exit 1; }
+test -s "$fp_out/fastpath_throughput.csv" \
+    || { echo "missing fastpath_throughput.csv"; exit 1; }
+rm -rf "$fp_out"
 
 echo "== scapstore smoke =="
 store_out=$(mktemp -d)

@@ -104,6 +104,41 @@ fn bench_flow_table(c: &mut Criterion) {
         )
     });
     g.finish();
+
+    // Probe latency at the scale the fast path is built for: a table
+    // holding a million live entries, hit from the reverse direction
+    // (canonicalization + full-load probe walk).
+    let mut t = FlowTable::new(FlowTableConfig::default(), 7);
+    let mkey = |i: u32| {
+        FlowKey::new_v4(
+            [10, (i >> 16) as u8, (i >> 8) as u8, i as u8],
+            [93, 184, 216, 34],
+            1024 + (i % 60000) as u16,
+            443,
+            Transport::Tcp,
+        )
+    };
+    const MFLOWS: u32 = 1 << 20;
+    for i in 0..MFLOWS {
+        t.lookup_or_insert(&mkey(i), u64::from(i))
+            .expect("unbounded table");
+    }
+    let probe_keys: Vec<FlowKey> = (0..1024u32)
+        .map(|j| mkey(j * (MFLOWS / 1024)).reversed())
+        .collect();
+    let mut g = c.benchmark_group("flow_table");
+    g.throughput(Throughput::Elements(probe_keys.len() as u64));
+    g.bench_function("hit_probe_1m_entries", |b| {
+        b.iter(|| {
+            let mut found = 0u32;
+            for k in &probe_keys {
+                found += u32::from(t.lookup(black_box(k)).is_some());
+            }
+            assert_eq!(found as usize, probe_keys.len());
+            black_box(found)
+        })
+    });
+    g.finish();
 }
 
 fn bench_filter(c: &mut Criterion) {
@@ -203,6 +238,129 @@ fn bench_telemetry(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fastpath_stages(c: &mut Criterion) {
+    use scap_fastpath::{hash_burst, pull_burst, DEFAULT_BURST};
+    use scap_nic::RxQueue;
+
+    let keys: Vec<Option<FlowKey>> = (0..DEFAULT_BURST as u32)
+        .map(|i| {
+            Some(FlowKey::new_v4(
+                [10, 0, (i >> 8) as u8, i as u8],
+                [93, 184, 216, 34],
+                1024 + (i % 60000) as u16,
+                443,
+                Transport::Udp,
+            ))
+        })
+        .collect();
+    let mut g = c.benchmark_group("fastpath");
+    g.throughput(Throughput::Elements(DEFAULT_BURST as u64));
+    g.bench_function("hash_burst_64", |b| {
+        let mut out = Vec::with_capacity(DEFAULT_BURST);
+        b.iter(|| {
+            hash_burst(0x5CA9, black_box(keys.iter().copied()), &mut out);
+            black_box(out.len())
+        })
+    });
+    g.bench_function("pull_burst_64", |b| {
+        b.iter_batched(
+            || {
+                let mut ring = RxQueue::new(128);
+                for i in 0..DEFAULT_BURST as u32 {
+                    assert!(ring.push(i));
+                }
+                ring
+            },
+            |mut ring| {
+                let mut out = Vec::with_capacity(DEFAULT_BURST);
+                black_box(pull_burst(&mut ring, DEFAULT_BURST, &mut out))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Real wall-clock dispatch throughput (pkts/s) on a table preloaded
+/// with 128 K live flows: classic per-packet polling vs. the batched
+/// fast path at several burst sizes. The kernel is built and loaded
+/// once per row; each iteration replays a 4096-packet hit batch.
+fn bench_fastpath_dispatch(c: &mut Criterion) {
+    use scap::{DispatchMode, ScapConfig, ScapKernel};
+
+    const FLOWS: u32 = 1 << 17;
+    const HITS: usize = 4096;
+
+    let udp = |i: u32, reversed: bool| {
+        let src = [10, (i >> 16) as u8, (i >> 8) as u8, i as u8];
+        let dst = [172, 16 + (i >> 16) as u8, (i >> 8) as u8, i as u8];
+        let sport = 1024 + (i % 60_000) as u16;
+        if reversed {
+            PacketBuilder::udp_v4(dst, src, 53, sport, &[])
+        } else {
+            PacketBuilder::udp_v4(src, dst, sport, 53, &[])
+        }
+    };
+    let drain = |kernel: &mut ScapKernel, fastpath: bool, now: u64| {
+        for core in 0..kernel.ncores() {
+            loop {
+                let w = if fastpath {
+                    kernel.poll_burst(core, now)
+                } else {
+                    kernel.kernel_poll(core, now)
+                };
+                if w.is_none() {
+                    break;
+                }
+            }
+            while kernel.next_event(core).is_some() {}
+        }
+    };
+
+    let hit_pkts: Vec<scap_trace::Packet> = (0..HITS as u32)
+        .map(|j| {
+            scap_trace::Packet::new(u64::from(FLOWS + j), udp(j * (FLOWS / HITS as u32), true))
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("fastpath_dispatch");
+    g.throughput(Throughput::Elements(HITS as u64));
+    for (id, mode, burst) in [
+        ("classic_128k_flows", DispatchMode::Classic, 64),
+        ("bypass_burst8_128k_flows", DispatchMode::Fastpath, 8),
+        ("bypass_burst64_128k_flows", DispatchMode::Fastpath, 64),
+        ("bypass_burst128_128k_flows", DispatchMode::Fastpath, 128),
+    ] {
+        let cfg = ScapConfig {
+            dispatch: mode,
+            fastpath_burst: burst,
+            inactivity_timeout_ns: u64::MAX / 2,
+            ..Default::default()
+        };
+        let mut kernel = ScapKernel::new(cfg);
+        let fastpath = mode == DispatchMode::Fastpath;
+        // Preload: one empty-payload UDP packet per flow keeps every
+        // record alive in the open-addressed table without touching
+        // the arena.
+        for i in 0..FLOWS {
+            kernel.nic_receive(&scap_trace::Packet::new(u64::from(i) + 1, udp(i, false)));
+            if i % 1024 == 1023 {
+                drain(&mut kernel, fastpath, u64::from(i) + 1);
+            }
+        }
+        drain(&mut kernel, fastpath, u64::from(FLOWS));
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                for p in &hit_pkts {
+                    kernel.nic_receive(black_box(p));
+                }
+                drain(&mut kernel, fastpath, u64::from(FLOWS) + HITS as u64);
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_scap_end_to_end(c: &mut Criterion) {
     use scap::apps::PatternMatchApp;
     use scap::{ScapConfig, ScapKernel, ScapSimStack};
@@ -256,6 +414,8 @@ criterion_group!(
     bench_chunk_assembly,
     bench_generator,
     bench_telemetry,
+    bench_fastpath_stages,
+    bench_fastpath_dispatch,
     bench_scap_end_to_end,
 );
 criterion_main!(benches);

@@ -50,6 +50,7 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scapcat [--gen MB out.pcap] [--cutoff BYTES] [--top N] \
+             [--fastpath] [--burst FRAMES] \
              [--stats-interval PKTS] [--write out.pcap] [--trace UID|FILTER] \
              [--supervise [--checkpoint-every PKTS] [--ckpt FILE] [--kill-at PKT]] \
              <file.pcap> [filter]"
@@ -80,6 +81,8 @@ fn main() {
     let mut write_out: Option<String> = None;
     let mut trace_query: Option<String> = None;
     let mut supervise = false;
+    let mut fastpath = false;
+    let mut burst: Option<usize> = None;
     let mut kill_at: Option<u64> = None;
     let mut ckpt_every: u64 = 1000;
     let mut ckpt_path: Option<String> = None;
@@ -88,6 +91,16 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--supervise" => supervise = true,
+            "--fastpath" => fastpath = true,
+            "--burst" => {
+                i += 1;
+                burst = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| die("--burst needs a frame count")),
+                );
+            }
             "--kill-at" => {
                 i += 1;
                 kill_at = Some(
@@ -169,7 +182,9 @@ fn main() {
 
     if supervise {
         let ckpt = ckpt_path.unwrap_or_else(|| format!("{path}.ckpt"));
-        run_supervised(packets, filter, cutoff, kill_at, ckpt_every, &ckpt);
+        run_supervised(
+            packets, filter, cutoff, fastpath, burst, kill_at, ckpt_every, &ckpt,
+        );
         return;
     }
 
@@ -219,6 +234,12 @@ fn main() {
     let mut builder = Scap::builder().filter(filter).worker_threads(2);
     if let Some(c) = cutoff {
         builder = builder.cutoff(c);
+    }
+    if fastpath {
+        builder = builder.fastpath(true);
+    }
+    if let Some(n) = burst {
+        builder = builder.fastpath_burst(n);
     }
     if let Some(n) = stats_interval {
         builder = builder.stats_interval(n);
@@ -350,10 +371,13 @@ fn main() {
 /// latest checkpoint and feed it the packets the dead run never admitted.
 /// The packets between the last checkpoint and the crash are the blackout
 /// window — resumed streams carry the RESUMED flag and a bounded gap.
+#[allow(clippy::too_many_arguments)]
 fn run_supervised(
     packets: Vec<scap_trace::Packet>,
     filter: &str,
     cutoff: Option<u64>,
+    fastpath: bool,
+    burst: Option<usize>,
     kill_at: Option<u64>,
     ckpt_every: u64,
     ckpt: &str,
@@ -374,6 +398,12 @@ fn run_supervised(
             .checkpoint_every(ckpt_every, ckpt);
         if let Some(c) = cutoff {
             builder = builder.cutoff(c);
+        }
+        if fastpath {
+            builder = builder.fastpath(true);
+        }
+        if let Some(n) = burst {
+            builder = builder.fastpath_burst(n);
         }
         if let Some(n) = kill.take() {
             builder = builder.fault_plan(scap::FaultPlan {

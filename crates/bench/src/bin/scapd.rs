@@ -227,7 +227,11 @@ impl Daemon {
     fn reconfigure(&mut self, kernel: &mut ScapKernel) {
         kernel.set_tenant_table(self.engine.images());
         match self.engine.config_delta(self.base.clone()) {
-            Ok(delta) => kernel.apply_config(delta),
+            Ok(delta) => {
+                if let Err(e) = kernel.try_apply_config(delta) {
+                    die(&format!("merged config conflicts with live config: {e}"));
+                }
+            }
             Err(e) => die(&format!("merged config no longer compiles: {e}")),
         }
     }

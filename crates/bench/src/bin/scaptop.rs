@@ -28,7 +28,7 @@
 //! writes its `scapd-done` marker.
 
 use scap::telemetry::{Gauge, Metric, Snapshot};
-use scap::{EventKind, ScapConfig, ScapKernel};
+use scap::{DispatchMode, EventKind, ScapConfig, ScapKernel};
 use scap_flight::{attribution, FlightKind};
 use scap_trace::gen::{CampusMix, CampusMixConfig};
 use scap_trace::pcap::PcapReader;
@@ -53,7 +53,9 @@ struct Dashboard {
     topk: usize,
     delay_ms: u64,
     ansi: bool,
+    fastpath: bool,
     prev_ts_ns: u64,
+    prev_fp_pkts: u64,
     prev_queues: Vec<QueuePrev>,
     /// uid -> (flow key, delivered bytes), fed by Data events.
     streams: HashMap<u64, (String, u64)>,
@@ -114,6 +116,37 @@ impl Dashboard {
             snap.gauge(0, Gauge::EventBacklog),
             snap.gauge(0, Gauge::FdirFilters),
         ));
+
+        // Flow-table health: load factor of the open-addressed index
+        // and mean probe length in cache-line groups per lookup.
+        let load = snap.gauge(0, Gauge::FlowLoadPermille);
+        let probe = snap.gauge(0, Gauge::FlowProbeCentigroups);
+        out.push_str(&format!(
+            "flow table     load {} [{}]   probe length {}.{:02} groups/lookup\n",
+            permille(load),
+            bar(load),
+            probe / 100,
+            probe % 100,
+        ));
+        // Poll-mode panel: how full the bursts run and the dispatch rate.
+        let fp_pkts = snap.total(Metric::FastpathPackets);
+        if self.fastpath {
+            let fill = snap.gauge(0, Gauge::FastpathFillPermille);
+            let fp_rate = if dt > 0.0 {
+                (fp_pkts - self.prev_fp_pkts) as f64 / dt
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "fast path      burst fill {} [{}]   {} bursts / {} pkts   {:.0} pkt/s (window)\n",
+                permille(fill),
+                bar(fill),
+                snap.total(Metric::FastpathBursts),
+                fp_pkts,
+                fp_rate,
+            ));
+        }
+        self.prev_fp_pkts = fp_pkts;
 
         // Drop breakdown straight from the flight recorder.
         let events = kernel.flight().events();
@@ -322,7 +355,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scaptop [file.pcap] [filter] [--gen MB] [--interval PKTS] \
-             [--topk N] [--cutoff BYTES] [--delay-ms MS] [--seed N] [--scapd DIR]"
+             [--topk N] [--cutoff BYTES] [--fastpath] [--burst FRAMES] \
+             [--delay-ms MS] [--seed N] [--scapd DIR]"
         );
         std::process::exit(0);
     }
@@ -332,6 +366,8 @@ fn main() {
     let mut interval: u64 = 1000;
     let mut topk: usize = 10;
     let mut cutoff: Option<u64> = None;
+    let mut fastpath = false;
+    let mut burst: Option<usize> = None;
     let mut delay_ms: u64 = 0;
     let mut seed: u64 = 42;
     let mut positional: Vec<&String> = Vec::new();
@@ -358,6 +394,11 @@ fn main() {
             "--cutoff" => {
                 i += 1;
                 cutoff = Some(numarg(&args, i, "--cutoff"));
+            }
+            "--fastpath" => fastpath = true,
+            "--burst" => {
+                i += 1;
+                burst = Some(numarg(&args, i, "--burst").max(1) as usize);
             }
             "--delay-ms" => {
                 i += 1;
@@ -416,6 +457,12 @@ fn main() {
     if let Some(c) = cutoff {
         config.cutoff.default = Some(c);
     }
+    if fastpath {
+        config.dispatch = DispatchMode::Fastpath;
+    }
+    if let Some(n) = burst {
+        config.fastpath_burst = n;
+    }
     let mut kernel = ScapKernel::new(config);
 
     let mut dash = Dashboard {
@@ -423,7 +470,9 @@ fn main() {
         topk,
         delay_ms,
         ansi: std::io::stdout().is_terminal(),
+        fastpath,
         prev_ts_ns: 0,
+        prev_fp_pkts: 0,
         prev_queues: Vec::new(),
         streams: HashMap::new(),
     };
@@ -434,7 +483,11 @@ fn main() {
         now = pkt.ts_ns;
         kernel.nic_receive(pkt);
         for core in 0..kernel.ncores() {
-            while kernel.kernel_poll(core, now).is_some() {}
+            if fastpath {
+                while kernel.poll_burst(core, now).is_some() {}
+            } else {
+                while kernel.kernel_poll(core, now).is_some() {}
+            }
             kernel.kernel_timers(core, now);
             while let Some(ev) = kernel.next_event(core) {
                 if let EventKind::Data { dir, chunk, .. } = ev.kind {

@@ -233,6 +233,58 @@ fn tenants_section(isolation: &FigureResult, conservation: Option<&FigureResult>
     format!("  \"tenants\": [{}]", items.join(", "))
 }
 
+/// The fast-path head-to-head (classic vs. kernel-bypass dispatch at
+/// 1M+ concurrent flows) plus the burst-size ablation, as one
+/// `"fastpath"` object with absolute `pkts_per_sec` figures.
+fn fastpath_section(throughput: &FigureResult, ablation: Option<&FigureResult>) -> String {
+    // Mpkt/s column -> absolute pkts/s.
+    let pps = |cell: &str| -> String {
+        cell.parse::<f64>()
+            .map(|v| format!("{:.0}", v * 1e6))
+            .unwrap_or_else(|_| "null".into())
+    };
+    let mut fields = Vec::new();
+    for r in throughput.rows.iter().filter(|r| r.len() >= 8) {
+        let key = if r[0] == "fastpath" {
+            "bypass"
+        } else {
+            "classic"
+        };
+        fields.push(format!(
+            "\"{}\": {{\"pkts_per_sec\": {}, \"cycles_per_pkt\": {}, \"burst\": {}, \
+             \"speedup\": {}}}",
+            key,
+            pps(&r[5]),
+            json_value(&r[4]),
+            json_value(&r[1]),
+            json_value(&r[6])
+        ));
+    }
+    if let Some(r) = throughput.rows.iter().find(|r| r.len() >= 4) {
+        fields.push(format!("\"concurrent_flows\": {}", json_value(&r[3])));
+    }
+    if let Some(a) = ablation {
+        let items: Vec<String> = a
+            .rows
+            .iter()
+            .filter(|r| r.len() >= 6 && r[0] == "fastpath")
+            .map(|r| {
+                format!(
+                    "{{\"burst\": {}, \"pkts_per_sec\": {}, \"cycles_per_pkt\": {}, \
+                     \"speedup\": {}, \"fill_permille\": {}}}",
+                    json_value(&r[1]),
+                    pps(&r[3]),
+                    json_value(&r[2]),
+                    json_value(&r[4]),
+                    json_value(&r[5])
+                )
+            })
+            .collect();
+        fields.push(format!("\"burst_ablation\": [{}]", items.join(", ")));
+    }
+    format!("  \"fastpath\": {{{}}}", fields.join(", "))
+}
+
 /// Render the summary document from every figure produced in this run.
 pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String {
     let mut sections = vec![
@@ -268,6 +320,12 @@ pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String
     }
     if let Some(fig) = find(results, "tenants_isolation") {
         sections.push(tenants_section(fig, find(results, "tenants_conservation")));
+    }
+    if let Some(fig) = find(results, "fastpath_throughput") {
+        sections.push(fastpath_section(
+            fig,
+            find(results, "fastpath_burst_ablation"),
+        ));
     }
     format!("{{\n{}\n}}\n", sections.join(",\n"))
 }
@@ -499,6 +557,85 @@ mod tests {
         assert!(
             full.contains("\"journal_dropped_bytes\": 100, \"strikes\": 8, \"disconnected\": true")
         );
+    }
+
+    #[test]
+    fn fastpath_section_pkts_per_sec_and_ablation() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let results = vec![
+            fig(
+                "fastpath_throughput",
+                &[
+                    "path",
+                    "burst",
+                    "wire_pkts",
+                    "concurrent_flows",
+                    "cycles/pkt",
+                    "Mpkt/s",
+                    "speedup",
+                    "induced_drops",
+                ],
+                vec![
+                    vec![
+                        "classic".into(),
+                        "-".into(),
+                        "2097152".into(),
+                        "1048576".into(),
+                        "990.2".into(),
+                        "16.16".into(),
+                        "1.00".into(),
+                        "3232".into(),
+                    ],
+                    vec![
+                        "fastpath".into(),
+                        "64".into(),
+                        "2097152".into(),
+                        "1048576".into(),
+                        "549.6".into(),
+                        "29.11".into(),
+                        "1.80".into(),
+                        "3232".into(),
+                    ],
+                ],
+            ),
+            fig(
+                "fastpath_burst_ablation",
+                &[
+                    "path",
+                    "burst",
+                    "cycles/pkt",
+                    "Mpkt/s",
+                    "speedup",
+                    "fill_permille",
+                ],
+                vec![
+                    vec![
+                        "classic".into(),
+                        "-".into(),
+                        "984.5".into(),
+                        "16.25".into(),
+                        "1.00".into(),
+                        "-".into(),
+                    ],
+                    vec![
+                        "fastpath".into(),
+                        "8".into(),
+                        "609.5".into(),
+                        "26.25".into(),
+                        "1.62".into(),
+                        "1000".into(),
+                    ],
+                ],
+            ),
+        ];
+        let out = render_bench_summary(&cfg, &results);
+        assert!(out.contains("\"fastpath\": {"));
+        assert!(out.contains("\"bypass\": {\"pkts_per_sec\": 29110000"));
+        assert!(out.contains("\"classic\": {\"pkts_per_sec\": 16160000"));
+        assert!(out.contains("\"concurrent_flows\": 1048576"));
+        assert!(out.contains("\"burst_ablation\": [{\"burst\": 8, \"pkts_per_sec\": 26250000"));
+        // The classic reference row stays out of the ablation array.
+        assert!(!out.contains("\"burst\": \"-\", \"pkts_per_sec\""));
     }
 
     #[test]

@@ -518,6 +518,11 @@ fn encode_config_body(cfg: &ScapConfig) -> Vec<u8> {
     put_u64(&mut b, cfg.telemetry_sample_interval_ns);
     put_u64(&mut b, cfg.telemetry_series_cap as u64);
     put_u64(&mut b, cfg.flight_ring_cap as u64);
+    b.push(match cfg.dispatch {
+        crate::config::DispatchMode::Classic => 0,
+        crate::config::DispatchMode::Fastpath => 1,
+    });
+    put_u64(&mut b, cfg.fastpath_burst as u64);
     b
 }
 
@@ -968,6 +973,12 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
     let telemetry_sample_interval_ns = c.u64()?;
     let telemetry_series_cap = c.u64()? as usize;
     let flight_ring_cap = c.u64()? as usize;
+    let dispatch = match c.u8()? {
+        0 => crate::config::DispatchMode::Classic,
+        1 => crate::config::DispatchMode::Fastpath,
+        other => return Err(corrupt(format!("unknown dispatch mode {other}"))),
+    };
+    let fastpath_burst = c.u64()? as usize;
     if cores == 0 || chunk_size == 0 || overlap >= chunk_size {
         return Err(corrupt("invalid capture geometry in config record"));
     }
@@ -1002,6 +1013,8 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
         telemetry_sample_interval_ns,
         telemetry_series_cap,
         flight_ring_cap,
+        dispatch,
+        fastpath_burst,
     })
 }
 

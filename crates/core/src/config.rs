@@ -86,6 +86,21 @@ impl PriorityPolicy {
     }
 }
 
+/// How packets move from the RX rings into the kernel pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// The emulated classic path: one softirq-style `kernel_poll` per
+    /// packet, each paying the full per-packet entry cost.
+    #[default]
+    Classic,
+    /// The kernel-bypass poll-mode path: `poll_burst` pulls packets in
+    /// bursts and runs batched stages (parse → hash → flow lookup →
+    /// reassembly → delivery), amortizing the entry cost and skipping
+    /// the per-packet kernel/user copy. Delivered streams are
+    /// byte-identical to [`DispatchMode::Classic`].
+    Fastpath,
+}
+
 /// Why a [`ConfigDelta`] was rejected by validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -261,6 +276,11 @@ pub struct ScapConfig {
     /// always on; a full ring overwrites its oldest events and counts
     /// the overwrites.
     pub flight_ring_cap: usize,
+    /// How packets are dispatched from the RX rings (classic per-packet
+    /// emulated path vs. poll-mode kernel-bypass bursts).
+    pub dispatch: DispatchMode,
+    /// Frames pulled per burst on the fast path (clamped to ≥ 1).
+    pub fastpath_burst: usize,
 }
 
 impl Default for ScapConfig {
@@ -294,6 +314,8 @@ impl Default for ScapConfig {
             telemetry_sample_interval_ns: 5_000_000,
             telemetry_series_cap: 4096,
             flight_ring_cap: scap_flight::DEFAULT_RING_CAP,
+            dispatch: DispatchMode::Classic,
+            fastpath_burst: scap_fastpath::DEFAULT_BURST,
         }
     }
 }

@@ -68,7 +68,9 @@ pub mod stack;
 pub mod tenant;
 
 pub use checkpoint::{CheckpointError, CheckpointImage, TenantImage};
-pub use config::{ConfigDelta, ConfigError, CutoffPolicy, PriorityPolicy, ScapConfig};
+pub use config::{
+    ConfigDelta, ConfigError, CutoffPolicy, DispatchMode, PriorityPolicy, ScapConfig,
+};
 pub use event::{Event, EventKind, PacketRecord, StreamSnapshot, StreamUid};
 pub use governor::{GovernorConfig, GovernorStats, OverloadGovernor};
 pub use kernel::{ControlOp, ResilienceStats, ScapKernel, ScapStats};

@@ -306,6 +306,31 @@ impl ScapBuilder {
         self
     }
 
+    /// Select the dispatch path: the emulated per-packet classic path
+    /// or the poll-mode kernel-bypass fast path (`--fastpath`). The
+    /// delivered streams are byte-identical either way; only the cost
+    /// structure differs.
+    pub fn dispatch(mut self, mode: crate::DispatchMode) -> Self {
+        self.cfg.dispatch = mode;
+        self
+    }
+
+    /// Enable the poll-mode kernel-bypass fast path (shorthand for
+    /// [`ScapBuilder::dispatch`] with [`crate::DispatchMode::Fastpath`]).
+    pub fn fastpath(self, yes: bool) -> Self {
+        self.dispatch(if yes {
+            crate::DispatchMode::Fastpath
+        } else {
+            crate::DispatchMode::Classic
+        })
+    }
+
+    /// Frames pulled per burst on the fast path (clamped to ≥ 1).
+    pub fn fastpath_burst(mut self, frames: usize) -> Self {
+        self.cfg.fastpath_burst = frames.max(1);
+        self
+    }
+
     /// Attach a deterministic fault-injection plan (tests, chaos
     /// experiments).
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
@@ -805,6 +830,7 @@ impl Scap {
         };
         let nworkers = cfg.worker_threads.max(1);
         let ncores = cfg.cores.max(1);
+        let dispatch = cfg.dispatch;
         let worker_faults: Vec<WorkerFault> = cfg
             .faults
             .as_ref()
@@ -913,9 +939,23 @@ impl Scap {
                 span.finish(kernel.telemetry(), 0, Stage::Nic);
                 for core in 0..ncores {
                     let span = SpanTimer::start();
-                    while kernel.kernel_poll(core, now).is_some() {}
+                    match dispatch {
+                        crate::DispatchMode::Classic => {
+                            while kernel.kernel_poll(core, now).is_some() {}
+                        }
+                        crate::DispatchMode::Fastpath => {
+                            while kernel.poll_burst(core, now).is_some() {}
+                        }
+                    }
                     kernel.kernel_timers(core, now);
-                    span.finish(kernel.telemetry(), core, Stage::Kernel);
+                    span.finish(
+                        kernel.telemetry(),
+                        core,
+                        match dispatch {
+                            crate::DispatchMode::Classic => Stage::Kernel,
+                            crate::DispatchMode::Fastpath => Stage::Fastpath,
+                        },
+                    );
                     let span = SpanTimer::start();
                     let mut fanned_out = false;
                     while let Some(ev) = kernel.next_event(core) {

@@ -88,15 +88,26 @@ impl<A: SimApp> ScapSimStack<A> {
             + w.k_timer_ops as f64 * model.cyc_k_timer_op;
         let mem = w.k_bytes_copied as f64 * model.cyc_k_byte_copy;
         let evq = w.k_events as f64 * model.cyc_k_event;
+        let fp =
+            w.fp_bursts as f64 * model.cyc_fp_burst + w.fp_packets as f64 * model.cyc_fp_packet;
         for (stage, cyc) in [
             (Stage::Nic, nic),
             (Stage::Kernel, kern),
             (Stage::Memory, mem),
             (Stage::EventQueue, evq),
+            (Stage::Fastpath, fp),
         ] {
             if cyc > 0.0 {
                 tele.record_stage(core, stage, cyc as u64);
             }
+        }
+    }
+
+    /// Pull work from a core's ring via the configured dispatch mode.
+    fn poll_dispatch(kernel: &mut ScapKernel, core: usize, now: u64) -> Option<Work> {
+        match kernel.config().dispatch {
+            crate::DispatchMode::Classic => kernel.kernel_poll(core, now),
+            crate::DispatchMode::Fastpath => kernel.poll_burst(core, now),
         }
     }
 
@@ -133,7 +144,7 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
             let verdict = self.kernel.nic_receive(p);
             if let Some(q) = verdict.queue() {
                 while budgets.can_run(q) {
-                    match self.kernel.kernel_poll(q, now_ns) {
+                    match Self::poll_dispatch(&mut self.kernel, q, now_ns) {
                         Some(w) => {
                             budgets.charge_kernel(q, &w);
                             Self::record_kernel_spans(&self.kernel, &model, q, &w);
@@ -149,7 +160,7 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
             budgets.charge_kernel(core, &tw);
             Self::record_kernel_spans(&self.kernel, &model, core, &tw);
             while budgets.can_run(core) {
-                match self.kernel.kernel_poll(core, now_ns) {
+                match Self::poll_dispatch(&mut self.kernel, core, now_ns) {
                     Some(w) => {
                         budgets.charge_kernel(core, &w);
                         Self::record_kernel_spans(&self.kernel, &model, core, &w);

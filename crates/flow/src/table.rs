@@ -1,9 +1,56 @@
 //! The kernel-side flow table: randomized hashing, growable record pools,
 //! and the access-list LRU used for inactivity expiration and
 //! memory-pressure eviction.
+//!
+//! # Layout
+//!
+//! The index is open-addressed and cache-line-packed, sized for millions
+//! of concurrent flows. Three parallel arrays make up the index:
+//!
+//! ```text
+//! ctrl:    [u8]  one tag byte per position   0x00 EMPTY
+//!                                            0x01 TOMBSTONE
+//!                                            0x80|top7(hash) FULL
+//! entries: [u32] slot index into the record pool
+//! hashes:  [u64] cached full 64-bit hash (no record touch on mismatch)
+//! ```
+//!
+//! Positions are probed in aligned groups of [`GROUP`] tags; a probe
+//! scans a whole group at once and stops at the first group containing
+//! an EMPTY tag, so a negative lookup usually costs a single cache-line
+//! touch of the ctrl array. `probes` counts *groups* examined — i.e.
+//! index cache-line touches — which is what the cost model charges.
+//!
+//! Growth is an **incremental rehash**: when the index passes a 7/8
+//! load factor a new (usually doubled) index is allocated, the old one
+//! is retained, and every mutating call migrates a few groups of old
+//! entries until the old index drains. Lookups consult the new index
+//! first, then the pending old one, so no operation ever pays a full
+//! O(n) rehash latency spike.
+//!
+//! The record pool (slot + generation) and the intrusive access-list
+//! LRU are unchanged from the chained design: [`StreamId`]s stay stable
+//! across rehashes, checkpoints, and both dispatch paths.
 
 use crate::record::{StreamId, StreamRecord};
 use scap_wire::{Direction, FlowKey};
+
+/// Tags scanned per probe step (one ctrl group; 16 tags = a quarter of
+/// a 64-byte line, so neighbouring groups share lines).
+pub const GROUP: usize = 16;
+
+const CTRL_EMPTY: u8 = 0x00;
+const CTRL_TOMB: u8 = 0x01;
+
+/// Old-index groups migrated per mutating call during incremental
+/// rehash. At 4 groups × 16 tags per insert, a doubled index drains
+/// well before the new one can refill to its own growth threshold.
+const MIGRATE_GROUPS: usize = 4;
+
+#[inline]
+fn tag(h: u64) -> u8 {
+    0x80 | ((h >> 57) as u8)
+}
 
 /// Flow-table configuration.
 #[derive(Debug, Clone)]
@@ -49,11 +96,125 @@ struct Slot {
     record: Option<StreamRecord>,
 }
 
+/// One open-addressed index: parallel ctrl/entry/hash arrays.
+struct Index {
+    ctrl: Vec<u8>,
+    entries: Vec<u32>,
+    hashes: Vec<u64>,
+    mask: usize,
+    /// FULL positions.
+    used: usize,
+    /// TOMBSTONE positions (reclaimed by the next rehash).
+    tombs: usize,
+}
+
+impl Index {
+    fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(2 * GROUP).next_power_of_two();
+        Index {
+            ctrl: vec![CTRL_EMPTY; cap],
+            entries: vec![0; cap],
+            hashes: vec![0; cap],
+            mask: cap - 1,
+            used: 0,
+            tombs: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn ngroups(&self) -> usize {
+        self.capacity() / GROUP
+    }
+
+    #[inline]
+    fn home_group(&self, h: u64) -> usize {
+        (h as usize & self.mask) / GROUP
+    }
+
+    /// Probe for `h`/`canon`, counting ctrl groups examined into
+    /// `probes`. Returns the position of the matching FULL entry.
+    fn find(&self, h: u64, canon: &FlowKey, slots: &[Slot], probes: &mut u64) -> Option<usize> {
+        let t = tag(h);
+        let ngroups = self.ngroups();
+        let mut g = self.home_group(h);
+        for _ in 0..ngroups {
+            *probes += 1;
+            let base = g * GROUP;
+            let mut saw_empty = false;
+            for pos in base..base + GROUP {
+                let c = self.ctrl[pos];
+                if c == CTRL_EMPTY {
+                    saw_empty = true;
+                } else if c == t && self.hashes[pos] == h {
+                    if let Some(rec) = slots[self.entries[pos] as usize].record.as_ref() {
+                        if rec.key == *canon {
+                            return Some(pos);
+                        }
+                    }
+                }
+            }
+            if saw_empty {
+                return None;
+            }
+            g = (g + 1) & (ngroups - 1);
+        }
+        None
+    }
+
+    /// First insertable position in `h`'s probe sequence: the earliest
+    /// TOMBSTONE, or the first EMPTY if no tombstone precedes it.
+    fn insert_pos(&self, h: u64) -> usize {
+        let ngroups = self.ngroups();
+        let mut g = self.home_group(h);
+        let mut first_tomb: Option<usize> = None;
+        for _ in 0..ngroups {
+            let base = g * GROUP;
+            for pos in base..base + GROUP {
+                match self.ctrl[pos] {
+                    CTRL_EMPTY => return first_tomb.unwrap_or(pos),
+                    CTRL_TOMB => first_tomb = first_tomb.or(Some(pos)),
+                    _ => {}
+                }
+            }
+            g = (g + 1) & (ngroups - 1);
+        }
+        first_tomb.expect("index kept below load threshold")
+    }
+
+    fn insert(&mut self, h: u64, slot: u32) {
+        let pos = self.insert_pos(h);
+        if self.ctrl[pos] == CTRL_TOMB {
+            self.tombs -= 1;
+        }
+        self.ctrl[pos] = tag(h);
+        self.entries[pos] = slot;
+        self.hashes[pos] = h;
+        self.used += 1;
+    }
+
+    fn erase(&mut self, pos: usize) {
+        self.ctrl[pos] = CTRL_TOMB;
+        self.used -= 1;
+        self.tombs += 1;
+    }
+
+    /// Past the 7/8 load factor (tombstones count: they lengthen
+    /// probe chains exactly like live entries).
+    fn over_threshold(&self) -> bool {
+        (self.used + self.tombs) * 8 >= self.capacity() * 7
+    }
+}
+
 /// The flow table.
 pub struct FlowTable {
-    /// Open-chaining buckets of (cached hash, slot index).
-    buckets: Vec<Vec<(u64, u32)>>,
-    bucket_mask: u64,
+    /// Active open-addressed index.
+    index: Index,
+    /// Pending old index during incremental rehash, with the next
+    /// group to migrate.
+    old: Option<(Index, usize)>,
     slots: Vec<Slot>,
     free: Vec<u32>,
     len: usize,
@@ -63,17 +224,20 @@ pub struct FlowTable {
     lru_head: Option<u32>,
     /// Tail (least recent) of the access list.
     lru_tail: Option<u32>,
-    /// Cumulative hash probes (cost-model input).
+    /// Cumulative index probes — ctrl *groups* (cache lines) examined —
+    /// the cost-model input.
     pub probes: u64,
 }
 
 impl FlowTable {
     /// Create a table; `seed` randomizes the hash function (§5.2).
     pub fn new(cfg: FlowTableConfig, seed: u64) -> Self {
-        let nbuckets = (cfg.initial_capacity.max(16)).next_power_of_two();
+        // Size the index so `initial_capacity` records fit under the
+        // 7/8 growth threshold without rehashing.
+        let want = cfg.initial_capacity.max(16) * 8 / 7 + GROUP;
         FlowTable {
-            buckets: vec![Vec::new(); nbuckets],
-            bucket_mask: nbuckets as u64 - 1,
+            index: Index::with_capacity(want),
+            old: None,
             slots: Vec::with_capacity(cfg.initial_capacity),
             free: Vec::new(),
             len: 0,
@@ -95,31 +259,149 @@ impl FlowTable {
         self.len == 0
     }
 
+    /// The randomized hash seed; [`FlowKey::sym_hash`] with this seed
+    /// is the table's hash function (exposed so batched dispatch can
+    /// pre-hash keys before [`FlowTable::lookup_or_insert_prehashed`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Index positions in the active open-addressed array.
+    pub fn index_capacity(&self) -> usize {
+        self.index.capacity()
+    }
+
+    /// Occupancy of the active index in permille (load-factor gauge).
+    pub fn load_permille(&self) -> u64 {
+        (self.index.used as u64 * 1000) / self.index.capacity() as u64
+    }
+
+    /// True while an incremental rehash is still draining its old index.
+    pub fn rehash_pending(&self) -> bool {
+        self.old.is_some()
+    }
+
+    /// The ctrl group `h` probes first: `group * GROUP` is a stable
+    /// byte offset into the ctrl array, used by the cache model to
+    /// touch the index line a lookup reads.
+    pub fn probe_group(&self, h: u64) -> usize {
+        self.index.home_group(h)
+    }
+
     fn hash(&self, key: &FlowKey) -> u64 {
         key.sym_hash(self.seed)
+    }
+
+    /// Find the index position of `canon` in the active index or the
+    /// pending old one.
+    fn find_pos(&mut self, h: u64, canon: &FlowKey) -> Option<(bool, usize)> {
+        if let Some(pos) = self.index.find(h, canon, &self.slots, &mut self.probes) {
+            return Some((false, pos));
+        }
+        if let Some((old, _)) = self.old.as_ref() {
+            if let Some(pos) = old.find(h, canon, &self.slots, &mut self.probes) {
+                return Some((true, pos));
+            }
+        }
+        None
+    }
+
+    /// Migrate a few old-index groups into the active index; drops the
+    /// old index once drained. Called from every mutating operation.
+    fn migrate_step(&mut self, groups: usize) {
+        let Some((mut old, mut cursor)) = self.old.take() else {
+            return;
+        };
+        let ngroups = old.ngroups();
+        let end = (cursor + groups).min(ngroups);
+        while cursor < end {
+            let base = cursor * GROUP;
+            for pos in base..base + GROUP {
+                if old.ctrl[pos] & 0x80 != 0 {
+                    self.index.insert(old.hashes[pos], old.entries[pos]);
+                    // Tombstone, not EMPTY: later probes of the old
+                    // index must keep walking past migrated positions.
+                    old.ctrl[pos] = CTRL_TOMB;
+                }
+            }
+            cursor += 1;
+        }
+        if cursor < ngroups {
+            self.old = Some((old, cursor));
+        }
+    }
+
+    /// Start (or restart) an incremental rehash when the active index
+    /// crosses its load threshold.
+    fn maybe_grow(&mut self) {
+        if !self.index.over_threshold() {
+            return;
+        }
+        // A second rehash cannot start while one is pending: drain the
+        // remainder of the old index first (bounded by its size).
+        if self.old.is_some() {
+            self.migrate_step(usize::MAX);
+        }
+        if !self.index.over_threshold() {
+            return;
+        }
+        // Doubling when genuinely full; same-size when the threshold
+        // was mostly tombstones (the rehash reclaims them).
+        let new_cap = (self.len.max(1) * 2)
+            .next_power_of_two()
+            .max(self.index.capacity());
+        let fresh = Index::with_capacity(new_cap);
+        let old = std::mem::replace(&mut self.index, fresh);
+        self.old = Some((old, 0));
+        self.migrate_step(MIGRATE_GROUPS);
     }
 
     /// Find an existing stream.
     pub fn lookup(&mut self, key: &FlowKey) -> Option<(StreamId, Direction)> {
         let (canon, dir) = key.canonical();
         let h = self.hash(&canon);
-        let bucket = &self.buckets[(h & self.bucket_mask) as usize];
-        for &(eh, slot) in bucket {
-            self.probes += 1;
-            if eh == h {
-                if let Some(rec) = &self.slots[slot as usize].record {
-                    if rec.key == canon {
-                        return Some((rec.id, dir));
-                    }
-                }
-            }
-        }
-        None
+        self.lookup_prehashed(&canon, dir, h)
+    }
+
+    /// [`FlowTable::lookup`] with the canonical key and hash already
+    /// computed (batched dispatch hashes whole bursts up front).
+    pub fn lookup_prehashed(
+        &mut self,
+        canon: &FlowKey,
+        dir: Direction,
+        h: u64,
+    ) -> Option<(StreamId, Direction)> {
+        let (in_old, pos) = self.find_pos(h, canon)?;
+        let idx = if in_old {
+            &self.old.as_ref().expect("pending old index").0
+        } else {
+            &self.index
+        };
+        let rec = self.slots[idx.entries[pos] as usize]
+            .record
+            .as_ref()
+            .expect("found position holds live record");
+        Some((rec.id, dir))
     }
 
     /// Find or create the stream for `key`. `now` stamps creation time.
     pub fn lookup_or_insert(&mut self, key: &FlowKey, now: u64) -> Result<Lookup, TableFull> {
-        if let Some((id, direction)) = self.lookup(key) {
+        let (canon, dir) = key.canonical();
+        let h = self.hash(&canon);
+        self.lookup_or_insert_prehashed(&canon, dir, h, now)
+    }
+
+    /// [`FlowTable::lookup_or_insert`] with the canonical key, its
+    /// direction, and hash already computed.
+    pub fn lookup_or_insert_prehashed(
+        &mut self,
+        canon: &FlowKey,
+        dir: Direction,
+        h: u64,
+        now: u64,
+    ) -> Result<Lookup, TableFull> {
+        self.migrate_step(MIGRATE_GROUPS);
+        if let Some((id, direction)) = self.lookup_prehashed(canon, dir, h) {
             return Ok(Lookup {
                 id,
                 created: false,
@@ -131,8 +413,6 @@ impl FlowTable {
                 return Err(TableFull::MaxFlows);
             }
         }
-        let (canon, dir) = key.canonical();
-        let h = self.hash(&canon);
 
         // Allocate a slot from the free list or grow the pool.
         let slot = match self.free.pop() {
@@ -148,32 +428,16 @@ impl FlowTable {
         let generation = self.slots[slot as usize].generation + 1;
         self.slots[slot as usize].generation = generation;
         let id = StreamId { slot, generation };
-        self.slots[slot as usize].record = Some(StreamRecord::new(id, canon, dir, now));
-        self.buckets[(h & self.bucket_mask) as usize].push((h, slot));
+        self.slots[slot as usize].record = Some(StreamRecord::new(id, *canon, dir, now));
+        self.index.insert(h, slot);
         self.len += 1;
         self.lru_push_front(slot);
-
-        if self.len > self.buckets.len() * 4 {
-            self.grow();
-        }
+        self.maybe_grow();
         Ok(Lookup {
             id,
             created: true,
             direction: dir,
         })
-    }
-
-    fn grow(&mut self) {
-        let new_n = self.buckets.len() * 2;
-        let mut nb = vec![Vec::new(); new_n];
-        let mask = new_n as u64 - 1;
-        for bucket in self.buckets.drain(..) {
-            for (h, slot) in bucket {
-                nb[(h & mask) as usize].push((h, slot));
-            }
-        }
-        self.buckets = nb;
-        self.bucket_mask = mask;
     }
 
     /// Get a record by handle (None if the handle is stale).
@@ -214,8 +478,14 @@ impl FlowTable {
         let key = rec.key;
         let h = self.hash(&key);
         let slot = id.slot;
-        let bucket = &mut self.buckets[(h & self.bucket_mask) as usize];
-        bucket.retain(|&(_, s)| s != slot);
+        self.migrate_step(MIGRATE_GROUPS);
+        if let Some((in_old, pos)) = self.find_pos(h, &key) {
+            if in_old {
+                self.old.as_mut().expect("pending old index").0.erase(pos);
+            } else {
+                self.index.erase(pos);
+            }
+        }
         self.lru_unlink(slot);
         self.len -= 1;
         self.free.push(slot);
@@ -251,12 +521,43 @@ impl FlowTable {
         out
     }
 
-    /// Evict the least-recently-active stream (memory pressure policy:
+    /// Evict the least-recently-active stream (memory-pressure policy:
     /// "always store newer streams by removing the older ones", §6.4).
     pub fn evict_oldest(&mut self) -> Option<StreamRecord> {
         let tail = self.lru_tail?;
         let id = self.slots[tail as usize].record.as_ref()?.id;
         self.remove(id)
+    }
+
+    /// Tiered eviction: scan up to `max_scan` records from the stale end
+    /// of the access list and evict the lowest-priority one among them
+    /// (the stalest wins a priority tie). Falls back to plain LRU when
+    /// every scanned stream shares one priority — so under pressure,
+    /// old low-priority flows go before old high-priority ones.
+    pub fn evict_tiered(&mut self, max_scan: usize) -> Option<StreamRecord> {
+        let mut cur = self.lru_tail?;
+        let mut best: Option<(u8, StreamId)> = None;
+        for _ in 0..max_scan.max(1) {
+            let rec = self.slots[cur as usize]
+                .record
+                .as_ref()
+                .expect("access list points at live records");
+            let better = match best {
+                None => true,
+                Some((p, _)) => rec.priority < p,
+            };
+            if better {
+                best = Some((rec.priority, rec.id));
+                if rec.priority == 0 {
+                    break; // nothing outranks the bottom tier
+                }
+            }
+            match rec.lru_prev {
+                Some(prev) => cur = prev,
+                None => break,
+            }
+        }
+        self.remove(best?.1)
     }
 
     /// Iterate over all live records (diagnostics, final flush).
@@ -434,6 +735,29 @@ mod tests {
     }
 
     #[test]
+    fn tiered_eviction_prefers_low_priority_in_scan_window() {
+        let mut t = table();
+        let a = t.lookup_or_insert(&key(1), 100).unwrap().id; // stalest
+        let b = t.lookup_or_insert(&key(2), 200).unwrap().id;
+        let c = t.lookup_or_insert(&key(3), 300).unwrap().id;
+        t.get_mut(a).unwrap().priority = 2;
+        t.get_mut(b).unwrap().priority = 0;
+        t.get_mut(c).unwrap().priority = 1;
+        // Low-priority b goes first even though a is staler.
+        assert_eq!(t.evict_tiered(8).unwrap().id, b);
+        // Among the rest, the lowest remaining priority wins.
+        assert_eq!(t.evict_tiered(8).unwrap().id, c);
+        assert_eq!(t.evict_tiered(8).unwrap().id, a);
+        assert!(t.evict_tiered(8).is_none());
+        // A scan window of 1 degenerates to plain LRU.
+        let d = t.lookup_or_insert(&key(4), 400).unwrap().id;
+        let e = t.lookup_or_insert(&key(5), 500).unwrap().id;
+        t.get_mut(d).unwrap().priority = 7;
+        assert_eq!(t.evict_tiered(1).unwrap().id, d);
+        assert_eq!(t.evict_tiered(1).unwrap().id, e);
+    }
+
+    #[test]
     fn drain_all_empties_table() {
         let mut t = table();
         for i in 0..50 {
@@ -443,6 +767,85 @@ mod tests {
         assert_eq!(drained.len(), 50);
         assert!(t.is_empty());
         assert!(t.lookup(&key(10)).is_none());
+    }
+
+    #[test]
+    fn prehashed_ops_match_keyed_ops() {
+        let mut t = table();
+        let k = key(42);
+        let (canon, dir) = k.canonical();
+        let h = canon.sym_hash(t.seed());
+        let l = t.lookup_or_insert_prehashed(&canon, dir, h, 10).unwrap();
+        assert!(l.created);
+        assert_eq!(t.lookup(&k).unwrap().0, l.id);
+        let (rcanon, rdir) = k.reversed().canonical();
+        assert_eq!(rcanon, canon);
+        let l2 = t.lookup_or_insert_prehashed(&rcanon, rdir, h, 20).unwrap();
+        assert!(!l2.created);
+        assert_eq!(l2.id, l.id);
+        assert_ne!(l2.direction, dir);
+        assert_eq!(t.lookup_prehashed(&canon, dir, h).unwrap().0, l.id);
+    }
+
+    #[test]
+    fn incremental_rehash_stays_consistent_under_churn() {
+        // Small initial capacity forces many rehashes; interleaved
+        // removals leave tombstones for same-size rehashes to reclaim.
+        let mut t = FlowTable::new(
+            FlowTableConfig {
+                initial_capacity: 16,
+                max_flows: None,
+            },
+            0xBEEF,
+        );
+        let mut live = Vec::new();
+        for i in 0..5_000u32 {
+            let id = t.lookup_or_insert(&key(i), u64::from(i)).unwrap().id;
+            live.push((i, id));
+            if i % 3 == 0 {
+                let (j, id) = live.remove((i as usize * 7) % live.len());
+                assert!(t.remove(id).is_some(), "remove {j}");
+            }
+        }
+        assert_eq!(t.len(), live.len());
+        for (i, id) in &live {
+            let (found, _) = t.lookup(&key(*i)).expect("live key resolves");
+            assert_eq!(found, *id);
+        }
+        // Load factor stays under the 7/8 threshold.
+        assert!(t.load_permille() <= 875);
+        // Drain any pending rehash via mutations; the table stays exact.
+        while t.rehash_pending() {
+            let (i, id) = live.pop().unwrap();
+            assert_eq!(
+                t.remove(id).unwrap().id,
+                t.get(id).map(|r| r.id).unwrap_or(id)
+            );
+            assert!(t.lookup(&key(i)).is_none());
+        }
+        assert_eq!(t.len(), live.len());
+    }
+
+    #[test]
+    fn collision_heavy_keys_stay_findable() {
+        // Keys engineered to share home groups: identical low hash bits
+        // are unlikely via sym_hash, so instead hammer one tiny index
+        // (capacity 32 ⇒ 2 groups) where every key collides by pigeonhole.
+        let mut t = FlowTable::new(
+            FlowTableConfig {
+                initial_capacity: 4,
+                max_flows: None,
+            },
+            3,
+        );
+        for i in 0..200 {
+            t.lookup_or_insert(&key(i), 0).unwrap();
+        }
+        for i in 0..200 {
+            assert!(t.lookup(&key(i)).is_some(), "key {i}");
+            assert!(!t.lookup_or_insert(&key(i), 0).unwrap().created);
+        }
+        assert_eq!(t.len(), 200);
     }
 
     proptest! {
@@ -476,6 +879,127 @@ mod tests {
             // Walk the LRU from head: must visit exactly `len` records.
             let visited = t.drain_all();
             prop_assert_eq!(visited.len(), live.len());
+        }
+
+        /// The open-addressed table agrees with a BTreeMap reference
+        /// model across insert/lookup/remove/expire under collision-heavy
+        /// key sets (tiny key space on a tiny initial index).
+        #[test]
+        fn matches_btreemap_reference_model(
+            ops in proptest::collection::vec((0u8..4, 0u32..24), 1..300)
+        ) {
+            let mut t = FlowTable::new(
+                FlowTableConfig { initial_capacity: 4, max_flows: None },
+                0xA5A5,
+            );
+            // Reference: key index -> (id, last_ts).
+            let mut model: std::collections::BTreeMap<u32, (StreamId, u64)> = Default::default();
+            let mut now = 0u64;
+            for (op, i) in ops {
+                now += 10;
+                match op {
+                    0 => {
+                        let l = t.lookup_or_insert(&key(i), now).unwrap();
+                        let entry = model.entry(i).or_insert((l.id, now));
+                        prop_assert_eq!(l.created, entry.1 == now && entry.0 == l.id);
+                        prop_assert_eq!(l.id, entry.0);
+                        entry.1 = now;
+                        t.touch(l.id, now);
+                    }
+                    1 => {
+                        match (t.lookup(&key(i)), model.get(&i)) {
+                            (Some((id, _)), Some((mid, _))) => prop_assert_eq!(id, *mid),
+                            (None, None) => {}
+                            (got, want) => prop_assert!(
+                                false, "lookup mismatch: got {:?}, want {:?}", got, want
+                            ),
+                        }
+                    }
+                    2 => {
+                        let removed = model.remove(&i);
+                        match removed {
+                            Some((id, _)) => prop_assert!(t.remove(id).is_some()),
+                            None => prop_assert!(t.lookup(&key(i)).is_none()),
+                        }
+                    }
+                    _ => {
+                        // Expire everything idle > 25 ticks; mirror in model.
+                        let expired = t.expire_inactive(now, 25, usize::MAX);
+                        for rec in &expired {
+                            prop_assert_eq!(
+                                rec.status,
+                                crate::record::StreamStatus::ClosedTimeout
+                            );
+                        }
+                        let deadline = now.saturating_sub(25);
+                        let before = model.len();
+                        model.retain(|_, (_, ts)| *ts >= deadline);
+                        prop_assert_eq!(expired.len(), before - model.len());
+                    }
+                }
+                prop_assert_eq!(t.len(), model.len());
+            }
+            for (i, (id, _)) in &model {
+                let (found, _) = t.lookup(&key(*i)).expect("model key resolves");
+                prop_assert_eq!(found, *id);
+            }
+        }
+
+        /// Eviction-order invariant: evict_oldest always returns the
+        /// least-recently-touched live stream; evict_tiered never
+        /// returns a stream when a lower-priority one is in its window.
+        #[test]
+        fn eviction_order_invariants(
+            ops in proptest::collection::vec((0u8..3, 0u32..16, 0u8..3), 1..200)
+        ) {
+            let mut t = table();
+            // Reference recency list: front = most recent.
+            let mut order: Vec<(u32, StreamId, u8)> = Vec::new();
+            let mut now = 0u64;
+            for (op, i, prio) in ops {
+                now += 1;
+                match op {
+                    0 => {
+                        if let Some(posn) = order.iter().position(|(k, ..)| *k == i) {
+                            let ent = order.remove(posn);
+                            t.touch(ent.1, now);
+                            order.insert(0, ent);
+                        } else {
+                            let l = t.lookup_or_insert(&key(i), now).unwrap();
+                            t.get_mut(l.id).unwrap().priority = prio;
+                            order.insert(0, (i, l.id, prio));
+                        }
+                    }
+                    1 => {
+                        let evicted = t.evict_oldest();
+                        match (evicted, order.pop()) {
+                            (Some(rec), Some((_, id, _))) => prop_assert_eq!(rec.id, id),
+                            (None, None) => {}
+                            _ => prop_assert!(false, "evict_oldest disagrees with model"),
+                        }
+                    }
+                    _ => {
+                        const WINDOW: usize = 4;
+                        let evicted = t.evict_tiered(WINDOW);
+                        if order.is_empty() {
+                            prop_assert!(evicted.is_none());
+                        } else {
+                            let rec = evicted.expect("non-empty table evicts");
+                            let window: Vec<&(u32, StreamId, u8)> =
+                                order.iter().rev().take(WINDOW).collect();
+                            let min_prio =
+                                window.iter().map(|(.., p)| *p).min().unwrap();
+                            prop_assert_eq!(rec.priority, min_prio);
+                            // The stalest min-priority entry in the window.
+                            let want = window.iter().find(|(.., p)| *p == min_prio).unwrap().1;
+                            prop_assert_eq!(rec.id, want);
+                            let posn = order.iter().position(|(_, id, _)| *id == rec.id).unwrap();
+                            order.remove(posn);
+                        }
+                    }
+                }
+                prop_assert_eq!(t.len(), order.len());
+            }
         }
     }
 }

@@ -44,6 +44,13 @@ pub struct Work {
     pub k_fdir_ops: u64,
     /// Timer/expiration bookkeeping operations.
     pub k_timer_ops: u64,
+    // ---- fast path (poll-mode bypass) ----
+    /// Poll-mode burst pulls (ring doorbell + prefetch, amortized over
+    /// the whole burst instead of per packet).
+    pub fp_bursts: u64,
+    /// Packets dispatched through the batched fast path (replaces the
+    /// per-packet `k_packets` softirq entry charge).
+    pub fp_packets: u64,
     // ---- user side ----
     /// Packets handed to user code (libpcap-style per-packet path).
     pub u_packets: u64,
@@ -76,6 +83,8 @@ impl Work {
         self.k_events += other.k_events;
         self.k_fdir_ops += other.k_fdir_ops;
         self.k_timer_ops += other.k_timer_ops;
+        self.fp_bursts += other.fp_bursts;
+        self.fp_packets += other.fp_packets;
         self.u_packets += other.u_packets;
         self.u_syscalls += other.u_syscalls;
         self.u_bytes_copied += other.u_bytes_copied;
@@ -108,6 +117,12 @@ pub struct CostModel {
     pub cyc_k_fdir_op: f64,
     /// Timer list maintenance.
     pub cyc_k_timer_op: f64,
+    /// Poll-mode burst pull: ring doorbell, descriptor scan, prefetch
+    /// for the whole burst (paid once per burst, not per packet).
+    pub cyc_fp_burst: f64,
+    /// Batched dispatch per packet: parse + staged pipeline work with
+    /// the softirq entry, wakeup, and per-packet copy amortized away.
+    pub cyc_fp_packet: f64,
     /// Per-packet user receive path (libpcap dispatch).
     pub cyc_u_packet: f64,
     /// poll()/recvmmsg-style syscall.
@@ -137,6 +152,8 @@ impl Default for CostModel {
             cyc_k_event: 400.0,
             cyc_k_fdir_op: 2_000.0,
             cyc_k_timer_op: 120.0,
+            cyc_fp_burst: 600.0,
+            cyc_fp_packet: 150.0,
             cyc_u_packet: 350.0,
             cyc_u_syscall: 400.0,
             cyc_u_byte_copy: 2.5,
@@ -159,6 +176,8 @@ impl CostModel {
             + w.k_events as f64 * self.cyc_k_event
             + w.k_fdir_ops as f64 * self.cyc_k_fdir_op
             + w.k_timer_ops as f64 * self.cyc_k_timer_op
+            + w.fp_bursts as f64 * self.cyc_fp_burst
+            + w.fp_packets as f64 * self.cyc_fp_packet
             + w.k_cache_misses as f64 * self.cyc_cache_miss
     }
 

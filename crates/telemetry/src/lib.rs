@@ -202,6 +202,10 @@ static_ids! {
         TenantDiscardedBytes => "tenant_discarded_bytes",
         /// Tenants forcibly disconnected by the slow-consumer ladder.
         TenantDisconnects => "tenant_disconnects",
+        /// Non-empty burst pulls on the poll-mode fast path.
+        FastpathBursts => "fastpath_bursts",
+        /// Packets dispatched through the poll-mode fast path.
+        FastpathPackets => "fastpath_packets",
     }
 }
 
@@ -223,6 +227,13 @@ static_ids! {
         /// Sum of worker heartbeat counters (live) or delivered events
         /// (simulation) — a liveness signal.
         WorkerHeartbeats => "worker_heartbeats",
+        /// Flow-table index occupancy, in permille (worst core).
+        FlowLoadPermille => "flow_load_permille",
+        /// Mean flow-table probe length this sample window, in
+        /// hundredths of a cache-line group per lookup.
+        FlowProbeCentigroups => "flow_probe_centigroups",
+        /// Mean fast-path burst fill, in permille of the burst size.
+        FastpathFillPermille => "fastpath_fill_permille",
     }
 }
 
@@ -244,6 +255,8 @@ static_ids! {
         Store => "store",
         /// Warm restart: checkpoint decode + kernel state restore.
         Restart => "restart",
+        /// Poll-mode fast path: burst pull + batched dispatch.
+        Fastpath => "fastpath",
     }
 }
 
