@@ -135,6 +135,38 @@ test -s "$fp_out/fastpath_throughput.csv" \
     || { echo "missing fastpath_throughput.csv"; exit 1; }
 rm -rf "$fp_out"
 
+echo "== offload engine gate =="
+off_out=$(mktemp -d)
+# The experiment asserts conservation on every run, that the offload
+# stage absorbs every cutoff rule (fdir_ops == 0), >=10x amplified
+# memory-bounded replay, and byte-exact flight reconciliation of
+# NIC-resolved drops; any violation panics, so a zero exit is the
+# proof.
+cargo run --release -p scap-bench --bin experiments -- \
+    --exp offload --scale smoke --out "$off_out" >/dev/null \
+    || { echo "offload experiment failed"; exit 1; }
+grep -q '"offload"' "$off_out/BENCH_summary.json" \
+    || { echo "BENCH_summary.json lacks an offload section"; exit 1; }
+grep -q '"hit_rate_pct"' "$off_out/BENCH_summary.json" \
+    || { echo "offload section lacks a hit_rate_pct field"; exit 1; }
+for f in offload_fig8_softirq.csv offload_scale.csv offload_action_mix.csv; do
+    test -s "$off_out/$f" || { echo "missing $f"; exit 1; }
+done
+test -s "$off_out/trajectory.jsonl" \
+    || { echo "experiments run appended no trajectory.jsonl record"; exit 1; }
+grep -q '"git_sha"' "$off_out/trajectory.jsonl" \
+    || { echo "trajectory record lacks a git_sha stamp"; exit 1; }
+rm -rf "$off_out"
+
+echo "== scaptop --offload panel smoke =="
+off_top_log=$(cargo run --release -p scap-bench --bin scaptop -- \
+    --gen 2 --interval 2000 --topk 5 --offload --cutoff 16384) \
+    || { echo "scaptop --offload smoke run failed"; exit 1; }
+echo "$off_top_log" | grep -q "offload        rules" \
+    || { echo "scaptop --offload rendered no offload panel"; exit 1; }
+echo "$off_top_log" | grep -q "offload mix    drop" \
+    || { echo "scaptop --offload rendered no action-mix line"; exit 1; }
+
 echo "== scapstore smoke =="
 store_out=$(mktemp -d)
 cargo run --release -p scap-bench --bin scapcat -- --gen 2 "$store_out/trace.pcap" >/dev/null

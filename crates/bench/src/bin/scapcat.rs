@@ -50,7 +50,7 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scapcat [--gen MB out.pcap] [--cutoff BYTES] [--top N] \
-             [--fastpath] [--burst FRAMES] \
+             [--fastpath] [--offload] [--burst FRAMES] \
              [--stats-interval PKTS] [--write out.pcap] [--trace UID|FILTER] \
              [--supervise [--checkpoint-every PKTS] [--ckpt FILE] [--kill-at PKT]] \
              <file.pcap> [filter]"
@@ -82,6 +82,7 @@ fn main() {
     let mut trace_query: Option<String> = None;
     let mut supervise = false;
     let mut fastpath = false;
+    let mut offload = false;
     let mut burst: Option<usize> = None;
     let mut kill_at: Option<u64> = None;
     let mut ckpt_every: u64 = 1000;
@@ -92,6 +93,7 @@ fn main() {
         match args[i].as_str() {
             "--supervise" => supervise = true,
             "--fastpath" => fastpath = true,
+            "--offload" => offload = true,
             "--burst" => {
                 i += 1;
                 burst = Some(
@@ -183,7 +185,7 @@ fn main() {
     if supervise {
         let ckpt = ckpt_path.unwrap_or_else(|| format!("{path}.ckpt"));
         run_supervised(
-            packets, filter, cutoff, fastpath, burst, kill_at, ckpt_every, &ckpt,
+            packets, filter, cutoff, fastpath, offload, burst, kill_at, ckpt_every, &ckpt,
         );
         return;
     }
@@ -237,6 +239,9 @@ fn main() {
     }
     if fastpath {
         builder = builder.fastpath(true);
+    }
+    if offload {
+        builder = builder.offload(true);
     }
     if let Some(n) = burst {
         builder = builder.fastpath_burst(n);
@@ -303,6 +308,15 @@ fn main() {
         stats.stack.delivered_bytes,
         stats.stack.discarded_packets,
     );
+    if offload {
+        println!(
+            "offload: {} packets resolved at the NIC ({:.1}% of wire) | {} rule ops",
+            stats.stack.nic_filtered_packets,
+            100.0 * stats.stack.nic_filtered_packets as f64
+                / stats.stack.wire_packets.max(1) as f64,
+            stats.offload_ops,
+        );
+    }
     if stats_interval.is_some() {
         if let Some(snap) = scap.telemetry_snapshot() {
             eprintln!(
@@ -377,6 +391,7 @@ fn run_supervised(
     filter: &str,
     cutoff: Option<u64>,
     fastpath: bool,
+    offload: bool,
     burst: Option<usize>,
     kill_at: Option<u64>,
     ckpt_every: u64,
@@ -401,6 +416,9 @@ fn run_supervised(
         }
         if fastpath {
             builder = builder.fastpath(true);
+        }
+        if offload {
+            builder = builder.offload(true);
         }
         if let Some(n) = burst {
             builder = builder.fastpath_burst(n);

@@ -54,8 +54,10 @@ struct Dashboard {
     delay_ms: u64,
     ansi: bool,
     fastpath: bool,
+    offload: bool,
     prev_ts_ns: u64,
     prev_fp_pkts: u64,
+    prev_evictions: u64,
     prev_queues: Vec<QueuePrev>,
     /// uid -> (flow key, delivered bytes), fed by Data events.
     streams: HashMap<u64, (String, u64)>,
@@ -147,6 +149,40 @@ impl Dashboard {
             ));
         }
         self.prev_fp_pkts = fp_pkts;
+
+        // Offload panel: how much the NIC-stage rule table is resolving
+        // before the host, and its churn under capacity pressure.
+        if self.offload {
+            let os = kernel.offload_stats();
+            let wire = snap.total(Metric::WirePackets).max(1);
+            let hit_pct = 100.0 * os.hits as f64 / wire as f64;
+            let load = kernel.offload_load_permille();
+            let ev_rate = if dt > 0.0 {
+                (os.evictions - self.prev_evictions) as f64 / dt
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "offload        rules {}   load {} [{}]   hit rate {:.1}%   evictions {} ({:.0}/s window)\n",
+                kernel.offload_rules(),
+                permille(load),
+                bar(load),
+                hit_pct,
+                os.evictions,
+                ev_rate,
+            ));
+            out.push_str(&format!(
+                "offload mix    drop {} pkts / {} B   sample {} kept / {} shed   bypass {}   mark {}   punt {}\n",
+                os.drop_frames,
+                os.drop_bytes,
+                os.sample_kept_frames,
+                os.sample_drop_frames,
+                os.bypass_frames,
+                os.mark_frames,
+                os.control_passthrough,
+            ));
+            self.prev_evictions = os.evictions;
+        }
 
         // Drop breakdown straight from the flight recorder.
         let events = kernel.flight().events();
@@ -355,7 +391,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scaptop [file.pcap] [filter] [--gen MB] [--interval PKTS] \
-             [--topk N] [--cutoff BYTES] [--fastpath] [--burst FRAMES] \
+             [--topk N] [--cutoff BYTES] [--fastpath] [--offload] [--burst FRAMES] \
              [--delay-ms MS] [--seed N] [--scapd DIR]"
         );
         std::process::exit(0);
@@ -367,6 +403,7 @@ fn main() {
     let mut topk: usize = 10;
     let mut cutoff: Option<u64> = None;
     let mut fastpath = false;
+    let mut offload = false;
     let mut burst: Option<usize> = None;
     let mut delay_ms: u64 = 0;
     let mut seed: u64 = 42;
@@ -396,6 +433,7 @@ fn main() {
                 cutoff = Some(numarg(&args, i, "--cutoff"));
             }
             "--fastpath" => fastpath = true,
+            "--offload" => offload = true,
             "--burst" => {
                 i += 1;
                 burst = Some(numarg(&args, i, "--burst").max(1) as usize);
@@ -460,6 +498,9 @@ fn main() {
     if fastpath {
         config.dispatch = DispatchMode::Fastpath;
     }
+    if offload {
+        config.use_offload = true;
+    }
     if let Some(n) = burst {
         config.fastpath_burst = n;
     }
@@ -471,8 +512,10 @@ fn main() {
         delay_ms,
         ansi: std::io::stdout().is_terminal(),
         fastpath,
+        offload,
         prev_ts_ns: 0,
         prev_fp_pkts: 0,
+        prev_evictions: 0,
         prev_queues: Vec::new(),
         streams: HashMap::new(),
     };

@@ -22,4 +22,4 @@ pub mod figures;
 pub mod summary;
 
 pub use common::{ExpConfig, FigureResult, Scale};
-pub use summary::write_bench_summary;
+pub use summary::{append_trajectory, write_bench_summary};

@@ -285,6 +285,50 @@ fn fastpath_section(throughput: &FigureResult, ablation: Option<&FigureResult>) 
     format!("  \"fastpath\": {{{}}}", fields.join(", "))
 }
 
+/// The programmable offload engine: the amplified million-flow replay's
+/// headline numbers plus the per-cutoff hit-rate/softirq-savings curve,
+/// as one `"offload"` object.
+fn offload_section(scale: &FigureResult, fig8: Option<&FigureResult>) -> String {
+    let metric = |name: &str| -> String {
+        scale
+            .rows
+            .iter()
+            .find(|r| r.len() >= 2 && r[0] == name)
+            .map(|r| json_value(r[1].trim_end_matches('x')))
+            .unwrap_or_else(|| "null".into())
+    };
+    let mut fields = vec![
+        format!("\"flows_replayed\": {}", metric("flows_replayed")),
+        format!("\"amplification\": {}", metric("amplification")),
+        format!("\"concurrent_at_end\": {}", metric("concurrent_at_end")),
+        format!("\"wire_pkts\": {}", metric("wire_pkts")),
+        format!("\"hit_rate_pct\": {}", metric("offload_hit_rate%")),
+        format!("\"nic_dropped_pkts\": {}", metric("nic_dropped_pkts")),
+        format!("\"evictions\": {}", metric("evictions")),
+        format!("\"table_load_permille\": {}", metric("table_load_permille")),
+    ];
+    if let Some(f) = fig8 {
+        let items: Vec<String> = f
+            .rows
+            .iter()
+            .filter(|r| r.len() >= 6)
+            .map(|r| {
+                format!(
+                    "{{\"cutoff\": \"{}\", \"hit_rate_pct\": {}, \"softirq_none_pct\": {}, \
+                     \"softirq_offload_pct\": {}, \"savings_pp\": {}}}",
+                    json_escape(&r[0]),
+                    json_value(&r[1]),
+                    json_value(&r[2]),
+                    json_value(&r[4]),
+                    json_value(&r[5])
+                )
+            })
+            .collect();
+        fields.push(format!("\"per_cutoff\": [{}]", items.join(", ")));
+    }
+    format!("  \"offload\": {{{}}}", fields.join(", "))
+}
+
 /// Render the summary document from every figure produced in this run.
 pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String {
     let mut sections = vec![
@@ -327,7 +371,97 @@ pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String
             find(results, "fastpath_burst_ablation"),
         ));
     }
+    if let Some(fig) = find(results, "offload_scale") {
+        sections.push(offload_section(fig, find(results, "offload_fig8_softirq")));
+    }
     format!("{{\n{}\n}}\n", sections.join(",\n"))
+}
+
+/// Convert unix days to a civil (year, month, day) date
+/// (Howard Hinnant's `civil_from_days`, public domain algorithm).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// One line of `results/trajectory.jsonl`: the run's headline throughput
+/// figures (fast-path pkts/s and offload hit rate/flows when those
+/// experiments ran), stamped with the git SHA and UTC date so successive
+/// runs accumulate into a performance trajectory of the repository.
+pub fn render_trajectory_record(cfg: &ExpConfig, results: &[FigureResult]) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((unix_secs / 86_400) as i64);
+    let sha = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+
+    let mut fields = vec![
+        format!("\"date\": \"{y:04}-{m:02}-{d:02}\""),
+        format!("\"unix_secs\": {unix_secs}"),
+        format!("\"git_sha\": \"{}\"", json_escape(&sha)),
+        format!("\"scale\": \"{}\"", json_escape(cfg.scale.name)),
+        format!("\"seed\": {}", cfg.seed),
+    ];
+    if let Some(t) = find(results, "fastpath_throughput") {
+        for r in t.rows.iter().filter(|r| r.len() >= 8) {
+            let key = if r[0] == "fastpath" {
+                "fastpath_pkts_per_sec"
+            } else {
+                "classic_pkts_per_sec"
+            };
+            if let Ok(mpps) = r[5].parse::<f64>() {
+                fields.push(format!("\"{key}\": {:.0}", mpps * 1e6));
+            }
+        }
+    }
+    if let Some(s) = find(results, "offload_scale") {
+        let metric = |name: &str| -> Option<String> {
+            s.rows
+                .iter()
+                .find(|r| r.len() >= 2 && r[0] == name)
+                .map(|r| json_value(r[1].trim_end_matches('x')))
+        };
+        if let Some(v) = metric("offload_hit_rate%") {
+            fields.push(format!("\"offload_hit_rate_pct\": {v}"));
+        }
+        if let Some(v) = metric("flows_replayed") {
+            fields.push(format!("\"offload_flows_replayed\": {v}"));
+        }
+        if let Some(v) = metric("wire_pkts") {
+            fields.push(format!("\"offload_wire_pkts\": {v}"));
+        }
+    }
+    format!("{{{}}}\n", fields.join(", "))
+}
+
+/// Append this run's [`render_trajectory_record`] line to
+/// `trajectory.jsonl` in the output directory, returning the path.
+pub fn append_trajectory(cfg: &ExpConfig, results: &[FigureResult]) -> std::io::Result<PathBuf> {
+    use std::io::Write;
+    std::fs::create_dir_all(&cfg.out_dir)?;
+    let path = cfg.out_dir.join("trajectory.jsonl");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    f.write_all(render_trajectory_record(cfg, results).as_bytes())?;
+    Ok(path)
 }
 
 /// Write `BENCH_summary.json` into the run's output directory, returning
@@ -639,9 +773,116 @@ mod tests {
     }
 
     #[test]
+    fn offload_section_headline_and_per_cutoff() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let results = vec![
+            fig(
+                "offload_scale",
+                &["metric", "value"],
+                vec![
+                    vec!["base_flows".into(), "671".into()],
+                    vec!["amplification".into(), "15x".into()],
+                    vec!["flows_replayed".into(), "10065".into()],
+                    vec!["concurrent_at_end".into(), "10065".into()],
+                    vec!["wire_pkts".into(), "264210".into()],
+                    vec!["offload_hit_rate%".into(), "52.2".into()],
+                    vec!["nic_dropped_pkts".into(), "137876".into()],
+                    vec!["evictions".into(), "0".into()],
+                    vec!["table_load_permille".into(), "3".into()],
+                ],
+            ),
+            fig(
+                "offload_fig8_softirq",
+                &[
+                    "cutoff",
+                    "hit_rate%",
+                    "softirq_none%",
+                    "softirq_fdir%",
+                    "softirq_offload%",
+                    "savings_pp",
+                ],
+                vec![vec![
+                    "10K".into(),
+                    "57.8".into(),
+                    "4.2".into(),
+                    "2.5".into(),
+                    "2.4".into(),
+                    "1.8".into(),
+                ]],
+            ),
+        ];
+        let out = render_bench_summary(&cfg, &results);
+        assert!(out.contains("\"offload\": {"));
+        assert!(out.contains("\"flows_replayed\": 10065"));
+        assert!(out.contains("\"amplification\": 15"));
+        assert!(out.contains("\"hit_rate_pct\": 52.2"));
+        assert!(out.contains(
+            "\"per_cutoff\": [{\"cutoff\": \"10K\", \"hit_rate_pct\": 57.8, \
+             \"softirq_none_pct\": 4.2, \"softirq_offload_pct\": 2.4, \"savings_pp\": 1.8}]"
+        ));
+    }
+
+    #[test]
     fn escaping_and_non_numeric_cells() {
         assert_eq!(json_value("3.25"), "3.25");
         assert_eq!(json_value("nan"), "\"nan\"");
         assert_eq!(json_value("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn trajectory_record_carries_throughput_and_stamp() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let results = vec![
+            fig(
+                "fastpath_throughput",
+                &[
+                    "path",
+                    "burst",
+                    "wire_pkts",
+                    "concurrent_flows",
+                    "cycles/pkt",
+                    "Mpkt/s",
+                    "speedup",
+                    "induced_drops",
+                ],
+                vec![vec![
+                    "fastpath".into(),
+                    "64".into(),
+                    "2097152".into(),
+                    "1048576".into(),
+                    "549.6".into(),
+                    "29.11".into(),
+                    "1.80".into(),
+                    "3232".into(),
+                ]],
+            ),
+            fig(
+                "offload_scale",
+                &["metric", "value"],
+                vec![
+                    vec!["offload_hit_rate%".into(), "52.2".into()],
+                    vec!["flows_replayed".into(), "10065".into()],
+                    vec!["wire_pkts".into(), "264210".into()],
+                ],
+            ),
+        ];
+        let line = render_trajectory_record(&cfg, &results);
+        assert!(line.ends_with("}\n"));
+        assert!(line.contains("\"fastpath_pkts_per_sec\": 29110000"));
+        assert!(line.contains("\"offload_hit_rate_pct\": 52.2"));
+        assert!(line.contains("\"offload_flows_replayed\": 10065"));
+        assert!(line.contains("\"git_sha\": \""));
+        assert!(line.contains("\"scale\": \"smoke\""));
+        // Date must render as YYYY-MM-DD.
+        let date = line.split("\"date\": \"").nth(1).unwrap();
+        let date = &date[..10];
+        assert_eq!(date.as_bytes()[4], b'-');
+        assert_eq!(date.as_bytes()[7], b'-');
+    }
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
     }
 }

@@ -18,7 +18,8 @@
 //! ```
 //!
 //! Record bodies start with a kind byte: config (`0x10`), globals
-//! (`0x11`), one per stream (`0x12`), the FDIR filter set (`0x13`), and
+//! (`0x11`), one per stream (`0x12`), the FDIR filter set (`0x13`), the
+//! tenant table (`0x15`), the offload rule set (`0x16`), and
 //! a mandatory trailing end marker (`0x14`). A file whose last valid
 //! record is not the end marker was torn mid-write and is rejected by
 //! [`CheckpointImage::decode`]; [`repair_file`] truncates such a tail
@@ -49,7 +50,7 @@ use crate::governor::GovernorConfig;
 use scap_filter::Filter;
 use scap_flow::{DirStats, StreamStatus};
 use scap_memory::PplConfig;
-use scap_nic::{FdirAction, FdirFilter, FlexMatch};
+use scap_nic::{FdirAction, FdirFilter, FlexMatch, OffloadAction, OffloadRule};
 use scap_reassembly::{ConnCheckpoint, ConnPhase, DirState, OverlapPolicy, ReassemblyMode};
 use scap_wire::{Direction, FlowKey, IpAddrBytes, Transport};
 
@@ -248,6 +249,7 @@ const REC_STREAM: u8 = 0x12;
 const REC_FDIR: u8 = 0x13;
 const REC_END: u8 = 0x14;
 const REC_TENANTS: u8 = 0x15;
+const REC_OFFLOAD: u8 = 0x16;
 
 /// Kernel-global state that is not per-stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -348,6 +350,10 @@ pub struct CheckpointImage {
     pub streams: Vec<StreamImage>,
     /// Installed FDIR filters, in deterministic (encoded-bytes) order.
     pub fdir: Vec<FdirFilter>,
+    /// Installed offload rules, in deterministic (encoded-bytes) order.
+    /// The record is only written when non-empty, so captures without
+    /// the offload stage produce byte-identical checkpoints.
+    pub offload: Vec<OffloadRule>,
     /// The multi-tenant attachment table (`scapd`), in ascending
     /// tenant-id order. Empty for single-tenant captures; the record is
     /// only written when tenants are attached, so single-tenant
@@ -523,6 +529,8 @@ fn encode_config_body(cfg: &ScapConfig) -> Vec<u8> {
         crate::config::DispatchMode::Fastpath => 1,
     });
     put_u64(&mut b, cfg.fastpath_burst as u64);
+    b.push(u8::from(cfg.use_offload));
+    put_u64(&mut b, cfg.offload_capacity as u64);
     b
 }
 
@@ -680,6 +688,57 @@ fn encode_fdir_body(filters: &[FdirFilter]) -> Vec<u8> {
     b
 }
 
+fn encode_offload_rule(r: &OffloadRule) -> Vec<u8> {
+    let mut b = Vec::with_capacity(48);
+    put_key(&mut b, &r.key);
+    b.push(r.action.discriminant());
+    match r.action {
+        OffloadAction::Bypass | OffloadAction::Drop => {}
+        OffloadAction::Mark(tag) => b.push(tag),
+        OffloadAction::Sample(n) => put_u32(&mut b, n),
+    }
+    b.push(r.priority);
+    b
+}
+
+fn encode_offload_body(rules: &[OffloadRule]) -> Vec<u8> {
+    // Same determinism discipline as the FDIR record: the table hashes
+    // by key, so sort the encodings before writing.
+    let mut enc: Vec<Vec<u8>> = rules.iter().map(encode_offload_rule).collect();
+    enc.sort_unstable();
+    let mut b = Vec::with_capacity(16 + enc.len() * 48);
+    b.push(REC_OFFLOAD);
+    put_u32(&mut b, enc.len() as u32);
+    for e in enc {
+        b.extend_from_slice(&e);
+    }
+    b
+}
+
+fn decode_offload_body(c: &mut Cursor<'_>) -> Result<Vec<OffloadRule>, CheckpointError> {
+    let n = c.u32()?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let key = decode_key(c)?;
+        let action = match c.u8()? {
+            0 => OffloadAction::Bypass,
+            1 => OffloadAction::Drop,
+            2 => OffloadAction::Mark(c.u8()?),
+            3 => {
+                let every = c.u32()?;
+                if every == 0 {
+                    return Err(corrupt("offload sample rate of zero"));
+                }
+                OffloadAction::Sample(every)
+            }
+            other => return Err(corrupt(format!("bad offload action {other}"))),
+        };
+        let priority = c.u8()?;
+        out.push(OffloadRule::new(key, action, priority));
+    }
+    Ok(out)
+}
+
 fn encode_tenants_body(tenants: &[TenantImage]) -> Vec<u8> {
     // Ascending-id order regardless of input order: the byte output is
     // a pure function of the tenant table.
@@ -756,6 +815,7 @@ pub fn encode_image(
     globals: &CheckpointGlobals,
     streams: &[StreamImage],
     fdir: &[FdirFilter],
+    offload: &[OffloadRule],
     tenants: &[TenantImage],
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(4096);
@@ -768,6 +828,9 @@ pub fn encode_image(
         out.extend_from_slice(&frame_record(&encode_stream_body(&streams[i])));
     }
     out.extend_from_slice(&frame_record(&encode_fdir_body(fdir)));
+    if !offload.is_empty() {
+        out.extend_from_slice(&frame_record(&encode_offload_body(offload)));
+    }
     if !tenants.is_empty() {
         out.extend_from_slice(&frame_record(&encode_tenants_body(tenants)));
     }
@@ -784,6 +847,7 @@ impl CheckpointImage {
             &self.globals,
             &self.streams,
             &self.fdir,
+            &self.offload,
             &self.tenants,
         )
     }
@@ -979,8 +1043,13 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
         other => return Err(corrupt(format!("unknown dispatch mode {other}"))),
     };
     let fastpath_burst = c.u64()? as usize;
+    let use_offload = c.bool()?;
+    let offload_capacity = c.u64()? as usize;
     if cores == 0 || chunk_size == 0 || overlap >= chunk_size {
         return Err(corrupt("invalid capture geometry in config record"));
+    }
+    if use_offload && offload_capacity == 0 {
+        return Err(corrupt("offload enabled with zero rule capacity"));
     }
     Ok(ScapConfig {
         memory_bytes,
@@ -1015,6 +1084,8 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
         flight_ring_cap,
         dispatch,
         fastpath_burst,
+        use_offload,
+        offload_capacity,
     })
 }
 
@@ -1195,6 +1266,7 @@ impl CheckpointImage {
         let mut globals = None;
         let mut streams = Vec::new();
         let mut fdir = Vec::new();
+        let mut offload = Vec::new();
         let mut tenants = Vec::new();
         let mut ended = false;
         for rec in &scan.records {
@@ -1218,6 +1290,7 @@ impl CheckpointImage {
                 }
                 REC_STREAM => streams.push(decode_stream_body(&mut c)?),
                 REC_FDIR => fdir.extend(decode_fdir_body(&mut c)?),
+                REC_OFFLOAD => offload.extend(decode_offload_body(&mut c)?),
                 REC_TENANTS => tenants = decode_tenants_body(&mut c)?,
                 REC_END => ended = true,
                 other => return Err(corrupt(format!("unknown record kind {other:#04x}"))),
@@ -1256,6 +1329,7 @@ impl CheckpointImage {
             globals,
             streams,
             fdir,
+            offload,
             tenants,
         })
     }
@@ -1320,8 +1394,12 @@ pub fn recovery_cycles(img: &CheckpointImage) -> u64 {
     const PER_STREAM: u64 = 500;
     const PER_LIVE_STREAM: u64 = 1_500;
     const PER_FDIR_FILTER: u64 = 250;
+    // One offload rule re-programs one table entry; cheaper than an
+    // FDIR filter quadruple but not free at million-rule scale.
+    const PER_OFFLOAD_RULE: u64 = 60;
     let mut cycles = BASE + img.streams.len() as u64 * PER_STREAM;
     cycles += img.fdir.len() as u64 * PER_FDIR_FILTER;
+    cycles += img.offload.len() as u64 * PER_OFFLOAD_RULE;
     for s in &img.streams {
         let Some(ks) = &s.kstate else { continue };
         cycles += PER_LIVE_STREAM;
@@ -1468,7 +1546,7 @@ mod tests {
             FdirFilter::drop_tcp_flags(key(80), scap_wire::TcpFlags::ACK),
             FdirFilter::steer(key(443), 3),
         ];
-        encode_image(7, &cfg, &globals, &streams, &fdir, &[])
+        encode_image(7, &cfg, &globals, &streams, &fdir, &[], &[])
     }
 
     #[test]
@@ -1557,9 +1635,60 @@ mod tests {
         let globals = CheckpointGlobals::default();
         let a = FdirFilter::drop_tcp_flags(key(80), scap_wire::TcpFlags::ACK);
         let b = FdirFilter::steer(key(443), 1);
-        let x = encode_image(0, &cfg, &globals, &[], &[a, b], &[]);
-        let y = encode_image(0, &cfg, &globals, &[], &[b, a], &[]);
+        let x = encode_image(0, &cfg, &globals, &[], &[a, b], &[], &[]);
+        let y = encode_image(0, &cfg, &globals, &[], &[b, a], &[], &[]);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn offload_rules_round_trip_in_canonical_order() {
+        use scap_nic::OffloadAction;
+        let cfg = ScapConfig::default();
+        let globals = CheckpointGlobals::default();
+        let rules = vec![
+            OffloadRule::new(key(443), OffloadAction::Sample(128), 1),
+            OffloadRule::new(key(80), OffloadAction::Drop, 0),
+            OffloadRule::new(key(53), OffloadAction::Mark(3), 2),
+            OffloadRule::new(key(22), OffloadAction::Bypass, 3),
+        ];
+        let mut rev = rules.clone();
+        rev.reverse();
+        let x = encode_image(0, &cfg, &globals, &[], &[], &rules, &[]);
+        let y = encode_image(0, &cfg, &globals, &[], &[], &rev, &[]);
+        assert_eq!(x, y, "rule order must not change the bytes");
+        let img = CheckpointImage::decode(&x).unwrap();
+        assert_eq!(img.offload.len(), 4);
+        for r in &rules {
+            assert!(img.offload.contains(r), "{r:?} must survive the trip");
+        }
+        assert_eq!(img.to_bytes(), x);
+
+        // An offload-free image writes no offload record at all, so
+        // captures without the stage stay byte-identical.
+        let plain = encode_image(0, &cfg, &globals, &[], &[], &[], &[]);
+        let img = CheckpointImage::decode(&plain).unwrap();
+        assert!(img.offload.is_empty());
+
+        // A zero sample rate is corruption, not a divide-by-zero later:
+        // frame a hand-built offload record with rate 0 and a valid CRC.
+        let mut body = vec![REC_OFFLOAD];
+        put_u32(&mut body, 1);
+        put_key(&mut body, &key(80));
+        body.push(3); // Sample
+        put_u32(&mut body, 0); // rate 0: invalid
+        body.push(0); // priority
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&file_header(CKPT_MAGIC, 0));
+        bad.extend_from_slice(&frame_record(&encode_config_body(&cfg)));
+        bad.extend_from_slice(&frame_record(&encode_globals_body(&globals)));
+        bad.extend_from_slice(&frame_record(&encode_fdir_body(&[])));
+        bad.extend_from_slice(&frame_record(&body));
+        bad.extend_from_slice(&frame_record(&[REC_END]));
+        let err = CheckpointImage::decode(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("sample rate"),
+            "wrong error: {err}"
+        );
     }
 
     #[test]
@@ -1568,6 +1697,7 @@ mod tests {
             0,
             &ScapConfig::default(),
             &CheckpointGlobals::default(),
+            &[],
             &[],
             &[],
             &[],
@@ -1605,6 +1735,7 @@ mod tests {
             &CheckpointGlobals::default(),
             &[],
             &[],
+            &[],
             &tenants,
         );
         let img = CheckpointImage::decode(&bytes).unwrap();
@@ -1634,6 +1765,7 @@ mod tests {
             0,
             &ScapConfig::default(),
             &CheckpointGlobals::default(),
+            &[],
             &[],
             &[],
             &bad,

@@ -281,6 +281,12 @@ pub struct ScapConfig {
     pub dispatch: DispatchMode,
     /// Frames pulled per burst on the fast path (clamped to ≥ 1).
     pub fastpath_burst: usize,
+    /// Use the programmable flow-offload engine for cutoff enforcement
+    /// (one bidirectional rule per stream instead of four FDIR filters)
+    /// and for application-programmed bypass/mark/sample rules.
+    pub use_offload: bool,
+    /// Offload-table rule capacity (the simulated hardware table size).
+    pub offload_capacity: usize,
 }
 
 impl Default for ScapConfig {
@@ -316,6 +322,8 @@ impl Default for ScapConfig {
             flight_ring_cap: scap_flight::DEFAULT_RING_CAP,
             dispatch: DispatchMode::Classic,
             fastpath_burst: scap_fastpath::DEFAULT_BURST,
+            use_offload: false,
+            offload_capacity: scap_offload::DEFAULT_OFFLOAD_CAPACITY,
         }
     }
 }

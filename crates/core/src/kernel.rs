@@ -20,7 +20,7 @@ use scap_faults::{ArenaInjector, FaultPlan, FrameFaultStats, RingInjector};
 use scap_flight::{DropReason, FlightEvent, FlightKind, FlightLayer, FlightRecorder};
 use scap_flow::{FlowTable, FlowTableConfig, StreamErrors, StreamId, StreamRecord, StreamStatus};
 use scap_memory::{Arena, ChunkAssembler, ChunkBuf, PplVerdict};
-use scap_nic::{FdirError, FdirFilter, Nic, NicVerdict};
+use scap_nic::{FdirError, FdirFilter, Nic, NicVerdict, OffloadAction, OffloadError, OffloadRule};
 use scap_reassembly::{CloseKind, ReasmConfig, ReasmFlags, TcpConn};
 use scap_sim::{CacheSim, StackStats, Work};
 use scap_telemetry::{Gauge, Metric, PlainRegistry, Sampler, Snapshot, Stage};
@@ -40,6 +40,9 @@ const FDIR_RETRY_BASE_NS: u64 = 50_000;
 /// Install attempts (beyond the first) before falling back to software
 /// cutoff enforcement for good.
 const FDIR_RETRY_MAX_ATTEMPTS: u32 = 5;
+/// Entries the offload table's clock hand examines per eviction (bounds
+/// the worst-case install latency at million-rule scale).
+const OFFLOAD_EVICT_SCAN: usize = 64;
 
 /// Per-stream kernel-side state (parallel to the flow record).
 struct StreamKState {
@@ -54,6 +57,8 @@ struct StreamKState {
     fdir_retry_pending: bool,
     /// Retries exhausted: the cutoff is enforced in software only.
     fdir_software_fallback: bool,
+    /// A `Drop` rule for this stream is live in the NIC offload table.
+    offload_installed: bool,
     /// Chunks held back by `scap_keep_stream_chunk` for merging.
     kept: [Option<ChunkBuf>; 2],
 }
@@ -70,6 +75,7 @@ impl StreamKState {
             fdir_timeout_ns: FDIR_INITIAL_TIMEOUT_NS,
             fdir_retry_pending: false,
             fdir_software_fallback: false,
+            offload_installed: false,
             kept: [None, None],
         }
     }
@@ -125,6 +131,8 @@ pub struct ScapStats {
     pub expired_streams: u64,
     /// FDIR install/remove operations performed.
     pub fdir_ops: u64,
+    /// Offload-table install/remove/evict operations performed.
+    pub offload_ops: u64,
     /// Events dropped because a queue overflowed.
     pub events_dropped: u64,
     /// Streams steered to a colder core by dynamic load balancing (§2.4).
@@ -207,6 +215,10 @@ pub struct ScapKernel {
     arena: Arena,
     /// FDIR filter deadlines: (deadline, uid) → (core, id, key).
     fdir_expiries: BTreeMap<(u64, StreamUid), (usize, StreamId, FlowKey)>,
+    /// Host-side shadow of stream-owned offload `Drop` rules: canonical
+    /// key → owning stream, so a hardware eviction can clear the owner's
+    /// `offload_installed` flag (the table itself knows only keys).
+    offload_owners: HashMap<FlowKey, (usize, StreamId, StreamUid)>,
     /// Capture-wide uid → (core, id) for control operations.
     uid_index: HashMap<StreamUid, (usize, StreamId)>,
     /// Keep-chunk requests awaiting the chunk's return.
@@ -271,11 +283,17 @@ impl ScapKernel {
             })
             .collect();
         let mut nic = Nic::new(ncores, cfg.rx_ring_slots);
+        if cfg.use_offload {
+            // The million-entry table is only allocated when the offload
+            // stage is on; disabled captures keep the power-on stub.
+            nic.set_offload_capacity(cfg.offload_capacity);
+        }
         let mut ring_faults = None;
         let mut arena_faults = None;
         let mut flight_cap = cfg.flight_ring_cap;
         if let Some(plan) = &cfg.faults {
             nic.fdir_mut().set_fault_injector(plan.fdir_injector());
+            nic.offload_mut().set_fault_injector(plan.fdir_injector());
             ring_faults = Some(plan.ring_injector());
             arena_faults = Some(plan.arena_injector(cfg.memory_bytes as u64));
             flight_cap = plan.flight.effective_cap(flight_cap);
@@ -285,6 +303,7 @@ impl ScapKernel {
             arena: Arena::new(cfg.memory_bytes),
             cores,
             fdir_expiries: BTreeMap::new(),
+            offload_owners: HashMap::new(),
             uid_index: HashMap::new(),
             pending_keep: std::collections::HashSet::new(),
             uid_counter: 0,
@@ -436,19 +455,24 @@ impl ScapKernel {
             return;
         }
         let had_filters = ks.fdir_installed;
+        let had_offload = ks.offload_installed;
         if let Some(rec) = self.cores[core].flows.get_mut(id) {
             rec.cutoff_exceeded = false;
         }
+        let mut work = Work::default();
         if had_filters {
-            let mut work = Work::default();
             self.remove_fdir_filters(key, &mut work);
             self.fdir_expiries.retain(|&(_, euid), _| euid != uid);
+        }
+        if had_offload {
+            self.remove_offload_rule(key, &mut work);
         }
         if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
             ks.fdir_installed = false;
             ks.fdir_timeout_ns = FDIR_INITIAL_TIMEOUT_NS;
             ks.fdir_retry_pending = false;
             ks.fdir_software_fallback = false;
+            ks.offload_installed = false;
         }
     }
 
@@ -466,7 +490,8 @@ impl ScapKernel {
     pub fn stats(&self) -> ScapStats {
         let mut s = self.stats;
         let n = self.nic.stats();
-        s.stack.nic_filtered_packets = n.fdir_dropped_frames;
+        s.stack.nic_filtered_packets =
+            n.fdir_dropped_frames + n.offload_dropped_frames + n.offload_sampled_frames;
         s.stack.dropped_packets += n.ring_dropped_frames;
         s.stack.dropped_bytes += n.ring_dropped_bytes;
         s.resilience.fdir_transient_failures = self.nic.fdir().transient_failures;
@@ -617,6 +642,8 @@ impl ScapKernel {
         g[Gauge::FlowLoadPermille.idx()] = flow_load;
         g[Gauge::FlowProbeCentigroups.idx()] = flow_probes * 100 / self.flow_lookups.max(1);
         g[Gauge::FastpathFillPermille.idx()] = self.fp_stats.fill_permille();
+        g[Gauge::OffloadRules.idx()] = self.nic.offload().len() as u64;
+        g[Gauge::OffloadLoadPermille.idx()] = self.nic.offload().load_permille();
         g
     }
 
@@ -682,6 +709,42 @@ impl ScapKernel {
         self.nic.fdir().len()
     }
 
+    /// Live offload-rule count (diagnostics).
+    pub fn offload_rules(&self) -> usize {
+        self.nic.offload().len()
+    }
+
+    /// Offload-table counters: hits, per-action frames/bytes, evictions
+    /// (diagnostics; the eviction fold keeps these conservation-exact).
+    pub fn offload_stats(&self) -> scap_nic::OffloadStats {
+        self.nic.offload().stats()
+    }
+
+    /// Offload-table fill, in permille of its rule capacity.
+    pub fn offload_load_permille(&self) -> u64 {
+        self.nic.offload().load_permille()
+    }
+
+    /// Install an application-supplied offload rule (`Mark`, `Sample`,
+    /// `Bypass`, or a manual `Drop`) directly into the NIC table.
+    pub fn offload_install(&mut self, rule: OffloadRule) -> Result<(), scap_nic::OffloadError> {
+        self.stats.offload_ops += 1;
+        self.nic.offload_install(rule)
+    }
+
+    /// Remove an application-supplied offload rule by flow key.
+    pub fn offload_uninstall(
+        &mut self,
+        key: &FlowKey,
+    ) -> Result<OffloadRule, scap_nic::OffloadError> {
+        self.stats.offload_ops += 1;
+        let r = self.nic.offload_uninstall(key);
+        if r.is_ok() {
+            self.offload_owners.remove(&key.canonical().0);
+        }
+        r
+    }
+
     /// Pending events on a core's queue.
     pub fn event_backlog(&self, core: usize) -> usize {
         self.cores[core].events.len()
@@ -743,6 +806,38 @@ impl ScapKernel {
                     1,
                     pkt.len() as u64,
                 );
+            }
+            NicVerdict::DroppedByOffload => {
+                // Programmable offload stage: a per-flow `Drop` rule cut
+                // the frame off before the memory budget (subzero copy).
+                self.acct_discarded(
+                    0,
+                    pkt.ts_ns,
+                    0,
+                    FlightLayer::Offload,
+                    DropReason::OffloadDrop,
+                    1,
+                    pkt.len() as u64,
+                );
+            }
+            NicVerdict::SampledByOffload => {
+                // Deterministic 1-in-N sampling: the non-kept frames are
+                // deliberate discards, same funnel as cutoff losses.
+                self.acct_discarded(
+                    0,
+                    pkt.ts_ns,
+                    0,
+                    FlightLayer::Offload,
+                    DropReason::OffloadSample,
+                    1,
+                    pkt.len() as u64,
+                );
+            }
+            NicVerdict::BypassedByOffload => {
+                // Shunted past the kernel straight to delivery accounting:
+                // the stack never touches the frame but conservation still
+                // must balance, so it counts as delivered here.
+                self.acct_delivered(0, 1, pkt.len() as u64);
             }
             NicVerdict::DroppedRingFull(_) => {
                 // The NIC layer mirrors this loss into its own registry
@@ -1101,7 +1196,14 @@ impl ScapKernel {
         if lookup.created {
             let uid = self.next_uid();
             let cutoffs = self.cfg.cutoff.effective(&key);
-            let priority = self.cfg.priorities.for_key(&key);
+            // A `Mark` rule in the NIC offload table overrides the
+            // configured priority policy: the tag rides the descriptor
+            // and the PPL consumes it from stream creation on.
+            let priority = self
+                .nic
+                .offload()
+                .mark_for(&key)
+                .unwrap_or_else(|| self.cfg.priorities.for_key(&key));
             // Invariant: `lookup.created` implies the slot is live.
             debug_assert!(self.cores[core].flows.get(id).is_some());
             if let Some(rec) = self.cores[core].flows.get_mut(id) {
@@ -1267,10 +1369,13 @@ impl ScapKernel {
             if beyond_cutoff && !beyond_configured && !discarded_flag {
                 self.stats.resilience.governor_cutoff_clamps += 1;
             }
-            // (Re-)install NIC drop filters: first time normally, again
-            // with a doubled timeout when an expired filter let a data
-            // packet back through (§5.5).
-            if self.cfg.use_fdir {
+            // (Re-)install NIC drop filters: the programmable offload
+            // stage first (one bidirectional rule, no timeout), falling
+            // back to classic FDIR — first time normally, again with a
+            // doubled timeout when an expired filter let a data packet
+            // back through (§5.5).
+            let offloaded = self.cfg.use_offload && self.install_offload(core, id, now, work);
+            if !offloaded && self.cfg.use_fdir {
                 let reinstall = cutoff_exceeded;
                 self.install_fdir(core, id, now, reinstall, work);
             }
@@ -1482,7 +1587,7 @@ impl ScapKernel {
                     self.arena.release(tail);
                 }
             }
-            install_filters = self.cfg.use_fdir;
+            install_filters = self.cfg.use_fdir || self.cfg.use_offload;
         }
 
         // Flush-timer arming for the partial chunk.
@@ -1508,7 +1613,10 @@ impl ScapKernel {
         self.emit_data_events(core, id, dir, completed, packets, work);
 
         if install_filters {
-            self.install_fdir(core, id, now, false, work);
+            let offloaded = self.cfg.use_offload && self.install_offload(core, id, now, work);
+            if !offloaded && self.cfg.use_fdir {
+                self.install_fdir(core, id, now, false, work);
+            }
         }
 
         if let Some(kind) = closed {
@@ -1825,6 +1933,77 @@ impl ScapKernel {
             // Stream already gone; fall through to plain release.
         }
         self.arena.release(chunk);
+    }
+
+    /// Install a per-flow `Drop` rule in the programmable offload table
+    /// for a stream past its cutoff. One canonical-key rule covers both
+    /// directions (vs. FDIR's four perfect-match filters) and has no
+    /// timeout — it stays until the stream terminates or its cutoff is
+    /// widened. Control packets (SYN/FIN/RST) keep punting to the host,
+    /// so FIN/RST size estimation and termination still work. Returns
+    /// `true` when the rule is live; on a transient hardware failure the
+    /// caller composes with the classic FDIR install/retry path instead.
+    fn install_offload(&mut self, core: usize, id: StreamId, now: u64, work: &mut Work) -> bool {
+        let Some(rec) = self.cores[core].flows.get(id) else {
+            return false;
+        };
+        let key = rec.key;
+        let priority = rec.priority;
+        let uid = match self.cores[core].kstates.get(&id) {
+            Some(ks) if ks.offload_installed => return true, // already shunting
+            Some(ks) => ks.uid,
+            None => return false,
+        };
+        // Make room under table pressure: the clock hand displaces the
+        // coldest lowest-priority rule, folding its hit counters into
+        // the aggregates so accounting never loses a frame.
+        if self.nic.offload().free() == 0 {
+            work.k_fdir_ops += 1;
+            self.stats.offload_ops += 1;
+            if let Some(evicted) = self.nic.offload_evict(OFFLOAD_EVICT_SCAN) {
+                let ekey = evicted.key.canonical().0;
+                if let Some((ecore, eid, _euid)) = self.offload_owners.remove(&ekey) {
+                    if let Some(eks) = self.cores[ecore].kstates.get_mut(&eid) {
+                        eks.offload_installed = false;
+                    }
+                }
+                self.flight.emit(
+                    core,
+                    FlightEvent::new(FlightKind::OffloadEvicted, FlightLayer::Offload, now)
+                        .with_uid(uid)
+                        .with_vals(u64::from(evicted.priority), 0),
+                );
+            }
+        }
+        let rule = OffloadRule::new(key, OffloadAction::Drop, priority);
+        work.k_fdir_ops += 1;
+        self.stats.offload_ops += 1;
+        match self.nic.offload_install(rule) {
+            Ok(()) | Err(OffloadError::Duplicate) => {}
+            Err(_) => return false, // Busy/TableFull: fall back to FDIR
+        }
+        if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
+            ks.offload_installed = true;
+        }
+        self.offload_owners.insert(rule.key, (core, id, uid));
+        self.flight.emit(
+            core,
+            FlightEvent::new(FlightKind::OffloadInstalled, FlightLayer::Offload, now)
+                .with_uid(uid)
+                .with_vals(u64::from(rule.action.discriminant()), 1),
+        );
+        true
+    }
+
+    /// Remove a stream's offload rule (the canonical key covers both
+    /// directions). The table folds the rule's per-entry counters into
+    /// its aggregates, so no hit is ever lost to a remove.
+    fn remove_offload_rule(&mut self, key: FlowKey, work: &mut Work) {
+        if self.nic.offload_uninstall(&key).is_ok() {
+            work.k_fdir_ops += 1;
+            self.stats.offload_ops += 1;
+        }
+        self.offload_owners.remove(&key.canonical().0);
     }
 
     /// Install the paper's two FDIR drop filters for both directions of a
@@ -2237,6 +2416,9 @@ impl ScapKernel {
                 self.remove_fdir_filters(key, work);
                 self.fdir_expiries.retain(|_, (_, _, k)| *k != key);
             }
+            if ks.offload_installed {
+                self.remove_offload_rule(rec.key, work);
+            }
         }
         let snap = Self::snapshot_rec(&rec, uid);
         let (total_bytes, total_pkts) = snap.dirs.iter().fold((0u64, 0u64), |(b, p), d| {
@@ -2495,6 +2677,7 @@ impl ScapKernel {
             }
         }
         let fdir = self.nic.fdir().filters();
+        let offload = self.nic.offload().rules();
         self.stats.resilience.checkpoints_written += 1;
         let bytes = checkpoint::encode_image(
             seq,
@@ -2502,6 +2685,7 @@ impl ScapKernel {
             &globals,
             &streams,
             &fdir,
+            &offload,
             &self.tenant_table,
         );
         self.flight.emit(
@@ -2635,6 +2819,31 @@ impl ScapKernel {
         for f in img.fdir {
             if k.nic.fdir_install(f).is_ok() {
                 k.stats.fdir_ops += 1;
+            }
+        }
+        for r in img.offload {
+            if k.nic.offload_install(r).is_ok() {
+                k.stats.offload_ops += 1;
+            }
+        }
+        // Re-derive stream ownership of `Drop` rules: the flag is a pure
+        // function of (restored rules × restored streams), so it does
+        // not travel in the per-stream kstate record.
+        for s in &img.streams {
+            if s.kstate.is_none() {
+                continue;
+            }
+            if matches!(
+                k.nic.offload().action_for(&s.key),
+                Some(OffloadAction::Drop)
+            ) {
+                if let Some(&(core, id)) = k.uid_index.get(&s.uid) {
+                    if let Some(ks) = k.cores[core].kstates.get_mut(&id) {
+                        ks.offload_installed = true;
+                    }
+                    k.offload_owners
+                        .insert(s.key.canonical().0, (core, id, s.uid));
+                }
             }
         }
         k.resume_epoch_pending = true;
@@ -2961,6 +3170,149 @@ mod tests {
             "estimated bytes {} too small",
             term.stream.total_bytes()
         );
+    }
+
+    #[test]
+    fn offload_cutoff_drops_at_nic_and_reconciles_with_flight() {
+        let mut k = kernel(ScapConfig {
+            cutoff: crate::config::CutoffPolicy {
+                default: Some(1000),
+                ..Default::default()
+            },
+            use_offload: true,
+            offload_capacity: 1024,
+            chunk_size: 4096,
+            ..Default::default()
+        });
+        let resp = vec![b'R'; 40_000];
+        drive(&mut k, &http_session(b"Q", &resp));
+        let st = k.stats();
+        let n = k.nic_stats();
+        assert!(
+            n.offload_dropped_frames > 10,
+            "offload dropped {}",
+            n.offload_dropped_frames
+        );
+        assert_eq!(st.stack.nic_filtered_packets, n.offload_dropped_frames);
+        assert!(st.offload_ops >= 1);
+        assert_eq!(st.fdir_ops, 0, "offload must not fall back to FDIR here");
+
+        // Conservation: every wire packet is delivered, dropped, or
+        // deliberately discarded — offload drops land in `discarded`.
+        assert_eq!(
+            st.stack.wire_packets,
+            st.stack.delivered_packets + st.stack.dropped_packets + st.stack.discarded_packets
+        );
+
+        // Exact flight reconciliation: the journal's offload-drop events
+        // sum to the NIC's counters, packets and bytes both.
+        let (mut ev_pkts, mut ev_bytes) = (0u64, 0u64);
+        for e in k.flight().events() {
+            if e.kind == FlightKind::Discard && e.reason == DropReason::OffloadDrop {
+                ev_pkts += e.a;
+                ev_bytes += e.b;
+            }
+        }
+        assert_eq!(ev_pkts, n.offload_dropped_frames);
+        assert_eq!(ev_bytes, n.offload_dropped_bytes);
+
+        // FIN punts through the drop rule, so the stream terminates and
+        // its rule is uninstalled.
+        let events = collect_events(&mut k);
+        let term = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Terminated))
+            .count();
+        assert_eq!(term, 1);
+        assert_eq!(k.offload_rules(), 0, "rule must be removed at close");
+    }
+
+    #[test]
+    fn offload_preferred_over_fdir_when_both_enabled() {
+        let mut k = kernel(ScapConfig {
+            cutoff: crate::config::CutoffPolicy {
+                default: Some(1000),
+                ..Default::default()
+            },
+            use_fdir: true,
+            use_offload: true,
+            chunk_size: 4096,
+            ..Default::default()
+        });
+        drive(&mut k, &http_session(b"Q", &vec![b'R'; 40_000]));
+        let st = k.stats();
+        assert!(st.offload_ops >= 1);
+        assert_eq!(
+            st.fdir_ops, 0,
+            "a healthy offload table must absorb all cutoff rules"
+        );
+    }
+
+    #[test]
+    fn offload_mark_rule_overrides_priority_policy() {
+        let mut k = kernel(ScapConfig {
+            use_offload: true,
+            chunk_size: 4096,
+            ..Default::default()
+        });
+        // The application marks the flow before its first packet; the
+        // stream is created with the marked priority, not the policy's.
+        let key = FlowKey::new_v4([10, 0, 0, 1], [93, 184, 216, 34], 43210, 80, Transport::Tcp);
+        k.offload_install(OffloadRule::new(key, OffloadAction::Mark(3), 3))
+            .unwrap();
+        drive(&mut k, &http_session(b"Q", b"R"));
+        let events = collect_events(&mut k);
+        let created = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Created))
+            .unwrap();
+        assert_eq!(created.stream.priority, 3);
+    }
+
+    #[test]
+    fn offload_rules_survive_warm_restart() {
+        let mut k = kernel(ScapConfig {
+            cutoff: crate::config::CutoffPolicy {
+                default: Some(1000),
+                ..Default::default()
+            },
+            use_offload: true,
+            chunk_size: 4096,
+            ..Default::default()
+        });
+        // Drive data past the cutoff but stop before FIN, so the drop
+        // rule is still installed at checkpoint time.
+        let pkts = http_session(b"Q", &vec![b'R'; 40_000]);
+        let data_only = &pkts[..pkts.len() - 2];
+        drive(&mut k, data_only);
+        assert_eq!(k.offload_rules(), 1);
+        let last_ts = data_only.last().unwrap().ts_ns;
+
+        let bytes = k.checkpoint_bytes(last_ts, 1);
+        let img = CheckpointImage::decode(&bytes).expect("checkpoint decodes");
+        assert_eq!(img.offload.len(), 1, "rule must travel in the image");
+        let mut k2 = ScapKernel::from_image(img, None).expect("restore");
+        assert_eq!(k2.offload_rules(), 1, "rule re-programmed on restore");
+
+        // A post-restart data packet of the shunted flow still dies at
+        // the NIC — the restored stream owns its rule again.
+        let before = k2.nic_stats().offload_dropped_frames;
+        let late = Packet::new(
+            last_ts + 1_000_000,
+            PacketBuilder::tcp_v4(
+                [93, 184, 216, 34],
+                [10, 0, 0, 1],
+                80,
+                43210,
+                45_001,
+                1002,
+                TcpFlags::ACK,
+                &[b'R'; 500],
+            ),
+        );
+        let verdict = k2.nic_receive(&late);
+        assert_eq!(verdict, NicVerdict::DroppedByOffload);
+        assert_eq!(k2.nic_stats().offload_dropped_frames, before + 1);
     }
 
     #[test]

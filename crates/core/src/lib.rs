@@ -94,6 +94,13 @@ pub use scap_faults::FaultPlan;
 pub use scap_flight as flight;
 pub use scap_flight::{DropReason, FlightEvent, FlightKind, FlightLayer, FlightRecorder};
 pub use scap_flow::{DirStats, StreamErrors, StreamStatus};
+/// The programmable per-flow offload stage (rule types, action table,
+/// stats), re-exported for applications installing `Mark`/`Sample`/
+/// `Bypass`/`Drop` rules and tools reading the counters.
+pub use scap_offload::{
+    OffloadAction, OffloadError, OffloadRule, OffloadStats, OffloadTable, OffloadVerdict,
+    DEFAULT_OFFLOAD_CAPACITY,
+};
 pub use scap_reassembly::{OverlapPolicy, ReassemblyMode};
 /// The observability subsystem (metric registries, stage spans, gauge
 /// time-series, exporters), re-exported for applications and tools.

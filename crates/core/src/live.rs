@@ -306,6 +306,22 @@ impl ScapBuilder {
         self
     }
 
+    /// Enable the programmable per-flow offload stage: cutoff drop rules
+    /// move from FDIR's four-filters-per-stream table into a
+    /// million-entry action table evaluated before the memory budget,
+    /// and applications can install `Mark`/`Sample`/`Bypass` rules.
+    pub fn offload(mut self, yes: bool) -> Self {
+        self.cfg.use_offload = yes;
+        self
+    }
+
+    /// Rule capacity of the offload table (clamped to ≥ 1; only
+    /// meaningful with [`ScapBuilder::offload`] enabled).
+    pub fn offload_capacity(mut self, rules: usize) -> Self {
+        self.cfg.offload_capacity = rules.max(1);
+        self
+    }
+
     /// Select the dispatch path: the emulated per-packet classic path
     /// or the poll-mode kernel-bypass fast path (`--fastpath`). The
     /// delivered streams are byte-identical either way; only the cost
@@ -1221,16 +1237,6 @@ impl Scap {
         }
         self.apply_unchecked(delta);
         Ok(())
-    }
-
-    /// Hot-reconfiguration without validation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "silently accepts deltas that conflict with installed \
-                per-direction/class cutoffs; use `try_apply_config`"
-    )]
-    pub fn apply_config(&mut self, delta: ConfigDelta) {
-        self.apply_unchecked(delta);
     }
 
     fn apply_unchecked(&mut self, delta: ConfigDelta) {

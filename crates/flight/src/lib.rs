@@ -149,6 +149,12 @@ flight_ids! {
         /// A persistently slow tenant was forcibly disconnected
         /// (`uid` = tenant id, `a` = bytes dropped on its queue).
         TenantDisconnected => "tenant_disconnected",
+        /// An offload rule was programmed for a stream (`uid` = stream,
+        /// `a` = action discriminant, `b` = rules installed).
+        OffloadInstalled => "offload_installed",
+        /// An offload rule was evicted under table pressure (`uid` =
+        /// the displacing stream, `a` = evicted rule's priority).
+        OffloadEvicted => "offload_evicted",
     }
 }
 
@@ -175,6 +181,8 @@ flight_ids! {
         Store => "store",
         /// Per-tenant demux and delivery queues (`scapd`).
         Tenant => "tenant",
+        /// The programmable flow-offload stage (`scap-offload`).
+        Offload => "offload",
     }
 }
 
@@ -223,6 +231,10 @@ flight_ids! {
         /// Delivery trimmed/suppressed by a tenant quota (degraded
         /// cutoff or disconnected tenant).
         TenantQuota => "tenant_quota",
+        /// An offload `Drop` rule matched (subzero copy at the NIC).
+        OffloadDrop => "offload_drop",
+        /// An offload `Sample(1-in-N)` rule dropped a non-kept packet.
+        OffloadSample => "offload_sample",
     }
 }
 

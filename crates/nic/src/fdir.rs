@@ -442,4 +442,164 @@ mod tests {
         arp[13] = 0x06;
         assert_eq!(t.lookup(&parse_frame(&arp).unwrap()), None);
     }
+
+    use proptest::prelude::*;
+
+    fn pkey(i: u8) -> FlowKey {
+        FlowKey::new_v4(
+            [10, 0, 0, i],
+            [10, 0, 0, 200],
+            1000 + u16::from(i),
+            80,
+            Transport::Tcp,
+        )
+    }
+
+    fn pframe(i: u8, flags: TcpFlags) -> Vec<u8> {
+        PacketBuilder::tcp_v4(
+            [10, 0, 0, i],
+            [10, 0, 0, 200],
+            1000 + u16::from(i),
+            80,
+            5,
+            6,
+            flags,
+            b"x",
+        )
+    }
+
+    fn flags_of(v: u8) -> TcpFlags {
+        match v {
+            0 => TcpFlags::ACK,
+            1 => TcpFlags::ACK | TcpFlags::PSH,
+            2 => TcpFlags::FIN | TcpFlags::ACK,
+            _ => TcpFlags::RST,
+        }
+    }
+
+    proptest! {
+        /// Precedence between an exact (no-flex) filter and a flex filter
+        /// on the same directed 5-tuple is first-match in install order:
+        /// an exact filter matches every frame on the tuple, so it shadows
+        /// any flex filter installed after it, while a flex filter
+        /// installed first only wins on frames whose flag byte matches.
+        #[test]
+        fn flex_vs_exact_precedence(
+            flex_first in any::<bool>(),
+            fv in 0u8..4,
+            pv in 0u8..4,
+            q in 0usize..8,
+        ) {
+            let mut t = FdirTable::new(8);
+            let k = pkey(1);
+            let flexf = FdirFilter::drop_tcp_flags(k, flags_of(fv));
+            let exact = FdirFilter::steer(k, q);
+            if flex_first {
+                t.add(flexf).unwrap();
+                t.add(exact).unwrap();
+            } else {
+                t.add(exact).unwrap();
+                t.add(flexf).unwrap();
+            }
+
+            let parsedable = pframe(1, flags_of(pv));
+            let parsed = parse_frame(&parsedable).unwrap();
+            let expected = if flex_first && pv == fv {
+                FdirAction::Drop
+            } else {
+                FdirAction::ToQueue(q)
+            };
+            prop_assert_eq!(t.lookup(&parsed), Some(expected));
+
+            // A frame on a different tuple matches neither filter.
+            let other = pframe(2, flags_of(pv));
+            prop_assert_eq!(t.lookup(&parse_frame(&other).unwrap()), None);
+        }
+
+        /// The table agrees with an insertion-ordered reference model
+        /// across add/remove/remove_all_for: Duplicate / TableFull /
+        /// NotFound errors fire exactly when the model says (capacity is
+        /// checked before duplicates, as in `add`), counts stay in sync,
+        /// and `lookup` equals a first-match walk of the model for every
+        /// (tuple, flag-byte) combination.
+        #[test]
+        fn matches_reference_model(
+            ops in proptest::collection::vec((0u8..4, 0u8..5, 0u8..4, 0usize..4), 1..200)
+        ) {
+            const CAP: usize = 4;
+            let mut t = FdirTable::new(CAP);
+            // (key index, flex flag variant, action), in install order.
+            let mut model: Vec<(u8, Option<u8>, FdirAction)> = Vec::new();
+            for (op, ki, fv, q) in ops {
+                match op {
+                    0 => {
+                        let r = t.add(FdirFilter::steer(pkey(ki), q));
+                        if model.len() >= CAP {
+                            prop_assert_eq!(r, Err(FdirError::TableFull));
+                        } else if model.iter().any(|(k, f, _)| *k == ki && f.is_none()) {
+                            prop_assert_eq!(r, Err(FdirError::Duplicate));
+                        } else {
+                            prop_assert_eq!(r, Ok(()));
+                            model.push((ki, None, FdirAction::ToQueue(q)));
+                        }
+                    }
+                    1 => {
+                        let r = t.add(FdirFilter::drop_tcp_flags(pkey(ki), flags_of(fv)));
+                        if model.len() >= CAP {
+                            prop_assert_eq!(r, Err(FdirError::TableFull));
+                        } else if model.iter().any(|(k, f, _)| *k == ki && *f == Some(fv)) {
+                            prop_assert_eq!(r, Err(FdirError::Duplicate));
+                        } else {
+                            prop_assert_eq!(r, Ok(()));
+                            model.push((ki, Some(fv), FdirAction::Drop));
+                        }
+                    }
+                    2 => {
+                        let (flex, mfv) = if q % 2 == 0 {
+                            (None, None)
+                        } else {
+                            (
+                                FdirFilter::drop_tcp_flags(pkey(ki), flags_of(fv)).flex,
+                                Some(fv),
+                            )
+                        };
+                        let r = t.remove(&pkey(ki), flex);
+                        match model.iter().position(|(k, f, _)| *k == ki && *f == mfv) {
+                            Some(pos) => {
+                                prop_assert_eq!(r, Ok(()));
+                                model.remove(pos);
+                            }
+                            None => prop_assert_eq!(r, Err(FdirError::NotFound)),
+                        }
+                    }
+                    _ => {
+                        let n = t.remove_all_for(&pkey(ki));
+                        let before = model.len();
+                        model.retain(|(k, _, _)| *k != ki);
+                        prop_assert_eq!(n, before - model.len());
+                    }
+                }
+                prop_assert_eq!(t.len(), model.len());
+                prop_assert_eq!(t.free(), CAP - model.len());
+            }
+
+            for ki in 0..5u8 {
+                for pv in 0..4u8 {
+                    let frame = pframe(ki, flags_of(pv));
+                    let parsed = parse_frame(&frame).unwrap();
+                    let want = model.iter().find_map(|(k, f, a)| {
+                        if *k != ki {
+                            return None;
+                        }
+                        match f {
+                            None => Some(*a),
+                            Some(mfv) if *mfv == pv => Some(*a),
+                            _ => None,
+                        }
+                    });
+                    prop_assert_eq!(t.lookup(&parsed), want);
+                }
+            }
+        }
+    }
 }

@@ -30,6 +30,10 @@ pub mod rss;
 pub use fdir::{FdirAction, FdirError, FdirFilter, FdirTable, FlexMatch};
 pub use queue::RxQueue;
 pub use rss::{RssHasher, SYMMETRIC_RSS_KEY};
+pub use scap_offload::{
+    OffloadAction, OffloadError, OffloadRule, OffloadStats, OffloadTable, OffloadVerdict,
+    DEFAULT_OFFLOAD_CAPACITY,
+};
 
 use scap_telemetry::{Metric, PlainRegistry};
 use scap_wire::ParsedPacket;
@@ -45,6 +49,13 @@ pub enum NicVerdict {
     HashedToQueue(usize),
     /// The target ring was full; the frame was dropped at the NIC.
     DroppedRingFull(usize),
+    /// An offload `Drop` rule dropped the frame (subzero copy).
+    DroppedByOffload,
+    /// An offload `Sample` rule dropped this non-kept 1-in-N frame.
+    SampledByOffload,
+    /// An offload `Bypass` rule shunted the frame: counted delivered at
+    /// the NIC, never enqueued to a ring.
+    BypassedByOffload,
 }
 
 impl NicVerdict {
@@ -78,6 +89,18 @@ pub struct NicStats {
     pub delivered_frames: u64,
     /// Bytes delivered into descriptor rings.
     pub delivered_bytes: u64,
+    /// Frames dropped by offload `Drop` rules.
+    pub offload_dropped_frames: u64,
+    /// Bytes dropped by offload `Drop` rules.
+    pub offload_dropped_bytes: u64,
+    /// Frames dropped by offload `Sample` rules.
+    pub offload_sampled_frames: u64,
+    /// Bytes dropped by offload `Sample` rules.
+    pub offload_sampled_bytes: u64,
+    /// Frames shunted by offload `Bypass` rules (delivered at the NIC).
+    pub offload_bypass_frames: u64,
+    /// Bytes shunted by offload `Bypass` rules.
+    pub offload_bypass_bytes: u64,
 }
 
 /// The simulated NIC.
@@ -89,11 +112,23 @@ pub struct NicStats {
 pub struct Nic<T> {
     rss: RssHasher,
     fdir: FdirTable,
+    offload: OffloadTable,
     queues: Vec<RxQueue<T>>,
     stats: NicStats,
     /// Telemetry: per-queue shards; table-wide FDIR ops land in shard 0.
     tele: PlainRegistry,
 }
+
+/// Seed for the offload table's symmetric flow hash (deterministic, like
+/// the RSS key: the simulated hardware has no entropy source).
+const OFFLOAD_HASH_SEED: u64 = 0x0FF1_0AD5_CA90_FF1C;
+
+/// Rule capacity of the offload table a NIC powers on with. Deliberately
+/// modest: the host sizes the table up (to [`DEFAULT_OFFLOAD_CAPACITY`]
+/// or beyond) via [`Nic::set_offload_capacity`] only when the offload
+/// stage is actually enabled, so captures that never use it don't pay
+/// the million-entry allocation.
+pub const BASELINE_OFFLOAD_RULES: usize = 4096;
 
 impl<T> Nic<T> {
     /// Build a NIC with `nqueues` RX rings of `ring_capacity` descriptors,
@@ -103,10 +138,18 @@ impl<T> Nic<T> {
         Nic {
             rss: RssHasher::symmetric(nqueues),
             fdir: FdirTable::new(fdir::PERFECT_FILTER_CAPACITY),
+            offload: OffloadTable::new(BASELINE_OFFLOAD_RULES, OFFLOAD_HASH_SEED),
             queues: (0..nqueues).map(|_| RxQueue::new(ring_capacity)).collect(),
             stats: NicStats::default(),
             tele: PlainRegistry::new(nqueues),
         }
+    }
+
+    /// Replace the offload table with one of a different rule capacity.
+    /// Intended at bring-up, before any rules are installed (a capacity
+    /// change re-programs the hardware table, discarding its contents).
+    pub fn set_offload_capacity(&mut self, capacity: usize) {
+        self.offload = OffloadTable::new(capacity, OFFLOAD_HASH_SEED);
     }
 
     /// The NIC's telemetry registry (one shard per RX queue). The kernel
@@ -140,6 +183,16 @@ impl<T> Nic<T> {
         &self.fdir
     }
 
+    /// Access the flow-offload table (rule install/evict).
+    pub fn offload_mut(&mut self) -> &mut OffloadTable {
+        &mut self.offload
+    }
+
+    /// Access the flow-offload table read-only (mark lookups, stats).
+    pub fn offload(&self) -> &OffloadTable {
+        &self.offload
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> NicStats {
         self.stats
@@ -151,14 +204,50 @@ impl<T> Nic<T> {
         self.rss.queue_for(key)
     }
 
-    /// Receive one frame: FDIR first, then RSS. `item` is the host-side
-    /// handle; it is only stored if the frame survives to a ring.
+    /// Receive one frame: the offload flow table first (the programmable
+    /// stage subsumes FDIR on modern hardware), then FDIR, then RSS.
+    /// `item` is the host-side handle; it is only stored if the frame
+    /// survives to a ring.
     pub fn receive(&mut self, parsed: &ParsedPacket<'_>, item: T) -> NicVerdict {
         self.stats.rx_frames += 1;
         self.stats.rx_bytes += parsed.frame.len() as u64;
         self.tele.inc(0, Metric::NicRxFrames);
         self.tele
             .add(0, Metric::NicRxBytes, parsed.frame.len() as u64);
+
+        if let Some(verdict) = self.offload.lookup(parsed) {
+            self.tele.inc(0, Metric::NicOffloadHits);
+            match verdict {
+                OffloadVerdict::Drop => {
+                    self.stats.offload_dropped_frames += 1;
+                    self.stats.offload_dropped_bytes += parsed.frame.len() as u64;
+                    self.tele.inc(0, Metric::NicOffloadDropFrames);
+                    return NicVerdict::DroppedByOffload;
+                }
+                OffloadVerdict::SampleDrop => {
+                    self.stats.offload_sampled_frames += 1;
+                    self.stats.offload_sampled_bytes += parsed.frame.len() as u64;
+                    self.tele.inc(0, Metric::NicOffloadSampleDrops);
+                    return NicVerdict::SampledByOffload;
+                }
+                OffloadVerdict::Bypass => {
+                    // Shunted: complete at the NIC, counted delivered so
+                    // the conservation identity holds without a softirq.
+                    self.stats.offload_bypass_frames += 1;
+                    self.stats.offload_bypass_bytes += parsed.frame.len() as u64;
+                    self.stats.delivered_frames += 1;
+                    self.stats.delivered_bytes += parsed.frame.len() as u64;
+                    self.tele.inc(0, Metric::NicOffloadBypassFrames);
+                    return NicVerdict::BypassedByOffload;
+                }
+                OffloadVerdict::Mark(_) => {
+                    // Tagged flows continue down the normal path; the
+                    // kernel reads the mark at stream creation.
+                    self.tele.inc(0, Metric::NicOffloadMarkFrames);
+                }
+                OffloadVerdict::SampleKeep => {}
+            }
+        }
 
         if let Some(action) = self.fdir.lookup(parsed) {
             match action {
@@ -245,6 +334,40 @@ impl<T> Nic<T> {
     pub fn fdir_uninstall_all_for(&mut self, key: &scap_wire::FlowKey) -> usize {
         self.tele.inc(0, Metric::NicFdirOps);
         self.fdir.remove_all_for(key)
+    }
+
+    /// Program one offload rule, recording the operation (and any
+    /// failure) in telemetry. Prefer this over `offload_mut().add` so
+    /// the op counters stay complete.
+    pub fn offload_install(&mut self, rule: OffloadRule) -> Result<(), OffloadError> {
+        self.tele.inc(0, Metric::NicOffloadOps);
+        let r = self.offload.add(rule);
+        if r.is_err() {
+            self.tele.inc(0, Metric::NicOffloadOpFailures);
+        }
+        r
+    }
+
+    /// Remove the offload rule for a flow, recording the operation.
+    pub fn offload_uninstall(
+        &mut self,
+        key: &scap_wire::FlowKey,
+    ) -> Result<OffloadRule, OffloadError> {
+        self.tele.inc(0, Metric::NicOffloadOps);
+        let r = self.offload.remove(key);
+        if r.is_err() {
+            self.tele.inc(0, Metric::NicOffloadOpFailures);
+        }
+        r
+    }
+
+    /// Evict one rule under table pressure, recording the eviction.
+    pub fn offload_evict(&mut self, max_scan: usize) -> Option<OffloadRule> {
+        let r = self.offload.evict_tiered(max_scan);
+        if r.is_some() {
+            self.tele.inc(0, Metric::NicOffloadEvictions);
+        }
+        r
     }
 }
 
@@ -391,5 +514,64 @@ mod tests {
         nic.fdir_mut().add(FdirFilter::steer(key, 3)).unwrap();
         assert_eq!(nic.receive(&p, 9), NicVerdict::SteeredToQueue(3));
         assert_eq!(nic.queue_mut(3).pop(), Some(9));
+    }
+
+    #[test]
+    fn offload_rule_takes_precedence_over_fdir() {
+        let mut nic: Nic<u32> = Nic::new(4, 16);
+        let f = frame(7777, 80, TcpFlags::ACK);
+        let p = parse_frame(&f).unwrap();
+        let key = p.key.unwrap();
+        // FDIR would steer the flow; the offload drop rule wins.
+        nic.fdir_mut().add(FdirFilter::steer(key, 2)).unwrap();
+        nic.offload_install(OffloadRule::new(key, OffloadAction::Drop, 1))
+            .unwrap();
+        assert_eq!(nic.receive(&p, 0), NicVerdict::DroppedByOffload);
+        assert_eq!(nic.stats().offload_dropped_frames, 1);
+        assert_eq!(nic.stats().fdir_steered_frames, 0);
+        // Removing the rule restores the FDIR behaviour.
+        nic.offload_uninstall(&key).unwrap();
+        assert_eq!(nic.receive(&p, 1), NicVerdict::SteeredToQueue(2));
+    }
+
+    #[test]
+    fn offload_bypass_counts_delivered_without_ring() {
+        let mut nic: Nic<u32> = Nic::new(2, 16);
+        let f = frame(1234, 80, TcpFlags::ACK);
+        let p = parse_frame(&f).unwrap();
+        let key = p.key.unwrap();
+        nic.offload_install(OffloadRule::new(key, OffloadAction::Bypass, 0))
+            .unwrap();
+        assert_eq!(nic.receive(&p, 0), NicVerdict::BypassedByOffload);
+        let s = nic.stats();
+        assert_eq!(s.delivered_frames, 1);
+        assert_eq!(s.offload_bypass_frames, 1);
+        // Nothing landed in a ring.
+        assert_eq!(nic.queue_mut(0).pop(), None);
+        assert_eq!(nic.queue_mut(1).pop(), None);
+        // Conservation at the NIC: rx == delivered (+ no drops).
+        assert_eq!(s.rx_frames, s.delivered_frames);
+    }
+
+    #[test]
+    fn offload_telemetry_mirrors_stats() {
+        use scap_telemetry::Metric;
+        let mut nic: Nic<u32> = Nic::new(2, 16);
+        let f = frame(4321, 80, TcpFlags::ACK);
+        let p = parse_frame(&f).unwrap();
+        let key = p.key.unwrap();
+        nic.offload_install(OffloadRule::new(key, OffloadAction::Sample(2), 0))
+            .unwrap();
+        for i in 0..4 {
+            nic.receive(&p, i); // keep, drop, keep, drop
+        }
+        let s = nic.stats();
+        assert_eq!(s.offload_sampled_frames, 2);
+        assert_eq!(s.delivered_frames, 2);
+        let t = nic.telemetry().snapshot();
+        assert_eq!(t.total(Metric::NicOffloadHits), 4);
+        assert_eq!(t.total(Metric::NicOffloadSampleDrops), 2);
+        assert_eq!(t.total(Metric::NicOffloadOps), 1);
+        assert_eq!(nic.offload().stats().sample_kept_frames, 2);
     }
 }

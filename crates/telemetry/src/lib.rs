@@ -206,6 +206,22 @@ static_ids! {
         FastpathBursts => "fastpath_bursts",
         /// Packets dispatched through the poll-mode fast path.
         FastpathPackets => "fastpath_packets",
+        /// Frames matched by any offload rule (all actions).
+        NicOffloadHits => "nic_offload_hits",
+        /// Frames dropped by offload `Drop` rules (subzero copy).
+        NicOffloadDropFrames => "nic_offload_drop_frames",
+        /// Frames shunted by offload `Bypass` rules.
+        NicOffloadBypassFrames => "nic_offload_bypass_frames",
+        /// Frames tagged by offload `Mark` rules.
+        NicOffloadMarkFrames => "nic_offload_mark_frames",
+        /// Frames dropped by offload `Sample` rules (non-kept 1-in-N).
+        NicOffloadSampleDrops => "nic_offload_sample_drops",
+        /// Offload rule add/remove operations.
+        NicOffloadOps => "nic_offload_ops",
+        /// Offload rule operations that failed.
+        NicOffloadOpFailures => "nic_offload_op_failures",
+        /// Offload rules evicted under table pressure.
+        NicOffloadEvictions => "nic_offload_evictions",
     }
 }
 
@@ -234,6 +250,10 @@ static_ids! {
         FlowProbeCentigroups => "flow_probe_centigroups",
         /// Mean fast-path burst fill, in permille of the burst size.
         FastpathFillPermille => "fastpath_fill_permille",
+        /// Offload rules currently installed.
+        OffloadRules => "offload_rules",
+        /// Offload-table occupancy, in permille of rule capacity.
+        OffloadLoadPermille => "offload_load_permille",
     }
 }
 

@@ -1,0 +1,296 @@
+//! Concurrency amplifier: N× the flows of any trace, streamed in O(1).
+//!
+//! The offload experiments need *million-flow* working sets — 10–100×
+//! the concurrency of a base campus or ISP mix — without materializing
+//! (or even generating) N× the trace in memory. The amplifier is a lazy
+//! iterator adapter: each input packet fans out into `factor` replicas,
+//! where replica 0 is the original frame (shared, zero-copy) and replica
+//! `r > 0` carries NAT-style rewritten IPv4 addresses, so every replica
+//! is a *distinct* flow that advances in lockstep with the original.
+//! Amplifying a 100 K-flow mix by 10 yields a 1 M-flow workload whose
+//! per-flow behaviour (sizes, handshakes, teardown, wire imperfections)
+//! is byte-identical to the base trace.
+//!
+//! Address rewriting is done in place with incremental checksum updates
+//! (RFC 1624) over the IPv4 header checksum and the TCP/UDP checksum's
+//! pseudo-header contribution, so the amplified frames remain as
+//! well-formed as the builder-produced originals. Non-IPv4 frames (a few
+//! percent of a campus mix) are passed through unreplicated — they carry
+//! no flow key, so replicating them would only inflate byte counts.
+//!
+//! Memory: one input packet plus a replica counter — independent of both
+//! trace length and amplification factor.
+
+use crate::Packet;
+use scap_wire::splitmix64;
+
+/// Configuration for the amplifier.
+#[derive(Debug, Clone)]
+pub struct AmplifyConfig {
+    /// Replicas per input flow, including the original (1 = passthrough).
+    pub factor: usize,
+    /// Seed for the per-replica address masks; identical seeds give
+    /// byte-identical amplified traces.
+    pub seed: u64,
+}
+
+impl AmplifyConfig {
+    /// Amplify by `factor` with the default seed.
+    pub fn by(factor: usize) -> Self {
+        AmplifyConfig {
+            factor: factor.max(1),
+            seed: 0x0ff1_0ad5,
+        }
+    }
+}
+
+/// Lazy concurrency amplifier over any packet iterator.
+pub struct Amplifier<I: Iterator<Item = Packet>> {
+    inner: I,
+    cfg: AmplifyConfig,
+    /// Per-replica address masks (index 0 unused: replica 0 is identity).
+    masks: Vec<[u8; 3]>,
+    current: Option<Packet>,
+    replica: usize,
+    last_ts: u64,
+}
+
+impl<I: Iterator<Item = Packet>> Amplifier<I> {
+    /// Wrap `inner`, fanning each IPv4 packet out `cfg.factor` ways.
+    pub fn new(inner: I, cfg: AmplifyConfig) -> Self {
+        // Each replica rewrites the low three octets of both addresses
+        // with a fixed xor mask; masks are pairwise distinct, so replicas
+        // of one flow never collide with each other, and collisions
+        // *across* base flows would need two flows whose address pairs
+        // differ by exactly the xor of two 48-bit masks.
+        let mut masks = vec![[0u8; 3]; cfg.factor];
+        for (r, m) in masks.iter_mut().enumerate().skip(1) {
+            let h = splitmix64(cfg.seed ^ r as u64);
+            // Never all-zero: that would alias the original flow.
+            m[0] = (h >> 16) as u8;
+            m[1] = (h >> 8) as u8;
+            m[2] = (h as u8) | 1;
+        }
+        Amplifier {
+            inner,
+            cfg,
+            masks,
+            current: None,
+            replica: 0,
+            last_ts: 0,
+        }
+    }
+
+    /// Total flows this amplifier will produce per base flow.
+    pub fn factor(&self) -> usize {
+        self.cfg.factor
+    }
+}
+
+impl<I: Iterator<Item = Packet>> Iterator for Amplifier<I> {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        loop {
+            if let Some(base) = &self.current {
+                if self.replica < self.cfg.factor {
+                    let r = self.replica;
+                    self.replica += 1;
+                    let pkt = if r == 0 {
+                        base.clone() // zero-copy: shares the frame
+                    } else {
+                        let mut frame = base.frame.to_vec();
+                        if !rewrite_addrs_v4(&mut frame, self.masks[r]) {
+                            // Not IPv4: emit once (replica 0), skip the rest.
+                            self.replica = self.cfg.factor;
+                            continue;
+                        }
+                        // Nudge replicas apart in time, keeping the stream
+                        // monotonic: replays and the kernel's timer wheel
+                        // both assume non-decreasing timestamps.
+                        Packet::new(base.ts_ns + r as u64, frame)
+                    };
+                    let ts = pkt.ts_ns.max(self.last_ts);
+                    self.last_ts = ts;
+                    return Some(Packet { ts_ns: ts, ..pkt });
+                }
+                self.current = None;
+            }
+            self.current = Some(self.inner.next()?);
+            self.replica = 0;
+        }
+    }
+}
+
+const ETH_HLEN: usize = 14;
+
+/// Xor `mask` into the low three octets of the IPv4 source and
+/// destination addresses, incrementally fixing the IP header checksum and
+/// the TCP/UDP checksum (both cover the addresses via the pseudo-header).
+/// Returns `false` when the frame is not IPv4 (left untouched).
+fn rewrite_addrs_v4(frame: &mut [u8], mask: [u8; 3]) -> bool {
+    if frame.len() < ETH_HLEN + 20 {
+        return false;
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != 0x0800 {
+        return false;
+    }
+    let ihl = usize::from(frame[ETH_HLEN] & 0x0F) * 4;
+    if ihl < 20 || frame.len() < ETH_HLEN + ihl {
+        return false;
+    }
+    let proto = frame[ETH_HLEN + 9];
+    let src_off = ETH_HLEN + 12;
+    let dst_off = ETH_HLEN + 16;
+
+    // Remember the old address words for the checksum deltas.
+    let old_words: Vec<u16> = (0..4)
+        .map(|i| u16::from_be_bytes([frame[src_off + 2 * i], frame[src_off + 2 * i + 1]]))
+        .collect();
+    for off in [src_off, dst_off] {
+        for (i, m) in mask.iter().enumerate() {
+            frame[off + 1 + i] ^= m;
+        }
+    }
+    let new_words: Vec<u16> = (0..4)
+        .map(|i| u16::from_be_bytes([frame[src_off + 2 * i], frame[src_off + 2 * i + 1]]))
+        .collect();
+
+    let fix = |csum: u16| -> u16 {
+        // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m'), per changed word.
+        let mut acc = u32::from(!csum);
+        for (o, n) in old_words.iter().zip(&new_words) {
+            acc += u32::from(!o) + u32::from(*n);
+        }
+        while acc >> 16 != 0 {
+            acc = (acc & 0xFFFF) + (acc >> 16);
+        }
+        !(acc as u16)
+    };
+
+    let ip_csum_off = ETH_HLEN + 10;
+    let ip_csum = u16::from_be_bytes([frame[ip_csum_off], frame[ip_csum_off + 1]]);
+    frame[ip_csum_off..ip_csum_off + 2].copy_from_slice(&fix(ip_csum).to_be_bytes());
+
+    let l4_off = ETH_HLEN + ihl;
+    let l4_csum_off = match proto {
+        6 if frame.len() >= l4_off + 18 => Some(l4_off + 16), // TCP
+        17 if frame.len() >= l4_off + 8 => Some(l4_off + 6),  // UDP
+        _ => None,
+    };
+    if let Some(off) = l4_csum_off {
+        let csum = u16::from_be_bytes([frame[off], frame[off + 1]]);
+        // UDP checksum 0 means "not computed" — leave it that way.
+        if !(proto == 17 && csum == 0) {
+            frame[off..off + 2].copy_from_slice(&fix(csum).to_be_bytes());
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{CampusMix, CampusMixConfig};
+    use crate::stats::TraceStats;
+    use scap_wire::{checksum, ip_proto, parse_frame, Ipv4Packet, PacketBuilder, TcpFlags};
+
+    fn base_trace() -> Vec<Packet> {
+        CampusMix::new(CampusMixConfig::sized(7, 1 << 20)).collect_all()
+    }
+
+    #[test]
+    fn amplification_multiplies_flow_count_exactly() {
+        let base = base_trace();
+        let base_stats = TraceStats::from_packets(base.iter());
+        for factor in [1usize, 4, 10] {
+            let amp: Vec<Packet> =
+                Amplifier::new(base.iter().cloned(), AmplifyConfig::by(factor)).collect();
+            let s = TraceStats::from_packets(amp.iter());
+            assert_eq!(s.tcp_flows, base_stats.tcp_flows * factor as u64);
+            assert_eq!(s.parse_errors, 0);
+        }
+    }
+
+    #[test]
+    fn replica_frames_keep_valid_checksums() {
+        let frame = PacketBuilder::tcp_v4(
+            [10, 0, 0, 1],
+            [172, 16, 0, 1],
+            40000,
+            80,
+            1000,
+            2000,
+            TcpFlags::ACK | TcpFlags::PSH,
+            b"GET / HTTP/1.1\r\n\r\n",
+        );
+        let base = vec![Packet::new(1_000, frame)];
+        let amp: Vec<Packet> = Amplifier::new(base.into_iter(), AmplifyConfig::by(8)).collect();
+        assert_eq!(amp.len(), 8);
+        for p in &amp {
+            let ip = Ipv4Packet::new_checked(&p.frame[14..]).unwrap();
+            ip.verify_checksum().unwrap();
+            // The TCP checksum over the pseudo-header folds to zero.
+            let parsed = parse_frame(&p.frame).unwrap();
+            let payload_and_hdr = &p.frame[14 + ip.header_len()..];
+            let mut sum = checksum::pseudo_header_v4(
+                ip.src_addr(),
+                ip.dst_addr(),
+                ip_proto::TCP,
+                payload_and_hdr.len() as u16,
+            );
+            sum.push(payload_and_hdr);
+            assert_eq!(sum.finish(), 0, "tcp checksum must stay valid");
+            assert!(parsed.key.is_some());
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_flows_and_original_survives() {
+        let frame = PacketBuilder::tcp_v4(
+            [10, 1, 2, 3],
+            [172, 16, 9, 1],
+            41000,
+            443,
+            1,
+            0,
+            TcpFlags::SYN,
+            b"",
+        );
+        let base = vec![Packet::new(5, frame.clone())];
+        let amp: Vec<Packet> = Amplifier::new(base.into_iter(), AmplifyConfig::by(16)).collect();
+        let mut keys = std::collections::HashSet::new();
+        for p in &amp {
+            let k = parse_frame(&p.frame).unwrap().key.unwrap().canonical().0;
+            assert!(keys.insert(k), "replica flows must be pairwise distinct");
+        }
+        // Replica 0 is the untouched original.
+        assert_eq!(&amp[0].frame[..], &frame[..]);
+        // First octets survive, so addresses stay in their original nets.
+        for p in &amp {
+            let ip = Ipv4Packet::new_checked(&p.frame[14..]).unwrap();
+            assert_eq!(ip.src_addr()[0], 10);
+            assert_eq!(ip.dst_addr()[0], 172);
+        }
+    }
+
+    #[test]
+    fn timestamps_stay_monotonic() {
+        let base = base_trace();
+        let amp = Amplifier::new(base.into_iter(), AmplifyConfig::by(10));
+        let mut last = 0u64;
+        for p in amp {
+            assert!(p.ts_ns >= last);
+            last = p.ts_ns;
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let base = base_trace();
+        let a: Vec<Packet> = Amplifier::new(base.iter().cloned(), AmplifyConfig::by(5)).collect();
+        let b: Vec<Packet> = Amplifier::new(base.iter().cloned(), AmplifyConfig::by(5)).collect();
+        assert_eq!(a, b);
+    }
+}

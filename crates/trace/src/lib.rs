@@ -14,12 +14,14 @@
 //! mean packet size, a configurable port-80 packet share — at any target
 //! trace size, and [`replay`] rescales timestamps to any target bit rate.
 
+pub mod amplify;
 pub mod concurrent;
 pub mod gen;
 pub mod pcap;
 pub mod replay;
 pub mod stats;
 
+pub use amplify::{Amplifier, AmplifyConfig};
 pub use gen::{CampusMix, CampusMixConfig};
 pub use replay::RateReplay;
 pub use stats::TraceStats;
