@@ -167,6 +167,42 @@ echo "$off_top_log" | grep -q "offload        rules" \
 echo "$off_top_log" | grep -q "offload mix    drop" \
     || { echo "scaptop --offload rendered no action-mix line"; exit 1; }
 
+echo "== shard soak gate =="
+soak_out=$(mktemp -d)
+# The soak drives the amplified replay through a supervised shard fleet
+# under the seeded shard-kill storm. The experiment asserts byte-exact
+# fleet conservation, journal reconciliation of every blackout, that
+# every killed shard respawned or parked within the blackout bound, and
+# federated partial-result honesty; any violation panics, so a zero
+# exit is the proof.
+cargo run --release -p scap-bench --bin experiments -- \
+    --exp soak --scale smoke --out "$soak_out" >/dev/null \
+    || { echo "shard soak experiment failed"; exit 1; }
+grep -q '"soak"' "$soak_out/BENCH_summary.json" \
+    || { echo "BENCH_summary.json lacks a soak section"; exit 1; }
+grep -q '"max_blackout_ms"' "$soak_out/BENCH_summary.json" \
+    || { echo "soak section lacks a max_blackout_ms field"; exit 1; }
+for f in soak_fleet.csv soak_shards.csv soak_federated.csv; do
+    test -s "$soak_out/$f" || { echo "missing $f"; exit 1; }
+done
+grep -q '"soak_pkts_per_sec"' "$soak_out/trajectory.jsonl" \
+    || { echo "trajectory record lacks the soak throughput"; exit 1; }
+fq=$(cargo run --release -p scap-bench --bin scapstore -- \
+    fquery "$soak_out/soak_store" "tcp and port 80" --timeout-ms 10000 | tail -5) \
+    || { echo "federated query over the soak archives failed"; exit 1; }
+echo "$fq" | grep -q "shard(s)" \
+    || { echo "fquery printed no per-shard status: $fq"; exit 1; }
+rm -rf "$soak_out"
+
+echo "== scaptop --shards panel smoke =="
+shards_log=$(cargo run --release -p scap-bench --bin scaptop -- \
+    --gen 2 --shards 4 --storm --interval 2000) \
+    || { echo "scaptop --shards smoke run failed"; exit 1; }
+echo "$shards_log" | grep -q "shard  state" \
+    || { echo "scaptop --shards rendered no per-shard panel"; exit 1; }
+echo "$shards_log" | grep -q "conservation ok" \
+    || { echo "scaptop --shards fleet did not conserve: $shards_log"; exit 1; }
+
 echo "== scapstore smoke =="
 store_out=$(mktemp -d)
 cargo run --release -p scap-bench --bin scapcat -- --gen 2 "$store_out/trace.pcap" >/dev/null

@@ -8,6 +8,10 @@
 //! scapstore ls <dir>                  list archived streams (uid order)
 //! scapstore query <dir> <expr> [--since NS] [--until NS]
 //!           [--export out.pcap]      BPF query over index records only
+//! scapstore fquery <root> <expr> [--timeout-ms N]
+//!     federated query across every <root>/shard-N archive with a
+//!     per-shard time budget; reports per-shard status and whether the
+//!     merged result is partial
 //! scapstore cat <dir> <uid>          dump a stream's payload to stdout
 //! scapstore compact <dir> [--budget BYTES]
 //!     re-enforce the budget and rewrite segments without dead weight
@@ -31,6 +35,7 @@ fn main() {
         "write" => cmd_write(&args[1..]),
         "ls" => cmd_ls(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "fquery" => cmd_fquery(&args[1..]),
         "cat" => cmd_cat(&args[1..]),
         "compact" => cmd_compact(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
@@ -44,6 +49,7 @@ fn usage(code: i32) -> ! {
          [--budget BYTES] [--segment BYTES] [--workers N]\n\
          \x20      scapstore ls <dir>\n\
          \x20      scapstore query <dir> <expr> [--since NS] [--until NS] [--export out.pcap]\n\
+         \x20      scapstore fquery <root> <expr> [--timeout-ms N]\n\
          \x20      scapstore cat <dir> <uid>\n\
          \x20      scapstore compact <dir> [--budget BYTES]\n\
          \x20      scapstore verify <dir|ckpt> [--repair]"
@@ -221,6 +227,43 @@ fn cmd_query(args: &[String]) {
             .export_pcap(&uids, f, 65535)
             .unwrap_or_else(|e| die(&format!("export failed: {e}")));
         println!("exported {pkts} synthesized packet(s) to {out}");
+    }
+}
+
+fn cmd_fquery(args: &[String]) {
+    use scap_store::{FederatedReader, ShardOutcome};
+    let (pos, flags) = parse(args, &["timeout-ms"]);
+    let [root, expr] = &pos[..] else { usage(2) };
+    let budget = std::time::Duration::from_millis(num(&flags, "timeout-ms").unwrap_or(5_000));
+    let fed = FederatedReader::open(root)
+        .unwrap_or_else(|e| die(&format!("open fleet root {root}: {e}")));
+    let res = fed.query(expr, budget);
+    let n = print_records(res.records.iter().map(|(_, r)| r));
+    println!(
+        "{n} stream(s) matched across {}/{} shard(s){}",
+        res.ok_shards(),
+        fed.nshards(),
+        if res.partial {
+            " — PARTIAL result"
+        } else {
+            ""
+        }
+    );
+    for s in &res.statuses {
+        let outcome = match &s.outcome {
+            ShardOutcome::Ok(k) => format!("ok ({k} record(s))"),
+            ShardOutcome::Error(e) => format!("ERROR: {e}"),
+            ShardOutcome::TimedOut => "TIMED OUT (records excluded)".into(),
+        };
+        println!(
+            "  shard {:>3}  {:>8.2} ms  {}",
+            s.shard,
+            s.elapsed.as_secs_f64() * 1e3,
+            outcome
+        );
+    }
+    if res.partial {
+        std::process::exit(1);
     }
 }
 

@@ -18,7 +18,16 @@
 //! scaptop --gen 8                       # synthetic 8 MB campus trace
 //! scaptop --gen 8 --interval 2000 --topk 5 --cutoff 16384 --delay-ms 100
 //! scaptop --scapd /tmp/ctl              # per-tenant panel of a scapd instance
+//! scaptop --gen 8 --shards 4            # sharded-fleet panel
+//! scaptop --gen 8 --shards 4 --storm    # ... under a seeded shard-kill storm
 //! ```
+//!
+//! With `--shards N` the trace is partitioned across an in-process
+//! [`scap::ShardFleet`]: the panel shows each shard's supervisor state,
+//! lease age, partition share, respawn/kill counters, and the exact
+//! packet/byte loss attributed to its blackouts; `--storm` runs the
+//! seeded shard-kill storm on top. The final line checks the fleet
+//! conservation identity and the exit code reports it.
 //!
 //! With `--scapd DIR` scaptop does not capture anything itself: it
 //! polls the daemon's `scapd-status.tsv` in the control directory and
@@ -377,6 +386,114 @@ fn scapd_panel(dir: &str, delay_ms: u64) -> ! {
     }
 }
 
+/// The `--shards N` mode: partition the trace across a supervised shard
+/// fleet and render the supervisor's per-shard view each interval.
+fn shards_panel(
+    packets: &[Packet],
+    nshards: usize,
+    storm_seed: Option<u64>,
+    interval: u64,
+    delay_ms: u64,
+) -> ! {
+    use scap::{FaultPlan, FleetConfig, ShardFleet};
+
+    let ansi = std::io::stdout().is_terminal();
+    let cfg = FleetConfig {
+        nshards,
+        faults: storm_seed.map(|s| FaultPlan::shard_storm(s, nshards)),
+        ..FleetConfig::default()
+    };
+    let backoff_cap_ns = cfg.backoff_cap_ns;
+    let mut fleet = ShardFleet::new(cfg);
+
+    let render = |fleet: &ShardFleet, fed: usize, now_ns: u64| {
+        let fs = fleet.fleet_stats();
+        let mut out = String::new();
+        if ansi {
+            out.push_str("\x1b[2J\x1b[H");
+        }
+        out.push_str(&format!(
+            "scaptop --shards {nshards} — {fed}/{} packets | trace time {:.3} s | \
+             {} flows | {} kills / {} respawns / {} parked\n\n",
+            packets.len(),
+            now_ns as f64 / 1e9,
+            fs.streams_created,
+            fs.kills,
+            fs.respawns,
+            fs.parked,
+        ));
+        out.push_str(
+            "shard  state       lease_age_ms  offered_pkts  part%  tracked  kills  \
+             respawns  down_pkts  down_bytes  blackout_ms\n",
+        );
+        let wire = fs.wire_packets.max(1);
+        for st in fleet.status() {
+            out.push_str(&format!(
+                "  {:<4} {:<11} {:>12.2} {:>13} {:>6.1} {:>8} {:>6} {:>9} {:>10} {:>11} {:>12.2}\n",
+                st.shard,
+                st.state.name(),
+                st.lease_age_ns as f64 / 1e6,
+                st.offered_pkts,
+                100.0 * st.offered_pkts as f64 / wire as f64,
+                st.tracked_streams,
+                st.kills,
+                st.respawns,
+                st.down_pkts,
+                st.down_bytes,
+                st.max_blackout_ns as f64 / 1e6,
+            ));
+        }
+        out.push_str(&format!(
+            "\nfleet  wire {} pkts / {} B | delivered {} | dropped {} | discarded {} | \
+             shard-down {} pkts / {} B\n",
+            fs.wire_packets,
+            fs.wire_bytes,
+            fs.delivered_packets,
+            fs.dropped_packets,
+            fs.discarded_packets,
+            fs.shard_down_packets,
+            fs.shard_down_bytes,
+        ));
+        let mut w = std::io::stdout().lock();
+        let _ = w.write_all(out.as_bytes());
+        if !ansi {
+            let _ = w.write_all(b"----\n");
+        }
+        let _ = w.flush();
+        if delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        }
+    };
+
+    let mut now = 0u64;
+    for (i, pkt) in packets.iter().enumerate() {
+        now = pkt.ts_ns;
+        fleet.offer(pkt);
+        if ((i + 1) as u64).is_multiple_of(interval) {
+            render(&fleet, i + 1, now);
+        }
+    }
+    // Let pending respawns land, then flush and render the final frame.
+    fleet.tick(now + backoff_cap_ns + 1);
+    fleet.finish(now + backoff_cap_ns + 2);
+    render(&fleet, packets.len(), now);
+
+    let fs = fleet.fleet_stats();
+    let conserved = fs.packets_conserved() && fs.bytes_conserved();
+    println!(
+        "\nfleet capture complete: {} packets | {} flows | {} kills / {} respawns / \
+         {} parked | worst blackout {:.2} ms | conservation {}",
+        fs.wire_packets,
+        fs.streams_created,
+        fs.kills,
+        fs.respawns,
+        fs.parked,
+        fs.max_blackout_ns as f64 / 1e6,
+        if conserved { "ok" } else { "VIOLATED" },
+    );
+    std::process::exit(i32::from(!conserved));
+}
+
 fn permille(v: u64) -> String {
     format!("{}.{}%", v / 10, v % 10)
 }
@@ -392,7 +509,7 @@ fn main() {
         eprintln!(
             "usage: scaptop [file.pcap] [filter] [--gen MB] [--interval PKTS] \
              [--topk N] [--cutoff BYTES] [--fastpath] [--offload] [--burst FRAMES] \
-             [--delay-ms MS] [--seed N] [--scapd DIR]"
+             [--delay-ms MS] [--seed N] [--scapd DIR] [--shards N [--storm]]"
         );
         std::process::exit(0);
     }
@@ -407,6 +524,8 @@ fn main() {
     let mut burst: Option<usize> = None;
     let mut delay_ms: u64 = 0;
     let mut seed: u64 = 42;
+    let mut shards: Option<usize> = None;
+    let mut storm = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut i = 0;
     let numarg = |args: &[String], i: usize, name: &str| -> u64 {
@@ -446,6 +565,11 @@ fn main() {
                 i += 1;
                 seed = numarg(&args, i, "--seed");
             }
+            "--shards" => {
+                i += 1;
+                shards = Some(numarg(&args, i, "--shards").max(1) as usize);
+            }
+            "--storm" => storm = true,
             "--scapd" => {
                 i += 1;
                 scapd_dir = Some(
@@ -476,6 +600,9 @@ fn main() {
         }
         (None, None) => die("no pcap file given (or use --gen MB)"),
     };
+    if let Some(n) = shards {
+        shards_panel(&packets, n, storm.then_some(seed), interval, delay_ms);
+    }
     let filter_expr = if gen_mb.is_some() {
         positional.first().map(|s| s.as_str()).unwrap_or("")
     } else {

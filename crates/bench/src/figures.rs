@@ -2457,6 +2457,315 @@ pub fn offload(cfg: &ExpConfig) -> Vec<FigureResult> {
     vec![fig8_mirror, scale_fig, reconcile]
 }
 
+/// Sustained-load soak: the amplified multi-million-flow replay
+/// partitioned across a shard fleet under a seeded shard-kill storm
+/// (kills, heartbeat stalls, checkpoint corruption), with one archive
+/// per shard and a federated query across the surviving fleet.
+///
+/// Proves the PR's robustness claims end to end: byte-exact fleet
+/// conservation reconciled against the supervisor's flight journal,
+/// every killed shard respawned (or parked by the breaker) within a
+/// bounded blackout, and federated queries that report per-shard
+/// partial-result status instead of silently shrinking.
+pub fn soak(cfg: &ExpConfig) -> Vec<FigureResult> {
+    use scap::{FaultPlan, FleetConfig, ScapConfig, ShardFleet, ShardState};
+    use scap_flight::{decode_journal, DropReason, FlightKind, FlightLayer};
+    use scap_store::{FederatedReader, ShardOutcome, StoreConfig, StoreWriter};
+    use scap_trace::{Amplifier, AmplifyConfig};
+    use std::time::Duration;
+
+    let wl = campus_workload(cfg);
+    let nshards: usize = if cfg.scale.name == "smoke" { 4 } else { 8 };
+    let base_flows = wl.stats.flows.max(1);
+    let target_flows: u64 = if cfg.scale.name == "smoke" {
+        20_000
+    } else {
+        2 << 20
+    };
+    let factor = (target_flows.div_ceil(base_flows)).clamp(10, 100) as usize;
+
+    let mut shard_cfg: ScapConfig = scap_config(cfg);
+    // No flow may expire mid-run: the end-of-run tracked count is the
+    // concurrency the fleet actually sustained.
+    shard_cfg.inactivity_timeout_ns = u64::MAX / 2;
+    let fleet_cfg = FleetConfig {
+        nshards,
+        shard: shard_cfg,
+        faults: Some(FaultPlan::shard_storm(cfg.seed, nshards)),
+        ..FleetConfig::default()
+    };
+    let lease_timeout_ns = fleet_cfg.lease_timeout_ns;
+    let backoff_cap_ns = fleet_cfg.backoff_cap_ns;
+    let mut fleet = ShardFleet::new(fleet_cfg);
+
+    // One archive per shard under a common root — the layout
+    // `FederatedReader` federates over.
+    let store_root = cfg.out_dir.join("soak_store");
+    let _ = std::fs::remove_dir_all(&store_root);
+    let mut writers: Vec<StoreWriter> = (0..nshards)
+        .map(|s| {
+            StoreWriter::open(
+                StoreConfig::new(store_root.join(format!("shard-{s}"))).segment_bytes(1 << 20),
+            )
+            .expect("open shard archive")
+        })
+        .collect();
+
+    let amplified = Amplifier::new(wl.trace.iter().cloned(), AmplifyConfig::by(factor));
+    let mut wire_in = 0u64;
+    let mut wire_bytes_in = 0u64;
+    let mut last_ts = 0u64;
+    let wall = std::time::Instant::now();
+    for p in amplified {
+        wire_in += 1;
+        wire_bytes_in += p.frame.len() as u64;
+        last_ts = p.ts_ns;
+        fleet.offer_with(&p, &mut |shard, ev| {
+            writers[shard].observe(ev).expect("shard archive write");
+        });
+    }
+    // Let every in-flight respawn land (backoff is bounded by the cap),
+    // then flush the fleet: surviving kernels finish into their shard's
+    // archive, down shards close their final blackout.
+    fleet.tick(last_ts + backoff_cap_ns + 1);
+    // Concurrency snapshot before finish() flushes every tracked stream.
+    let tracked: u64 = fleet.status().iter().map(|s| s.tracked_streams).sum();
+    fleet.finish_with(last_ts + backoff_cap_ns + 2, &mut |shard, ev| {
+        writers[shard].observe(ev).expect("shard archive write");
+    });
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
+    let mut streams_archived = 0u64;
+    for w in &mut writers {
+        streams_archived += w.finish().expect("shard archive finish").streams_archived;
+    }
+    drop(writers);
+
+    let fs = fleet.fleet_stats();
+    let status = fleet.status();
+
+    // ---- Fleet-wide conservation, byte-exact.
+    assert_eq!(fs.wire_packets, wire_in, "fleet must see every wire packet");
+    assert_eq!(
+        fs.wire_bytes, wire_bytes_in,
+        "fleet must see every wire byte"
+    );
+    assert!(
+        fs.packets_conserved(),
+        "fleet packet conservation violated: wire {} != delivered {} + dropped {} + \
+         discarded {} + shard_down {}",
+        fs.wire_packets,
+        fs.delivered_packets,
+        fs.dropped_packets,
+        fs.discarded_packets,
+        fs.shard_down_packets
+    );
+    assert!(
+        fs.bytes_conserved(),
+        "fleet byte conservation violated: wire {} != shard wire {} + shard_down {}",
+        fs.wire_bytes,
+        fs.shard_wire_bytes,
+        fs.shard_down_bytes
+    );
+
+    // ---- Blackout loss reconciles byte-exactly against the
+    // supervisor's flight journal (one aggregated ShardDown drop per
+    // blackout, so the bounded ring cannot lose precision).
+    let journal = decode_journal(&fleet.flight().encode()).expect("supervisor journal decodes");
+    assert_eq!(
+        journal.total_dropped(),
+        0,
+        "the supervisor ring must retain every blackout event"
+    );
+    let (mut jp, mut jb) = (0u64, 0u64);
+    for e in &journal.events {
+        if e.kind == FlightKind::Drop
+            && e.layer == FlightLayer::Shard
+            && e.reason == DropReason::ShardDown
+        {
+            jp += e.a;
+            jb += e.b;
+        }
+    }
+    assert_eq!(
+        (jp, jb),
+        (fs.shard_down_packets, fs.shard_down_bytes),
+        "journal ShardDown events must reconcile byte-exactly against the fleet counters"
+    );
+
+    // ---- The storm actually stormed, and recovery is bounded: every
+    // killed shard is back up (kills == respawns) or parked by the
+    // circuit breaker, with no blackout longer than stall + lease
+    // deadline + backoff cap + tick slack.
+    assert!(
+        fs.kills > 0,
+        "the seeded storm must kill at least one shard"
+    );
+    for st in &status {
+        assert!(
+            st.state == ShardState::Parked || st.kills == st.respawns,
+            "shard {}: {} kills but only {} respawns and not parked",
+            st.shard,
+            st.kills,
+            st.respawns
+        );
+    }
+    let blackout_bound_ns = 20_000_000 + lease_timeout_ns + 2 * backoff_cap_ns + 10_000_000;
+    assert!(
+        fs.max_blackout_ns <= blackout_bound_ns,
+        "recovery must be bounded: worst blackout {} ns > bound {} ns",
+        fs.max_blackout_ns,
+        blackout_bound_ns
+    );
+
+    // ---- Federated queries across the per-shard archives: complete
+    // over a healthy fleet, explicitly partial under a zero budget.
+    let fed = FederatedReader::open(&store_root).expect("open federated root");
+    assert_eq!(fed.nshards(), nshards);
+    let res = fed.query("tcp and port 80", Duration::from_secs(60));
+    assert!(
+        !res.partial,
+        "intact shard archives must yield a complete federated result"
+    );
+    assert_eq!(res.ok_shards(), nshards);
+    let starved = fed.query("tcp and port 80", Duration::ZERO);
+    assert!(
+        starved.partial && starved.records.is_empty(),
+        "a zero budget must be reported as partial, never as an empty success"
+    );
+
+    let mpps = wire_in as f64 / elapsed / 1e6;
+    let gbps = wire_bytes_in as f64 * 8.0 / elapsed / 1e9;
+    let fleet_fig = FigureResult {
+        name: "soak_fleet".into(),
+        headers: vec!["metric".into(), "value".into()],
+        rows: vec![
+            vec!["shards".into(), nshards.to_string()],
+            vec!["amplification".into(), format!("{factor}x")],
+            vec!["flows_tracked".into(), fs.streams_created.to_string()],
+            vec!["concurrent_at_end".into(), tracked.to_string()],
+            vec!["wire_pkts".into(), fs.wire_packets.to_string()],
+            vec!["wire_bytes".into(), fs.wire_bytes.to_string()],
+            vec!["delivered_pkts".into(), fs.delivered_packets.to_string()],
+            vec!["dropped_pkts".into(), fs.dropped_packets.to_string()],
+            vec!["discarded_pkts".into(), fs.discarded_packets.to_string()],
+            vec!["shard_down_pkts".into(), fs.shard_down_packets.to_string()],
+            vec!["shard_down_bytes".into(), fs.shard_down_bytes.to_string()],
+            vec!["kills".into(), fs.kills.to_string()],
+            vec!["lease_expiries".into(), fs.lease_expiries.to_string()],
+            vec!["respawns".into(), fs.respawns.to_string()],
+            vec!["ckpt_fallbacks".into(), fs.ckpt_fallbacks.to_string()],
+            vec!["cold_starts".into(), fs.cold_starts.to_string()],
+            vec!["parked".into(), fs.parked.to_string()],
+            vec![
+                "max_blackout_ms".into(),
+                f2(fs.max_blackout_ns as f64 / 1e6),
+            ],
+            vec!["resume_gap_bytes".into(), fs.resume_gap_bytes.to_string()],
+            vec!["resumed_streams".into(), fs.resumed_streams.to_string()],
+            vec![
+                "checkpoints_written".into(),
+                fs.checkpoints_written.to_string(),
+            ],
+            vec!["streams_archived".into(), streams_archived.to_string()],
+            vec!["throughput_mpps".into(), f2(mpps)],
+            vec!["throughput_gbps".into(), f2(gbps)],
+        ],
+        notes: vec![
+            "asserted: fleet conservation exact in packets and bytes (wire == \
+             Σ shard incarnations + shard_down), journal ShardDown events reconcile \
+             byte-exactly, storm killed >= 1 shard, every kill respawned or parked, \
+             worst blackout within lease + backoff + stall bound"
+                .into(),
+            format!(
+                "storm: FaultPlan::shard_storm(seed={}, shards={nshards}) — kills on \
+                 every shard, heartbeat stalls on odd shards, one checkpoint \
+                 corruption victim",
+                cfg.seed
+            ),
+        ],
+    };
+
+    let shard_rows = status
+        .iter()
+        .map(|st| {
+            vec![
+                st.shard.to_string(),
+                st.state.name().into(),
+                st.offered_pkts.to_string(),
+                st.tracked_streams.to_string(),
+                st.kills.to_string(),
+                st.respawns.to_string(),
+                st.down_pkts.to_string(),
+                st.down_bytes.to_string(),
+                f2(st.max_blackout_ns as f64 / 1e6),
+                st.ckpt_fallbacks.to_string(),
+                st.cold_starts.to_string(),
+            ]
+        })
+        .collect();
+    let shards_fig = FigureResult {
+        name: "soak_shards".into(),
+        headers: vec![
+            "shard".into(),
+            "state".into(),
+            "offered_pkts".into(),
+            "tracked".into(),
+            "kills".into(),
+            "respawns".into(),
+            "down_pkts".into(),
+            "down_bytes".into(),
+            "max_blackout_ms".into(),
+            "ckpt_fallbacks".into(),
+            "cold_starts".into(),
+        ],
+        rows: shard_rows,
+        notes: vec![
+            "per-shard supervisor view: RSS-consistent partitioning keeps both \
+             directions of a flow on one shard, so a shard's blackout loses whole \
+             flows, never half-flows"
+                .into(),
+        ],
+    };
+
+    let fed_rows = res
+        .statuses
+        .iter()
+        .map(|s| {
+            let (outcome, n) = match &s.outcome {
+                ShardOutcome::Ok(n) => ("ok".to_string(), n.to_string()),
+                ShardOutcome::Error(e) => (format!("error: {e}"), "-".into()),
+                ShardOutcome::TimedOut => ("timed out".into(), "-".into()),
+            };
+            vec![
+                s.shard.to_string(),
+                outcome,
+                n,
+                f2(s.elapsed.as_secs_f64() * 1e3),
+            ]
+        })
+        .collect();
+    let fed_fig = FigureResult {
+        name: "soak_federated".into(),
+        headers: vec![
+            "shard".into(),
+            "outcome".into(),
+            "records".into(),
+            "elapsed_ms".into(),
+        ],
+        rows: fed_rows,
+        notes: vec![format!(
+            "federated `tcp and port 80` over {} shard archives: {} records, \
+                 partial={}; a zero-budget probe correctly reported all shards \
+                 timed out instead of returning an empty success",
+            nshards,
+            res.records.len(),
+            res.partial
+        )],
+    };
+
+    vec![fleet_fig, shards_fig, fed_fig]
+}
+
 /// Dispatch by experiment id.
 pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<Vec<FigureResult>> {
     Some(match id {
@@ -2480,6 +2789,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<Vec<FigureResult>> {
         "tenants" => tenants(cfg),
         "fastpath" => fastpath(cfg),
         "offload" => offload(cfg),
+        "soak" => soak(cfg),
         _ => return None,
     })
 }
@@ -2506,6 +2816,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "tenants",
     "fastpath",
     "offload",
+    "soak",
 ];
 
 /// Design-choice ablations (not in the paper's figures, but probing the

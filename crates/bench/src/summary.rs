@@ -329,6 +329,44 @@ fn offload_section(scale: &FigureResult, fig8: Option<&FigureResult>) -> String 
     format!("  \"offload\": {{{}}}", fields.join(", "))
 }
 
+/// The sharded soak run: fleet-wide conservation, storm/recovery
+/// counters, and the federated-query outcome as one `"soak"` object.
+fn soak_section(fleet: &FigureResult, federated: Option<&FigureResult>) -> String {
+    let metric = |name: &str| -> String {
+        fleet
+            .rows
+            .iter()
+            .find(|r| r.len() >= 2 && r[0] == name)
+            .map(|r| json_value(r[1].trim_end_matches('x')))
+            .unwrap_or_else(|| "null".into())
+    };
+    let mut fields = vec![
+        format!("\"shards\": {}", metric("shards")),
+        format!("\"amplification\": {}", metric("amplification")),
+        format!("\"flows_tracked\": {}", metric("flows_tracked")),
+        format!("\"wire_pkts\": {}", metric("wire_pkts")),
+        format!("\"shard_down_pkts\": {}", metric("shard_down_pkts")),
+        format!("\"shard_down_bytes\": {}", metric("shard_down_bytes")),
+        format!("\"kills\": {}", metric("kills")),
+        format!("\"respawns\": {}", metric("respawns")),
+        format!("\"parked\": {}", metric("parked")),
+        format!("\"max_blackout_ms\": {}", metric("max_blackout_ms")),
+        format!("\"throughput_mpps\": {}", metric("throughput_mpps")),
+    ];
+    if let Some(f) = federated {
+        let ok = f
+            .rows
+            .iter()
+            .filter(|r| r.len() >= 2 && r[1] == "ok")
+            .count();
+        fields.push(format!(
+            "\"federated\": {{\"shards_ok\": {ok}, \"shards_total\": {}}}",
+            f.rows.len()
+        ));
+    }
+    format!("  \"soak\": {{{}}}", fields.join(", "))
+}
+
 /// Render the summary document from every figure produced in this run.
 pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String {
     let mut sections = vec![
@@ -373,6 +411,9 @@ pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String
     }
     if let Some(fig) = find(results, "offload_scale") {
         sections.push(offload_section(fig, find(results, "offload_fig8_softirq")));
+    }
+    if let Some(fig) = find(results, "soak_fleet") {
+        sections.push(soak_section(fig, find(results, "soak_federated")));
     }
     format!("{{\n{}\n}}\n", sections.join(",\n"))
 }
@@ -445,6 +486,25 @@ pub fn render_trajectory_record(cfg: &ExpConfig, results: &[FigureResult]) -> St
         }
         if let Some(v) = metric("wire_pkts") {
             fields.push(format!("\"offload_wire_pkts\": {v}"));
+        }
+    }
+    if let Some(s) = find(results, "soak_fleet") {
+        let metric = |name: &str| -> Option<String> {
+            s.rows
+                .iter()
+                .find(|r| r.len() >= 2 && r[0] == name)
+                .map(|r| json_value(&r[1]))
+        };
+        if let Some(v) = metric("throughput_mpps") {
+            if let Ok(mpps) = v.parse::<f64>() {
+                fields.push(format!("\"soak_pkts_per_sec\": {:.0}", mpps * 1e6));
+            }
+        }
+        if let Some(v) = metric("flows_tracked") {
+            fields.push(format!("\"soak_flows_tracked\": {v}"));
+        }
+        if let Some(v) = metric("max_blackout_ms") {
+            fields.push(format!("\"soak_max_blackout_ms\": {v}"));
         }
     }
     format!("{{{}}}\n", fields.join(", "))

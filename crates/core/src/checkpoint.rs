@@ -531,6 +531,8 @@ fn encode_config_body(cfg: &ScapConfig) -> Vec<u8> {
     put_u64(&mut b, cfg.fastpath_burst as u64);
     b.push(u8::from(cfg.use_offload));
     put_u64(&mut b, cfg.offload_capacity as u64);
+    put_u32(&mut b, cfg.watchdog_breaker_threshold);
+    put_u64(&mut b, cfg.watchdog_breaker_window_ns);
     b
 }
 
@@ -1045,6 +1047,8 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
     let fastpath_burst = c.u64()? as usize;
     let use_offload = c.bool()?;
     let offload_capacity = c.u64()? as usize;
+    let watchdog_breaker_threshold = c.u32()?;
+    let watchdog_breaker_window_ns = c.u64()?;
     if cores == 0 || chunk_size == 0 || overlap >= chunk_size {
         return Err(corrupt("invalid capture geometry in config record"));
     }
@@ -1086,6 +1090,8 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
         fastpath_burst,
         use_offload,
         offload_capacity,
+        watchdog_breaker_threshold,
+        watchdog_breaker_window_ns,
     })
 }
 

@@ -287,6 +287,14 @@ pub struct ScapConfig {
     pub use_offload: bool,
     /// Offload-table rule capacity (the simulated hardware table size).
     pub offload_capacity: usize,
+    /// Worker failures (panics + stalls) inside
+    /// [`ScapConfig::watchdog_breaker_window_ns`] that trip the live
+    /// watchdog's circuit breaker and park the slot instead of
+    /// respawning it forever.
+    pub watchdog_breaker_threshold: u32,
+    /// Sliding failure window (virtual ns) of the watchdog's circuit
+    /// breaker.
+    pub watchdog_breaker_window_ns: u64,
 }
 
 impl Default for ScapConfig {
@@ -324,6 +332,8 @@ impl Default for ScapConfig {
             fastpath_burst: scap_fastpath::DEFAULT_BURST,
             use_offload: false,
             offload_capacity: scap_offload::DEFAULT_OFFLOAD_CAPACITY,
+            watchdog_breaker_threshold: 8,
+            watchdog_breaker_window_ns: 2_000_000_000,
         }
     }
 }

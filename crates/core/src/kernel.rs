@@ -35,8 +35,11 @@ const EXPIRE_BATCH: usize = 256;
 /// Initial FDIR filter timeout; doubles on each reinstall (§5.5).
 const FDIR_INITIAL_TIMEOUT_NS: u64 = 2_000_000_000;
 /// Delay before the first retry of a transiently failed FDIR install;
-/// doubles per attempt (exponential backoff).
+/// doubles per attempt (exponential backoff with deterministic jitter).
 const FDIR_RETRY_BASE_NS: u64 = 50_000;
+/// Hard ceiling on any single FDIR retry delay, jitter included: the
+/// backoff curve flattens here instead of growing without bound.
+const FDIR_RETRY_CAP_NS: u64 = 5_000_000;
 /// Install attempts (beyond the first) before falling back to software
 /// cutoff enforcement for good.
 const FDIR_RETRY_MAX_ATTEMPTS: u32 = 5;
@@ -205,6 +208,9 @@ pub struct ResilienceStats {
     /// Total bytes skipped across all streams in warm-restart blackout
     /// windows (the sum of per-stream `resume_gap_bytes`).
     pub resume_gap_bytes: u64,
+    /// Worker slots parked by the watchdog's circuit breaker (too many
+    /// panics/stalls inside the breaker window — respawning stopped).
+    pub watchdog_breaker_trips: u64,
 }
 
 /// The emulated kernel module.
@@ -2116,18 +2122,28 @@ impl ScapKernel {
         if let Some(ks) = self.cores[core].kstates.get_mut(&id) {
             ks.fdir_retry_pending = true;
         }
+        // Exponential backoff, capped, with deterministic jitter: up to
+        // 25% of the raw delay, derived from the stream uid and attempt
+        // number, so retriers that failed together de-synchronize
+        // instead of hammering the hardware in lockstep — while a
+        // seeded run stays byte-identical.
+        let retry_seed = self.cfg.faults.as_ref().map_or(0, |f| f.seed);
+        let delay = scap_shard::Backoff::new(FDIR_RETRY_BASE_NS, FDIR_RETRY_CAP_NS, retry_seed)
+            .delay_ns(attempts, uid);
+        self.tele.add(core, Metric::FdirRetriesQueued, 1);
+        self.tele.add(core, Metric::FdirRetryBackoffNs, delay);
         self.flight.emit(
             core,
             FlightEvent::new(FlightKind::FdirRetryQueued, FlightLayer::Fdir, now)
                 .with_uid(uid)
-                .with_vals(u64::from(attempts), 0),
+                .with_vals(u64::from(attempts), delay),
         );
         self.fdir_retry.push_back(FdirRetry {
             core,
             id,
             uid,
             attempts,
-            next_try_ns: now.saturating_add(FDIR_RETRY_BASE_NS << attempts.min(20)),
+            next_try_ns: now.saturating_add(delay),
         });
     }
 

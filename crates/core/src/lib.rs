@@ -63,6 +63,7 @@ pub mod event;
 pub mod governor;
 pub mod kernel;
 pub mod live;
+pub mod shard;
 pub mod sharing;
 pub mod stack;
 pub mod tenant;
@@ -78,6 +79,7 @@ pub use live::{
     mangle_packets, BuildError, CaptureError, EventSink, Scap, ScapBuilder, StatsHandler,
     StreamCtx, WorkerStatus,
 };
+pub use shard::{FleetConfig, FleetStats, ShardFleet, ShardStatus};
 pub use sharing::{
     union_config, union_priorities, union_requirements, AppSlot, Requirement, SharedApp, SharedApps,
 };
@@ -87,7 +89,7 @@ pub use tenant::{
 };
 
 // Re-export the vocabulary types applications see.
-pub use scap_faults::FaultPlan;
+pub use scap_faults::{FaultPlan, ShardFault, ShardFaultKind};
 /// The always-on flight recorder (per-core ring journals of typed
 /// events with drop provenance), re-exported for applications and
 /// tools.
@@ -102,6 +104,9 @@ pub use scap_offload::{
     DEFAULT_OFFLOAD_CAPACITY,
 };
 pub use scap_reassembly::{OverlapPolicy, ReassemblyMode};
+/// The scale-out sharding primitives (symmetric partitioning, leases,
+/// backoff, circuit breakers), re-exported for supervisors and tools.
+pub use scap_shard::{Backoff, CircuitBreaker, Lease, ShardMap, ShardState};
 /// The observability subsystem (metric registries, stage spans, gauge
 /// time-series, exporters), re-exported for applications and tools.
 pub use scap_telemetry as telemetry;

@@ -354,6 +354,15 @@ impl ScapBuilder {
         self
     }
 
+    /// Watchdog circuit-breaker policy: `threshold` worker failures
+    /// (panics + stalls) inside `window_ns` of trace time park the slot
+    /// instead of respawning it forever.
+    pub fn watchdog_breaker(mut self, threshold: u32, window_ns: u64) -> Self {
+        self.cfg.watchdog_breaker_threshold = threshold.max(1);
+        self.cfg.watchdog_breaker_window_ns = window_ns.max(1);
+        self
+    }
+
     /// Invoke the stats hook (see [`Scap::dispatch_stats`]) with a merged
     /// telemetry snapshot every `packets` packets during capture. Zero
     /// disables periodic emission (the default).
@@ -599,6 +608,12 @@ struct WorkerSlot {
     panics: u64,
     stalls: u64,
     restarts: u64,
+    /// Respawn circuit breaker: too many panics/stalls inside the
+    /// configured window parks the slot instead of thrashing forever.
+    breaker: scap_shard::CircuitBreaker,
+    /// Parked by the breaker: no further respawns; queued events are
+    /// accounted as lost and new events are recycled at fan-out.
+    parked: bool,
 }
 
 /// Spawn a worker thread on a shared event queue. The lock is held only
@@ -653,6 +668,24 @@ fn spawn_worker<'scope>(
     })
 }
 
+/// Park a worker slot whose circuit breaker tripped: close its queue,
+/// account every outstanding event as lost (so shutdown drain
+/// terminates), and surface the trip in `ResilienceStats` and the
+/// flight journal.
+fn park_slot(kernel: &mut ScapKernel, slot: &mut WorkerSlot, i: usize, now: u64) {
+    slot.parked = true;
+    slot.tx = None;
+    let beat = slot.heartbeat.load(Ordering::SeqCst);
+    slot.lost = slot.sent.saturating_sub(beat);
+    let fails = u64::from(slot.breaker.failures_in_window());
+    kernel.resilience_mut().watchdog_breaker_trips += 1;
+    kernel.flight_mut().emit(
+        0,
+        FlightEvent::new(FlightKind::BreakerTripped, FlightLayer::Worker, now)
+            .with_vals(i as u64, fails),
+    );
+}
+
 /// One watchdog pass: respawn dead workers, sibling wedged ones, flag the
 /// streams they were holding.
 #[allow(clippy::too_many_arguments)]
@@ -669,6 +702,9 @@ fn watchdog<'scope>(
     now: u64,
 ) {
     for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.parked {
+            continue;
+        }
         // A finished thread while its channel is still open means the
         // thread died: a clean exit only happens after channel close.
         let died = slot.tx.is_some() && handles[i].as_ref().is_some_and(|h| h.is_finished());
@@ -689,6 +725,13 @@ fn watchdog<'scope>(
                         kernel.flag_stream_error(uid, StreamErrors::WORKER_FAILURE);
                     }
                 }
+            }
+            // M failures inside the window: stop respawning, park the
+            // slot, and account its outstanding events as lost so
+            // shutdown drain terminates.
+            if slot.breaker.record_failure(now) {
+                park_slot(kernel, slot, i, now);
+                continue;
             }
             // Respawn on the same shared queue; the replacement picks up
             // exactly where the dead worker left off. Scheduled faults
@@ -742,6 +785,12 @@ fn watchdog<'scope>(
             );
             if uid != 0 {
                 kernel.flag_stream_error(uid, StreamErrors::WORKER_FAILURE);
+            }
+            // Same breaker policy for the sibling path: a slot that
+            // keeps wedging stops getting fresh threads thrown at it.
+            if slot.breaker.record_failure(now) {
+                park_slot(kernel, slot, i, now);
+                continue;
             }
             // Threads cannot be killed; leave the wedged worker alone and
             // put a fresh sibling on the same queue so the backlog moves.
@@ -901,6 +950,8 @@ impl Scap {
         let on_stats = self.on_stats.clone();
         let stats_every = self.stats_interval;
 
+        let breaker_threshold = kernel.config().watchdog_breaker_threshold;
+        let breaker_window_ns = kernel.config().watchdog_breaker_window_ns;
         let scope_out = std::thread::scope(|s| {
             let mut slots: Vec<WorkerSlot> = Vec::with_capacity(nworkers);
             let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, ()>>> =
@@ -941,6 +992,8 @@ impl Scap {
                     panics: 0,
                     stalls: 0,
                     restarts: 0,
+                    breaker: scap_shard::CircuitBreaker::new(breaker_threshold, breaker_window_ns),
+                    parked: false,
                 });
             }
 
@@ -980,6 +1033,13 @@ impl Scap {
                         slot.sent += 1;
                         if let Some(tx) = slot.tx.as_ref() {
                             let _ = tx.send(ev);
+                        } else {
+                            // Parked slot: the event cannot be handled;
+                            // count the loss and recycle its chunk.
+                            slot.lost += 1;
+                            if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                                kernel.release_data(ev.stream.uid, dir, chunk);
+                            }
                         }
                     }
                     if fanned_out {
@@ -1065,6 +1125,11 @@ impl Scap {
                         slot.sent += 1;
                         if let Some(tx) = slot.tx.as_ref() {
                             let _ = tx.send(ev);
+                        } else {
+                            slot.lost += 1;
+                            if let EventKind::Data { dir, chunk, .. } = ev.kind {
+                                kernel.release_data(ev.stream.uid, dir, chunk);
+                            }
                         }
                     }
                 }
@@ -1560,5 +1625,46 @@ mod tests {
         assert!(err.panics() >= 1, "{err}");
         assert!(stats.resilience.worker_panics >= 1);
         assert!(stats.resilience.worker_restarts >= 1);
+        assert_eq!(
+            stats.resilience.watchdog_breaker_trips, 0,
+            "a single panic must stay far below the default breaker threshold"
+        );
+    }
+
+    #[test]
+    fn watchdog_breaker_parks_a_flapping_worker_slot() {
+        // Threshold 1: the very first failure trips the breaker, so the
+        // watchdog must park the slot instead of respawning — and the
+        // capture must still drain and complete.
+        let mut scap = Scap::builder()
+            .worker_threads(2)
+            .watchdog_breaker(1, 10_000_000_000)
+            .try_build()
+            .unwrap();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        scap.dispatch_data(move |_| {
+            if f.fetch_add(1, Ordering::Relaxed) == 3 {
+                panic!("application bug");
+            }
+        });
+        let stats = scap.start_capture(trace());
+        assert!(stats.stack.streams_created > 0);
+        assert!(stats.resilience.worker_panics >= 1);
+        assert!(
+            stats.resilience.watchdog_breaker_trips >= 1,
+            "threshold-1 breaker must trip on the first failure: {:?}",
+            stats.resilience
+        );
+        // The trip is journaled with the slot index and failure count.
+        let journal = scap.flight_journal().expect("journal after capture");
+        let journal = scap_flight::decode_journal(&journal).expect("journal decodes");
+        let trips: Vec<_> = journal
+            .events
+            .iter()
+            .filter(|e| e.kind == FlightKind::BreakerTripped)
+            .collect();
+        assert!(!trips.is_empty(), "breaker trip must reach the journal");
+        assert_eq!(trips[0].layer, FlightLayer::Worker);
     }
 }

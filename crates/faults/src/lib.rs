@@ -180,6 +180,34 @@ pub struct TenantFault {
     pub kind: TenantFaultKind,
 }
 
+/// What a scheduled shard fault does (supervised `ShardFleet` captures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// The shard engine dies outright (crash): the supervisor must
+    /// detect the death, back off, and respawn from a checkpoint.
+    Kill,
+    /// The shard wedges for this many nanoseconds: it stops beating its
+    /// heartbeat lease while work keeps arriving, forcing a deadline
+    /// takedown.
+    StallHeartbeat(u64),
+    /// The shard's *latest* checkpoint is corrupted in place, so the
+    /// next respawn must fall back to the previous image (or cold-start)
+    /// and attribute the larger blackout.
+    CorruptCheckpoint,
+}
+
+/// One scheduled fault against a supervised capture shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFault {
+    /// Index of the shard the fault targets.
+    pub shard: usize,
+    /// The fault fires when the shard has been offered this many
+    /// packets (shard-local ordinal, counted across incarnations).
+    pub at_packet: u64,
+    /// What happens when it fires.
+    pub kind: ShardFaultKind,
+}
+
 /// A complete seeded fault schedule for one capture run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -201,6 +229,9 @@ pub struct FaultPlan {
     pub workers: Vec<WorkerFault>,
     /// Scheduled tenant misbehaviour (multi-tenant `scapd` captures).
     pub tenants: Vec<TenantFault>,
+    /// Scheduled shard kills/stalls/corruptions (supervised
+    /// `ShardFleet` captures).
+    pub shards: Vec<ShardFault>,
     /// Kill the whole capture process after this many packets have been
     /// admitted at the NIC (live driver only; `None` = never). The
     /// capture stops dead — no drain, no final events — exactly like a
@@ -216,6 +247,7 @@ const SALT_RING: u64 = 0x72696e67; // "ring"
 const SALT_ARENA: u64 = 0x6172656e; // "aren"
 const SALT_STORE: u64 = 0x73746f72; // "stor"
 const SALT_TENANT: u64 = 0x746e6e74; // "tnnt"
+const SALT_SHARD: u64 = 0x73687264; // "shrd"
 
 impl FaultPlan {
     /// A quiet plan (no faults) with the given seed.
@@ -277,6 +309,7 @@ impl FaultPlan {
                 },
             ],
             tenants: Vec::new(),
+            shards: Vec::new(),
             kill_at_packet: None,
         }
     }
@@ -324,6 +357,68 @@ impl FaultPlan {
             ],
             ..Default::default()
         }
+    }
+
+    /// The canonical shard-storm preset used by the sharding chaos test
+    /// and `--exp soak`: every shard of an `nshards`-wide fleet is hit
+    /// at least once — kills, heartbeat stalls, and one checkpoint
+    /// corruption — at seeded packet ordinals, so a run exercises the
+    /// full lease/backoff/respawn/fallback state machine. All offsets
+    /// derive from `seed ^ SALT_SHARD`; the schedule is a pure function
+    /// of `(seed, nshards)` and independent of every other fault layer.
+    pub fn shard_storm(seed: u64, nshards: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ SALT_SHARD);
+        let n = nshards.max(1);
+        let mut shards = Vec::new();
+        for shard in 0..n {
+            let first = rng.random_range(400..1_200);
+            shards.push(ShardFault {
+                shard,
+                at_packet: first,
+                kind: ShardFaultKind::Kill,
+            });
+            // Every other shard also wedges later in the run, forcing a
+            // lease-deadline takedown rather than a clean death.
+            if shard % 2 == 1 {
+                shards.push(ShardFault {
+                    shard,
+                    at_packet: first + rng.random_range(800..2_000),
+                    kind: ShardFaultKind::StallHeartbeat(rng.random_range(5..20) * 1_000_000),
+                });
+            }
+        }
+        // One deterministically chosen shard has its latest checkpoint
+        // corrupted before a follow-up kill, exercising the fallback to
+        // the previous image.
+        let victim = rng.random_range(0..n);
+        let corrupt_at = rng.random_range(2_400..3_200);
+        shards.push(ShardFault {
+            shard: victim,
+            at_packet: corrupt_at,
+            kind: ShardFaultKind::CorruptCheckpoint,
+        });
+        shards.push(ShardFault {
+            shard: victim,
+            at_packet: corrupt_at + rng.random_range(50..200),
+            kind: ShardFaultKind::Kill,
+        });
+        FaultPlan {
+            seed,
+            shards,
+            ..Default::default()
+        }
+    }
+
+    /// The scheduled faults for one shard index, in firing order.
+    pub fn shard_faults(&self, shard: usize) -> Vec<ShardFault> {
+        let mut v: Vec<ShardFault> = self
+            .shards
+            .iter()
+            .copied()
+            .filter(|f| f.shard == shard)
+            .collect();
+        v.sort_by_key(|f| f.at_packet);
+        v
     }
 
     /// The scheduled faults for one tenant index, in schedule order.

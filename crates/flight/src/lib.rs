@@ -155,6 +155,28 @@ flight_ids! {
         /// An offload rule was evicted under table pressure (`uid` =
         /// the displacing stream, `a` = evicted rule's priority).
         OffloadEvicted => "offload_evicted",
+        /// A shard engine came up (`a` = shard index, `b` = 1 when the
+        /// spawn was a cold start with no checkpoint).
+        ShardSpawned => "shard_spawned",
+        /// A shard's heartbeat lease passed its deadline with work
+        /// pending (`a` = shard index, `b` = lease age in ns).
+        ShardLeaseExpired => "shard_lease_expired",
+        /// The supervisor killed a shard — crash or stall takedown
+        /// (`a` = shard index, `b` = scheduled respawn backoff in ns).
+        ShardKilled => "shard_killed",
+        /// A killed shard was respawned from its checkpoint
+        /// (`a` = shard index, `b` = blackout length in ns).
+        ShardRespawned => "shard_respawned",
+        /// The circuit breaker parked a shard for good
+        /// (`a` = shard index, `b` = failures inside the window).
+        ShardParked => "shard_parked",
+        /// A respawn/restart circuit breaker tripped (`a` = slot or
+        /// shard index, `b` = failures inside the window).
+        BreakerTripped => "breaker_tripped",
+        /// A shard's checkpoint failed CRC validation at respawn
+        /// (`a` = shard index, `b` = 1 when an older checkpoint was
+        /// used, 0 when the shard cold-started).
+        ShardCheckpointCorrupt => "shard_checkpoint_corrupt",
     }
 }
 
@@ -183,6 +205,8 @@ flight_ids! {
         Tenant => "tenant",
         /// The programmable flow-offload stage (`scap-offload`).
         Offload => "offload",
+        /// The scale-out shard supervisor (`scap-shard` + `scap::shard`).
+        Shard => "shard",
     }
 }
 
@@ -235,6 +259,9 @@ flight_ids! {
         OffloadDrop => "offload_drop",
         /// An offload `Sample(1-in-N)` rule dropped a non-kept packet.
         OffloadSample => "offload_sample",
+        /// The owning shard was down (killed, stalled, respawning, or
+        /// parked); its partition's frames had nowhere to go.
+        ShardDown => "shard_down",
     }
 }
 

@@ -34,12 +34,14 @@
 //! `scap-telemetry`. The `scapstore` CLI in `scap-bench` fronts all of
 //! it.
 
+pub mod federated;
 mod format;
 mod reader;
 #[cfg(test)]
 mod tests;
 mod writer;
 
+pub use federated::{FederatedReader, FederatedResult, ShardOutcome, ShardQueryStatus};
 pub use format::{
     crc32, decode_body, encode_stream_body, encode_tombstone_body, parse_segment_file_name,
     scan_index, scan_segment, segment_file_name, segment_path, Extent, FrameInfo, IndexEntry,

@@ -327,3 +327,49 @@ fn export_pcap_round_trips_payload() {
     }
     assert_eq!(fwd, payload(1, 3_000));
 }
+
+#[test]
+fn federated_query_merges_shards_and_reports_partial() {
+    use crate::federated::{FederatedReader, ShardOutcome};
+    use std::time::Duration;
+
+    let root = tmp_dir("federated");
+    // Three shard archives, one stream each, ports 80 / 443 / 80.
+    for (shard, port) in [(0u64, 80u16), (1, 443), (2, 80)] {
+        let dir = root.join(format!("shard-{shard}"));
+        let mut w = StoreWriter::open(StoreConfig::new(&dir)).unwrap();
+        let s = snap(shard + 1, port, 0, 1_000_000 * (shard + 1), 2_000);
+        archive_one(&mut w, &s, &payload(shard + 1, 2_000), &[]);
+        w.finish().unwrap();
+    }
+
+    let fed = FederatedReader::open(&root).unwrap();
+    assert_eq!(fed.nshards(), 3);
+    let res = fed.query("port 80", Duration::from_secs(30));
+    assert!(!res.partial, "healthy shards must give a complete result");
+    assert_eq!(res.records.len(), 2);
+    assert_eq!(res.ok_shards(), 3);
+    let shards: Vec<usize> = res.records.iter().map(|(s, _)| *s).collect();
+    assert_eq!(shards, vec![0, 2]);
+
+    // Lose one shard's archive entirely (a garbage index would merely
+    // be truncated by torn-tail recovery): the query must go partial,
+    // name the broken shard, and still return the healthy records.
+    std::fs::remove_dir_all(root.join("shard-1")).unwrap();
+    let res = fed.query("port 80", Duration::from_secs(30));
+    assert!(res.partial, "a broken shard must mark the result partial");
+    assert_eq!(res.records.len(), 2, "healthy shards still answer");
+    assert!(matches!(res.statuses[1].outcome, ShardOutcome::Error(_)));
+
+    // A zero budget times every surviving shard out: explicit, not
+    // silent (the lost shard still reports its error).
+    let res = fed.query("port 80", Duration::ZERO);
+    assert!(res.partial);
+    assert_eq!(res.records.len(), 0);
+    assert!(!res
+        .statuses
+        .iter()
+        .any(|s| matches!(s.outcome, ShardOutcome::Ok(_))));
+    assert_eq!(res.statuses[0].outcome, ShardOutcome::TimedOut);
+    assert_eq!(res.statuses[2].outcome, ShardOutcome::TimedOut);
+}

@@ -222,6 +222,12 @@ static_ids! {
         NicOffloadOpFailures => "nic_offload_op_failures",
         /// Offload rules evicted under table pressure.
         NicOffloadEvictions => "nic_offload_evictions",
+        /// Cumulative backoff delay scheduled for FDIR install retries,
+        /// in nanoseconds (with `ResilienceStats::fdir_retries` this
+        /// exposes the exponential-backoff schedule's shape).
+        FdirRetryBackoffNs => "fdir_retry_backoff_ns",
+        /// FDIR install retries parked on the backoff queue.
+        FdirRetriesQueued => "fdir_retries_queued",
     }
 }
 

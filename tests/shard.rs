@@ -1,0 +1,185 @@
+//! Shard-fleet properties: the RSS-consistent partition function is
+//! direction-symmetric and stable for any shard count, and a supervised
+//! fleet under a mid-storm shard kill neither loses nor double-counts a
+//! single byte — the fleet conservation identity holds exactly and the
+//! supervisor's flight journal reconciles against it.
+
+use proptest::prelude::*;
+use scap::flight::{decode_journal, DropReason, FlightKind, FlightLayer};
+use scap::{FaultPlan, FleetConfig, ScapConfig, ShardFleet, ShardMap, ShardState};
+use scap_trace::gen::{CampusMix, CampusMixConfig};
+use scap_wire::{FlowKey, Transport};
+
+// ---------------------------------------------------------------------------
+// Partition properties
+// ---------------------------------------------------------------------------
+
+/// An arbitrary IPv4 flow key (the vendored proptest has no `prop_map`,
+/// so this is a hand-rolled strategy).
+struct ArbKey;
+
+impl Strategy for ArbKey {
+    type Value = FlowKey;
+    fn generate(&self, rng: &mut proptest::TestRng) -> FlowKey {
+        use rand::Rng;
+        let transport = match rng.random_range(0..3u8) {
+            0 => Transport::Tcp,
+            1 => Transport::Udp,
+            _ => Transport::Other(rng.random()),
+        };
+        let mut addr = || {
+            let w: u32 = rng.random();
+            w.to_le_bytes()
+        };
+        let (src, dst) = (addr(), addr());
+        FlowKey::new_v4(src, dst, rng.random(), rng.random(), transport)
+    }
+}
+
+fn arb_key() -> ArbKey {
+    ArbKey
+}
+
+proptest! {
+    /// Both directions of any flow land on the same shard, for any
+    /// shard count >= 1 and any partition seed — the property that lets
+    /// a fleet reassemble streams without cross-shard traffic.
+    #[test]
+    fn partition_is_direction_symmetric(
+        key in arb_key(),
+        nshards in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let map = ShardMap::new(nshards, seed);
+        let fwd = map.shard_of(&key);
+        prop_assert!(fwd < nshards);
+        prop_assert_eq!(fwd, map.shard_of(&key.reversed()));
+        // Canonicalization does not move the flow either.
+        prop_assert_eq!(fwd, map.shard_of(&key.canonical().0));
+    }
+
+    /// The partition is a pure function: the same key maps to the same
+    /// shard on every call, and a single-shard map sends everything to
+    /// shard 0.
+    #[test]
+    fn partition_is_stable(key in arb_key(), nshards in 1usize..64, seed in any::<u64>()) {
+        let map = ShardMap::new(nshards, seed);
+        prop_assert_eq!(map.shard_of(&key), map.shard_of(&key));
+        prop_assert_eq!(ShardMap::new(1, seed).shard_of(&key), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: kills mid-storm never break the fleet ledger
+// ---------------------------------------------------------------------------
+
+fn storm_fleet(seed: u64, nshards: usize, trace_bytes: u64) -> ShardFleet {
+    let cfg = FleetConfig {
+        nshards,
+        shard: ScapConfig {
+            memory_bytes: 16 << 20,
+            cores: 1,
+            inactivity_timeout_ns: u64::MAX / 2,
+            ..ScapConfig::default()
+        },
+        faults: Some(FaultPlan::shard_storm(seed, nshards)),
+        ..FleetConfig::default()
+    };
+    let cap_ns = cfg.backoff_cap_ns;
+    let mut fleet = ShardFleet::new(cfg);
+    let mut last = 0u64;
+    for p in CampusMix::new(CampusMixConfig::sized(seed, trace_bytes)) {
+        last = p.ts_ns;
+        fleet.offer(&p);
+    }
+    fleet.tick(last + cap_ns + 1);
+    fleet.finish(last + cap_ns + 2);
+    fleet
+}
+
+#[test]
+fn mid_storm_kills_never_lose_or_double_count_bytes() {
+    for seed in [3u64, 17, 91] {
+        let fleet = storm_fleet(seed, 4, 4 << 20);
+        let fs = fleet.fleet_stats();
+        assert!(fs.kills > 0, "seed {seed}: the storm must kill shards");
+
+        // Conservation: every wire packet and byte took exactly one exit
+        // in exactly one shard incarnation — or is attributed to a
+        // blackout. No loss, no double count.
+        assert!(
+            fs.packets_conserved(),
+            "seed {seed}: packet ledger broken: wire={} delivered={} dropped={} \
+             discarded={} shard_down={}",
+            fs.wire_packets,
+            fs.delivered_packets,
+            fs.dropped_packets,
+            fs.discarded_packets,
+            fs.shard_down_packets
+        );
+        assert!(
+            fs.bytes_conserved(),
+            "seed {seed}: byte ledger broken: wire={} shard_wire={} shard_down={}",
+            fs.wire_bytes,
+            fs.shard_wire_bytes,
+            fs.shard_down_bytes
+        );
+
+        // The supervisor journal's aggregated blackout events reconcile
+        // byte-exactly against the counters.
+        let journal = decode_journal(&fleet.flight().encode()).expect("journal decodes");
+        let (mut jp, mut jb) = (0u64, 0u64);
+        for e in &journal.events {
+            if e.kind == FlightKind::Drop
+                && e.layer == FlightLayer::Shard
+                && e.reason == DropReason::ShardDown
+            {
+                jp += e.a;
+                jb += e.b;
+            }
+        }
+        assert_eq!(
+            (jp, jb),
+            (fs.shard_down_packets, fs.shard_down_bytes),
+            "seed {seed}: journal blackout events disagree with the fleet counters"
+        );
+
+        // Recovery: every kill ended in a respawn or an explicit park.
+        for st in fleet.status() {
+            assert!(
+                st.state == ShardState::Parked || st.kills == st.respawns,
+                "seed {seed} shard {}: {} kills, {} respawns, state {:?}",
+                st.shard,
+                st.kills,
+                st.respawns,
+                st.state
+            );
+        }
+    }
+}
+
+#[test]
+fn quiet_fleet_attributes_nothing_to_blackouts() {
+    let cfg = FleetConfig {
+        nshards: 3,
+        shard: ScapConfig {
+            memory_bytes: 16 << 20,
+            cores: 1,
+            inactivity_timeout_ns: u64::MAX / 2,
+            ..ScapConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let mut fleet = ShardFleet::new(cfg);
+    let mut last = 0u64;
+    for p in CampusMix::new(CampusMixConfig::sized(5, 2 << 20)) {
+        last = p.ts_ns;
+        fleet.offer(&p);
+    }
+    fleet.finish(last + 1);
+    let fs = fleet.fleet_stats();
+    assert_eq!(fs.kills, 0);
+    assert_eq!(fs.shard_down_packets, 0);
+    assert_eq!(fs.shard_down_bytes, 0);
+    assert!(fs.packets_conserved() && fs.bytes_conserved());
+}
