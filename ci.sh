@@ -95,6 +95,13 @@ echo "$top_log" | grep -q "capture complete" \
     || { echo "scaptop never completed: $top_log"; exit 1; }
 echo "$top_log" | grep -q "top drop reasons" \
     || { echo "scaptop printed no drop attribution"; exit 1; }
+lat_top_log=$(cargo run --release -p scap-bench --bin scaptop -- \
+    --gen 2 --interval 2000 --topk 5 --latency) \
+    || { echo "scaptop --latency smoke run failed"; exit 1; }
+echo "$lat_top_log" | grep -q "latency (pulse plane" \
+    || { echo "scaptop --latency rendered no pulse panel"; exit 1; }
+echo "$lat_top_log" | grep -q "nic_verdict" \
+    || { echo "scaptop --latency panel has no nic_verdict row"; exit 1; }
 fp_top_log=$(cargo run --release -p scap-bench --bin scaptop -- \
     --gen 2 --interval 2000 --topk 5 --fastpath) \
     || { echo "scaptop --fastpath smoke run failed"; exit 1; }
@@ -133,6 +140,17 @@ grep -q '"burst_ablation"' "$fp_out/BENCH_summary.json" \
     || { echo "fastpath section lacks the burst ablation"; exit 1; }
 test -s "$fp_out/fastpath_throughput.csv" \
     || { echo "missing fastpath_throughput.csv"; exit 1; }
+# The pulse plane must report a real (nonzero) delivery tail and feed
+# the trajectory record.
+python3 - "$fp_out/BENCH_summary.json" <<'EOF' \
+    || { echo "latency section missing or delivery p99 is zero"; exit 1; }
+import json, sys
+rows = {r["stage"]: r for r in json.load(open(sys.argv[1]))["latency"]["fastpath"]}
+assert rows["delivery"]["p99_ns"] > 0, "delivery p99 is zero"
+assert rows["kernel_dispatch"]["p99_ns"] > 0, "dispatch p99 is zero"
+EOF
+grep -q '"p99_delivery_ns"' "$fp_out/trajectory.jsonl" \
+    || { echo "trajectory record lacks p99_delivery_ns"; exit 1; }
 rm -rf "$fp_out"
 
 echo "== offload engine gate =="
@@ -187,6 +205,8 @@ for f in soak_fleet.csv soak_shards.csv soak_federated.csv; do
 done
 grep -q '"soak_pkts_per_sec"' "$soak_out/trajectory.jsonl" \
     || { echo "trajectory record lacks the soak throughput"; exit 1; }
+grep -q '"latency"' "$soak_out/BENCH_summary.json" \
+    || { echo "soak run produced no latency section"; exit 1; }
 fq=$(cargo run --release -p scap-bench --bin scapstore -- \
     fquery "$soak_out/soak_store" "tcp and port 80" --timeout-ms 10000 | tail -5) \
     || { echo "federated query over the soak archives failed"; exit 1; }
@@ -269,6 +289,17 @@ panel=$(target/release/scaptop --scapd "$scapd_dir") \
     || { echo "scaptop --scapd failed"; exit 1; }
 echo "$panel" | grep -q "scapd panel complete" \
     || { echo "scaptop --scapd rendered no panel: $panel"; exit 1; }
+# The daemon's OpenMetrics exposition must parse (scapctl validates
+# before relaying) and terminate with the mandatory EOF marker.
+metrics_out=$(target/release/scapctl metrics --dir "$scapd_dir") \
+    || { echo "scapctl metrics failed OpenMetrics validation"; exit 1; }
+echo "$metrics_out" | grep -q '^# EOF$' \
+    || { echo "metrics exposition lacks the # EOF terminator"; exit 1; }
+echo "$metrics_out" | grep -q 'scap_pulse_latency_ns_bucket' \
+    || { echo "metrics exposition has no pulse histogram buckets"; exit 1; }
+target/release/scapctl status --dir "$scapd_dir" --json \
+    | python3 -m json.tool >/dev/null \
+    || { echo "scapctl status --json is not valid JSON"; exit 1; }
 rm -rf "$scapd_dir"
 
 echo "CI green."

@@ -13,6 +13,8 @@
 //! scapctl consume --dir D --name web            # ack until scapd-done
 //! scapctl consume --dir D --name bulk --stall-after 4096
 //! scapctl detach  --dir D --name web
+//! scapctl metrics --dir D                       # validated OpenMetrics dump
+//! scapctl status  --dir D [--json]              # live tsv / final json status
 //! ```
 
 use std::io::{Read, Seek, SeekFrom};
@@ -42,9 +44,10 @@ struct Flags {
     stall_after: Option<u64>,
     wait_ms: u64,
     poll_ms: u64,
+    json: bool,
 }
 
-fn parse_flags(args: &[String]) -> Flags {
+fn parse_flags(args: &[String], needs_name: bool) -> Flags {
     let mut f = Flags {
         dir: PathBuf::new(),
         name: String::new(),
@@ -56,6 +59,7 @@ fn parse_flags(args: &[String]) -> Flags {
         stall_after: None,
         wait_ms: 15_000,
         poll_ms: 10,
+        json: false,
     };
     let numarg = |args: &[String], i: usize, name: &str| -> u64 {
         args.get(i)
@@ -112,6 +116,7 @@ fn parse_flags(args: &[String]) -> Flags {
                 i += 1;
                 f.poll_ms = numarg(args, i, "--poll-ms").max(1);
             }
+            "--json" => f.json = true,
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -119,7 +124,7 @@ fn parse_flags(args: &[String]) -> Flags {
     if f.dir.as_os_str().is_empty() {
         die("--dir is required");
     }
-    if f.name.is_empty() {
+    if needs_name && f.name.is_empty() {
         die("--name is required");
     }
     f
@@ -230,9 +235,49 @@ fn detach(f: &Flags) -> i32 {
     0
 }
 
+/// Dump the daemon's OpenMetrics exposition, refusing to relay text
+/// that does not parse — a scrape that passes here is safe to hand to
+/// any OpenMetrics consumer.
+fn metrics(f: &Flags) -> i32 {
+    let path = f.dir.join("metrics");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        die(&format!(
+            "cannot read {} (is scapd running with traffic?): {e}",
+            path.display()
+        ))
+    });
+    match scap::telemetry::openmetrics::validate(&text) {
+        Ok(samples) => {
+            print!("{text}");
+            eprintln!("scapctl: {samples} samples, exposition valid");
+            0
+        }
+        Err(why) => {
+            eprintln!("scapctl: invalid OpenMetrics exposition: {why}");
+            1
+        }
+    }
+}
+
+/// Print the daemon's status: the live per-tenant tsv panel, or with
+/// `--json` the machine-readable status (which embeds the telemetry
+/// counter/gauge snapshot and the per-stage latency summary).
+fn status(f: &Flags) -> i32 {
+    let path = if f.json {
+        f.dir.join("scapd-status.json")
+    } else {
+        f.dir.join("scapd-status.tsv")
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    print!("{text}");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: scapctl <attach|consume|detach> --dir DIR --name NAME \
+    let usage = "usage: scapctl <attach|consume|detach|metrics|status> --dir DIR \
+                 [--name NAME] [--json] \
                  [--filter F] [--cutoff B] [--priority P] [--mem PERMILLE] \
                  [--disk PERMILLE] [--stall-after BYTES] [--wait-ms MS] [--poll-ms MS]";
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -240,11 +285,14 @@ fn main() {
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let cmd = args[0].clone();
-    let f = parse_flags(&args[1..]);
+    let needs_name = matches!(cmd.as_str(), "attach" | "consume" | "detach");
+    let f = parse_flags(&args[1..], needs_name);
     let code = match cmd.as_str() {
         "attach" => attach(&f),
         "consume" => consume(&f),
         "detach" => detach(&f),
+        "metrics" => metrics(&f),
+        "status" => status(&f),
         other => die(&format!("unknown command {other} ({usage})")),
     };
     std::process::exit(code);

@@ -321,7 +321,22 @@ impl Daemon {
         write_atomic(&self.dir.join("scapd-status.tsv"), &out);
     }
 
-    fn write_final_json(&self, packets: usize) {
+    /// Publish the OpenMetrics exposition as `metrics` in the control
+    /// dir (atomic rename, so a scrape never sees a torn file).
+    /// `scapctl metrics` reads and validates it. The kernel's pulse
+    /// plane and the tenant engine's queue-residency plane merge into
+    /// one histogram family — their stages are disjoint.
+    fn write_metrics(&self, kernel: &ScapKernel, mode: &str) {
+        let mut om = scap::telemetry::openmetrics::OpenMetrics::new();
+        let labels = [("proc", "scapd"), ("mode", mode)];
+        om.registry(&kernel.telemetry_snapshot(), &labels);
+        let mut pulse = kernel.pulse_snapshot();
+        pulse.merge(&self.engine.pulse_snapshot());
+        om.pulse(&pulse, &labels);
+        write_atomic(&self.dir.join("metrics"), &om.finish());
+    }
+
+    fn write_final_json(&self, packets: usize, kernel: &ScapKernel) {
         let mut tenants = Vec::new();
         for t in self.engine.tenants() {
             let payload = self
@@ -362,10 +377,49 @@ impl Daemon {
                 s.conserved(),
             ));
         }
+        // Telemetry snapshot: every nonzero counter/gauge, so
+        // `scapctl status --json` sees the capture plane, not just the
+        // tenant table.
+        use scap::telemetry::{Gauge, Metric};
+        let snap = kernel.telemetry_snapshot();
+        let counters: Vec<String> = Metric::ALL
+            .iter()
+            .filter_map(|&m| {
+                let v = snap.total(m);
+                (v != 0).then(|| format!("\"{}\": {v}", m.name()))
+            })
+            .collect();
+        let gauges: Vec<String> = Gauge::ALL
+            .iter()
+            .filter_map(|&g| {
+                let v = snap.gauge_max(g);
+                (v != 0).then(|| format!("\"{}\": {v}", g.name()))
+            })
+            .collect();
+        let mut pulse = kernel.pulse_snapshot();
+        pulse.merge(&self.engine.pulse_snapshot());
+        let latency: Vec<String> = scap::telemetry::PulseStage::ALL
+            .iter()
+            .filter_map(|&st| {
+                let (count, p50, p99, _) = pulse.summary(st);
+                (count != 0).then(|| {
+                    format!(
+                        "{{\"stage\": \"{}\", \"count\": {count}, \"p50_ns\": {p50}, \
+                         \"p99_ns\": {p99}}}",
+                        st.name()
+                    )
+                })
+            })
+            .collect();
         let json = format!(
-            "{{\n  \"packets\": {packets},\n  \"conserved\": {},\n  \"tenants\": [\n    {}\n  ]\n}}\n",
+            "{{\n  \"packets\": {packets},\n  \"conserved\": {},\n  \"tenants\": [\n    {}\n  ],\n  \
+             \"telemetry\": {{\"counters\": {{{}}}, \"gauges\": {{{}}}}},\n  \
+             \"latency\": [{}]\n}}\n",
             self.engine.all_conserved(),
             tenants.join(",\n    "),
+            counters.join(", "),
+            gauges.join(", "),
+            latency.join(", "),
         );
         write_atomic(&self.dir.join("scapd-status.json"), &json);
     }
@@ -450,6 +504,7 @@ fn main() {
         "scapd-done",
         "scapd-status.tsv",
         "scapd-status.json",
+        "metrics",
         "shutdown",
     ] {
         let _ = std::fs::remove_file(dir.join(stale));
@@ -488,6 +543,14 @@ fn main() {
         .engine
         .merged_config(d.base.clone())
         .unwrap_or_else(|e| die(&format!("merged config: {e}")));
+    // The engine's tenant-queue pulse samples at the same quantile/cap
+    // as the kernel plane, so the merged exposition is homogeneous.
+    d.engine
+        .configure_pulse(merged.pulse_exemplar_permille, merged.pulse_exemplar_cap);
+    let mode = match merged.dispatch {
+        scap::DispatchMode::Fastpath => "fastpath",
+        _ => "classic",
+    };
     let mut kernel = ScapKernel::new(merged);
     kernel.set_tenant_table(d.engine.images());
 
@@ -510,6 +573,7 @@ fn main() {
             while kernel.kernel_poll(core, now).is_some() {}
             kernel.kernel_timers(core, now);
             while let Some(ev) = kernel.next_event(core) {
+                kernel.note_delivery(&ev, now);
                 d.engine.on_event(&ev, kernel.flight_mut());
                 if let EventKind::Data { dir, chunk, .. } = ev.kind {
                     kernel.release_data(ev.stream.uid, dir, chunk);
@@ -523,6 +587,7 @@ fn main() {
             d.process_detaches(now, &mut kernel);
             if ((idx + 1) % 512) == 0 {
                 d.write_status(now, idx + 1, total, false);
+                d.write_metrics(&kernel, mode);
             }
             if d.dir.join("shutdown").exists() {
                 eprintln!("scapd: shutdown requested at packet {}", idx + 1);
@@ -537,6 +602,7 @@ fn main() {
     kernel.finish(now.saturating_add(1));
     for core in 0..kernel.ncores() {
         while let Some(ev) = kernel.next_event(core) {
+            kernel.note_delivery(&ev, now.saturating_add(1));
             d.engine.on_event(&ev, kernel.flight_mut());
             if let EventKind::Data { dir, chunk, .. } = ev.kind {
                 kernel.release_data(ev.stream.uid, dir, chunk);
@@ -565,7 +631,8 @@ fn main() {
     }
 
     d.write_status(now.saturating_add(1), total, total, true);
-    d.write_final_json(total);
+    d.write_metrics(&kernel, mode);
+    d.write_final_json(total, &kernel);
     let conserved = d.engine.all_conserved();
     for t in d.engine.tenants() {
         eprintln!(

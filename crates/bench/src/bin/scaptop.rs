@@ -38,12 +38,14 @@
 
 use scap::telemetry::{Gauge, Metric, Snapshot};
 use scap::{DispatchMode, EventKind, ScapConfig, ScapKernel};
+use scap_bench::render::{
+    bar, latency_panel, mbit_per_sec, permille, rate_per_sec, Frame, LatencyHistory,
+};
 use scap_flight::{attribution, FlightKind};
 use scap_trace::gen::{CampusMix, CampusMixConfig};
 use scap_trace::pcap::PcapReader;
 use scap_trace::Packet;
 use std::collections::HashMap;
-use std::io::{IsTerminal, Write};
 
 fn die(msg: &str) -> ! {
     eprintln!("scaptop: {msg}");
@@ -60,10 +62,11 @@ struct QueuePrev {
 struct Dashboard {
     interval: u64,
     topk: usize,
-    delay_ms: u64,
-    ansi: bool,
+    frame: Frame,
     fastpath: bool,
     offload: bool,
+    latency: bool,
+    latency_hist: LatencyHistory,
     prev_ts_ns: u64,
     prev_fp_pkts: u64,
     prev_evictions: u64,
@@ -75,10 +78,7 @@ struct Dashboard {
 impl Dashboard {
     fn render(&mut self, kernel: &ScapKernel, fed: usize, total: usize, now_ns: u64) {
         let snap: Snapshot = kernel.telemetry_snapshot();
-        let mut out = String::new();
-        if self.ansi {
-            out.push_str("\x1b[2J\x1b[H");
-        }
+        let out = self.frame.begin();
         let dt = (now_ns.saturating_sub(self.prev_ts_ns)) as f64 / 1e9;
         out.push_str(&format!(
             "scaptop — {fed}/{total} packets | trace time {:.3} s | wire {} pkts / {} B | {} streams tracked\n\n",
@@ -100,12 +100,8 @@ impl Dashboard {
             let pkts = snap.counter(q, Metric::DeliveredPackets);
             let bytes = snap.counter(q, Metric::DeliveredBytes);
             let prev = self.prev_queues[q];
-            let (dp, db) = (pkts - prev.pkts, bytes - prev.bytes);
-            let (rate_p, rate_b) = if dt > 0.0 {
-                (dp as f64 / dt, db as f64 * 8.0 / dt / 1e6)
-            } else {
-                (0.0, 0.0)
-            };
+            let rate_p = rate_per_sec(pkts - prev.pkts, dt);
+            let rate_b = mbit_per_sec(bytes - prev.bytes, dt);
             out.push_str(&format!(
                 "  q{q:<3} {pkts:>9} {bytes:>10} {rate_p:>15.0} {rate_b:>16.2} {streams:>8} {backlog:>8}\n",
                 streams = kernel.tracked_streams(q),
@@ -143,11 +139,7 @@ impl Dashboard {
         let fp_pkts = snap.total(Metric::FastpathPackets);
         if self.fastpath {
             let fill = snap.gauge(0, Gauge::FastpathFillPermille);
-            let fp_rate = if dt > 0.0 {
-                (fp_pkts - self.prev_fp_pkts) as f64 / dt
-            } else {
-                0.0
-            };
+            let fp_rate = rate_per_sec(fp_pkts - self.prev_fp_pkts, dt);
             out.push_str(&format!(
                 "fast path      burst fill {} [{}]   {} bursts / {} pkts   {:.0} pkt/s (window)\n",
                 permille(fill),
@@ -166,11 +158,7 @@ impl Dashboard {
             let wire = snap.total(Metric::WirePackets).max(1);
             let hit_pct = 100.0 * os.hits as f64 / wire as f64;
             let load = kernel.offload_load_permille();
-            let ev_rate = if dt > 0.0 {
-                (os.evictions - self.prev_evictions) as f64 / dt
-            } else {
-                0.0
-            };
+            let ev_rate = rate_per_sec(os.evictions - self.prev_evictions, dt);
             out.push_str(&format!(
                 "offload        rules {}   load {} [{}]   hit rate {:.1}%   evictions {} ({:.0}/s window)\n",
                 kernel.offload_rules(),
@@ -226,15 +214,12 @@ impl Dashboard {
             out.push_str(&format!("  uid {uid:<6} {key:<48} {bytes:>12}\n"));
         }
 
-        let mut w = std::io::stdout().lock();
-        let _ = w.write_all(out.as_bytes());
-        if !self.ansi {
-            let _ = w.write_all(b"----\n");
+        // Per-stage pulse percentiles with a p99 trend sparkline.
+        if self.latency {
+            latency_panel(out, &kernel.pulse_snapshot(), &mut self.latency_hist);
         }
-        let _ = w.flush();
-        if self.delay_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
-        }
+
+        self.frame.flush();
     }
 }
 
@@ -301,7 +286,7 @@ fn parse_scapd_status(text: &str) -> (HashMap<String, u64>, Vec<TenantRow>) {
 fn scapd_panel(dir: &str, delay_ms: u64) -> ! {
     let status = std::path::Path::new(dir).join("scapd-status.tsv");
     let done_marker = std::path::Path::new(dir).join("scapd-done");
-    let ansi = std::io::stdout().is_terminal();
+    let mut frame = Frame::new(delay_ms.max(50));
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
     let mut prev: HashMap<String, (u64, u64)> = HashMap::new(); // name -> (delivered, ts_ns)
     loop {
@@ -319,10 +304,7 @@ fn scapd_panel(dir: &str, delay_ms: u64) -> ! {
         };
         let (meta, rows) = parse_scapd_status(&text);
         let ts = meta.get("ts_ns").copied().unwrap_or(0);
-        let mut out = String::new();
-        if ansi {
-            out.push_str("\x1b[2J\x1b[H");
-        }
+        let out = frame.begin();
         out.push_str(&format!(
             "scapd @ {dir} — {}/{} packets | trace time {:.3} s | {} tenants{}\n\n",
             meta.get("fed").copied().unwrap_or(0),
@@ -338,11 +320,7 @@ fn scapd_panel(dir: &str, delay_ms: u64) -> ! {
         for r in &rows {
             let (pd, pt) = prev.get(&r.name).copied().unwrap_or((r.delivered, ts));
             let dt = ts.saturating_sub(pt) as f64 / 1e9;
-            let rate = if dt > 0.0 {
-                (r.delivered - pd) as f64 * 8.0 / dt / 1e6
-            } else {
-                0.0
-            };
+            let rate = mbit_per_sec(r.delivered - pd, dt);
             let fill = (r.queue * 1000).checked_div(r.queue_cap).unwrap_or(0);
             out.push_str(&format!(
                 "{:<12} {:<12} {:>10} {:>8.2} {:>8} [{}] {:>9} {:>6} slow-consumer B, \
@@ -364,12 +342,7 @@ fn scapd_panel(dir: &str, delay_ms: u64) -> ! {
             ));
             prev.insert(r.name.clone(), (r.delivered, ts));
         }
-        let mut w = std::io::stdout().lock();
-        let _ = w.write_all(out.as_bytes());
-        if !ansi {
-            let _ = w.write_all(b"----\n");
-        }
-        let _ = w.flush();
+        frame.flush();
         if done {
             let verdict = std::fs::read_to_string(&done_marker).unwrap_or_default();
             println!(
@@ -382,7 +355,6 @@ fn scapd_panel(dir: &str, delay_ms: u64) -> ! {
         if std::time::Instant::now() > deadline {
             die("scapd never wrote its done marker");
         }
-        std::thread::sleep(std::time::Duration::from_millis(delay_ms.max(50)));
     }
 }
 
@@ -394,10 +366,10 @@ fn shards_panel(
     storm_seed: Option<u64>,
     interval: u64,
     delay_ms: u64,
+    latency: bool,
 ) -> ! {
     use scap::{FaultPlan, FleetConfig, ShardFleet};
 
-    let ansi = std::io::stdout().is_terminal();
     let cfg = FleetConfig {
         nshards,
         faults: storm_seed.map(|s| FaultPlan::shard_storm(s, nshards)),
@@ -405,13 +377,12 @@ fn shards_panel(
     };
     let backoff_cap_ns = cfg.backoff_cap_ns;
     let mut fleet = ShardFleet::new(cfg);
+    let mut frame = Frame::new(delay_ms);
+    let mut latency_hist = LatencyHistory::default();
 
-    let render = |fleet: &ShardFleet, fed: usize, now_ns: u64| {
+    let mut render = |fleet: &ShardFleet, fed: usize, now_ns: u64| {
         let fs = fleet.fleet_stats();
-        let mut out = String::new();
-        if ansi {
-            out.push_str("\x1b[2J\x1b[H");
-        }
+        let out = frame.begin();
         out.push_str(&format!(
             "scaptop --shards {nshards} — {fed}/{} packets | trace time {:.3} s | \
              {} flows | {} kills / {} respawns / {} parked\n\n",
@@ -454,15 +425,10 @@ fn shards_panel(
             fs.shard_down_packets,
             fs.shard_down_bytes,
         ));
-        let mut w = std::io::stdout().lock();
-        let _ = w.write_all(out.as_bytes());
-        if !ansi {
-            let _ = w.write_all(b"----\n");
+        if latency {
+            latency_panel(out, &fleet.fleet_pulse(), &mut latency_hist);
         }
-        let _ = w.flush();
-        if delay_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
-        }
+        frame.flush();
     };
 
     let mut now = 0u64;
@@ -494,22 +460,14 @@ fn shards_panel(
     std::process::exit(i32::from(!conserved));
 }
 
-fn permille(v: u64) -> String {
-    format!("{}.{}%", v / 10, v % 10)
-}
-
-fn bar(permille: u64) -> String {
-    let filled = (permille.min(1000) / 100) as usize;
-    format!("{}{}", "#".repeat(filled), ".".repeat(10 - filled))
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: scaptop [file.pcap] [filter] [--gen MB] [--interval PKTS] \
-             [--topk N] [--cutoff BYTES] [--fastpath] [--offload] [--burst FRAMES] \
-             [--delay-ms MS] [--seed N] [--scapd DIR] [--shards N [--storm]]"
+             [--topk N] [--cutoff BYTES] [--fastpath] [--offload] [--latency] \
+             [--burst FRAMES] [--delay-ms MS] [--seed N] [--scapd DIR] \
+             [--shards N [--storm]]"
         );
         std::process::exit(0);
     }
@@ -521,6 +479,7 @@ fn main() {
     let mut cutoff: Option<u64> = None;
     let mut fastpath = false;
     let mut offload = false;
+    let mut latency = false;
     let mut burst: Option<usize> = None;
     let mut delay_ms: u64 = 0;
     let mut seed: u64 = 42;
@@ -553,6 +512,7 @@ fn main() {
             }
             "--fastpath" => fastpath = true,
             "--offload" => offload = true,
+            "--latency" => latency = true,
             "--burst" => {
                 i += 1;
                 burst = Some(numarg(&args, i, "--burst").max(1) as usize);
@@ -601,7 +561,14 @@ fn main() {
         (None, None) => die("no pcap file given (or use --gen MB)"),
     };
     if let Some(n) = shards {
-        shards_panel(&packets, n, storm.then_some(seed), interval, delay_ms);
+        shards_panel(
+            &packets,
+            n,
+            storm.then_some(seed),
+            interval,
+            delay_ms,
+            latency,
+        );
     }
     let filter_expr = if gen_mb.is_some() {
         positional.first().map(|s| s.as_str()).unwrap_or("")
@@ -636,10 +603,11 @@ fn main() {
     let mut dash = Dashboard {
         interval,
         topk,
-        delay_ms,
-        ansi: std::io::stdout().is_terminal(),
+        frame: Frame::new(delay_ms),
         fastpath,
         offload,
+        latency,
+        latency_hist: LatencyHistory::default(),
         prev_ts_ns: 0,
         prev_fp_pkts: 0,
         prev_evictions: 0,
@@ -660,6 +628,7 @@ fn main() {
             }
             kernel.kernel_timers(core, now);
             while let Some(ev) = kernel.next_event(core) {
+                kernel.note_delivery(&ev, now);
                 if let EventKind::Data { dir, chunk, .. } = ev.kind {
                     let e = dash
                         .streams
@@ -677,6 +646,7 @@ fn main() {
     kernel.finish(now.saturating_add(1));
     for core in 0..kernel.ncores() {
         while let Some(ev) = kernel.next_event(core) {
+            kernel.note_delivery(&ev, now.saturating_add(1));
             if let EventKind::Data { dir, chunk, .. } = ev.kind {
                 let e = dash
                     .streams

@@ -365,6 +365,88 @@ pub fn touch_app() -> StreamTouchApp {
     StreamTouchApp::default()
 }
 
+/// Distill a pulse snapshot into the standard per-stage latency table
+/// every pulse-reporting experiment emits: one row per active stage with
+/// interpolated p50/p99/p999, the exported exemplar count, and the
+/// tail-sampling threshold those exemplars cleared.
+pub fn latency_figure(
+    name: &str,
+    snap: &scap::telemetry::PulseSnapshot,
+    mut notes: Vec<String>,
+) -> FigureResult {
+    use scap::telemetry::PulseStage;
+    let mut rows = Vec::new();
+    for st in PulseStage::ALL {
+        let (count, p50, p99, p999) = snap.summary(st);
+        if count == 0 {
+            continue;
+        }
+        rows.push(vec![
+            st.name().to_string(),
+            count.to_string(),
+            p50.to_string(),
+            p99.to_string(),
+            p999.to_string(),
+            snap.stage_exemplars(st).len().to_string(),
+            snap.threshold(st).to_string(),
+        ]);
+    }
+    notes.push(format!(
+        "exemplars tail-sampled at q={:.3}; every exemplar's delay >= its stage's \
+         threshold_ns (the conservative bucket-floor quantile estimate)",
+        snap.quantile()
+    ));
+    FigureResult {
+        name: name.into(),
+        headers: [
+            "stage",
+            "count",
+            "p50_ns",
+            "p99_ns",
+            "p999_ns",
+            "exemplars",
+            "threshold_ns",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+        notes,
+    }
+}
+
+/// The pulse-plane acceptance gate shared by the latency-reporting
+/// experiments: delivery latency was actually measured (nonzero p99),
+/// every exported exemplar clears its stage's final threshold, and —
+/// when the producing journal is at hand — every exemplar uid resolves
+/// to at least one journal event (its own `pulse_exemplar` record at
+/// minimum), so `scapcat --trace <uid>` can reconstruct the slow packet.
+pub fn assert_pulse_acceptance(
+    snap: &scap::telemetry::PulseSnapshot,
+    journal: Option<&scap_flight::Journal>,
+) {
+    use scap::telemetry::pulse::exemplar_consistent;
+    use scap::telemetry::PulseStage;
+    assert!(
+        snap.stage(PulseStage::Delivery).quantile(0.99) > 0,
+        "pulse plane recorded no delivery latency (p99 == 0)"
+    );
+    for e in &snap.exemplars {
+        assert!(
+            exemplar_consistent(snap, e),
+            "exemplar {e:?} below its stage's sampling threshold {}",
+            snap.threshold(e.stage)
+        );
+        if let Some(j) = journal {
+            assert!(
+                !j.for_uid(e.uid).is_empty(),
+                "exemplar uid {} resolves to no flight-journal events",
+                e.uid
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

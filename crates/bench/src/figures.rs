@@ -1797,6 +1797,9 @@ pub fn fastpath(cfg: &ExpConfig) -> Vec<FigureResult> {
                     }
                 }
                 while let Some(ev) = kernel.next_event(core) {
+                    // Delivery span: producing packet's NIC ingress to
+                    // this hand-off (exemplar-eligible).
+                    kernel.note_delivery(&ev, now);
                     if let EventKind::Data { dir, chunk, .. } = ev.kind {
                         kernel.release_data(ev.stream.uid, dir, chunk);
                     }
@@ -1814,6 +1817,7 @@ pub fn fastpath(cfg: &ExpConfig) -> Vec<FigureResult> {
         mpps: f64,
         fill_permille: u64,
         induced_drops: u64,
+        pulse: scap::telemetry::PulseSnapshot,
     }
 
     let model = CostModel::default();
@@ -1828,6 +1832,15 @@ pub fn fastpath(cfg: &ExpConfig) -> Vec<FigureResult> {
 
         // Phase 1: the measured drive (insert pass + hit pass).
         let work = drive(&mut kernel, pkts, is_fp);
+        // Pulse acceptance on the measured phase, while every exemplar's
+        // `pulse_exemplar` journal event is still in its flight ring
+        // (finish() floods the rings with StreamTerminated events).
+        let pulse = kernel.pulse_snapshot();
+        {
+            let journal = decode_journal(&kernel.flight().encode())
+                .expect("journal round-trips through the codec");
+            assert_pulse_acceptance(&pulse, Some(&journal));
+        }
         let snap = kernel.telemetry_snapshot();
         let wire = snap.total(Metric::WirePackets);
         let delivered = snap.total(Metric::DeliveredPackets);
@@ -1959,6 +1972,7 @@ pub fn fastpath(cfg: &ExpConfig) -> Vec<FigureResult> {
             mpps,
             fill_permille,
             induced_drops,
+            pulse,
         }
     };
 
@@ -2055,6 +2069,35 @@ pub fn fastpath(cfg: &ExpConfig) -> Vec<FigureResult> {
             r.fill_permille.to_string(),
         ]);
     }
+    // Same-seed determinism probe at a small scale: the pulse plane
+    // (histograms, thresholds, and the exemplar set) must be
+    // byte-identical across reruns, or the latency section could not be
+    // compared between runs.
+    let dpkts = make_pkts(1 << 12);
+    let d1 = run(DispatchMode::Fastpath, 64, &dpkts, 1 << 12);
+    let d2 = run(DispatchMode::Fastpath, 64, &dpkts, 1 << 12);
+    assert_eq!(
+        d1.pulse, d2.pulse,
+        "same-seed runs must produce identical pulse snapshots"
+    );
+    drop(dpkts);
+
+    let latency = latency_figure(
+        "fastpath_latency",
+        &fp.pulse,
+        vec![
+            format!(
+                "pulse plane of the measured fast-path drive at {FLOWS} concurrent flows \
+                 (insert + hit pass, batch 512); clock-difference stages ride the trace \
+                 clock, processing stages the 2 GHz virtual cost model"
+            ),
+            "asserted: nonzero delivery p99, every exemplar >= its stage's sampling \
+             threshold, every exemplar uid resolves in the flight journal, and a \
+             same-seed rerun reproduces the pulse snapshot byte-for-byte"
+                .into(),
+        ],
+    );
+
     let ablation = FigureResult {
         name: "fastpath_burst_ablation".into(),
         headers: vec![
@@ -2076,7 +2119,7 @@ pub fn fastpath(cfg: &ExpConfig) -> Vec<FigureResult> {
                 .into(),
         ],
     };
-    vec![throughput, ablation]
+    vec![throughput, latency, ablation]
 }
 
 /// The programmable per-flow offload engine: hit rate vs. softirq
@@ -2538,10 +2581,26 @@ pub fn soak(cfg: &ExpConfig) -> Vec<FigureResult> {
     for w in &mut writers {
         streams_archived += w.finish().expect("shard archive finish").streams_archived;
     }
+    // Store-seal spans live in the per-shard archive writers, outside
+    // the fleet; harvest them before the writers close.
+    let mut store_pulse = scap::telemetry::PulseSnapshot::default();
+    for w in &writers {
+        store_pulse.merge(&w.pulse_snapshot());
+    }
     drop(writers);
 
     let fs = fleet.fleet_stats();
     let status = fleet.status();
+
+    // ---- The fleet-merged pulse plane: shard histograms merge in the
+    // supervisor harvest (every retired incarnation plus the survivors),
+    // and the merged exemplar set is re-filtered against the fleet-wide
+    // tail. The journal-resolution check lives in the fastpath
+    // experiment — here finish() has already flooded the rings with
+    // StreamTerminated events.
+    let mut fleet_pulse = fleet.fleet_pulse();
+    fleet_pulse.merge(&store_pulse);
+    assert_pulse_acceptance(&fleet_pulse, None);
 
     // ---- Fleet-wide conservation, byte-exact.
     assert_eq!(fs.wire_packets, wire_in, "fleet must see every wire packet");
@@ -2763,7 +2822,18 @@ pub fn soak(cfg: &ExpConfig) -> Vec<FigureResult> {
         )],
     };
 
-    vec![fleet_fig, shards_fig, fed_fig]
+    let latency_fig = latency_figure(
+        "soak_latency",
+        &fleet_pulse,
+        vec![format!(
+            "pulse plane merged across {nshards} shards and every killed/respawned \
+             incarnation (drive burst 256, storm seed {}); exemplars re-filtered \
+             against the fleet-wide tail at merge time",
+            cfg.seed
+        )],
+    );
+
+    vec![fleet_fig, shards_fig, fed_fig, latency_fig]
 }
 
 /// Dispatch by experiment id.

@@ -19,6 +19,7 @@
 
 pub mod common;
 pub mod figures;
+pub mod render;
 pub mod summary;
 
 pub use common::{ExpConfig, FigureResult, Scale};

@@ -1,0 +1,218 @@
+//! Shared terminal-rendering helpers for the live dashboards.
+//!
+//! `scaptop` grew several panels (per-queue rates, the scapd tenant
+//! view, the shard-fleet view, and the pulse latency panel) that all
+//! need the same primitives: permille formatting, occupancy bars,
+//! rate math over a virtual-time window, sparklines over a bounded
+//! history, and the frame protocol (ANSI repaint on a TTY, sequential
+//! frames with a `----` separator on a pipe, optional wall-clock
+//! pacing). Keeping them here means a new panel cannot drift from the
+//! others' formatting.
+
+use std::io::{IsTerminal, Write};
+
+/// Render a permille gauge (0..=1000) as a percentage, e.g. `427` →
+/// `"42.7%"`.
+pub fn permille(v: u64) -> String {
+    format!("{}.{}%", v / 10, v % 10)
+}
+
+/// A 10-cell occupancy bar for a permille gauge, e.g. `[####......]`
+/// interior for 40%.
+pub fn bar(permille: u64) -> String {
+    let filled = (permille.min(1000) / 100) as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(10 - filled))
+}
+
+/// Events per second over a virtual-time window; 0 when the window is
+/// empty (first frame).
+pub fn rate_per_sec(delta: u64, dt_s: f64) -> f64 {
+    if dt_s > 0.0 {
+        delta as f64 / dt_s
+    } else {
+        0.0
+    }
+}
+
+/// Megabits per second over a virtual-time window.
+pub fn mbit_per_sec(delta_bytes: u64, dt_s: f64) -> f64 {
+    rate_per_sec(delta_bytes, dt_s) * 8.0 / 1e6
+}
+
+/// A one-line sparkline over a value history, scaled to the max seen.
+///
+/// Uses a pure-ASCII ramp so pipes, CI logs, and narrow terminals all
+/// render it identically. An empty history renders as an empty string.
+pub fn sparkline(vals: &[u64]) -> String {
+    const RAMP: [char; 8] = ['_', '.', ':', '-', '=', '+', '*', '#'];
+    let max = vals.iter().copied().max().unwrap_or(0);
+    vals.iter()
+        .map(|&v| {
+            let cell = (v * (RAMP.len() as u64 - 1)).checked_div(max).unwrap_or(0);
+            RAMP[cell as usize]
+        })
+        .collect()
+}
+
+/// One dashboard frame: accumulates text, then repaints in place on a
+/// TTY or appends a `----`-separated frame on a pipe, with optional
+/// wall-clock pacing between frames.
+pub struct Frame {
+    ansi: bool,
+    delay_ms: u64,
+    buf: String,
+}
+
+impl Frame {
+    /// A frame writer for stdout; ANSI repaint iff stdout is a TTY.
+    pub fn new(delay_ms: u64) -> Self {
+        Frame {
+            ansi: std::io::stdout().is_terminal(),
+            delay_ms,
+            buf: String::new(),
+        }
+    }
+
+    /// Start a frame: clears the accumulated buffer and, on a TTY,
+    /// queues the clear-screen + home escape so the frame repaints in
+    /// place. Returns the buffer to format the frame body into.
+    pub fn begin(&mut self) -> &mut String {
+        self.buf.clear();
+        if self.ansi {
+            self.buf.push_str("\x1b[2J\x1b[H");
+        }
+        &mut self.buf
+    }
+
+    /// Flush the accumulated frame to stdout (with the pipe-mode
+    /// separator when not on a TTY) and apply the inter-frame delay.
+    pub fn flush(&mut self) {
+        let mut w = std::io::stdout().lock();
+        let _ = w.write_all(self.buf.as_bytes());
+        if !self.ansi {
+            let _ = w.write_all(b"----\n");
+        }
+        let _ = w.flush();
+        if self.delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
+        }
+    }
+}
+
+/// Per-stage p99 history feeding the latency panel's sparklines.
+///
+/// Bounded to the last [`LatencyHistory::WINDOW`] frames per stage so a
+/// long capture cannot grow the dashboard's memory.
+#[derive(Default)]
+pub struct LatencyHistory {
+    /// `series[stage_idx]` = recent p99 samples, oldest first.
+    series: Vec<Vec<u64>>,
+}
+
+impl LatencyHistory {
+    /// Frames of history a sparkline spans.
+    pub const WINDOW: usize = 32;
+
+    /// Record this frame's p99 for a stage.
+    pub fn push(&mut self, stage_idx: usize, p99_ns: u64) {
+        if self.series.len() <= stage_idx {
+            self.series.resize(stage_idx + 1, Vec::new());
+        }
+        let s = &mut self.series[stage_idx];
+        s.push(p99_ns);
+        if s.len() > Self::WINDOW {
+            s.remove(0);
+        }
+    }
+
+    /// The sparkline for a stage ("" when the stage never recorded).
+    pub fn sparkline(&self, stage_idx: usize) -> String {
+        self.series
+            .get(stage_idx)
+            .map(|s| sparkline(s))
+            .unwrap_or_default()
+    }
+}
+
+/// Append the per-stage pulse latency panel to a frame body: one row
+/// per active stage with interpolated p50/p99/p999, the exemplar count,
+/// and a sparkline of the p99 trend across recent frames.
+pub fn latency_panel(
+    out: &mut String,
+    snap: &scap::telemetry::PulseSnapshot,
+    history: &mut LatencyHistory,
+) {
+    use scap::telemetry::PulseStage;
+    out.push_str(&format!(
+        "\nlatency (pulse plane, ns)          count       p50       p99      p999  ex  p99 trend (last {})\n",
+        LatencyHistory::WINDOW
+    ));
+    let mut any = false;
+    for st in PulseStage::ALL {
+        let (count, p50, p99, p999) = snap.summary(st);
+        if count == 0 {
+            continue;
+        }
+        any = true;
+        history.push(st.idx(), p99);
+        out.push_str(&format!(
+            "  {:<22} {:>16} {:>9} {:>9} {:>9} {:>3}  {}\n",
+            st.name(),
+            count,
+            p50,
+            p99,
+            p999,
+            snap.stage_exemplars(st).len(),
+            history.sparkline(st.idx()),
+        ));
+    }
+    if !any {
+        out.push_str("  no stage latencies recorded yet\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permille_and_bar_format() {
+        assert_eq!(permille(427), "42.7%");
+        assert_eq!(bar(400), "####......");
+        assert_eq!(bar(5000), "##########");
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "__");
+        let s = sparkline(&[1, 4, 8]);
+        assert_eq!(s.len(), 3);
+        assert!(s.ends_with('#'), "max value renders the top ramp cell");
+    }
+
+    #[test]
+    fn latency_history_is_bounded() {
+        let mut h = LatencyHistory::default();
+        for i in 0..(LatencyHistory::WINDOW as u64 + 10) {
+            h.push(2, i);
+        }
+        assert_eq!(h.sparkline(2).chars().count(), LatencyHistory::WINDOW);
+        assert_eq!(h.sparkline(0), "");
+    }
+
+    #[test]
+    fn latency_panel_renders_active_stages() {
+        use scap::telemetry::{Pulse, PulseStage};
+        let mut p = Pulse::new(990, 8);
+        for i in 0..100 {
+            p.record(PulseStage::Delivery, 1000 + i * 10);
+        }
+        let snap = p.snapshot();
+        let mut hist = LatencyHistory::default();
+        let mut out = String::new();
+        latency_panel(&mut out, &snap, &mut hist);
+        assert!(out.contains("delivery"));
+        assert!(!out.contains("no stage latencies"));
+    }
+}

@@ -329,6 +329,41 @@ fn offload_section(scale: &FigureResult, fig8: Option<&FigureResult>) -> String 
     format!("  \"offload\": {{{}}}", fields.join(", "))
 }
 
+/// The pulse plane: one array of per-stage latency rows per experiment
+/// that reported it (`<exp>_latency` figures), keyed by experiment, as
+/// one `"latency"` object. Quantiles are interpolated nanoseconds;
+/// `exemplars`/`threshold_ns` describe the tail-sample set riding with
+/// each histogram.
+fn latency_section(figs: &[&FigureResult]) -> String {
+    let objs: Vec<String> = figs
+        .iter()
+        .map(|f| {
+            let key = f.name.trim_end_matches("_latency");
+            let items: Vec<String> = f
+                .rows
+                .iter()
+                .filter(|r| r.len() >= 7)
+                .map(|r| {
+                    format!(
+                        "{{\"stage\": \"{}\", \"count\": {}, \"p50_ns\": {}, \
+                         \"p99_ns\": {}, \"p999_ns\": {}, \"exemplars\": {}, \
+                         \"threshold_ns\": {}}}",
+                        json_escape(&r[0]),
+                        json_value(&r[1]),
+                        json_value(&r[2]),
+                        json_value(&r[3]),
+                        json_value(&r[4]),
+                        json_value(&r[5]),
+                        json_value(&r[6])
+                    )
+                })
+                .collect();
+            format!("\"{}\": [{}]", json_escape(key), items.join(", "))
+        })
+        .collect();
+    format!("  \"latency\": {{{}}}", objs.join(", "))
+}
+
 /// The sharded soak run: fleet-wide conservation, storm/recovery
 /// counters, and the federated-query outcome as one `"soak"` object.
 fn soak_section(fleet: &FigureResult, federated: Option<&FigureResult>) -> String {
@@ -414,6 +449,13 @@ pub fn render_bench_summary(cfg: &ExpConfig, results: &[FigureResult]) -> String
     }
     if let Some(fig) = find(results, "soak_fleet") {
         sections.push(soak_section(fig, find(results, "soak_federated")));
+    }
+    let latency_figs: Vec<&FigureResult> = results
+        .iter()
+        .filter(|r| r.name.ends_with("_latency"))
+        .collect();
+    if !latency_figs.is_empty() {
+        sections.push(latency_section(&latency_figs));
     }
     format!("{{\n{}\n}}\n", sections.join(",\n"))
 }
@@ -506,6 +548,17 @@ pub fn render_trajectory_record(cfg: &ExpConfig, results: &[FigureResult]) -> St
         if let Some(v) = metric("max_blackout_ms") {
             fields.push(format!("\"soak_max_blackout_ms\": {v}"));
         }
+    }
+    // End-to-end delivery p99 from whichever experiment reported the
+    // pulse plane first — the trajectory's latency headline.
+    if let Some(p99) = results
+        .iter()
+        .filter(|r| r.name.ends_with("_latency"))
+        .flat_map(|r| r.rows.iter())
+        .find(|row| row.len() >= 4 && row[0] == "delivery")
+        .map(|row| row[3].clone())
+    {
+        fields.push(format!("\"p99_delivery_ns\": {}", json_value(&p99)));
     }
     format!("{{{}}}\n", fields.join(", "))
 }
@@ -880,6 +933,76 @@ mod tests {
             "\"per_cutoff\": [{\"cutoff\": \"10K\", \"hit_rate_pct\": 57.8, \
              \"softirq_none_pct\": 4.2, \"softirq_offload_pct\": 2.4, \"savings_pp\": 1.8}]"
         ));
+    }
+
+    #[test]
+    fn latency_section_keys_by_experiment_and_feeds_trajectory() {
+        let cfg = ExpConfig::new(Scale::smoke());
+        let lat_headers = [
+            "stage",
+            "count",
+            "p50_ns",
+            "p99_ns",
+            "p999_ns",
+            "exemplars",
+            "threshold_ns",
+        ];
+        let results = vec![
+            fig(
+                "fastpath_latency",
+                &lat_headers,
+                vec![
+                    vec![
+                        "kernel_dispatch".into(),
+                        "2097152".into(),
+                        "25500".into(),
+                        "50600".into(),
+                        "51000".into(),
+                        "8".into(),
+                        "32768".into(),
+                    ],
+                    vec![
+                        "delivery".into(),
+                        "2097152".into(),
+                        "25700".into(),
+                        "50900".into(),
+                        "51050".into(),
+                        "8".into(),
+                        "32768".into(),
+                    ],
+                ],
+            ),
+            fig(
+                "soak_latency",
+                &lat_headers,
+                vec![vec![
+                    "delivery".into(),
+                    "884000".into(),
+                    "110000".into(),
+                    "420000".into(),
+                    "510000".into(),
+                    "6".into(),
+                    "262144".into(),
+                ]],
+            ),
+        ];
+        let full = render_bench_summary(&cfg, &results);
+        assert!(full.contains("\"latency\": {\"fastpath\": ["));
+        assert!(full.contains(
+            "{\"stage\": \"delivery\", \"count\": 2097152, \"p50_ns\": 25700, \
+             \"p99_ns\": 50900, \"p999_ns\": 51050, \"exemplars\": 8, \
+             \"threshold_ns\": 32768}"
+        ));
+        assert!(full.contains("\"soak\": [{\"stage\": \"delivery\""));
+
+        // Trajectory takes the first delivery row's p99.
+        let line = render_trajectory_record(&cfg, &results);
+        assert!(line.contains("\"p99_delivery_ns\": 50900"));
+
+        // No latency figures -> no section, no trajectory field.
+        let none = render_bench_summary(&cfg, &[]);
+        assert!(!none.contains("\"latency\""));
+        assert!(!render_trajectory_record(&cfg, &[]).contains("p99_delivery_ns"));
     }
 
     #[test]

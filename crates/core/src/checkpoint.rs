@@ -533,6 +533,8 @@ fn encode_config_body(cfg: &ScapConfig) -> Vec<u8> {
     put_u64(&mut b, cfg.offload_capacity as u64);
     put_u32(&mut b, cfg.watchdog_breaker_threshold);
     put_u64(&mut b, cfg.watchdog_breaker_window_ns);
+    put_u32(&mut b, cfg.pulse_exemplar_permille);
+    put_u64(&mut b, cfg.pulse_exemplar_cap as u64);
     b
 }
 
@@ -1049,6 +1051,8 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
     let offload_capacity = c.u64()? as usize;
     let watchdog_breaker_threshold = c.u32()?;
     let watchdog_breaker_window_ns = c.u64()?;
+    let pulse_exemplar_permille = c.u32()?;
+    let pulse_exemplar_cap = c.u64()? as usize;
     if cores == 0 || chunk_size == 0 || overlap >= chunk_size {
         return Err(corrupt("invalid capture geometry in config record"));
     }
@@ -1092,6 +1096,8 @@ fn decode_config_body(c: &mut Cursor<'_>) -> Result<ScapConfig, CheckpointError>
         offload_capacity,
         watchdog_breaker_threshold,
         watchdog_breaker_window_ns,
+        pulse_exemplar_permille,
+        pulse_exemplar_cap,
     })
 }
 

@@ -295,6 +295,12 @@ pub struct ScapConfig {
     /// Sliding failure window (virtual ns) of the watchdog's circuit
     /// breaker.
     pub watchdog_breaker_window_ns: u64,
+    /// Pulse-plane exemplar sampling quantile, in permille: stage
+    /// delays at or above this quantile of their own distribution are
+    /// tail-sampled into exemplars (990 = p99).
+    pub pulse_exemplar_permille: u32,
+    /// Exemplars retained per pulse stage (worst delays win).
+    pub pulse_exemplar_cap: usize,
 }
 
 impl Default for ScapConfig {
@@ -334,6 +340,8 @@ impl Default for ScapConfig {
             offload_capacity: scap_offload::DEFAULT_OFFLOAD_CAPACITY,
             watchdog_breaker_threshold: 8,
             watchdog_breaker_window_ns: 2_000_000_000,
+            pulse_exemplar_permille: 990,
+            pulse_exemplar_cap: 8,
         }
     }
 }

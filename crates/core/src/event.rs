@@ -113,6 +113,13 @@ pub struct Event {
     pub kind: EventKind,
     /// Core (event queue) this event was produced on.
     pub core: usize,
+    /// NIC-ingress timestamp (trace clock) of the packet that produced
+    /// this event; timer-generated events carry the timer tick. The
+    /// pulse plane measures kernel-dispatch and delivery latency
+    /// against this.
+    pub ingress_ns: u64,
+    /// Trace-clock time this event was enqueued on its per-core queue.
+    pub enqueued_ns: u64,
 }
 
 impl Event {

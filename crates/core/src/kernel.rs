@@ -23,7 +23,11 @@ use scap_memory::{Arena, ChunkAssembler, ChunkBuf, PplVerdict};
 use scap_nic::{FdirError, FdirFilter, Nic, NicVerdict, OffloadAction, OffloadError, OffloadRule};
 use scap_reassembly::{CloseKind, ReasmConfig, ReasmFlags, TcpConn};
 use scap_sim::{CacheSim, StackStats, Work};
-use scap_telemetry::{Gauge, Metric, PlainRegistry, Sampler, Snapshot, Stage};
+use scap_telemetry::pulse::cost;
+use scap_telemetry::{
+    cycles_to_ns, Gauge, Metric, PlainRegistry, Pulse, PulseSnapshot, PulseStage, Sampler,
+    Snapshot, Stage,
+};
 use scap_trace::Packet;
 use scap_wire::{parse_frame, Direction, FlowKey, ParsedPacket, TcpFlags, TcpMeta, Transport};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -274,6 +278,12 @@ pub struct ScapKernel {
     /// Flow-table lookups performed (denominator of the mean
     /// probe-length gauge; `Metric::KernelHashProbes` is the numerator).
     flow_lookups: u64,
+    /// The latency pulse plane (scap-pulse): one histogram per
+    /// [`PulseStage`] plus tail-sampled exemplars. Clock-difference
+    /// stages (dispatch, delivery) measure on the trace clock;
+    /// processing stages record the deterministic virtual costs from
+    /// [`scap_telemetry::pulse::cost`], so seeded runs are reproducible.
+    pulse: Pulse,
 }
 
 impl ScapKernel {
@@ -329,6 +339,7 @@ impl ScapKernel {
             tenant_table: Vec::new(),
             fp_stats: BurstStats::default(),
             flow_lookups: 0,
+            pulse: Pulse::new(cfg.pulse_exemplar_permille, cfg.pulse_exemplar_cap),
             cfg,
         }
     }
@@ -589,6 +600,44 @@ impl ScapKernel {
         &self.flight
     }
 
+    /// Export the pulse plane: per-stage latency histograms plus the
+    /// tail exemplars, re-filtered against the final quantile estimates.
+    pub fn pulse_snapshot(&self) -> PulseSnapshot {
+        self.pulse.snapshot()
+    }
+
+    /// Mutable access to the pulse plane (drivers append spans the
+    /// kernel cannot see, e.g. store-seal latency in single-process
+    /// harnesses).
+    pub fn pulse_mut(&mut self) -> &mut Pulse {
+        &mut self.pulse
+    }
+
+    /// Record end-to-end delivery latency for one event: the delta from
+    /// the producing packet's NIC-ingress timestamp to `now_ns`, the
+    /// moment a worker actually received the event. Exemplar-eligible —
+    /// the stream uid and the flight-journal cursor ride along so tail
+    /// deliveries can be reconstructed with `scapcat --trace <uid>`.
+    pub fn note_delivery(&mut self, ev: &Event, now_ns: u64) {
+        let delay = now_ns.saturating_sub(ev.ingress_ns);
+        let cursor = self.flight.total_recorded();
+        if self
+            .pulse
+            .record_uid(PulseStage::Delivery, delay, ev.stream.uid, cursor)
+        {
+            // Journal the outlier so the exported exemplar's uid always
+            // resolves in the journal its cursor points into. Delivery
+            // happens on the worker side of the queue; core 0 hosts the
+            // capture-wide ring, matching NIC-layer attribution.
+            self.flight.emit(
+                0,
+                FlightEvent::new(FlightKind::PulseExemplar, FlightLayer::Worker, now_ns)
+                    .with_uid(ev.stream.uid)
+                    .with_vals(PulseStage::Delivery.idx() as u64, delay),
+            );
+        }
+    }
+
     /// Mutable flight-recorder access for drivers: the live watchdog
     /// records worker panic/stall/restart events through this.
     pub fn flight_mut(&mut self) -> &mut FlightRecorder {
@@ -800,6 +849,22 @@ impl ScapKernel {
             }
         }
         let verdict = self.nic.receive(&parsed, pkt.clone());
+        // Pulse: deterministic admission cost, plus the offload-stage
+        // consult when that stage is enabled.
+        self.pulse.record(
+            PulseStage::NicVerdict,
+            cycles_to_ns(cost::nic_verdict_cycles(pkt.len() as u64)),
+        );
+        if self.cfg.use_offload {
+            let hit = matches!(
+                verdict,
+                NicVerdict::DroppedByOffload
+                    | NicVerdict::SampledByOffload
+                    | NicVerdict::BypassedByOffload
+            );
+            self.pulse
+                .record(PulseStage::Offload, cycles_to_ns(cost::offload_cycles(hit)));
+        }
         match verdict {
             NicVerdict::DroppedByFilter => {
                 // Subzero copy: never reaches main memory.
@@ -1038,7 +1103,7 @@ impl ScapKernel {
         Some(Self::snapshot_rec(rec, uid))
     }
 
-    fn enqueue_event(&mut self, core: usize, ev: Event, work: &mut Work) {
+    fn enqueue_event(&mut self, core: usize, mut ev: Event, now: u64, work: &mut Work) {
         if self.cores[core].events.len() >= self.cfg.event_queue_cap {
             self.stats.events_dropped += 1;
             self.tele.inc(core, Metric::KernelEventsDropped);
@@ -1062,6 +1127,22 @@ impl ScapKernel {
         if matches!(ev.kind, EventKind::Data { .. }) {
             self.stats.chunks += 1;
             self.tele.inc(core, Metric::KernelChunksPlaced);
+        }
+        // Pulse: dispatch latency — NIC ingress of the producing packet
+        // to event-queue admission (ring residency + kernel processing).
+        ev.enqueued_ns = now;
+        let cursor = self.flight.total_recorded();
+        let delay = now.saturating_sub(ev.ingress_ns);
+        if self
+            .pulse
+            .record_uid(PulseStage::KernelDispatch, delay, ev.stream.uid, cursor)
+        {
+            self.flight.emit(
+                core,
+                FlightEvent::new(FlightKind::PulseExemplar, FlightLayer::EventQueue, now)
+                    .with_uid(ev.stream.uid)
+                    .with_vals(PulseStage::KernelDispatch.idx() as u64, delay),
+            );
         }
         self.cores[core].events.push_back(ev);
     }
@@ -1157,6 +1238,10 @@ impl ScapKernel {
             }
         };
         let probes = (self.cores[core].flows.probes - probes_before).max(1);
+        self.pulse.record(
+            PulseStage::FlowTable,
+            cycles_to_ns(cost::flow_table_cycles(probes)),
+        );
         work.k_hash_probes += probes;
         self.tele.add(core, Metric::KernelHashProbes, probes);
         let id = lookup.id;
@@ -1232,7 +1317,10 @@ impl ScapKernel {
                         stream: snap,
                         kind: EventKind::Created,
                         core,
+                        ingress_ns: pkt.ts_ns,
+                        enqueued_ns: 0,
                     },
+                    now,
                     work,
                 );
             }
@@ -1616,7 +1704,7 @@ impl ScapKernel {
         }
         self.cores[core].kstates.insert(id, ks);
 
-        self.emit_data_events(core, id, dir, completed, packets, work);
+        self.emit_data_events(core, id, dir, completed, packets, pkt.ts_ns, now, work);
 
         if install_filters {
             let offloaded = self.cfg.use_offload && self.install_offload(core, id, now, work);
@@ -1829,10 +1917,14 @@ impl ScapKernel {
             ks.flush_armed[dir.index()] = false;
         }
         self.cores[core].kstates.insert(id, ks);
-        self.emit_data_events(core, id, dir, completed, packets, work);
+        self.emit_data_events(core, id, dir, completed, packets, pkt.ts_ns, now, work);
     }
 
     /// Emit data events for completed chunks of a live stream.
+    /// `ingress_ns` is the NIC-ingress timestamp of the packet that
+    /// completed the chunk (the flush tick for timer-driven flushes);
+    /// `now` is the processing clock at emission.
+    #[allow(clippy::too_many_arguments)]
     fn emit_data_events(
         &mut self,
         core: usize,
@@ -1840,6 +1932,8 @@ impl ScapKernel {
         dir: Direction,
         completed: Vec<ChunkBuf>,
         packets: Vec<PacketRecord>,
+        ingress_ns: u64,
+        now: u64,
         work: &mut Work,
     ) {
         if completed.is_empty() {
@@ -1889,8 +1983,10 @@ impl ScapKernel {
                     packets: packets.take().unwrap_or_default(),
                 },
                 core,
+                ingress_ns,
+                enqueued_ns: 0,
             };
-            self.enqueue_event(core, ev, work);
+            self.enqueue_event(core, ev, now, work);
         }
     }
 
@@ -2364,7 +2460,7 @@ impl ScapKernel {
         core: usize,
         mut rec: StreamRecord,
         ks: Option<StreamKState>,
-        _now: u64,
+        now: u64,
         work: &mut Work,
     ) {
         let uid = ks.as_ref().map(|k| k.uid).unwrap_or(0);
@@ -2422,7 +2518,10 @@ impl ScapKernel {
                                 packets: packets.take().unwrap_or_default(),
                             },
                             core,
+                            ingress_ns: now,
+                            enqueued_ns: 0,
                         },
+                        now,
                         work,
                     );
                 }
@@ -2456,7 +2555,10 @@ impl ScapKernel {
                 stream: snap,
                 kind: EventKind::Terminated,
                 core,
+                ingress_ns: now,
+                enqueued_ns: 0,
             },
+            now,
             work,
         );
         self.stats.stack.streams_reported += 1;
@@ -2493,7 +2595,7 @@ impl ScapKernel {
             if let Some(tail) = asm.flush() {
                 if tail.len > 0 {
                     let packets = std::mem::take(&mut ks.pkt_records[dir.index()]);
-                    self.emit_data_events(core, id, dir, vec![tail], packets, &mut work);
+                    self.emit_data_events(core, id, dir, vec![tail], packets, now, now, &mut work);
                 } else {
                     self.arena.release(tail);
                 }
@@ -2703,6 +2805,12 @@ impl ScapKernel {
             &fdir,
             &offload,
             &self.tenant_table,
+        );
+        // Pulse: checkpoint span from the deterministic encode+sync
+        // model over the image size.
+        self.pulse.record(
+            PulseStage::Checkpoint,
+            cycles_to_ns(cost::checkpoint_cycles(bytes.len() as u64)),
         );
         self.flight.emit(
             0,

@@ -1029,6 +1029,9 @@ impl Scap {
                     let mut fanned_out = false;
                     while let Some(ev) = kernel.next_event(core) {
                         fanned_out = true;
+                        // Delivery span on the trace clock: ingress of
+                        // the producing packet to worker hand-off.
+                        kernel.note_delivery(&ev, now);
                         let slot = &mut slots[core % nworkers];
                         slot.sent += 1;
                         if let Some(tx) = slot.tx.as_ref() {
@@ -1121,6 +1124,7 @@ impl Scap {
                 kernel.finish(now.saturating_add(1));
                 for core in 0..ncores {
                     while let Some(ev) = kernel.next_event(core) {
+                        kernel.note_delivery(&ev, now.saturating_add(1));
                         let slot = &mut slots[core % nworkers];
                         slot.sent += 1;
                         if let Some(tx) = slot.tx.as_ref() {

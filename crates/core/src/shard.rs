@@ -36,6 +36,7 @@ use crate::kernel::ScapKernel;
 use scap_faults::{FaultPlan, ShardFault, ShardFaultKind};
 use scap_flight::{FlightEvent, FlightKind, FlightLayer, FlightRecorder};
 use scap_shard::{Backoff, CircuitBreaker, Lease, ShardMap, ShardState};
+use scap_telemetry::PulseSnapshot;
 use scap_trace::Packet;
 use scap_wire::parse_frame;
 
@@ -187,6 +188,9 @@ struct ShardSlot {
     retired: IncarnationTotals,
     /// Encoded flight journals of retired incarnations.
     journals: Vec<Vec<u8>>,
+    /// Merged pulse plane of retired incarnations (latency histograms
+    /// and surviving exemplars ride across respawns like the counters).
+    retired_pulse: PulseSnapshot,
 }
 
 /// A point-in-time status row for one shard (the `scaptop --shards`
@@ -362,6 +366,7 @@ impl ShardFleet {
                 max_blackout_ns: 0,
                 retired: IncarnationTotals::default(),
                 journals: Vec::new(),
+                retired_pulse: PulseSnapshot::default(),
             });
         }
         ShardFleet {
@@ -507,6 +512,7 @@ impl ShardFleet {
             while kernel.kernel_poll(core, now).is_some() {}
             kernel.kernel_timers(core, now);
             while let Some(ev) = kernel.next_event(core) {
+                kernel.note_delivery(&ev, now);
                 sink(shard, &ev);
                 if let EventKind::Data { dir, chunk, .. } = ev.kind {
                     kernel.release_data(ev.stream.uid, dir, chunk);
@@ -589,6 +595,7 @@ impl ShardFleet {
         }
         slot.retired.absorb(&kernel.stats());
         slot.journals.push(kernel.flight().encode());
+        slot.retired_pulse.merge(&kernel.pulse_snapshot());
         slot.kills += 1;
         if slot.stall_until_ns <= now {
             // Clean crash: the blackout starts now. (A stall-induced
@@ -736,6 +743,7 @@ impl ShardFleet {
                     if let Some(kernel) = slot.kernel.take() {
                         slot.retired.absorb(&kernel.stats());
                         slot.journals.push(kernel.flight().encode());
+                        slot.retired_pulse.merge(&kernel.pulse_snapshot());
                     }
                 }
                 ShardState::Respawning | ShardState::Parked => {
@@ -787,6 +795,30 @@ impl ShardFleet {
             f.max_blackout_ns = f.max_blackout_ns.max(slot.max_blackout_ns);
         }
         f
+    }
+
+    /// One shard's merged pulse plane: retired incarnations plus the
+    /// live kernel (when up). Exemplars are re-filtered against the
+    /// merged tail, so the invariant `delay ≥ threshold` survives the
+    /// respawn history.
+    pub fn shard_pulse(&self, shard: usize) -> PulseSnapshot {
+        let slot = &self.slots[shard];
+        let mut p = slot.retired_pulse.clone();
+        if let Some(kernel) = slot.kernel.as_ref() {
+            p.merge(&kernel.pulse_snapshot());
+        }
+        p
+    }
+
+    /// The fleet-wide pulse plane: every shard's histograms merged in
+    /// shard order (merge is commutative and associative, so the order
+    /// is presentational only).
+    pub fn fleet_pulse(&self) -> PulseSnapshot {
+        let mut p = PulseSnapshot::default();
+        for shard in 0..self.slots.len() {
+            p.merge(&self.shard_pulse(shard));
+        }
+        p
     }
 
     /// Per-shard status rows.

@@ -111,7 +111,8 @@ impl<A: SimApp> ScapSimStack<A> {
         }
     }
 
-    fn deliver(kernel: &mut ScapKernel, app: &mut A, ev: Event) -> Work {
+    fn deliver(kernel: &mut ScapKernel, app: &mut A, ev: Event, now_ns: u64) -> Work {
+        kernel.note_delivery(&ev, now_ns);
         let mut w = Work {
             u_events: 1,
             ..Default::default()
@@ -202,7 +203,7 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
                     polled = true;
                 }
                 self.events_delivered += 1;
-                let w = Self::deliver(&mut self.kernel, &mut self.app, ev);
+                let w = Self::deliver(&mut self.kernel, &mut self.app, ev, now_ns);
                 budgets.charge_user(worker, &w);
                 // Shard by worker, clamped into the per-core registry
                 // (workers normally number at most the cores).
@@ -223,7 +224,7 @@ impl<A: SimApp> CaptureStack for ScapSimStack<A> {
             let worker = q % self.nworkers;
             while let Some(ev) = self.kernel.next_event(q) {
                 self.events_delivered += 1;
-                Self::deliver(&mut self.kernel, &mut self.app, ev);
+                Self::deliver(&mut self.kernel, &mut self.app, ev, now_ns);
                 self.kernel
                     .telemetry()
                     .inc(worker, Metric::WorkerEventsHandled);

@@ -44,7 +44,7 @@ use std::collections::VecDeque;
 
 use scap_filter::Filter;
 use scap_flight::{DropReason, FlightEvent, FlightKind, FlightLayer, FlightRecorder};
-use scap_telemetry::{Metric, PlainRegistry};
+use scap_telemetry::{Metric, PlainRegistry, Pulse, PulseSnapshot, PulseStage};
 use scap_wire::Direction;
 
 use crate::checkpoint::TenantImage;
@@ -178,6 +178,10 @@ pub struct Delivery {
     pub bytes: u64,
     /// Event class: 0 created, 1 data, 2 terminated.
     pub kind: u8,
+    /// Trace-clock time the delivery entered the tenant queue (the
+    /// producing event's kernel-enqueue timestamp). The pulse plane
+    /// measures tenant-queue residency against this at drain time.
+    pub enqueued_ns: u64,
 }
 
 /// Per-tenant conservation and behavior counters (bytes unless noted).
@@ -272,6 +276,12 @@ pub struct TenantEngine {
     next_id: u64,
     delivery_budget: u64,
     strike_limit: u32,
+    /// Engine-tracked trace clock: the latest event timestamp seen by
+    /// `on_event`, so `drain` can measure queue residency without every
+    /// caller threading a clock through.
+    clock_ns: u64,
+    /// Tenant-queue latency recorder (the `TenantQueue` pulse stage).
+    pulse: Pulse,
 }
 
 impl TenantEngine {
@@ -283,7 +293,21 @@ impl TenantEngine {
             next_id: 1,
             delivery_budget,
             strike_limit: strike_limit.max(1),
+            clock_ns: 0,
+            pulse: Pulse::default(),
         }
+    }
+
+    /// Reconfigure the tenant-queue pulse recorder (sampling quantile in
+    /// permille, exemplars kept per stage). Call before traffic flows —
+    /// existing histograms are replaced.
+    pub fn configure_pulse(&mut self, quantile_permille: u32, exemplar_cap: usize) {
+        self.pulse = Pulse::new(quantile_permille, exemplar_cap);
+    }
+
+    /// Export the engine's pulse plane (tenant-queue residency spans).
+    pub fn pulse_snapshot(&self) -> PulseSnapshot {
+        self.pulse.snapshot()
     }
 
     /// Permille of the memory budget already committed.
@@ -446,6 +470,11 @@ impl TenantEngine {
         let ts = ev.stream.last_ts_ns;
         let core = ev.core;
         let strike_limit = self.strike_limit;
+        // Queue-entry timestamp for the pulse plane: the event's kernel
+        // enqueue time when the driver stamped one, else the stream's
+        // last-activity clock.
+        let entry_ns = ev.enqueued_ns.max(ts);
+        self.clock_ns = self.clock_ns.max(entry_ns);
         for t in &mut self.tenants {
             if t.state == TenantState::Disconnected || !t.wants(ev) {
                 continue;
@@ -463,6 +492,7 @@ impl TenantEngine {
                     dir: None,
                     bytes: 0,
                     kind,
+                    enqueued_ns: entry_ns,
                 });
                 if kind == 2 {
                     t.seen.remove(&ev.stream.uid);
@@ -504,6 +534,7 @@ impl TenantEngine {
                     dir,
                     bytes: allowed,
                     kind,
+                    enqueued_ns: entry_ns,
                 });
                 t.queue_bytes += allowed;
                 t.stats.delivered_bytes += allowed;
@@ -563,6 +594,7 @@ impl TenantEngine {
     /// tenant `id` (control events are free). Draining below a quarter
     /// of the queue capacity recovers a degraded tenant to active.
     pub fn drain(&mut self, id: u64, max_bytes: u64) -> Vec<Delivery> {
+        let clock = self.clock_ns;
         let Some(t) = self.tenants.iter_mut().find(|t| t.id == id) else {
             return Vec::new();
         };
@@ -576,6 +608,13 @@ impl TenantEngine {
             budget -= d.bytes;
             t.queue_bytes -= d.bytes;
             t.stats.drained_bytes += d.bytes;
+            // Pulse: tenant-queue residency on the engine's trace clock.
+            self.pulse.record_uid(
+                PulseStage::TenantQueue,
+                clock.saturating_sub(d.enqueued_ns),
+                d.uid,
+                0,
+            );
             out.push(d);
         }
         if t.state == TenantState::Degraded && t.queue_bytes <= t.queue_cap / 4 {

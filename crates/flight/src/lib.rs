@@ -177,6 +177,11 @@ flight_ids! {
         /// (`a` = shard index, `b` = 1 when an older checkpoint was
         /// used, 0 when the shard cold-started).
         ShardCheckpointCorrupt => "shard_checkpoint_corrupt",
+        /// A stage latency cleared the pulse tail-sampling threshold and
+        /// entered the exemplar ring (`uid` = stream, `a` = pulse stage
+        /// index, `b` = observed delay in ns). Guarantees every exported
+        /// exemplar's uid resolves in the journal it points into.
+        PulseExemplar => "pulse_exemplar",
     }
 }
 
@@ -407,6 +412,9 @@ impl FlightEvent {
             }
             FlightKind::StreamTerminated => {
                 s.push_str(&format!(" total_bytes={} total_pkts={}", self.a, self.b));
+            }
+            FlightKind::PulseExemplar => {
+                s.push_str(&format!(" stage={} delay_ns={}", self.a, self.b));
             }
             _ if self.a != 0 || self.b != 0 => {
                 s.push_str(&format!(" a={} b={}", self.a, self.b));

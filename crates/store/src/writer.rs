@@ -13,7 +13,11 @@ use crate::StoreError;
 use scap::{Event, EventKind, EventSink, StreamSnapshot, StreamUid};
 use scap_faults::{FaultPlan, StoreFault, StoreInjector};
 use scap_flight::{FlightEvent, FlightKind, FlightLayer, FlightRecorder};
-use scap_telemetry::{Metric, PlainRegistry, Snapshot, SpanTimer, Stage};
+use scap_telemetry::pulse::cost;
+use scap_telemetry::{
+    cycles_to_ns, Metric, PlainRegistry, Pulse, PulseSnapshot, PulseStage, Snapshot, SpanTimer,
+    Stage,
+};
 use scap_wire::Direction;
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
@@ -147,6 +151,9 @@ pub struct StoreWriter {
     /// flight events, which have no snapshot of their own.
     last_ts_ns: u64,
     flight: FlightRecorder,
+    /// Store-seal latency recorder (the `StoreSeal` pulse stage): the
+    /// deterministic append+commit cost model over sealed bytes.
+    pulse: Pulse,
 }
 
 impl StoreWriter {
@@ -258,6 +265,7 @@ impl StoreWriter {
             tele,
             last_ts_ns: 0,
             flight: FlightRecorder::new(1, scap_flight::DEFAULT_RING_CAP),
+            pulse: Pulse::default(),
         })
     }
 
@@ -392,7 +400,28 @@ impl StoreWriter {
         self.records.insert(rec.uid, rec);
         self.enforce_budget()?;
         span.finish(&self.tele, 0, Stage::Store);
+        // Pulse: seal span from the deterministic cost model (the wall
+        // span above is not seed-stable; this one is).
+        let seal_ns = cycles_to_ns(cost::store_seal_cycles(stored));
+        if self.pulse.record_uid(
+            PulseStage::StoreSeal,
+            seal_ns,
+            s.uid,
+            self.flight.total_recorded(),
+        ) {
+            self.flight.emit(
+                0,
+                FlightEvent::new(FlightKind::PulseExemplar, FlightLayer::Store, s.last_ts_ns)
+                    .with_uid(s.uid)
+                    .with_vals(PulseStage::StoreSeal.idx() as u64, seal_ns),
+            );
+        }
         Ok(())
+    }
+
+    /// Export the writer's pulse plane (store-seal spans).
+    pub fn pulse_snapshot(&self) -> PulseSnapshot {
+        self.pulse.snapshot()
     }
 
     fn open_segment(&mut self) -> Result<(), StoreError> {

@@ -53,6 +53,14 @@ impl<C: MetricCell> Hist64<C> {
         self.sum.add(v);
     }
 
+    /// Record `n` observations of the same value in one add — the
+    /// batched fast path uses this for amortized per-packet costs.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.buckets[bucket_of(v)].add(n);
+        self.sum.add(v.wrapping_mul(n));
+    }
+
     /// Copy the current state out as plain data.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
@@ -96,10 +104,43 @@ impl HistSnapshot {
         }
     }
 
-    /// The lower bound of the bucket containing the `q`-quantile
-    /// (`0.0 ≤ q ≤ 1.0`), i.e. a conservative percentile estimate at
-    /// power-of-two resolution. Returns 0 when empty.
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) with linear
+    /// interpolation inside the containing bucket: the `r`-th of `c`
+    /// observations in bucket `[lo, hi]` is placed at the midpoint of
+    /// its 1/c-wide slice (`lo + (hi-lo)·(2r-1)/(2c)`), so a
+    /// single-observation bucket estimates its midpoint rather than its
+    /// lower bound. The estimate always stays inside the bucket that
+    /// holds the true rank-`⌈q·n⌉` sample, i.e. within 2× of the true
+    /// quantile. Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, c) in self.buckets.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_range(b);
+                let r = rank - seen; // 1-based rank within this bucket
+                let width = hi - lo;
+                let off = (width as u128 * (2 * r as u128 - 1) / (2 * *c as u128)) as u64;
+                return lo + off;
+            }
+            seen += c;
+        }
+        bucket_range(BUCKETS - 1).0
+    }
+
+    /// Conservative quantile: the lower bound of the containing bucket,
+    /// guaranteed ≤ the true quantile. The pulse plane's exemplar
+    /// threshold uses this so the tail-sample set is never vacuously
+    /// empty (an interpolated estimate can overshoot the true sample
+    /// maximum when the quantile bucket is the top occupied one).
+    pub(crate) fn quantile_floor(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
@@ -115,12 +156,22 @@ impl HistSnapshot {
         bucket_range(BUCKETS - 1).0
     }
 
-    /// Element-wise accumulate another histogram into this one.
+    /// The lower bound of the bucket containing the `q`-quantile — the
+    /// pre-interpolation conservative estimate, kept for callers that
+    /// need a value guaranteed ≤ the true quantile.
+    #[deprecated(note = "use `quantile`, which interpolates within the bucket")]
+    pub fn quantile_lower_bound(&self, q: f64) -> u64 {
+        self.quantile_floor(q)
+    }
+
+    /// Element-wise accumulate another histogram into this one. The sum
+    /// wraps like the recording path does, so merging shard snapshots
+    /// of extreme values cannot panic.
     pub fn merge(&mut self, other: &HistSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.wrapping_add(*b);
         }
-        self.sum += other.sum;
+        self.sum = self.sum.wrapping_add(other.sum);
     }
 }
 
@@ -176,10 +227,98 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count(), 4);
         assert_eq!(s.sum, 1003);
-        // p50 falls in bucket 1 (value 1); p99 in the bucket of 1000.
+        // p50 falls in bucket 1 (the single-value bucket [1,1]), so
+        // interpolation cannot move it; p99 interpolates to the midpoint
+        // of 1000's bucket [512,1023] rather than its lower bound.
         assert_eq!(s.quantile(0.5), 1);
-        assert_eq!(s.quantile(0.99), bucket_range(bucket_of(1000)).0);
+        let (lo, hi) = bucket_range(bucket_of(1000));
+        assert_eq!(s.quantile(0.99), lo + (hi - lo) / 2);
+        #[allow(deprecated)]
+        {
+            assert_eq!(s.quantile_lower_bound(0.99), lo);
+            assert_eq!(s.quantile_lower_bound(0.5), 1);
+        }
         assert!((s.mean() - 250.75).abs() < 1e-9);
         assert_eq!(HistSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a: Hist64<std::cell::Cell<u64>> = Hist64::default();
+        let b: Hist64<std::cell::Cell<u64>> = Hist64::default();
+        for _ in 0..7 {
+            a.record(900);
+        }
+        b.record_n(900, 7);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    fn hist_of(samples: &[u64]) -> HistSnapshot {
+        let h: Hist64<std::cell::Cell<u64>> = Hist64::default();
+        for &v in samples {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    /// True rank-based quantile of a raw sample set.
+    fn true_quantile(samples: &mut [u64], q: f64) -> u64 {
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+        samples[rank - 1]
+    }
+
+    proptest! {
+        /// Satellite: merging per-shard histograms is commutative and
+        /// associative — the fleet harvest may absorb shards in any order.
+        #[test]
+        fn merge_is_commutative_and_associative(
+            a in proptest::collection::vec(any::<u64>(), 0..40),
+            b in proptest::collection::vec(any::<u64>(), 0..40),
+            c in proptest::collection::vec(any::<u64>(), 0..40),
+        ) {
+            let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+            // a+b == b+a
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(&ab, &ba);
+            // (a+b)+c == a+(b+c)
+            let mut ab_c = ab.clone();
+            ab_c.merge(&hc);
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut a_bc = ha.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(ab_c, a_bc);
+        }
+
+        /// Satellite: a merged histogram's quantile estimate lands in the
+        /// same log2 bucket as the true quantile of the concatenated
+        /// sample streams — i.e. the estimate is bounded within a factor
+        /// of two of the exact order statistic, and the interpolated
+        /// value never escapes the containing bucket.
+        #[test]
+        fn merged_quantile_bounds_true_quantile(
+            a in proptest::collection::vec(any::<u64>(), 1..60),
+            b in proptest::collection::vec(any::<u64>(), 1..60),
+            qm in 1u32..1000,
+        ) {
+            let q = f64::from(qm) / 1000.0;
+            let mut merged = hist_of(&a);
+            merged.merge(&hist_of(&b));
+            let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+            let exact = true_quantile(&mut all, q);
+            let est = merged.quantile(q);
+            let (lo, hi) = bucket_range(bucket_of(exact));
+            prop_assert!(
+                lo <= est && est <= hi,
+                "estimate {est} escaped bucket [{lo},{hi}] of true quantile {exact}"
+            );
+            #[allow(deprecated)]
+            let cons = merged.quantile_lower_bound(q);
+            prop_assert!(cons <= exact, "conservative estimate {cons} > true {exact}");
+        }
     }
 }

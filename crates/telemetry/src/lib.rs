@@ -38,6 +38,7 @@ mod registry;
 mod sampler;
 
 pub use hist::{bucket_of, bucket_range, Hist64, HistSnapshot, BUCKETS};
+pub use pulse::{cycles_to_ns, Exemplar, Pulse, PulseSnapshot, CORE_HZ};
 pub use registry::{AtomicRegistry, PlainRegistry, Registry, ShardSnapshot, Snapshot};
 pub use sampler::{SamplePoint, Sampler};
 
@@ -285,6 +286,37 @@ static_ids! {
         Fastpath => "fastpath",
     }
 }
+
+static_ids! {
+    /// Stages of the pulse latency plane (`scap-pulse`): each gets one
+    /// log2 latency histogram plus a tail-sampled exemplar ring.
+    /// Clock-difference stages record trace-clock deltas against the
+    /// packet's NIC-ingress timestamp; processing stages record virtual
+    /// nanoseconds from the deterministic per-op cost models in
+    /// [`pulse::cost`].
+    PulseStage {
+        /// NIC admission verdict: filter + RSS + ring push cost.
+        NicVerdict => "nic_verdict",
+        /// Offload rule-table consult (and action on a hit).
+        Offload => "offload",
+        /// Flow-table lookup cost, scaled by probe length.
+        FlowTable => "flow_table",
+        /// NIC ingress → event enqueued on a per-core queue.
+        KernelDispatch => "kernel_dispatch",
+        /// Residency in a tenant delivery queue until drain.
+        TenantQueue => "tenant_queue",
+        /// NIC ingress → payload handed to the application.
+        Delivery => "delivery",
+        /// Archive seal: segment append + index commit.
+        StoreSeal => "store_seal",
+        /// Checkpoint encode + write, from the image size.
+        Checkpoint => "checkpoint",
+    }
+}
+
+// Declared after `static_ids!` so the modules can use the macro.
+pub mod openmetrics;
+pub mod pulse;
 
 /// Wall-clock span timing for the live driver. The simulation never uses
 /// this — it derives virtual-cycle spans from work receipts instead, so

@@ -1,0 +1,290 @@
+//! OpenMetrics text exposition for the telemetry registry and the
+//! pulse latency plane. Hand-rolled like every other exporter here: the
+//! format is line-oriented and tiny, and the repository takes no
+//! dependencies for serialization.
+//!
+//! The emitted text follows the OpenMetrics text format: one `# TYPE`
+//! (and optional `# UNIT`/`# HELP`) block per metric family, cumulative
+//! `_bucket{le="..."}` series for histograms, exemplars attached to
+//! bucket lines as `# {uid="...",cursor="..."} <delay>`, and a final
+//! `# EOF` terminator. [`validate`] is the matching checker the CI gate
+//! and `scapctl metrics` run before trusting a scrape.
+
+use crate::hist::{bucket_range, BUCKETS};
+use crate::pulse::PulseSnapshot;
+use crate::registry::Snapshot;
+use crate::{Gauge, Metric, PulseStage};
+
+/// Incremental OpenMetrics text builder. One `family_*` call per metric
+/// family keeps each family's samples contiguous, as the format
+/// requires; [`OpenMetrics::finish`] appends the `# EOF` terminator.
+#[derive(Default)]
+pub struct OpenMetrics {
+    out: String,
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_str(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+impl OpenMetrics {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        OpenMetrics::default()
+    }
+
+    /// Emit one counter family with a single labeled sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(&format!("# TYPE {name} counter\n"));
+        if !help.is_empty() {
+            self.out.push_str(&format!("# HELP {name} {help}\n"));
+        }
+        self.out
+            .push_str(&format!("{name}_total{} {value}\n", label_str(labels)));
+    }
+
+    /// Emit one gauge family with arbitrary labeled samples.
+    pub fn gauge(&mut self, name: &str, help: &str, series: &[(Vec<(&str, &str)>, u64)]) {
+        self.out.push_str(&format!("# TYPE {name} gauge\n"));
+        if !help.is_empty() {
+            self.out.push_str(&format!("# HELP {name} {help}\n"));
+        }
+        for (labels, value) in series {
+            self.out
+                .push_str(&format!("{name}{} {value}\n", label_str(labels)));
+        }
+    }
+
+    /// Emit every registry counter and gauge (aggregated across shards)
+    /// as `scap_<name>` families carrying `labels`.
+    pub fn registry(&mut self, snap: &Snapshot, labels: &[(&str, &str)]) {
+        for m in Metric::ALL {
+            let v = snap.total(m);
+            if v != 0 {
+                self.counter(&format!("scap_{}", m.name()), "", labels, v);
+            }
+        }
+        for g in Gauge::ALL {
+            let v = snap.gauge_max(g);
+            if v != 0 {
+                self.gauge(&format!("scap_{}", g.name()), "", &[(labels.to_vec(), v)]);
+            }
+        }
+    }
+
+    /// Append the pulse plane: one `scap_pulse_latency_ns` histogram
+    /// family with a `stage` label per non-empty stage, exemplars on
+    /// their bucket lines, and a quantile-summary gauge family.
+    pub fn pulse(&mut self, pulse: &PulseSnapshot, labels: &[(&str, &str)]) {
+        let name = "scap_pulse_latency_ns";
+        self.out.push_str(&format!("# TYPE {name} histogram\n"));
+        self.out.push_str(&format!("# UNIT {name} ns\n"));
+        self.out.push_str(&format!(
+            "# HELP {name} Per-stage capture latency (pulse plane).\n"
+        ));
+        for st in PulseStage::ALL {
+            let h = pulse.stage(st);
+            if h.count() == 0 {
+                continue;
+            }
+            let exemplars = pulse.stage_exemplars(st);
+            let mut base = labels.to_vec();
+            base.push(("stage", st.name()));
+            let last = h.buckets.iter().rposition(|&c| c != 0).unwrap_or(0);
+            let mut cum = 0u64;
+            for b in 0..=last.min(BUCKETS - 1) {
+                cum += h.buckets[b];
+                let le = if b == BUCKETS - 1 {
+                    "+Inf".to_string()
+                } else {
+                    bucket_range(b).1.to_string()
+                };
+                let mut lab = base.clone();
+                lab.push(("le", &le));
+                let ex = exemplars
+                    .iter()
+                    .filter(|e| crate::hist::bucket_of(e.delay_ns) == b)
+                    .max_by_key(|e| (e.delay_ns, e.uid));
+                let ex_str = ex
+                    .map(|e| {
+                        format!(
+                            " # {{uid=\"{}\",cursor=\"{}\"}} {}",
+                            e.uid, e.cursor, e.delay_ns
+                        )
+                    })
+                    .unwrap_or_default();
+                self.out
+                    .push_str(&format!("{name}_bucket{} {cum}{ex_str}\n", label_str(&lab)));
+            }
+            if last < BUCKETS - 1 {
+                let mut lab = base.clone();
+                lab.push(("le", "+Inf"));
+                self.out
+                    .push_str(&format!("{name}_bucket{} {}\n", label_str(&lab), h.count()));
+            }
+            self.out
+                .push_str(&format!("{name}_sum{} {}\n", label_str(&base), h.sum));
+            self.out
+                .push_str(&format!("{name}_count{} {}\n", label_str(&base), h.count()));
+        }
+        // Interpolated percentile summaries as a gauge family.
+        let qname = "scap_pulse_latency_quantile_ns";
+        let mut series: Vec<(Vec<(&str, &str)>, u64)> = Vec::new();
+        for st in PulseStage::ALL {
+            let h = pulse.stage(st);
+            if h.count() == 0 {
+                continue;
+            }
+            for (qs, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+                let mut lab = labels.to_vec();
+                lab.push(("stage", st.name()));
+                lab.push(("q", qs));
+                series.push((lab, h.quantile(q)));
+            }
+        }
+        if !series.is_empty() {
+            self.gauge(
+                qname,
+                "Interpolated per-stage latency percentiles.",
+                &series,
+            );
+        }
+    }
+
+    /// Terminate the exposition. The result always ends with `# EOF`.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("# EOF\n");
+        self.out
+    }
+}
+
+/// Validate an OpenMetrics text exposition: every line is a well-formed
+/// comment or sample, and the exposition ends with `# EOF`. Returns the
+/// number of sample lines.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut saw_eof = false;
+    for (no, line) in text.lines().enumerate() {
+        let err = |m: &str| format!("line {}: {m}: {line:?}", no + 1);
+        if saw_eof {
+            return Err(err("content after # EOF"));
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let kind = rest.split_whitespace().next().unwrap_or("");
+            if !matches!(kind, "TYPE" | "UNIT" | "HELP") {
+                return Err(err("unknown comment kind"));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            return Err(err("blank line"));
+        }
+        // Sample: name[{labels}] value [# {labels} exemplar-value]
+        let (series, _exemplar) = match line.split_once(" # ") {
+            Some((s, e)) => {
+                if !e.starts_with('{') {
+                    return Err(err("malformed exemplar"));
+                }
+                (s, Some(e))
+            }
+            None => (line, None),
+        };
+        let name_end = series.find(['{', ' ']).ok_or_else(|| err("no value"))?;
+        let name = &series[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(err("bad metric name"));
+        }
+        let rest = &series[name_end..];
+        let value_part = if let Some(stripped) = rest.strip_prefix('{') {
+            let close = stripped.find('}').ok_or_else(|| err("unclosed labels"))?;
+            &stripped[close + 1..]
+        } else {
+            rest
+        };
+        let value = value_part.trim();
+        if value != "+Inf" && value.parse::<f64>().is_err() {
+            return Err(err("unparseable value"));
+        }
+        samples += 1;
+    }
+    if !saw_eof {
+        return Err("exposition does not end with # EOF".into());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::PlainRegistry;
+    use crate::{Metric, Pulse, PulseStage};
+
+    #[test]
+    fn exposition_validates_and_terminates() {
+        let r = PlainRegistry::new(2);
+        r.add(0, Metric::WirePackets, 10);
+        r.add(1, Metric::DeliveredBytes, 999);
+        r.gauge_set(0, crate::Gauge::GovernorLevel, 2);
+        let mut p = Pulse::new(900, 4);
+        for i in 0..600u64 {
+            p.record_uid(PulseStage::Delivery, (i * 37) % 50_000, 1 + i, i);
+        }
+        p.record(PulseStage::NicVerdict, 90);
+        let mut om = OpenMetrics::new();
+        om.registry(&r.snapshot(), &[("shard", "0")]);
+        om.pulse(&p.snapshot(), &[("mode", "fastpath")]);
+        let text = om.finish();
+        assert!(text.ends_with("# EOF\n"));
+        let n = validate(&text).expect("exposition should validate");
+        assert!(n > 5, "too few samples: {n}\n{text}");
+        assert!(text.contains("scap_wire_packets_total{shard=\"0\"} 10"));
+        assert!(text.contains("scap_pulse_latency_ns_bucket{mode=\"fastpath\",stage=\"delivery\""));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains(
+            "scap_pulse_latency_quantile_ns{mode=\"fastpath\",stage=\"delivery\",q=\"0.99\"}"
+        ));
+        // Exemplars rode along on bucket lines.
+        assert!(text.contains("# {uid=\""), "no exemplar emitted:\n{text}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("scap_x 1\n").is_err()); // no EOF
+        assert!(validate("# EOF\nscap_x 1\n").is_err()); // content after EOF
+        assert!(validate("bad name{} 1\n# EOF\n").is_err());
+        assert!(validate("scap_x{a=\"b\" 1\n# EOF\n").is_err()); // unclosed labels
+        assert!(validate("scap_x nope\n# EOF\n").is_err());
+        assert_eq!(
+            validate("# TYPE scap_x counter\nscap_x_total 3\n# EOF\n"),
+            Ok(1)
+        );
+    }
+
+    #[test]
+    fn empty_exposition_is_just_eof() {
+        let text = OpenMetrics::new().finish();
+        assert_eq!(text, "# EOF\n");
+        assert_eq!(validate(&text), Ok(0));
+    }
+}
